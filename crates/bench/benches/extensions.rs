@@ -1,0 +1,106 @@
+//! Extension benches: experiments beyond the paper's own figures --
+//! PAPR of subcarrier dropping (the section 4.1 aside), OFDMA-style
+//! subcarrier reuse (section 4.2), time-domain episodes with CSI refresh,
+//! soft- vs hard-decision decoding headroom, and cells of three APs
+//! (section 3.1 future work).
+
+use copa_bench::threads;
+use copa_channel::{AntennaConfig, TopologySampler};
+use copa_core::cell::{run_cell, MultiApScenario};
+use copa_core::{Engine, ScenarioParams};
+use copa_num::SimRng;
+use copa_phy::modulation::Modulation;
+use copa_phy::papr::measure_papr;
+use copa_sim::episode::{run_episode, EpisodeConfig};
+use copa_sim::reuse::reuse_summary;
+use criterion::{black_box, Criterion};
+
+fn print_reproduction() {
+    let _ = threads();
+
+    println!("== Extension: PAPR vs dropped subcarriers (section 4.1 aside) ==");
+    println!("{:>8} {:>11} {:>10} {:>10}", "dropped", "scrambled", "mean dB", "p99 dB");
+    for dropped in [0usize, 4, 8, 16] {
+        let s = measure_papr(Modulation::Qam64, dropped, true, 400, 0xAA);
+        println!("{:>8} {:>11} {:>10.1} {:>10.1}", s.dropped, "yes", s.mean_db, s.p99_db);
+    }
+    let unscrambled = measure_papr(Modulation::Qpsk, 8, false, 400, 0xAB);
+    println!(
+        "{:>8} {:>11} {:>10.1} {:>10.1}   <- why 802.11 scrambles",
+        unscrambled.dropped, "no", unscrambled.mean_db, unscrambled.p99_db
+    );
+    println!("(paper: dropping a few subcarriers does not cause PAPR problems)\n");
+
+    println!("== Extension: subcarrier reuse in 1x1 concurrent solutions (4.2) ==");
+    let params = ScenarioParams::default();
+    for (label, delta) in [("testbed interference", 0.0), ("interference -15 dB", 15.0)] {
+        let suite: Vec<_> = TopologySampler::default()
+            .suite(0x0F5E, 12, AntennaConfig::SINGLE)
+            .iter()
+            .map(|t| t.with_weaker_interference(delta))
+            .collect();
+        let s = reuse_summary(&suite, &params);
+        println!(
+            "  {label}: exclusive {:.0}%, shared {:.0}%, unused {:.0}% \
+             (sharing in {} of 12 topologies)",
+            s.mean_exclusive * 100.0,
+            s.mean_shared * 100.0,
+            s.mean_unused * 100.0,
+            s.topologies_with_sharing
+        );
+    }
+    println!("(paper: \"COPA has selected a form of OFDMA\"; true same-subcarrier\n concurrency appears in a few topologies)\n");
+
+    println!("== Extension: time-domain episode (channel drift + CSI refresh) ==");
+    let topo = TopologySampler::default()
+        .suite(0xE9, 1, AntennaConfig::CONSTRAINED_4X2)
+        .remove(0);
+    for (label, refresh_s) in [("refresh every coherence time", 0.030), ("refresh 10x too rarely", 0.300)] {
+        let cfg = EpisodeConfig { cycles: 60, refresh_interval_s: refresh_s, ..Default::default() };
+        let r = run_episode(&topo, &params, &cfg);
+        println!(
+            "  {label}: COPA fair {:.1} Mbps, CSMA {:.1} Mbps, null {:.1} Mbps, {} refreshes",
+            r.copa_fair_mbps,
+            r.csma_mbps,
+            r.null_mbps.unwrap_or(0.0),
+            r.refreshes
+        );
+    }
+    println!();
+
+    println!("== Extension: three-AP cell (pairwise ITS, section 3.1 future work) ==");
+    let mut rng = SimRng::seed_from(0x3A9);
+    let scenario = MultiApScenario::sample(
+        &TopologySampler::default(),
+        &mut rng,
+        AntennaConfig::CONSTRAINED_4X2,
+        3,
+    );
+    let engine = Engine::new(params);
+    let out = run_cell(&scenario, &engine, 12);
+    println!(
+        "  COPA cell {:.1} Mbps vs CSMA 1/3-share {:.1} Mbps ({:+.0}%), Jain {:.3}",
+        out.aggregate_mbps(),
+        out.csma_aggregate_mbps(),
+        (out.aggregate_mbps() / out.csma_aggregate_mbps() - 1.0) * 100.0,
+        out.jain
+    );
+    println!();
+}
+
+fn main() {
+    print_reproduction();
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    c.bench_function("papr_400_symbols", |b| {
+        b.iter(|| black_box(measure_papr(Modulation::Qam64, 8, true, 400, 1)))
+    });
+    c.bench_function("episode_cycle", |b| {
+        let topo = TopologySampler::default()
+            .suite(0xE9, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let params = ScenarioParams::default();
+        let cfg = EpisodeConfig { cycles: 2, ..Default::default() };
+        b.iter(|| black_box(run_episode(&topo, &params, &cfg)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Figure 2: received power per OFDM subcarrier at two receive antennas.
+//!
+//! Prints the reproduced per-subcarrier power series (the narrow-band
+//! fading that motivates per-subcarrier power allocation), then benchmarks
+//! the channel synthesis kernel.
+
+use copa_channel::{FreqChannel, MultipathProfile};
+use copa_num::SimRng;
+use criterion::{black_box, Criterion};
+
+fn print_reproduction() {
+    let f = copa_sim::fig2(0xF16_02);
+    println!("== Figure 2: rx power per subcarrier (dBm), one tx antenna ==");
+    println!("(paper: ~30 dB swings across the band; antennas decorrelated)");
+    println!("{:>4} {:>8} {:>8}", "sc", "ant1", "ant2");
+    for (s, (a, b)) in f.ant1_dbm.iter().zip(&f.ant2_dbm).enumerate() {
+        println!("{s:>4} {a:>8.1} {b:>8.1}");
+    }
+    let range = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    println!(
+        "fading range: ant1 {:.1} dB, ant2 {:.1} dB\n",
+        range(&f.ant1_dbm),
+        range(&f.ant2_dbm)
+    );
+}
+
+fn main() {
+    print_reproduction();
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("channel_synthesis_2x1", |b| {
+        let mut rng = SimRng::seed_from(7);
+        let profile = MultipathProfile::default();
+        b.iter(|| black_box(FreqChannel::random(&mut rng, 2, 1, 1e-6, &profile)))
+    });
+    c.bench_function("channel_synthesis_2x4", |b| {
+        let mut rng = SimRng::seed_from(8);
+        let profile = MultipathProfile::default();
+        b.iter(|| black_box(FreqChannel::random(&mut rng, 2, 4, 1e-6, &profile)))
+    });
+    c.final_summary();
+}

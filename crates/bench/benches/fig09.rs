@@ -1,0 +1,35 @@
+//! Figure 9: the (signal, interference) scatter of the topology suite --
+//! the large-scale envelope every other experiment runs over.
+
+use copa_channel::{AntennaConfig, TopologySampler};
+use copa_num::SimRng;
+use copa_sim::{fig9, standard_suite};
+use criterion::{black_box, Criterion};
+
+fn print_reproduction() {
+    let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
+    let f = fig9(&suite);
+    println!("== Figure 9: signal vs interference power per receiver (dBm) ==");
+    println!("(paper envelope: signal -70..-30 dBm, interference mostly below signal)");
+    println!("{:>10} {:>14}", "signal", "interference");
+    for (s, i) in &f.points {
+        println!("{s:>10.1} {i:>14.1}");
+    }
+    let below = f.points.iter().filter(|(s, i)| s > i).count();
+    println!(
+        "{} of {} receivers have stronger signal than interference\n",
+        below,
+        f.points.len()
+    );
+}
+
+fn main() {
+    print_reproduction();
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("topology_sample_4x2", |b| {
+        let sampler = TopologySampler::default();
+        let mut rng = SimRng::seed_from(9);
+        b.iter(|| black_box(sampler.sample(&mut rng, AntennaConfig::CONSTRAINED_4X2)))
+    });
+    c.final_summary();
+}

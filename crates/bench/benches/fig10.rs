@@ -1,0 +1,27 @@
+//! Figure 10: throughput CDF across 30 topologies -- two single-antenna AP/client pairs.
+//! Prints paper-vs-measured means and the reproduced CDF series, then
+//! benchmarks one strategy-engine evaluation.
+
+use copa_bench::{print_comparison, threads, FIG10_PAPER};
+use copa_channel::AntennaConfig;
+use copa_core::{Engine, ScenarioParams};
+use copa_sim::{fig10, standard_suite};
+use criterion::{black_box, Criterion};
+
+fn print_reproduction() {
+    let suite = standard_suite(AntennaConfig::SINGLE);
+    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let exp = fig10(&suite, &params, threads());
+    print_comparison(&exp, &FIG10_PAPER);
+}
+
+fn main() {
+    print_reproduction();
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    c.bench_function("engine_evaluate_fig10", |b| {
+        let suite = standard_suite(AntennaConfig::SINGLE);
+        let engine = Engine::new(ScenarioParams::default());
+        b.iter(|| black_box(engine.evaluate(&suite[0])))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,55 @@
+//! Table 1: throughput costs of MAC overhead for COPA concurrent/sequential
+//! vs CSMA CTS-to-self and RTS/CTS, across coherence times.
+
+use copa_mac::overhead::{overhead_fraction, OverheadConfig, Scheme};
+use copa_mac::{table1, Scheme as S};
+use criterion::{black_box, Criterion};
+
+fn print_reproduction() {
+    let paper: [(f64, [f64; 4]); 3] = [
+        (4.0, [9.3, 7.7, 2.7, 3.7]),
+        (30.0, [5.1, 3.5, 2.7, 3.7]),
+        (1000.0, [4.5, 2.8, 2.7, 3.7]),
+    ];
+    let rows = table1(&OverheadConfig::default());
+    println!("== Table 1: MAC overhead (%) -- paper / measured ==");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16} {:>16}",
+        "coherence", "COPA Conc", "COPA Seq", "CSMA CTS", "RTS/CTS"
+    );
+    for (row, (ms, p)) in rows.iter().zip(paper) {
+        assert_eq!(row.coherence_ms, ms);
+        println!(
+            "{:>8}ms {:>7.1} / {:<6.1} {:>7.1} / {:<6.1} {:>7.1} / {:<6.1} {:>7.1} / {:<6.1}",
+            ms,
+            p[0],
+            row.percent[0],
+            p[1],
+            row.percent[1],
+            p[2],
+            row.percent[2],
+            p[3],
+            row.percent[3]
+        );
+    }
+    println!();
+}
+
+fn main() {
+    print_reproduction();
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("overhead_model_all_schemes", |b| {
+        let cfg = OverheadConfig::default();
+        b.iter(|| {
+            for s in Scheme::ALL {
+                black_box(overhead_fraction(s, &cfg, 30_000.0));
+            }
+        })
+    });
+    c.bench_function("table1_regeneration", |b| {
+        let cfg = OverheadConfig::default();
+        b.iter(|| black_box(table1(&cfg)))
+    });
+    let _ = S::CsmaCtsSelf; // re-exported alias exercised
+    c.final_summary();
+}

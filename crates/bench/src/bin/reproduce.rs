@@ -1,0 +1,38 @@
+//! One-shot reproduction summary: regenerates the headline tables/figures
+//! and prints them against the paper's numbers (the individual bench
+//! targets give the full detail).
+use copa_channel::AntennaConfig;
+use copa_core::ScenarioParams;
+use copa_sim::{fig10, fig11, fig12, fig13, fig3, headline_stats, render_experiment, standard_suite};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+
+    let s4 = standard_suite(AntennaConfig::CONSTRAINED_4X2);
+    let f3 = fig3(&s4, &params);
+    println!("{}", copa_sim::report::render_fig3(&f3));
+
+    let e11 = fig11(&s4, &params, threads);
+    println!("{}", render_experiment(&e11));
+    let h = headline_stats(&e11);
+    println!("Null worse than CSMA: {:.0}% (paper 83%)", h.null_worse_than_csma*100.0);
+    println!("COPA over Null mean:  {:.0}% (paper 54-64%)", h.copa_over_null_mean*100.0);
+    println!("COPA beats CSMA:      {:.0}% (paper 76%)", h.copa_beats_csma*100.0);
+
+    let e12 = fig12(&s4, &params, threads);
+    println!("{}", render_experiment(&e12));
+
+    let s1 = standard_suite(AntennaConfig::SINGLE);
+    let e10 = fig10(&s1, &params, threads);
+    println!("{}", render_experiment(&e10));
+
+    let s3 = standard_suite(AntennaConfig::OVERCONSTRAINED_3X2);
+    let e13 = fig13(&s3, &params, threads);
+    println!("{}", render_experiment(&e13));
+
+    for row in copa_mac::table1(&copa_mac::OverheadConfig::default()) {
+        println!("Table1 {}ms: {:.1} {:.1} {:.1} {:.1}", row.coherence_ms,
+            row.percent[0], row.percent[1], row.percent[2], row.percent[3]);
+    }
+}

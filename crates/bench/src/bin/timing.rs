@@ -1,0 +1,20 @@
+//! Developer tool: wall-clock cost of one engine evaluation (plain vs
+//! mercury/COPA+).
+use copa_channel::AntennaConfig;
+use copa_core::{Engine, ScenarioParams};
+use copa_sim::standard_suite;
+use std::time::Instant;
+
+fn main() {
+    let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
+    let t = Instant::now();
+    let e = Engine::new(ScenarioParams::default());
+    let _ = e.evaluate(&suite[0]);
+    println!("plain eval: {:?}", t.elapsed());
+    let t = Instant::now();
+    let e = Engine::new(ScenarioParams { include_mercury: true, ..Default::default() });
+    println!("engine+curves built: {:?}", t.elapsed());
+    let t = Instant::now();
+    let _ = e.evaluate(&suite[0]);
+    println!("mercury eval: {:?}", t.elapsed());
+}

@@ -1,0 +1,96 @@
+//! Shared scaffolding for the benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's tables or figures:
+//! it prints the reproduced rows/series next to the paper's published
+//! numbers (shape comparison), then runs a Criterion measurement of the
+//! computational kernel behind that experiment.
+
+use copa_sim::throughput::ThroughputExperiment;
+
+/// Paper-published mean throughputs (Mbps) for the CDF figures, in the
+/// order the legends list them.
+pub struct PaperMeans {
+    /// Figure label.
+    pub label: &'static str,
+    /// `(scheme name, paper mean Mbps)`.
+    pub means: &'static [(&'static str, f64)],
+}
+
+/// Figure 10 legend values (single antenna).
+pub const FIG10_PAPER: PaperMeans = PaperMeans {
+    label: "Figure 10 (1x1)",
+    means: &[
+        ("CSMA", 47.7),
+        ("COPA-SEQ", 51.6),
+        ("COPA fair", 53.3),
+        ("COPA", 54.7),
+        ("COPA+ fair", 53.7),
+        ("COPA+", 55.0),
+    ],
+};
+
+/// Figure 11 legend values (4x2 constrained).
+pub const FIG11_PAPER: PaperMeans = PaperMeans {
+    label: "Figure 11 (4x2)",
+    means: &[
+        ("CSMA", 110.1),
+        ("COPA-SEQ", 110.4),
+        ("Null", 83.1),
+        ("COPA fair", 123.9),
+        ("COPA", 128.1),
+        ("COPA+ fair", 132.0),
+        ("COPA+", 136.2),
+    ],
+};
+
+/// Figure 12 legend values (4x2, interference -10 dB).
+pub const FIG12_PAPER: PaperMeans = PaperMeans {
+    label: "Figure 12 (4x2, weak interference)",
+    means: &[
+        ("CSMA", 110.1),
+        ("COPA-SEQ", 110.4),
+        ("Null", 131.7),
+        ("COPA fair", 175.8),
+        ("COPA", 178.8),
+        ("COPA+ fair", 184.4),
+        ("COPA+", 185.9),
+    ],
+};
+
+/// Figure 13 legend values (3x2 overconstrained).
+pub const FIG13_PAPER: PaperMeans = PaperMeans {
+    label: "Figure 13 (3x2)",
+    means: &[
+        ("CSMA", 104.1),
+        ("COPA-SEQ", 108.9),
+        ("Null", 87.4), // "Null+SDA" in the paper
+        ("COPA fair", 117.8),
+        ("COPA", 121.6),
+        ("COPA+ fair", 122.9),
+        ("COPA+", 126.4),
+    ],
+};
+
+/// Prints a measured-vs-paper comparison table for a CDF experiment.
+pub fn print_comparison(exp: &ThroughputExperiment, paper: &PaperMeans) {
+    println!("== {} : paper vs reproduction ==", paper.label);
+    println!("  {:<12} {:>10} {:>10}", "scheme", "paper", "measured");
+    for (name, paper_mean) in paper.means {
+        match exp.series(name) {
+            Some(s) => println!(
+                "  {:<12} {:>8.1} M {:>8.1} M",
+                name,
+                paper_mean,
+                s.mean_mbps()
+            ),
+            None => println!("  {:<12} {:>8.1} M {:>10}", name, paper_mean, "-"),
+        }
+    }
+    println!();
+    println!("{}", copa_sim::render_experiment(exp));
+}
+
+/// Number of worker threads for suite evaluation.
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}

@@ -1,0 +1,634 @@
+//! Single-stream power allocation across subcarriers.
+//!
+//! Implements the paper's Algorithm 1 (*Equi-SNR*) and its interference-aware
+//! generalization (*Equi-SINR*, used inside the Figure 6 iteration), plus the
+//! mercury/waterfilling allocator (Lozano-Tulino-Verdu) used by the COPA+
+//! variants and classic Gaussian waterfilling as a baseline the paper argues
+//! against.
+//!
+//! All allocators share the same contract: given per-subcarrier effective
+//! channel gains `g`, exogenous interference `I`, noise `N` and a power
+//! budget `P`, return per-subcarrier powers summing to at most `P` together
+//! with the predicted throughput of the best 802.11n MCS.
+
+use copa_num::stats::mean;
+use copa_phy::link::ThroughputModel;
+use copa_phy::mcs::Mcs;
+use copa_phy::mmse_curves::MmseCurve;
+use copa_phy::modulation::Modulation;
+use copa_phy::ofdm::DATA_SUBCARRIERS;
+
+/// The per-stream allocation problem.
+#[derive(Clone, Debug)]
+pub struct StreamProblem {
+    /// Effective channel gain of this stream on each subcarrier
+    /// (`|H w|^2`, linear).
+    pub gains: Vec<f64>,
+    /// Per-subcarrier noise power, mW.
+    pub noise_mw: f64,
+    /// Per-subcarrier exogenous interference power, mW (all zeros for the
+    /// sequential / SNR case).
+    pub interference_mw: Vec<f64>,
+    /// Power budget for this stream, mW.
+    pub budget_mw: f64,
+}
+
+impl StreamProblem {
+    /// An interference-free problem (Equi-SNR setting).
+    pub fn interference_free(gains: Vec<f64>, noise_mw: f64, budget_mw: f64) -> Self {
+        let n = gains.len();
+        Self { gains, noise_mw, interference_mw: vec![0.0; n], budget_mw }
+    }
+
+    /// Number of subcarriers.
+    pub fn len(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// `true` when there are no subcarriers.
+    pub fn is_empty(&self) -> bool {
+        self.gains.is_empty()
+    }
+
+    /// Effective noise-plus-interference on subcarrier `s`.
+    fn floor(&self, s: usize) -> f64 {
+        self.noise_mw + self.interference_mw[s]
+    }
+
+    /// SINR under equal power split (the stock-802.11 reference point).
+    pub fn equal_power_sinrs(&self) -> Vec<f64> {
+        let p = self.budget_mw / self.len() as f64;
+        (0..self.len()).map(|s| p * self.gains[s] / self.floor(s)).collect()
+    }
+}
+
+/// Result of allocating one stream.
+#[derive(Clone, Debug)]
+pub struct StreamAllocation {
+    /// Per-subcarrier powers, mW (zero = dropped).
+    pub powers: Vec<f64>,
+    /// Resulting per-subcarrier SINRs (zero on dropped subcarriers).
+    pub sinrs: Vec<f64>,
+    /// Predicted goodput of the best MCS, bits/s.
+    pub throughput_bps: f64,
+    /// The chosen MCS.
+    pub mcs: Mcs,
+    /// How many subcarriers were dropped.
+    pub dropped: usize,
+}
+
+impl StreamAllocation {
+    /// Total allocated power (should equal the budget unless everything was
+    /// dropped).
+    pub fn total_power_mw(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+}
+
+/// Algorithm 1 / Equi-SINR: sort subcarriers by SINR-per-unit-power, try
+/// every drop count, equalize SINR on the survivors, keep the
+/// throughput-maximizing choice.
+///
+/// With zero interference this is exactly the paper's Equi-SNR; with the
+/// interference vector filled in it is the Equi-SINR step of Figure 6.
+pub fn equi_sinr(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+    let n = problem.len();
+    assert!(n > 0, "allocation needs at least one subcarrier");
+
+    // Quality metric: achievable SINR per unit power.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let qa = problem.gains[a] / problem.floor(a);
+        let qb = problem.gains[b] / problem.floor(b);
+        qa.partial_cmp(&qb).unwrap()
+    });
+
+    let mut best: Option<StreamAllocation> = None;
+    // Drop the `i` worst subcarriers; equalize SINR on the rest:
+    //   p_j = S * floor_j / g_j,   S = P / sum(floor_j / g_j).
+    for drop in 0..n {
+        let survivors = &order[drop..];
+        let denom: f64 = survivors
+            .iter()
+            .map(|&s| problem.floor(s) / problem.gains[s].max(1e-300))
+            .sum();
+        if !denom.is_finite() || denom <= 0.0 {
+            continue;
+        }
+        let target_sinr = problem.budget_mw / denom;
+        let active = vec![target_sinr; survivors.len()];
+        let choice = model.best(&active, airtime);
+        if best
+            .as_ref()
+            .map(|b| choice.goodput_bps > b.throughput_bps)
+            .unwrap_or(true)
+        {
+            let mut powers = vec![0.0; n];
+            let mut sinrs = vec![0.0; n];
+            for &s in survivors {
+                powers[s] = target_sinr * problem.floor(s) / problem.gains[s].max(1e-300);
+                sinrs[s] = target_sinr;
+            }
+            best = Some(StreamAllocation {
+                powers,
+                sinrs,
+                throughput_bps: choice.goodput_bps,
+                mcs: choice.mcs,
+                dropped: drop,
+            });
+        }
+    }
+    best.expect("at least one drop count must evaluate")
+}
+
+/// Subcarrier *selection only*: drop the worst `i` subcarriers but split
+/// power equally among the survivors (no equalization). One of the two
+/// halves of Algorithm 1; the paper reports that either half alone yields
+/// 60-70% of the full improvement (section 4.2).
+pub fn selection_only(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+    let n = problem.len();
+    assert!(n > 0);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let qa = problem.gains[a] / problem.floor(a);
+        let qb = problem.gains[b] / problem.floor(b);
+        qa.partial_cmp(&qb).unwrap()
+    });
+    let mut best: Option<StreamAllocation> = None;
+    for drop in 0..n {
+        let survivors = &order[drop..];
+        let per = problem.budget_mw / survivors.len() as f64;
+        let sinr_of = |s: usize| per * problem.gains[s] / problem.floor(s);
+        let active: Vec<f64> = survivors.iter().map(|&s| sinr_of(s)).collect();
+        let choice = model.best(&active, airtime);
+        if best
+            .as_ref()
+            .map(|b| choice.goodput_bps > b.throughput_bps)
+            .unwrap_or(true)
+        {
+            let mut powers = vec![0.0; n];
+            let mut sinrs = vec![0.0; n];
+            for &s in survivors {
+                powers[s] = per;
+                sinrs[s] = sinr_of(s);
+            }
+            best = Some(StreamAllocation {
+                powers,
+                sinrs,
+                throughput_bps: choice.goodput_bps,
+                mcs: choice.mcs,
+                dropped: drop,
+            });
+        }
+    }
+    best.expect("non-empty problem")
+}
+
+/// Power *allocation only*: equalize SINR across all subcarriers but never
+/// drop any. The other half of Algorithm 1 (section 4.2).
+pub fn allocation_only(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+    let n = problem.len();
+    assert!(n > 0);
+    let denom: f64 = (0..n)
+        .map(|s| problem.floor(s) / problem.gains[s].max(1e-300))
+        .sum();
+    let target = problem.budget_mw / denom;
+    let powers: Vec<f64> = (0..n)
+        .map(|s| target * problem.floor(s) / problem.gains[s].max(1e-300))
+        .collect();
+    let sinrs = vec![target; n];
+    let choice = model.best(&sinrs, airtime);
+    StreamAllocation {
+        powers,
+        sinrs,
+        throughput_bps: choice.goodput_bps,
+        mcs: choice.mcs,
+        dropped: 0,
+    }
+}
+
+/// Stock 802.11: equal power on every subcarrier, no dropping. The starting
+/// point all COPA variants improve on.
+pub fn equal_power(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+    let n = problem.len();
+    let sinrs = problem.equal_power_sinrs();
+    let choice = model.best(&sinrs, airtime);
+    StreamAllocation {
+        powers: vec![problem.budget_mw / n as f64; n],
+        sinrs,
+        throughput_bps: choice.goodput_bps,
+        mcs: choice.mcs,
+        dropped: 0,
+    }
+}
+
+/// Classic Gaussian waterfilling: `p_j = max(0, mu - floor_j / g_j)`.
+/// Included as the baseline the paper notes "performs poorly for practical
+/// radios ... which transmit discrete constellations".
+pub fn waterfilling(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+    let n = problem.len();
+    let inv: Vec<f64> = (0..n)
+        .map(|s| problem.floor(s) / problem.gains[s].max(1e-300))
+        .collect();
+
+    // Find the water level by bisection on total power.
+    let mut lo = inv.iter().cloned().fold(f64::MAX, f64::min);
+    let mut hi = lo + problem.budget_mw + inv.iter().sum::<f64>();
+    for _ in 0..200 {
+        let mu = 0.5 * (lo + hi);
+        let used: f64 = inv.iter().map(|&v| (mu - v).max(0.0)).sum();
+        if used > problem.budget_mw {
+            hi = mu;
+        } else {
+            lo = mu;
+        }
+    }
+    let mu = 0.5 * (lo + hi);
+    let powers: Vec<f64> = inv.iter().map(|&v| (mu - v).max(0.0)).collect();
+    finish(problem, powers, model, airtime)
+}
+
+/// Mercury/waterfilling for a given constellation: the KKT condition is
+/// `g_j / floor_j * mmse(p_j g_j / floor_j) = lambda` for active subcarriers,
+/// `p_j = 0` where `g_j / floor_j <= lambda`. We bisect on `lambda` to meet
+/// the power budget; subcarrier selection falls out naturally.
+pub fn mercury_waterfilling(
+    problem: &StreamProblem,
+    curve: &MmseCurve,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
+    let n = problem.len();
+    let quality: Vec<f64> = (0..n)
+        .map(|s| problem.gains[s].max(1e-300) / problem.floor(s))
+        .collect();
+    let q_max = quality.iter().cloned().fold(0.0, f64::max);
+    if q_max <= 0.0 {
+        return equal_power(problem, model, airtime);
+    }
+
+    let power_for = |lambda: f64| -> Vec<f64> {
+        quality
+            .iter()
+            .map(|&q| {
+                if q <= lambda {
+                    0.0
+                } else {
+                    // p q = mmse^{-1}(lambda / q)  =>  p = snr / q.
+                    curve.mmse_inverse(lambda / q) / q
+                }
+            })
+            .collect()
+    };
+
+    // Bisect lambda in (0, q_max): smaller lambda -> more power used.
+    let mut lo = q_max * 1e-12;
+    let mut hi = q_max;
+    for _ in 0..80 {
+        let mid = (lo * hi).sqrt();
+        let used: f64 = power_for(mid).iter().sum();
+        if used > problem.budget_mw {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi / lo < 1.0 + 1e-12 {
+            break;
+        }
+    }
+    let mut powers = power_for((lo * hi).sqrt());
+    // Normalize exactly to the budget.
+    let used: f64 = powers.iter().sum();
+    if used > 0.0 {
+        let scale = problem.budget_mw / used;
+        for p in powers.iter_mut() {
+            *p *= scale;
+        }
+    }
+    finish_for_modulation(problem, powers, curve.modulation(), model, airtime)
+}
+
+/// Iterated mercury/waterfilling over all four constellations, with
+/// additional explicit drop counts layered on top (the paper's COPA+ uses
+/// "iterated mercury/waterfilling (including subcarrier selection)").
+pub fn mercury_best(
+    problem: &StreamProblem,
+    curves: &[MmseCurve],
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
+    let mut best: Option<StreamAllocation> = None;
+    for curve in curves {
+        let alloc = mercury_waterfilling(problem, curve, model, airtime);
+        if best
+            .as_ref()
+            .map(|b| alloc.throughput_bps > b.throughput_bps)
+            .unwrap_or(true)
+        {
+            best = Some(alloc);
+        }
+    }
+    // Also consider the Equi-SINR solution; mercury is not always better
+    // once the single-MCS constraint and FER model are applied.
+    let eq = equi_sinr(problem, model, airtime);
+    match best {
+        Some(b) if b.throughput_bps >= eq.throughput_bps => b,
+        _ => eq,
+    }
+}
+
+/// Evaluates a raw power vector: computes SINRs, picks the best MCS
+/// (restricted to `modulation` if given), and packages the allocation.
+fn finish(
+    problem: &StreamProblem,
+    powers: Vec<f64>,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
+    let sinrs: Vec<f64> = (0..problem.len())
+        .map(|s| powers[s] * problem.gains[s] / problem.floor(s))
+        .collect();
+    let active: Vec<f64> = sinrs.iter().cloned().filter(|&x| x > 0.0).collect();
+    let choice = model.best(&active, airtime);
+    let dropped = problem.len() - active.len();
+    StreamAllocation { powers, sinrs, throughput_bps: choice.goodput_bps, mcs: choice.mcs, dropped }
+}
+
+fn finish_for_modulation(
+    problem: &StreamProblem,
+    powers: Vec<f64>,
+    modulation: Modulation,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
+    let sinrs: Vec<f64> = (0..problem.len())
+        .map(|s| powers[s] * problem.gains[s] / problem.floor(s))
+        .collect();
+    let active: Vec<f64> = sinrs.iter().cloned().filter(|&x| x > 0.0).collect();
+    let dropped = problem.len() - active.len();
+    let choice = Mcs::TABLE
+        .iter()
+        .filter(|m| m.modulation == modulation)
+        .map(|&m| model.evaluate(m, &active, airtime))
+        .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
+        .expect("every modulation appears in the MCS table");
+    StreamAllocation { powers, sinrs, throughput_bps: choice.goodput_bps, mcs: choice.mcs, dropped }
+}
+
+/// Convenience: mean SINR in dB of an allocation's active subcarriers.
+pub fn mean_active_sinr_db(alloc: &StreamAllocation) -> f64 {
+    let active: Vec<f64> = alloc.sinrs.iter().cloned().filter(|&x| x > 0.0).collect();
+    copa_num::special::lin_to_db(mean(&active))
+}
+
+/// Builds a default-size problem from closures (testing convenience).
+pub fn problem_from_fn(
+    gain: impl Fn(usize) -> f64,
+    interference: impl Fn(usize) -> f64,
+    noise_mw: f64,
+    budget_mw: f64,
+) -> StreamProblem {
+    StreamProblem {
+        gains: (0..DATA_SUBCARRIERS).map(&gain).collect(),
+        noise_mw,
+        interference_mw: (0..DATA_SUBCARRIERS).map(&interference).collect(),
+        budget_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_num::special::db_to_lin;
+    use copa_num::SimRng;
+
+    const NOISE: f64 = 1e-9;
+    const BUDGET: f64 = 31.6 / 2.0; // half the 15 dBm budget (one of 2 streams)
+
+    fn rayleigh_problem(seed: u64) -> StreamProblem {
+        let mut rng = SimRng::seed_from(seed);
+        // Mean gain ~ -60 dBm rx at 15 dBm tx => gain ~ 3e-8; exponential
+        // (Rayleigh power) fading per subcarrier.
+        problem_from_fn(
+            |_| -rng.clone().uniform().ln() * 3e-8,
+            |_| 0.0,
+            NOISE,
+            BUDGET,
+        )
+    }
+
+    fn fading_problem(seed: u64) -> StreamProblem {
+        let mut rng = SimRng::seed_from(seed);
+        let gains: Vec<f64> = (0..DATA_SUBCARRIERS)
+            .map(|_| {
+                let u: f64 = rng.uniform().max(1e-9);
+                -u.ln() * 3e-8
+            })
+            .collect();
+        StreamProblem::interference_free(gains, NOISE, BUDGET)
+    }
+
+    #[test]
+    fn equi_snr_conserves_power() {
+        let p = fading_problem(1);
+        let model = ThroughputModel::default();
+        let a = equi_sinr(&p, &model, 1.0);
+        assert!((a.total_power_mw() - BUDGET).abs() < 1e-9 * BUDGET);
+    }
+
+    #[test]
+    fn equi_snr_equalizes_active_sinrs() {
+        let p = fading_problem(2);
+        let model = ThroughputModel::default();
+        let a = equi_sinr(&p, &model, 1.0);
+        let active: Vec<f64> = a.sinrs.iter().cloned().filter(|&x| x > 0.0).collect();
+        assert!(!active.is_empty());
+        let first = active[0];
+        for &s in &active {
+            assert!((s / first - 1.0).abs() < 1e-9, "SINRs not equalized");
+        }
+    }
+
+    #[test]
+    fn equi_snr_beats_equal_power_on_faded_channel() {
+        let model = ThroughputModel::default();
+        let mut wins = 0;
+        for seed in 0..20 {
+            let p = fading_problem(seed + 100);
+            let eq = equal_power(&p, &model, 1.0);
+            let es = equi_sinr(&p, &model, 1.0);
+            assert!(
+                es.throughput_bps >= eq.throughput_bps - 1.0,
+                "Equi-SNR must never lose to equal power (seed {seed})"
+            );
+            if es.throughput_bps > eq.throughput_bps * 1.001 {
+                wins += 1;
+            }
+        }
+        assert!(wins > 5, "Equi-SNR should strictly win on most faded channels, won {wins}/20");
+    }
+
+    #[test]
+    fn flat_channel_needs_no_dropping() {
+        let p = StreamProblem::interference_free(vec![3e-8; DATA_SUBCARRIERS], NOISE, BUDGET);
+        let model = ThroughputModel::default();
+        let a = equi_sinr(&p, &model, 1.0);
+        assert_eq!(a.dropped, 0);
+        let eq = equal_power(&p, &model, 1.0);
+        assert!((a.throughput_bps / eq.throughput_bps - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deep_fades_get_dropped() {
+        // A handful of catastrophic subcarriers should be dropped.
+        let mut gains = vec![3e-8; DATA_SUBCARRIERS];
+        for g in gains.iter_mut().take(6) {
+            *g = 3e-12; // 40 dB fade
+        }
+        let p = StreamProblem::interference_free(gains, NOISE, BUDGET);
+        let model = ThroughputModel::default();
+        let a = equi_sinr(&p, &model, 1.0);
+        assert!(a.dropped >= 4, "expected deep fades dropped, got {}", a.dropped);
+        for s in 0..6 {
+            assert_eq!(a.powers[s], 0.0, "deep-faded subcarrier {s} should get no power");
+        }
+    }
+
+    #[test]
+    fn equi_sinr_avoids_interfered_subcarriers() {
+        // Strong interference on half the band: those subcarriers should be
+        // dropped or heavily compensated.
+        let p = problem_from_fn(
+            |_| 3e-8,
+            |s| if s < 26 { 1e-7 } else { 0.0 },
+            NOISE,
+            BUDGET,
+        );
+        let model = ThroughputModel::default();
+        let a = equi_sinr(&p, &model, 1.0);
+        // Equalization puts more power where interference is, OR drops them;
+        // either way the clean half never gets less power than a dirty
+        // active subcarrier's clean-equivalent.
+        assert!(a.throughput_bps > 0.0);
+        let interfered_active: Vec<usize> =
+            (0..26).filter(|&s| a.powers[s] > 0.0).collect();
+        for &s in &interfered_active {
+            assert!(a.powers[s] > a.powers[30], "interfered active subcarriers need more power");
+        }
+    }
+
+    #[test]
+    fn waterfilling_conserves_power_and_fills_strong_subcarriers() {
+        let p = fading_problem(7);
+        let model = ThroughputModel::default();
+        let a = waterfilling(&p, &model, 1.0);
+        assert!((a.total_power_mw() - BUDGET).abs() < 1e-6 * BUDGET);
+        // Waterfilling gives MORE power to better subcarriers (opposite of
+        // Equi-SNR's inversion) -- check correlation sign.
+        let mut cov = 0.0;
+        let gm = mean(&p.gains);
+        let pm = mean(&a.powers);
+        for s in 0..p.len() {
+            cov += (p.gains[s] - gm) * (a.powers[s] - pm);
+        }
+        assert!(cov > 0.0, "waterfilling should favor strong subcarriers");
+    }
+
+    #[test]
+    fn mercury_conserves_budget_and_is_competitive() {
+        let model = ThroughputModel::default();
+        let curves: Vec<MmseCurve> = Modulation::ALL.iter().map(|&m| MmseCurve::new(m)).collect();
+        for seed in 0..5 {
+            let p = fading_problem(seed + 300);
+            let a = mercury_best(&p, &curves, &model, 1.0);
+            assert!(a.total_power_mw() <= BUDGET * (1.0 + 1e-6));
+            let eq = equal_power(&p, &model, 1.0);
+            assert!(
+                a.throughput_bps >= eq.throughput_bps * 0.99,
+                "mercury should not lose to equal power (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn low_snr_drops_more() {
+        let model = ThroughputModel::default();
+        let p_hi = fading_problem(42);
+        let mut p_lo = p_hi.clone();
+        // 25 dB less power available.
+        p_lo.budget_mw *= db_to_lin(-25.0);
+        let a_hi = equi_sinr(&p_hi, &model, 1.0);
+        let a_lo = equi_sinr(&p_lo, &model, 1.0);
+        assert!(a_lo.throughput_bps < a_hi.throughput_bps);
+        assert!(a_lo.dropped >= a_hi.dropped);
+    }
+
+
+    #[test]
+    fn halves_of_algorithm1_are_partial() {
+        // Section 4.2: "either one, by itself gives about 60-70% of the
+        // improvement, but both are needed together for the full benefits".
+        // On faded channels the combined allocator must dominate both
+        // halves, and each half must dominate equal power.
+        let model = ThroughputModel::default();
+        let mut sel_wins = 0.0;
+        let mut alloc_wins = 0.0;
+        let mut n = 0.0;
+        for seed in 0..25 {
+            let p = fading_problem(seed + 900);
+            let eq = equal_power(&p, &model, 1.0).throughput_bps;
+            let full = equi_sinr(&p, &model, 1.0).throughput_bps;
+            let sel = selection_only(&p, &model, 1.0).throughput_bps;
+            let alloc = allocation_only(&p, &model, 1.0).throughput_bps;
+            assert!(sel >= eq - 1.0, "selection-only should not lose to equal power");
+            assert!(full >= sel - 1.0, "full algorithm dominates selection-only");
+            assert!(full >= alloc - 1.0, "full algorithm dominates allocation-only");
+            if full > eq * 1.001 {
+                sel_wins += (sel - eq) / (full - eq);
+                alloc_wins += (alloc - eq) / (full - eq);
+                n += 1.0;
+            }
+        }
+        assert!(n > 5.0, "need improving cases to measure");
+        let sel_frac = sel_wins / n;
+        let alloc_frac = alloc_wins / n;
+        // Selection alone captures the majority of the gain. (The paper
+        // reports 60-70% for *each* half on its testbed channels; in our
+        // more deeply faded synthetic channels, equalization without
+        // dropping wastes its budget on 40 dB fades and captures much
+        // less -- see EXPERIMENTS.md.)
+        assert!(sel_frac > 0.5 && sel_frac <= 1.0, "selection-only share {sel_frac:.2}");
+        assert!((0.0..=1.0).contains(&alloc_frac), "allocation-only share {alloc_frac:.2}");
+    }
+
+    #[test]
+    fn allocation_only_never_drops() {
+        let p = fading_problem(55);
+        let model = ThroughputModel::default();
+        let a = allocation_only(&p, &model, 1.0);
+        assert_eq!(a.dropped, 0);
+        assert!(a.powers.iter().all(|&x| x > 0.0));
+        assert!((a.total_power_mw() - p.budget_mw).abs() < 1e-9 * p.budget_mw);
+    }
+
+    #[test]
+    fn selection_only_splits_equally_among_survivors() {
+        let p = fading_problem(56);
+        let model = ThroughputModel::default();
+        let a = selection_only(&p, &model, 1.0);
+        let active: Vec<f64> = a.powers.iter().cloned().filter(|&x| x > 0.0).collect();
+        let first = active[0];
+        assert!(active.iter().all(|&x| (x - first).abs() < 1e-12));
+        assert!((a.total_power_mw() - p.budget_mw).abs() < 1e-9 * p.budget_mw);
+    }
+
+    #[test]
+    fn rayleigh_smoke() {
+        // Just ensure the randomized constructor path works end to end.
+        let p = rayleigh_problem(9);
+        let model = ThroughputModel::default();
+        let a = equi_sinr(&p, &model, 0.88);
+        assert!(a.throughput_bps > 0.0);
+        assert!(mean_active_sinr_db(&a).is_finite());
+    }
+}

@@ -1,0 +1,125 @@
+//! Radio impairments: why nulling is imperfect in practice.
+//!
+//! Section 2.2 of the paper attributes residual interference after nulling
+//! to "receiver noise when measuring the channel state in order to calculate
+//! the nulling phase and transmitter imperfections and noise when sending
+//! the nulled signal". We model exactly those two sources, plus the carrier
+//! leakage floor that bounds how completely a *dropped* subcarrier can be
+//! silenced (-27 dB per the Maxim 2829 datasheet the paper cites):
+//!
+//! * **CSI estimation error** -- the channel used to compute precoders is
+//!   `H + E` with `E` white complex Gaussian at a fixed power relative to
+//!   the link's mean gain. Deep-faded subcarriers therefore have relatively
+//!   worse CSI, which is what makes nulling depth vary across subcarriers.
+//! * **Transmit EVM** -- each antenna radiates noise proportional to its
+//!   signal power. EVM noise is not shaped by the precoder, so it leaks to
+//!   the victim receiver through the raw channel and floors the null depth.
+//! * **Carrier leakage** -- a subcarrier allocated zero power still radiates
+//!   `leakage_db` below the average per-subcarrier level.
+//!
+//! Defaults are calibrated so the end-to-end nulling statistics match the
+//! paper's Figure 3 (~27 dB mean INR reduction, ~8 dB collateral SNR loss).
+
+use crate::multipath::FreqChannel;
+use copa_num::rng::SimRng;
+use copa_num::special::db_to_lin;
+
+/// The impairment model shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Impairments {
+    /// CSI estimation error power relative to the link's mean per-entry
+    /// channel gain, in dB (negative).
+    pub csi_error_db: f64,
+    /// Transmit error-vector magnitude: radiated noise power relative to
+    /// the transmitted signal power, in dB (negative).
+    pub tx_evm_db: f64,
+    /// Residual radiation on a zero-power subcarrier relative to the
+    /// average per-subcarrier transmit level, in dB (negative).
+    pub leakage_db: f64,
+}
+
+impl Default for Impairments {
+    fn default() -> Self {
+        Self { csi_error_db: -28.0, tx_evm_db: -28.0, leakage_db: -27.0 }
+    }
+}
+
+impl Impairments {
+    /// An idealized radio with no impairments (perfect CSI, no EVM, no
+    /// leakage) -- useful for isolating algorithmic effects in tests.
+    pub fn ideal() -> Self {
+        Self { csi_error_db: -300.0, tx_evm_db: -300.0, leakage_db: -300.0 }
+    }
+
+    /// Linear EVM noise-to-signal power ratio.
+    pub fn evm_factor(&self) -> f64 {
+        db_to_lin(self.tx_evm_db)
+    }
+
+    /// Linear leakage power factor for dropped subcarriers.
+    pub fn leakage_factor(&self) -> f64 {
+        db_to_lin(self.leakage_db)
+    }
+
+    /// Produces the *estimated* channel an AP would compute precoders from:
+    /// the true channel plus white estimation noise whose per-entry power is
+    /// `csi_error_db` relative to the link's mean gain.
+    pub fn estimate_channel(&self, rng: &mut SimRng, truth: &FreqChannel) -> FreqChannel {
+        let err_power = truth.mean_gain() * db_to_lin(self.csi_error_db);
+        let sigma = err_power.sqrt();
+        truth.map(|_, h| {
+            copa_num::matrix::CMat::from_fn(h.rows(), h.cols(), |r, t| {
+                h[(r, t)] + rng.randc().scale(sigma)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipath::MultipathProfile;
+    use copa_phy::ofdm::DATA_SUBCARRIERS;
+
+    #[test]
+    fn estimate_error_has_requested_power() {
+        let mut rng = SimRng::seed_from(31);
+        let ch = FreqChannel::random(&mut rng, 2, 4, 1e-6, &MultipathProfile::default());
+        let imp = Impairments { csi_error_db: -20.0, ..Default::default() };
+        // Average the realized error power across several estimates.
+        let mut err_sum = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            let est = imp.estimate_channel(&mut rng, &ch);
+            let err: f64 = (0..DATA_SUBCARRIERS)
+                .map(|s| (&est.at(s).clone() - ch.at(s)).frobenius_norm_sqr())
+                .sum::<f64>()
+                / (DATA_SUBCARRIERS * 8) as f64;
+            err_sum += err;
+        }
+        let avg_err = err_sum / n as f64;
+        let target = ch.mean_gain() * db_to_lin(-20.0);
+        assert!(
+            (avg_err / target - 1.0).abs() < 0.1,
+            "error power {avg_err:e} vs target {target:e}"
+        );
+    }
+
+    #[test]
+    fn ideal_estimation_is_exact() {
+        let mut rng = SimRng::seed_from(32);
+        let ch = FreqChannel::random(&mut rng, 2, 2, 1.0, &MultipathProfile::default());
+        let est = Impairments::ideal().estimate_channel(&mut rng, &ch);
+        for s in 0..DATA_SUBCARRIERS {
+            assert!(est.at(s).approx_eq(ch.at(s), 1e-12));
+        }
+    }
+
+    #[test]
+    fn factors_convert_correctly() {
+        let imp = Impairments::default();
+        assert!((10.0 * imp.evm_factor().log10() - imp.tx_evm_db).abs() < 1e-9);
+        assert!((10.0 * imp.leakage_factor().log10() + 27.0).abs() < 1e-9);
+        assert!(Impairments::ideal().evm_factor() < 1e-25);
+    }
+}

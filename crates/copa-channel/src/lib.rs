@@ -1,0 +1,23 @@
+//! # copa-channel
+//!
+//! Wireless channel simulator substituting for the paper's WARP v2 office
+//! testbed:
+//!
+//! * [`multipath`] -- tapped-delay-line frequency-selective MIMO channels
+//!   (the narrow-band fading of the paper's Figure 2).
+//! * [`pathloss`] -- log-distance path loss with lognormal shadowing.
+//! * [`topology`] -- two-AP / two-client topology suites matching the
+//!   paper's Figure 9 signal/interference scatter.
+//! * [`impairments`] -- CSI estimation noise, transmit EVM and carrier
+//!   leakage: the reasons nulling leaves residual interference (section 2.2).
+
+#![warn(missing_docs)]
+
+pub mod impairments;
+pub mod multipath;
+pub mod pathloss;
+pub mod topology;
+
+pub use impairments::Impairments;
+pub use multipath::{FreqChannel, MultipathProfile};
+pub use topology::{AntennaConfig, Topology, TopologySampler};

@@ -1,0 +1,116 @@
+//! Large-scale propagation: log-distance path loss with lognormal shadowing.
+//!
+//! Used by the topology generator to turn node placements into average
+//! received powers whose joint (signal, interference) distribution matches
+//! the paper's Figure 9 scatter.
+
+use copa_num::rng::SimRng;
+
+/// Log-distance path-loss model:
+/// `PL(d) = PL(d0) + 10 n log10(d / d0) + X_sigma`.
+#[derive(Clone, Copy, Debug)]
+pub struct PathLossModel {
+    /// Reference path loss at `d0 = 1 m`, in dB (2.4 GHz free space: ~40 dB).
+    pub pl0_db: f64,
+    /// Path-loss exponent (indoor office: 3-4).
+    pub exponent: f64,
+    /// Shadowing standard deviation in dB.
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for PathLossModel {
+    /// Indoor office defaults: 40 dB at 1 m, exponent 3.5, 4 dB shadowing.
+    fn default() -> Self {
+        Self { pl0_db: 40.0, exponent: 3.5, shadowing_sigma_db: 4.0 }
+    }
+}
+
+impl PathLossModel {
+    /// Mean path loss at distance `d_m` meters (no shadowing), in dB.
+    pub fn mean_loss_db(&self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0, "distance must be positive");
+        self.pl0_db + 10.0 * self.exponent * (d_m.max(1.0)).log10()
+    }
+
+    /// Path loss with a shadowing draw, in dB.
+    pub fn sample_loss_db(&self, rng: &mut SimRng, d_m: f64) -> f64 {
+        self.mean_loss_db(d_m) + rng.randn() * self.shadowing_sigma_db
+    }
+
+    /// Received power in dBm for a transmitter at `tx_dbm`.
+    pub fn received_dbm(&self, rng: &mut SimRng, tx_dbm: f64, d_m: f64) -> f64 {
+        tx_dbm - self.sample_loss_db(rng, d_m)
+    }
+}
+
+/// A 2-D position in meters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_increases_with_distance() {
+        let m = PathLossModel::default();
+        let mut prev = 0.0;
+        for d in [1.0, 2.0, 5.0, 10.0, 30.0] {
+            let l = m.mean_loss_db(d);
+            assert!(l > prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn loss_follows_exponent() {
+        let m = PathLossModel { pl0_db: 40.0, exponent: 3.0, shadowing_sigma_db: 0.0 };
+        // x10 distance -> 30 dB with n = 3.
+        let diff = m.mean_loss_db(20.0) - m.mean_loss_db(2.0);
+        assert!((diff - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = PathLossModel { pl0_db: 40.0, exponent: 3.0, shadowing_sigma_db: 6.0 };
+        let mut rng = SimRng::seed_from(9);
+        let samples: Vec<f64> = (0..20_000).map(|_| m.sample_loss_db(&mut rng, 10.0)).collect();
+        let mean = copa_num::stats::mean(&samples);
+        let sd = copa_num::stats::std_dev(&samples);
+        assert!((mean - m.mean_loss_db(10.0)).abs() < 0.2);
+        assert!((sd - 6.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn received_power_is_tx_minus_loss() {
+        let m = PathLossModel { pl0_db: 40.0, exponent: 3.0, shadowing_sigma_db: 0.0 };
+        let mut rng = SimRng::seed_from(10);
+        let rx = m.received_dbm(&mut rng, 15.0, 10.0);
+        assert!((rx - (15.0 - 70.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_meter_distances_clamp() {
+        let m = PathLossModel::default();
+        assert_eq!(m.mean_loss_db(0.5), m.mean_loss_db(1.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the channel simulator.
+
+use copa_channel::{FreqChannel, MultipathProfile, TopologySampler, AntennaConfig};
+use copa_num::SimRng;
+use copa_phy::ofdm::DATA_SUBCARRIERS;
+use proptest::prelude::*;
+
+fn profile() -> impl Strategy<Value = MultipathProfile> {
+    (1usize..16, 20e-9f64..200e-9, 0.0f64..4.0).prop_map(|(taps, rms, k)| MultipathProfile {
+        taps,
+        rms_delay_spread_s: rms,
+        rician_k: k,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tap_powers_always_normalized(p in profile()) {
+        let tp = p.tap_powers();
+        prop_assert_eq!(tp.len(), p.taps);
+        prop_assert!((tp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(tp.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn channel_shape_and_finiteness(seed in any::<u64>(), p in profile(), rx in 1usize..4, tx in 1usize..5) {
+        let ch = FreqChannel::random(&mut SimRng::seed_from(seed), rx, tx, 1e-6, &p);
+        prop_assert_eq!(ch.rx(), rx);
+        prop_assert_eq!(ch.tx(), tx);
+        for s in 0..DATA_SUBCARRIERS {
+            prop_assert_eq!((ch.at(s).rows(), ch.at(s).cols()), (rx, tx));
+            prop_assert!(ch.at(s).as_slice().iter().all(|z| z.is_finite()));
+        }
+    }
+
+    #[test]
+    fn scale_power_is_linear(seed in any::<u64>(), f in 0.001f64..100.0) {
+        let ch = FreqChannel::random(&mut SimRng::seed_from(seed), 2, 2, 1e-6, &MultipathProfile::default());
+        let scaled = ch.scale_power(f);
+        prop_assert!((scaled.mean_gain() / ch.mean_gain() - f).abs() < 1e-9 * f);
+    }
+
+    #[test]
+    fn evolve_rho_one_is_identity(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let p = MultipathProfile::default();
+        let ch = FreqChannel::random(&mut rng, 2, 2, 1e-6, &p);
+        let same = ch.evolve(&mut rng, 1.0, &p);
+        for s in [0usize, 26, 51] {
+            prop_assert!(same.at(s).approx_eq(ch.at(s), 1e-12));
+        }
+    }
+
+    #[test]
+    fn evolve_preserves_mean_energy(seed in any::<u64>(), rho in 0.0f64..1.0) {
+        // Gauss-Markov mixing preserves expected energy; any single draw
+        // stays within a loose band.
+        let mut rng = SimRng::seed_from(seed);
+        let p = MultipathProfile::default();
+        let ch = FreqChannel::random(&mut rng, 2, 2, 1e-6, &p);
+        let evolved = ch.evolve(&mut rng, rho, &p);
+        let ratio = evolved.mean_gain() / ch.mean_gain();
+        prop_assert!(ratio > 0.05 && ratio < 20.0, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn weaker_interference_only_touches_cross_links(seed in any::<u64>(), delta in 0.0f64..30.0) {
+        let t = TopologySampler::default()
+            .suite(seed, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let w = t.with_weaker_interference(delta);
+        prop_assert_eq!(w.links[0][0].mean_gain(), t.links[0][0].mean_gain());
+        prop_assert_eq!(w.links[1][1].mean_gain(), t.links[1][1].mean_gain());
+        let expect = copa_num::special::db_to_lin(-delta);
+        prop_assert!((w.links[0][1].mean_gain() / t.links[0][1].mean_gain() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_topologies_match_declared_powers(seed in any::<u64>()) {
+        let t = TopologySampler::default()
+            .suite(seed, 1, AntennaConfig::SINGLE)
+            .remove(0);
+        for i in 0..2 {
+            prop_assert!(t.signal_dbm[i] < 0.0 && t.signal_dbm[i] > -100.0);
+            prop_assert!(t.interference_dbm[i] < t.signal_dbm[i] + 7.0);
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The Figure 8 strategy engine.
+//!
+//! For each topology the engine builds beamforming and nulling precoders
+//! from estimated CSI, runs the power allocators for every candidate
+//! strategy, evaluates the *true* resulting SINRs at both clients, predicts
+//! per-client throughput including MAC overhead, and finally picks the best
+//! strategy -- either maximizing aggregate throughput ("COPA") or subject to
+//! the incentive-compatibility constraint that no client does worse than
+//! the sequential fallback ("COPA fair", section 3.5).
+
+use crate::scenario::{prepare, PreparedScenario, ScenarioParams};
+use crate::strategy::{Outcome, Strategy};
+use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
+use copa_alloc::stream::{equi_sinr, mercury_best, StreamProblem};
+use copa_channel::Topology;
+use copa_mac::overhead::{airtime_efficiency, OverheadConfig, Scheme};
+use copa_phy::mmse_curves::MmseCurve;
+use copa_phy::modulation::Modulation;
+use copa_phy::ofdm::DATA_SUBCARRIERS;
+use copa_precoding::beamforming::beamform;
+use copa_precoding::nulling::null_toward;
+use copa_precoding::sda::antenna_to_keep;
+use copa_precoding::sinr::{active_cells, mmse_sinr_grid, TxSide};
+use copa_precoding::{LinkPrecoding, TxPowers};
+
+/// How the receiver decodes (section 4.6): one decoder for the whole frame
+/// (stock 802.11) or one decoder per coding rate, enabling per-subcarrier
+/// rate adaptation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecoderMode {
+    /// Single decoder: one MCS across all subcarriers (the 802.11 reality).
+    Single,
+    /// Per-subcarrier MCS (the paper's multi-decoder what-if).
+    PerSubcarrier,
+}
+
+/// Full evaluation of one topology.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Every strategy evaluated, in menu order.
+    pub outcomes: Vec<Outcome>,
+    /// Stock CSMA baseline.
+    pub csma: Outcome,
+    /// COPA-SEQ (also the fairness reference).
+    pub copa_seq: Outcome,
+    /// Vanilla nulling baseline (None when nulling is impossible, e.g. 1x1).
+    pub vanilla_null: Option<Outcome>,
+    /// COPA's aggregate-maximizing choice.
+    pub copa: Outcome,
+    /// COPA restricted to incentive-compatible strategies.
+    pub copa_fair: Outcome,
+    /// COPA+ (with mercury/waterfilling), when enabled in the params.
+    pub copa_plus: Option<Outcome>,
+    /// COPA+ fair variant, when enabled.
+    pub copa_plus_fair: Option<Outcome>,
+}
+
+impl Evaluation {
+    /// Looks up the outcome of a specific strategy, if it was feasible.
+    pub fn outcome(&self, s: Strategy) -> Option<&Outcome> {
+        self.outcomes.iter().find(|o| o.strategy == s)
+    }
+}
+
+/// The strategy engine. Construct once, evaluate many topologies.
+pub struct Engine {
+    params: ScenarioParams,
+    curves: Vec<MmseCurve>,
+}
+
+impl Engine {
+    /// Builds an engine; constructs the mercury MMSE curves only when the
+    /// params ask for COPA+.
+    pub fn new(params: ScenarioParams) -> Self {
+        let curves = if params.include_mercury {
+            Modulation::ALL.iter().map(|&m| MmseCurve::new(m)).collect()
+        } else {
+            Vec::new()
+        };
+        Self { params, curves }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &ScenarioParams {
+        &self.params
+    }
+
+    /// Evaluates a topology with the stock single decoder.
+    pub fn evaluate(&self, topology: &Topology) -> Evaluation {
+        self.evaluate_mode(topology, DecoderMode::Single)
+    }
+
+    /// Evaluates a topology under the given decoder mode.
+    pub fn evaluate_mode(&self, topology: &Topology, mode: DecoderMode) -> Evaluation {
+        let p = prepare(topology, &self.params);
+        self.evaluate_prepared(&p, mode)
+    }
+
+    /// Evaluates an already-prepared scenario (lets callers substitute their
+    /// own CSI estimates, e.g. CSI that round-tripped through the ITS
+    /// compression pipeline).
+    pub fn evaluate_prepared(&self, p: &PreparedScenario, mode: DecoderMode) -> Evaluation {
+        let csma = self.eval_sequential(p, Strategy::Csma, mode);
+        let copa_seq = self.eval_sequential(p, Strategy::CopaSeq, mode);
+        let vanilla_null = self.eval_concurrent(p, Strategy::VanillaNull, mode);
+
+        let mut outcomes = vec![csma, copa_seq];
+        if let Some(v) = vanilla_null {
+            outcomes.push(v);
+        }
+
+        let menu: &[Strategy] = if self.params.include_mercury {
+            Strategy::copa_plus_menu()
+        } else {
+            Strategy::copa_menu()
+        };
+        for &s in menu {
+            if s == Strategy::CopaSeq {
+                continue; // already evaluated
+            }
+            let out = match s {
+                Strategy::SeqMercury => Some(self.eval_sequential(p, s, mode)),
+                _ => self.eval_concurrent(p, s, mode),
+            };
+            if let Some(o) = out {
+                outcomes.push(o);
+            }
+        }
+
+        let pick = |candidates: &[Strategy], fair: bool| -> Outcome {
+            let mut best = copa_seq;
+            for o in &outcomes {
+                if !candidates.contains(&o.strategy) {
+                    continue;
+                }
+                if fair && !o.incentive_compatible_vs(&copa_seq) {
+                    continue;
+                }
+                if o.aggregate_bps() > best.aggregate_bps() {
+                    best = *o;
+                }
+            }
+            best
+        };
+
+        let copa = pick(Strategy::copa_menu(), false);
+        let copa_fair = pick(Strategy::copa_menu(), true);
+        let (copa_plus, copa_plus_fair) = if self.params.include_mercury {
+            (
+                Some(pick(Strategy::copa_plus_menu(), false)),
+                Some(pick(Strategy::copa_plus_menu(), true)),
+            )
+        } else {
+            (None, None)
+        };
+
+        Evaluation { outcomes, csma, copa_seq, vanilla_null, copa, copa_fair, copa_plus, copa_plus_fair }
+    }
+
+    fn overhead_config(&self, topo: &Topology, streams: usize) -> OverheadConfig {
+        OverheadConfig {
+            ap_antennas: topo.config.ap_antennas,
+            client_antennas: topo.config.client_antennas,
+            streams,
+        }
+    }
+
+    fn goodput(&self, cells: &[f64], eff: f64, mode: DecoderMode) -> f64 {
+        match mode {
+            DecoderMode::Single => self.params.model.best(cells, eff).goodput_bps,
+            DecoderMode::PerSubcarrier => self.params.model.multi_decoder_goodput(cells, eff),
+        }
+    }
+
+    /// Sequential strategies: each AP transmits alone half the time.
+    fn eval_sequential(&self, p: &PreparedScenario, strategy: Strategy, mode: DecoderMode) -> Outcome {
+        let topo = &p.topology;
+        let streams = topo.config.max_streams();
+        let scheme = match strategy {
+            Strategy::Csma => Scheme::CsmaCtsSelf,
+            _ => Scheme::CopaSequential,
+        };
+        let eff = airtime_efficiency(scheme, &self.overhead_config(topo, streams), self.params.coherence_us);
+        let noise = topo.noise_per_subcarrier_mw();
+        let budget = topo.tx_budget_mw();
+
+        let mut per_client = [0.0; 2];
+        for i in 0..2 {
+            let pre = beamform(&p.est[i][i], streams);
+            let powers = match strategy {
+                Strategy::Csma => TxPowers::equal(streams, budget),
+                Strategy::SeqMercury => self.alloc_streams(&pre, noise, budget, None, AllocatorKind::Mercury, eff),
+                _ => self.alloc_streams(&pre, noise, budget, None, AllocatorKind::EquiSinr, eff),
+            };
+            let own = TxSide { channel: &topo.links[i][i], precoding: &pre, powers: &powers, budget_mw: budget };
+            let grid = mmse_sinr_grid(&own, None, noise, &self.params.impairments);
+            let cells = active_cells(&grid, &powers);
+            // Half the medium time each.
+            per_client[i] = 0.5 * self.goodput(&cells, eff, mode);
+        }
+        Outcome { strategy, per_client_bps: per_client }
+    }
+
+    /// Allocates every stream of one AP independently (used by sequential
+    /// strategies; `interference` per subcarrier if any).
+    fn alloc_streams(
+        &self,
+        pre: &LinkPrecoding,
+        noise: f64,
+        budget: f64,
+        interference: Option<&[f64]>,
+        kind: AllocatorKind,
+        eff: f64,
+    ) -> TxPowers {
+        let streams = pre.streams();
+        let mut rows = Vec::with_capacity(streams);
+        for k in 0..streams {
+            let problem = StreamProblem {
+                gains: pre.stream_gains[k].clone(),
+                noise_mw: noise,
+                interference_mw: interference
+                    .map(|v| v.to_vec())
+                    .unwrap_or_else(|| vec![0.0; DATA_SUBCARRIERS]),
+                budget_mw: budget / streams as f64,
+            };
+            let alloc = match kind {
+                AllocatorKind::EquiSinr => equi_sinr(&problem, &self.params.model, eff),
+                AllocatorKind::Mercury => mercury_best(&problem, &self.curves, &self.params.model, eff),
+            };
+            rows.push(alloc.powers);
+        }
+        TxPowers { powers: rows }
+    }
+
+    /// Concurrent strategies. Returns `None` when the precoders are
+    /// infeasible (e.g. nulling with single-antenna APs).
+    fn eval_concurrent(&self, p: &PreparedScenario, strategy: Strategy, mode: DecoderMode) -> Option<Outcome> {
+        let nulling = matches!(
+            strategy,
+            Strategy::VanillaNull | Strategy::ConcurrentNull | Strategy::ConcurrentNullMercury
+        );
+
+        if nulling {
+            // Full-rank symmetric nulling (e.g. 4x2: two streams each while
+            // nulling both victim antennas) when the degrees of freedom
+            // allow it.
+            if let Some(out) = self.eval_concurrent_setup(p, strategy, mode, None, true) {
+                return Some(out);
+            }
+            // Overconstrained (section 3.4): shut down a victim antenna.
+            // DCF randomizes who leads, so average both role assignments.
+            let a = self.eval_concurrent_setup(p, strategy, mode, Some(0), false);
+            let b = self.eval_concurrent_setup(p, strategy, mode, Some(1), false);
+            let sda = match (a, b) {
+                (Some(x), Some(y)) => Some(Outcome {
+                    strategy,
+                    per_client_bps: [
+                        0.5 * (x.per_client_bps[0] + y.per_client_bps[0]),
+                        0.5 * (x.per_client_bps[1] + y.per_client_bps[1]),
+                    ],
+                }),
+                _ => None,
+            };
+            // The paper's "Null+SDA" baseline is SDA specifically.
+            if strategy == Strategy::VanillaNull {
+                return sda;
+            }
+            // COPA's engine also considers the symmetric reduced-rank
+            // option (one nulled stream each) and keeps the better.
+            let reduced = self.eval_concurrent_setup(p, strategy, mode, None, false);
+            return match (sda, reduced) {
+                (Some(x), Some(y)) => {
+                    Some(if x.aggregate_bps() >= y.aggregate_bps() { x } else { y })
+                }
+                (x, y) => x.or(y),
+            };
+        }
+        self.eval_concurrent_setup(p, strategy, mode, None, false)
+    }
+
+    /// One concurrent configuration. `sda_leader = Some(l)` means AP `l`
+    /// leads and the *other* AP's client shuts down its weaker antennas so
+    /// that nulling becomes feasible (section 3.4).
+    fn eval_concurrent_setup(
+        &self,
+        p: &PreparedScenario,
+        strategy: Strategy,
+        mode: DecoderMode,
+        sda_leader: Option<usize>,
+        require_full_rank: bool,
+    ) -> Option<Outcome> {
+        let topo = &p.topology;
+        let noise = topo.noise_per_subcarrier_mw();
+        let budget = topo.tx_budget_mw();
+        let nulling = matches!(
+            strategy,
+            Strategy::VanillaNull | Strategy::ConcurrentNull | Strategy::ConcurrentNullMercury
+        );
+
+        // Estimated channels, with the SDA row reduction applied to every
+        // channel *into* the reduced client.
+        let mut est_own = [p.est[0][0].clone(), p.est[1][1].clone()];
+        let mut est_cross = [p.est[0][1].clone(), p.est[1][0].clone()]; // [i] = AP i -> other client
+        let mut true_own = [topo.links[0][0].clone(), topo.links[1][1].clone()];
+        let mut true_cross = [topo.links[0][1].clone(), topo.links[1][0].clone()];
+        if let Some(leader) = sda_leader {
+            let follower = 1 - leader;
+            let keep = antenna_to_keep(&p.est[follower][follower]);
+            est_own[follower] = est_own[follower].select_rx(&[keep]);
+            est_cross[leader] = est_cross[leader].select_rx(&[keep]);
+            true_own[follower] = true_own[follower].select_rx(&[keep]);
+            true_cross[leader] = true_cross[leader].select_rx(&[keep]);
+        }
+
+        // Precoders: most streams each side can sustain.
+        let mut pres: Vec<LinkPrecoding> = Vec::with_capacity(2);
+        for i in 0..2 {
+            let max_streams = est_own[i].rx().min(est_own[i].tx());
+            let pre = if nulling {
+                // Highest stream count that still permits nulling; with
+                // `require_full_rank`, only the full stream count will do.
+                let pre = (1..=max_streams)
+                    .rev()
+                    .find_map(|k| null_toward(&est_own[i], &est_cross[i], k))?;
+                if require_full_rank && pre.streams() < max_streams {
+                    return None;
+                }
+                pre
+            } else {
+                beamform(&est_own[i], max_streams)
+            };
+            pres.push(pre);
+        }
+
+        // Cross-gain predictions for the allocator: residual leakage of each
+        // stream at the victim, plus the EVM floor the radio specs promise.
+        let evm = self.params.impairments.evm_factor();
+        let cross_gain = |i: usize, pre: &LinkPrecoding| -> Vec<Vec<f64>> {
+            let hx = &est_cross[i];
+            (0..pre.streams())
+                .map(|k| {
+                    (0..DATA_SUBCARRIERS)
+                        .map(|s| {
+                            let w = pre.precoder[s].column(k);
+                            let leak = hx.at(s).matmul(&w).frobenius_norm_sqr();
+                            let evm_floor = evm * hx.at(s).frobenius_norm_sqr() / hx.tx() as f64;
+                            leak + evm_floor
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        let streams = topo.config.max_streams();
+        let eff = airtime_efficiency(
+            Scheme::CopaConcurrent,
+            &self.overhead_config(topo, streams),
+            self.params.coherence_us,
+        );
+
+        let powers: [TxPowers; 2] = match strategy {
+            Strategy::VanillaNull => [
+                TxPowers::equal(pres[0].streams(), budget),
+                TxPowers::equal(pres[1].streams(), budget),
+            ],
+            _ => {
+                let kind = if strategy.is_mercury() {
+                    AllocatorKind::Mercury
+                } else {
+                    AllocatorKind::EquiSinr
+                };
+                let problem = ConcurrentProblem {
+                    own_gains: [pres[0].stream_gains.clone(), pres[1].stream_gains.clone()],
+                    cross_gains: [cross_gain(0, &pres[0]), cross_gain(1, &pres[1])],
+                    noise_mw: noise,
+                    budgets_mw: [budget, budget],
+                };
+                let sol = allocate_concurrent(&problem, kind, &self.curves, &self.params.model, eff);
+                sol.powers
+            }
+        };
+
+        // Ground-truth evaluation at both clients.
+        let mut per_client = [0.0; 2];
+        for i in 0..2 {
+            let own = TxSide {
+                channel: &true_own[i],
+                precoding: &pres[i],
+                powers: &powers[i],
+                budget_mw: budget,
+            };
+            let j = 1 - i;
+            let int = TxSide {
+                channel: &true_cross[j], // AP j -> client i
+                precoding: &pres[j],
+                powers: &powers[j],
+                budget_mw: budget,
+            };
+            let grid = mmse_sinr_grid(&own, Some(&int), noise, &self.params.impairments);
+            let cells = active_cells(&grid, &powers[i]);
+            per_client[i] = self.goodput(&cells, eff, mode);
+        }
+        Some(Outcome { strategy, per_client_bps: per_client })
+    }
+}
+
+/// Convenience: evaluate a whole topology suite, returning one Evaluation
+/// per topology.
+pub fn evaluate_suite(engine: &Engine, suite: &[Topology]) -> Vec<Evaluation> {
+    suite.iter().map(|t| engine.evaluate(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_channel::{AntennaConfig, TopologySampler};
+
+    fn engine() -> Engine {
+        Engine::new(ScenarioParams::default())
+    }
+
+    fn topo(seed: u64, cfg: AntennaConfig) -> Topology {
+        TopologySampler::default().suite(seed, 1, cfg).remove(0)
+    }
+
+    #[test]
+    fn evaluates_4x2_with_all_strategies() {
+        let e = engine();
+        let ev = e.evaluate(&topo(11, AntennaConfig::CONSTRAINED_4X2));
+        assert!(ev.csma.aggregate_bps() > 0.0);
+        assert!(ev.copa_seq.aggregate_bps() > 0.0);
+        assert!(ev.vanilla_null.is_some(), "4x2 supports nulling");
+        assert!(ev.outcome(Strategy::ConcurrentNull).is_some());
+        assert!(ev.outcome(Strategy::ConcurrentBf).is_some());
+        // COPA picks from its menu and is at least as good as COPA-SEQ.
+        assert!(ev.copa.aggregate_bps() >= ev.copa_seq.aggregate_bps());
+        assert!(ev.copa_fair.aggregate_bps() <= ev.copa.aggregate_bps() + 1.0);
+    }
+
+    #[test]
+    fn single_antenna_has_no_nulling() {
+        let e = engine();
+        let ev = e.evaluate(&topo(12, AntennaConfig::SINGLE));
+        assert!(ev.vanilla_null.is_none(), "1x1 cannot null");
+        assert!(ev.outcome(Strategy::ConcurrentNull).is_none());
+        assert!(ev.outcome(Strategy::ConcurrentBf).is_some());
+    }
+
+    #[test]
+    fn overconstrained_uses_sda() {
+        let e = engine();
+        let ev = e.evaluate(&topo(13, AntennaConfig::OVERCONSTRAINED_3X2));
+        // SDA makes nulling feasible even though 3 - 2 < 2.
+        assert!(ev.vanilla_null.is_some(), "3x2 should fall back to SDA nulling");
+        assert!(ev.outcome(Strategy::ConcurrentNull).is_some());
+    }
+
+    #[test]
+    fn copa_seq_never_loses_to_csma_much() {
+        // COPA-SEQ = CSMA + power allocation + subcarrier selection; it can
+        // only lose the tiny extra MAC overhead.
+        let e = engine();
+        for seed in 20..26 {
+            let ev = e.evaluate(&topo(seed, AntennaConfig::CONSTRAINED_4X2));
+            assert!(
+                ev.copa_seq.aggregate_bps() > ev.csma.aggregate_bps() * 0.93,
+                "seed {seed}: COPA-SEQ {:.1} vs CSMA {:.1} Mbps",
+                ev.copa_seq.aggregate_mbps(),
+                ev.csma.aggregate_mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn fair_variant_is_incentive_compatible() {
+        let e = engine();
+        for seed in 30..36 {
+            let ev = e.evaluate(&topo(seed, AntennaConfig::CONSTRAINED_4X2));
+            assert!(
+                ev.copa_fair.incentive_compatible_vs(&ev.copa_seq),
+                "seed {seed}: fair pick must not hurt either client"
+            );
+        }
+    }
+
+    #[test]
+    fn copa_plus_requires_flag_and_dominates() {
+        let params = ScenarioParams { include_mercury: true, ..Default::default() };
+        let e = Engine::new(params);
+        let ev = e.evaluate(&topo(40, AntennaConfig::SINGLE));
+        let plus = ev.copa_plus.expect("mercury enabled");
+        assert!(plus.aggregate_bps() >= ev.copa.aggregate_bps() * 0.98,
+            "COPA+ should be at least competitive: {:.1} vs {:.1}",
+            plus.aggregate_mbps(), ev.copa.aggregate_mbps());
+    }
+
+    #[test]
+    fn multi_decoder_not_worse() {
+        let e = engine();
+        let t = topo(41, AntennaConfig::CONSTRAINED_4X2);
+        let single = e.evaluate_mode(&t, DecoderMode::Single);
+        let multi = e.evaluate_mode(&t, DecoderMode::PerSubcarrier);
+        assert!(
+            multi.csma.aggregate_bps() >= single.csma.aggregate_bps() * 0.999,
+            "per-subcarrier rate adaptation should not hurt CSMA"
+        );
+        assert!(multi.copa.aggregate_bps() >= single.copa.aggregate_bps() * 0.95);
+    }
+}

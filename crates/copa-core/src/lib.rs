@@ -1,0 +1,28 @@
+//! # copa-core
+//!
+//! The COPA system: ties the channel, PHY, precoding, allocation and MAC
+//! substrates into the strategy engine of the paper's Figure 8.
+//!
+//! * [`scenario`] -- CSI estimation: what the APs actually know.
+//! * [`strategy`] -- the strategy menu and outcome bookkeeping.
+//! * [`engine`] -- evaluate all strategies on a topology, pick the best
+//!   (aggregate-max or incentive-compatible "fair"), including the
+//!   overconstrained shut-down-antenna path and COPA+ mercury variants.
+//! * [`coordinator`] -- the ITS protocol driven end-to-end: two AP objects
+//!   exchanging real encoded frames with compressed CSI.
+//! * [`cell`] -- cells with more than two APs: pairwise ITS coordination
+//!   with per-round leader rotation and best-follower selection (the
+//!   paper's future-work direction).
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod coordinator;
+pub mod engine;
+pub mod scenario;
+pub mod strategy;
+
+pub use cell::{run_cell, CellOutcome, MultiApScenario};
+pub use engine::{evaluate_suite, DecoderMode, Engine, Evaluation};
+pub use scenario::{prepare, PreparedScenario, ScenarioParams};
+pub use strategy::{Outcome, Strategy};

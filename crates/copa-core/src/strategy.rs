@@ -1,0 +1,151 @@
+//! The strategy menu of Figure 8 and evaluation outcomes.
+
+use std::fmt;
+
+/// A medium-access / precoding / allocation strategy for the two-AP cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Stock 802.11n: SVD beamforming, equal power, all subcarriers,
+    /// sequential transmission under CSMA (CTS-to-self).
+    Csma,
+    /// COPA-SEQ: beamforming + Equi-SNR power allocation and subcarrier
+    /// selection, still sequential.
+    CopaSeq,
+    /// Vanilla nulling: concurrent transmission with nulling precoders and
+    /// equal power -- the baseline COPA improves (Figures 11-13). In the
+    /// overconstrained case this is "Null+SDA".
+    VanillaNull,
+    /// Concurrent transmission with beamforming precoders and Equi-SINR
+    /// (no nulling; the only concurrent option for single-antenna APs).
+    ConcurrentBf,
+    /// Concurrent transmission with nulling precoders and Equi-SINR -- the
+    /// headline COPA strategy (subsumes traditional nulling).
+    ConcurrentNull,
+    /// COPA+ sequential: mercury/waterfilling instead of Equi-SNR.
+    SeqMercury,
+    /// COPA+ concurrent beamforming with mercury/waterfilling.
+    ConcurrentBfMercury,
+    /// COPA+ concurrent nulling with mercury/waterfilling.
+    ConcurrentNullMercury,
+}
+
+impl Strategy {
+    /// `true` when both APs transmit at the same time.
+    pub fn is_concurrent(self) -> bool {
+        !matches!(self, Strategy::Csma | Strategy::CopaSeq | Strategy::SeqMercury)
+    }
+
+    /// `true` for the impractical mercury/waterfilling (COPA+) variants.
+    pub fn is_mercury(self) -> bool {
+        matches!(
+            self,
+            Strategy::SeqMercury | Strategy::ConcurrentBfMercury | Strategy::ConcurrentNullMercury
+        )
+    }
+
+    /// The strategies COPA's engine chooses between (section 3.3): its own
+    /// sequential fallback plus the concurrent options.
+    pub fn copa_menu() -> &'static [Strategy] {
+        &[Strategy::CopaSeq, Strategy::ConcurrentBf, Strategy::ConcurrentNull]
+    }
+
+    /// The COPA+ menu: everything, including mercury variants.
+    pub fn copa_plus_menu() -> &'static [Strategy] {
+        &[
+            Strategy::CopaSeq,
+            Strategy::ConcurrentBf,
+            Strategy::ConcurrentNull,
+            Strategy::SeqMercury,
+            Strategy::ConcurrentBfMercury,
+            Strategy::ConcurrentNullMercury,
+        ]
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Csma => "CSMA",
+            Strategy::CopaSeq => "COPA-SEQ",
+            Strategy::VanillaNull => "Null",
+            Strategy::ConcurrentBf => "COPA conc-BF",
+            Strategy::ConcurrentNull => "COPA conc-null",
+            Strategy::SeqMercury => "COPA+ seq",
+            Strategy::ConcurrentBfMercury => "COPA+ conc-BF",
+            Strategy::ConcurrentNullMercury => "COPA+ conc-null",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The evaluated result of running one strategy on one topology.
+#[derive(Clone, Copy, Debug)]
+pub struct Outcome {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// Long-run average throughput delivered to each client, bits/s
+    /// (sequential strategies already include the 1/2 airtime share).
+    pub per_client_bps: [f64; 2],
+}
+
+impl Outcome {
+    /// Aggregate (sum over both clients) throughput, bits/s.
+    pub fn aggregate_bps(&self) -> f64 {
+        self.per_client_bps[0] + self.per_client_bps[1]
+    }
+
+    /// Aggregate in Mbps, the unit of the paper's CDF plots.
+    pub fn aggregate_mbps(&self) -> f64 {
+        self.aggregate_bps() / 1e6
+    }
+
+    /// Incentive compatibility (section 3.5): no client does worse than it
+    /// would under the sequential-cooperation fallback.
+    pub fn incentive_compatible_vs(&self, baseline: &Outcome) -> bool {
+        // Tolerate sub-0.1% numerical jitter.
+        self.per_client_bps[0] >= baseline.per_client_bps[0] * 0.999
+            && self.per_client_bps[1] >= baseline.per_client_bps[1] * 0.999
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_classification() {
+        assert!(!Strategy::Csma.is_concurrent());
+        assert!(!Strategy::CopaSeq.is_concurrent());
+        assert!(!Strategy::SeqMercury.is_concurrent());
+        assert!(Strategy::VanillaNull.is_concurrent());
+        assert!(Strategy::ConcurrentNull.is_concurrent());
+        assert!(Strategy::ConcurrentBfMercury.is_concurrent());
+    }
+
+    #[test]
+    fn menus_are_consistent() {
+        assert!(Strategy::copa_menu().iter().all(|s| !s.is_mercury()));
+        assert!(Strategy::copa_plus_menu().len() > Strategy::copa_menu().len());
+        assert!(Strategy::copa_menu().contains(&Strategy::CopaSeq));
+        // Baselines are never in COPA's own menu.
+        assert!(!Strategy::copa_plus_menu().contains(&Strategy::Csma));
+        assert!(!Strategy::copa_plus_menu().contains(&Strategy::VanillaNull));
+    }
+
+    #[test]
+    fn outcome_arithmetic() {
+        let o = Outcome { strategy: Strategy::Csma, per_client_bps: [20e6, 30e6] };
+        assert_eq!(o.aggregate_bps(), 50e6);
+        assert!((o.aggregate_mbps() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incentive_compatibility_check() {
+        let base = Outcome { strategy: Strategy::CopaSeq, per_client_bps: [20e6, 30e6] };
+        let better = Outcome { strategy: Strategy::ConcurrentNull, per_client_bps: [25e6, 30e6] };
+        let unfair = Outcome { strategy: Strategy::ConcurrentNull, per_client_bps: [45e6, 10e6] };
+        assert!(better.incentive_compatible_vs(&base));
+        assert!(!unfair.incentive_compatible_vs(&base));
+        assert!(base.incentive_compatible_vs(&base));
+    }
+}

@@ -1,0 +1,399 @@
+//! ITS (Intention-To-Send) control frame formats.
+//!
+//! Section 3.1's coordination protocol uses three control frames, all sent
+//! with an omnidirectional spatial profile:
+//!
+//! * **ITS INIT** -- the contention winner (Leader) announces the client it
+//!   is about to serve.
+//! * **ITS REQ** -- a Follower asks to join the transmission opportunity and
+//!   attaches compressed CSI from itself to *both* clients.
+//! * **ITS ACK** -- the Leader's decision: sequential or concurrent; the
+//!   concurrent case carries the Follower's precoding matrices and, for
+//!   overconstrained topologies, which client antenna to shut down.
+//!
+//! All ITS frames carry an airtime field so third-party radios can defer for
+//! the whole coordinated transmission (NAV semantics, like RTS/CTS). Frames
+//! end with a CRC-32; garbled frames (collisions) fail decode and trigger
+//! the standard backoff-and-retry path.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A MAC address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Addr(pub [u8; 6]);
+
+impl Addr {
+    /// Convenience constructor from a small integer (testing/simulation).
+    pub fn from_id(id: u8) -> Self {
+        Addr([0x02, 0, 0, 0, 0, id])
+    }
+}
+
+/// Frame type tags on the wire.
+const TAG_INIT: u8 = 0xC1;
+const TAG_REQ: u8 = 0xC2;
+const TAG_ACK: u8 = 0xC3;
+
+/// The Leader's decision carried in ITS ACK.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Take turns in time; no concurrent transmission this coherence time.
+    Sequential,
+    /// Transmit concurrently.
+    Concurrent {
+        /// Compressed precoding matrices for the Follower.
+        precoder: Vec<u8>,
+        /// For overconstrained topologies: index of the follower-client
+        /// antenna to shut down (section 3.4).
+        shut_down_antenna: Option<u8>,
+    },
+}
+
+/// Any ITS frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ItsFrame {
+    /// Intention announcement by the contention winner.
+    Init {
+        /// The elected Leader AP.
+        leader: Addr,
+        /// The client the Leader is about to serve.
+        client: Addr,
+        /// Planned medium occupancy, microseconds.
+        airtime_us: u32,
+    },
+    /// Follower's request to join, with CSI payloads.
+    Req {
+        /// Leader (copied from INIT).
+        leader: Addr,
+        /// The requesting Follower AP.
+        follower: Addr,
+        /// Leader's client.
+        client1: Addr,
+        /// Follower's client.
+        client2: Addr,
+        /// Compressed CSI, Follower -> client 1.
+        csi_to_client1: Vec<u8>,
+        /// Compressed CSI, Follower -> client 2.
+        csi_to_client2: Vec<u8>,
+        /// Planned medium occupancy, microseconds.
+        airtime_us: u32,
+    },
+    /// Leader's decision.
+    Ack {
+        /// Leader.
+        leader: Addr,
+        /// Follower.
+        follower: Addr,
+        /// Leader's client.
+        client1: Addr,
+        /// Follower's client.
+        client2: Addr,
+        /// Sequential or concurrent (with precoder payload).
+        decision: Decision,
+        /// Planned medium occupancy, microseconds.
+        airtime_us: u32,
+    },
+}
+
+/// Decode failure: the frame was garbled (collision) or malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Not enough bytes for the declared structure.
+    Truncated,
+    /// Unknown frame tag.
+    UnknownTag(u8),
+    /// CRC-32 mismatch -- treat as a collision and back off.
+    BadCrc,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t:#x}"),
+            FrameError::BadCrc => write!(f, "CRC mismatch (garbled frame)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl ItsFrame {
+    /// The airtime field (NAV duration for third parties).
+    pub fn airtime_us(&self) -> u32 {
+        match self {
+            ItsFrame::Init { airtime_us, .. }
+            | ItsFrame::Req { airtime_us, .. }
+            | ItsFrame::Ack { airtime_us, .. } => *airtime_us,
+        }
+    }
+
+    /// Serializes the frame, appending a CRC-32.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        match self {
+            ItsFrame::Init { leader, client, airtime_us } => {
+                b.put_u8(TAG_INIT);
+                b.put_slice(&leader.0);
+                b.put_slice(&client.0);
+                b.put_u32(*airtime_us);
+            }
+            ItsFrame::Req {
+                leader,
+                follower,
+                client1,
+                client2,
+                csi_to_client1,
+                csi_to_client2,
+                airtime_us,
+            } => {
+                b.put_u8(TAG_REQ);
+                b.put_slice(&leader.0);
+                b.put_slice(&follower.0);
+                b.put_slice(&client1.0);
+                b.put_slice(&client2.0);
+                b.put_u32(*airtime_us);
+                b.put_u16(csi_to_client1.len() as u16);
+                b.put_slice(csi_to_client1);
+                b.put_u16(csi_to_client2.len() as u16);
+                b.put_slice(csi_to_client2);
+            }
+            ItsFrame::Ack { leader, follower, client1, client2, decision, airtime_us } => {
+                b.put_u8(TAG_ACK);
+                b.put_slice(&leader.0);
+                b.put_slice(&follower.0);
+                b.put_slice(&client1.0);
+                b.put_slice(&client2.0);
+                b.put_u32(*airtime_us);
+                match decision {
+                    Decision::Sequential => b.put_u8(0),
+                    Decision::Concurrent { precoder, shut_down_antenna } => {
+                        b.put_u8(1);
+                        match shut_down_antenna {
+                            None => b.put_u8(0xFF),
+                            Some(a) => b.put_u8(*a),
+                        }
+                        b.put_u16(precoder.len() as u16);
+                        b.put_slice(precoder);
+                    }
+                }
+            }
+        }
+        let crc = crc32(&b);
+        b.put_u32(crc);
+        b.freeze()
+    }
+
+    /// Parses and CRC-checks a frame.
+    pub fn decode(mut data: &[u8]) -> Result<ItsFrame, FrameError> {
+        if data.len() < 5 {
+            return Err(FrameError::Truncated);
+        }
+        let (body, crc_bytes) = data.split_at(data.len() - 4);
+        let want = u32::from_be_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != want {
+            return Err(FrameError::BadCrc);
+        }
+        data = body;
+
+        let tag = data.get_u8();
+        let addr = |data: &mut &[u8]| -> Result<Addr, FrameError> {
+            if data.len() < 6 {
+                return Err(FrameError::Truncated);
+            }
+            let mut a = [0u8; 6];
+            data.copy_to_slice(&mut a);
+            Ok(Addr(a))
+        };
+        match tag {
+            TAG_INIT => {
+                let leader = addr(&mut data)?;
+                let client = addr(&mut data)?;
+                if data.len() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(ItsFrame::Init { leader, client, airtime_us: data.get_u32() })
+            }
+            TAG_REQ => {
+                let leader = addr(&mut data)?;
+                let follower = addr(&mut data)?;
+                let client1 = addr(&mut data)?;
+                let client2 = addr(&mut data)?;
+                if data.len() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let airtime_us = data.get_u32();
+                let csi_to_client1 = take_blob(&mut data)?;
+                let csi_to_client2 = take_blob(&mut data)?;
+                Ok(ItsFrame::Req {
+                    leader,
+                    follower,
+                    client1,
+                    client2,
+                    csi_to_client1,
+                    csi_to_client2,
+                    airtime_us,
+                })
+            }
+            TAG_ACK => {
+                let leader = addr(&mut data)?;
+                let follower = addr(&mut data)?;
+                let client1 = addr(&mut data)?;
+                let client2 = addr(&mut data)?;
+                if data.len() < 5 {
+                    return Err(FrameError::Truncated);
+                }
+                let airtime_us = data.get_u32();
+                let decision = match data.get_u8() {
+                    0 => Decision::Sequential,
+                    1 => {
+                        if data.is_empty() {
+                            return Err(FrameError::Truncated);
+                        }
+                        let sda = data.get_u8();
+                        let precoder = take_blob(&mut data)?;
+                        Decision::Concurrent {
+                            precoder,
+                            shut_down_antenna: if sda == 0xFF { None } else { Some(sda) },
+                        }
+                    }
+                    t => return Err(FrameError::UnknownTag(t)),
+                };
+                Ok(ItsFrame::Ack { leader, follower, client1, client2, decision, airtime_us })
+            }
+            t => Err(FrameError::UnknownTag(t)),
+        }
+    }
+
+    /// On-air size in bytes (including CRC).
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+fn take_blob(data: &mut &[u8]) -> Result<Vec<u8>, FrameError> {
+    if data.len() < 2 {
+        return Err(FrameError::Truncated);
+    }
+    let len = data.get_u16() as usize;
+    if data.len() < len {
+        return Err(FrameError::Truncated);
+    }
+    let blob = data[..len].to_vec();
+    data.advance(len);
+    Ok(blob)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bit-by-bit -- control frames
+/// are tiny, so table-free is fine.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<ItsFrame> {
+        vec![
+            ItsFrame::Init {
+                leader: Addr::from_id(1),
+                client: Addr::from_id(11),
+                airtime_us: 4210,
+            },
+            ItsFrame::Req {
+                leader: Addr::from_id(1),
+                follower: Addr::from_id(2),
+                client1: Addr::from_id(11),
+                client2: Addr::from_id(12),
+                csi_to_client1: vec![1, 2, 3, 4, 5],
+                csi_to_client2: vec![9; 300],
+                airtime_us: 4210,
+            },
+            ItsFrame::Ack {
+                leader: Addr::from_id(1),
+                follower: Addr::from_id(2),
+                client1: Addr::from_id(11),
+                client2: Addr::from_id(12),
+                decision: Decision::Sequential,
+                airtime_us: 8420,
+            },
+            ItsFrame::Ack {
+                leader: Addr::from_id(1),
+                follower: Addr::from_id(2),
+                client1: Addr::from_id(11),
+                client2: Addr::from_id(12),
+                decision: Decision::Concurrent {
+                    precoder: vec![7; 120],
+                    shut_down_antenna: Some(1),
+                },
+                airtime_us: 4210,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_frame_types() {
+        for f in sample_frames() {
+            let wire = f.encode();
+            let back = ItsFrame::decode(&wire).expect("decode");
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn garbled_frames_fail_crc() {
+        for f in sample_frames() {
+            let mut wire = f.encode().to_vec();
+            let mid = wire.len() / 2;
+            wire[mid] ^= 0x40;
+            assert_eq!(ItsFrame::decode(&wire), Err(FrameError::BadCrc));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let wire = sample_frames()[1].encode();
+        for cut in [0usize, 3, 10, wire.len() - 5] {
+            let r = ItsFrame::decode(&wire[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut body = vec![0x77u8, 1, 2, 3];
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(ItsFrame::decode(&body), Err(FrameError::UnknownTag(0x77)));
+    }
+
+    #[test]
+    fn airtime_field_accessible_from_all_frames() {
+        for f in sample_frames() {
+            assert!(f.airtime_us() >= 4210);
+        }
+    }
+
+    #[test]
+    fn init_is_rts_sized() {
+        // The base ITS INIT should be comparable to an RTS (tens of bytes).
+        let init = &sample_frames()[0];
+        assert!(init.wire_len() <= 24, "INIT too big: {}", init.wire_len());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

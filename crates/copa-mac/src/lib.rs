@@ -1,0 +1,28 @@
+//! # copa-mac
+//!
+//! COPA's over-the-air coordination machinery:
+//!
+//! * [`timing`] -- 802.11 MAC timing constants and frame durations.
+//! * [`frames`] -- the ITS INIT / REQ / ACK control frame codec (byte-exact,
+//!   CRC-protected; garbled frames fail decode and trigger backoff).
+//! * [`csi_codec`] -- CSI compression: quantization, (adaptive) delta
+//!   modulation across subcarriers, and lossless LZSS, reproducing the
+//!   paper's ~2x compression ratio.
+//! * [`dcf`] -- slotted DCF contention simulation, including the paper's
+//!   proposed post-coordination fairness tweak.
+//! * [`overhead`] -- the analytic overhead model behind Table 1 and the
+//!   airtime-efficiency factors used by every throughput prediction.
+//! * [`airtime_sim`] -- an event-driven medium simulation that validates
+//!   the analytic overhead model microsecond by microsecond.
+
+#![warn(missing_docs)]
+
+pub mod airtime_sim;
+pub mod csi_codec;
+pub mod dcf;
+pub mod frames;
+pub mod overhead;
+pub mod timing;
+
+pub use frames::{Addr, Decision, FrameError, ItsFrame};
+pub use overhead::{airtime_efficiency, overhead_fraction, table1, OverheadConfig, Scheme};

@@ -1,0 +1,100 @@
+//! 802.11 MAC timing constants and frame durations.
+//!
+//! All durations in microseconds. Control frames go at a legacy 24 Mbps
+//! OFDM rate; bulky coordination payloads (CSI, precoding matrices) at
+//! 54 Mbps, as a capable modern implementation would.
+
+/// Slot time (802.11n, 2.4 GHz with short slots), us.
+pub const SLOT_US: f64 = 9.0;
+/// Short interframe space, us.
+pub const SIFS_US: f64 = 16.0;
+/// DCF interframe space (`SIFS + 2 * slot`), us.
+pub const DIFS_US: f64 = SIFS_US + 2.0 * SLOT_US;
+/// Minimum contention window (aCWmin), slots.
+pub const CW_MIN: u32 = 15;
+/// Maximum contention window (aCWmax), slots.
+pub const CW_MAX: u32 = 1023;
+/// Legacy OFDM preamble + signal field, us.
+pub const LEGACY_PREAMBLE_US: f64 = 20.0;
+/// HT (802.11n mixed-mode) preamble, us.
+pub const HT_PREAMBLE_US: f64 = 40.0;
+/// Transmit opportunity duration used throughout the paper, us.
+pub const TXOP_US: f64 = 4000.0;
+/// OFDM symbol duration, us.
+pub const SYMBOL_US: f64 = 4.0;
+
+/// Average initial backoff: uniform over `[0, CW_MIN]` slots.
+pub fn mean_backoff_us() -> f64 {
+    CW_MIN as f64 / 2.0 * SLOT_US
+}
+
+/// Duration of a frame sent at legacy 24 Mbps (96 data bits per symbol),
+/// including preamble, SERVICE (16 bits) and tail (6 bits).
+pub fn control_frame_us(payload_bytes: usize) -> f64 {
+    let bits = 16 + 6 + 8 * payload_bytes as u64;
+    LEGACY_PREAMBLE_US + SYMBOL_US * bits.div_ceil(96) as f64
+}
+
+/// Duration of a bulk coordination payload at legacy 54 Mbps
+/// (216 data bits per symbol).
+pub fn bulk_frame_us(payload_bytes: usize) -> f64 {
+    let bits = 16 + 6 + 8 * payload_bytes as u64;
+    LEGACY_PREAMBLE_US + SYMBOL_US * bits.div_ceil(216) as f64
+}
+
+/// Duration of an RTS frame (20 bytes).
+pub fn rts_us() -> f64 {
+    control_frame_us(20)
+}
+
+/// Duration of a CTS / CTS-to-self frame (14 bytes).
+pub fn cts_us() -> f64 {
+    control_frame_us(14)
+}
+
+/// Duration of a block ACK (32 bytes).
+pub fn block_ack_us() -> f64 {
+    control_frame_us(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difs_is_sifs_plus_two_slots() {
+        assert_eq!(DIFS_US, 34.0);
+    }
+
+    #[test]
+    fn control_frame_durations_match_standard() {
+        // RTS at 24 Mbps: 20 us preamble + ceil((16+6+160)/96)=2 symbols.
+        assert_eq!(rts_us(), 28.0);
+        // CTS: 14 bytes -> ceil(134/96)=2 symbols.
+        assert_eq!(cts_us(), 28.0);
+        assert!(block_ack_us() > cts_us());
+    }
+
+    #[test]
+    fn bulk_frames_are_faster_per_byte() {
+        let b = 900;
+        assert!(bulk_frame_us(b) < control_frame_us(b));
+        // 900 bytes at 54 Mbps ~ 20 + 4*ceil(7222/216) = 20+136 = 156 us.
+        assert!((bulk_frame_us(b) - 156.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_backoff_is_7_5_slots() {
+        assert!((mean_backoff_us() - 67.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_monotone_in_size() {
+        let mut prev = 0.0;
+        for bytes in [0, 10, 50, 100, 1000] {
+            let d = control_frame_us(bytes);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+}

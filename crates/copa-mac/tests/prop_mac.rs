@@ -1,0 +1,128 @@
+//! Property-based tests for the MAC codecs and protocol machinery.
+
+use copa_mac::csi_codec::{delta_decode, delta_encode, lzss_decode, lzss_encode};
+use copa_mac::frames::{crc32, Addr, Decision, FrameError, ItsFrame};
+use proptest::prelude::*;
+
+fn addr() -> impl Strategy<Value = Addr> {
+    proptest::array::uniform6(any::<u8>()).prop_map(Addr)
+}
+
+fn decision() -> impl Strategy<Value = Decision> {
+    prop_oneof![
+        Just(Decision::Sequential),
+        (
+            proptest::collection::vec(any::<u8>(), 0..600),
+            proptest::option::of(0u8..4)
+        )
+            .prop_map(|(precoder, sda)| Decision::Concurrent {
+                precoder,
+                shut_down_antenna: sda
+            }),
+    ]
+}
+
+fn its_frame() -> impl Strategy<Value = ItsFrame> {
+    prop_oneof![
+        (addr(), addr(), any::<u32>()).prop_map(|(leader, client, airtime_us)| ItsFrame::Init {
+            leader,
+            client,
+            airtime_us
+        }),
+        (
+            addr(),
+            addr(),
+            addr(),
+            addr(),
+            proptest::collection::vec(any::<u8>(), 0..800),
+            proptest::collection::vec(any::<u8>(), 0..800),
+            any::<u32>()
+        )
+            .prop_map(
+                |(leader, follower, client1, client2, csi_to_client1, csi_to_client2, airtime_us)| {
+                    ItsFrame::Req {
+                        leader,
+                        follower,
+                        client1,
+                        client2,
+                        csi_to_client1,
+                        csi_to_client2,
+                        airtime_us,
+                    }
+                }
+            ),
+        (addr(), addr(), addr(), addr(), decision(), any::<u32>()).prop_map(
+            |(leader, follower, client1, client2, decision, airtime_us)| ItsFrame::Ack {
+                leader,
+                follower,
+                client1,
+                client2,
+                decision,
+                airtime_us
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_round_trip(frame in its_frame()) {
+        let wire = frame.encode();
+        let back = ItsFrame::decode(&wire).expect("decode own encoding");
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(frame in its_frame(), byte_sel in any::<u16>(), bit in 0u8..8) {
+        let mut wire = frame.encode().to_vec();
+        let idx = byte_sel as usize % wire.len();
+        wire[idx] ^= 1 << bit;
+        // CRC-32 detects all single-bit errors; decode must not silently
+        // return a (possibly different) frame.
+        match ItsFrame::decode(&wire) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, frame, "undetected corruption"),
+        }
+        // Specifically: flipping a payload bit must flip the CRC check.
+        if idx < wire.len() - 4 {
+            prop_assert!(matches!(ItsFrame::decode(&wire), Err(FrameError::BadCrc) | Err(FrameError::Truncated) | Err(FrameError::UnknownTag(_))));
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(frame in its_frame(), cut_sel in any::<u16>()) {
+        let wire = frame.encode();
+        let cut = cut_sel as usize % (wire.len() + 1);
+        let _ = ItsFrame::decode(&wire[..cut]); // must not panic
+    }
+
+    #[test]
+    fn lzss_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        prop_assert_eq!(lzss_decode(&lzss_encode(&data)), data);
+    }
+
+    #[test]
+    fn lzss_handles_structured_data(pattern in proptest::collection::vec(any::<u8>(), 1..16), reps in 1usize..100) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).cloned().collect();
+        let enc = lzss_encode(&data);
+        prop_assert_eq!(lzss_decode(&enc), data.clone());
+        if reps > 20 {
+            prop_assert!(enc.len() < data.len(), "repetition should compress");
+        }
+    }
+
+    #[test]
+    fn delta_round_trips(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(delta_decode(&delta_encode(&data)), data);
+    }
+
+    #[test]
+    fn crc_detects_difference(a in proptest::collection::vec(any::<u8>(), 1..100), flip in any::<u16>(), bit in 0u8..8) {
+        let mut b = a.clone();
+        let idx = flip as usize % b.len();
+        b[idx] ^= 1 << bit;
+        prop_assert_ne!(crc32(&a), crc32(&b), "single-bit flip must change CRC-32");
+    }
+}

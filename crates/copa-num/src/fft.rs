@@ -1,0 +1,177 @@
+//! Radix-2 FFT for OFDM channel synthesis.
+//!
+//! The channel simulator models multipath as a tapped delay line in the time
+//! domain and converts it to per-subcarrier frequency responses with a
+//! 64-point FFT (the 20 MHz 802.11 OFDM FFT size). Sizes must be powers of
+//! two, which is all OFDM ever needs here.
+
+use crate::complex::{C64, ZERO};
+use std::f64::consts::PI;
+
+/// In-place forward FFT (`X[k] = sum_n x[n] e^{-2 pi i n k / N}`).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(x: &mut [C64]) {
+    transform(x, -1.0);
+}
+
+/// In-place inverse FFT, normalized by `1/N` so `ifft(fft(x)) == x`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(x: &mut [C64]) {
+    transform(x, 1.0);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+}
+
+/// Out-of-place forward FFT.
+pub fn fft(x: &[C64]) -> Vec<C64> {
+    let mut y = x.to_vec();
+    fft_in_place(&mut y);
+    y
+}
+
+/// Out-of-place inverse FFT (normalized).
+pub fn ifft(x: &[C64]) -> Vec<C64> {
+    let mut y = x.to_vec();
+    ifft_in_place(&mut y);
+    y
+}
+
+/// Frequency response of a sparse tapped delay line on an `n`-point grid:
+/// `H[k] = sum_t g_t e^{-2 pi i k d_t / n}` for taps `(delay d_t, gain g_t)`.
+///
+/// Equivalent to zero-padding the impulse response to length `n` and calling
+/// [`fft`], but tolerates delays beyond `n` (they wrap, as aliasing would).
+pub fn tapped_delay_response(taps: &[(usize, C64)], n: usize) -> Vec<C64> {
+    let mut impulse = vec![ZERO; n];
+    for &(delay, gain) in taps {
+        impulse[delay % n] += gain;
+    }
+    fft(&impulse)
+}
+
+fn transform(x: &mut [C64], sign: f64) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Iterative Cooley-Tukey butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = C64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = C64::real(1.0);
+            for j in 0..len / 2 {
+                let u = x[i + j];
+                let v = x[i + j + len / 2] * w;
+                x[i + j] = u + v;
+                x[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn close(a: &[C64], b: &[C64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![ZERO; 8];
+        x[0] = C64::real(1.0);
+        let y = fft(&x);
+        assert!(y.iter().all(|z| (*z - C64::real(1.0)).abs() < 1e-12));
+    }
+
+    #[test]
+    fn delayed_impulse_has_linear_phase() {
+        let n = 64;
+        let mut x = vec![ZERO; n];
+        x[3] = C64::real(1.0);
+        let y = fft(&x);
+        for (k, z) in y.iter().enumerate() {
+            let expected = C64::cis(-2.0 * PI * 3.0 * k as f64 / n as f64);
+            assert!((*z - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let mut rng = SimRng::seed_from(5);
+        for &n in &[1usize, 2, 4, 8, 64, 128] {
+            let x: Vec<C64> = (0..n).map(|_| rng.randc()).collect();
+            let y = ifft(&fft(&x));
+            assert!(close(&x, &y, 1e-10), "round trip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let mut rng = SimRng::seed_from(6);
+        let n = 64;
+        let x: Vec<C64> = (0..n).map(|_| rng.randc()).collect();
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = SimRng::seed_from(8);
+        let n = 16;
+        let a: Vec<C64> = (0..n).map(|_| rng.randc()).collect();
+        let b: Vec<C64> = (0..n).map(|_| rng.randc()).collect();
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let expect: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(close(&fsum, &expect, 1e-10));
+    }
+
+    #[test]
+    fn tapped_delay_matches_explicit_fft() {
+        let taps = [(0usize, C64::new(0.8, 0.1)), (2, C64::new(-0.3, 0.4)), (5, C64::real(0.1))];
+        let n = 64;
+        let h = tapped_delay_response(&taps, n);
+        let mut impulse = vec![ZERO; n];
+        for &(d, g) in &taps {
+            impulse[d] += g;
+        }
+        assert!(close(&h, &fft(&impulse), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![ZERO; 12];
+        fft_in_place(&mut x);
+    }
+}

@@ -1,0 +1,132 @@
+//! Gauss-Hermite quadrature.
+//!
+//! The mercury/waterfilling allocator needs the MMSE of a discrete
+//! constellation on an AWGN channel, which is a Gaussian-weighted integral:
+//! `int f(x) e^{-x^2} dx ~= sum w_i f(x_i)`. Nodes/weights are computed with
+//! the classic Newton iteration on physicists' Hermite polynomials
+//! (Numerical Recipes `gauher`).
+
+use std::f64::consts::PI;
+
+/// Nodes and weights for `int_{-inf}^{inf} f(x) e^{-x^2} dx ~= sum w_i f(x_i)`.
+#[derive(Clone, Debug)]
+pub struct GaussHermite {
+    /// Quadrature nodes, symmetric about zero, ascending.
+    pub nodes: Vec<f64>,
+    /// Positive weights matching `nodes`.
+    pub weights: Vec<f64>,
+}
+
+impl GaussHermite {
+    /// Computes an `n`-point rule (exact for polynomials up to degree `2n-1`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "quadrature order must be positive");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        let mut z = 0.0f64;
+        for i in 0..m {
+            // Initial guesses for the roots (largest first), from NR.
+            z = match i {
+                0 => (2.0 * n as f64 + 1.0).sqrt() - 1.85575 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0),
+                1 => z - 1.14 * (n as f64).powf(0.426) / z,
+                2 => 1.86 * z - 0.86 * nodes[n - 1],
+                3 => 1.91 * z - 0.91 * nodes[n - 2],
+                _ => 2.0 * z - nodes[n - i + 1],
+            };
+            // Newton iteration on H_n(z).
+            let mut pp = 0.0;
+            for _ in 0..100 {
+                let mut p1 = PI.powf(-0.25);
+                let mut p2 = 0.0;
+                for j in 0..n {
+                    let p3 = p2;
+                    p2 = p1;
+                    p1 = z * (2.0 / (j as f64 + 1.0)).sqrt() * p2
+                        - (j as f64 / (j as f64 + 1.0)).sqrt() * p3;
+                }
+                pp = (2.0 * n as f64).sqrt() * p2;
+                let dz = p1 / pp;
+                z -= dz;
+                if dz.abs() < 1e-15 {
+                    break;
+                }
+            }
+            nodes[n - 1 - i] = z;
+            nodes[i] = -z;
+            let w = 2.0 / (pp * pp);
+            weights[n - 1 - i] = w;
+            weights[i] = w;
+        }
+        GaussHermite { nodes, weights }
+    }
+
+    /// Evaluates `int f(x) e^{-x^2} dx`.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Evaluates the expectation `E[f(Z)]` for `Z ~ N(0, 1)`.
+    pub fn gaussian_expectation(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let c = 1.0 / PI.sqrt();
+        c * self.integrate(|x| f(std::f64::consts::SQRT_2 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_gaussian_moments() {
+        let gh = GaussHermite::new(20);
+        // int e^{-x^2} dx = sqrt(pi)
+        assert!((gh.integrate(|_| 1.0) - PI.sqrt()).abs() < 1e-12);
+        // int x^2 e^{-x^2} dx = sqrt(pi)/2
+        assert!((gh.integrate(|x| x * x) - PI.sqrt() / 2.0).abs() < 1e-12);
+        // Odd moments vanish by symmetry.
+        assert!(gh.integrate(|x| x * x * x).abs() < 1e-12);
+        // int x^4 e^{-x^2} dx = 3 sqrt(pi)/4
+        assert!((gh.integrate(|x| x.powi(4)) - 3.0 * PI.sqrt() / 4.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn gaussian_expectation_of_standard_normal() {
+        let gh = GaussHermite::new(32);
+        assert!((gh.gaussian_expectation(|_| 1.0) - 1.0).abs() < 1e-12);
+        assert!((gh.gaussian_expectation(|x| x * x) - 1.0).abs() < 1e-11);
+        // E[cos(Z)] = e^{-1/2}.
+        let expect = (-0.5f64).exp();
+        assert!((gh.gaussian_expectation(f64::cos) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        let gh = GaussHermite::new(15);
+        for w in gh.nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..gh.nodes.len() {
+            let j = gh.nodes.len() - 1 - i;
+            assert!((gh.nodes[i] + gh.nodes[j]).abs() < 1e-12);
+            assert!((gh.weights[i] - gh.weights[j]).abs() < 1e-12);
+        }
+        assert!(gh.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn weights_sum_to_sqrt_pi() {
+        for &n in &[1usize, 2, 5, 16, 40] {
+            let gh = GaussHermite::new(n);
+            let sum: f64 = gh.weights.iter().sum();
+            assert!((sum - PI.sqrt()).abs() < 1e-10, "n={n}: {sum}");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Linear solves and inversion for small complex systems.
+//!
+//! MMSE receive filtering and SINR computation need `R^{-1}` for covariance
+//! matrices no larger than 4x4, so plain LU with partial pivoting is both
+//! sufficient and easy to audit.
+
+use crate::complex::{C64, ZERO};
+use crate::matrix::CMat;
+
+/// Error returned when a matrix is singular to working precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU decomposition with partial pivoting of a square complex matrix.
+///
+/// Stores the combined L (unit lower) / U factors in-place plus the row
+/// permutation, and can then solve any number of right-hand sides.
+#[derive(Debug)]
+pub struct Lu {
+    n: usize,
+    lu: CMat,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorizes `a`. Fails if `a` is singular to working precision.
+    pub fn factor(a: &CMat) -> Result<Lu, SingularMatrix> {
+        assert!(a.is_square(), "LU of non-square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SingularMatrix);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let piv = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / piv;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let s = m * lu[(k, j)];
+                    lu[(i, j)] -= s;
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm })
+    }
+
+    /// Solves `A x = b` for a multi-column right-hand side.
+    pub fn solve(&self, b: &CMat) -> CMat {
+        assert_eq!(b.rows(), self.n, "rhs row mismatch");
+        let m = b.cols();
+        // Apply permutation.
+        let mut x = CMat::from_fn(self.n, m, |i, j| b[(self.perm[i], j)]);
+        // Forward substitution (L has unit diagonal).
+        for i in 1..self.n {
+            for k in 0..i {
+                let l = self.lu[(i, k)];
+                if l == ZERO {
+                    continue;
+                }
+                for j in 0..m {
+                    let s = l * x[(k, j)];
+                    x[(i, j)] -= s;
+                }
+            }
+        }
+        // Back substitution.
+        for i in (0..self.n).rev() {
+            for k in (i + 1)..self.n {
+                let u = self.lu[(i, k)];
+                if u == ZERO {
+                    continue;
+                }
+                for j in 0..m {
+                    let s = u * x[(k, j)];
+                    x[(i, j)] -= s;
+                }
+            }
+            let d = self.lu[(i, i)];
+            for j in 0..m {
+                x[(i, j)] /= d;
+            }
+        }
+        x
+    }
+
+    /// Determinant from the U diagonal and permutation sign.
+    pub fn det(&self) -> C64 {
+        let mut d = C64::real(self.sign());
+        for i in 0..self.n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    fn sign(&self) -> f64 {
+        // Count permutation inversions parity via cycle decomposition.
+        let mut seen = vec![false; self.n];
+        let mut sign = 1.0;
+        for i in 0..self.n {
+            if seen[i] {
+                continue;
+            }
+            let mut j = i;
+            let mut len = 0;
+            while !seen[j] {
+                seen[j] = true;
+                j = self.perm[j];
+                len += 1;
+            }
+            if len % 2 == 0 {
+                sign = -sign;
+            }
+        }
+        sign
+    }
+}
+
+/// Solves `A x = b`. Convenience wrapper around [`Lu`].
+pub fn solve(a: &CMat, b: &CMat) -> Result<CMat, SingularMatrix> {
+    Ok(Lu::factor(a)?.solve(b))
+}
+
+/// Cholesky factorization of a Hermitian positive-definite matrix:
+/// `A = L L^H` with `L` lower triangular (real positive diagonal).
+///
+/// Used to color i.i.d. channel matrices with an antenna correlation
+/// structure (the Kronecker model). Fails on non-positive-definite input.
+pub fn cholesky(a: &CMat) -> Result<CMat, SingularMatrix> {
+    assert!(a.is_square(), "Cholesky of non-square matrix");
+    let n = a.rows();
+    let mut l = CMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)].conj();
+            }
+            if i == j {
+                if sum.re <= 0.0 || sum.im.abs() > 1e-9 * sum.re.abs().max(1e-300) {
+                    return Err(SingularMatrix);
+                }
+                l[(i, j)] = C64::real(sum.re.sqrt());
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Inverts a square complex matrix.
+pub fn inverse(a: &CMat) -> Result<CMat, SingularMatrix> {
+    let n = a.rows();
+    Ok(Lu::factor(a)?.solve(&CMat::identity(n)))
+}
+
+/// Inverts `A + eps*I`; the standard diagonally-loaded inverse used when a
+/// covariance matrix may be rank-deficient (e.g. zero interference plus
+/// vanishing noise in synthetic tests).
+pub fn inverse_loaded(a: &CMat, eps: f64) -> CMat {
+    let n = a.rows();
+    let mut m = a.clone();
+    for i in 0..n {
+        m[(i, i)] += C64::real(eps);
+    }
+    inverse(&m).expect("diagonally loaded matrix must be invertible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::I;
+
+    #[test]
+    fn solve_identity() {
+        let a = CMat::identity(3);
+        let b = CMat::from_fn(3, 1, |i, _| C64::real(i as f64 + 1.0));
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[C64::new(1.0, 1.0), C64::real(2.0), I, C64::new(3.0, -1.0)],
+        );
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&CMat::identity(2), 1e-10));
+        assert!(inv.matmul(&a).approx_eq(&CMat::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        // Build A and x, compute b = A x, then solve back.
+        let a = CMat::from_rows(
+            3,
+            3,
+            &[
+                C64::real(4.0),
+                C64::new(0.0, 1.0),
+                C64::real(-2.0),
+                C64::new(0.0, -1.0),
+                C64::real(5.0),
+                C64::real(1.0),
+                C64::real(-2.0),
+                C64::real(1.0),
+                C64::real(6.0),
+            ],
+        );
+        let x_true = CMat::from_rows(3, 1, &[C64::new(1.0, 2.0), C64::real(-1.0), I]);
+        let b = a.matmul(&x_true);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[C64::real(1.0), C64::real(2.0), C64::real(2.0), C64::real(4.0)],
+        );
+        assert_eq!(Lu::factor(&a).unwrap_err(), SingularMatrix);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[C64::real(0.0), C64::real(1.0), C64::real(1.0), C64::real(0.0)],
+        );
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&CMat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_permutation_and_diagonal() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[C64::real(0.0), C64::real(1.0), C64::real(1.0), C64::real(0.0)],
+        );
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - C64::real(-1.0)).abs() < 1e-12);
+
+        let d = CMat::diag_real(&[2.0, 3.0, 4.0]);
+        let lu = Lu::factor(&d).unwrap();
+        assert!((lu.det() - C64::real(24.0)).abs() < 1e-12);
+    }
+
+
+    #[test]
+    fn cholesky_factors_hermitian_pd() {
+        // Build A = B B^H + I (guaranteed PD), factor, and reconstruct.
+        let b = CMat::from_rows(
+            3,
+            3,
+            &[
+                C64::new(1.0, 0.5),
+                C64::real(2.0),
+                I,
+                C64::real(-1.0),
+                C64::new(0.0, -2.0),
+                C64::real(0.5),
+                C64::new(1.0, 1.0),
+                C64::real(0.0),
+                C64::real(3.0),
+            ],
+        );
+        let mut a = b.matmul(&b.hermitian());
+        for i in 0..3 {
+            a[(i, i)] += C64::real(1.0);
+        }
+        let l = cholesky(&a).unwrap();
+        assert!(l.matmul(&l.hermitian()).approx_eq(&a, 1e-9));
+        // Lower triangular with positive real diagonal.
+        for i in 0..3 {
+            assert!(l[(i, i)].re > 0.0 && l[(i, i)].im.abs() < 1e-12);
+            for j in (i + 1)..3 {
+                assert_eq!(l[(i, j)], crate::complex::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[C64::real(1.0), C64::real(2.0), C64::real(2.0), C64::real(1.0)],
+        );
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn cholesky_of_exponential_correlation() {
+        // The exponential correlation matrix rho^|i-j| is PD for |rho|<1.
+        let rho = 0.7f64;
+        let a = CMat::from_fn(4, 4, |i, j| C64::real(rho.powi((i as i32 - j as i32).abs())));
+        let l = cholesky(&a).unwrap();
+        assert!(l.matmul(&l.hermitian()).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn loaded_inverse_of_singular_matrix_is_finite() {
+        let a = CMat::zeros(3, 3);
+        let inv = inverse_loaded(&a, 1e-9);
+        assert!(inv.as_slice().iter().all(|z| z.is_finite()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Summary statistics and empirical CDFs.
+//!
+//! The paper's evaluation reports throughput CDFs across topologies
+//! (Figures 10-13) plus means, medians and "fraction of topologies where X
+//! beats Y" statistics; this module provides those primitives.
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Median (linear interpolation of the two middle order statistics).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Percentile `p` in `[0, 100]` with linear interpolation between order
+/// statistics. Returns `NaN` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Fraction of pairwise comparisons where `a[i] > b[i]` (strictly).
+///
+/// This is the paper's "scheme A beats scheme B in X% of topologies" metric.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn fraction_greater(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired comparison needs equal lengths");
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    a.iter().zip(b).filter(|(x, y)| x > y).count() as f64 / a.len() as f64
+}
+
+/// Mean of per-pair relative improvement `(a - b) / b`, skipping pairs with
+/// `b == 0`. The paper's "COPA improves nulling's throughput by a mean of X%".
+pub fn mean_relative_improvement(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let vals: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .filter(|(_, y)| **y != 0.0)
+        .map(|(x, y)| (x - y) / y)
+        .collect();
+    mean(&vals)
+}
+
+/// Median of per-pair relative improvement `(a - b) / b`.
+pub fn median_relative_improvement(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let vals: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .filter(|(_, y)| **y != 0.0)
+        .map(|(x, y)| (x - y) / y)
+        .collect();
+    median(&vals)
+}
+
+/// An empirical CDF: sorted sample values and their cumulative probabilities.
+#[derive(Clone, Debug)]
+pub struct EmpiricalCdf {
+    /// Sorted samples.
+    pub values: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from samples (copies and sorts them).
+    pub fn new(samples: &[f64]) -> Self {
+        let mut values = samples.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { values }
+    }
+
+    /// `P[X <= x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let n = self.values.partition_point(|&v| v <= x);
+        n as f64 / self.values.len() as f64
+    }
+
+    /// Points `(value, cumulative_probability)` for plotting; probability at
+    /// index `i` is `(i+1)/n`.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.values.len() as f64;
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Inverse CDF at probability `p` in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        percentile(&self.values, p * 100.0)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((median(&xs) - 4.5).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.13808993).abs() < 1e-6);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        // Order should not matter.
+        let shuffled = [40.0, 10.0, 30.0, 20.0];
+        assert!((percentile(&shuffled, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_metrics() {
+        let a = [2.0, 1.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 2.0, 4.0];
+        assert!((fraction_greater(&a, &b) - 0.5).abs() < 1e-12);
+        // improvements: 1.0, -0.5, 0.5, 0.0 -> mean 0.25, median 0.25
+        assert!((mean_relative_improvement(&a, &b) - 0.25).abs() < 1e-12);
+        assert!((median_relative_improvement(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_eval_and_quantile() {
+        let cdf = EmpiricalCdf::new(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.eval(0.5) - 0.0).abs() < 1e-12);
+        assert!((cdf.eval(2.0) - 0.5).abs() < 1e-12);
+        assert!((cdf.eval(10.0) - 1.0).abs() < 1e-12);
+        assert!((cdf.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((cdf.quantile(1.0) - 4.0).abs() < 1e-12);
+        let pts = cdf.points();
+        assert_eq!(pts[0], (1.0, 0.25));
+        assert_eq!(pts[3], (4.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let cdf = EmpiricalCdf::new(&[5.0, 1.0, 3.0, 3.0, 9.0]);
+        let mut prev = -1.0;
+        for x in (0..120).map(|i| i as f64 / 10.0) {
+            let p = cdf.eval(x);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

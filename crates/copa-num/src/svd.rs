@@ -1,0 +1,284 @@
+//! Singular value decomposition of complex matrices.
+//!
+//! COPA's precoders are built from SVDs: transmit beamforming takes the
+//! dominant right singular vectors of the channel, and nulling projects onto
+//! the nullspace of the cross channel (the right singular vectors whose
+//! singular values vanish). Channel matrices are tiny (antenna counts, <= 4),
+//! so a one-sided Jacobi iteration is accurate, simple, and fast enough.
+//!
+//! The algorithm rotates pairs of columns of `A` with unitary 2x2 Givens-like
+//! transforms until all columns are mutually orthogonal; the accumulated
+//! rotations form `V` (always the full `n x n` unitary), the column norms are
+//! the singular values, and the normalized columns form `U`.
+
+use crate::complex::{C64, ZERO};
+use crate::matrix::CMat;
+
+/// Result of [`svd`]: `A = U * diag(s) * V^H`.
+///
+/// * `u` is `m x n`; columns beyond the rank are zero.
+/// * `s` has length `n`, sorted in non-increasing order, all `>= 0`.
+/// * `v` is `n x n` and exactly unitary (a product of unitary rotations).
+///
+/// When `m < n`, at most `m` singular values are nonzero and the trailing
+/// columns of `v` span the nullspace of `A` -- exactly what transmit nulling
+/// needs.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (columns; zero columns past the rank).
+    pub u: CMat,
+    /// Singular values, non-increasing.
+    pub s: Vec<f64>,
+    /// Right singular vectors (full unitary).
+    pub v: CMat,
+}
+
+impl Svd {
+    /// Numerical rank: number of singular values above `tol * s_max`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.s.iter().take_while(|&&x| x > rel_tol * smax).count()
+    }
+
+    /// Reconstructs `U * diag(s) * V^H`, mainly for testing.
+    pub fn reconstruct(&self) -> CMat {
+        let n = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..n {
+            for i in 0..us.rows() {
+                us[(i, j)] = us[(i, j)].scale(self.s[j]);
+            }
+        }
+        us.matmul(&self.v.hermitian())
+    }
+
+    /// Orthonormal basis of the nullspace: columns of `V` whose singular
+    /// value is `<= rel_tol * s_max` (all columns if `A == 0`).
+    pub fn nullspace(&self, rel_tol: f64) -> CMat {
+        let r = self.rank(rel_tol);
+        let cols: Vec<usize> = (r..self.s.len()).collect();
+        self.v.select_columns(&cols)
+    }
+}
+
+/// Maximum number of full Jacobi sweeps before giving up. Tiny matrices
+/// converge in a handful; 64 is a generous safety margin.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the SVD of an arbitrary complex matrix by one-sided Jacobi.
+pub fn svd(a: &CMat) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    let mut w = a.clone(); // becomes A * V
+    let mut v = CMat::identity(n);
+
+    // Convergence threshold relative to the matrix scale.
+    let scale = w.frobenius_norm().max(1e-300);
+    let tol = 1e-14 * scale * scale;
+
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // 2x2 Gram submatrix of columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = ZERO;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp.norm_sqr();
+                    aqq += wq.norm_sqr();
+                    apq += wp.conj() * wq;
+                }
+                let c_abs = apq.abs();
+                off = off.max(c_abs);
+                if c_abs <= tol {
+                    continue;
+                }
+                // Unitary rotation J = [[cs, -sn e^{i phi}], [sn e^{-i phi}, cs]]
+                // with apq = |apq| e^{i phi}, chosen so the rotated columns are
+                // orthogonal: tan(2 theta) = 2|apq| / (app - aqq).
+                let phase = apq / C64::real(c_abs); // e^{i phi}
+                let zeta = (app - aqq) / (2.0 * c_abs);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let cs = 1.0 / (1.0 + t * t).sqrt();
+                let sn = cs * t;
+                let e_m = phase.conj(); // e^{-i phi}
+                let e_p = phase; // e^{+i phi}
+
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = wp.scale(cs) + e_m * wq.scale(sn);
+                    w[(i, q)] = -e_p * wp.scale(sn) + wq.scale(cs);
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = vp.scale(cs) + e_m * vq.scale(sn);
+                    v[(i, q)] = -e_p * vp.scale(sn) + vq.scale(cs);
+                }
+            }
+        }
+        if off <= tol {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalize to get U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
+
+    let mut s = Vec::with_capacity(n);
+    let mut u = CMat::zeros(m, n);
+    let mut v_sorted = CMat::zeros(n, n);
+    let sv_floor = 1e-14 * scale;
+    for (jj, &j) in order.iter().enumerate() {
+        s.push(norms[j]);
+        if norms[j] > sv_floor {
+            for i in 0..m {
+                u[(i, jj)] = w[(i, j)].scale(1.0 / norms[j]);
+            }
+        }
+        for i in 0..n {
+            v_sorted[(i, jj)] = v[(i, j)];
+        }
+    }
+
+    Svd { u, s, v: v_sorted }
+}
+
+/// Orthonormal basis of the nullspace of `a` (columns of `V` with singular
+/// value below `rel_tol * s_max`). Shorthand for `svd(a).nullspace(rel_tol)`.
+pub fn nullspace(a: &CMat, rel_tol: f64) -> CMat {
+    svd(a).nullspace(rel_tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn random_mat(rng: &mut SimRng, m: usize, n: usize) -> CMat {
+        CMat::from_fn(m, n, |_, _| rng.randc())
+    }
+
+    #[test]
+    fn reconstructs_random_matrices() {
+        let mut rng = SimRng::seed_from(42);
+        for &(m, n) in &[(1, 1), (2, 2), (3, 2), (2, 3), (4, 4), (2, 4), (4, 2), (6, 3)] {
+            let a = random_mat(&mut rng, m, n);
+            let d = svd(&a);
+            assert!(
+                d.reconstruct().approx_eq(&a, 1e-9),
+                "reconstruction failed for {m}x{n}"
+            );
+            assert!(d.v.has_orthonormal_columns(1e-10), "V not unitary ({m}x{n})");
+        }
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let mut rng = SimRng::seed_from(7);
+        let a = random_mat(&mut rng, 4, 4);
+        let d = svd(&a);
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(d.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn u_columns_orthonormal_up_to_rank() {
+        let mut rng = SimRng::seed_from(9);
+        let a = random_mat(&mut rng, 4, 3);
+        let d = svd(&a);
+        let r = d.rank(1e-10);
+        assert_eq!(r, 3);
+        let u_r = d.u.select_columns(&(0..r).collect::<Vec<_>>());
+        assert!(u_r.has_orthonormal_columns(1e-9));
+    }
+
+    #[test]
+    fn diagonal_matrix_svd_is_diagonal() {
+        let a = CMat::diag_real(&[3.0, 1.0, 2.0]);
+        let d = svd(&a);
+        assert!((d.s[0] - 3.0).abs() < 1e-12);
+        assert!((d.s[1] - 2.0).abs() < 1e-12);
+        assert!((d.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_detected() {
+        // Second column is a multiple of the first.
+        let c1 = [C64::new(1.0, 0.5), C64::new(-0.5, 2.0), C64::new(0.0, 1.0)];
+        let a = CMat::from_fn(3, 2, |i, j| {
+            if j == 0 {
+                c1[i]
+            } else {
+                c1[i] * C64::new(2.0, -1.0)
+            }
+        });
+        let d = svd(&a);
+        assert_eq!(d.rank(1e-10), 1);
+        assert!(d.s[1] < 1e-10 * d.s[0]);
+    }
+
+    #[test]
+    fn nullspace_is_annihilated_by_matrix() {
+        // A wide matrix (2 x 4), like a 2-antenna client observed from a
+        // 4-antenna AP: nullspace has dimension 2.
+        let mut rng = SimRng::seed_from(11);
+        let a = random_mat(&mut rng, 2, 4);
+        let ns = nullspace(&a, 1e-10);
+        assert_eq!(ns.cols(), 2);
+        assert!(ns.has_orthonormal_columns(1e-9));
+        let residual = a.matmul(&ns);
+        assert!(
+            residual.max_abs() < 1e-9,
+            "A * nullspace(A) should vanish, got {}",
+            residual.max_abs()
+        );
+    }
+
+    #[test]
+    fn nullspace_of_zero_matrix_is_everything() {
+        let a = CMat::zeros(2, 3);
+        let ns = nullspace(&a, 1e-10);
+        assert_eq!(ns.cols(), 3);
+        assert!(ns.has_orthonormal_columns(1e-10));
+    }
+
+    #[test]
+    fn frobenius_norm_equals_singular_value_energy() {
+        let mut rng = SimRng::seed_from(21);
+        let a = random_mat(&mut rng, 3, 4);
+        let d = svd(&a);
+        let sv_energy: f64 = d.s.iter().map(|x| x * x).sum();
+        assert!((sv_energy - a.frobenius_norm_sqr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beamforming_gain_matches_top_singular_value() {
+        // Transmitting along the top right singular vector achieves gain
+        // s_max^2 -- the core of SVD beamforming.
+        let mut rng = SimRng::seed_from(33);
+        let h = random_mat(&mut rng, 2, 4);
+        let d = svd(&h);
+        let v0 = d.v.column(0);
+        let rx = h.matmul(&v0);
+        let gain = rx.frobenius_norm_sqr();
+        assert!((gain - d.s[0] * d.s[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the numeric kernels.
+
+use copa_num::complex::C64;
+use copa_num::fft::{fft, ifft};
+use copa_num::matrix::CMat;
+use copa_num::solve::{inverse, Lu};
+use copa_num::special::{db_to_lin, erfc, lin_to_db, q_func};
+use copa_num::stats::{percentile, EmpiricalCdf};
+use copa_num::svd::svd;
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e3f64..1e3).prop_filter("nonzero-ish", |x| x.abs() > 1e-6 || *x == 0.0)
+}
+
+fn complex() -> impl Strategy<Value = (f64, f64)> {
+    (finite_f64(), finite_f64())
+}
+
+fn cmat(m: usize, n: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec(complex(), m * n).prop_map(move |v| {
+        CMat::from_rows(
+            m,
+            n,
+            &v.into_iter().map(|(re, im)| C64::new(re, im)).collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms((ar, ai) in complex(), (br, bi) in complex()) {
+        let a = C64::new(ar, ai);
+        let b = C64::new(br, bi);
+        // Commutativity.
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-9);
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-9);
+        // Conjugation distributes.
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-6 * (1.0 + (a*b).abs()));
+        // |ab| = |a||b|.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * (1.0 + a.abs() * b.abs()));
+    }
+
+    #[test]
+    fn svd_reconstructs(a in cmat(3, 4)) {
+        let d = svd(&a);
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(d.reconstruct().approx_eq(&a, 1e-8 * scale), "U S V^H != A");
+        prop_assert!(d.v.has_orthonormal_columns(1e-8), "V not unitary");
+        // Singular values sorted, non-negative.
+        for w in d.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(d.s.iter().all(|&x| x >= 0.0));
+        // Energy identity.
+        let energy: f64 = d.s.iter().map(|x| x * x).sum();
+        prop_assert!((energy - a.frobenius_norm_sqr()).abs() < 1e-6 * (1.0 + energy));
+    }
+
+    #[test]
+    fn nullspace_annihilates(a in cmat(2, 4)) {
+        let d = svd(&a);
+        let ns = d.nullspace(1e-9);
+        prop_assert!(ns.cols() >= 2);
+        let residual = a.matmul(&ns).max_abs();
+        prop_assert!(residual < 1e-7 * (1.0 + a.max_abs()), "residual {residual}");
+    }
+
+    #[test]
+    fn lu_solves_what_it_factors(a in cmat(3, 3), b in cmat(3, 2)) {
+        if let Ok(lu) = Lu::factor(&a) {
+            let x = lu.solve(&b);
+            let back = a.matmul(&x);
+            let scale = b.frobenius_norm().max(a.frobenius_norm()).max(1.0);
+            // Conditioning can inflate error; accept a generous bound and
+            // just require the residual to be small relative to x's size.
+            let xn = x.frobenius_norm().max(1.0);
+            prop_assert!(back.approx_eq(&b, 1e-5 * scale * xn), "A x != b");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips(a in cmat(2, 2)) {
+        if let Ok(inv) = inverse(&a) {
+            let xn = inv.frobenius_norm().max(1.0) * a.frobenius_norm().max(1.0);
+            prop_assert!(a.matmul(&inv).approx_eq(&CMat::identity(2), 1e-6 * xn));
+        }
+    }
+
+    #[test]
+    fn fft_round_trip(v in proptest::collection::vec(complex(), 64)) {
+        let x: Vec<C64> = v.into_iter().map(|(re, im)| C64::new(re, im)).collect();
+        let y = ifft(&fft(&x));
+        let scale = x.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(v in proptest::collection::vec(complex(), 32)) {
+        let x: Vec<C64> = v.into_iter().map(|(re, im)| C64::new(re, im)).collect();
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        prop_assert!((ex - ey).abs() < 1e-8 * (1.0 + ex));
+    }
+
+    #[test]
+    fn erfc_bounds_and_symmetry(x in -5.0f64..5.0) {
+        let v = erfc(x);
+        prop_assert!((0.0..=2.0).contains(&v));
+        prop_assert!((erfc(-x) - (2.0 - v)).abs() < 1e-9);
+        let q = q_func(x);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn db_round_trip(db in -120.0f64..60.0) {
+        prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..40), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn cdf_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let cdf = EmpiricalCdf::new(&xs);
+        let mut prev = -1.0;
+        for i in -10..=10 {
+            let p = cdf.eval(i as f64 * 10.0);
+            prop_assert!(p >= prev);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+}

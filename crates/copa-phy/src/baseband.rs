@@ -1,0 +1,336 @@
+//! Symbol-level OFDM baseband: the full 802.11 bit pipeline.
+//!
+//! `scramble -> convolutional encode (punctured) -> interleave per OFDM
+//! symbol -> Gray-map -> subcarriers` and the exact reverse. The analytic
+//! BER/throughput models in [`crate::link`] are validated against this
+//! bit-true chain by Monte-Carlo tests in `copa-sim`.
+//!
+//! A time-domain OFDM modulator (64-point IFFT + 16-sample cyclic prefix at
+//! 20 MHz) is included for completeness; over a CP-contained multipath
+//! channel it is equivalent to per-subcarrier complex multiplication, which
+//! is what the link simulations use.
+
+use crate::coding::{encode, viterbi_decode, CONSTRAINT_LENGTH};
+use crate::interleaver::Interleaver;
+use crate::mapper::Mapper;
+use crate::mcs::Mcs;
+use crate::ofdm::{data_subcarrier_bins, DATA_SUBCARRIERS, FFT_SIZE};
+use crate::scrambler::Scrambler;
+use copa_num::complex::{C64, ZERO};
+use copa_num::fft::{fft, ifft};
+
+/// Cyclic prefix length in samples (800 ns at 20 MHz).
+pub const CP_SAMPLES: usize = 16;
+
+/// One modulated frame: per OFDM symbol, the 52 data-subcarrier symbols.
+#[derive(Clone, Debug)]
+pub struct TxFrame {
+    /// `symbols[t][s]`: complex symbol on data subcarrier `s` of OFDM
+    /// symbol `t`. Unit average energy per subcarrier.
+    pub symbols: Vec<Vec<C64>>,
+    /// Number of payload bits carried (before padding).
+    pub payload_bits: usize,
+}
+
+/// The 802.11 transmit/receive bit pipeline for one MCS.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    mcs: Mcs,
+    mapper: Mapper,
+    interleaver: Interleaver,
+    scrambler_seed: u8,
+}
+
+impl Chain {
+    /// Builds the pipeline for an MCS (scrambler seed fixed for
+    /// reproducibility; any nonzero value works).
+    pub fn new(mcs: Mcs) -> Self {
+        Self {
+            mcs,
+            mapper: Mapper::new(mcs.modulation),
+            interleaver: Interleaver::new(mcs.modulation),
+            scrambler_seed: 0x5D,
+        }
+    }
+
+    /// The MCS this chain implements.
+    pub fn mcs(&self) -> Mcs {
+        self.mcs
+    }
+
+    /// Encodes payload bits into per-subcarrier symbols.
+    pub fn transmit(&self, payload: &[u8]) -> TxFrame {
+        // Scramble.
+        let mut bits = payload.to_vec();
+        Scrambler::new(self.scrambler_seed).process(&mut bits);
+        // Convolutional encode (adds tail, applies puncturing).
+        let mut coded = encode(&bits, self.mcs.rate);
+        // Pad to a whole number of OFDM symbols.
+        let block = self.interleaver.block_len();
+        let pad = (block - coded.len() % block) % block;
+        coded.extend(std::iter::repeat_n(0u8, pad));
+        // Interleave + map per OFDM symbol.
+        let symbols = coded
+            .chunks(block)
+            .map(|chunk| self.mapper.map(&self.interleaver.interleave(chunk)))
+            .collect();
+        TxFrame { symbols, payload_bits: payload.len() }
+    }
+
+    /// Decodes received per-subcarrier symbols (after equalization) back to
+    /// payload bits. `payload_bits` must match the transmitted frame.
+    pub fn receive(&self, received: &[Vec<C64>], payload_bits: usize) -> Vec<u8> {
+        let mut coded = Vec::new();
+        for sym in received {
+            assert_eq!(sym.len(), DATA_SUBCARRIERS, "need all data subcarriers");
+            let hard = self.mapper.demap(sym);
+            coded.extend(self.interleaver.deinterleave(&hard));
+        }
+        // Trim the padding: reconstruct the exact punctured length.
+        let coded_len = encode(&vec![0u8; payload_bits], self.mcs.rate).len();
+        coded.truncate(coded_len);
+        let mut bits = viterbi_decode(&coded, payload_bits, self.mcs.rate);
+        Scrambler::new(self.scrambler_seed).process(&mut bits);
+        bits
+    }
+
+    /// Payload bits that fit in `n_symbols` OFDM symbols (ignoring tail
+    /// rounding; useful for sizing test frames).
+    pub fn payload_capacity(&self, n_symbols: usize) -> usize {
+        let coded = n_symbols * self.interleaver.block_len();
+        let (k, n) = self.mcs.rate.ratio();
+        (coded * k / n).saturating_sub(CONSTRAINT_LENGTH - 1)
+    }
+
+    /// Soft-decision receive: per-subcarrier LLR demapping followed by a
+    /// soft Viterbi pass (the ~2 dB-better path real receivers use).
+    ///
+    /// `noise_var[t][s]` is the post-equalization complex noise variance of
+    /// OFDM symbol `t`, subcarrier `s` (for zero-forcing equalization this
+    /// is `noise / |h_s|^2`, so faded subcarriers contribute weak LLRs --
+    /// exactly the per-subcarrier reliability information hard decisions
+    /// throw away).
+    pub fn receive_soft(
+        &self,
+        received: &[Vec<C64>],
+        noise_var: &[Vec<f64>],
+        payload_bits: usize,
+    ) -> Vec<u8> {
+        assert_eq!(received.len(), noise_var.len());
+        let block = self.interleaver.block_len();
+        let bps = self.mapper.bits_per_symbol();
+        let mut llrs: Vec<f64> = Vec::new();
+        for (sym, nv) in received.iter().zip(noise_var) {
+            assert_eq!(sym.len(), DATA_SUBCARRIERS);
+            // LLRs in interleaved order...
+            let mut sym_llrs = Vec::with_capacity(block);
+            for (s, &y) in sym.iter().enumerate() {
+                crate::soft::soft_demap(&self.mapper, y, nv[s], &mut sym_llrs);
+            }
+            debug_assert_eq!(sym_llrs.len(), DATA_SUBCARRIERS * bps);
+            // ...deinterleaved back to coded order.
+            let mut deint = vec![0.0; block];
+            for (j, llr) in sym_llrs.iter().enumerate() {
+                deint[self.interleaver.deinterleave_index(j)] = *llr;
+            }
+            llrs.extend(deint);
+        }
+        let coded_len = encode(&vec![0u8; payload_bits], self.mcs.rate).len();
+        llrs.truncate(coded_len);
+        let mut bits = crate::soft::soft_viterbi_decode(&llrs, payload_bits, self.mcs.rate);
+        Scrambler::new(self.scrambler_seed).process(&mut bits);
+        bits
+    }
+}
+
+/// Time-domain OFDM modulation of one symbol: places the 52 data symbols on
+/// their FFT bins, IFFTs, and prepends the cyclic prefix
+/// (returns `FFT_SIZE + CP_SAMPLES` samples).
+pub fn ofdm_modulate(data: &[C64]) -> Vec<C64> {
+    assert_eq!(data.len(), DATA_SUBCARRIERS);
+    let bins = data_subcarrier_bins();
+    let mut freq = vec![ZERO; FFT_SIZE];
+    for (&bin, &x) in bins.iter().zip(data) {
+        freq[bin] = x;
+    }
+    let time = ifft(&freq);
+    let mut out = Vec::with_capacity(FFT_SIZE + CP_SAMPLES);
+    out.extend_from_slice(&time[FFT_SIZE - CP_SAMPLES..]);
+    out.extend_from_slice(&time);
+    out
+}
+
+/// Inverse of [`ofdm_modulate`]: strips the CP, FFTs, extracts data bins.
+pub fn ofdm_demodulate(samples: &[C64]) -> Vec<C64> {
+    assert_eq!(samples.len(), FFT_SIZE + CP_SAMPLES);
+    let freq = fft(&samples[CP_SAMPLES..]);
+    let bins = data_subcarrier_bins();
+    bins.iter().map(|&b| freq[b]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_num::SimRng;
+
+    fn random_bits(rng: &mut SimRng, n: usize) -> Vec<u8> {
+        (0..n).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    #[test]
+    fn clean_channel_round_trip_all_mcs() {
+        let mut rng = SimRng::seed_from(1);
+        for mcs in Mcs::TABLE {
+            let chain = Chain::new(mcs);
+            let payload = random_bits(&mut rng, chain.payload_capacity(6));
+            let frame = chain.transmit(&payload);
+            let decoded = chain.receive(&frame.symbols, payload.len());
+            assert_eq!(decoded, payload, "{mcs}");
+        }
+    }
+
+    #[test]
+    fn survives_additive_noise_within_margin() {
+        // MCS0 (BPSK 1/2) at 10 dB SNR decodes error-free with
+        // overwhelming probability.
+        let mut rng = SimRng::seed_from(2);
+        let chain = Chain::new(Mcs::TABLE[0]);
+        let payload = random_bits(&mut rng, chain.payload_capacity(10));
+        let frame = chain.transmit(&payload);
+        let sigma = copa_num::special::db_to_lin(-10.0).sqrt();
+        let noisy: Vec<Vec<C64>> = frame
+            .symbols
+            .iter()
+            .map(|sym| sym.iter().map(|&x| x + rng.randc().scale(sigma)).collect())
+            .collect();
+        let decoded = chain.receive(&noisy, payload.len());
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn high_mcs_fails_at_low_snr() {
+        // MCS7 (64-QAM 5/6) at 8 dB must produce bit errors -- the chain is
+        // honest about its limits.
+        let mut rng = SimRng::seed_from(3);
+        let chain = Chain::new(Mcs::TABLE[7]);
+        let payload = random_bits(&mut rng, chain.payload_capacity(10));
+        let frame = chain.transmit(&payload);
+        let sigma = copa_num::special::db_to_lin(-8.0).sqrt();
+        let noisy: Vec<Vec<C64>> = frame
+            .symbols
+            .iter()
+            .map(|sym| sym.iter().map(|&x| x + rng.randc().scale(sigma)).collect())
+            .collect();
+        let decoded = chain.receive(&noisy, payload.len());
+        let errs = decoded.iter().zip(&payload).filter(|(a, b)| a != b).count();
+        assert!(errs > 0, "MCS7 at 8 dB should not decode cleanly");
+    }
+
+
+    #[test]
+    fn soft_receive_round_trips_cleanly() {
+        let mut rng = SimRng::seed_from(7);
+        for mcs in [Mcs::TABLE[0], Mcs::TABLE[4], Mcs::TABLE[7]] {
+            let chain = Chain::new(mcs);
+            let payload = random_bits(&mut rng, chain.payload_capacity(5));
+            let frame = chain.transmit(&payload);
+            let nv = vec![vec![1e-4; DATA_SUBCARRIERS]; frame.symbols.len()];
+            let decoded = chain.receive_soft(&frame.symbols, &nv, payload.len());
+            assert_eq!(decoded, payload, "{mcs}");
+        }
+    }
+
+    #[test]
+    fn soft_receive_beats_hard_at_marginal_snr() {
+        // MCS3 (16-QAM 1/2) near its sensitivity threshold: soft decoding
+        // should leave fewer bit errors than hard decoding on the same
+        // received symbols, aggregated over several frames.
+        let mut rng = SimRng::seed_from(8);
+        let chain = Chain::new(Mcs::TABLE[3]);
+        let snr_db = 7.0;
+        let sigma2 = copa_num::special::db_to_lin(-snr_db);
+        let mut hard_errs = 0usize;
+        let mut soft_errs = 0usize;
+        for _ in 0..8 {
+            let payload = random_bits(&mut rng, chain.payload_capacity(6));
+            let frame = chain.transmit(&payload);
+            let noisy: Vec<Vec<C64>> = frame
+                .symbols
+                .iter()
+                .map(|sym| sym.iter().map(|&x| x + rng.randc().scale(sigma2.sqrt())).collect())
+                .collect();
+            let hard = chain.receive(&noisy, payload.len());
+            let nv = vec![vec![sigma2; DATA_SUBCARRIERS]; noisy.len()];
+            let soft = chain.receive_soft(&noisy, &nv, payload.len());
+            hard_errs += hard.iter().zip(&payload).filter(|(a, b)| a != b).count();
+            soft_errs += soft.iter().zip(&payload).filter(|(a, b)| a != b).count();
+        }
+        assert!(
+            soft_errs < hard_errs,
+            "soft ({soft_errs}) should beat hard ({hard_errs}) at {snr_db} dB"
+        );
+    }
+
+    #[test]
+    fn ofdm_time_domain_round_trip() {
+        let mut rng = SimRng::seed_from(4);
+        let data: Vec<C64> = (0..DATA_SUBCARRIERS).map(|_| rng.randc()).collect();
+        let time = ofdm_modulate(&data);
+        assert_eq!(time.len(), 80);
+        let back = ofdm_demodulate(&time);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_a_copy_of_the_tail() {
+        let mut rng = SimRng::seed_from(5);
+        let data: Vec<C64> = (0..DATA_SUBCARRIERS).map(|_| rng.randc()).collect();
+        let time = ofdm_modulate(&data);
+        for i in 0..CP_SAMPLES {
+            assert!((time[i] - time[FFT_SIZE + i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cp_absorbs_channel_delay() {
+        // A two-tap channel (delay < CP) applied in the time domain equals
+        // per-subcarrier multiplication by the channel's frequency response.
+        let mut rng = SimRng::seed_from(6);
+        let data: Vec<C64> = (0..DATA_SUBCARRIERS).map(|_| rng.randc()).collect();
+        let time = ofdm_modulate(&data);
+        let h0 = C64::new(0.8, 0.1);
+        let h3 = C64::new(-0.3, 0.4);
+        // Convolve (circularly valid thanks to the CP; ignore the first
+        // CP samples which carry inter-symbol junk in a real stream).
+        let mut rx = vec![ZERO; time.len()];
+        for (i, &x) in time.iter().enumerate() {
+            rx[i] += h0 * x;
+            if i + 3 < time.len() {
+                rx[i + 3] += h3 * x;
+            }
+        }
+        let received = ofdm_demodulate(&rx);
+        // Expected: H[k] * data[k] with H from the tapped delay line.
+        let resp = copa_num::fft::tapped_delay_response(&[(0, h0), (3, h3)], FFT_SIZE);
+        let bins = data_subcarrier_bins();
+        for ((r, &bin), d) in received.iter().zip(&bins).zip(&data) {
+            let expect = resp[bin] * *d;
+            assert!(
+                (*r - expect).abs() < 1e-9,
+                "subcarrier at bin {bin}: {r:?} vs {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_capacity_consistent() {
+        for mcs in Mcs::TABLE {
+            let chain = Chain::new(mcs);
+            let cap = chain.payload_capacity(8);
+            let frame = chain.transmit(&vec![0u8; cap]);
+            assert!(frame.symbols.len() <= 8, "{mcs}: {} symbols for capacity payload", frame.symbols.len());
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! 802.11 convolutional coding: encoder, puncturing, Viterbi decoder, and
+//! the union-bound coded-BER model.
+//!
+//! The paper's throughput predictor turns measured SINR into uncoded BER and
+//! then into coded BER "for 802.11n's different coding rates" using the
+//! standard convolutional-code analysis (Tse & Viswanath). We implement the
+//! same union bound, plus a real K=7 (133, 171) encoder and hard-decision
+//! Viterbi decoder so tests can validate the analytic model bit-by-bit.
+
+use crate::modulation::Modulation;
+
+/// 802.11 convolutional code rates (mother code K=7, generators 133/171
+/// octal; higher rates by puncturing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodeRate {
+    /// Rate 1/2 (unpunctured mother code).
+    R12,
+    /// Rate 2/3.
+    R23,
+    /// Rate 3/4.
+    R34,
+    /// Rate 5/6.
+    R56,
+}
+
+impl CodeRate {
+    /// All rates, most to least robust.
+    pub const ALL: [CodeRate; 4] = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56];
+
+    /// The code rate as a fraction.
+    pub fn fraction(self) -> f64 {
+        match self {
+            CodeRate::R12 => 0.5,
+            CodeRate::R23 => 2.0 / 3.0,
+            CodeRate::R34 => 0.75,
+            CodeRate::R56 => 5.0 / 6.0,
+        }
+    }
+
+    /// `(numerator, denominator)` of the rate.
+    pub fn ratio(self) -> (usize, usize) {
+        match self {
+            CodeRate::R12 => (1, 2),
+            CodeRate::R23 => (2, 3),
+            CodeRate::R34 => (3, 4),
+            CodeRate::R56 => (5, 6),
+        }
+    }
+
+    /// Puncturing pattern pairs `(keep_a, keep_b)` per input bit, cycling.
+    /// `a` is the output of generator 133, `b` of generator 171.
+    /// (Public alias for the soft decoder.)
+    pub fn puncture_pattern_public(self) -> &'static [(bool, bool)] {
+        self.puncture_pattern()
+    }
+
+    /// Puncturing pattern pairs `(keep_a, keep_b)` per input bit, cycling.
+    fn puncture_pattern(self) -> &'static [(bool, bool)] {
+        match self {
+            CodeRate::R12 => &[(true, true)],
+            CodeRate::R23 => &[(true, true), (true, false)],
+            CodeRate::R34 => &[(true, true), (false, true), (true, false)],
+            CodeRate::R56 => &[
+                (true, true),
+                (false, true),
+                (true, false),
+                (false, true),
+                (true, false),
+            ],
+        }
+    }
+
+    /// Free distance and information-bit-error weight spectrum `(d, c_d)` of
+    /// the punctured K=7 codes (standard tables used throughout the 802.11
+    /// literature, e.g. Haccoun & Begin 1989).
+    pub fn weight_spectrum(self) -> &'static [(u32, f64)] {
+        match self {
+            CodeRate::R12 => &[
+                (10, 36.0),
+                (12, 211.0),
+                (14, 1404.0),
+                (16, 11633.0),
+                (18, 77433.0),
+            ],
+            CodeRate::R23 => &[
+                (6, 3.0),
+                (7, 70.0),
+                (8, 285.0),
+                (9, 1276.0),
+                (10, 6160.0),
+                (11, 27128.0),
+            ],
+            CodeRate::R34 => &[
+                (5, 42.0),
+                (6, 201.0),
+                (7, 1492.0),
+                (8, 10469.0),
+                (9, 62935.0),
+                (10, 379546.0),
+            ],
+            CodeRate::R56 => &[
+                (4, 92.0),
+                (5, 528.0),
+                (6, 8694.0),
+                (7, 79453.0),
+                (8, 792114.0),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (n, d) = self.ratio();
+        write!(f, "{n}/{d}")
+    }
+}
+
+/// Constraint length of the 802.11 mother code.
+pub const CONSTRAINT_LENGTH: usize = 7;
+/// Generator polynomial 133 (octal).
+const G0: u32 = 0o133;
+/// Generator polynomial 171 (octal).
+const G1: u32 = 0o171;
+const STATES: usize = 1 << (CONSTRAINT_LENGTH - 1); // 64
+
+/// Encodes `bits` with the K=7 (133,171) code at `rate`, appending
+/// `CONSTRAINT_LENGTH - 1` zero tail bits to terminate the trellis.
+///
+/// Punctured positions are simply omitted from the output, as transmitted on
+/// air. The output length is therefore
+/// `ceil((bits.len() + 6) * 2 * kept / (2 * pattern_len))` give or take the
+/// cycle phase.
+pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
+    let pattern = rate.puncture_pattern();
+    let mut state: u32 = 0;
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for (i, &bit) in bits.iter().chain(std::iter::repeat(&0u8).take(CONSTRAINT_LENGTH - 1)).enumerate() {
+        debug_assert!(bit <= 1);
+        let reg = (state << 1) | bit as u32;
+        let a = (reg & G0).count_ones() & 1;
+        let b = (reg & G1).count_ones() & 1;
+        let (keep_a, keep_b) = pattern[i % pattern.len()];
+        if keep_a {
+            out.push(a as u8);
+        }
+        if keep_b {
+            out.push(b as u8);
+        }
+        state = reg & ((1 << (CONSTRAINT_LENGTH - 1)) - 1);
+    }
+    out
+}
+
+/// Hard-decision Viterbi decoder matching [`encode`] (same rate, same
+/// termination). Returns the decoded information bits (tail removed).
+///
+/// # Panics
+/// Panics if `coded` is shorter than the encoder would have produced for
+/// `info_len` bits.
+pub fn viterbi_decode(coded: &[u8], info_len: usize, rate: CodeRate) -> Vec<u8> {
+    let pattern = rate.puncture_pattern();
+    let total_steps = info_len + CONSTRAINT_LENGTH - 1;
+
+    // Reconstruct which coded positions exist after puncturing; erased
+    // positions contribute no metric.
+    #[derive(Clone, Copy)]
+    struct Step {
+        a: Option<u8>,
+        b: Option<u8>,
+    }
+    let mut steps = Vec::with_capacity(total_steps);
+    let mut idx = 0usize;
+    for i in 0..total_steps {
+        let (keep_a, keep_b) = pattern[i % pattern.len()];
+        let a = if keep_a {
+            let v = coded.get(idx).copied();
+            idx += 1;
+            v
+        } else {
+            None
+        };
+        let b = if keep_b {
+            let v = coded.get(idx).copied();
+            idx += 1;
+            v
+        } else {
+            None
+        };
+        assert!(
+            (!keep_a || a.is_some()) && (!keep_b || b.is_some()),
+            "coded sequence too short"
+        );
+        steps.push(Step { a, b });
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metric = vec![INF; STATES];
+    metric[0] = 0;
+    let mut pred: Vec<Vec<u8>> = Vec::with_capacity(total_steps);
+
+    for step in &steps {
+        let mut next = vec![INF; STATES];
+        let mut choice = vec![0u8; STATES];
+        for s in 0..STATES {
+            if metric[s] == INF {
+                continue;
+            }
+            for bit in 0..2u32 {
+                let reg = ((s as u32) << 1) | bit;
+                let a = ((reg & G0).count_ones() & 1) as u8;
+                let b = ((reg & G1).count_ones() & 1) as u8;
+                let ns = (reg & (STATES as u32 - 1)) as usize;
+                let mut m = metric[s];
+                if let Some(ra) = step.a {
+                    m += (ra != a) as u32;
+                }
+                if let Some(rb) = step.b {
+                    m += (rb != b) as u32;
+                }
+                if m < next[ns] {
+                    next[ns] = m;
+                    // Predecessor state fits in u8 for K=7 (64 states).
+                    choice[ns] = s as u8;
+                }
+            }
+        }
+        pred.push(choice);
+        metric = next;
+    }
+
+    // Terminated trellis: trace back from state 0.
+    let mut state = 0usize;
+    let mut decoded = vec![0u8; total_steps];
+    for i in (0..total_steps).rev() {
+        let prev = pred[i][state] as usize;
+        // state = ((prev << 1) | bit) & mask, so the input bit is state's LSB.
+        decoded[i] = (state & 1) as u8;
+        state = prev;
+    }
+    decoded.truncate(info_len);
+    decoded
+}
+
+/// Pairwise error probability of a weight-`d` error event on a binary
+/// symmetric channel with crossover probability `p` (hard-decision Viterbi).
+fn pairwise_error(d: u32, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let p = p.min(0.5);
+    let q = 1.0 - p;
+    let d = d as i64;
+    let mut sum = 0.0;
+    if d % 2 == 0 {
+        let k = d / 2;
+        sum += 0.5 * binom(d, k) * p.powi(k as i32) * q.powi((d - k) as i32);
+        for k in (d / 2 + 1)..=d {
+            sum += binom(d, k) * p.powi(k as i32) * q.powi((d - k) as i32);
+        }
+    } else {
+        for k in ((d + 1) / 2)..=d {
+            sum += binom(d, k) * p.powi(k as i32) * q.powi((d - k) as i32);
+        }
+    }
+    sum.min(1.0)
+}
+
+fn binom(n: i64, k: i64) -> f64 {
+    let k = k.min(n - k);
+    let mut r = 1.0f64;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// Coded BER after Viterbi decoding, from the channel (uncoded) BER `p`, via
+/// the union bound with the code's weight spectrum. Clamped to `[0, 0.5]`.
+pub fn coded_ber(p: f64, rate: CodeRate) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let (k_num, _) = rate.ratio();
+    let sum: f64 = rate
+        .weight_spectrum()
+        .iter()
+        .map(|&(d, c)| c * pairwise_error(d, p))
+        .sum();
+    (sum / k_num as f64).clamp(0.0, 0.5)
+}
+
+/// Frame error rate of an `len_bytes`-byte MPDU at coded BER `pb`:
+/// `1 - (1 - pb)^(8 * len_bytes)`.
+pub fn frame_error_rate(pb: f64, len_bytes: usize) -> f64 {
+    let bits = (len_bytes * 8) as f64;
+    if pb <= 0.0 {
+        return 0.0;
+    }
+    if pb >= 1.0 {
+        return 1.0;
+    }
+    // ln1p for numerical accuracy at tiny pb.
+    1.0 - (bits * (-pb).ln_1p()).exp()
+}
+
+/// Coded BER for a modulation + rate pair at symbol SINR `gamma` (linear):
+/// chains [`Modulation::uncoded_ber`] into [`coded_ber`].
+pub fn coded_ber_at_sinr(modulation: Modulation, rate: CodeRate, gamma: f64) -> f64 {
+    coded_ber(modulation.uncoded_ber(gamma), rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_num::SimRng;
+
+    #[test]
+    fn encode_rate_half_length() {
+        let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let coded = encode(&bits, CodeRate::R12);
+        assert_eq!(coded.len(), (bits.len() + 6) * 2);
+    }
+
+    #[test]
+    fn punctured_lengths() {
+        // 60 info bits + 6 tail = 66 steps.
+        let bits = vec![0u8; 60];
+        // R23: per 2 steps keep 3 -> 66/2*3 = 99.
+        assert_eq!(encode(&bits, CodeRate::R23).len(), 99);
+        // R34: per 3 steps keep 4 -> 66/3*4 = 88.
+        assert_eq!(encode(&bits, CodeRate::R34).len(), 88);
+        // R56: per 5 steps keep 6 -> 66 = 13*5+1; 13*6 + 2(first step keeps both) = 80.
+        assert_eq!(encode(&bits, CodeRate::R56).len(), 80);
+    }
+
+    #[test]
+    fn viterbi_decodes_clean_channel() {
+        let mut rng = SimRng::seed_from(4);
+        for rate in CodeRate::ALL {
+            let bits: Vec<u8> = (0..120).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let coded = encode(&bits, rate);
+            let decoded = viterbi_decode(&coded, bits.len(), rate);
+            assert_eq!(decoded, bits, "clean decode failed at rate {rate}");
+        }
+    }
+
+    #[test]
+    fn viterbi_corrects_errors_at_rate_half() {
+        // Rate 1/2, dfree = 10: up to 4 well-separated bit flips correctable.
+        let mut rng = SimRng::seed_from(5);
+        let bits: Vec<u8> = (0..200).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let mut coded = encode(&bits, CodeRate::R12);
+        for &pos in &[10usize, 100, 200, 300] {
+            coded[pos] ^= 1;
+        }
+        let decoded = viterbi_decode(&coded, bits.len(), CodeRate::R12);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn viterbi_beats_uncoded_on_noisy_channel() {
+        // Empirical check that the decoder actually corrects: BSC with p=0.02,
+        // rate 1/2 should decode with far fewer errors than 2%.
+        let mut rng = SimRng::seed_from(6);
+        let n = 2000;
+        let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let mut coded = encode(&bits, CodeRate::R12);
+        let mut flips = 0;
+        for b in coded.iter_mut() {
+            if rng.uniform() < 0.02 {
+                *b ^= 1;
+                flips += 1;
+            }
+        }
+        assert!(flips > 0);
+        let decoded = viterbi_decode(&coded, n, CodeRate::R12);
+        let errs = decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(
+            (errs as f64 / n as f64) < 0.002,
+            "decoder left {errs}/{n} errors"
+        );
+    }
+
+    #[test]
+    fn coded_ber_ordering_and_limits() {
+        // More redundancy -> lower coded BER at the same channel BER.
+        for &p in &[1e-3, 5e-3, 1e-2] {
+            let bers: Vec<f64> = CodeRate::ALL.iter().map(|&r| coded_ber(p, r)).collect();
+            for w in bers.windows(2) {
+                assert!(w[0] <= w[1], "rate ordering violated at p={p}: {bers:?}");
+            }
+        }
+        assert_eq!(coded_ber(0.0, CodeRate::R12), 0.0);
+        assert!(coded_ber(0.4, CodeRate::R12) <= 0.5);
+    }
+
+    #[test]
+    fn coded_ber_monotone_in_channel_ber() {
+        for rate in CodeRate::ALL {
+            let mut prev = 0.0;
+            for i in 0..60 {
+                let p = 10f64.powf(-6.0 + i as f64 * 0.1);
+                let c = coded_ber(p, rate);
+                assert!(c >= prev - 1e-18, "not monotone at p={p}, rate {rate}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn union_bound_tracks_simulation() {
+        // At channel BER 1%, rate 1/2: simulate and compare order of magnitude.
+        let p = 0.01;
+        let predicted = coded_ber(p, CodeRate::R12);
+        let mut rng = SimRng::seed_from(77);
+        let n = 40_000;
+        let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let mut coded = encode(&bits, CodeRate::R12);
+        for b in coded.iter_mut() {
+            if rng.uniform() < p {
+                *b ^= 1;
+            }
+        }
+        let decoded = viterbi_decode(&coded, n, CodeRate::R12);
+        let errs = decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        let sim = errs as f64 / n as f64;
+        // Union bound is an upper bound; it should not be below the simulation
+        // by much, nor absurdly far above.
+        assert!(
+            predicted >= sim * 0.3 && predicted <= sim * 50.0 + 1e-6,
+            "union bound {predicted:e} vs simulated {sim:e}"
+        );
+    }
+
+    #[test]
+    fn fer_properties() {
+        assert_eq!(frame_error_rate(0.0, 1500), 0.0);
+        assert_eq!(frame_error_rate(1.0, 1500), 1.0);
+        let f1 = frame_error_rate(1e-6, 1500);
+        let f2 = frame_error_rate(1e-5, 1500);
+        assert!(f1 < f2 && f2 < 1.0);
+        // ~ bits * pb for tiny pb.
+        assert!((f1 / (12000.0 * 1e-6) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spectra_start_at_free_distance() {
+        assert_eq!(CodeRate::R12.weight_spectrum()[0].0, 10);
+        assert_eq!(CodeRate::R23.weight_spectrum()[0].0, 6);
+        assert_eq!(CodeRate::R34.weight_spectrum()[0].0, 5);
+        assert_eq!(CodeRate::R56.weight_spectrum()[0].0, 4);
+    }
+}

@@ -1,0 +1,167 @@
+//! The 802.11 block interleaver.
+//!
+//! Coded bits are interleaved across the subcarriers of each OFDM symbol so
+//! a deep fade hits scattered code bits rather than a burst -- this is what
+//! makes the decoder see the *average* of per-subcarrier BERs (the model
+//! `copa-phy::link` uses), and why a few terrible subcarriers poison whole
+//! frames.
+//!
+//! Standard two-permutation interleaver (802.11n, 20 MHz, one stream) over
+//! `N_CBPS` coded bits per symbol with `N_COL = 13` columns and
+//! `N_ROW = 4 * N_BPSC` rows (13 x 4 x N_BPSC = 52 x N_BPSC = N_CBPS):
+//!   first:  `i = N_ROW * (k mod N_COL) + floor(k / N_COL)`
+//!   second: `j = s*floor(i/s) + (i + N_CBPS - floor(N_COL*i/N_CBPS)) mod s`,
+//! with `s = max(N_BPSC/2, 1)`.
+
+use crate::modulation::Modulation;
+use crate::ofdm::DATA_SUBCARRIERS;
+
+/// Interleaver for one OFDM symbol of a given modulation.
+#[derive(Clone, Debug)]
+pub struct Interleaver {
+    /// Coded bits per OFDM symbol.
+    n_cbps: usize,
+    /// Permutation: output position of each input bit.
+    forward: Vec<usize>,
+    /// Inverse permutation.
+    inverse: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Builds the interleaver for `modulation` over the 52 data subcarriers.
+    pub fn new(modulation: Modulation) -> Self {
+        let n_bpsc = modulation.bits_per_symbol() as usize;
+        let n_cbps = n_bpsc * DATA_SUBCARRIERS;
+        let n_col = 13;
+        let n_row = 4 * n_bpsc;
+        let s = (n_bpsc / 2).max(1);
+        let mut forward = vec![0usize; n_cbps];
+        for k in 0..n_cbps {
+            let i = n_row * (k % n_col) + k / n_col;
+            let j = s * (i / s) + (i + n_cbps - (n_col * i) / n_cbps) % s;
+            forward[k] = j;
+        }
+        let mut inverse = vec![0usize; n_cbps];
+        for (k, &j) in forward.iter().enumerate() {
+            inverse[j] = k;
+        }
+        Self { n_cbps, forward, inverse }
+    }
+
+    /// Coded bits per OFDM symbol.
+    pub fn block_len(&self) -> usize {
+        self.n_cbps
+    }
+
+    /// Interleaves one block (`bits.len()` must equal [`block_len`]).
+    ///
+    /// [`block_len`]: Interleaver::block_len
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "block size mismatch");
+        let mut out = vec![0u8; self.n_cbps];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.forward[k]] = b;
+        }
+        out
+    }
+
+    /// Coded-order position of interleaved position `j` (for soft values,
+    /// which the byte-oriented [`deinterleave`] cannot carry).
+    ///
+    /// [`deinterleave`]: Interleaver::deinterleave
+    pub fn deinterleave_index(&self, j: usize) -> usize {
+        self.inverse[j]
+    }
+
+    /// Inverse of [`interleave`].
+    ///
+    /// [`interleave`]: Interleaver::interleave
+    pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "block size mismatch");
+        let mut out = vec![0u8; self.n_cbps];
+        for (j, &b) in bits.iter().enumerate() {
+            out[self.inverse[j]] = b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_num::SimRng;
+
+    #[test]
+    fn round_trip_all_modulations() {
+        let mut rng = SimRng::seed_from(1);
+        for m in Modulation::ALL {
+            let il = Interleaver::new(m);
+            let bits: Vec<u8> = (0..il.block_len()).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let back = il.deinterleave(&il.interleave(&bits));
+            assert_eq!(back, bits, "{m}");
+        }
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        for m in Modulation::ALL {
+            let il = Interleaver::new(m);
+            let mut seen = vec![false; il.block_len()];
+            for &j in &il.forward {
+                assert!(!seen[j], "{m}: not a permutation");
+                seen[j] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn block_lengths_match_standard() {
+        assert_eq!(Interleaver::new(Modulation::Bpsk).block_len(), 52);
+        assert_eq!(Interleaver::new(Modulation::Qpsk).block_len(), 104);
+        assert_eq!(Interleaver::new(Modulation::Qam16).block_len(), 208);
+        assert_eq!(Interleaver::new(Modulation::Qam64).block_len(), 312);
+    }
+
+    #[test]
+    fn adjacent_bits_land_on_distant_subcarriers() {
+        // The point of interleaving: consecutive coded bits must not land
+        // on the same or adjacent subcarriers.
+        let il = Interleaver::new(Modulation::Qam16);
+        let n_bpsc = 4;
+        for k in 0..il.block_len() - 1 {
+            let sc_a = il.forward[k] / n_bpsc;
+            let sc_b = il.forward[k + 1] / n_bpsc;
+            assert!(
+                sc_a != sc_b,
+                "consecutive bits {k},{} on same subcarrier {sc_a}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn burst_is_scattered() {
+        // A fade covering 13 adjacent subcarriers corrupts code bits spread
+        // across the whole codeword, not a contiguous burst.
+        let il = Interleaver::new(Modulation::Bpsk);
+        let n = il.block_len();
+        // Mark bits on 13 adjacent subcarriers (positions after interleave).
+        let mut marked = vec![0u8; n];
+        for j in 0..13 {
+            marked[j] = 1;
+        }
+        let original_positions = il.deinterleave(&marked);
+        let positions: Vec<usize> = original_positions
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == 1)
+            .map(|(i, _)| i)
+            .collect();
+        let span = positions.last().unwrap() - positions.first().unwrap();
+        assert!(span >= n / 2, "burst not spread: span {span} of {n}");
+        // Not one contiguous run.
+        let contiguous = positions.windows(2).all(|w| w[1] - w[0] == 1);
+        assert!(!contiguous, "burst stayed contiguous after deinterleaving");
+    }
+}

@@ -1,0 +1,236 @@
+//! Link-level throughput prediction.
+//!
+//! Mirrors the paper's methodology (section 4.1): per-subcarrier SINR ->
+//! uncoded BER -> coded BER -> frame error rate -> expected goodput over a
+//! 4 ms transmit opportunity, including the MAC airtime efficiency supplied
+//! by the caller (`copa-mac` computes it per scheme).
+//!
+//! The key 802.11 constraint is modeled faithfully: a single modulation and
+//! convolutional code covers every active subcarrier, and the bit
+//! interleaver spreads coded bits across subcarriers, so the decoder sees
+//! the *average* of the per-subcarrier raw BERs. A few terrible subcarriers
+//! therefore drag the whole frame down -- the effect COPA exploits by
+//! dropping them.
+
+use crate::coding::{coded_ber, frame_error_rate};
+use crate::mcs::Mcs;
+use crate::ofdm::DATA_SUBCARRIERS;
+
+/// Default MPDU size used for frame-error conversion (a full-size data
+/// frame; the paper aggregates MPDUs into 4 ms A-MPDUs with per-MPDU
+/// delivery via block ACK).
+pub const DEFAULT_MPDU_BYTES: usize = 1500;
+
+/// Throughput model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputModel {
+    /// MPDU size in bytes for FER conversion.
+    pub mpdu_bytes: usize,
+}
+
+impl Default for ThroughputModel {
+    fn default() -> Self {
+        Self { mpdu_bytes: DEFAULT_MPDU_BYTES }
+    }
+}
+
+/// Outcome of rate selection for one transmission.
+#[derive(Clone, Copy, Debug)]
+pub struct RateChoice {
+    /// Chosen MCS.
+    pub mcs: Mcs,
+    /// Expected goodput in bits/s (PHY rate x (1 - FER) x airtime efficiency).
+    pub goodput_bps: f64,
+    /// Effective (subcarrier-averaged) uncoded BER at the chosen MCS.
+    pub uncoded_ber: f64,
+    /// Coded BER after Viterbi at the chosen MCS.
+    pub coded_ber: f64,
+    /// Frame error rate for an MPDU.
+    pub fer: f64,
+}
+
+impl ThroughputModel {
+    /// Effective raw BER seen by the (single) decoder: the mean of the
+    /// per-active-subcarrier uncoded BERs (the interleaver mixes them).
+    pub fn effective_uncoded_ber(&self, mcs: Mcs, sinrs: &[f64]) -> f64 {
+        if sinrs.is_empty() {
+            return 0.5;
+        }
+        sinrs.iter().map(|&g| mcs.modulation.uncoded_ber(g)).sum::<f64>() / sinrs.len() as f64
+    }
+
+    /// Predicted goodput of one MCS over the given active cells.
+    ///
+    /// `sinrs` holds the linear SINR of every *active* (stream, subcarrier)
+    /// cell; dropped subcarriers are simply absent and reduce the PHY rate
+    /// proportionally. `airtime_efficiency` is the fraction of wall-clock
+    /// time spent sending data symbols (from the MAC overhead model).
+    pub fn evaluate(&self, mcs: Mcs, sinrs: &[f64], airtime_efficiency: f64) -> RateChoice {
+        if sinrs.is_empty() {
+            return RateChoice { mcs, goodput_bps: 0.0, uncoded_ber: 0.5, coded_ber: 0.5, fer: 1.0 };
+        }
+        let p = self.effective_uncoded_ber(mcs, sinrs);
+        let pb = coded_ber(p, mcs.rate);
+        let fer = frame_error_rate(pb, self.mpdu_bytes);
+        let goodput = mcs.phy_rate_bps_with(sinrs.len()) * (1.0 - fer) * airtime_efficiency;
+        RateChoice { mcs, goodput_bps: goodput, uncoded_ber: p, coded_ber: pb, fer }
+    }
+
+    /// Rate adaptation: evaluates every MCS and returns the goodput-max.
+    pub fn best(&self, sinrs: &[f64], airtime_efficiency: f64) -> RateChoice {
+        Mcs::TABLE
+            .iter()
+            .map(|&m| self.evaluate(m, sinrs, airtime_efficiency))
+            .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
+            .expect("MCS table is non-empty")
+    }
+
+    /// Section 4.6 "multiple decoders": an independent MCS per subcarrier
+    /// (one decoder per coding rate). Upper-bounds per-subcarrier rate
+    /// adaptation by treating each subcarrier's coded stream independently.
+    pub fn multi_decoder_goodput(&self, sinrs: &[f64], airtime_efficiency: f64) -> f64 {
+        sinrs
+            .iter()
+            .map(|&g| {
+                Mcs::TABLE
+                    .iter()
+                    .map(|&m| {
+                        let pb = coded_ber(m.modulation.uncoded_ber(g), m.rate);
+                        let fer = frame_error_rate(pb, self.mpdu_bytes);
+                        m.bits_per_subcarrier() / crate::ofdm::SYMBOL_DURATION_S * (1.0 - fer)
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            * airtime_efficiency
+    }
+}
+
+/// Minimum SINR (dB) at which each MCS achieves ~90% frame delivery on a
+/// flat channel -- a convenience for quick sanity checks and examples.
+pub fn mcs_sensitivity_db(model: &ThroughputModel, mcs: Mcs) -> f64 {
+    let mut lo = -5.0;
+    let mut hi = 40.0;
+    let flat = |db: f64| {
+        let g = copa_num::special::db_to_lin(db);
+        let sinrs = vec![g; DATA_SUBCARRIERS];
+        model.evaluate(mcs, &sinrs, 1.0).fer
+    };
+    if flat(hi) > 0.1 {
+        return f64::INFINITY;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if flat(mid) > 0.1 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_num::special::db_to_lin;
+
+    fn flat(db: f64) -> Vec<f64> {
+        vec![db_to_lin(db); DATA_SUBCARRIERS]
+    }
+
+    #[test]
+    fn high_snr_picks_top_mcs_at_full_rate() {
+        let model = ThroughputModel::default();
+        let choice = model.best(&flat(35.0), 1.0);
+        assert_eq!(choice.mcs.index, 7);
+        assert!((choice.goodput_bps / 1e6 - 65.0).abs() < 0.5, "{}", choice.goodput_bps / 1e6);
+        assert!(choice.fer < 1e-3);
+    }
+
+    #[test]
+    fn low_snr_picks_robust_mcs() {
+        let model = ThroughputModel::default();
+        let choice = model.best(&flat(4.0), 1.0);
+        assert!(choice.mcs.index <= 1, "picked {}", choice.mcs);
+        assert!(choice.goodput_bps > 0.0);
+    }
+
+    #[test]
+    fn goodput_monotone_in_snr() {
+        let model = ThroughputModel::default();
+        let mut prev = 0.0;
+        for db in (0..40).step_by(2) {
+            let g = model.best(&flat(db as f64), 1.0).goodput_bps;
+            assert!(g >= prev - 1.0, "goodput dropped at {db} dB");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn one_bad_subcarrier_drags_down_throughput() {
+        // The single-decoder effect that motivates COPA: 51 great subcarriers
+        // + 1 terrible one forces a lower MCS / higher FER.
+        let model = ThroughputModel::default();
+        let clean = model.best(&flat(30.0), 1.0);
+        let mut dirty = flat(30.0);
+        for s in dirty.iter_mut().take(4) {
+            *s = db_to_lin(2.0);
+        }
+        let dirty_choice = model.best(&dirty, 1.0);
+        assert!(
+            dirty_choice.goodput_bps < 0.8 * clean.goodput_bps,
+            "bad subcarriers should hurt: {} vs {}",
+            dirty_choice.goodput_bps,
+            clean.goodput_bps
+        );
+        // Dropping them (COPA's move) recovers most of the loss.
+        let dropped: Vec<f64> = flat(30.0).into_iter().take(48).collect();
+        let dropped_choice = model.best(&dropped, 1.0);
+        assert!(dropped_choice.goodput_bps > dirty_choice.goodput_bps);
+    }
+
+    #[test]
+    fn airtime_efficiency_scales_linearly() {
+        let model = ThroughputModel::default();
+        let full = model.best(&flat(25.0), 1.0).goodput_bps;
+        let half = model.best(&flat(25.0), 0.5).goodput_bps;
+        assert!((half / full - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cells_give_zero() {
+        let model = ThroughputModel::default();
+        assert_eq!(model.best(&[], 1.0).goodput_bps, 0.0);
+        assert_eq!(model.multi_decoder_goodput(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn multi_decoder_never_worse_on_dispersive_channel() {
+        let model = ThroughputModel::default();
+        // Alternating strong/weak subcarriers.
+        let sinrs: Vec<f64> = (0..DATA_SUBCARRIERS)
+            .map(|i| db_to_lin(if i % 2 == 0 { 30.0 } else { 8.0 }))
+            .collect();
+        let single = model.best(&sinrs, 1.0).goodput_bps;
+        let multi = model.multi_decoder_goodput(&sinrs, 1.0);
+        assert!(
+            multi >= single,
+            "multi-decoder {multi} should be >= single {single}"
+        );
+    }
+
+    #[test]
+    fn sensitivity_thresholds_increase_with_mcs() {
+        let model = ThroughputModel::default();
+        let mut prev = f64::NEG_INFINITY;
+        for mcs in Mcs::TABLE {
+            let t = mcs_sensitivity_db(&model, mcs);
+            assert!(t > prev, "{mcs} threshold {t} <= previous {prev}");
+            prev = t;
+        }
+        // MCS0 decodes somewhere in the low single digits of dB.
+        let t0 = mcs_sensitivity_db(&model, Mcs::TABLE[0]);
+        assert!((0.0..8.0).contains(&t0), "MCS0 threshold {t0}");
+    }
+}

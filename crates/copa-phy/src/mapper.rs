@@ -1,0 +1,193 @@
+//! Gray-coded constellation mapping and hard-decision demapping.
+//!
+//! Square QAM factorizes into two independent Gray-coded PAM axes: the
+//! first half of a symbol's bits selects the I level, the second half the
+//! Q level. Gray coding makes adjacent levels differ in one bit, which is
+//! the assumption behind the `(4/log2 M)(1 - 1/sqrt M) Q(...)` uncoded-BER
+//! approximations in [`crate::modulation`].
+
+use crate::modulation::Modulation;
+use copa_num::complex::C64;
+
+/// Maps/demaps symbols of one modulation.
+#[derive(Clone, Debug)]
+pub struct Mapper {
+    modulation: Modulation,
+    /// Ascending per-axis amplitude levels (unit *symbol* energy overall).
+    levels: Vec<f64>,
+    bits_per_axis: usize,
+}
+
+impl Mapper {
+    /// Builds the mapper for a modulation.
+    pub fn new(modulation: Modulation) -> Self {
+        let levels = modulation.pam_levels();
+        let bits_per_axis = match modulation {
+            Modulation::Bpsk => 1,
+            _ => modulation.bits_per_symbol() as usize / 2,
+        };
+        Self { modulation, levels, bits_per_axis }
+    }
+
+    /// The modulation this mapper implements.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Bits consumed per complex symbol.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.modulation.bits_per_symbol() as usize
+    }
+
+    fn gray(i: usize) -> usize {
+        i ^ (i >> 1)
+    }
+
+    fn gray_inverse(mut g: usize) -> usize {
+        let mut i = g;
+        while g > 0 {
+            g >>= 1;
+            i ^= g;
+        }
+        i
+    }
+
+    /// Level for a per-axis bit group.
+    fn axis_map(&self, bits: &[u8]) -> f64 {
+        let mut v = 0usize;
+        for &b in bits {
+            v = (v << 1) | b as usize;
+        }
+        self.levels[Self::gray_inverse(v)]
+    }
+
+    /// Nearest-level hard decision back to the per-axis bit group.
+    fn axis_demap(&self, x: f64, out: &mut Vec<u8>) {
+        let mut best = 0usize;
+        let mut best_d = f64::MAX;
+        for (i, &l) in self.levels.iter().enumerate() {
+            let d = (x - l).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        let g = Self::gray(best);
+        for k in (0..self.bits_per_axis).rev() {
+            out.push(((g >> k) & 1) as u8);
+        }
+    }
+
+    /// Maps a bit slice (`bits_per_symbol` bits) to one complex symbol.
+    pub fn map_symbol(&self, bits: &[u8]) -> C64 {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "bit group size");
+        match self.modulation {
+            Modulation::Bpsk => C64::real(if bits[0] == 1 { 1.0 } else { -1.0 }),
+            _ => {
+                let (i_bits, q_bits) = bits.split_at(self.bits_per_axis);
+                C64::new(self.axis_map(i_bits), self.axis_map(q_bits))
+            }
+        }
+    }
+
+    /// Hard-decision demaps one received symbol back to bits.
+    pub fn demap_symbol(&self, y: C64, out: &mut Vec<u8>) {
+        match self.modulation {
+            Modulation::Bpsk => out.push((y.re >= 0.0) as u8),
+            _ => {
+                self.axis_demap(y.re, out);
+                self.axis_demap(y.im, out);
+            }
+        }
+    }
+
+    /// Maps a whole bit stream (`bits.len()` divisible by bits/symbol).
+    pub fn map(&self, bits: &[u8]) -> Vec<C64> {
+        assert_eq!(bits.len() % self.bits_per_symbol(), 0);
+        bits.chunks(self.bits_per_symbol()).map(|c| self.map_symbol(c)).collect()
+    }
+
+    /// Demaps a whole symbol stream.
+    pub fn demap(&self, symbols: &[C64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        for &y in symbols {
+            self.demap_symbol(y, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_num::SimRng;
+
+    #[test]
+    fn map_demap_round_trip() {
+        let mut rng = SimRng::seed_from(1);
+        for m in Modulation::ALL {
+            let mapper = Mapper::new(m);
+            let n = mapper.bits_per_symbol() * 100;
+            let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let symbols = mapper.map(&bits);
+            assert_eq!(symbols.len(), 100);
+            assert_eq!(mapper.demap(&symbols), bits, "{m}");
+        }
+    }
+
+    #[test]
+    fn symbols_have_unit_average_energy() {
+        let mut rng = SimRng::seed_from(2);
+        for m in Modulation::ALL {
+            let mapper = Mapper::new(m);
+            let n = mapper.bits_per_symbol() * 4000;
+            let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let symbols = mapper.map(&bits);
+            let e: f64 = symbols.iter().map(|s| s.norm_sqr()).sum::<f64>() / symbols.len() as f64;
+            assert!((e - 1.0).abs() < 0.05, "{m}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_levels_differ_by_one_bit() {
+        for m in [Modulation::Qam16, Modulation::Qam64] {
+            let mapper = Mapper::new(m);
+            let bpa = mapper.bits_per_axis;
+            // For each adjacent level pair, the gray codes differ in 1 bit.
+            for i in 0..mapper.levels.len() - 1 {
+                let a = Mapper::gray(i);
+                let b = Mapper::gray(i + 1);
+                assert_eq!((a ^ b).count_ones(), 1, "{m} levels {i},{}", i + 1);
+                assert!(a < (1 << bpa) && b < (1 << bpa));
+            }
+        }
+    }
+
+    #[test]
+    fn gray_inverse_inverts() {
+        for i in 0..64 {
+            assert_eq!(Mapper::gray_inverse(Mapper::gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn small_noise_does_not_flip_bits() {
+        let mapper = Mapper::new(Modulation::Qam64);
+        let bits = [1, 0, 1, 1, 0, 1];
+        let s = mapper.map_symbol(&bits);
+        let min_dist = 2.0 / 42.0f64.sqrt(); // adjacent 64-QAM levels
+        let noisy = s + C64::new(min_dist * 0.4, -min_dist * 0.4);
+        let mut out = Vec::new();
+        mapper.demap_symbol(noisy, &mut out);
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn bpsk_sign_decision() {
+        let mapper = Mapper::new(Modulation::Bpsk);
+        let mut out = Vec::new();
+        mapper.demap_symbol(C64::new(0.3, 2.0), &mut out);
+        mapper.demap_symbol(C64::new(-0.1, -5.0), &mut out);
+        assert_eq!(out, vec![1, 0]);
+    }
+}

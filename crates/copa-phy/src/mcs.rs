@@ -1,0 +1,102 @@
+//! The 802.11n modulation-and-coding-scheme (MCS) table.
+//!
+//! One MCS applies to *all* subcarriers of a transmission -- the constraint
+//! at the heart of COPA: a few low-SINR subcarriers force the whole frame to
+//! a lower MCS, so power allocation / subcarrier dropping pays.
+
+use crate::coding::CodeRate;
+use crate::modulation::Modulation;
+use crate::ofdm::{DATA_SUBCARRIERS, SYMBOL_DURATION_S};
+
+/// A single-stream 802.11n MCS (index 0-7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Mcs {
+    /// MCS index 0-7.
+    pub index: u8,
+    /// Constellation.
+    pub modulation: Modulation,
+    /// Convolutional code rate.
+    pub rate: CodeRate,
+}
+
+impl Mcs {
+    /// The eight single-stream 802.11n MCSes, slowest (most robust) first.
+    pub const TABLE: [Mcs; 8] = [
+        Mcs { index: 0, modulation: Modulation::Bpsk, rate: CodeRate::R12 },
+        Mcs { index: 1, modulation: Modulation::Qpsk, rate: CodeRate::R12 },
+        Mcs { index: 2, modulation: Modulation::Qpsk, rate: CodeRate::R34 },
+        Mcs { index: 3, modulation: Modulation::Qam16, rate: CodeRate::R12 },
+        Mcs { index: 4, modulation: Modulation::Qam16, rate: CodeRate::R34 },
+        Mcs { index: 5, modulation: Modulation::Qam64, rate: CodeRate::R23 },
+        Mcs { index: 6, modulation: Modulation::Qam64, rate: CodeRate::R34 },
+        Mcs { index: 7, modulation: Modulation::Qam64, rate: CodeRate::R56 },
+    ];
+
+    /// Information bits carried per data subcarrier per OFDM symbol.
+    pub fn bits_per_subcarrier(self) -> f64 {
+        self.modulation.bits_per_symbol() as f64 * self.rate.fraction()
+    }
+
+    /// Nominal PHY rate in bits/s with all 52 data subcarriers active
+    /// (one spatial stream, 800 ns GI).
+    pub fn phy_rate_bps(self) -> f64 {
+        self.bits_per_subcarrier() * DATA_SUBCARRIERS as f64 / SYMBOL_DURATION_S
+    }
+
+    /// PHY rate in bits/s when only `active` of the 52 data subcarriers
+    /// carry data (COPA's subcarrier dropping reduces the rate
+    /// proportionally).
+    pub fn phy_rate_bps_with(self, active: usize) -> f64 {
+        self.bits_per_subcarrier() * active as f64 / SYMBOL_DURATION_S
+    }
+}
+
+impl std::fmt::Display for Mcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MCS{} ({} {}, {:.1} Mbps)",
+            self.index,
+            self.modulation,
+            self.rate,
+            self.phy_rate_bps() / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_rates_match_standard() {
+        // 802.11n 20 MHz, 800 ns GI, 1 spatial stream: 6.5..65 Mbps.
+        let expected = [6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0];
+        for (mcs, want) in Mcs::TABLE.iter().zip(expected) {
+            let got = mcs.phy_rate_bps() / 1e6;
+            assert!((got - want).abs() < 1e-9, "{mcs}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn rates_strictly_increase() {
+        for w in Mcs::TABLE.windows(2) {
+            assert!(w[1].phy_rate_bps() > w[0].phy_rate_bps());
+        }
+    }
+
+    #[test]
+    fn dropped_subcarriers_scale_rate_linearly() {
+        let mcs = Mcs::TABLE[7];
+        assert_eq!(mcs.phy_rate_bps_with(DATA_SUBCARRIERS), mcs.phy_rate_bps());
+        assert!((mcs.phy_rate_bps_with(26) - mcs.phy_rate_bps() / 2.0).abs() < 1e-9);
+        assert_eq!(mcs.phy_rate_bps_with(0), 0.0);
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        for (i, mcs) in Mcs::TABLE.iter().enumerate() {
+            assert_eq!(mcs.index as usize, i);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! 802.11 modulations and their uncoded bit-error rates.
+//!
+//! The paper predicts throughput from measured SINR: "We use the measured
+//! SINRs to calculate the uncoded BER [Halperin et al.] for each 802.11n
+//! modulation". These are the standard Gray-coded M-QAM AWGN formulas.
+
+use copa_num::complex::C64;
+use copa_num::special::q_func;
+
+/// The four 802.11n constellations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modulation {
+    /// Binary phase-shift keying (1 bit/symbol).
+    Bpsk,
+    /// Quadrature phase-shift keying (2 bits/symbol).
+    Qpsk,
+    /// 16-point quadrature amplitude modulation (4 bits/symbol).
+    Qam16,
+    /// 64-point quadrature amplitude modulation (6 bits/symbol).
+    Qam64,
+}
+
+impl Modulation {
+    /// All modulations, lowest to highest order.
+    pub const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+
+    /// Bits carried per subcarrier symbol.
+    pub fn bits_per_symbol(self) -> u32 {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Constellation size `M`.
+    pub fn points(self) -> u32 {
+        1 << self.bits_per_symbol()
+    }
+
+    /// Uncoded bit error rate on an AWGN channel at symbol SINR `gamma`
+    /// (linear, Es/N0). Standard Gray-mapping approximations:
+    ///
+    /// * BPSK:  `Q(sqrt(2 gamma))`
+    /// * QPSK:  `Q(sqrt(gamma))`
+    /// * M-QAM: `(4/log2 M)(1 - 1/sqrt M) Q(sqrt(3 gamma / (M - 1)))`
+    pub fn uncoded_ber(self, gamma: f64) -> f64 {
+        if gamma <= 0.0 {
+            return 0.5;
+        }
+        let ber = match self {
+            Modulation::Bpsk => q_func((2.0 * gamma).sqrt()),
+            Modulation::Qpsk => q_func(gamma.sqrt()),
+            Modulation::Qam16 => 0.75 * q_func((gamma / 5.0).sqrt()),
+            Modulation::Qam64 => (7.0 / 12.0) * q_func((gamma / 21.0).sqrt()),
+        };
+        ber.clamp(0.0, 0.5)
+    }
+
+    /// Unit-average-energy constellation points, Gray-mapped per axis.
+    ///
+    /// Used by the bit-level simulation tests that validate the analytic BER
+    /// model, and by the mercury/waterfilling MMSE curves.
+    pub fn constellation(self) -> Vec<C64> {
+        match self {
+            Modulation::Bpsk => vec![C64::real(-1.0), C64::real(1.0)],
+            Modulation::Qpsk => square_qam(2),
+            Modulation::Qam16 => square_qam(4),
+            Modulation::Qam64 => square_qam(8),
+        }
+    }
+
+    /// Per-axis PAM amplitude levels of the unit-energy constellation
+    /// (the I/Q components of square QAM are independent PAM).
+    pub fn pam_levels(self) -> Vec<f64> {
+        match self {
+            Modulation::Bpsk => vec![-1.0, 1.0],
+            Modulation::Qpsk => pam(2, 2.0f64.sqrt()),
+            Modulation::Qam16 => pam(4, 10.0f64.sqrt()),
+            Modulation::Qam64 => pam(8, 42.0f64.sqrt()),
+        }
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16-QAM",
+            Modulation::Qam64 => "64-QAM",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// `m`-level PAM amplitudes `{+-1, +-3, ...} / norm`.
+fn pam(m: usize, norm: f64) -> Vec<f64> {
+    (0..m)
+        .map(|i| (2.0 * i as f64 - (m as f64 - 1.0)) / norm)
+        .collect()
+}
+
+/// Square QAM from an `m`-level PAM per axis, unit average energy.
+fn square_qam(m: usize) -> Vec<C64> {
+    let energy_per_axis = ((m * m - 1) as f64 / 3.0).sqrt(); // per-axis levels +-1..+-(m-1)
+    let levels = pam(m, 1.0);
+    let mut pts = Vec::with_capacity(m * m);
+    for &i_lvl in &levels {
+        for &q_lvl in &levels {
+            pts.push(C64::new(i_lvl, q_lvl).scale((m as f64 - 1.0) / energy_per_axis / (m as f64 - 1.0)));
+        }
+    }
+    // Normalize to exactly unit average energy.
+    let avg: f64 = pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64;
+    let s = 1.0 / avg.sqrt();
+    pts.iter().map(|p| p.scale(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_points() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qam64.points(), 64);
+        assert_eq!(Modulation::Qam16.points(), 16);
+    }
+
+    #[test]
+    fn ber_monotone_in_snr() {
+        for m in Modulation::ALL {
+            let mut prev = 0.6;
+            for db in -10..=40 {
+                let gamma = copa_num::special::db_to_lin(db as f64);
+                let ber = m.uncoded_ber(gamma);
+                assert!(ber <= prev + 1e-15, "{m} BER not monotone at {db} dB");
+                assert!((0.0..=0.5).contains(&ber));
+                prev = ber;
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_modulation_has_higher_ber() {
+        // At operating SNRs, denser constellations are harder to decode.
+        // (Below ~5 dB the Gray-coding approximations for 16/64-QAM cross
+        // slightly; that regime is far outside either constellation's use.)
+        for db in [10, 20, 30] {
+            let gamma = copa_num::special::db_to_lin(db as f64);
+            let bers: Vec<f64> = Modulation::ALL.iter().map(|m| m.uncoded_ber(gamma)).collect();
+            for w in bers.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "ordering violated at {db} dB: {bers:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ber_reference_points() {
+        // BPSK at 9.6 dB -> ~1e-5 (classic reference).
+        let gamma = copa_num::special::db_to_lin(9.6);
+        let ber = Modulation::Bpsk.uncoded_ber(gamma);
+        assert!((ber / 1.0e-5).ln().abs() < 0.35, "BPSK@9.6dB = {ber:e}");
+        // Zero/negative SNR saturates at 1/2.
+        assert_eq!(Modulation::Qam64.uncoded_ber(0.0), 0.5);
+        assert_eq!(Modulation::Qam64.uncoded_ber(-1.0), 0.5);
+    }
+
+    #[test]
+    fn constellations_have_unit_energy() {
+        for m in Modulation::ALL {
+            let pts = m.constellation();
+            assert_eq!(pts.len() as u32, m.points());
+            let avg: f64 = pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{m} energy {avg}");
+        }
+    }
+
+    #[test]
+    fn pam_levels_unit_energy_per_complex_symbol() {
+        // For QAM, I and Q each carry half the symbol energy.
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let lv = m.pam_levels();
+            let e: f64 = lv.iter().map(|x| x * x).sum::<f64>() / lv.len() as f64;
+            assert!((e - 0.5).abs() < 1e-12, "{m} per-axis energy {e}");
+        }
+        let bpsk: f64 = Modulation::Bpsk
+            .pam_levels()
+            .iter()
+            .map(|x| x * x)
+            .sum::<f64>()
+            / 2.0;
+        assert!((bpsk - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constellation_is_symmetric() {
+        for m in Modulation::ALL {
+            let pts = m.constellation();
+            for p in &pts {
+                assert!(
+                    pts.iter().any(|q| (*q + *p).abs() < 1e-9),
+                    "{m} not symmetric around origin"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The 802.11 frame scrambler.
+//!
+//! A 7-bit LFSR with polynomial `x^7 + x^4 + 1` whitens the data bits so
+//! the OFDM waveform has enough entropy to keep the peak-to-average power
+//! ratio in check -- the property the paper leans on when arguing that
+//! dropping a few subcarriers "have enough entropy from data scrambling"
+//! not to cause PAPR problems.
+
+/// The 802.11 scrambler / descrambler (self-synchronizing: the same
+/// operation both ways).
+#[derive(Clone, Debug)]
+pub struct Scrambler {
+    state: u8, // 7 bits
+}
+
+impl Scrambler {
+    /// Creates a scrambler with a 7-bit seed (nonzero per the standard).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed & 0x7F != 0, "scrambler seed must be nonzero");
+        Self { state: seed & 0x7F }
+    }
+
+    /// Next pseudo-random bit: `x7 XOR x4`, then shift.
+    fn next_bit(&mut self) -> u8 {
+        let b = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | b) & 0x7F;
+        b
+    }
+
+    /// Scrambles (or descrambles) a bit sequence in place.
+    pub fn process(&mut self, bits: &mut [u8]) {
+        for b in bits.iter_mut() {
+            debug_assert!(*b <= 1);
+            *b ^= self.next_bit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_descramble_round_trip() {
+        let data: Vec<u8> = (0..500).map(|i| ((i * 7) % 2) as u8).collect();
+        let mut scrambled = data.clone();
+        Scrambler::new(0x5D).process(&mut scrambled);
+        assert_ne!(scrambled, data, "scrambler must change the data");
+        Scrambler::new(0x5D).process(&mut scrambled);
+        assert_eq!(scrambled, data);
+    }
+
+    #[test]
+    fn sequence_matches_standard_period() {
+        // The 802.11 scrambler sequence has period 127.
+        let mut s = Scrambler::new(0x7F);
+        let first: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        let second: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        assert_eq!(first, second);
+        // And it is balanced-ish: 64 ones per period for the all-ones seed.
+        assert_eq!(first.iter().filter(|&&b| b == 1).count(), 64);
+    }
+
+    #[test]
+    fn known_prefix_for_all_ones_seed() {
+        // IEEE 802.11-2012 example: seed 1111111 produces
+        // 00001110 11110010 11001001 ...
+        let mut s = Scrambler::new(0x7F);
+        let bits: Vec<u8> = (0..24).map(|_| s.next_bit()).collect();
+        let expect = [
+            0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 0, 0, 1,
+        ];
+        assert_eq!(&bits[..], &expect[..]);
+    }
+
+    #[test]
+    fn whitens_constant_input() {
+        let mut zeros = vec![0u8; 1270];
+        Scrambler::new(0x24).process(&mut zeros);
+        let ones = zeros.iter().filter(|&&b| b == 1).count();
+        // Should be close to half.
+        assert!((500..770).contains(&ones), "poor whitening: {ones}/1270 ones");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_seed_rejected() {
+        let _ = Scrambler::new(0x80); // 0x80 & 0x7F == 0
+    }
+}

@@ -1,0 +1,247 @@
+//! Soft-decision demapping and Viterbi decoding.
+//!
+//! Real 802.11 receivers feed the Viterbi decoder log-likelihood ratios
+//! rather than hard bits, which buys roughly 2 dB. The bit-true validation
+//! chain supports both; the analytic throughput model is calibrated against
+//! the hard-decision path (conservative), so soft decoding here quantifies
+//! the headroom.
+//!
+//! LLR convention: positive values favor bit `0`;
+//! `llr = log P(bit=0 | y) - log P(bit=1 | y)`.
+
+use crate::coding::{CodeRate, CONSTRAINT_LENGTH};
+use crate::mapper::Mapper;
+use copa_num::complex::C64;
+
+const G0: u32 = 0o133;
+const G1: u32 = 0o171;
+const STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
+
+/// Computes exact max-log per-bit LLRs for one received symbol.
+///
+/// `y` is the equalized observation, `noise_var` the post-equalization
+/// complex noise variance. Appends `bits_per_symbol` LLRs to `out`.
+pub fn soft_demap(mapper: &Mapper, y: C64, noise_var: f64, out: &mut Vec<f64>) {
+    let bps = mapper.bits_per_symbol();
+    let inv = 1.0 / noise_var.max(1e-300);
+    // Enumerate the constellation by mapping every bit pattern -- M <= 64,
+    // cheap, and keeps a single source of truth for the labeling.
+    let points: Vec<(usize, C64)> = (0..(1usize << bps))
+        .map(|pattern| {
+            let bits: Vec<u8> = (0..bps).rev().map(|k| ((pattern >> k) & 1) as u8).collect();
+            (pattern, mapper.map_symbol(&bits))
+        })
+        .collect();
+    for k in 0..bps {
+        let bit_of = |pattern: usize| (pattern >> (bps - 1 - k)) & 1;
+        let mut best0 = f64::MAX;
+        let mut best1 = f64::MAX;
+        for &(pattern, x) in &points {
+            let d = (y - x).norm_sqr() * inv;
+            if bit_of(pattern) == 0 {
+                best0 = best0.min(d);
+            } else {
+                best1 = best1.min(d);
+            }
+        }
+        // max-log: llr = min distance(bit=1) - min distance(bit=0).
+        out.push(best1 - best0);
+    }
+}
+
+/// Soft-decision Viterbi decoder over punctured LLR streams.
+///
+/// `llrs` holds one LLR per *transmitted* coded bit (punctured positions
+/// absent), matching the output ordering of [`crate::coding::encode`].
+/// Returns the decoded information bits.
+pub fn soft_viterbi_decode(llrs: &[f64], info_len: usize, rate: CodeRate) -> Vec<u8> {
+    let pattern = rate.puncture_pattern_public();
+    let total_steps = info_len + CONSTRAINT_LENGTH - 1;
+
+    #[derive(Clone, Copy)]
+    struct Step {
+        a: Option<f64>,
+        b: Option<f64>,
+    }
+    let mut steps = Vec::with_capacity(total_steps);
+    let mut idx = 0usize;
+    for i in 0..total_steps {
+        let (keep_a, keep_b) = pattern[i % pattern.len()];
+        let a = if keep_a {
+            let v = llrs.get(idx).copied();
+            idx += 1;
+            v
+        } else {
+            None
+        };
+        let b = if keep_b {
+            let v = llrs.get(idx).copied();
+            idx += 1;
+            v
+        } else {
+            None
+        };
+        assert!(
+            (!keep_a || a.is_some()) && (!keep_b || b.is_some()),
+            "LLR sequence too short"
+        );
+        steps.push(Step { a, b });
+    }
+
+    const INF: f64 = f64::MAX / 4.0;
+    let mut metric = vec![INF; STATES];
+    metric[0] = 0.0;
+    let mut pred: Vec<Vec<u8>> = Vec::with_capacity(total_steps);
+
+    for step in &steps {
+        let mut next = vec![INF; STATES];
+        let mut choice = vec![0u8; STATES];
+        for s in 0..STATES {
+            if metric[s] >= INF {
+                continue;
+            }
+            for bit in 0..2u32 {
+                let reg = ((s as u32) << 1) | bit;
+                let a = ((reg & G0).count_ones() & 1) as f64;
+                let b = ((reg & G1).count_ones() & 1) as f64;
+                let ns = (reg & (STATES as u32 - 1)) as usize;
+                // Branch metric: -llr/2 for bit 1, +llr/2 for bit 0 would
+                // be symmetric; use cost = llr * coded_bit (selects the
+                // hypothesis the LLR disfavors proportionally).
+                let mut mtr = metric[s];
+                if let Some(la) = step.a {
+                    mtr += if a > 0.5 { la.max(0.0) } else { (-la).max(0.0) };
+                }
+                if let Some(lb) = step.b {
+                    mtr += if b > 0.5 { lb.max(0.0) } else { (-lb).max(0.0) };
+                }
+                if mtr < next[ns] {
+                    next[ns] = mtr;
+                    choice[ns] = s as u8;
+                }
+            }
+        }
+        pred.push(choice);
+        metric = next;
+    }
+
+    let mut state = 0usize;
+    let mut decoded = vec![0u8; total_steps];
+    for i in (0..total_steps).rev() {
+        decoded[i] = (state & 1) as u8;
+        state = pred[i][state] as usize;
+    }
+    decoded.truncate(info_len);
+    decoded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::encode;
+    use crate::modulation::Modulation;
+    use copa_num::SimRng;
+
+    fn hard_llrs(coded: &[u8], confidence: f64) -> Vec<f64> {
+        coded.iter().map(|&b| if b == 0 { confidence } else { -confidence }).collect()
+    }
+
+    #[test]
+    fn soft_decoder_inverts_encoder_with_confident_llrs() {
+        let mut rng = SimRng::seed_from(1);
+        for rate in CodeRate::ALL {
+            let bits: Vec<u8> = (0..150).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let coded = encode(&bits, rate);
+            let decoded = soft_viterbi_decode(&hard_llrs(&coded, 4.0), bits.len(), rate);
+            assert_eq!(decoded, bits, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn weak_llrs_are_overruled_by_strong_ones() {
+        // Flip a few bits but mark them low-confidence: the decoder should
+        // still recover, unlike a hard decoder fed the same flips at equal
+        // weight... (here we verify recovery).
+        let mut rng = SimRng::seed_from(2);
+        let bits: Vec<u8> = (0..200).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let coded = encode(&bits, CodeRate::R12);
+        let mut llrs = hard_llrs(&coded, 4.0);
+        for &pos in &[5usize, 50, 100, 150, 200, 250] {
+            llrs[pos] = -llrs[pos] * 0.1; // wrong, but weak
+        }
+        let decoded = soft_viterbi_decode(&llrs, bits.len(), CodeRate::R12);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn soft_demap_sign_matches_hard_decision() {
+        let mut rng = SimRng::seed_from(3);
+        for m in Modulation::ALL {
+            let mapper = Mapper::new(m);
+            let bps = mapper.bits_per_symbol();
+            for _ in 0..200 {
+                let bits: Vec<u8> = (0..bps).map(|_| (rng.next_u64() & 1) as u8).collect();
+                let x = mapper.map_symbol(&bits);
+                let y = x + rng.randc().scale(0.02); // tiny noise
+                let mut llrs = Vec::new();
+                soft_demap(&mapper, y, 0.01, &mut llrs);
+                let mut hard = Vec::new();
+                mapper.demap_symbol(y, &mut hard);
+                for (l, &h) in llrs.iter().zip(&hard) {
+                    assert_eq!((*l < 0.0) as u8, h, "{m}: LLR sign vs hard decision");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_tracks_distance_from_boundary() {
+        let mapper = Mapper::new(Modulation::Bpsk);
+        let mut near = Vec::new();
+        soft_demap(&mapper, C64::real(0.1), 1.0, &mut near);
+        let mut far = Vec::new();
+        soft_demap(&mapper, C64::real(0.9), 1.0, &mut far);
+        assert!(far[0].abs() > near[0].abs());
+    }
+
+    #[test]
+    fn soft_beats_hard_on_noisy_channel() {
+        // The classic ~2 dB soft-decision gain: at an SNR where hard
+        // decoding leaves errors, soft decoding leaves fewer.
+        let mut rng = SimRng::seed_from(4);
+        let mapper = Mapper::new(Modulation::Qpsk);
+        let rate = CodeRate::R12;
+        let n = 3000;
+        let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let coded = encode(&bits, rate);
+        // Map coded bits to QPSK symbols (pad to even length).
+        let mut padded = coded.clone();
+        if padded.len() % 2 == 1 {
+            padded.push(0);
+        }
+        let symbols = mapper.map(&padded);
+        let snr = copa_num::special::db_to_lin(1.5);
+        let sigma = (1.0 / snr).sqrt();
+        let received: Vec<C64> = symbols.iter().map(|&x| x + rng.randc().scale(sigma)).collect();
+
+        // Hard path.
+        let hard_bits = mapper.demap(&received);
+        let hard_decoded =
+            crate::coding::viterbi_decode(&hard_bits[..coded.len()], n, rate);
+        let hard_errs = hard_decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+
+        // Soft path.
+        let mut llrs = Vec::new();
+        for &y in &received {
+            soft_demap(&mapper, y, 1.0 / snr, &mut llrs);
+        }
+        llrs.truncate(coded.len());
+        let soft_decoded = soft_viterbi_decode(&llrs, n, rate);
+        let soft_errs = soft_decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+
+        assert!(
+            soft_errs < hard_errs,
+            "soft ({soft_errs}) should beat hard ({hard_errs}) at 1.5 dB"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # copa-precoding
+//!
+//! MIMO precoding and receive processing for the COPA reproduction:
+//!
+//! * [`precoder`] -- the `LinkPrecoding` / `TxPowers` data model.
+//! * [`beamforming`] -- SVD transmit beamforming (section 3.3).
+//! * [`nulling`] -- nullspace-projection interference nulling, including
+//!   degrees-of-freedom accounting for overconstrained cases.
+//! * [`sinr`] -- post-MMSE per-stream per-subcarrier SINR at a client, with
+//!   transmit-EVM noise and dropped-subcarrier leakage.
+//! * [`sda`] -- the shut-down-antenna maneuver for overconstrained nulling
+//!   (section 3.4).
+
+#![warn(missing_docs)]
+
+pub mod beamforming;
+pub mod nulling;
+pub mod precoder;
+pub mod sda;
+pub mod sinr;
+
+pub use beamforming::beamform;
+pub use nulling::{null_toward, nulling_dof};
+pub use precoder::{LinkPrecoding, TxPowers};
+pub use sinr::{active_cells, mmse_sinr_grid, received_power_per_subcarrier, TxSide};

@@ -1,0 +1,128 @@
+//! Precoding data model shared by beamforming, nulling and the allocators.
+
+use copa_num::matrix::CMat;
+use copa_phy::ofdm::DATA_SUBCARRIERS;
+
+/// A per-subcarrier linear precoder for one AP->client link.
+///
+/// For each data subcarrier there is a `tx_antennas x streams` matrix with
+/// unit-norm columns, so transmitting stream `k` with power `p` radiates
+/// exactly `p` mW of antenna power on that subcarrier. `stream_gains` holds
+/// the nominal post-combining channel gain of each stream (the squared
+/// singular value of the effective channel), which the power allocators use
+/// as the scalar per-subcarrier gain `g` in `SINR = p g / (noise + I)`.
+#[derive(Clone, Debug)]
+pub struct LinkPrecoding {
+    /// Per-subcarrier precoding matrices (`tx x streams`, unit-norm columns).
+    pub precoder: Vec<CMat>,
+    /// `stream_gains[k][s]`: nominal gain of stream `k` on subcarrier `s`.
+    pub stream_gains: Vec<Vec<f64>>,
+}
+
+impl LinkPrecoding {
+    /// Number of spatial streams.
+    pub fn streams(&self) -> usize {
+        self.stream_gains.len()
+    }
+
+    /// Number of transmit antennas.
+    pub fn tx_antennas(&self) -> usize {
+        self.precoder[0].rows()
+    }
+
+    /// Checks the unit-column-norm invariant (within `tol`).
+    pub fn columns_are_unit_norm(&self, tol: f64) -> bool {
+        self.precoder.iter().all(|p| {
+            (0..p.cols()).all(|j| {
+                let n: f64 = (0..p.rows()).map(|i| p[(i, j)].norm_sqr()).sum();
+                (n - 1.0).abs() < tol
+            })
+        })
+    }
+}
+
+/// Per-stream, per-subcarrier transmit powers in mW.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxPowers {
+    /// `powers[k][s]`: power of stream `k` on subcarrier `s`, mW.
+    pub powers: Vec<Vec<f64>>,
+}
+
+impl TxPowers {
+    /// Equal split of `budget_mw` across `streams x DATA_SUBCARRIERS` cells
+    /// -- what stock 802.11 does.
+    pub fn equal(streams: usize, budget_mw: f64) -> Self {
+        assert!(streams > 0);
+        let per = budget_mw / (streams * DATA_SUBCARRIERS) as f64;
+        Self { powers: vec![vec![per; DATA_SUBCARRIERS]; streams] }
+    }
+
+    /// All-zero allocation (an AP that stays silent).
+    pub fn silent(streams: usize) -> Self {
+        Self { powers: vec![vec![0.0; DATA_SUBCARRIERS]; streams] }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// Total allocated power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.powers.iter().map(|s| s.iter().sum::<f64>()).sum()
+    }
+
+    /// Total power on subcarrier `s` across streams.
+    pub fn subcarrier_total_mw(&self, s: usize) -> f64 {
+        self.powers.iter().map(|k| k[s]).sum()
+    }
+
+    /// `true` if subcarrier `s` carries no power on any stream.
+    pub fn is_dropped(&self, s: usize) -> bool {
+        self.subcarrier_total_mw(s) == 0.0
+    }
+
+    /// Indices of active (non-dropped) subcarriers for stream `k`.
+    pub fn active_subcarriers(&self, k: usize) -> Vec<usize> {
+        self.powers[k]
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(s, _)| s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_conserves_budget() {
+        let p = TxPowers::equal(2, 31.6);
+        assert_eq!(p.streams(), 2);
+        assert!((p.total_mw() - 31.6).abs() < 1e-9);
+        assert!((p.powers[0][0] - 31.6 / 104.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_is_all_dropped() {
+        let p = TxPowers::silent(2);
+        assert_eq!(p.total_mw(), 0.0);
+        for s in 0..DATA_SUBCARRIERS {
+            assert!(p.is_dropped(s));
+        }
+        assert!(p.active_subcarriers(0).is_empty());
+    }
+
+    #[test]
+    fn active_subcarriers_filter() {
+        let mut p = TxPowers::silent(1);
+        p.powers[0][3] = 1.0;
+        p.powers[0][10] = 2.0;
+        assert_eq!(p.active_subcarriers(0), vec![3, 10]);
+        assert!(!p.is_dropped(3));
+        assert!(p.is_dropped(4));
+        assert!((p.subcarrier_total_mw(10) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shut-down-antenna (SDA) handling for overconstrained nulling.
+//!
+//! Section 3.4: with two 3-antenna APs and 2-antenna clients there are not
+//! enough transmit degrees of freedom to send two streams each *and* null.
+//! COPA's cheap fix: the follower tells its client to shut down one receive
+//! antenna ("whichever of its client's antennas has the best expected
+//! SINR" stays on), un-overconstraining the problem -- the leader then sends
+//! two nulled streams, the follower one.
+
+use copa_channel::FreqChannel;
+
+/// Picks the client antenna to *keep* when shutting one down: the row of
+/// the (estimated) own channel with the most energy across subcarriers,
+/// i.e. the antenna with the best expected SINR.
+pub fn antenna_to_keep(est_own: &FreqChannel) -> usize {
+    let rx = est_own.rx();
+    assert!(rx >= 1);
+    (0..rx)
+        .max_by(|&a, &b| {
+            let ea = row_energy(est_own, a);
+            let eb = row_energy(est_own, b);
+            ea.partial_cmp(&eb).unwrap()
+        })
+        .unwrap()
+}
+
+fn row_energy(ch: &FreqChannel, row: usize) -> f64 {
+    ch.iter()
+        .map(|m| (0..m.cols()).map(|t| m[(row, t)].norm_sqr()).sum::<f64>())
+        .sum()
+}
+
+/// The reduced-rank channel after shutting down all antennas except `keep`.
+pub fn shut_down_to(est: &FreqChannel, keep: usize) -> FreqChannel {
+    est.select_rx(&[keep])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_channel::MultipathProfile;
+    use copa_num::SimRng;
+
+    #[test]
+    fn keeps_the_stronger_antenna() {
+        let mut rng = SimRng::seed_from(80);
+        let ch = FreqChannel::random(&mut rng, 2, 3, 1.0, &MultipathProfile::default());
+        // Boost row 1 by 10x power.
+        let boosted = ch.map(|_, m| {
+            copa_num::matrix::CMat::from_fn(2, 3, |r, t| {
+                if r == 1 {
+                    m[(r, t)].scale(10f64.sqrt())
+                } else {
+                    m[(r, t)]
+                }
+            })
+        });
+        assert_eq!(antenna_to_keep(&boosted), 1);
+    }
+
+    #[test]
+    fn shut_down_reduces_rank() {
+        let mut rng = SimRng::seed_from(81);
+        let ch = FreqChannel::random(&mut rng, 2, 3, 1.0, &MultipathProfile::default());
+        let keep = antenna_to_keep(&ch);
+        let reduced = shut_down_to(&ch, keep);
+        assert_eq!(reduced.rx(), 1);
+        assert_eq!(reduced.tx(), 3);
+        // Un-overconstrains: 3 tx - 1 victim antenna = 2 DoF for the peer.
+        assert_eq!(crate::nulling::nulling_dof(3, reduced.rx()), 2);
+    }
+
+    #[test]
+    fn sda_enables_nulling_in_3x2() {
+        use crate::nulling::null_toward;
+        let mut rng = SimRng::seed_from(82);
+        let leader_own = FreqChannel::random(&mut rng, 2, 3, 1.0, &MultipathProfile::default());
+        let follower_client_seen_by_leader =
+            FreqChannel::random(&mut rng, 2, 3, 1.0, &MultipathProfile::default());
+        // Without SDA: leader cannot send 2 streams while nulling 2 antennas.
+        assert!(null_toward(&leader_own, &follower_client_seen_by_leader, 2).is_none());
+        // Follower shuts one client antenna; now the leader has 2 DoF left.
+        let keep = antenna_to_keep(&follower_client_seen_by_leader);
+        let reduced = shut_down_to(&follower_client_seen_by_leader, keep);
+        assert!(null_toward(&leader_own, &reduced, 2).is_some());
+    }
+}

@@ -1,0 +1,335 @@
+//! Post-MMSE SINR evaluation at a receiver.
+//!
+//! "On the receiving side, hosts use a Minimum Mean Square Error filter to
+//! maximize the received power without amplifying noise" (section 4.1).
+//! Given the *true* channels (precoders were computed from noisy estimates),
+//! this module computes the per-stream, per-subcarrier SINR each client
+//! actually experiences, including transmit-EVM noise and the carrier
+//! leakage of dropped subcarriers.
+
+use crate::precoder::{LinkPrecoding, TxPowers};
+use copa_channel::{FreqChannel, Impairments};
+use copa_num::matrix::CMat;
+use copa_num::solve::inverse_loaded;
+use copa_phy::ofdm::DATA_SUBCARRIERS;
+
+/// One transmitter as seen from a particular receiver: the true channel to
+/// that receiver plus what the transmitter is sending.
+pub struct TxSide<'a> {
+    /// True channel from this AP to the receiver being evaluated.
+    pub channel: &'a FreqChannel,
+    /// The AP's precoder.
+    pub precoding: &'a LinkPrecoding,
+    /// The AP's power allocation.
+    pub powers: &'a TxPowers,
+    /// The AP's total power budget in mW (sets the leakage reference).
+    pub budget_mw: f64,
+}
+
+impl<'a> TxSide<'a> {
+    /// Effective transmitted matrix `P diag(sqrt(p))` on subcarrier `s`
+    /// (tx x streams).
+    fn tx_matrix(&self, s: usize) -> CMat {
+        let p = &self.precoding.precoder[s];
+        CMat::from_fn(p.rows(), p.cols(), |i, k| {
+            p[(i, k)].scale(self.powers.powers[k][s].sqrt())
+        })
+    }
+
+    /// Per-antenna transmitted power diag on subcarrier `s` (for EVM noise).
+    fn per_antenna_power(&self, s: usize) -> Vec<f64> {
+        let t = self.tx_matrix(s);
+        (0..t.rows())
+            .map(|i| (0..t.cols()).map(|k| t[(i, k)].norm_sqr()).sum())
+            .collect()
+    }
+
+    /// Covariance contribution of this transmitter at the receiver on
+    /// subcarrier `s`, *excluding* the desired-signal columns if
+    /// `exclude_signal` (used when this is the receiver's own AP).
+    fn covariance(&self, s: usize, imp: &Impairments, include_signal: bool) -> CMat {
+        let h = self.channel.at(s);
+        let rx = h.rows();
+        let mut r = CMat::zeros(rx, rx);
+
+        if include_signal {
+            let b = h.matmul(&self.tx_matrix(s));
+            r = &r + &b.matmul(&b.hermitian());
+        }
+
+        // Transmit EVM: unprecoded noise radiated per antenna.
+        let evm = imp.evm_factor();
+        if evm > 0.0 {
+            let pw = self.per_antenna_power(s);
+            if pw.iter().any(|&p| p > 0.0) {
+                let d = CMat::diag_real(&pw.iter().map(|&p| p * evm).collect::<Vec<_>>());
+                r = &r + &h.matmul(&d).matmul(&h.hermitian());
+            }
+        }
+
+        // Carrier leakage: a dropped subcarrier still radiates
+        // `leakage_db` below the average per-subcarrier level,
+        // omnidirectionally (unprecoded).
+        if self.powers.is_dropped(s) {
+            let leak_mw = imp.leakage_factor() * self.budget_mw / DATA_SUBCARRIERS as f64;
+            if leak_mw > 0.0 {
+                let per_ant = leak_mw / h.cols() as f64;
+                let hh = h.matmul(&h.hermitian());
+                r = &r + &hh.scale(per_ant);
+            }
+        }
+        r
+    }
+}
+
+/// Per-stream post-MMSE SINR grid (`[stream][subcarrier]`, linear) at the
+/// receiver served by `own`, with optional concurrent `interferer`.
+///
+/// For each stream `k` with received signature `a_k = H P_k sqrt(p_k)`:
+/// `SINR_k = a_k^H R_k^{-1} a_k`, where `R_k` collects thermal noise, the
+/// other streams of the own AP, all of the interferer's signal, and both
+/// transmitters' EVM/leakage noise. This is the standard MMSE output SINR.
+pub fn mmse_sinr_grid(
+    own: &TxSide,
+    interferer: Option<&TxSide>,
+    noise_mw: f64,
+    imp: &Impairments,
+) -> Vec<Vec<f64>> {
+    let streams = own.precoding.streams();
+    let rx = own.channel.rx();
+    let mut grid = vec![vec![0.0; DATA_SUBCARRIERS]; streams];
+
+    for s in 0..DATA_SUBCARRIERS {
+        // Base covariance: thermal noise + own EVM + interferer everything.
+        let mut base = CMat::identity(rx).scale(noise_mw);
+        base = &base + &own.covariance(s, imp, false);
+        if let Some(int) = interferer {
+            base = &base + &int.covariance(s, imp, true);
+        }
+
+        let a = own.channel.at(s).matmul(&own.tx_matrix(s)); // rx x streams
+        for k in 0..streams {
+            if own.powers.powers[k][s] <= 0.0 {
+                continue;
+            }
+            // R_k = base + sum_{j != k} a_j a_j^H.
+            let mut rk = base.clone();
+            for j in 0..streams {
+                if j == k {
+                    continue;
+                }
+                let aj = a.column(j);
+                rk = &rk + &aj.matmul(&aj.hermitian());
+            }
+            let ak = a.column(k);
+            let rinv = inverse_loaded(&rk, noise_mw.max(1e-18) * 1e-9);
+            let sinr = ak.hermitian().matmul(&rinv).matmul(&ak)[(0, 0)];
+            grid[k][s] = sinr.re.max(0.0);
+        }
+    }
+    grid
+}
+
+/// Total received power (mW, summed over receive antennas) from a
+/// transmitter on each subcarrier -- the paper's INR / signal-power
+/// measurements (Figures 3 and 9).
+pub fn received_power_per_subcarrier(tx: &TxSide, imp: &Impairments) -> Vec<f64> {
+    (0..DATA_SUBCARRIERS)
+        .map(|s| {
+            let r = tx.covariance(s, imp, true);
+            r.trace().re.max(0.0)
+        })
+        .collect()
+}
+
+/// Collects the SINRs of all active (stream, subcarrier) cells into the
+/// flat vector the throughput model consumes.
+pub fn active_cells(grid: &[Vec<f64>], powers: &TxPowers) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (k, row) in grid.iter().enumerate() {
+        for (s, &sinr) in row.iter().enumerate() {
+            if powers.powers[k][s] > 0.0 {
+                out.push(sinr);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beamforming::beamform;
+    use crate::nulling::null_toward;
+    use copa_channel::MultipathProfile;
+    use copa_num::SimRng;
+
+    fn ch(rng: &mut SimRng, rx: usize, tx: usize, gain: f64) -> FreqChannel {
+        FreqChannel::random(rng, rx, tx, gain, &MultipathProfile::default())
+    }
+
+    const NOISE: f64 = 1e-9;
+
+    #[test]
+    fn siso_sinr_matches_closed_form() {
+        // 1x1 link, no interferer, ideal radio: SINR = p |h|^2 / noise.
+        let mut rng = SimRng::seed_from(70);
+        let truth = ch(&mut rng, 1, 1, 1e-6);
+        let imp = Impairments::ideal();
+        let pre = beamform(&truth, 1);
+        let powers = TxPowers::equal(1, 31.6);
+        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let grid = mmse_sinr_grid(&own, None, NOISE, &imp);
+        for s in 0..DATA_SUBCARRIERS {
+            let expect = powers.powers[0][s] * truth.at(s)[(0, 0)].norm_sqr() / NOISE;
+            assert!(
+                (grid[0][s] / expect - 1.0).abs() < 1e-6,
+                "s={s}: {} vs {}",
+                grid[0][s],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn interference_reduces_sinr() {
+        let mut rng = SimRng::seed_from(71);
+        let truth = ch(&mut rng, 2, 4, 1e-6);
+        let cross = ch(&mut rng, 2, 4, 1e-7);
+        let imp = Impairments::ideal();
+        let pre = beamform(&truth, 2);
+        let powers = TxPowers::equal(2, 31.6);
+        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+
+        let clean = mmse_sinr_grid(&own, None, NOISE, &imp);
+
+        let int_pre = beamform(&cross, 2); // arbitrary precoder for interferer
+        let int_powers = TxPowers::equal(2, 31.6);
+        let int = TxSide { channel: &cross, precoding: &int_pre, powers: &int_powers, budget_mw: 31.6 };
+        let dirty = mmse_sinr_grid(&own, Some(&int), NOISE, &imp);
+
+        let mean = |g: &Vec<Vec<f64>>| {
+            g.iter().flatten().sum::<f64>() / (2.0 * DATA_SUBCARRIERS as f64)
+        };
+        assert!(
+            mean(&dirty) < mean(&clean) * 0.8,
+            "interference should reduce SINR: {} vs {}",
+            mean(&dirty),
+            mean(&clean)
+        );
+    }
+
+    #[test]
+    fn perfect_nulling_removes_interference() {
+        // With ideal CSI and no EVM, a nulled interferer is invisible.
+        let mut rng = SimRng::seed_from(72);
+        let own_truth = ch(&mut rng, 2, 4, 1e-6);
+        let cross_truth = ch(&mut rng, 2, 4, 1e-6); // interferer -> this client
+        let int_own = ch(&mut rng, 2, 4, 1e-6); // interferer -> its own client
+        let imp = Impairments::ideal();
+
+        let pre = beamform(&own_truth, 2);
+        let powers = TxPowers::equal(2, 31.6);
+        let own = TxSide { channel: &own_truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let clean = mmse_sinr_grid(&own, None, NOISE, &imp);
+
+        // Interferer nulls toward *this* client (cross_truth is its channel
+        // to us) while beamforming to its own client.
+        let int_pre = null_toward(&int_own, &cross_truth, 2).unwrap();
+        let int_powers = TxPowers::equal(2, 31.6);
+        let int =
+            TxSide { channel: &cross_truth, precoding: &int_pre, powers: &int_powers, budget_mw: 31.6 };
+        let nulled = mmse_sinr_grid(&own, Some(&int), NOISE, &imp);
+
+        for s in 0..DATA_SUBCARRIERS {
+            for k in 0..2 {
+                assert!(
+                    (nulled[k][s] / clean[k][s] - 1.0).abs() < 1e-3,
+                    "perfect null should preserve SINR at s={s},k={k}: {} vs {}",
+                    nulled[k][s],
+                    clean[k][s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evm_floors_the_null() {
+        // With TX EVM, even a perfect-CSI null leaks noise.
+        let mut rng = SimRng::seed_from(73);
+        let own_truth = ch(&mut rng, 2, 4, 1e-6);
+        let cross_truth = ch(&mut rng, 2, 4, 1e-6);
+        let int_own = ch(&mut rng, 2, 4, 1e-6);
+        let imp = Impairments { csi_error_db: -300.0, tx_evm_db: -30.0, leakage_db: -300.0 };
+
+        let int_pre = null_toward(&int_own, &cross_truth, 2).unwrap();
+        let int_powers = TxPowers::equal(2, 31.6);
+        let int =
+            TxSide { channel: &cross_truth, precoding: &int_pre, powers: &int_powers, budget_mw: 31.6 };
+        let rx_power = received_power_per_subcarrier(&int, &imp);
+        let total: f64 = rx_power.iter().sum();
+
+        // Compare with the unprecoded (equal power) interference level.
+        let bf_pre = beamform(&int_own, 2);
+        let unp = TxSide { channel: &cross_truth, precoding: &bf_pre, powers: &int_powers, budget_mw: 31.6 };
+        let unp_power: f64 = received_power_per_subcarrier(&unp, &Impairments::ideal())
+            .iter()
+            .sum();
+
+        let depth_db = 10.0 * (total / unp_power).log10();
+        assert!(
+            (-35.0..=-22.0).contains(&depth_db),
+            "EVM should floor the null near -30 dB, got {depth_db:.1} dB"
+        );
+    }
+
+    #[test]
+    fn dropped_subcarrier_leaks() {
+        let mut rng = SimRng::seed_from(74);
+        let cross = ch(&mut rng, 2, 4, 1e-6);
+        let int_own = ch(&mut rng, 2, 4, 1e-6);
+        let pre = beamform(&int_own, 2);
+        let mut powers = TxPowers::equal(2, 31.6);
+        // Drop subcarrier 5 entirely.
+        powers.powers[0][5] = 0.0;
+        powers.powers[1][5] = 0.0;
+        let tx = TxSide { channel: &cross, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+
+        let imp = Impairments { csi_error_db: -300.0, tx_evm_db: -300.0, leakage_db: -27.0 };
+        let with_leak = received_power_per_subcarrier(&tx, &imp);
+        assert!(with_leak[5] > 0.0, "dropped subcarrier should still leak");
+        let ideal = received_power_per_subcarrier(&tx, &Impairments::ideal());
+        // "ideal" is -300 dB, i.e. numerically zero.
+        assert!(ideal[5] < with_leak[5] * 1e-20);
+        // Leakage is far below an active subcarrier.
+        assert!(with_leak[5] < with_leak[6] * 0.1);
+    }
+
+    #[test]
+    fn active_cells_respects_dropping() {
+        let grid = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let powers = TxPowers {
+            powers: vec![vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]],
+        };
+        let cells = active_cells(&grid, &powers);
+        assert_eq!(cells, vec![1.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn two_streams_interfere_without_enough_rx_antennas() {
+        // A 1-antenna receiver cannot separate 2 streams: SINR saturates.
+        let mut rng = SimRng::seed_from(75);
+        let truth = ch(&mut rng, 1, 4, 1e-6);
+        // Force a 2-stream precoder from a fake 2-row estimate, then send to
+        // a 1-antenna receiver.
+        let fake = ch(&mut rng, 2, 4, 1e-6);
+        let pre = beamform(&fake, 2);
+        let powers = TxPowers::equal(2, 31.6);
+        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let grid = mmse_sinr_grid(&own, None, NOISE, &Impairments::ideal());
+        // Streams mutually interfere: SINR can't exceed ~1/(inter-stream
+        // leakage), far below the interference-free level.
+        let mean: f64 = grid.iter().flatten().sum::<f64>() / (2.0 * DATA_SUBCARRIERS as f64);
+        assert!(mean < 100.0, "1-antenna rx should choke on 2 streams, mean SINR {mean}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # copa-sim
+//!
+//! The experiment harness that regenerates every table and figure in the
+//! paper's evaluation:
+//!
+//! * [`figures`] -- microscopic experiments (Figures 2, 3, 4, 7, 9).
+//! * [`throughput`] -- the topology-suite CDF experiments (Figures 10-13)
+//!   and the multi-decoder comparison (Figure 14).
+//! * [`report`] -- the paper's headline statistics and text rendering.
+//! * [`runner`] -- parallel suite evaluation over crossbeam scoped threads.
+//! * [`ablations`] -- design-choice sweeps (coherence time, impairments,
+//!   allocator comparison, CSI aging) beyond the paper's own figures.
+//! * [`validation`] -- Monte-Carlo validation of the analytic BER chain
+//!   against the bit-true 802.11 baseband pipeline.
+//! * [`episode`] -- time-domain episodes: continuous channel evolution with
+//!   a CSI refresh policy, closing the staleness/overhead loop.
+//! * [`reuse`] -- subcarrier reuse analysis: how much of a concurrent
+//!   solution is OFDMA-style partitioning vs true spatial sharing (4.2).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod episode;
+pub mod figures;
+pub mod report;
+pub mod reuse;
+pub mod runner;
+pub mod throughput;
+pub mod validation;
+
+pub use ablations::{
+    allocator_comparison, coherence_sweep, correlation_sweep, csi_aging_sweep, impairment_sweep,
+};
+pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
+pub use report::{headline_stats, render_experiment, HeadlineStats};
+pub use runner::{evaluate_parallel, evaluate_serial};
+pub use throughput::{fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment};

@@ -1,0 +1,108 @@
+//! Headline statistics and text reporting.
+//!
+//! The paper's introduction quantifies its findings as population statistics
+//! over topologies ("in 83% of topologies ... nulling underperforms CSMA";
+//! "COPA improves nulling's throughput by a mean of 64%"). This module
+//! computes the same statistics from experiment output and renders
+//! human-readable summaries for the bench harness.
+
+use crate::throughput::ThroughputExperiment;
+use copa_num::stats::{fraction_greater, mean_relative_improvement, median_relative_improvement};
+use serde::Serialize;
+
+/// The section 1 headline statistics for a nulling-capable scenario.
+#[derive(Clone, Debug, Serialize)]
+pub struct HeadlineStats {
+    /// Fraction of topologies where vanilla nulling underperforms CSMA.
+    pub null_worse_than_csma: f64,
+    /// Mean relative improvement of COPA over vanilla nulling.
+    pub copa_over_null_mean: f64,
+    /// Median relative improvement of COPA over vanilla nulling.
+    pub copa_over_null_median: f64,
+    /// Fraction of topologies where COPA beats CSMA.
+    pub copa_beats_csma: f64,
+}
+
+/// Computes the headline statistics from a Figure 11-style experiment.
+///
+/// # Panics
+/// Panics if the experiment lacks a "Null" series.
+pub fn headline_stats(exp: &ThroughputExperiment) -> HeadlineStats {
+    let csma = &exp.series("CSMA").expect("CSMA series").aggregate_mbps;
+    let null = &exp.series("Null").expect("Null series").aggregate_mbps;
+    let copa = &exp.series("COPA").expect("COPA series").aggregate_mbps;
+    HeadlineStats {
+        null_worse_than_csma: fraction_greater(csma, null),
+        copa_over_null_mean: mean_relative_improvement(copa, null),
+        copa_over_null_median: median_relative_improvement(copa, null),
+        copa_beats_csma: fraction_greater(copa, csma),
+    }
+}
+
+/// Renders an experiment like the paper's figure legends:
+/// `name - mean_mbps` per scheme, plus CDF deciles.
+pub fn render_experiment(exp: &ThroughputExperiment) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "== {} ==", exp.label).unwrap();
+    for s in &exp.series {
+        writeln!(out, "  {:<12} mean {:>6.1} Mbps", s.name, s.mean_mbps()).unwrap();
+    }
+    writeln!(out, "  CDF deciles (Mbps):").unwrap();
+    for s in &exp.series {
+        let cdf = s.cdf();
+        let deciles: Vec<String> = (1..=9)
+            .map(|d| format!("{:.0}", cdf.quantile(d as f64 / 10.0)))
+            .collect();
+        writeln!(out, "    {:<12} {}", s.name, deciles.join(" ")).unwrap();
+    }
+    out
+}
+
+/// Renders Figure 3-style summary lines.
+pub fn render_fig3(f: &crate::figures::Fig3) -> String {
+    let (i_m, i_s) = crate::figures::Fig3::summary(&f.inr_reduction_db);
+    let (s_m, s_s) = crate::figures::Fig3::summary(&f.snr_reduction_db);
+    let (x_m, x_s) = crate::figures::Fig3::summary(&f.sinr_increase_db);
+    format!(
+        "INR reduction: {i_m:.1} +- {i_s:.1} dB (paper ~27)\n\
+         SNR reduction: {s_m:.1} +- {s_s:.1} dB (paper ~ -8)\n\
+         SINR increase: {x_m:.1} +- {x_s:.1} dB (paper ~18)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::SchemeSeries;
+
+    fn fake_experiment() -> ThroughputExperiment {
+        ThroughputExperiment {
+            label: "test".into(),
+            series: vec![
+                SchemeSeries { name: "CSMA".into(), aggregate_mbps: vec![100.0, 110.0, 120.0, 90.0] },
+                SchemeSeries { name: "Null".into(), aggregate_mbps: vec![80.0, 120.0, 100.0, 70.0] },
+                SchemeSeries { name: "COPA".into(), aggregate_mbps: vec![120.0, 140.0, 130.0, 95.0] },
+            ],
+        }
+    }
+
+    #[test]
+    fn headline_statistics() {
+        let h = headline_stats(&fake_experiment());
+        // CSMA > Null in 3 of 4.
+        assert!((h.null_worse_than_csma - 0.75).abs() < 1e-12);
+        // COPA > CSMA in 4 of 4.
+        assert!((h.copa_beats_csma - 1.0).abs() < 1e-12);
+        assert!(h.copa_over_null_mean > 0.0);
+        assert!(h.copa_over_null_median > 0.0);
+    }
+
+    #[test]
+    fn render_contains_means() {
+        let text = render_experiment(&fake_experiment());
+        assert!(text.contains("CSMA"));
+        assert!(text.contains("105.0"));
+        assert!(text.contains("CDF deciles"));
+    }
+}

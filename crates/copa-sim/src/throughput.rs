@@ -1,0 +1,238 @@
+//! Macroscopic throughput experiments: Figures 10-14.
+//!
+//! Each experiment evaluates the strategy engine across a topology suite
+//! and reports, per scheme, the aggregate throughput distribution -- the
+//! CDFs of the paper's evaluation section.
+
+use crate::runner::evaluate_parallel;
+use copa_channel::{AntennaConfig, Topology};
+use copa_core::{DecoderMode, Engine, Evaluation, ScenarioParams};
+use copa_num::stats::{mean, EmpiricalCdf};
+use serde::Serialize;
+
+/// One scheme's throughput samples across a suite.
+#[derive(Clone, Debug, Serialize)]
+pub struct SchemeSeries {
+    /// Display name, matching the paper's legends.
+    pub name: String,
+    /// Aggregate (two-client) throughput per topology, Mbps.
+    pub aggregate_mbps: Vec<f64>,
+}
+
+impl SchemeSeries {
+    /// Mean across topologies (the number in the paper's legends).
+    pub fn mean_mbps(&self) -> f64 {
+        mean(&self.aggregate_mbps)
+    }
+
+    /// Empirical CDF for plotting.
+    pub fn cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(&self.aggregate_mbps)
+    }
+}
+
+/// A complete throughput-CDF experiment (one of Figures 10-13).
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputExperiment {
+    /// Figure label, e.g. "Figure 11 (4x2 constrained)".
+    pub label: String,
+    /// Per-scheme series in legend order.
+    pub series: Vec<SchemeSeries>,
+}
+
+impl ThroughputExperiment {
+    /// Looks a series up by name.
+    pub fn series(&self, name: &str) -> Option<&SchemeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+fn collect(label: &str, evals: &[Evaluation], include_mercury: bool, nulling: bool) -> ThroughputExperiment {
+    let grab = |f: &dyn Fn(&Evaluation) -> Option<f64>| -> Vec<f64> {
+        evals.iter().filter_map(f).collect()
+    };
+    let mut series = vec![
+        SchemeSeries {
+            name: "CSMA".into(),
+            aggregate_mbps: grab(&|e| Some(e.csma.aggregate_mbps())),
+        },
+        SchemeSeries {
+            name: "COPA-SEQ".into(),
+            aggregate_mbps: grab(&|e| Some(e.copa_seq.aggregate_mbps())),
+        },
+    ];
+    if nulling {
+        series.push(SchemeSeries {
+            name: "Null".into(),
+            aggregate_mbps: grab(&|e| e.vanilla_null.map(|o| o.aggregate_mbps())),
+        });
+    }
+    series.push(SchemeSeries {
+        name: "COPA fair".into(),
+        aggregate_mbps: grab(&|e| Some(e.copa_fair.aggregate_mbps())),
+    });
+    series.push(SchemeSeries {
+        name: "COPA".into(),
+        aggregate_mbps: grab(&|e| Some(e.copa.aggregate_mbps())),
+    });
+    if include_mercury {
+        series.push(SchemeSeries {
+            name: "COPA+ fair".into(),
+            aggregate_mbps: grab(&|e| e.copa_plus_fair.map(|o| o.aggregate_mbps())),
+        });
+        series.push(SchemeSeries {
+            name: "COPA+".into(),
+            aggregate_mbps: grab(&|e| e.copa_plus.map(|o| o.aggregate_mbps())),
+        });
+    }
+    ThroughputExperiment { label: label.into(), series }
+}
+
+/// Shared driver: evaluate a suite and package the paper's scheme series.
+pub fn run_cdf_experiment(
+    label: &str,
+    suite: &[Topology],
+    params: &ScenarioParams,
+    threads: usize,
+) -> ThroughputExperiment {
+    let evals = evaluate_parallel(params, suite, threads);
+    let nulling = suite
+        .first()
+        .map(|t| t.config != AntennaConfig::SINGLE)
+        .unwrap_or(false);
+    collect(label, &evals, params.include_mercury, nulling)
+}
+
+/// Figure 10: two single-antenna AP / client pairs.
+pub fn fig10(suite: &[Topology], params: &ScenarioParams, threads: usize) -> ThroughputExperiment {
+    run_cdf_experiment("Figure 10 (1x1 single antenna)", suite, params, threads)
+}
+
+/// Figure 11: two four-antenna APs, two two-antenna clients.
+pub fn fig11(suite: &[Topology], params: &ScenarioParams, threads: usize) -> ThroughputExperiment {
+    run_cdf_experiment("Figure 11 (4x2 constrained)", suite, params, threads)
+}
+
+/// Figure 12: the Figure 11 channels with interference 10 dB weaker.
+pub fn fig12(suite: &[Topology], params: &ScenarioParams, threads: usize) -> ThroughputExperiment {
+    let weakened: Vec<Topology> = suite.iter().map(|t| t.with_weaker_interference(10.0)).collect();
+    run_cdf_experiment("Figure 12 (4x2, interference -10 dB)", &weakened, params, threads)
+}
+
+/// Figure 13: two three-antenna APs, two two-antenna clients
+/// (overconstrained; vanilla nulling uses shut-down-antenna).
+pub fn fig13(suite: &[Topology], params: &ScenarioParams, threads: usize) -> ThroughputExperiment {
+    run_cdf_experiment("Figure 13 (3x2 overconstrained)", suite, params, threads)
+}
+
+/// Figure 14: potential improvement from per-subcarrier rate selection
+/// ("multiple decoders", section 4.6), relative to single-decoder CSMA.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig14Scenario {
+    /// Scenario label ("1x1", "4x2", "3x2").
+    pub scenario: String,
+    /// Percent improvement over 1-decoder CSMA for:
+    /// CSMA-N, COPA-fair-1, COPA-1, COPA-fair-N, COPA-N.
+    pub improvement_pct: [f64; 5],
+}
+
+/// Runs the Figure 14 comparison for one antenna configuration.
+pub fn fig14_scenario(
+    label: &str,
+    suite: &[Topology],
+    params: &ScenarioParams,
+) -> Fig14Scenario {
+    // Sequential, single-threaded: each evaluation runs in both decoder
+    // modes with matched seeds.
+    let mut csma_1 = Vec::new();
+    let mut csma_n = Vec::new();
+    let mut fair_1 = Vec::new();
+    let mut copa_1 = Vec::new();
+    let mut fair_n = Vec::new();
+    let mut copa_n = Vec::new();
+    for (idx, topo) in suite.iter().enumerate() {
+        let mut p = *params;
+        p.seed = params.seed.wrapping_add(idx as u64).wrapping_mul(0x9E37_79B9);
+        let engine = Engine::new(p);
+        let single = engine.evaluate_mode(topo, DecoderMode::Single);
+        let multi = engine.evaluate_mode(topo, DecoderMode::PerSubcarrier);
+        csma_1.push(single.csma.aggregate_mbps());
+        csma_n.push(multi.csma.aggregate_mbps());
+        fair_1.push(single.copa_fair.aggregate_mbps());
+        copa_1.push(single.copa.aggregate_mbps());
+        fair_n.push(multi.copa_fair.aggregate_mbps());
+        copa_n.push(multi.copa.aggregate_mbps());
+    }
+    let base = mean(&csma_1);
+    let pct = |v: &[f64]| (mean(v) / base - 1.0) * 100.0;
+    Fig14Scenario {
+        scenario: label.into(),
+        improvement_pct: [pct(&csma_n), pct(&fair_1), pct(&copa_1), pct(&fair_n), pct(&copa_n)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_channel::TopologySampler;
+
+    fn suite(cfg: AntennaConfig, n: usize) -> Vec<Topology> {
+        TopologySampler::default().suite(0xBEEF, n, cfg)
+    }
+
+    #[test]
+    fn fig11_shape_holds_on_small_suite() {
+        let s = suite(AntennaConfig::CONSTRAINED_4X2, 8);
+        let params = ScenarioParams::default();
+        let exp = fig11(&s, &params, 4);
+        let csma = exp.series("CSMA").unwrap().mean_mbps();
+        let null = exp.series("Null").unwrap().mean_mbps();
+        let copa = exp.series("COPA").unwrap().mean_mbps();
+        let fair = exp.series("COPA fair").unwrap().mean_mbps();
+        // The paper's headline shape: COPA > CSMA, COPA > Null,
+        // fair <= COPA.
+        assert!(copa > csma, "COPA {copa:.1} should beat CSMA {csma:.1}");
+        assert!(copa > null, "COPA {copa:.1} should beat Null {null:.1}");
+        assert!(fair <= copa + 0.1);
+    }
+
+    #[test]
+    fn fig12_weak_interference_helps_nulling() {
+        let s = suite(AntennaConfig::CONSTRAINED_4X2, 8);
+        let params = ScenarioParams::default();
+        let strong = fig11(&s, &params, 4);
+        let weak = fig12(&s, &params, 4);
+        let null_strong = strong.series("Null").unwrap().mean_mbps();
+        let null_weak = weak.series("Null").unwrap().mean_mbps();
+        assert!(
+            null_weak > null_strong,
+            "weaker interference should help vanilla nulling: {null_weak:.1} vs {null_strong:.1}"
+        );
+        let copa_weak = weak.series("COPA").unwrap().mean_mbps();
+        assert!(copa_weak >= null_weak, "COPA still wins under weak interference");
+    }
+
+    #[test]
+    fn fig10_single_antenna_ordering() {
+        let s = suite(AntennaConfig::SINGLE, 8);
+        let params = ScenarioParams::default();
+        let exp = fig10(&s, &params, 4);
+        assert!(exp.series("Null").is_none(), "no nulling series for 1x1");
+        let csma = exp.series("CSMA").unwrap().mean_mbps();
+        let seq = exp.series("COPA-SEQ").unwrap().mean_mbps();
+        let copa = exp.series("COPA").unwrap().mean_mbps();
+        assert!(seq >= csma * 0.98, "COPA-SEQ {seq:.1} vs CSMA {csma:.1}");
+        assert!(copa >= seq - 0.1);
+    }
+
+    #[test]
+    fn fig14_multi_decoder_nonnegative_for_csma() {
+        let s = suite(AntennaConfig::SINGLE, 4);
+        let f = fig14_scenario("1x1", &s, &ScenarioParams::default());
+        assert!(
+            f.improvement_pct[0] >= -1.0,
+            "multi-decoder CSMA should not lose: {:.1}%",
+            f.improvement_pct[0]
+        );
+    }
+}

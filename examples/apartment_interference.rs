@@ -1,0 +1,61 @@
+//! Dense-apartment scenario: how COPA's win depends on cross-interference.
+//!
+//! ```sh
+//! cargo run --release --example apartment_interference
+//! ```
+//!
+//! Two tenants in adjacent apartments each run a 4-antenna AP serving a
+//! 2-antenna laptop. The wall between them sets how strongly the APs
+//! interfere. This example sweeps the wall attenuation and reports, at each
+//! level, what each access strategy delivers and what COPA decides --
+//! reproducing the paper's observation that vanilla nulling only pays off
+//! when interference is weak (Figure 12 vs Figure 11), while COPA adapts.
+
+use copa::channel::{AntennaConfig, TopologySampler};
+use copa::core::{Engine, ScenarioParams};
+use copa::num::stats::mean;
+
+fn main() {
+    let suite = TopologySampler::default().suite(0xAB, 12, AntennaConfig::CONSTRAINED_4X2);
+    let engine = Engine::new(ScenarioParams::default());
+
+    println!("Sweep: extra wall attenuation on the cross-links (dB)");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>10} {:>16}",
+        "wall dB", "CSMA", "Null", "COPA", "COPA/CSMA", "conc. chosen"
+    );
+    for wall_db in [0.0, 5.0, 10.0, 15.0, 20.0] {
+        let mut csma = Vec::new();
+        let mut null = Vec::new();
+        let mut copa = Vec::new();
+        let mut concurrent_picks = 0usize;
+        for t in &suite {
+            let t = t.with_weaker_interference(wall_db);
+            let ev = engine.evaluate(&t);
+            csma.push(ev.csma.aggregate_mbps());
+            if let Some(n) = ev.vanilla_null {
+                null.push(n.aggregate_mbps());
+            }
+            copa.push(ev.copa_fair.aggregate_mbps());
+            if ev.copa_fair.strategy.is_concurrent() {
+                concurrent_picks += 1;
+            }
+        }
+        println!(
+            "{:>8.0} {:>8.1} {:>8.1} {:>8.1} {:>9.2}x {:>11}/{:<4}",
+            wall_db,
+            mean(&csma),
+            mean(&null),
+            mean(&copa),
+            mean(&copa) / mean(&csma),
+            concurrent_picks,
+            suite.len()
+        );
+    }
+    println!(
+        "\nReading: thicker walls (weaker interference) make nulling and concurrency\n\
+         more profitable; COPA picks concurrent transmission more often and the\n\
+         aggregate gain over CSMA grows -- but COPA never does worse than CSMA,\n\
+         because it falls back to sequential transmission when concurrency loses."
+    );
+}

@@ -1,0 +1,58 @@
+//! The overconstrained case: 3-antenna APs, 2-antenna clients (section 3.4).
+//!
+//! ```sh
+//! cargo run --release --example overconstrained
+//! ```
+//!
+//! With three transmit antennas there are not enough degrees of freedom to
+//! send two MIMO streams *and* null at both antennas of the other client.
+//! COPA's fix is to shut down one receive antenna at the follower's client
+//! (SDA), letting the leader send two nulled streams while the follower
+//! sends one. This example walks through the degrees-of-freedom arithmetic
+//! and compares the three ways out on real topologies.
+
+use copa::channel::{AntennaConfig, TopologySampler};
+use copa::core::{Engine, ScenarioParams, Strategy};
+use copa::num::stats::mean;
+use copa::precoding::nulling_dof;
+
+fn main() {
+    println!("Degrees-of-freedom arithmetic (tx antennas - victim antennas):");
+    println!("  4x2: {} spare -> two nulled streams OK (constrained case)", nulling_dof(4, 2));
+    println!("  3x2: {} spare -> two nulled streams impossible", nulling_dof(3, 2));
+    println!("  3x1 (after SDA): {} spare -> two nulled streams OK again", nulling_dof(3, 1));
+
+    let suite = TopologySampler::default().suite(0x3B2, 15, AntennaConfig::OVERCONSTRAINED_3X2);
+    let engine = Engine::new(ScenarioParams::default());
+
+    let mut csma = Vec::new();
+    let mut null_sda = Vec::new();
+    let mut copa_fair = Vec::new();
+    let mut copa = Vec::new();
+    let mut concurrent = 0usize;
+    for t in &suite {
+        let ev = engine.evaluate(t);
+        csma.push(ev.csma.aggregate_mbps());
+        if let Some(n) = ev.vanilla_null {
+            null_sda.push(n.aggregate_mbps());
+        }
+        copa_fair.push(ev.copa_fair.aggregate_mbps());
+        copa.push(ev.copa.aggregate_mbps());
+        if ev.copa.strategy == Strategy::ConcurrentNull {
+            concurrent += 1;
+        }
+    }
+
+    println!("\nAcross {} 3x2 topologies (aggregate Mbps):", suite.len());
+    println!("  CSMA      {:>6.1}", mean(&csma));
+    println!("  Null+SDA  {:>6.1}   (vanilla nulling with shut-down antenna)", mean(&null_sda));
+    println!("  COPA fair {:>6.1}", mean(&copa_fair));
+    println!("  COPA      {:>6.1}", mean(&copa));
+    println!("  concurrent nulling chosen in {concurrent}/{} topologies", suite.len());
+    println!(
+        "\nNote the paper's observation: Null+SDA alone does not reach CSMA, but\n\
+         COPA's power allocation on top of SDA makes concurrency worthwhile.\n\
+         The asymmetry (leader's client gets two streams, follower's one)\n\
+         averages out because DCF randomizes who leads each exchange."
+    );
+}

@@ -1,0 +1,23 @@
+//! # copa
+//!
+//! Facade crate for the COPA (CoNEXT 2015) reproduction. Re-exports every
+//! workspace crate under one roof so examples and downstream users can depend
+//! on a single package:
+//!
+//! * [`num`] -- complex numbers, matrices, SVD, FFT, statistics.
+//! * [`channel`] -- multipath MIMO channel simulator, topologies, impairments.
+//! * [`phy`] -- 802.11n OFDM PHY model: MCS table, BER/FER/throughput.
+//! * [`precoding`] -- SVD beamforming, nulling, MMSE receivers, SINR.
+//! * [`alloc`] -- Equi-SNR / Equi-SINR / mercury-waterfilling power allocation.
+//! * [`mac`] -- ITS coordination protocol, CSI compression, DCF, overheads.
+//! * [`core`] -- the strategy engine that picks the best transmission scheme.
+//! * [`sim`] -- experiment harness regenerating the paper's figures/tables.
+
+pub use copa_alloc as alloc;
+pub use copa_channel as channel;
+pub use copa_core as core;
+pub use copa_mac as mac;
+pub use copa_num as num;
+pub use copa_phy as phy;
+pub use copa_precoding as precoding;
+pub use copa_sim as sim;

@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the full COPA pipeline from topology
+//! generation through CSI estimation, precoding, allocation, SINR
+//! evaluation, MAC overhead and strategy selection.
+
+use copa::channel::{AntennaConfig, Impairments, TopologySampler};
+use copa::core::{Engine, ScenarioParams, Strategy};
+
+fn engine() -> Engine {
+    Engine::new(ScenarioParams::default())
+}
+
+fn suite(cfg: AntennaConfig, n: usize, seed: u64) -> Vec<copa::channel::Topology> {
+    TopologySampler::default().suite(seed, n, cfg)
+}
+
+#[test]
+fn csma_respects_the_physical_ceiling() {
+    // No topology can beat streams x 57.5 Mbps under CSMA (the paper's
+    // maximum achievable rate at 65 Mbps with a 4 ms TXOP).
+    let e = engine();
+    for t in suite(AntennaConfig::CONSTRAINED_4X2, 8, 1) {
+        let ev = e.evaluate(&t);
+        assert!(
+            ev.csma.aggregate_mbps() <= 2.0 * 57.6,
+            "CSMA {:.1} exceeds the 2-stream ceiling",
+            ev.csma.aggregate_mbps()
+        );
+    }
+    for t in suite(AntennaConfig::SINGLE, 8, 2) {
+        let ev = e.evaluate(&t);
+        assert!(ev.csma.aggregate_mbps() <= 57.6);
+    }
+}
+
+#[test]
+fn copa_never_loses_to_its_own_fallback() {
+    // COPA's menu contains COPA-SEQ, so its pick can never be worse.
+    let e = engine();
+    for cfg in [
+        AntennaConfig::SINGLE,
+        AntennaConfig::CONSTRAINED_4X2,
+        AntennaConfig::OVERCONSTRAINED_3X2,
+    ] {
+        for t in suite(cfg, 6, 3) {
+            let ev = e.evaluate(&t);
+            assert!(
+                ev.copa.aggregate_bps() >= ev.copa_seq.aggregate_bps(),
+                "{cfg:?}: COPA below COPA-SEQ"
+            );
+            assert!(ev.copa_fair.aggregate_bps() >= ev.copa_seq.aggregate_bps() * 0.999);
+        }
+    }
+}
+
+#[test]
+fn fairness_constraint_is_enforced_everywhere() {
+    let e = engine();
+    for cfg in [AntennaConfig::CONSTRAINED_4X2, AntennaConfig::OVERCONSTRAINED_3X2] {
+        for t in suite(cfg, 8, 4) {
+            let ev = e.evaluate(&t);
+            assert!(
+                ev.copa_fair.incentive_compatible_vs(&ev.copa_seq),
+                "{cfg:?}: COPA fair hurt a client vs sequential cooperation"
+            );
+        }
+    }
+}
+
+#[test]
+fn fair_price_is_bounded_and_nonnegative() {
+    // "The difference between COPA and COPA Fair is the price of fairness":
+    // fair never exceeds unfair aggregate.
+    let e = engine();
+    for t in suite(AntennaConfig::CONSTRAINED_4X2, 10, 5) {
+        let ev = e.evaluate(&t);
+        assert!(ev.copa_fair.aggregate_bps() <= ev.copa.aggregate_bps() + 1.0);
+    }
+}
+
+#[test]
+fn copa_beats_vanilla_nulling_per_topology() {
+    // COPA subsumes nulling (it is nulling + power allocation + the option
+    // to do something else), so it should essentially never lose to it.
+    let e = engine();
+    for t in suite(AntennaConfig::CONSTRAINED_4X2, 10, 6) {
+        let ev = e.evaluate(&t);
+        let null = ev.vanilla_null.expect("4x2 nulls");
+        assert!(
+            ev.copa.aggregate_bps() >= null.aggregate_bps() * 0.97,
+            "COPA {:.1} materially below vanilla nulling {:.1}",
+            ev.copa.aggregate_mbps(),
+            null.aggregate_mbps()
+        );
+    }
+}
+
+#[test]
+fn ideal_radios_make_nulling_shine() {
+    // With perfect CSI, no EVM and no leakage, nulling removes
+    // interference entirely; concurrent nulling should usually dominate
+    // and COPA should pick a concurrent strategy on most topologies.
+    let params = ScenarioParams {
+        impairments: Impairments::ideal(),
+        ..Default::default()
+    };
+    let e = Engine::new(params);
+    let mut concurrent = 0;
+    let mut null_sum = 0.0;
+    let mut csma_sum = 0.0;
+    let topos = suite(AntennaConfig::CONSTRAINED_4X2, 8, 7);
+    for t in &topos {
+        let ev = e.evaluate(t);
+        if ev.copa.strategy.is_concurrent() {
+            concurrent += 1;
+        }
+        // Even ideal nulling keeps the collateral beamforming loss, so a
+        // weak topology can still lose to CSMA -- compare suite means.
+        null_sum += ev.vanilla_null.expect("4x2").aggregate_mbps();
+        csma_sum += ev.csma.aggregate_mbps();
+    }
+    assert!(
+        null_sum >= csma_sum,
+        "on average, ideal nulling should beat CSMA: {null_sum:.0} vs {csma_sum:.0}"
+    );
+    assert!(concurrent >= 6, "ideal radios: expected mostly concurrent picks, got {concurrent}/8");
+}
+
+#[test]
+fn impairments_degrade_nulling_monotonically() {
+    let topo = suite(AntennaConfig::CONSTRAINED_4X2, 1, 8).remove(0);
+    let mut prev = f64::INFINITY;
+    for csi_db in [-300.0, -30.0, -20.0] {
+        let params = ScenarioParams {
+            impairments: Impairments { csi_error_db: csi_db, tx_evm_db: csi_db, leakage_db: -27.0 },
+            ..Default::default()
+        };
+        let ev = Engine::new(params).evaluate(&topo);
+        let null = ev.vanilla_null.unwrap().aggregate_bps();
+        assert!(
+            null <= prev * 1.02,
+            "worse radios should not improve nulling: {null} after {prev}"
+        );
+        prev = null;
+    }
+}
+
+#[test]
+fn single_antenna_menu_is_restricted() {
+    let e = engine();
+    for t in suite(AntennaConfig::SINGLE, 5, 9) {
+        let ev = e.evaluate(&t);
+        assert!(ev.vanilla_null.is_none());
+        assert!(ev.outcome(Strategy::ConcurrentNull).is_none());
+        // Per-client throughputs are symmetric in expectation but always
+        // non-negative and below the single-stream ceiling.
+        for o in &ev.outcomes {
+            for c in 0..2 {
+                assert!(o.per_client_bps[c] >= 0.0);
+                assert!(o.per_client_bps[c] / 1e6 <= 57.6 * 1.01);
+            }
+        }
+    }
+}
+
+#[test]
+fn weak_interference_increases_concurrency_rate() {
+    let e = engine();
+    let topos = suite(AntennaConfig::CONSTRAINED_4X2, 10, 10);
+    let count = |delta: f64| -> usize {
+        topos
+            .iter()
+            .filter(|t| {
+                e.evaluate(&t.with_weaker_interference(delta)).copa.strategy.is_concurrent()
+            })
+            .count()
+    };
+    let strong = count(0.0);
+    let weak = count(15.0);
+    assert!(
+        weak >= strong,
+        "weaker interference should not reduce concurrency: {weak} vs {strong}"
+    );
+    assert!(weak >= 7, "with -15 dB interference concurrency should dominate: {weak}/10");
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let e1 = engine();
+    let e2 = engine();
+    let t = suite(AntennaConfig::CONSTRAINED_4X2, 1, 11).remove(0);
+    let a = e1.evaluate(&t);
+    let b = e2.evaluate(&t);
+    assert_eq!(a.copa.strategy, b.copa.strategy);
+    assert_eq!(a.copa.aggregate_bps(), b.copa.aggregate_bps());
+    assert_eq!(a.csma.aggregate_bps(), b.csma.aggregate_bps());
+}

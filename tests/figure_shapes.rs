@@ -1,0 +1,146 @@
+//! Figure-level shape assertions: the qualitative results the paper reports
+//! must hold on (smaller, faster) topology suites.
+
+use copa::channel::{AntennaConfig, TopologySampler};
+use copa::core::ScenarioParams;
+use copa::num::stats::{mean, std_dev};
+use copa::sim::figures::Fig3;
+use copa::sim::{fig10, fig11, fig12, fig13, fig3, fig4, fig9, headline_stats};
+
+fn suite(cfg: AntennaConfig, n: usize) -> Vec<copa::channel::Topology> {
+    TopologySampler::default().suite(0xF1, n, cfg)
+}
+
+const N: usize = 12;
+const THREADS: usize = 4;
+
+#[test]
+fn fig3_nulling_bands() {
+    let f = fig3(&suite(AntennaConfig::CONSTRAINED_4X2, N), &ScenarioParams::default());
+    let (inr, _) = Fig3::summary(&f.inr_reduction_db);
+    let (snr, _) = Fig3::summary(&f.snr_reduction_db);
+    let (sinr, _) = Fig3::summary(&f.sinr_increase_db);
+    // Paper: INR reduction ~27 dB (not generally above 30), SNR loss ~-8,
+    // net SINR improvement ~18 (generally no better than 23).
+    assert!((20.0..32.0).contains(&inr), "INR reduction {inr:.1}");
+    assert!((-15.0..0.0).contains(&snr), "SNR change {snr:.1}");
+    assert!((5.0..25.0).contains(&sinr), "SINR increase {sinr:.1}");
+}
+
+#[test]
+fn fig4_variance_story() {
+    // Nulling must increase per-subcarrier SINR variability -- the paper's
+    // core observation.
+    let topos = suite(AntennaConfig::CONSTRAINED_4X2, 4);
+    let mut increased = 0;
+    for t in &topos {
+        let f = fig4(t, &ScenarioParams::default());
+        if std_dev(&f.sinr_null_db) > std_dev(&f.snr_bf_db) {
+            increased += 1;
+        }
+        assert!(mean(&f.snr_null_db) < mean(&f.snr_bf_db), "nulling must cost SNR");
+    }
+    assert!(increased >= 3, "variance should rise in most topologies: {increased}/4");
+}
+
+#[test]
+fn fig9_envelope() {
+    let f = fig9(&suite(AntennaConfig::CONSTRAINED_4X2, 30));
+    let frac_signal_stronger =
+        f.points.iter().filter(|(s, i)| s > i).count() as f64 / f.points.len() as f64;
+    assert!(frac_signal_stronger > 0.75, "Figure 9: signal usually dominates");
+    for (s, i) in &f.points {
+        assert!((-90.0..-25.0).contains(s), "signal {s} outside envelope");
+        assert!((-100.0..-20.0).contains(i), "interference {i} outside envelope");
+    }
+}
+
+#[test]
+fn fig10_shape() {
+    let exp = fig10(&suite(AntennaConfig::SINGLE, N), &ScenarioParams::default(), THREADS);
+    let csma = exp.series("CSMA").unwrap().mean_mbps();
+    let seq = exp.series("COPA-SEQ").unwrap().mean_mbps();
+    let fair = exp.series("COPA fair").unwrap().mean_mbps();
+    let copa = exp.series("COPA").unwrap().mean_mbps();
+    assert!(seq > csma * 0.98, "COPA-SEQ {seq:.1} vs CSMA {csma:.1}");
+    assert!(copa >= fair - 0.1, "COPA >= COPA fair");
+    assert!(copa >= seq - 0.1, "COPA >= COPA-SEQ");
+    assert!(csma < 57.6, "1x1 ceiling");
+}
+
+#[test]
+fn fig11_shape_and_headlines() {
+    let exp = fig11(
+        &suite(AntennaConfig::CONSTRAINED_4X2, N),
+        &ScenarioParams::default(),
+        THREADS,
+    );
+    let csma = exp.series("CSMA").unwrap().mean_mbps();
+    let null = exp.series("Null").unwrap().mean_mbps();
+    let fair = exp.series("COPA fair").unwrap().mean_mbps();
+    let copa = exp.series("COPA").unwrap().mean_mbps();
+    // Paper shape: Null < CSMA < COPA fair <= COPA.
+    assert!(null < csma, "vanilla nulling should underperform CSMA on average");
+    assert!(fair > csma, "COPA fair should beat CSMA");
+    assert!(copa >= fair - 0.1);
+
+    let h = headline_stats(&exp);
+    assert!(
+        h.null_worse_than_csma > 0.6,
+        "nulling should lose to CSMA in most topologies: {:.0}%",
+        h.null_worse_than_csma * 100.0
+    );
+    assert!(
+        h.copa_over_null_mean > 0.2,
+        "COPA should improve nulling by tens of percent: {:.0}%",
+        h.copa_over_null_mean * 100.0
+    );
+    assert!(h.copa_beats_csma > 0.6);
+}
+
+#[test]
+fn fig12_crossover() {
+    // With interference 10 dB weaker, vanilla nulling flips from losing to
+    // CSMA to (at least) matching it, and COPA gains grow.
+    let s = suite(AntennaConfig::CONSTRAINED_4X2, N);
+    let params = ScenarioParams::default();
+    let strong = fig11(&s, &params, THREADS);
+    let weak = fig12(&s, &params, THREADS);
+    let null_strong = strong.series("Null").unwrap().mean_mbps();
+    let null_weak = weak.series("Null").unwrap().mean_mbps();
+    let csma = weak.series("CSMA").unwrap().mean_mbps();
+    assert!(null_weak > null_strong, "weaker interference must help nulling");
+    assert!(null_weak > csma * 0.95, "nulling should become competitive");
+    let copa_weak = weak.series("COPA").unwrap().mean_mbps();
+    let copa_strong = strong.series("COPA").unwrap().mean_mbps();
+    assert!(copa_weak > copa_strong, "COPA benefits from weak interference too");
+}
+
+#[test]
+fn fig13_overconstrained_shape() {
+    let exp = fig13(
+        &suite(AntennaConfig::OVERCONSTRAINED_3X2, N),
+        &ScenarioParams::default(),
+        THREADS,
+    );
+    let csma = exp.series("CSMA").unwrap().mean_mbps();
+    let null_sda = exp.series("Null").unwrap().mean_mbps();
+    let fair = exp.series("COPA fair").unwrap().mean_mbps();
+    let copa = exp.series("COPA").unwrap().mean_mbps();
+    // Paper: Null+SDA alone doesn't come close to CSMA; COPA beats CSMA.
+    assert!(null_sda < csma, "Null+SDA {null_sda:.1} should trail CSMA {csma:.1}");
+    assert!(copa >= csma, "COPA {copa:.1} should be at least CSMA {csma:.1}");
+    assert!(fair <= copa + 0.1);
+}
+
+#[test]
+fn copa_plus_dominates_on_average() {
+    // COPA+ (mercury) has a strictly larger menu, so its average aggregate
+    // must not trail COPA's.
+    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let s = suite(AntennaConfig::SINGLE, 6);
+    let exp = fig10(&s, &params, THREADS);
+    let copa = exp.series("COPA").unwrap().mean_mbps();
+    let plus = exp.series("COPA+").unwrap().mean_mbps();
+    assert!(plus >= copa * 0.995, "COPA+ {plus:.1} vs COPA {copa:.1}");
+}
