@@ -1,6 +1,7 @@
 //! Ablation benches: the design-choice sweeps DESIGN.md calls out
 //! (coherence time, radio impairments, allocator choice, CSI aging).
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_bench::threads;
 use copa_channel::AntennaConfig;
 use copa_core::ScenarioParams;
@@ -8,15 +9,22 @@ use copa_sim::ablations::{
     allocator_comparison, coherence_sweep, correlation_sweep, csi_aging_sweep, impairment_sweep,
 };
 use copa_sim::standard_suite;
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
     let params = ScenarioParams::default();
 
     println!("== Ablation: coherence time (CSI dissemination cost) ==");
-    println!("{:>10} {:>8} {:>11} {:>8}", "coherence", "CSMA", "COPA fair", "gain");
-    for r in coherence_sweep(&suite, &params, &[4.0, 10.0, 30.0, 100.0, 1000.0], threads()) {
+    println!(
+        "{:>10} {:>8} {:>11} {:>8}",
+        "coherence", "CSMA", "COPA fair", "gain"
+    );
+    for r in coherence_sweep(
+        &suite,
+        &params,
+        &[4.0, 10.0, 30.0, 100.0, 1000.0],
+        threads(),
+    ) {
         println!(
             "{:>8}ms {:>8.1} {:>11.1} {:>7.2}x",
             r.coherence_ms, r.csma_mbps, r.copa_fair_mbps, r.gain
@@ -59,7 +67,10 @@ fn print_reproduction() {
     );
 
     println!("\n== Ablation: antenna correlation (Kronecker, exponential) ==");
-    println!("{:>6} {:>8} {:>8} {:>11}", "rho", "CSMA", "Null", "COPA fair");
+    println!(
+        "{:>6} {:>8} {:>8} {:>11}",
+        "rho", "CSMA", "Null", "COPA fair"
+    );
     for r in correlation_sweep(
         &params,
         AntennaConfig::CONSTRAINED_4X2,
@@ -67,13 +78,19 @@ fn print_reproduction() {
         12,
         threads(),
     ) {
-        println!("{:>6.1} {:>8.1} {:>8.1} {:>11.1}", r.rho, r.csma_mbps, r.null_mbps, r.copa_fair_mbps);
+        println!(
+            "{:>6.1} {:>8.1} {:>8.1} {:>11.1}",
+            r.rho, r.csma_mbps, r.null_mbps, r.copa_fair_mbps
+        );
     }
 
     println!("\n== Ablation: CSI aging (channel correlation rho at transmit time) ==");
     println!("{:>6} {:>8} {:>11}", "rho", "Null", "COPA fair");
     for r in csi_aging_sweep(&suite, &params, &[1.0, 0.95, 0.9, 0.7, 0.5]) {
-        println!("{:>6.2} {:>8.1} {:>11.1}", r.rho, r.null_mbps, r.copa_fair_mbps);
+        println!(
+            "{:>6.2} {:>8.1} {:>11.1}",
+            r.rho, r.null_mbps, r.copa_fair_mbps
+        );
     }
     println!();
 }

@@ -4,6 +4,7 @@
 //! soft- vs hard-decision decoding headroom, and cells of three APs
 //! (section 3.1 future work).
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_bench::threads;
 use copa_channel::{AntennaConfig, TopologySampler};
 use copa_core::cell::{run_cell, MultiApScenario};
@@ -13,16 +14,21 @@ use copa_phy::modulation::Modulation;
 use copa_phy::papr::measure_papr;
 use copa_sim::episode::{run_episode, EpisodeConfig};
 use copa_sim::reuse::reuse_summary;
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let _ = threads();
 
     println!("== Extension: PAPR vs dropped subcarriers (section 4.1 aside) ==");
-    println!("{:>8} {:>11} {:>10} {:>10}", "dropped", "scrambled", "mean dB", "p99 dB");
+    println!(
+        "{:>8} {:>11} {:>10} {:>10}",
+        "dropped", "scrambled", "mean dB", "p99 dB"
+    );
     for dropped in [0usize, 4, 8, 16] {
         let s = measure_papr(Modulation::Qam64, dropped, true, 400, 0xAA);
-        println!("{:>8} {:>11} {:>10.1} {:>10.1}", s.dropped, "yes", s.mean_db, s.p99_db);
+        println!(
+            "{:>8} {:>11} {:>10.1} {:>10.1}",
+            s.dropped, "yes", s.mean_db, s.p99_db
+        );
     }
     let unscrambled = measure_papr(Modulation::Qpsk, 8, false, 400, 0xAB);
     println!(
@@ -55,8 +61,15 @@ fn print_reproduction() {
     let topo = TopologySampler::default()
         .suite(0xE9, 1, AntennaConfig::CONSTRAINED_4X2)
         .remove(0);
-    for (label, refresh_s) in [("refresh every coherence time", 0.030), ("refresh 10x too rarely", 0.300)] {
-        let cfg = EpisodeConfig { cycles: 60, refresh_interval_s: refresh_s, ..Default::default() };
+    for (label, refresh_s) in [
+        ("refresh every coherence time", 0.030),
+        ("refresh 10x too rarely", 0.300),
+    ] {
+        let cfg = EpisodeConfig {
+            cycles: 60,
+            refresh_interval_s: refresh_s,
+            ..Default::default()
+        };
         let r = run_episode(&topo, &params, &cfg);
         println!(
             "  {label}: COPA fair {:.1} Mbps, CSMA {:.1} Mbps, null {:.1} Mbps, {} refreshes",
@@ -99,7 +112,10 @@ fn main() {
             .suite(0xE9, 1, AntennaConfig::CONSTRAINED_4X2)
             .remove(0);
         let params = ScenarioParams::default();
-        let cfg = EpisodeConfig { cycles: 2, ..Default::default() };
+        let cfg = EpisodeConfig {
+            cycles: 2,
+            ..Default::default()
+        };
         b.iter(|| black_box(run_episode(&topo, &params, &cfg)))
     });
     c.final_summary();

@@ -4,9 +4,9 @@
 //! fading that motivates per-subcarrier power allocation), then benchmarks
 //! the channel synthesis kernel.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{FreqChannel, MultipathProfile};
 use copa_num::SimRng;
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let f = copa_sim::fig2(0xF16_02);

@@ -1,13 +1,13 @@
 //! Figure 3: end-to-end effect of nulling on SINR, SNR and INR over the
 //! 30-topology 4x2 suite, vs the paper's measurements.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{AntennaConfig, FreqChannel, MultipathProfile};
 use copa_core::ScenarioParams;
 use copa_num::SimRng;
 use copa_precoding::nulling::null_toward;
 use copa_sim::figures::Fig3;
 use copa_sim::{fig3, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
@@ -17,9 +17,18 @@ fn print_reproduction() {
     let (x_m, x_s) = Fig3::summary(&f.sinr_increase_db);
     println!("== Figure 3: effect of nulling, 30 topologies, 4x2 ==");
     println!("  {:<16} {:>14} {:>18}", "metric", "paper", "measured");
-    println!("  {:<16} {:>10} dB {:>10.1} +- {:.1} dB", "INR reduction", 27, i_m, i_s);
-    println!("  {:<16} {:>10} dB {:>10.1} +- {:.1} dB", "SNR reduction", -8, s_m, s_s);
-    println!("  {:<16} {:>10} dB {:>10.1} +- {:.1} dB", "SINR increase", 18, x_m, x_s);
+    println!(
+        "  {:<16} {:>10} dB {:>10.1} +- {:.1} dB",
+        "INR reduction", 27, i_m, i_s
+    );
+    println!(
+        "  {:<16} {:>10} dB {:>10.1} +- {:.1} dB",
+        "SNR reduction", -8, s_m, s_s
+    );
+    println!(
+        "  {:<16} {:>10} dB {:>10.1} +- {:.1} dB",
+        "SINR increase", 18, x_m, x_s
+    );
     println!();
 }
 

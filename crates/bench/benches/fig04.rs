@@ -2,6 +2,7 @@
 //! client of a 4x2 topology -- nulling lowers the mean and raises the
 //! variance, which is COPA's motivation.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{AntennaConfig, Impairments, MultipathProfile};
 use copa_core::ScenarioParams;
 use copa_num::stats::{mean, std_dev};
@@ -9,13 +10,15 @@ use copa_precoding::beamforming::beamform;
 use copa_precoding::sinr::{mmse_sinr_grid, TxSide};
 use copa_precoding::TxPowers;
 use copa_sim::{fig4, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
     let f = fig4(&suite[0], &ScenarioParams::default());
     println!("== Figure 4: per-subcarrier S(I)NR (dB), client 1, topology 0 ==");
-    println!("{:>4} {:>8} {:>9} {:>10}", "sc", "SNR BF", "SNR Null", "SINR Null");
+    println!(
+        "{:>4} {:>8} {:>9} {:>10}",
+        "sc", "SNR BF", "SNR Null", "SINR Null"
+    );
     for s in 0..f.snr_bf_db.len() {
         println!(
             "{s:>4} {:>8.1} {:>9.1} {:>10.1}",
@@ -48,9 +51,18 @@ fn main() {
         let powers = TxPowers::equal(2, 31.6);
         let imp = Impairments::default();
         b.iter(|| {
-            let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
-            let int =
-                TxSide { channel: &cross, precoding: &int_pre, powers: &powers, budget_mw: 31.6 };
+            let own = TxSide {
+                channel: &truth,
+                precoding: &pre,
+                powers: &powers,
+                budget_mw: 31.6,
+            };
+            let int = TxSide {
+                channel: &cross,
+                precoding: &int_pre,
+                powers: &powers,
+                budget_mw: 31.6,
+            };
             black_box(mmse_sinr_grid(&own, Some(&int), 1e-9, &imp))
         })
     });

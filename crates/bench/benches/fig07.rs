@@ -3,11 +3,11 @@
 //! and wins on bitrate.
 
 use copa_alloc::stream::{equi_sinr, StreamProblem};
+use copa_bench::harness::{black_box, Criterion};
 use copa_channel::AntennaConfig;
 use copa_core::ScenarioParams;
 use copa_phy::link::ThroughputModel;
 use copa_sim::{fig7, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
@@ -42,7 +42,9 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     c.bench_function("equi_sinr_allocation_52sc", |b| {
         let mut rng = copa_num::SimRng::seed_from(7);
-        let gains: Vec<f64> = (0..52).map(|_| -rng.uniform().max(1e-12).ln() * 3e-8).collect();
+        let gains: Vec<f64> = (0..52)
+            .map(|_| -rng.uniform().max(1e-12).ln() * 3e-8)
+            .collect();
         let problem = StreamProblem::interference_free(gains, 1e-9 / 52.0, 15.8);
         let model = ThroughputModel::default();
         b.iter(|| black_box(equi_sinr(&problem, &model, 0.9)))

@@ -1,10 +1,10 @@
 //! Figure 9: the (signal, interference) scatter of the topology suite --
 //! the large-scale envelope every other experiment runs over.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{AntennaConfig, TopologySampler};
 use copa_num::SimRng;
 use copa_sim::{fig9, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);

@@ -2,22 +2,34 @@
 //! Prints paper-vs-measured means and the reproduced CDF series, then
 //! benchmarks one strategy-engine evaluation.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_bench::{print_comparison, threads, FIG11_PAPER};
 use copa_channel::AntennaConfig;
 use copa_core::{Engine, ScenarioParams};
 use copa_sim::{fig11, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
-    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
     let exp = fig11(&suite, &params, threads());
     print_comparison(&exp, &FIG11_PAPER);
     let h = copa_sim::headline_stats(&exp);
     println!("Section 1 headline statistics (paper / measured):");
-    println!("  nulling underperforms CSMA:  83% / {:.0}%", h.null_worse_than_csma * 100.0);
-    println!("  COPA over nulling (mean):    54-64% / {:.0}%", h.copa_over_null_mean * 100.0);
-    println!("  COPA beats CSMA:             76% / {:.0}%", h.copa_beats_csma * 100.0);
+    println!(
+        "  nulling underperforms CSMA:  83% / {:.0}%",
+        h.null_worse_than_csma * 100.0
+    );
+    println!(
+        "  COPA over nulling (mean):    54-64% / {:.0}%",
+        h.copa_over_null_mean * 100.0
+    );
+    println!(
+        "  COPA beats CSMA:             76% / {:.0}%",
+        h.copa_beats_csma * 100.0
+    );
     println!();
 }
 

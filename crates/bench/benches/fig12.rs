@@ -2,15 +2,18 @@
 //! Prints paper-vs-measured means and the reproduced CDF series, then
 //! benchmarks one strategy-engine evaluation.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_bench::{print_comparison, threads, FIG12_PAPER};
 use copa_channel::AntennaConfig;
 use copa_core::{Engine, ScenarioParams};
 use copa_sim::{fig12, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
-    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
     let exp = fig12(&suite, &params, threads());
     print_comparison(&exp, &FIG12_PAPER);
 }

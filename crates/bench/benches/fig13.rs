@@ -2,15 +2,18 @@
 //! Prints paper-vs-measured means and the reproduced CDF series, then
 //! benchmarks one strategy-engine evaluation.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_bench::{print_comparison, threads, FIG13_PAPER};
 use copa_channel::AntennaConfig;
 use copa_core::{Engine, ScenarioParams};
 use copa_sim::{fig13, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let suite = standard_suite(AntennaConfig::OVERCONSTRAINED_3X2);
-    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
     let exp = fig13(&suite, &params, threads());
     print_comparison(&exp, &FIG13_PAPER);
 }

@@ -2,11 +2,11 @@
 //! (per-subcarrier rate adaptation), relative to 1-decoder CSMA, for the
 //! 1x1 / 4x2 / 3x2 scenarios.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_channel::AntennaConfig;
 use copa_core::ScenarioParams;
 use copa_phy::link::ThroughputModel;
 use copa_sim::{fig14_scenario, standard_suite};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     println!("== Figure 14: % improvement over 1-decoder CSMA ==");

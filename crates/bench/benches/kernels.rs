@@ -4,6 +4,7 @@
 //! numerics change.
 
 use copa_alloc::stream::{equi_sinr, mercury_best, waterfilling, StreamProblem};
+use copa_bench::harness::{black_box, Criterion};
 use copa_mac::csi_codec::{compress_csi, decompress_csi};
 use copa_num::complex::C64;
 use copa_num::fft::fft_in_place;
@@ -15,7 +16,6 @@ use copa_phy::coding::{coded_ber, encode, viterbi_decode, CodeRate};
 use copa_phy::link::ThroughputModel;
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::modulation::Modulation;
-use criterion::{black_box, Criterion};
 
 fn random_mat(rng: &mut SimRng, m: usize, n: usize) -> CMat {
     CMat::from_fn(m, n, |_, _| rng.randc())
@@ -69,7 +69,9 @@ fn main() {
 
     let mk_problem = |seed: u64| {
         let mut rng = SimRng::seed_from(seed);
-        let gains: Vec<f64> = (0..52).map(|_| -rng.uniform().max(1e-12).ln() * 3e-8).collect();
+        let gains: Vec<f64> = (0..52)
+            .map(|_| -rng.uniform().max(1e-12).ln() * 3e-8)
+            .collect();
         StreamProblem::interference_free(gains, 1e-9 / 52.0, 15.8)
     };
 
@@ -88,8 +90,7 @@ fn main() {
     c.bench_function("alloc_mercury_best", |b| {
         let p = mk_problem(8);
         let model = ThroughputModel::default();
-        let curves: Vec<MmseCurve> =
-            Modulation::ALL.iter().map(|&m| MmseCurve::new(m)).collect();
+        let curves: Vec<MmseCurve> = Modulation::ALL.iter().map(|&m| MmseCurve::new(m)).collect();
         b.iter(|| black_box(mercury_best(&p, &curves, &model, 0.9)))
     });
 

@@ -1,9 +1,9 @@
 //! Table 1: throughput costs of MAC overhead for COPA concurrent/sequential
 //! vs CSMA CTS-to-self and RTS/CTS, across coherence times.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_mac::overhead::{overhead_fraction, OverheadConfig, Scheme};
 use copa_mac::{table1, Scheme as S};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     let paper: [(f64, [f64; 4]); 3] = [

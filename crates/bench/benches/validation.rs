@@ -1,15 +1,18 @@
 //! Model-validation bench: analytic BER chain vs the bit-true 802.11
 //! baseband pipeline (Monte-Carlo), plus throughput of the bit pipeline.
 
+use copa_bench::harness::{black_box, Criterion};
 use copa_phy::baseband::Chain;
 use copa_phy::mcs::Mcs;
 use copa_phy::modulation::Modulation;
 use copa_sim::validation::{validate_coded_chain, validate_uncoded_ber};
-use criterion::{black_box, Criterion};
 
 fn print_reproduction() {
     println!("== Validation: analytic uncoded BER vs bit-true simulation (AWGN) ==");
-    println!("{:<8} {:>7} {:>12} {:>12}", "mod", "SNR dB", "analytic", "simulated");
+    println!(
+        "{:<8} {:>7} {:>12} {:>12}",
+        "mod", "SNR dB", "analytic", "simulated"
+    );
     let points = [
         (Modulation::Bpsk, 4.0),
         (Modulation::Bpsk, 7.0),

@@ -3,11 +3,18 @@
 //! targets give the full detail).
 use copa_channel::AntennaConfig;
 use copa_core::ScenarioParams;
-use copa_sim::{fig10, fig11, fig12, fig13, fig3, headline_stats, render_experiment, standard_suite};
+use copa_sim::{
+    fig10, fig11, fig12, fig13, fig3, headline_stats, render_experiment, standard_suite,
+};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
 
     let s4 = standard_suite(AntennaConfig::CONSTRAINED_4X2);
     let f3 = fig3(&s4, &params);
@@ -16,9 +23,18 @@ fn main() {
     let e11 = fig11(&s4, &params, threads);
     println!("{}", render_experiment(&e11));
     let h = headline_stats(&e11);
-    println!("Null worse than CSMA: {:.0}% (paper 83%)", h.null_worse_than_csma*100.0);
-    println!("COPA over Null mean:  {:.0}% (paper 54-64%)", h.copa_over_null_mean*100.0);
-    println!("COPA beats CSMA:      {:.0}% (paper 76%)", h.copa_beats_csma*100.0);
+    println!(
+        "Null worse than CSMA: {:.0}% (paper 83%)",
+        h.null_worse_than_csma * 100.0
+    );
+    println!(
+        "COPA over Null mean:  {:.0}% (paper 54-64%)",
+        h.copa_over_null_mean * 100.0
+    );
+    println!(
+        "COPA beats CSMA:      {:.0}% (paper 76%)",
+        h.copa_beats_csma * 100.0
+    );
 
     let e12 = fig12(&s4, &params, threads);
     println!("{}", render_experiment(&e12));
@@ -32,7 +48,9 @@ fn main() {
     println!("{}", render_experiment(&e13));
 
     for row in copa_mac::table1(&copa_mac::OverheadConfig::default()) {
-        println!("Table1 {}ms: {:.1} {:.1} {:.1} {:.1}", row.coherence_ms,
-            row.percent[0], row.percent[1], row.percent[2], row.percent[3]);
+        println!(
+            "Table1 {}ms: {:.1} {:.1} {:.1} {:.1}",
+            row.coherence_ms, row.percent[0], row.percent[1], row.percent[2], row.percent[3]
+        );
     }
 }

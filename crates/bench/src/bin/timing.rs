@@ -12,7 +12,10 @@ fn main() {
     let _ = e.evaluate(&suite[0]);
     println!("plain eval: {:?}", t.elapsed());
     let t = Instant::now();
-    let e = Engine::new(ScenarioParams { include_mercury: true, ..Default::default() });
+    let e = Engine::new(ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    });
     println!("engine+curves built: {:?}", t.elapsed());
     let t = Instant::now();
     let _ = e.evaluate(&suite[0]);

@@ -1,0 +1,299 @@
+//! Dependency-free benchmark harness (criterion-compatible surface).
+//!
+//! The workspace builds offline with zero external crates, so the bench
+//! targets run on this small harness instead of `criterion`. The API
+//! mirrors the subset the targets use -- [`Criterion::default`],
+//! [`Criterion::configure_from_args`], [`Criterion::sample_size`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! [`Criterion::final_summary`] -- so a bench file only swaps its import
+//! line.
+//!
+//! # Measurement model
+//!
+//! Per benchmark: a wall-clock warmup, a calibration that picks an
+//! iteration count `k` so one sample lasts roughly the sample target,
+//! then `sample_size` timed samples of `k` iterations each. Reported
+//! statistics are the **median** per-iteration time and the **MAD**
+//! (median absolute deviation) across samples -- robust to scheduler
+//! noise, unlike mean/stddev.
+//!
+//! # Output
+//!
+//! Each benchmark prints one human-readable line and one machine-readable
+//! JSON line (prefixed for easy grepping):
+//!
+//! ```text
+//! bench svd_2x4_complex            median 12.46 µs  (MAD 0.02 µs, 50 x 803 iters)
+//! {"type":"bench","name":"svd_2x4_complex","median_ns":12458.3,...}
+//! ```
+//!
+//! Set `COPA_BENCH_FAST=1` to shrink warmup/samples for smoke runs (CI),
+//! and pass a substring argument to run a subset of benchmarks:
+//! `cargo bench --bench kernels -- svd`.
+
+use copa_sim::json::{Obj, ToJson};
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One benchmark's collected statistics.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of per-iteration sample times, ns.
+    pub mad_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (calibrated).
+    pub iters_per_sample: u64,
+}
+
+impl ToJson for BenchReport {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("type", &"bench")
+            .field("name", &self.name)
+            .field("median_ns", &self.median_ns)
+            .field("mad_ns", &self.mad_ns)
+            .field("samples", &self.samples)
+            .field("iters_per_sample", &self.iters_per_sample)
+            .finish();
+    }
+}
+
+/// The harness: configure, then call [`bench_function`](Self::bench_function)
+/// per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    warmup_ns: u64,
+    sample_target_ns: u64,
+    filter: Option<String>,
+    reports: Vec<BenchReport>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 50,
+            warmup_ns: 200_000_000,
+            sample_target_ns: 10_000_000,
+            filter: None,
+            reports: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (a bare substring filters benchmark names;
+    /// cargo-bench bookkeeping flags are ignored) and the
+    /// `COPA_BENCH_FAST` smoke-run mode.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Flags cargo bench forwards that we accept and ignore.
+                "--bench" | "--exact" | "--nocapture" | "--quiet" => {}
+                "--quick" | "--fast" => self = self.fast(),
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        if std::env::var("COPA_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            self = self.fast();
+        }
+        self
+    }
+
+    /// Shrinks warmup and sampling for smoke runs.
+    pub fn fast(mut self) -> Self {
+        self.sample_size = self.sample_size.min(10);
+        self.warmup_ns = 5_000_000;
+        self.sample_target_ns = 1_000_000;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine to measure.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warmup_ns: self.warmup_ns,
+            sample_target_ns: self.sample_target_ns,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        let report = b.report(name);
+        println!(
+            "bench {:<32} median {:>10}  (MAD {}, {} x {} iters)",
+            report.name,
+            fmt_ns(report.median_ns),
+            fmt_ns(report.mad_ns),
+            report.samples,
+            report.iters_per_sample,
+        );
+        println!("{}", report.to_json());
+        self.reports.push(report);
+        self
+    }
+
+    /// All reports collected so far.
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
+    }
+
+    /// Prints the run summary (one JSON line with every benchmark).
+    pub fn final_summary(&self) {
+        let mut out = String::new();
+        Obj::new(&mut out)
+            .field("type", &"bench_summary")
+            .field("benchmarks", &self.reports.iter().collect::<Vec<_>>())
+            .finish();
+        println!("{out}");
+    }
+}
+
+/// Handed to the closure of [`Criterion::bench_function`]; owns the timing
+/// loop.
+pub struct Bencher {
+    warmup_ns: u64,
+    sample_target_ns: u64,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`: warmup, calibration, then
+    /// `sample_size` samples of `k` iterations each.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup until the budget elapses (at least one call), tracking
+        // the per-iteration time for calibration.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed().as_nanos() as u64 >= self.warmup_ns {
+                break;
+            }
+        }
+        let per_iter_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let k = ((self.sample_target_ns as f64 / per_iter_ns).round() as u64).max(1);
+        self.iters_per_sample = k;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..k {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / k as f64);
+        }
+    }
+
+    fn report(self, name: &str) -> BenchReport {
+        assert!(
+            !self.samples_ns.is_empty(),
+            "bench_function closure must call Bencher::iter"
+        );
+        let med = median(&self.samples_ns);
+        let deviations: Vec<f64> = self.samples_ns.iter().map(|&x| (x - med).abs()).collect();
+        BenchReport {
+            name: name.to_string(),
+            median_ns: med,
+            mad_ns: median(&deviations),
+            samples: self.samples_ns.len(),
+            iters_per_sample: self.iters_per_sample,
+        }
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default().fast().sample_size(5)
+    }
+
+    #[test]
+    fn bench_function_produces_sane_report() {
+        let mut c = fast_criterion();
+        c.bench_function("spin", |b| b.iter(|| black_box((0..100).sum::<u64>())));
+        let r = &c.reports()[0];
+        assert_eq!(r.name, "spin");
+        assert!(r.median_ns > 0.0);
+        assert!(r.mad_ns >= 0.0);
+        assert_eq!(r.samples, 5);
+        assert!(r.iters_per_sample >= 1);
+        c.final_summary();
+    }
+
+    #[test]
+    fn report_serializes_as_json_line() {
+        let r = BenchReport {
+            name: "svd".into(),
+            median_ns: 1234.5,
+            mad_ns: 1.25,
+            samples: 50,
+            iters_per_sample: 10,
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"type":"bench","name":"svd","median_ns":1234.5,"mad_ns":1.25,"samples":50,"iters_per_sample":10}"#
+        );
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

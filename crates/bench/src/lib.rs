@@ -5,6 +5,8 @@
 //! numbers (shape comparison), then runs a Criterion measurement of the
 //! computational kernel behind that experiment.
 
+pub mod harness;
+
 use copa_sim::throughput::ThroughputExperiment;
 
 /// Paper-published mean throughputs (Mbps) for the CDF figures, in the
@@ -92,5 +94,7 @@ pub fn print_comparison(exp: &ThroughputExperiment, paper: &PaperMeans) {
 
 /// Number of worker threads for suite evaluation.
 pub fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }

@@ -157,7 +157,12 @@ pub fn allocate_concurrent(
     }
 
     let (powers, predicted_bps) = best.expect("at least one iteration ran");
-    ConcurrentSolution { powers, predicted_bps, iterations, converged }
+    ConcurrentSolution {
+        powers,
+        predicted_bps,
+        iterations,
+        converged,
+    }
 }
 
 fn powers_close(a: &[TxPowers; 2], b: &[TxPowers; 2]) -> bool {
@@ -213,7 +218,13 @@ mod tests {
     #[test]
     fn budgets_respected() {
         let p = symmetric_problem(1, 25.0);
-        let sol = allocate_concurrent(&p, AllocatorKind::EquiSinr, &curves(), &ThroughputModel::default(), 1.0);
+        let sol = allocate_concurrent(
+            &p,
+            AllocatorKind::EquiSinr,
+            &curves(),
+            &ThroughputModel::default(),
+            1.0,
+        );
         for i in 0..2 {
             assert!(
                 sol.powers[i].total_mw() <= p.budgets_mw[i] * (1.0 + 1e-6),
@@ -229,7 +240,13 @@ mod tests {
         // With nulled (tiny) cross gains the coupling is negligible and the
         // fixed point is reached almost immediately.
         let p = symmetric_problem(2, 60.0);
-        let sol = allocate_concurrent(&p, AllocatorKind::EquiSinr, &curves(), &ThroughputModel::default(), 1.0);
+        let sol = allocate_concurrent(
+            &p,
+            AllocatorKind::EquiSinr,
+            &curves(),
+            &ThroughputModel::default(),
+            1.0,
+        );
         assert!(sol.converged, "weakly coupled problem should converge");
         assert!(sol.predicted_bps[0] > 0.0 && sol.predicted_bps[1] > 0.0);
     }
@@ -265,7 +282,13 @@ mod tests {
     #[test]
     fn mercury_variant_runs_and_respects_budget() {
         let p = symmetric_problem(4, 30.0);
-        let sol = allocate_concurrent(&p, AllocatorKind::Mercury, &curves(), &ThroughputModel::default(), 1.0);
+        let sol = allocate_concurrent(
+            &p,
+            AllocatorKind::Mercury,
+            &curves(),
+            &ThroughputModel::default(),
+            1.0,
+        );
         for i in 0..2 {
             assert!(sol.powers[i].total_mw() <= p.budgets_mw[i] * (1.0 + 1e-6));
         }
@@ -287,7 +310,13 @@ mod tests {
             noise_mw: NOISE,
             budgets_mw: [31.6, 31.6],
         };
-        let sol = allocate_concurrent(&p, AllocatorKind::EquiSinr, &curves(), &ThroughputModel::default(), 1.0);
+        let sol = allocate_concurrent(
+            &p,
+            AllocatorKind::EquiSinr,
+            &curves(),
+            &ThroughputModel::default(),
+            1.0,
+        );
         assert_eq!(sol.powers[0].streams(), 2);
         assert_eq!(sol.powers[1].streams(), 1);
     }

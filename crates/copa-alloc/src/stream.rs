@@ -37,7 +37,12 @@ impl StreamProblem {
     /// An interference-free problem (Equi-SNR setting).
     pub fn interference_free(gains: Vec<f64>, noise_mw: f64, budget_mw: f64) -> Self {
         let n = gains.len();
-        Self { gains, noise_mw, interference_mw: vec![0.0; n], budget_mw }
+        Self {
+            gains,
+            noise_mw,
+            interference_mw: vec![0.0; n],
+            budget_mw,
+        }
     }
 
     /// Number of subcarriers.
@@ -58,7 +63,9 @@ impl StreamProblem {
     /// SINR under equal power split (the stock-802.11 reference point).
     pub fn equal_power_sinrs(&self) -> Vec<f64> {
         let p = self.budget_mw / self.len() as f64;
-        (0..self.len()).map(|s| p * self.gains[s] / self.floor(s)).collect()
+        (0..self.len())
+            .map(|s| p * self.gains[s] / self.floor(s))
+            .collect()
     }
 }
 
@@ -91,7 +98,11 @@ impl StreamAllocation {
 ///
 /// With zero interference this is exactly the paper's Equi-SNR; with the
 /// interference vector filled in it is the Equi-SINR step of Figure 6.
-pub fn equi_sinr(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+pub fn equi_sinr(
+    problem: &StreamProblem,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
     let n = problem.len();
     assert!(n > 0, "allocation needs at least one subcarrier");
 
@@ -145,7 +156,11 @@ pub fn equi_sinr(problem: &StreamProblem, model: &ThroughputModel, airtime: f64)
 /// power equally among the survivors (no equalization). One of the two
 /// halves of Algorithm 1; the paper reports that either half alone yields
 /// 60-70% of the full improvement (section 4.2).
-pub fn selection_only(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+pub fn selection_only(
+    problem: &StreamProblem,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
     let n = problem.len();
     assert!(n > 0);
     let mut order: Vec<usize> = (0..n).collect();
@@ -186,7 +201,11 @@ pub fn selection_only(problem: &StreamProblem, model: &ThroughputModel, airtime:
 
 /// Power *allocation only*: equalize SINR across all subcarriers but never
 /// drop any. The other half of Algorithm 1 (section 4.2).
-pub fn allocation_only(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+pub fn allocation_only(
+    problem: &StreamProblem,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
     let n = problem.len();
     assert!(n > 0);
     let denom: f64 = (0..n)
@@ -209,7 +228,11 @@ pub fn allocation_only(problem: &StreamProblem, model: &ThroughputModel, airtime
 
 /// Stock 802.11: equal power on every subcarrier, no dropping. The starting
 /// point all COPA variants improve on.
-pub fn equal_power(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+pub fn equal_power(
+    problem: &StreamProblem,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
     let n = problem.len();
     let sinrs = problem.equal_power_sinrs();
     let choice = model.best(&sinrs, airtime);
@@ -225,7 +248,11 @@ pub fn equal_power(problem: &StreamProblem, model: &ThroughputModel, airtime: f6
 /// Classic Gaussian waterfilling: `p_j = max(0, mu - floor_j / g_j)`.
 /// Included as the baseline the paper notes "performs poorly for practical
 /// radios ... which transmit discrete constellations".
-pub fn waterfilling(problem: &StreamProblem, model: &ThroughputModel, airtime: f64) -> StreamAllocation {
+pub fn waterfilling(
+    problem: &StreamProblem,
+    model: &ThroughputModel,
+    airtime: f64,
+) -> StreamAllocation {
     let n = problem.len();
     let inv: Vec<f64> = (0..n)
         .map(|s| problem.floor(s) / problem.gains[s].max(1e-300))
@@ -351,7 +378,13 @@ fn finish(
     let active: Vec<f64> = sinrs.iter().cloned().filter(|&x| x > 0.0).collect();
     let choice = model.best(&active, airtime);
     let dropped = problem.len() - active.len();
-    StreamAllocation { powers, sinrs, throughput_bps: choice.goodput_bps, mcs: choice.mcs, dropped }
+    StreamAllocation {
+        powers,
+        sinrs,
+        throughput_bps: choice.goodput_bps,
+        mcs: choice.mcs,
+        dropped,
+    }
 }
 
 fn finish_for_modulation(
@@ -372,7 +405,13 @@ fn finish_for_modulation(
         .map(|&m| model.evaluate(m, &active, airtime))
         .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
         .expect("every modulation appears in the MCS table");
-    StreamAllocation { powers, sinrs, throughput_bps: choice.goodput_bps, mcs: choice.mcs, dropped }
+    StreamAllocation {
+        powers,
+        sinrs,
+        throughput_bps: choice.goodput_bps,
+        mcs: choice.mcs,
+        dropped,
+    }
 }
 
 /// Convenience: mean SINR in dB of an allocation's active subcarriers.
@@ -465,7 +504,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins > 5, "Equi-SNR should strictly win on most faded channels, won {wins}/20");
+        assert!(
+            wins > 5,
+            "Equi-SNR should strictly win on most faded channels, won {wins}/20"
+        );
     }
 
     #[test]
@@ -488,9 +530,16 @@ mod tests {
         let p = StreamProblem::interference_free(gains, NOISE, BUDGET);
         let model = ThroughputModel::default();
         let a = equi_sinr(&p, &model, 1.0);
-        assert!(a.dropped >= 4, "expected deep fades dropped, got {}", a.dropped);
+        assert!(
+            a.dropped >= 4,
+            "expected deep fades dropped, got {}",
+            a.dropped
+        );
         for s in 0..6 {
-            assert_eq!(a.powers[s], 0.0, "deep-faded subcarrier {s} should get no power");
+            assert_eq!(
+                a.powers[s], 0.0,
+                "deep-faded subcarrier {s} should get no power"
+            );
         }
     }
 
@@ -498,22 +547,19 @@ mod tests {
     fn equi_sinr_avoids_interfered_subcarriers() {
         // Strong interference on half the band: those subcarriers should be
         // dropped or heavily compensated.
-        let p = problem_from_fn(
-            |_| 3e-8,
-            |s| if s < 26 { 1e-7 } else { 0.0 },
-            NOISE,
-            BUDGET,
-        );
+        let p = problem_from_fn(|_| 3e-8, |s| if s < 26 { 1e-7 } else { 0.0 }, NOISE, BUDGET);
         let model = ThroughputModel::default();
         let a = equi_sinr(&p, &model, 1.0);
         // Equalization puts more power where interference is, OR drops them;
         // either way the clean half never gets less power than a dirty
         // active subcarrier's clean-equivalent.
         assert!(a.throughput_bps > 0.0);
-        let interfered_active: Vec<usize> =
-            (0..26).filter(|&s| a.powers[s] > 0.0).collect();
+        let interfered_active: Vec<usize> = (0..26).filter(|&s| a.powers[s] > 0.0).collect();
         for &s in &interfered_active {
-            assert!(a.powers[s] > a.powers[30], "interfered active subcarriers need more power");
+            assert!(
+                a.powers[s] > a.powers[30],
+                "interfered active subcarriers need more power"
+            );
         }
     }
 
@@ -563,7 +609,6 @@ mod tests {
         assert!(a_lo.dropped >= a_hi.dropped);
     }
 
-
     #[test]
     fn halves_of_algorithm1_are_partial() {
         // Section 4.2: "either one, by itself gives about 60-70% of the
@@ -580,9 +625,15 @@ mod tests {
             let full = equi_sinr(&p, &model, 1.0).throughput_bps;
             let sel = selection_only(&p, &model, 1.0).throughput_bps;
             let alloc = allocation_only(&p, &model, 1.0).throughput_bps;
-            assert!(sel >= eq - 1.0, "selection-only should not lose to equal power");
+            assert!(
+                sel >= eq - 1.0,
+                "selection-only should not lose to equal power"
+            );
             assert!(full >= sel - 1.0, "full algorithm dominates selection-only");
-            assert!(full >= alloc - 1.0, "full algorithm dominates allocation-only");
+            assert!(
+                full >= alloc - 1.0,
+                "full algorithm dominates allocation-only"
+            );
             if full > eq * 1.001 {
                 sel_wins += (sel - eq) / (full - eq);
                 alloc_wins += (alloc - eq) / (full - eq);
@@ -597,8 +648,14 @@ mod tests {
         // more deeply faded synthetic channels, equalization without
         // dropping wastes its budget on 40 dB fades and captures much
         // less -- see EXPERIMENTS.md.)
-        assert!(sel_frac > 0.5 && sel_frac <= 1.0, "selection-only share {sel_frac:.2}");
-        assert!((0.0..=1.0).contains(&alloc_frac), "allocation-only share {alloc_frac:.2}");
+        assert!(
+            sel_frac > 0.5 && sel_frac <= 1.0,
+            "selection-only share {sel_frac:.2}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&alloc_frac),
+            "allocation-only share {alloc_frac:.2}"
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct Impairments {
 
 impl Default for Impairments {
     fn default() -> Self {
-        Self { csi_error_db: -28.0, tx_evm_db: -28.0, leakage_db: -27.0 }
+        Self {
+            csi_error_db: -28.0,
+            tx_evm_db: -28.0,
+            leakage_db: -27.0,
+        }
     }
 }
 
@@ -48,7 +52,11 @@ impl Impairments {
     /// An idealized radio with no impairments (perfect CSI, no EVM, no
     /// leakage) -- useful for isolating algorithmic effects in tests.
     pub fn ideal() -> Self {
-        Self { csi_error_db: -300.0, tx_evm_db: -300.0, leakage_db: -300.0 }
+        Self {
+            csi_error_db: -300.0,
+            tx_evm_db: -300.0,
+            leakage_db: -300.0,
+        }
     }
 
     /// Linear EVM noise-to-signal power ratio.
@@ -85,7 +93,10 @@ mod tests {
     fn estimate_error_has_requested_power() {
         let mut rng = SimRng::seed_from(31);
         let ch = FreqChannel::random(&mut rng, 2, 4, 1e-6, &MultipathProfile::default());
-        let imp = Impairments { csi_error_db: -20.0, ..Default::default() };
+        let imp = Impairments {
+            csi_error_db: -20.0,
+            ..Default::default()
+        };
         // Average the realized error power across several estimates.
         let mut err_sum = 0.0;
         let n = 50;

@@ -33,7 +33,11 @@ impl Default for MultipathProfile {
     /// component (K = 0.7) -- calibrated to reproduce the ~30 dB
     /// per-subcarrier fading swings of the paper's Figure 2.
     fn default() -> Self {
-        Self { taps: 10, rms_delay_spread_s: 90e-9, rician_k: 0.7 }
+        Self {
+            taps: 10,
+            rms_delay_spread_s: 90e-9,
+            rician_k: 0.7,
+        }
     }
 }
 
@@ -42,7 +46,9 @@ impl MultipathProfile {
     pub fn tap_powers(&self) -> Vec<f64> {
         assert!(self.taps >= 1);
         let decay = SAMPLE_PERIOD_S / self.rms_delay_spread_s.max(1e-12);
-        let raw: Vec<f64> = (0..self.taps).map(|l| (-(l as f64) * decay).exp()).collect();
+        let raw: Vec<f64> = (0..self.taps)
+            .map(|l| (-(l as f64) * decay).exp())
+            .collect();
         let sum: f64 = raw.iter().sum();
         raw.into_iter().map(|p| p / sum).collect()
     }
@@ -85,14 +91,16 @@ impl FreqChannel {
             for t in 0..tx {
                 let mut impulse = vec![copa_num::complex::ZERO; FFT_SIZE];
                 for (l, &p) in tap_powers.iter().enumerate() {
-                    let scatter = rng.randc().scale((p * if l == 0 { 1.0 - los_frac } else { 1.0 }).sqrt());
+                    let scatter = rng
+                        .randc()
+                        .scale((p * if l == 0 { 1.0 - los_frac } else { 1.0 }).sqrt());
                     let mut tap = scatter;
                     if l == 0 && los_frac > 0.0 {
                         // Deterministic LoS component with antenna-dependent
                         // phase (half-wavelength spacing approximated by a
                         // random but fixed per-pair offset).
-                        let pair_phase = los_phase
-                            + std::f64::consts::PI * (r as f64 * 0.73 + t as f64 * 1.31);
+                        let pair_phase =
+                            los_phase + std::f64::consts::PI * (r as f64 * 0.73 + t as f64 * 1.31);
                         tap += C64::cis(pair_phase).scale((p * los_frac).sqrt());
                     }
                     impulse[l] = tap.scale(amp);
@@ -105,17 +113,29 @@ impl FreqChannel {
         let subcarriers = (0..DATA_SUBCARRIERS)
             .map(|s| CMat::from_fn(rx, tx, |r, t| per_pair[r * tx + t][s]))
             .collect();
-        Self { rx, tx, subcarriers }
+        Self {
+            rx,
+            tx,
+            subcarriers,
+        }
     }
 
     /// Builds a channel directly from per-subcarrier matrices (testing and
     /// trace-driven emulation).
     pub fn from_matrices(subcarriers: Vec<CMat>) -> Self {
-        assert_eq!(subcarriers.len(), DATA_SUBCARRIERS, "need one matrix per data subcarrier");
+        assert_eq!(
+            subcarriers.len(),
+            DATA_SUBCARRIERS,
+            "need one matrix per data subcarrier"
+        );
         let rx = subcarriers[0].rows();
         let tx = subcarriers[0].cols();
         assert!(subcarriers.iter().all(|m| m.rows() == rx && m.cols() == tx));
-        Self { rx, tx, subcarriers }
+        Self {
+            rx,
+            tx,
+            subcarriers,
+        }
     }
 
     /// Number of receive antennas.
@@ -142,7 +162,11 @@ impl FreqChannel {
     /// link path gain in expectation.
     pub fn mean_gain(&self) -> f64 {
         let cells = (self.rx * self.tx * DATA_SUBCARRIERS) as f64;
-        self.subcarriers.iter().map(|m| m.frobenius_norm_sqr()).sum::<f64>() / cells
+        self.subcarriers
+            .iter()
+            .map(|m| m.frobenius_norm_sqr())
+            .sum::<f64>()
+            / cells
     }
 
     /// Applies `f` to every subcarrier matrix, producing a new channel.
@@ -157,7 +181,11 @@ impl FreqChannel {
                 out
             })
             .collect();
-        FreqChannel { rx: self.rx, tx: self.tx, subcarriers }
+        FreqChannel {
+            rx: self.rx,
+            tx: self.tx,
+            subcarriers,
+        }
     }
 
     /// Scales the whole channel by a linear power factor (amplitudes scale
@@ -226,7 +254,11 @@ impl FreqChannel {
         FreqChannel {
             rx: rows.len(),
             tx: self.tx,
-            subcarriers: self.subcarriers.iter().map(|m| m.select_rows(rows)).collect(),
+            subcarriers: self
+                .subcarriers
+                .iter()
+                .map(|m| m.select_rows(rows))
+                .collect(),
         }
     }
 }
@@ -286,13 +318,20 @@ mod tests {
             .map(|m| (m[(0, 0)] - m[(1, 0)]).norm_sqr())
             .sum::<f64>()
             / DATA_SUBCARRIERS as f64;
-        assert!(diff > 0.3, "antenna channels should decorrelate, diff={diff}");
+        assert!(
+            diff > 0.3,
+            "antenna channels should decorrelate, diff={diff}"
+        );
     }
 
     #[test]
     fn flat_channel_with_single_tap() {
         let mut rng = SimRng::seed_from(4);
-        let profile = MultipathProfile { taps: 1, rms_delay_spread_s: 50e-9, rician_k: 0.0 };
+        let profile = MultipathProfile {
+            taps: 1,
+            rms_delay_spread_s: 50e-9,
+            rician_k: 0.0,
+        };
         let ch = FreqChannel::random(&mut rng, 1, 1, 1.0, &profile);
         let powers: Vec<f64> = ch.iter().map(|m| m[(0, 0)].norm_sqr()).collect();
         let first = powers[0];
@@ -353,14 +392,14 @@ mod tests {
         }
     }
 
-
     #[test]
     fn antenna_correlation_preserves_mean_gain() {
         let mut rng = SimRng::seed_from(91);
         let mut uncorr_sum = 0.0;
         let mut corr_sum = 0.0;
         for i in 0..100 {
-            let ch = FreqChannel::random(&mut rng.fork(i), 2, 4, 1e-6, &MultipathProfile::default());
+            let ch =
+                FreqChannel::random(&mut rng.fork(i), 2, 4, 1e-6, &MultipathProfile::default());
             uncorr_sum += ch.mean_gain();
             corr_sum += ch.with_antenna_correlation(0.8, 0.8).mean_gain();
         }

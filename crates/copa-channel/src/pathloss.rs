@@ -21,7 +21,11 @@ pub struct PathLossModel {
 impl Default for PathLossModel {
     /// Indoor office defaults: 40 dB at 1 m, exponent 3.5, 4 dB shadowing.
     fn default() -> Self {
-        Self { pl0_db: 40.0, exponent: 3.5, shadowing_sigma_db: 4.0 }
+        Self {
+            pl0_db: 40.0,
+            exponent: 3.5,
+            shadowing_sigma_db: 4.0,
+        }
     }
 }
 
@@ -76,7 +80,11 @@ mod tests {
 
     #[test]
     fn loss_follows_exponent() {
-        let m = PathLossModel { pl0_db: 40.0, exponent: 3.0, shadowing_sigma_db: 0.0 };
+        let m = PathLossModel {
+            pl0_db: 40.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 0.0,
+        };
         // x10 distance -> 30 dB with n = 3.
         let diff = m.mean_loss_db(20.0) - m.mean_loss_db(2.0);
         assert!((diff - 30.0).abs() < 1e-9);
@@ -84,9 +92,15 @@ mod tests {
 
     #[test]
     fn shadowing_statistics() {
-        let m = PathLossModel { pl0_db: 40.0, exponent: 3.0, shadowing_sigma_db: 6.0 };
+        let m = PathLossModel {
+            pl0_db: 40.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 6.0,
+        };
         let mut rng = SimRng::seed_from(9);
-        let samples: Vec<f64> = (0..20_000).map(|_| m.sample_loss_db(&mut rng, 10.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| m.sample_loss_db(&mut rng, 10.0))
+            .collect();
         let mean = copa_num::stats::mean(&samples);
         let sd = copa_num::stats::std_dev(&samples);
         assert!((mean - m.mean_loss_db(10.0)).abs() < 0.2);
@@ -95,7 +109,11 @@ mod tests {
 
     #[test]
     fn received_power_is_tx_minus_loss() {
-        let m = PathLossModel { pl0_db: 40.0, exponent: 3.0, shadowing_sigma_db: 0.0 };
+        let m = PathLossModel {
+            pl0_db: 40.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 0.0,
+        };
         let mut rng = SimRng::seed_from(10);
         let rx = m.received_dbm(&mut rng, 15.0, 10.0);
         assert!((rx - (15.0 - 70.0)).abs() < 1e-9);

@@ -24,13 +24,21 @@ pub struct AntennaConfig {
 
 impl AntennaConfig {
     /// 1x1: single-antenna APs and clients (paper section 4.2).
-    pub const SINGLE: AntennaConfig = AntennaConfig { ap_antennas: 1, client_antennas: 1 };
+    pub const SINGLE: AntennaConfig = AntennaConfig {
+        ap_antennas: 1,
+        client_antennas: 1,
+    };
     /// 4x2 "constrained" case: full nulling possible (section 4.3).
-    pub const CONSTRAINED_4X2: AntennaConfig = AntennaConfig { ap_antennas: 4, client_antennas: 2 };
+    pub const CONSTRAINED_4X2: AntennaConfig = AntennaConfig {
+        ap_antennas: 4,
+        client_antennas: 2,
+    };
     /// 3x2 "overconstrained" case: not enough antennas to both send two
     /// streams and null (section 4.5).
-    pub const OVERCONSTRAINED_3X2: AntennaConfig =
-        AntennaConfig { ap_antennas: 3, client_antennas: 2 };
+    pub const OVERCONSTRAINED_3X2: AntennaConfig = AntennaConfig {
+        ap_antennas: 3,
+        client_antennas: 2,
+    };
 
     /// Streams each client can receive (bounded by its antennas).
     pub fn max_streams(&self) -> usize {
@@ -86,8 +94,14 @@ impl Topology {
         let factor = db_to_lin(-delta_db);
         Topology {
             links: [
-                [self.links[0][0].clone(), self.links[0][1].scale_power(factor)],
-                [self.links[1][0].scale_power(factor), self.links[1][1].clone()],
+                [
+                    self.links[0][0].clone(),
+                    self.links[0][1].scale_power(factor),
+                ],
+                [
+                    self.links[1][0].scale_power(factor),
+                    self.links[1][1].clone(),
+                ],
             ],
             signal_dbm: self.signal_dbm,
             interference_dbm: [
@@ -158,8 +172,13 @@ impl TopologySampler {
         let gain = |rx_dbm: f64| db_to_lin(rx_dbm - MAX_TX_POWER_DBM);
         let rho = self.antenna_correlation;
         let mk = |rng: &mut SimRng, rx_dbm: f64, cfg: AntennaConfig, profile: &MultipathProfile| {
-            let ch =
-                FreqChannel::random(rng, cfg.client_antennas, cfg.ap_antennas, gain(rx_dbm), profile);
+            let ch = FreqChannel::random(
+                rng,
+                cfg.client_antennas,
+                cfg.ap_antennas,
+                gain(rx_dbm),
+                profile,
+            );
             if rho > 0.0 {
                 ch.with_antenna_correlation(rho, rho)
             } else {
@@ -176,7 +195,12 @@ impl TopologySampler {
                 mk(rng, signal_dbm[1], config, &self.profile),
             ],
         ];
-        Topology { links, signal_dbm, interference_dbm, config }
+        Topology {
+            links,
+            signal_dbm,
+            interference_dbm,
+            config,
+        }
     }
 
     /// Draws the standard evaluation suite: `n` topologies (the paper
@@ -295,7 +319,10 @@ mod tests {
 
     #[test]
     fn antenna_correlation_flows_through() {
-        let mut sampler = TopologySampler { antenna_correlation: 0.9, ..Default::default() };
+        let mut sampler = TopologySampler {
+            antenna_correlation: 0.9,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from(44);
         let t = sampler.sample(&mut rng, AntennaConfig::CONSTRAINED_4X2);
         // Condition number of the correlated channel should be large on
@@ -320,8 +347,6 @@ mod tests {
         let mut rng = SimRng::seed_from(8);
         let t = sampler.sample(&mut rng, AntennaConfig::SINGLE);
         assert!((t.tx_budget_mw() - dbm_to_mw(15.0)).abs() < 1e-12);
-        assert!(
-            (t.noise_per_subcarrier_mw() * 52.0 - dbm_to_mw(NOISE_FLOOR_DBM)).abs() < 1e-18
-        );
+        assert!((t.noise_per_subcarrier_mw() * 52.0 - dbm_to_mw(NOISE_FLOOR_DBM)).abs() < 1e-18);
     }
 }

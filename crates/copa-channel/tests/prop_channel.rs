@@ -1,31 +1,41 @@
-//! Property-based tests for the channel simulator.
+//! Property-based tests for the channel simulator, on the in-repo
+//! [`copa_num::prop`] harness.
 
-use copa_channel::{FreqChannel, MultipathProfile, TopologySampler, AntennaConfig};
+use copa_channel::{AntennaConfig, FreqChannel, MultipathProfile, TopologySampler};
+use copa_num::prop::{check, Gen};
 use copa_num::SimRng;
+use copa_num::{prop_assert, prop_assert_eq};
 use copa_phy::ofdm::DATA_SUBCARRIERS;
-use proptest::prelude::*;
 
-fn profile() -> impl Strategy<Value = MultipathProfile> {
-    (1usize..16, 20e-9f64..200e-9, 0.0f64..4.0).prop_map(|(taps, rms, k)| MultipathProfile {
-        taps,
-        rms_delay_spread_s: rms,
-        rician_k: k,
-    })
+const CASES: usize = 32;
+
+fn profile(g: &mut Gen) -> MultipathProfile {
+    MultipathProfile {
+        taps: g.usize_in(1, 16),
+        rms_delay_spread_s: g.f64_in(20e-9, 200e-9),
+        rician_k: g.f64_in(0.0, 4.0),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn tap_powers_always_normalized(p in profile()) {
+#[test]
+fn tap_powers_always_normalized() {
+    check("tap_powers_always_normalized", CASES, |g| {
+        let p = profile(g);
         let tp = p.tap_powers();
         prop_assert_eq!(tp.len(), p.taps);
         prop_assert!((tp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         prop_assert!(tp.iter().all(|&x| x > 0.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn channel_shape_and_finiteness(seed in any::<u64>(), p in profile(), rx in 1usize..4, tx in 1usize..5) {
+#[test]
+fn channel_shape_and_finiteness() {
+    check("channel_shape_and_finiteness", CASES, |g| {
+        let seed = g.u64();
+        let p = profile(g);
+        let rx = g.usize_in(1, 4);
+        let tx = g.usize_in(1, 5);
         let ch = FreqChannel::random(&mut SimRng::seed_from(seed), rx, tx, 1e-6, &p);
         prop_assert_eq!(ch.rx(), rx);
         prop_assert_eq!(ch.tx(), tx);
@@ -33,17 +43,32 @@ proptest! {
             prop_assert_eq!((ch.at(s).rows(), ch.at(s).cols()), (rx, tx));
             prop_assert!(ch.at(s).as_slice().iter().all(|z| z.is_finite()));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scale_power_is_linear(seed in any::<u64>(), f in 0.001f64..100.0) {
-        let ch = FreqChannel::random(&mut SimRng::seed_from(seed), 2, 2, 1e-6, &MultipathProfile::default());
+#[test]
+fn scale_power_is_linear() {
+    check("scale_power_is_linear", CASES, |g| {
+        let seed = g.u64();
+        let f = g.f64_in(0.001, 100.0);
+        let ch = FreqChannel::random(
+            &mut SimRng::seed_from(seed),
+            2,
+            2,
+            1e-6,
+            &MultipathProfile::default(),
+        );
         let scaled = ch.scale_power(f);
         prop_assert!((scaled.mean_gain() / ch.mean_gain() - f).abs() < 1e-9 * f);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn evolve_rho_one_is_identity(seed in any::<u64>()) {
+#[test]
+fn evolve_rho_one_is_identity() {
+    check("evolve_rho_one_is_identity", CASES, |g| {
+        let seed = g.u64();
         let mut rng = SimRng::seed_from(seed);
         let p = MultipathProfile::default();
         let ch = FreqChannel::random(&mut rng, 2, 2, 1e-6, &p);
@@ -51,22 +76,32 @@ proptest! {
         for s in [0usize, 26, 51] {
             prop_assert!(same.at(s).approx_eq(ch.at(s), 1e-12));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn evolve_preserves_mean_energy(seed in any::<u64>(), rho in 0.0f64..1.0) {
+#[test]
+fn evolve_preserves_mean_energy() {
+    check("evolve_preserves_mean_energy", CASES, |g| {
         // Gauss-Markov mixing preserves expected energy; any single draw
         // stays within a loose band.
+        let seed = g.u64();
+        let rho = g.f64_in(0.0, 1.0);
         let mut rng = SimRng::seed_from(seed);
         let p = MultipathProfile::default();
         let ch = FreqChannel::random(&mut rng, 2, 2, 1e-6, &p);
         let evolved = ch.evolve(&mut rng, rho, &p);
         let ratio = evolved.mean_gain() / ch.mean_gain();
         prop_assert!(ratio > 0.05 && ratio < 20.0, "energy ratio {ratio}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn weaker_interference_only_touches_cross_links(seed in any::<u64>(), delta in 0.0f64..30.0) {
+#[test]
+fn weaker_interference_only_touches_cross_links() {
+    check("weaker_interference_only_touches_cross_links", CASES, |g| {
+        let seed = g.u64();
+        let delta = g.f64_in(0.0, 30.0);
         let t = TopologySampler::default()
             .suite(seed, 1, AntennaConfig::CONSTRAINED_4X2)
             .remove(0);
@@ -75,10 +110,14 @@ proptest! {
         prop_assert_eq!(w.links[1][1].mean_gain(), t.links[1][1].mean_gain());
         let expect = copa_num::special::db_to_lin(-delta);
         prop_assert!((w.links[0][1].mean_gain() / t.links[0][1].mean_gain() - expect).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sampled_topologies_match_declared_powers(seed in any::<u64>()) {
+#[test]
+fn sampled_topologies_match_declared_powers() {
+    check("sampled_topologies_match_declared_powers", CASES, |g| {
+        let seed = g.u64();
         let t = TopologySampler::default()
             .suite(seed, 1, AntennaConfig::SINGLE)
             .remove(0);
@@ -86,5 +125,6 @@ proptest! {
             prop_assert!(t.signal_dbm[i] < 0.0 && t.signal_dbm[i] > -100.0);
             prop_assert!(t.interference_dbm[i] < t.signal_dbm[i] + 7.0);
         }
-    }
+        Ok(())
+    });
 }

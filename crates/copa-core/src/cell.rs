@@ -47,9 +47,8 @@ impl MultiApScenario {
             }
             signal_dbm.push(s);
         }
-        let gain = |rx_dbm: f64| {
-            copa_num::special::db_to_lin(rx_dbm - copa_phy::ofdm::MAX_TX_POWER_DBM)
-        };
+        let gain =
+            |rx_dbm: f64| copa_num::special::db_to_lin(rx_dbm - copa_phy::ofdm::MAX_TX_POWER_DBM);
         let mut links = Vec::with_capacity(aps);
         for a in 0..aps {
             let mut row = Vec::with_capacity(aps);
@@ -71,7 +70,11 @@ impl MultiApScenario {
             }
             links.push(row);
         }
-        Self { links, signal_dbm, config }
+        Self {
+            links,
+            signal_dbm,
+            config,
+        }
     }
 
     /// Number of APs.
@@ -91,10 +94,7 @@ impl MultiApScenario {
             signal_dbm: [self.signal_dbm[i], self.signal_dbm[j]],
             // Large-scale interference for bookkeeping: realized gains
             // already live in the links.
-            interference_dbm: [
-                self.signal_dbm[i] - 10.0,
-                self.signal_dbm[j] - 10.0,
-            ],
+            interference_dbm: [self.signal_dbm[i] - 10.0, self.signal_dbm[j] - 10.0],
             config: self.config,
         }
     }
@@ -151,12 +151,13 @@ pub fn run_cell(scenario: &MultiApScenario, engine: &Engine, rounds: usize) -> C
 
     // Cache pair evaluations: (leader, follower) -> Evaluation.
     let mut cache: Vec<Vec<Option<crate::engine::Evaluation>>> = vec![vec![None; n]; n];
-    let eval_pair = |i: usize, j: usize, cache: &mut Vec<Vec<Option<crate::engine::Evaluation>>>| {
-        if cache[i][j].is_none() {
-            cache[i][j] = Some(engine.evaluate(&scenario.pair_topology(i, j)));
-        }
-        cache[i][j].clone().unwrap()
-    };
+    let eval_pair =
+        |i: usize, j: usize, cache: &mut Vec<Vec<Option<crate::engine::Evaluation>>>| {
+            if cache[i][j].is_none() {
+                cache[i][j] = Some(engine.evaluate(&scenario.pair_topology(i, j)));
+            }
+            cache[i][j].clone().unwrap()
+        };
 
     // Solo (full-airtime) rate per AP: COPA-SEQ per-client is half the
     // airtime, so solo = 2x. CSMA likewise for the baseline.
@@ -191,7 +192,10 @@ pub fn run_cell(scenario: &MultiApScenario, engine: &Engine, rounds: usize) -> C
         if outcome.aggregate_bps() / 1e6 > solo[leader] {
             credit[leader] += outcome.per_client_bps[0] / 1e6;
             credit[follower] += outcome.per_client_bps[1] / 1e6;
-            actions.push(RoundAction::Paired { follower, strategy: outcome.strategy });
+            actions.push(RoundAction::Paired {
+                follower,
+                strategy: outcome.strategy,
+            });
         } else {
             credit[leader] += solo[leader];
             actions.push(RoundAction::Solo);
@@ -201,9 +205,18 @@ pub fn run_cell(scenario: &MultiApScenario, engine: &Engine, rounds: usize) -> C
     let per_client_mbps: Vec<f64> = credit.iter().map(|c| c / rounds as f64).collect();
     let sum: f64 = per_client_mbps.iter().sum();
     let sum_sq: f64 = per_client_mbps.iter().map(|x| x * x).sum();
-    let jain = if sum_sq > 0.0 { sum * sum / (n as f64 * sum_sq) } else { 1.0 };
+    let jain = if sum_sq > 0.0 {
+        sum * sum / (n as f64 * sum_sq)
+    } else {
+        1.0
+    };
     let csma_baseline_mbps = csma_rate.iter().map(|r| r / n as f64).collect();
-    CellOutcome { per_client_mbps, actions, jain, csma_baseline_mbps }
+    CellOutcome {
+        per_client_mbps,
+        actions,
+        jain,
+        csma_baseline_mbps,
+    }
 }
 
 #[cfg(test)]
@@ -275,9 +288,10 @@ mod tests {
         let engine = Engine::new(ScenarioParams::default());
         let out = run_cell(&s, &engine, 2);
         let direct = engine.evaluate(&s.pair_topology(0, 1));
-        let expected = direct.copa_fair.aggregate_mbps().max(
-            2.0 * direct.copa_seq.per_client_bps[0] / 1e6,
-        );
+        let expected = direct
+            .copa_fair
+            .aggregate_mbps()
+            .max(2.0 * direct.copa_seq.per_client_bps[0] / 1e6);
         // Round 0 leader 0, round 1 leader 1; aggregate within tolerance of
         // the direct evaluation's fair pick.
         assert!(

@@ -16,8 +16,8 @@ use copa_channel::{FreqChannel, Topology};
 use copa_mac::csi_codec::{compress_csi, decompress_csi};
 use copa_mac::frames::{Addr, Decision, FrameError, ItsFrame};
 use copa_mac::timing::{bulk_frame_us, control_frame_us, SIFS_US};
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A CSI cache entry: the channel learned by overhearing, plus when.
 #[derive(Clone, Debug)]
@@ -46,12 +46,19 @@ impl CsiCache {
     pub fn learn(&self, sender: Addr, channel: FreqChannel, now_us: f64) {
         self.entries
             .write()
-            .insert(sender, CsiEntry { channel, learned_at_us: now_us });
+            .expect("CSI cache lock poisoned")
+            .insert(
+                sender,
+                CsiEntry {
+                    channel,
+                    learned_at_us: now_us,
+                },
+            );
     }
 
     /// Fetches CSI if it is still fresh (within one coherence time).
     pub fn fresh(&self, sender: Addr, now_us: f64, coherence_us: f64) -> Option<FreqChannel> {
-        let map = self.entries.read();
+        let map = self.entries.read().expect("CSI cache lock poisoned");
         let e = map.get(&sender)?;
         if now_us - e.learned_at_us <= coherence_us {
             Some(e.channel.clone())
@@ -62,12 +69,15 @@ impl CsiCache {
 
     /// Number of cached senders.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().expect("CSI cache lock poisoned").len()
     }
 
     /// `true` if nothing has been overheard yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries
+            .read()
+            .expect("CSI cache lock poisoned")
+            .is_empty()
     }
 }
 
@@ -115,7 +125,11 @@ impl Coordinator {
     ///
     /// Returns an error if any frame fails to decode (which, over the air,
     /// would trigger backoff and retry).
-    pub fn run_exchange(&self, topology: &Topology, leader: usize) -> Result<ExchangeTrace, FrameError> {
+    pub fn run_exchange(
+        &self,
+        topology: &Topology,
+        leader: usize,
+    ) -> Result<ExchangeTrace, FrameError> {
         assert!(leader < 2);
         let follower = 1 - leader;
         let params = self.engine.params();
@@ -135,7 +149,11 @@ impl Coordinator {
         let init_wire = init.encode();
         let decoded_init = ItsFrame::decode(&init_wire)?;
         let init_air = control_frame_us(init_wire.len());
-        frames.push(FrameRecord { name: "ITS INIT", wire_bytes: init_wire.len(), airtime_us: init_air });
+        frames.push(FrameRecord {
+            name: "ITS INIT",
+            wire_bytes: init_wire.len(),
+            airtime_us: init_air,
+        });
         airtime += init_air + SIFS_US;
         let (init_leader, init_client) = match decoded_init {
             ItsFrame::Init { leader, client, .. } => (leader, client),
@@ -156,15 +174,24 @@ impl Coordinator {
         let req_wire = req.encode();
         let decoded_req = ItsFrame::decode(&req_wire)?;
         let req_air = bulk_frame_us(req_wire.len());
-        frames.push(FrameRecord { name: "ITS REQ", wire_bytes: req_wire.len(), airtime_us: req_air });
+        frames.push(FrameRecord {
+            name: "ITS REQ",
+            wire_bytes: req_wire.len(),
+            airtime_us: req_air,
+        });
         airtime += req_air + SIFS_US;
 
         // Step 4: the Leader computes the best joint strategy from what the
         // REQ actually delivered (decompressed CSI, quantization and all).
         let (csi1, csi2) = match decoded_req {
-            ItsFrame::Req { csi_to_client1, csi_to_client2, .. } => {
-                (decompress_csi(&csi_to_client1), decompress_csi(&csi_to_client2))
-            }
+            ItsFrame::Req {
+                csi_to_client1,
+                csi_to_client2,
+                ..
+            } => (
+                decompress_csi(&csi_to_client1),
+                decompress_csi(&csi_to_client2),
+            ),
             _ => unreachable!("encoded a REQ"),
         };
         let mut leaders_view = PreparedScenario {
@@ -174,7 +201,9 @@ impl Coordinator {
         };
         leaders_view.est[follower][leader] = csi1;
         leaders_view.est[follower][follower] = csi2;
-        let evaluation = self.engine.evaluate_prepared(&leaders_view, DecoderMode::Single);
+        let evaluation = self
+            .engine
+            .evaluate_prepared(&leaders_view, DecoderMode::Single);
         let chosen = evaluation.copa_fair;
 
         // Step 5: ITS ACK with the decision (and, when concurrent, the
@@ -202,7 +231,11 @@ impl Coordinator {
         let ack_wire = ack.encode();
         let _decoded_ack = ItsFrame::decode(&ack_wire)?;
         let ack_air = bulk_frame_us(ack_wire.len());
-        frames.push(FrameRecord { name: "ITS ACK", wire_bytes: ack_wire.len(), airtime_us: ack_air });
+        frames.push(FrameRecord {
+            name: "ITS ACK",
+            wire_bytes: ack_wire.len(),
+            airtime_us: ack_air,
+        });
         airtime += ack_air + SIFS_US;
 
         Ok(ExchangeTrace {
@@ -236,7 +269,10 @@ mod tests {
         cache.learn(a, ch, 1000.0);
         assert_eq!(cache.len(), 1);
         assert!(cache.fresh(a, 20_000.0, 30_000.0).is_some());
-        assert!(cache.fresh(a, 40_000.0, 30_000.0).is_none(), "stale beyond coherence");
+        assert!(
+            cache.fresh(a, 40_000.0, 30_000.0).is_none(),
+            "stale beyond coherence"
+        );
         assert!(cache.fresh(Addr::from_id(9), 1000.0, 30_000.0).is_none());
     }
 
@@ -246,7 +282,9 @@ mod tests {
             .suite(50, 1, AntennaConfig::CONSTRAINED_4X2)
             .remove(0);
         let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
-        let trace = coord.run_exchange(&topo, 0).expect("exchange should succeed");
+        let trace = coord
+            .run_exchange(&topo, 0)
+            .expect("exchange should succeed");
         assert_eq!(trace.frames.len(), 3);
         assert_eq!(trace.frames[0].name, "ITS INIT");
         assert_eq!(trace.frames[1].name, "ITS REQ");
@@ -269,8 +307,7 @@ mod tests {
         let direct = engine.evaluate(&topo);
         let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
         let trace = coord.run_exchange(&topo, 0).unwrap();
-        let ratio =
-            trace.evaluation.copa_fair.aggregate_bps() / direct.copa_fair.aggregate_bps();
+        let ratio = trace.evaluation.copa_fair.aggregate_bps() / direct.copa_fair.aggregate_bps();
         assert!(
             ratio > 0.7,
             "compression should not destroy the decision quality: ratio {ratio:.2}"

@@ -154,7 +154,16 @@ impl Engine {
             (None, None)
         };
 
-        Evaluation { outcomes, csma, copa_seq, vanilla_null, copa, copa_fair, copa_plus, copa_plus_fair }
+        Evaluation {
+            outcomes,
+            csma,
+            copa_seq,
+            vanilla_null,
+            copa,
+            copa_fair,
+            copa_plus,
+            copa_plus_fair,
+        }
     }
 
     fn overhead_config(&self, topo: &Topology, streams: usize) -> OverheadConfig {
@@ -173,14 +182,23 @@ impl Engine {
     }
 
     /// Sequential strategies: each AP transmits alone half the time.
-    fn eval_sequential(&self, p: &PreparedScenario, strategy: Strategy, mode: DecoderMode) -> Outcome {
+    fn eval_sequential(
+        &self,
+        p: &PreparedScenario,
+        strategy: Strategy,
+        mode: DecoderMode,
+    ) -> Outcome {
         let topo = &p.topology;
         let streams = topo.config.max_streams();
         let scheme = match strategy {
             Strategy::Csma => Scheme::CsmaCtsSelf,
             _ => Scheme::CopaSequential,
         };
-        let eff = airtime_efficiency(scheme, &self.overhead_config(topo, streams), self.params.coherence_us);
+        let eff = airtime_efficiency(
+            scheme,
+            &self.overhead_config(topo, streams),
+            self.params.coherence_us,
+        );
         let noise = topo.noise_per_subcarrier_mw();
         let budget = topo.tx_budget_mw();
 
@@ -189,16 +207,26 @@ impl Engine {
             let pre = beamform(&p.est[i][i], streams);
             let powers = match strategy {
                 Strategy::Csma => TxPowers::equal(streams, budget),
-                Strategy::SeqMercury => self.alloc_streams(&pre, noise, budget, None, AllocatorKind::Mercury, eff),
+                Strategy::SeqMercury => {
+                    self.alloc_streams(&pre, noise, budget, None, AllocatorKind::Mercury, eff)
+                }
                 _ => self.alloc_streams(&pre, noise, budget, None, AllocatorKind::EquiSinr, eff),
             };
-            let own = TxSide { channel: &topo.links[i][i], precoding: &pre, powers: &powers, budget_mw: budget };
+            let own = TxSide {
+                channel: &topo.links[i][i],
+                precoding: &pre,
+                powers: &powers,
+                budget_mw: budget,
+            };
             let grid = mmse_sinr_grid(&own, None, noise, &self.params.impairments);
             let cells = active_cells(&grid, &powers);
             // Half the medium time each.
             per_client[i] = 0.5 * self.goodput(&cells, eff, mode);
         }
-        Outcome { strategy, per_client_bps: per_client }
+        Outcome {
+            strategy,
+            per_client_bps: per_client,
+        }
     }
 
     /// Allocates every stream of one AP independently (used by sequential
@@ -225,7 +253,9 @@ impl Engine {
             };
             let alloc = match kind {
                 AllocatorKind::EquiSinr => equi_sinr(&problem, &self.params.model, eff),
-                AllocatorKind::Mercury => mercury_best(&problem, &self.curves, &self.params.model, eff),
+                AllocatorKind::Mercury => {
+                    mercury_best(&problem, &self.curves, &self.params.model, eff)
+                }
             };
             rows.push(alloc.powers);
         }
@@ -234,7 +264,12 @@ impl Engine {
 
     /// Concurrent strategies. Returns `None` when the precoders are
     /// infeasible (e.g. nulling with single-antenna APs).
-    fn eval_concurrent(&self, p: &PreparedScenario, strategy: Strategy, mode: DecoderMode) -> Option<Outcome> {
+    fn eval_concurrent(
+        &self,
+        p: &PreparedScenario,
+        strategy: Strategy,
+        mode: DecoderMode,
+    ) -> Option<Outcome> {
         let nulling = matches!(
             strategy,
             Strategy::VanillaNull | Strategy::ConcurrentNull | Strategy::ConcurrentNullMercury
@@ -269,9 +304,11 @@ impl Engine {
             // option (one nulled stream each) and keeps the better.
             let reduced = self.eval_concurrent_setup(p, strategy, mode, None, false);
             return match (sda, reduced) {
-                (Some(x), Some(y)) => {
-                    Some(if x.aggregate_bps() >= y.aggregate_bps() { x } else { y })
-                }
+                (Some(x), Some(y)) => Some(if x.aggregate_bps() >= y.aggregate_bps() {
+                    x
+                } else {
+                    y
+                }),
                 (x, y) => x.or(y),
             };
         }
@@ -375,7 +412,8 @@ impl Engine {
                     noise_mw: noise,
                     budgets_mw: [budget, budget],
                 };
-                let sol = allocate_concurrent(&problem, kind, &self.curves, &self.params.model, eff);
+                let sol =
+                    allocate_concurrent(&problem, kind, &self.curves, &self.params.model, eff);
                 sol.powers
             }
         };
@@ -400,7 +438,10 @@ impl Engine {
             let cells = active_cells(&grid, &powers[i]);
             per_client[i] = self.goodput(&cells, eff, mode);
         }
-        Some(Outcome { strategy, per_client_bps: per_client })
+        Some(Outcome {
+            strategy,
+            per_client_bps: per_client,
+        })
     }
 }
 
@@ -451,7 +492,10 @@ mod tests {
         let e = engine();
         let ev = e.evaluate(&topo(13, AntennaConfig::OVERCONSTRAINED_3X2));
         // SDA makes nulling feasible even though 3 - 2 < 2.
-        assert!(ev.vanilla_null.is_some(), "3x2 should fall back to SDA nulling");
+        assert!(
+            ev.vanilla_null.is_some(),
+            "3x2 should fall back to SDA nulling"
+        );
         assert!(ev.outcome(Strategy::ConcurrentNull).is_some());
     }
 
@@ -485,13 +529,19 @@ mod tests {
 
     #[test]
     fn copa_plus_requires_flag_and_dominates() {
-        let params = ScenarioParams { include_mercury: true, ..Default::default() };
+        let params = ScenarioParams {
+            include_mercury: true,
+            ..Default::default()
+        };
         let e = Engine::new(params);
         let ev = e.evaluate(&topo(40, AntennaConfig::SINGLE));
         let plus = ev.copa_plus.expect("mercury enabled");
-        assert!(plus.aggregate_bps() >= ev.copa.aggregate_bps() * 0.98,
+        assert!(
+            plus.aggregate_bps() >= ev.copa.aggregate_bps() * 0.98,
             "COPA+ should be at least competitive: {:.1} vs {:.1}",
-            plus.aggregate_mbps(), ev.copa.aggregate_mbps());
+            plus.aggregate_mbps(),
+            ev.copa.aggregate_mbps()
+        );
     }
 
     #[test]

@@ -53,13 +53,19 @@ pub fn prepare(topology: &Topology, params: &ScenarioParams) -> PreparedScenario
     let mut rng = SimRng::seed_from(params.seed ^ 0x5EED_CAFE);
     let mut est_link = |a: usize, c: usize| {
         let mut child = rng.fork((a * 2 + c) as u64 + 1);
-        params.impairments.estimate_channel(&mut child, &topology.links[a][c])
+        params
+            .impairments
+            .estimate_channel(&mut child, &topology.links[a][c])
     };
     let est = [
         [est_link(0, 0), est_link(0, 1)],
         [est_link(1, 0), est_link(1, 1)],
     ];
-    PreparedScenario { topology: topology.clone(), est, params: *params }
+    PreparedScenario {
+        topology: topology.clone(),
+        est,
+        params: *params,
+    }
 }
 
 #[cfg(test)]
@@ -94,12 +100,14 @@ mod tests {
         let mut err = 0.0;
         let mut sig = 0.0;
         for s in 0..copa_phy::ofdm::DATA_SUBCARRIERS {
-            err += (&p.est[0][0].at(s).clone() - p.topology.links[0][0].at(s))
-                .frobenius_norm_sqr();
+            err += (&p.est[0][0].at(s).clone() - p.topology.links[0][0].at(s)).frobenius_norm_sqr();
             sig += p.topology.links[0][0].at(s).frobenius_norm_sqr();
         }
         let rel_db = 10.0 * (err / sig).log10();
-        assert!((-35.0..-25.0).contains(&rel_db), "CSI error {rel_db:.1} dB (target ~-30)");
+        assert!(
+            (-35.0..-25.0).contains(&rel_db),
+            "CSI error {rel_db:.1} dB (target ~-30)"
+        );
     }
 
     #[test]

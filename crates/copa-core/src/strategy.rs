@@ -32,7 +32,10 @@ pub enum Strategy {
 impl Strategy {
     /// `true` when both APs transmit at the same time.
     pub fn is_concurrent(self) -> bool {
-        !matches!(self, Strategy::Csma | Strategy::CopaSeq | Strategy::SeqMercury)
+        !matches!(
+            self,
+            Strategy::Csma | Strategy::CopaSeq | Strategy::SeqMercury
+        )
     }
 
     /// `true` for the impractical mercury/waterfilling (COPA+) variants.
@@ -46,7 +49,11 @@ impl Strategy {
     /// The strategies COPA's engine chooses between (section 3.3): its own
     /// sequential fallback plus the concurrent options.
     pub fn copa_menu() -> &'static [Strategy] {
-        &[Strategy::CopaSeq, Strategy::ConcurrentBf, Strategy::ConcurrentNull]
+        &[
+            Strategy::CopaSeq,
+            Strategy::ConcurrentBf,
+            Strategy::ConcurrentNull,
+        ]
     }
 
     /// The COPA+ menu: everything, including mercury variants.
@@ -134,16 +141,28 @@ mod tests {
 
     #[test]
     fn outcome_arithmetic() {
-        let o = Outcome { strategy: Strategy::Csma, per_client_bps: [20e6, 30e6] };
+        let o = Outcome {
+            strategy: Strategy::Csma,
+            per_client_bps: [20e6, 30e6],
+        };
         assert_eq!(o.aggregate_bps(), 50e6);
         assert!((o.aggregate_mbps() - 50.0).abs() < 1e-12);
     }
 
     #[test]
     fn incentive_compatibility_check() {
-        let base = Outcome { strategy: Strategy::CopaSeq, per_client_bps: [20e6, 30e6] };
-        let better = Outcome { strategy: Strategy::ConcurrentNull, per_client_bps: [25e6, 30e6] };
-        let unfair = Outcome { strategy: Strategy::ConcurrentNull, per_client_bps: [45e6, 10e6] };
+        let base = Outcome {
+            strategy: Strategy::CopaSeq,
+            per_client_bps: [20e6, 30e6],
+        };
+        let better = Outcome {
+            strategy: Strategy::ConcurrentNull,
+            per_client_bps: [25e6, 30e6],
+        };
+        let unfair = Outcome {
+            strategy: Strategy::ConcurrentNull,
+            per_client_bps: [45e6, 10e6],
+        };
         assert!(better.incentive_compatible_vs(&base));
         assert!(!unfair.incentive_compatible_vs(&base));
         assert!(base.incentive_compatible_vs(&base));

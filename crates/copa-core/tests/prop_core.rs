@@ -1,0 +1,155 @@
+//! Property-based tests for the strategy engine, CSI cache and ITS
+//! coordinator, on the in-repo [`copa_num::prop`] harness.
+
+use copa_channel::{AntennaConfig, FreqChannel, MultipathProfile, TopologySampler};
+use copa_core::coordinator::{Coordinator, CsiCache};
+use copa_core::{Engine, ScenarioParams, Strategy};
+use copa_mac::frames::Addr;
+use copa_num::prop::{check, Gen};
+use copa_num::SimRng;
+use copa_num::{prop_assert, prop_assert_eq};
+
+/// Engine evaluations are expensive (full strategy menu per case), so the
+/// engine-level properties run fewer cases than the per-crate kernels.
+const ENGINE_CASES: usize = 6;
+const CACHE_CASES: usize = 32;
+
+const CONFIGS: [AntennaConfig; 3] = [
+    AntennaConfig::SINGLE,
+    AntennaConfig::CONSTRAINED_4X2,
+    AntennaConfig::OVERCONSTRAINED_3X2,
+];
+
+fn sample_topology(g: &mut Gen, cfg: AntennaConfig) -> copa_channel::Topology {
+    TopologySampler::default().suite(g.u64(), 1, cfg).remove(0)
+}
+
+fn params(g: &mut Gen) -> ScenarioParams {
+    ScenarioParams {
+        seed: g.u64(),
+        ..ScenarioParams::default()
+    }
+}
+
+#[test]
+fn copa_picks_the_best_feasible_outcome() {
+    check("copa_picks_the_best_feasible_outcome", ENGINE_CASES, |g| {
+        let cfg = *g.pick(&CONFIGS);
+        let t = sample_topology(g, cfg);
+        let e = Engine::new(params(g)).evaluate(&t);
+        // COPA maximizes over its own menu (section 3.3) -- CSMA and the
+        // vanilla-nulling baseline are outside it and may win on some
+        // topologies (that is the paper's Figure 11 story).
+        for o in &e.outcomes {
+            if Strategy::copa_menu().contains(&o.strategy) {
+                prop_assert!(
+                    e.copa.aggregate_bps() >= o.aggregate_bps() - 1e-6,
+                    "COPA must dominate its menu: {:?} beats it",
+                    o.strategy
+                );
+            }
+            prop_assert!(o.per_client_bps[0] >= 0.0 && o.per_client_bps[1] >= 0.0);
+            prop_assert!(o.aggregate_bps().is_finite());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn copa_fair_is_incentive_compatible() {
+    check("copa_fair_is_incentive_compatible", ENGINE_CASES, |g| {
+        let cfg = *g.pick(&CONFIGS);
+        let t = sample_topology(g, cfg);
+        let e = Engine::new(params(g)).evaluate(&t);
+        // Fairness (section 3.5): the fair pick never leaves a client worse
+        // off than sequential cooperation, and never beats COPA's aggregate.
+        prop_assert!(
+            e.copa_fair.incentive_compatible_vs(&e.copa_seq),
+            "fair pick harms a client: {:?} vs COPA-SEQ",
+            e.copa_fair.strategy
+        );
+        prop_assert!(e.copa.aggregate_bps() >= e.copa_fair.aggregate_bps() - 1e-6);
+        Ok(())
+    });
+}
+
+#[test]
+fn evaluation_is_pure() {
+    check("evaluation_is_pure", ENGINE_CASES, |g| {
+        let t = sample_topology(g, AntennaConfig::SINGLE);
+        let p = params(g);
+        let a = Engine::new(p).evaluate(&t);
+        let b = Engine::new(p).evaluate(&t);
+        prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            prop_assert_eq!(x.strategy, y.strategy);
+            prop_assert_eq!(x.per_client_bps[0].to_bits(), y.per_client_bps[0].to_bits());
+            prop_assert_eq!(x.per_client_bps[1].to_bits(), y.per_client_bps[1].to_bits());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn csi_cache_freshness_window() {
+    check("csi_cache_freshness_window", CACHE_CASES, |g| {
+        let cache = CsiCache::new();
+        let sender = Addr::from_id(g.u8());
+        let learned_at = g.f64_in(0.0, 1e6);
+        let coherence = g.f64_in(1.0, 50_000.0);
+        let ch = FreqChannel::random(
+            &mut SimRng::seed_from(g.u64()),
+            1,
+            1,
+            1e-6,
+            &MultipathProfile::default(),
+        );
+        prop_assert!(cache.is_empty());
+        cache.learn(sender, ch.clone(), learned_at);
+        prop_assert_eq!(cache.len(), 1);
+        // Within the coherence window the entry is returned...
+        let dt = g.f64_in(0.0, 1.0) * coherence;
+        prop_assert!(cache.fresh(sender, learned_at + dt, coherence).is_some());
+        // ...after it, the entry is stale...
+        prop_assert!(cache
+            .fresh(sender, learned_at + coherence + 1.0, coherence)
+            .is_none());
+        // ...and unknown senders never hit.
+        let other = Addr::from_id(sender.0[5].wrapping_add(1));
+        prop_assert!(cache.fresh(other, learned_at, coherence).is_none());
+        // Re-learning refreshes the timestamp instead of duplicating.
+        cache.learn(sender, ch, learned_at + 2.0 * coherence);
+        prop_assert_eq!(cache.len(), 1);
+        prop_assert!(cache
+            .fresh(sender, learned_at + 2.0 * coherence, coherence)
+            .is_some());
+        Ok(())
+    });
+}
+
+#[test]
+fn its_exchange_round_trips_over_the_air() {
+    check("its_exchange_round_trips_over_the_air", ENGINE_CASES, |g| {
+        let cfg = *g.pick(&CONFIGS);
+        let t = sample_topology(g, cfg);
+        let leader = g.usize_in(0, 2);
+        let coord = Coordinator::new(Engine::new(params(g)));
+        let trace = coord.run_exchange(&t, leader);
+        let trace = match trace {
+            Ok(tr) => tr,
+            Err(e) => return Err(format!("exchange failed: {e}")),
+        };
+        // The full INIT/REQ/ACK handshake crossed the air.
+        prop_assert!(trace.frames.len() >= 3, "INIT, REQ, ACK expected");
+        for rec in &trace.frames {
+            prop_assert!(rec.wire_bytes > 0);
+            prop_assert!(rec.airtime_us > 0.0);
+        }
+        prop_assert!(
+            trace.control_airtime_us > 0.0,
+            "control exchange takes airtime"
+        );
+        prop_assert!(trace.evaluation.copa.aggregate_bps() >= 0.0);
+        Ok(())
+    });
+}

@@ -9,8 +9,7 @@
 
 use crate::overhead::{OverheadConfig, Scheme};
 use crate::timing::{
-    control_frame_us, cts_us, rts_us, CW_MAX, CW_MIN, DIFS_US, SIFS_US, SLOT_US,
-    TXOP_US,
+    control_frame_us, cts_us, rts_us, CW_MAX, CW_MIN, DIFS_US, SIFS_US, SLOT_US, TXOP_US,
 };
 use copa_num::rng::SimRng;
 
@@ -92,7 +91,9 @@ pub fn simulate_medium(cfg: &MediumConfig, seed: u64) -> MediumOutcome {
     let mut rng = SimRng::seed_from(seed);
     let mut now = 0.0f64;
     let mut cw = vec![CW_MIN; n];
-    let mut backoff: Vec<u32> = (0..n).map(|i| rng.below((cw[i] + 1) as u64) as u32).collect();
+    let mut backoff: Vec<u32> = (0..n)
+        .map(|i| rng.below((cw[i] + 1) as u64) as u32)
+        .collect();
     let mut out = MediumOutcome {
         data_us: vec![0.0; n],
         control_us: vec![0.0; n],
@@ -108,7 +109,12 @@ pub fn simulate_medium(cfg: &MediumConfig, seed: u64) -> MediumOutcome {
     let its_base = |csi: bool, precoder: bool, ocfg: &OverheadConfig| -> f64 {
         let init = control_frame_us(21);
         let req = control_frame_us(37) + if csi { ocfg.csi_refresh_us() } else { 0.0 };
-        let ack = control_frame_us(34) + if precoder { ocfg.precoder_payload_us() } else { 0.0 };
+        let ack = control_frame_us(34)
+            + if precoder {
+                ocfg.precoder_payload_us()
+            } else {
+                0.0
+            };
         init + SIFS_US + req + SIFS_US + ack + SIFS_US
     };
 
@@ -316,7 +322,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = MediumConfig {
-            stations: vec![StationKind::CopaPair, StationKind::CopaPair, StationKind::LegacyCts],
+            stations: vec![
+                StationKind::CopaPair,
+                StationKind::CopaPair,
+                StationKind::LegacyCts,
+            ],
             copa_concurrent: true,
             coherence_us: 30_000.0,
             overhead_config: OverheadConfig::default(),

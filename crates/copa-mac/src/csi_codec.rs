@@ -55,7 +55,12 @@ pub fn quantize(ch: &FreqChannel) -> QuantizedCsi {
             tracks.push((amps, phases));
         }
     }
-    QuantizedCsi { rx: ch.rx(), tx: ch.tx(), mean_gain, tracks }
+    QuantizedCsi {
+        rx: ch.rx(),
+        tx: ch.tx(),
+        mean_gain,
+        tracks,
+    }
 }
 
 /// Reconstructs a channel from quantized tracks (inverse of [`quantize`] up
@@ -67,8 +72,8 @@ pub fn dequantize(q: &QuantizedCsi) -> FreqChannel {
                 let (amps, phases) = &q.tracks[r * q.tx + t];
                 let rel_db = amps[s] as f64 / QUANT_LEVELS * 2.0 * AMP_RANGE_DB - AMP_RANGE_DB;
                 let mag = (q.mean_gain * 10f64.powf(rel_db / 10.0)).sqrt();
-                let arg = phases[s] as f64 / QUANT_LEVELS * std::f64::consts::TAU
-                    - std::f64::consts::PI;
+                let arg =
+                    phases[s] as f64 / QUANT_LEVELS * std::f64::consts::TAU - std::f64::consts::PI;
                 C64::from_polar(mag, arg)
             })
         })
@@ -118,7 +123,11 @@ pub fn adm_encode(track: &[u8]) -> (Vec<u8>, u8) {
         // 4-bit code: sign + 3-bit magnitude in units of the current step.
         let mag = ((err.abs() / step).round() as i64).min(7) as u8;
         let code = if err < 0.0 { 0x8 | mag } else { mag };
-        recon += if err < 0.0 { -(mag as f64) * step } else { mag as f64 * step };
+        recon += if err < 0.0 {
+            -(mag as f64) * step
+        } else {
+            mag as f64 * step
+        };
         recon = recon.clamp(0.0, 255.0);
         // Adapt: big codes grow the step, small ones shrink it.
         if mag >= 6 {
@@ -317,7 +326,12 @@ pub fn decompress_csi(data: &[u8]) -> FreqChannel {
         let phases = take_track(&mut pos);
         tracks.push((amps, phases));
     }
-    dequantize(&QuantizedCsi { rx, tx, mean_gain, tracks })
+    dequantize(&QuantizedCsi {
+        rx,
+        tx,
+        mean_gain,
+        tracks,
+    })
 }
 
 /// Raw (uncompressed, quantized) CSI size in bytes for a link.
@@ -338,7 +352,13 @@ mod tests {
     use copa_num::SimRng;
 
     fn ch(seed: u64, rx: usize, tx: usize) -> FreqChannel {
-        FreqChannel::random(&mut SimRng::seed_from(seed), rx, tx, 1e-6, &MultipathProfile::default())
+        FreqChannel::random(
+            &mut SimRng::seed_from(seed),
+            rx,
+            tx,
+            1e-6,
+            &MultipathProfile::default(),
+        )
     }
 
     #[test]
@@ -362,7 +382,11 @@ mod tests {
         // (2 bytes each) plus flag bytes: well under 1/7 of the input.
         let data = vec![42u8; 1000];
         let enc = lzss_encode(&data);
-        assert!(enc.len() < 150, "runs should compress well, got {}", enc.len());
+        assert!(
+            enc.len() < 150,
+            "runs should compress well, got {}",
+            enc.len()
+        );
         assert_eq!(lzss_decode(&enc), data);
     }
 
@@ -376,8 +400,7 @@ mod tests {
                     let a = c.at(s)[(r, t)];
                     let b = back.at(s)[(r, t)];
                     // Amplitude within ~1 dB, phase within ~2 degrees.
-                    let db_err =
-                        (10.0 * (a.norm_sqr() / b.norm_sqr().max(1e-300)).log10()).abs();
+                    let db_err = (10.0 * (a.norm_sqr() / b.norm_sqr().max(1e-300)).log10()).abs();
                     assert!(db_err < 1.0, "amp error {db_err} dB at s={s}");
                     let mut ph_err = (a.arg() - b.arg()).abs();
                     if ph_err > std::f64::consts::PI {
@@ -425,7 +448,10 @@ mod tests {
         }
         let mean_levels = total_amp_err as f64 / count as f64;
         // 1 level ~ 0.38 dB; require mean error under ~3 dB.
-        assert!(mean_levels < 8.0, "mean amplitude error {mean_levels:.1} levels");
+        assert!(
+            mean_levels < 8.0,
+            "mean amplitude error {mean_levels:.1} levels"
+        );
     }
 
     #[test]
@@ -445,7 +471,10 @@ mod tests {
             .unwrap();
         // 8-bit track spans 96 dB; error of ~24 levels is ~9 dB worst case,
         // typical errors far smaller thanks to subcarrier correlation.
-        assert!(max_err < 40, "ADM reconstruction error too large: {max_err}");
+        assert!(
+            max_err < 40,
+            "ADM reconstruction error too large: {max_err}"
+        );
     }
 
     #[test]

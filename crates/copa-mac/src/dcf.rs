@@ -69,7 +69,10 @@ pub fn simulate(cfg: &DcfConfig, seed: u64) -> DcfOutcome {
     }
     let mut rng = SimRng::seed_from(seed);
     let mut stations: Vec<Station> = (0..cfg.stations)
-        .map(|_| Station { cw: CW_MIN, penalized: false })
+        .map(|_| Station {
+            cw: CW_MIN,
+            penalized: false,
+        })
         .collect();
     let mut out = DcfOutcome {
         wins: vec![0; cfg.stations],
@@ -139,7 +142,12 @@ mod tests {
 
     #[test]
     fn legacy_stations_share_fairly() {
-        let cfg = DcfConfig { stations: 4, copa_pair: None, fairness_tweak: false, rounds: 20_000 };
+        let cfg = DcfConfig {
+            stations: 4,
+            copa_pair: None,
+            fairness_tweak: false,
+            rounds: 20_000,
+        };
         let out = simulate(&cfg, 1);
         for i in 0..4 {
             assert!(
@@ -177,7 +185,10 @@ mod tests {
             fairness_tweak: false,
             rounds: 20_000,
         };
-        let tweaked = DcfConfig { fairness_tweak: true, ..base };
+        let tweaked = DcfConfig {
+            fairness_tweak: true,
+            ..base
+        };
         let out_base = simulate(&base, 3);
         let out_tweaked = simulate(&tweaked, 3);
         let pair_base = out_base.share(0) + out_base.share(1);
@@ -192,7 +203,12 @@ mod tests {
 
     #[test]
     fn single_station_never_collides() {
-        let cfg = DcfConfig { stations: 1, copa_pair: None, fairness_tweak: false, rounds: 100 };
+        let cfg = DcfConfig {
+            stations: 1,
+            copa_pair: None,
+            fairness_tweak: false,
+            rounds: 100,
+        };
         let out = simulate(&cfg, 4);
         assert_eq!(out.collisions, 0);
         assert_eq!(out.wins[0], 100);
@@ -200,16 +216,30 @@ mod tests {
 
     #[test]
     fn collisions_happen_with_many_stations() {
-        let cfg = DcfConfig { stations: 12, copa_pair: None, fairness_tweak: false, rounds: 5000 };
+        let cfg = DcfConfig {
+            stations: 12,
+            copa_pair: None,
+            fairness_tweak: false,
+            rounds: 5000,
+        };
         let out = simulate(&cfg, 5);
-        assert!(out.collisions > 100, "expect frequent collisions, got {}", out.collisions);
+        assert!(
+            out.collisions > 100,
+            "expect frequent collisions, got {}",
+            out.collisions
+        );
         // Exponential backoff keeps the system live: all rounds completed.
         assert_eq!(out.wins.iter().sum::<u64>(), 5000);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = DcfConfig { stations: 5, copa_pair: Some((1, 3)), fairness_tweak: true, rounds: 1000 };
+        let cfg = DcfConfig {
+            stations: 5,
+            copa_pair: Some((1, 3)),
+            fairness_tweak: true,
+            rounds: 1000,
+        };
         let a = simulate(&cfg, 9);
         let b = simulate(&cfg, 9);
         assert_eq!(a.wins, b.wins);

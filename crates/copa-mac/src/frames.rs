@@ -16,7 +16,7 @@
 //! end with a CRC-32; garbled frames (collisions) fail decode and trigger
 //! the standard backoff-and-retry path.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{ByteReader, ByteWriter, Truncated};
 
 /// A MAC address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -129,10 +129,14 @@ impl ItsFrame {
     }
 
     /// Serializes the frame, appending a CRC-32.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = ByteWriter::with_capacity(64);
         match self {
-            ItsFrame::Init { leader, client, airtime_us } => {
+            ItsFrame::Init {
+                leader,
+                client,
+                airtime_us,
+            } => {
                 b.put_u8(TAG_INIT);
                 b.put_slice(&leader.0);
                 b.put_slice(&client.0);
@@ -158,7 +162,14 @@ impl ItsFrame {
                 b.put_u16(csi_to_client2.len() as u16);
                 b.put_slice(csi_to_client2);
             }
-            ItsFrame::Ack { leader, follower, client1, client2, decision, airtime_us } => {
+            ItsFrame::Ack {
+                leader,
+                follower,
+                client1,
+                client2,
+                decision,
+                airtime_us,
+            } => {
                 b.put_u8(TAG_ACK);
                 b.put_slice(&leader.0);
                 b.put_slice(&follower.0);
@@ -167,7 +178,10 @@ impl ItsFrame {
                 b.put_u32(*airtime_us);
                 match decision {
                     Decision::Sequential => b.put_u8(0),
-                    Decision::Concurrent { precoder, shut_down_antenna } => {
+                    Decision::Concurrent {
+                        precoder,
+                        shut_down_antenna,
+                    } => {
                         b.put_u8(1);
                         match shut_down_antenna {
                             None => b.put_u8(0xFF),
@@ -179,13 +193,13 @@ impl ItsFrame {
                 }
             }
         }
-        let crc = crc32(&b);
+        let crc = crc32(b.as_slice());
         b.put_u32(crc);
-        b.freeze()
+        b.into_vec()
     }
 
     /// Parses and CRC-checks a frame.
-    pub fn decode(mut data: &[u8]) -> Result<ItsFrame, FrameError> {
+    pub fn decode(data: &[u8]) -> Result<ItsFrame, FrameError> {
         if data.len() < 5 {
             return Err(FrameError::Truncated);
         }
@@ -194,37 +208,28 @@ impl ItsFrame {
         if crc32(body) != want {
             return Err(FrameError::BadCrc);
         }
-        data = body;
+        let mut r = ByteReader::new(body);
 
-        let tag = data.get_u8();
-        let addr = |data: &mut &[u8]| -> Result<Addr, FrameError> {
-            if data.len() < 6 {
-                return Err(FrameError::Truncated);
-            }
-            let mut a = [0u8; 6];
-            data.copy_to_slice(&mut a);
-            Ok(Addr(a))
-        };
+        let tag = r.get_u8()?;
+        let addr = |r: &mut ByteReader| -> Result<Addr, FrameError> { Ok(Addr(r.take_array()?)) };
         match tag {
             TAG_INIT => {
-                let leader = addr(&mut data)?;
-                let client = addr(&mut data)?;
-                if data.len() < 4 {
-                    return Err(FrameError::Truncated);
-                }
-                Ok(ItsFrame::Init { leader, client, airtime_us: data.get_u32() })
+                let leader = addr(&mut r)?;
+                let client = addr(&mut r)?;
+                Ok(ItsFrame::Init {
+                    leader,
+                    client,
+                    airtime_us: r.get_u32()?,
+                })
             }
             TAG_REQ => {
-                let leader = addr(&mut data)?;
-                let follower = addr(&mut data)?;
-                let client1 = addr(&mut data)?;
-                let client2 = addr(&mut data)?;
-                if data.len() < 4 {
-                    return Err(FrameError::Truncated);
-                }
-                let airtime_us = data.get_u32();
-                let csi_to_client1 = take_blob(&mut data)?;
-                let csi_to_client2 = take_blob(&mut data)?;
+                let leader = addr(&mut r)?;
+                let follower = addr(&mut r)?;
+                let client1 = addr(&mut r)?;
+                let client2 = addr(&mut r)?;
+                let airtime_us = r.get_u32()?;
+                let csi_to_client1 = take_blob(&mut r)?;
+                let csi_to_client2 = take_blob(&mut r)?;
                 Ok(ItsFrame::Req {
                     leader,
                     follower,
@@ -236,22 +241,16 @@ impl ItsFrame {
                 })
             }
             TAG_ACK => {
-                let leader = addr(&mut data)?;
-                let follower = addr(&mut data)?;
-                let client1 = addr(&mut data)?;
-                let client2 = addr(&mut data)?;
-                if data.len() < 5 {
-                    return Err(FrameError::Truncated);
-                }
-                let airtime_us = data.get_u32();
-                let decision = match data.get_u8() {
+                let leader = addr(&mut r)?;
+                let follower = addr(&mut r)?;
+                let client1 = addr(&mut r)?;
+                let client2 = addr(&mut r)?;
+                let airtime_us = r.get_u32()?;
+                let decision = match r.get_u8()? {
                     0 => Decision::Sequential,
                     1 => {
-                        if data.is_empty() {
-                            return Err(FrameError::Truncated);
-                        }
-                        let sda = data.get_u8();
-                        let precoder = take_blob(&mut data)?;
+                        let sda = r.get_u8()?;
+                        let precoder = take_blob(&mut r)?;
                         Decision::Concurrent {
                             precoder,
                             shut_down_antenna: if sda == 0xFF { None } else { Some(sda) },
@@ -259,7 +258,14 @@ impl ItsFrame {
                     }
                     t => return Err(FrameError::UnknownTag(t)),
                 };
-                Ok(ItsFrame::Ack { leader, follower, client1, client2, decision, airtime_us })
+                Ok(ItsFrame::Ack {
+                    leader,
+                    follower,
+                    client1,
+                    client2,
+                    decision,
+                    airtime_us,
+                })
             }
             t => Err(FrameError::UnknownTag(t)),
         }
@@ -271,17 +277,15 @@ impl ItsFrame {
     }
 }
 
-fn take_blob(data: &mut &[u8]) -> Result<Vec<u8>, FrameError> {
-    if data.len() < 2 {
-        return Err(FrameError::Truncated);
+impl From<Truncated> for FrameError {
+    fn from(_: Truncated) -> Self {
+        FrameError::Truncated
     }
-    let len = data.get_u16() as usize;
-    if data.len() < len {
-        return Err(FrameError::Truncated);
-    }
-    let blob = data[..len].to_vec();
-    data.advance(len);
-    Ok(blob)
+}
+
+fn take_blob(r: &mut ByteReader) -> Result<Vec<u8>, FrameError> {
+    let len = r.get_u16()? as usize;
+    Ok(r.take(len)?.to_vec())
 }
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), bit-by-bit -- control frames
@@ -366,6 +370,43 @@ mod tests {
             let r = ItsFrame::decode(&wire[..cut]);
             assert!(r.is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn every_truncated_prefix_is_rejected_not_panicking() {
+        // The checked ByteReader must turn ANY short input into an error.
+        for f in sample_frames() {
+            let wire = f.encode();
+            for cut in 0..wire.len() {
+                let r = ItsFrame::decode(&wire[..cut]);
+                assert!(r.is_err(), "prefix of {cut} bytes must fail");
+            }
+            assert_eq!(ItsFrame::decode(&wire), Ok(f));
+        }
+    }
+
+    #[test]
+    fn declared_blob_length_beyond_body_is_truncation() {
+        // A REQ whose CSI length field promises more bytes than the body
+        // holds must decode to Truncated (after passing a recomputed CRC).
+        let f = ItsFrame::Req {
+            leader: Addr::from_id(1),
+            follower: Addr::from_id(2),
+            client1: Addr::from_id(11),
+            client2: Addr::from_id(12),
+            csi_to_client1: vec![5; 8],
+            csi_to_client2: vec![],
+            airtime_us: 100,
+        };
+        let wire = f.encode();
+        let mut body = wire[..wire.len() - 4].to_vec();
+        // Inflate the first blob's u16 length field (offset: tag + 4 addrs
+        // + airtime = 1 + 24 + 4).
+        body[29] = 0xFF;
+        body[30] = 0xFF;
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(ItsFrame::decode(&body), Err(FrameError::Truncated));
     }
 
     #[test]

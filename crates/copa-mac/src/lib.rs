@@ -5,6 +5,8 @@
 //! * [`timing`] -- 802.11 MAC timing constants and frame durations.
 //! * [`frames`] -- the ITS INIT / REQ / ACK control frame codec (byte-exact,
 //!   CRC-protected; garbled frames fail decode and trigger backoff).
+//! * [`wire`] -- the dependency-free big-endian byte-buffer cursors the
+//!   codecs are built on.
 //! * [`csi_codec`] -- CSI compression: quantization, (adaptive) delta
 //!   modulation across subcarriers, and lossless LZSS, reproducing the
 //!   paper's ~2x compression ratio.
@@ -23,6 +25,7 @@ pub mod dcf;
 pub mod frames;
 pub mod overhead;
 pub mod timing;
+pub mod wire;
 
 pub use frames::{Addr, Decision, FrameError, ItsFrame};
 pub use overhead::{airtime_efficiency, overhead_fraction, table1, OverheadConfig, Scheme};

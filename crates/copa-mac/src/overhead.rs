@@ -55,7 +55,11 @@ pub struct OverheadConfig {
 impl Default for OverheadConfig {
     /// The paper's Table 1 context: the 4x2 constrained scenario.
     fn default() -> Self {
-        Self { ap_antennas: 4, client_antennas: 2, streams: 2 }
+        Self {
+            ap_antennas: 4,
+            client_antennas: 2,
+            streams: 2,
+        }
     }
 }
 
@@ -112,15 +116,16 @@ fn cycle_parts(scheme: Scheme, cfg: &OverheadConfig, coherence_us: f64) -> (f64,
         Scheme::CopaSequential => {
             let setup_base = mean_backoff_us() + its_base + SIFS_US;
             let data = 2.0 * TXOP_US; // the exchange buys two TXOPs
-            // Both APs allocate power for their own TXOP, so CSI flows in
-            // both directions (no precoder: each AP computes its own).
+                                      // Both APs allocate power for their own TXOP, so CSI flows in
+                                      // both directions (no precoder: each AP computes its own).
             let refresh = 2.0 * cfg.csi_refresh_us() * ((setup_base + data) / coherence_us);
             (setup_base + refresh, data)
         }
         Scheme::CsmaCtsSelf => (mean_backoff_us() + cts_us() + SIFS_US, TXOP_US),
-        Scheme::CsmaRtsCts => {
-            (mean_backoff_us() + rts_us() + SIFS_US + cts_us() + SIFS_US, TXOP_US)
-        }
+        Scheme::CsmaRtsCts => (
+            mean_backoff_us() + rts_us() + SIFS_US + cts_us() + SIFS_US,
+            TXOP_US,
+        ),
     }
 }
 
@@ -134,7 +139,9 @@ pub fn overhead_fraction(scheme: Scheme, cfg: &OverheadConfig, coherence_us: f64
 /// End-to-end airtime efficiency for the throughput predictor:
 /// `(1 - overhead) * intra-TXOP efficiency * framing efficiency`.
 pub fn airtime_efficiency(scheme: Scheme, cfg: &OverheadConfig, coherence_us: f64) -> f64 {
-    (1.0 - overhead_fraction(scheme, cfg, coherence_us)) * INTRA_TXOP_EFFICIENCY * FRAMING_EFFICIENCY
+    (1.0 - overhead_fraction(scheme, cfg, coherence_us))
+        * INTRA_TXOP_EFFICIENCY
+        * FRAMING_EFFICIENCY
 }
 
 /// One row of Table 1.
@@ -172,7 +179,10 @@ mod tests {
         let cfg = OverheadConfig::default();
         let cts = 100.0 * overhead_fraction(Scheme::CsmaCtsSelf, &cfg, 30_000.0);
         let rts = 100.0 * overhead_fraction(Scheme::CsmaRtsCts, &cfg, 30_000.0);
-        assert!((cts - 2.7).abs() < 0.15, "CTS-to-self {cts:.2}% (paper 2.7%)");
+        assert!(
+            (cts - 2.7).abs() < 0.15,
+            "CTS-to-self {cts:.2}% (paper 2.7%)"
+        );
         assert!((rts - 3.7).abs() < 0.15, "RTS/CTS {rts:.2}% (paper 3.7%)");
     }
 
@@ -188,11 +198,7 @@ mod tests {
     fn copa_overheads_track_table1() {
         // Paper Table 1: Conc 9.3/5.1/4.5, Seq 7.7/3.5/2.8 at 4/30/1000 ms.
         let rows = table1(&OverheadConfig::default());
-        let paper = [
-            (4.0, 9.3, 7.7),
-            (30.0, 5.1, 3.5),
-            (1000.0, 4.5, 2.8),
-        ];
+        let paper = [(4.0, 9.3, 7.7), (30.0, 5.1, 3.5), (1000.0, 4.5, 2.8)];
         for (row, (ms, conc, seq)) in rows.iter().zip(paper) {
             assert_eq!(row.coherence_ms, ms);
             assert!(
@@ -252,7 +258,11 @@ mod tests {
 
     #[test]
     fn larger_arrays_cost_more_csi() {
-        let small = OverheadConfig { ap_antennas: 1, client_antennas: 1, streams: 1 };
+        let small = OverheadConfig {
+            ap_antennas: 1,
+            client_antennas: 1,
+            streams: 1,
+        };
         let big = OverheadConfig::default();
         assert!(big.csi_refresh_us() > small.csi_refresh_us());
         assert!(big.precoder_payload_us() > small.precoder_payload_us());

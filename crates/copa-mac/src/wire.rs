@@ -1,0 +1,173 @@
+//! Minimal big-endian byte-buffer cursors for the frame codecs.
+//!
+//! The workspace is dependency-free, so instead of the `bytes` crate the
+//! wire formats use these two tiny types: [`ByteWriter`] appends to a
+//! growable `Vec<u8>`, [`ByteReader`] consumes a borrowed slice with
+//! checked reads (every getter returns `Err(Truncated)` rather than
+//! panicking on short input). All multi-byte integers are big-endian, to
+//! match the on-air convention of the ITS frames.
+
+/// The reader ran out of bytes mid-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Truncated;
+
+/// Append-only big-endian serializer over a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The accumulated bytes (read-only view).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, yielding the buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked big-endian cursor over a borrowed byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, Truncated> {
+        let (&first, rest) = self.data.split_first().ok_or(Truncated)?;
+        self.data = rest;
+        Ok(first)
+    }
+
+    /// Reads a big-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, Truncated> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, Truncated> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads exactly `n` bytes, advancing past them.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
+        if self.data.len() < n {
+            return Err(Truncated);
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    /// Copies exactly `N` bytes into an array.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], Truncated> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = ByteWriter::with_capacity(16);
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_slice(&[1, 2, 3]);
+        assert_eq!(w.len(), 10);
+        let bytes = w.into_vec();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8(), Ok(0xAB));
+        assert_eq!(r.get_u16(), Ok(0x1234));
+        assert_eq!(r.get_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.take(3), Ok(&[1u8, 2, 3][..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn big_endian_layout_is_exact() {
+        let mut w = ByteWriter::default();
+        w.put_u16(0x0102);
+        w.put_u32(0x0304_0506);
+        assert_eq!(w.as_slice(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn reads_past_end_fail_without_consuming() {
+        let bytes = [9u8, 8];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u32(), Err(Truncated));
+        assert_eq!(r.remaining(), 2, "failed read must not consume");
+        assert_eq!(r.get_u16(), Ok(0x0908));
+        assert_eq!(r.get_u8(), Err(Truncated));
+        assert_eq!(r.take(1), Err(Truncated));
+    }
+
+    #[test]
+    fn take_array_round_trips() {
+        let mut r = ByteReader::new(&[1, 2, 3, 4, 5, 6, 7]);
+        let a: [u8; 6] = r.take_array().unwrap();
+        assert_eq!(a, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.take_array::<4>(), Err(Truncated));
+    }
+}

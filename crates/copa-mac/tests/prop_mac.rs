@@ -1,81 +1,76 @@
-//! Property-based tests for the MAC codecs and protocol machinery.
+//! Property-based tests for the MAC codecs and protocol machinery, on the
+//! in-repo [`copa_num::prop`] harness.
 
 use copa_mac::csi_codec::{delta_decode, delta_encode, lzss_decode, lzss_encode};
 use copa_mac::frames::{crc32, Addr, Decision, FrameError, ItsFrame};
-use proptest::prelude::*;
+use copa_num::prop::{check, Gen};
+use copa_num::{prop_assert, prop_assert_eq, prop_assert_ne};
 
-fn addr() -> impl Strategy<Value = Addr> {
-    proptest::array::uniform6(any::<u8>()).prop_map(Addr)
+const CASES: usize = 64;
+
+fn addr(g: &mut Gen) -> Addr {
+    let mut a = [0u8; 6];
+    for b in &mut a {
+        *b = g.u8();
+    }
+    Addr(a)
 }
 
-fn decision() -> impl Strategy<Value = Decision> {
-    prop_oneof![
-        Just(Decision::Sequential),
-        (
-            proptest::collection::vec(any::<u8>(), 0..600),
-            proptest::option::of(0u8..4)
-        )
-            .prop_map(|(precoder, sda)| Decision::Concurrent {
-                precoder,
-                shut_down_antenna: sda
-            }),
-    ]
+fn decision(g: &mut Gen) -> Decision {
+    if g.bool() {
+        Decision::Sequential
+    } else {
+        Decision::Concurrent {
+            precoder: g.vec_u8(0, 600),
+            shut_down_antenna: g.option(|g| g.u8_in(0, 4)),
+        }
+    }
 }
 
-fn its_frame() -> impl Strategy<Value = ItsFrame> {
-    prop_oneof![
-        (addr(), addr(), any::<u32>()).prop_map(|(leader, client, airtime_us)| ItsFrame::Init {
-            leader,
-            client,
-            airtime_us
-        }),
-        (
-            addr(),
-            addr(),
-            addr(),
-            addr(),
-            proptest::collection::vec(any::<u8>(), 0..800),
-            proptest::collection::vec(any::<u8>(), 0..800),
-            any::<u32>()
-        )
-            .prop_map(
-                |(leader, follower, client1, client2, csi_to_client1, csi_to_client2, airtime_us)| {
-                    ItsFrame::Req {
-                        leader,
-                        follower,
-                        client1,
-                        client2,
-                        csi_to_client1,
-                        csi_to_client2,
-                        airtime_us,
-                    }
-                }
-            ),
-        (addr(), addr(), addr(), addr(), decision(), any::<u32>()).prop_map(
-            |(leader, follower, client1, client2, decision, airtime_us)| ItsFrame::Ack {
-                leader,
-                follower,
-                client1,
-                client2,
-                decision,
-                airtime_us
-            }
-        ),
-    ]
+fn its_frame(g: &mut Gen) -> ItsFrame {
+    match g.usize_in(0, 3) {
+        0 => ItsFrame::Init {
+            leader: addr(g),
+            client: addr(g),
+            airtime_us: g.u32(),
+        },
+        1 => ItsFrame::Req {
+            leader: addr(g),
+            follower: addr(g),
+            client1: addr(g),
+            client2: addr(g),
+            csi_to_client1: g.vec_u8(0, 800),
+            csi_to_client2: g.vec_u8(0, 800),
+            airtime_us: g.u32(),
+        },
+        _ => ItsFrame::Ack {
+            leader: addr(g),
+            follower: addr(g),
+            client1: addr(g),
+            client2: addr(g),
+            decision: decision(g),
+            airtime_us: g.u32(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn frames_round_trip(frame in its_frame()) {
+#[test]
+fn frames_round_trip() {
+    check("frames_round_trip", CASES, |g| {
+        let frame = its_frame(g);
         let wire = frame.encode();
         let back = ItsFrame::decode(&wire).expect("decode own encoding");
         prop_assert_eq!(back, frame);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn any_single_bit_flip_is_detected(frame in its_frame(), byte_sel in any::<u16>(), bit in 0u8..8) {
+#[test]
+fn any_single_bit_flip_is_detected() {
+    check("any_single_bit_flip_is_detected", CASES, |g| {
+        let frame = its_frame(g);
+        let byte_sel = g.u16();
+        let bit = g.u8_in(0, 8);
         let mut wire = frame.encode().to_vec();
         let idx = byte_sel as usize % wire.len();
         wire[idx] ^= 1 << bit;
@@ -87,42 +82,77 @@ proptest! {
         }
         // Specifically: flipping a payload bit must flip the CRC check.
         if idx < wire.len() - 4 {
-            prop_assert!(matches!(ItsFrame::decode(&wire), Err(FrameError::BadCrc) | Err(FrameError::Truncated) | Err(FrameError::UnknownTag(_))));
+            prop_assert!(matches!(
+                ItsFrame::decode(&wire),
+                Err(FrameError::BadCrc)
+                    | Err(FrameError::Truncated)
+                    | Err(FrameError::UnknownTag(_))
+            ));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn truncation_never_panics(frame in its_frame(), cut_sel in any::<u16>()) {
+#[test]
+fn truncation_never_panics() {
+    check("truncation_never_panics", CASES, |g| {
+        let frame = its_frame(g);
+        let cut_sel = g.u16();
         let wire = frame.encode();
         let cut = cut_sel as usize % (wire.len() + 1);
         let _ = ItsFrame::decode(&wire[..cut]); // must not panic
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lzss_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn lzss_round_trips() {
+    check("lzss_round_trips", CASES, |g| {
+        let data = g.vec_u8(0, 2000);
         prop_assert_eq!(lzss_decode(&lzss_encode(&data)), data);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lzss_handles_structured_data(pattern in proptest::collection::vec(any::<u8>(), 1..16), reps in 1usize..100) {
-        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).cloned().collect();
+#[test]
+fn lzss_handles_structured_data() {
+    check("lzss_handles_structured_data", CASES, |g| {
+        let pattern = g.vec_u8(1, 16);
+        let reps = g.usize_in(1, 100);
+        let data: Vec<u8> = pattern
+            .iter()
+            .cycle()
+            .take(pattern.len() * reps)
+            .cloned()
+            .collect();
         let enc = lzss_encode(&data);
         prop_assert_eq!(lzss_decode(&enc), data.clone());
         if reps > 20 {
             prop_assert!(enc.len() < data.len(), "repetition should compress");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn delta_round_trips(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn delta_round_trips() {
+    check("delta_round_trips", CASES, |g| {
+        let data = g.vec_u8(0, 300);
         prop_assert_eq!(delta_decode(&delta_encode(&data)), data);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn crc_detects_difference(a in proptest::collection::vec(any::<u8>(), 1..100), flip in any::<u16>(), bit in 0u8..8) {
+#[test]
+fn crc_detects_difference() {
+    check("crc_detects_difference", CASES, |g| {
+        let a = g.vec_u8(1, 100);
+        let flip = g.u16();
+        let bit = g.u8_in(0, 8);
         let mut b = a.clone();
         let idx = flip as usize % b.len();
         b[idx] ^= 1 << bit;
         prop_assert_ne!(crc32(&a), crc32(&b), "single-bit flip must change CRC-32");
-    }
+        Ok(())
+    });
 }

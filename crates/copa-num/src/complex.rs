@@ -282,7 +282,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
             let z = C64::new(re, im);
             let s = z.sqrt();
             assert!(close(s * s, z), "sqrt({z:?}) = {s:?}");

@@ -57,7 +57,10 @@ pub fn tapped_delay_response(taps: &[(usize, C64)], n: usize) -> Vec<C64> {
 
 fn transform(x: &mut [C64], sign: f64) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -158,7 +161,11 @@ mod tests {
 
     #[test]
     fn tapped_delay_matches_explicit_fft() {
-        let taps = [(0usize, C64::new(0.8, 0.1)), (2, C64::new(-0.3, 0.4)), (5, C64::real(0.1))];
+        let taps = [
+            (0usize, C64::new(0.8, 0.1)),
+            (2, C64::new(-0.3, 0.4)),
+            (5, C64::real(0.1)),
+        ];
         let n = 64;
         let h = tapped_delay_response(&taps, n);
         let mut impulse = vec![ZERO; n];

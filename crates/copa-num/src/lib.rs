@@ -15,6 +15,7 @@
 pub mod complex;
 pub mod fft;
 pub mod matrix;
+pub mod prop;
 pub mod quadrature;
 pub mod rng;
 pub mod solve;

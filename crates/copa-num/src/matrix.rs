@@ -20,7 +20,11 @@ pub struct CMat {
 impl CMat {
     /// Creates an all-zero `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -38,7 +42,11 @@ impl CMat {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: &[C64]) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
-        Self { rows, cols, data: data.to_vec() }
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for each entry.

@@ -1,0 +1,401 @@
+//! Deterministic in-repo property-based testing.
+//!
+//! The workspace builds with zero external dependencies, so instead of
+//! `proptest` the property suites run on this mini-framework. It is driven
+//! entirely by [`SimRng`](crate::SimRng): every case derives its seed from
+//! the property name and case index, so runs are reproducible everywhere
+//! and a failure message pins down the exact input.
+//!
+//! # Model
+//!
+//! A property is a closure `Fn(&mut Gen) -> Result<(), String>`. [`Gen`]
+//! hands out random values (ints, floats, vectors, complex matrices); the
+//! closure checks its invariant with the [`prop_assert!`],
+//! [`prop_assert_eq!`] and [`prop_assert_ne!`] macros, which return an
+//! `Err` describing the violation instead of panicking.
+//!
+//! [`check`] runs the property over N seeded cases. On failure it *shrinks*
+//! by binary-searching the smallest `scale` in `(0, 1]` at which the same
+//! seed still fails: `Gen` multiplies sizes and magnitudes by `scale`
+//! (toward each range's origin), so a smaller failing scale means a simpler
+//! counterexample. The panic message reports the property name, case,
+//! seed and minimal scale; [`Gen::replay`] reconstructs the exact input
+//! stream for debugging.
+//!
+//! ```
+//! use copa_num::prop::check;
+//! use copa_num::prop_assert;
+//!
+//! check("addition commutes", 64, |g| {
+//!     let (a, b) = (g.f64_in(-1e3, 1e3), g.f64_in(-1e3, 1e3));
+//!     prop_assert!((a + b - (b + a)).abs() < 1e-12, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::complex::C64;
+use crate::matrix::CMat;
+use crate::rng::SimRng;
+
+/// The per-case random value source handed to properties.
+///
+/// All generators are deterministic functions of the seed and the call
+/// sequence. The `scale` factor in `(0, 1]` shrinks ranges toward their
+/// origin (0 when the range spans it, else the lower bound) -- `check`
+/// lowers it while shrinking a failure.
+pub struct Gen {
+    rng: SimRng,
+    scale: f64,
+}
+
+impl Gen {
+    fn new(seed: u64, scale: f64) -> Self {
+        Self {
+            rng: SimRng::seed_from(seed),
+            scale,
+        }
+    }
+
+    /// Reconstructs the exact value stream of a reported failure, for
+    /// debugging a property interactively.
+    pub fn replay(seed: u64, scale: f64) -> Self {
+        Self::new(seed, scale)
+    }
+
+    /// Raw 64-bit entropy (seeds, hashes). Not scaled during shrinking.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Raw 32-bit entropy.
+    pub fn u32(&mut self) -> u32 {
+        (self.rng.next_u64() >> 32) as u32
+    }
+
+    /// Raw 16-bit entropy.
+    pub fn u16(&mut self) -> u16 {
+        (self.rng.next_u64() >> 48) as u16
+    }
+
+    /// A uniform byte.
+    pub fn u8(&mut self) -> u8 {
+        (self.rng.next_u64() >> 56) as u8
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Uniform integer in `[lo, hi)`, shrinking toward `lo`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "usize_in: empty range [{lo}, {hi})");
+        let raw = self.rng.below((hi - lo) as u64) as usize;
+        lo + ((raw as f64) * self.scale).round() as usize
+    }
+
+    /// Uniform byte in `[lo, hi)`, shrinking toward `lo`.
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.usize_in(lo as usize, hi as usize) as u8
+    }
+
+    /// Uniform float in `[lo, hi)`, shrinking toward the range's origin
+    /// (0 when `lo <= 0 < hi`, else `lo`).
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "f64_in: empty range [{lo}, {hi})");
+        let raw = self.rng.uniform_range(lo, hi);
+        let origin = if lo <= 0.0 && 0.0 < hi { 0.0 } else { lo };
+        origin + (raw - origin) * self.scale
+    }
+
+    /// Vector of uniform floats with random length in `[min_len, max_len)`.
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+        let n = self.usize_in(min_len, max_len);
+        (0..n).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// Vector of raw bytes with random length in `[min_len, max_len)`.
+    pub fn vec_u8(&mut self, min_len: usize, max_len: usize) -> Vec<u8> {
+        let n = self.usize_in(min_len, max_len);
+        (0..n).map(|_| self.u8()).collect()
+    }
+
+    /// Exactly `len` raw bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.u8()).collect()
+    }
+
+    /// A random element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        assert!(!options.is_empty(), "pick from empty slice");
+        &options[self.rng.below(options.len() as u64) as usize]
+    }
+
+    /// `Some(value)` half the time.
+    pub fn option<T>(&mut self, mut value: impl FnMut(&mut Gen) -> T) -> Option<T> {
+        if self.bool() {
+            Some(value(self))
+        } else {
+            None
+        }
+    }
+
+    /// Complex number with both parts uniform in `[lo, hi)`.
+    pub fn complex_in(&mut self, lo: f64, hi: f64) -> C64 {
+        C64::new(self.f64_in(lo, hi), self.f64_in(lo, hi))
+    }
+
+    /// `m x n` complex matrix with entries uniform in `[lo, hi)` per part.
+    pub fn cmat_in(&mut self, m: usize, n: usize, lo: f64, hi: f64) -> CMat {
+        CMat::from_fn(m, n, |_, _| self.complex_in(lo, hi))
+    }
+}
+
+/// FNV-1a, so each property gets a stable, distinct seed stream from its
+/// name alone (no global registration, no run-order sensitivity).
+fn fnv64(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn case_seed(base: u64, case: usize) -> u64 {
+    base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
+}
+
+/// Runs `prop` over `cases` deterministic inputs; panics with a
+/// reproducible report on the first failure.
+///
+/// Shrinking: with the failing case's seed fixed, binary-search the
+/// smallest `scale` that still fails and report that minimal
+/// counterexample's message.
+///
+/// # Panics
+/// Panics (failing the test) if any case returns `Err`.
+pub fn check<F>(name: &str, cases: usize, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    let base = fnv64(name);
+    for case in 0..cases {
+        let seed = case_seed(base, case);
+        let mut g = Gen::new(seed, 1.0);
+        if let Err(msg) = prop(&mut g) {
+            let (scale, msg) = shrink(seed, &prop, msg);
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (seed {seed:#018x}, scale {scale:.4}):\n  {msg}\n  \
+                 replay with copa_num::prop::Gen::replay({seed:#018x}, {scale:.4})"
+            );
+        }
+    }
+}
+
+/// Binary-searches the smallest failing scale in `(0, 1]` for `seed`.
+fn shrink<F>(seed: u64, prop: &F, full_msg: String) -> (f64, String)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    let (mut lo, mut hi, mut msg) = (0.0f64, 1.0f64, full_msg);
+    for _ in 0..16 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        match prop(&mut Gen::new(seed, mid)) {
+            Err(m) => {
+                hi = mid;
+                msg = m;
+            }
+            Ok(()) => lo = mid,
+        }
+    }
+    (hi, msg)
+}
+
+/// Asserts a condition inside a property, returning `Err` (not panicking)
+/// so the runner can shrink and report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("{} ({}:{})", format!($($fmt)+), file!(), line!()));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "{}\n    left: {:?}\n   right: {:?} ({}:{})",
+                format!($($fmt)+),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "assertion failed: {} != {}\n    both: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "{}\n    both: {:?} ({}:{})",
+                format!($($fmt)+),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        let counter = std::cell::Cell::new(0usize);
+        check("always true", 10, |g| {
+            let _ = g.u64();
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = Gen::replay(42, 1.0);
+        let mut b = Gen::replay(42, 1.0);
+        for _ in 0..50 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        let mut a = Gen::replay(42, 1.0);
+        let mut b = Gen::replay(42, 1.0);
+        assert_eq!(a.vec_f64(-5.0, 5.0, 1, 20), b.vec_f64(-5.0, 5.0, 1, 20));
+    }
+
+    #[test]
+    fn ranges_respected_at_all_scales() {
+        for &scale in &[1.0, 0.5, 0.01] {
+            let mut g = Gen::replay(7, scale);
+            for _ in 0..200 {
+                let v = g.f64_in(-3.0, 7.0);
+                assert!((-3.0..7.0).contains(&v), "{v} at scale {scale}");
+                let u = g.usize_in(2, 9);
+                assert!((2..9).contains(&u), "{u} at scale {scale}");
+                let x = g.f64_in(5.0, 6.0);
+                assert!((5.0..6.0).contains(&x), "{x} at scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_shrinks_toward_origin() {
+        let mut full = Gen::replay(11, 1.0);
+        let mut tiny = Gen::replay(11, 1e-3);
+        for _ in 0..100 {
+            let a = full.f64_in(-100.0, 100.0);
+            let b = tiny.f64_in(-100.0, 100.0);
+            assert!(b.abs() <= a.abs() + 1e-12);
+            assert!(b.abs() < 0.2, "shrunk value should be near origin: {b}");
+        }
+        let mut tiny = Gen::replay(13, 1e-6);
+        for _ in 0..100 {
+            assert_eq!(tiny.usize_in(3, 40), 3, "lengths shrink to minimum");
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            check("big vectors fail", 20, |g| {
+                let v = g.vec_f64(0.0, 1.0, 0, 50);
+                prop_assert!(v.len() < 10, "len {}", v.len());
+                Ok(())
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("big vectors fail"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains("replay with"), "{msg}");
+        // The shrunk counterexample is minimal: length exactly 10.
+        assert!(
+            msg.contains("len 10"),
+            "shrink should reach the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        assert_ne!(fnv64("a"), fnv64("b"));
+        assert_ne!(case_seed(fnv64("a"), 0), case_seed(fnv64("a"), 1));
+    }
+
+    #[test]
+    fn cmat_has_requested_shape() {
+        let mut g = Gen::replay(3, 1.0);
+        let m = g.cmat_in(3, 4, -1e3, 1e3);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert!(m.as_slice().iter().all(|z| z.is_finite()));
+    }
+}

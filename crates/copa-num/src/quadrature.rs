@@ -31,7 +31,10 @@ impl GaussHermite {
         for i in 0..m {
             // Initial guesses for the roots (largest first), from NR.
             z = match i {
-                0 => (2.0 * n as f64 + 1.0).sqrt() - 1.85575 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0),
+                0 => {
+                    (2.0 * n as f64 + 1.0).sqrt()
+                        - 1.85575 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0)
+                }
                 1 => z - 1.14 * (n as f64).powf(0.426) / z,
                 2 => 1.86 * z - 0.86 * nodes[n - 1],
                 3 => 1.91 * z - 0.91 * nodes[n - 2],

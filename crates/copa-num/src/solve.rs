@@ -248,7 +248,12 @@ mod tests {
         let a = CMat::from_rows(
             2,
             2,
-            &[C64::real(1.0), C64::real(2.0), C64::real(2.0), C64::real(4.0)],
+            &[
+                C64::real(1.0),
+                C64::real(2.0),
+                C64::real(2.0),
+                C64::real(4.0),
+            ],
         );
         assert_eq!(Lu::factor(&a).unwrap_err(), SingularMatrix);
     }
@@ -258,7 +263,12 @@ mod tests {
         let a = CMat::from_rows(
             2,
             2,
-            &[C64::real(0.0), C64::real(1.0), C64::real(1.0), C64::real(0.0)],
+            &[
+                C64::real(0.0),
+                C64::real(1.0),
+                C64::real(1.0),
+                C64::real(0.0),
+            ],
         );
         let inv = inverse(&a).unwrap();
         assert!(a.matmul(&inv).approx_eq(&CMat::identity(2), 1e-12));
@@ -269,7 +279,12 @@ mod tests {
         let a = CMat::from_rows(
             2,
             2,
-            &[C64::real(0.0), C64::real(1.0), C64::real(1.0), C64::real(0.0)],
+            &[
+                C64::real(0.0),
+                C64::real(1.0),
+                C64::real(1.0),
+                C64::real(0.0),
+            ],
         );
         let lu = Lu::factor(&a).unwrap();
         assert!((lu.det() - C64::real(-1.0)).abs() < 1e-12);
@@ -278,7 +293,6 @@ mod tests {
         let lu = Lu::factor(&d).unwrap();
         assert!((lu.det() - C64::real(24.0)).abs() < 1e-12);
     }
-
 
     #[test]
     fn cholesky_factors_hermitian_pd() {
@@ -318,7 +332,12 @@ mod tests {
         let a = CMat::from_rows(
             2,
             2,
-            &[C64::real(1.0), C64::real(2.0), C64::real(2.0), C64::real(1.0)],
+            &[
+                C64::real(1.0),
+                C64::real(2.0),
+                C64::real(2.0),
+                C64::real(1.0),
+            ],
         );
         assert!(cholesky(&a).is_err());
     }
@@ -327,7 +346,9 @@ mod tests {
     fn cholesky_of_exponential_correlation() {
         // The exponential correlation matrix rho^|i-j| is PD for |rho|<1.
         let rho = 0.7f64;
-        let a = CMat::from_fn(4, 4, |i, j| C64::real(rho.powi((i as i32 - j as i32).abs())));
+        let a = CMat::from_fn(4, 4, |i, j| {
+            C64::real(rho.powi((i as i32 - j as i32).abs()))
+        });
         let l = cholesky(&a).unwrap();
         assert!(l.matmul(&l.hermitian()).approx_eq(&a, 1e-10));
     }

@@ -177,14 +177,26 @@ mod tests {
     #[test]
     fn reconstructs_random_matrices() {
         let mut rng = SimRng::seed_from(42);
-        for &(m, n) in &[(1, 1), (2, 2), (3, 2), (2, 3), (4, 4), (2, 4), (4, 2), (6, 3)] {
+        for &(m, n) in &[
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (2, 3),
+            (4, 4),
+            (2, 4),
+            (4, 2),
+            (6, 3),
+        ] {
             let a = random_mat(&mut rng, m, n);
             let d = svd(&a);
             assert!(
                 d.reconstruct().approx_eq(&a, 1e-9),
                 "reconstruction failed for {m}x{n}"
             );
-            assert!(d.v.has_orthonormal_columns(1e-10), "V not unitary ({m}x{n})");
+            assert!(
+                d.v.has_orthonormal_columns(1e-10),
+                "V not unitary ({m}x{n})"
+            );
         }
     }
 

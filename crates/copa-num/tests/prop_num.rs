@@ -1,50 +1,58 @@
-//! Property-based tests for the numeric kernels.
+//! Property-based tests for the numeric kernels, on the in-repo
+//! [`copa_num::prop`] harness (deterministic seeds, shrink-by-scale).
 
 use copa_num::complex::C64;
 use copa_num::fft::{fft, ifft};
 use copa_num::matrix::CMat;
+use copa_num::prop::{check, Gen};
 use copa_num::solve::{inverse, Lu};
 use copa_num::special::{db_to_lin, erfc, lin_to_db, q_func};
 use copa_num::stats::{percentile, EmpiricalCdf};
 use copa_num::svd::svd;
-use proptest::prelude::*;
+use copa_num::{prop_assert, prop_assert_eq};
 
-fn finite_f64() -> impl Strategy<Value = f64> {
-    (-1e3f64..1e3).prop_filter("nonzero-ish", |x| x.abs() > 1e-6 || *x == 0.0)
+const CASES: usize = 64;
+
+/// Finite magnitudes away from the denormal zone: either exactly zero or
+/// above 1e-6 in absolute value (mirrors the original filter).
+fn finite_f64(g: &mut Gen) -> f64 {
+    let x = g.f64_in(-1e3, 1e3);
+    if x.abs() > 1e-6 || x == 0.0 {
+        x
+    } else {
+        0.0
+    }
 }
 
-fn complex() -> impl Strategy<Value = (f64, f64)> {
-    (finite_f64(), finite_f64())
+fn complex(g: &mut Gen) -> C64 {
+    C64::new(finite_f64(g), finite_f64(g))
 }
 
-fn cmat(m: usize, n: usize) -> impl Strategy<Value = CMat> {
-    proptest::collection::vec(complex(), m * n).prop_map(move |v| {
-        CMat::from_rows(
-            m,
-            n,
-            &v.into_iter().map(|(re, im)| C64::new(re, im)).collect::<Vec<_>>(),
-        )
-    })
+fn cmat(g: &mut Gen, m: usize, n: usize) -> CMat {
+    let v: Vec<C64> = (0..m * n).map(|_| complex(g)).collect();
+    CMat::from_rows(m, n, &v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn complex_field_axioms((ar, ai) in complex(), (br, bi) in complex()) {
-        let a = C64::new(ar, ai);
-        let b = C64::new(br, bi);
+#[test]
+fn complex_field_axioms() {
+    check("complex_field_axioms", CASES, |g| {
+        let a = complex(g);
+        let b = complex(g);
         // Commutativity.
         prop_assert!(((a + b) - (b + a)).abs() < 1e-9);
         prop_assert!(((a * b) - (b * a)).abs() < 1e-9);
         // Conjugation distributes.
-        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-6 * (1.0 + (a*b).abs()));
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-6 * (1.0 + (a * b).abs()));
         // |ab| = |a||b|.
         prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * (1.0 + a.abs() * b.abs()));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn svd_reconstructs(a in cmat(3, 4)) {
+#[test]
+fn svd_reconstructs() {
+    check("svd_reconstructs", CASES, |g| {
+        let a = cmat(g, 3, 4);
         let d = svd(&a);
         let scale = a.frobenius_norm().max(1.0);
         prop_assert!(d.reconstruct().approx_eq(&a, 1e-8 * scale), "U S V^H != A");
@@ -57,19 +65,28 @@ proptest! {
         // Energy identity.
         let energy: f64 = d.s.iter().map(|x| x * x).sum();
         prop_assert!((energy - a.frobenius_norm_sqr()).abs() < 1e-6 * (1.0 + energy));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn nullspace_annihilates(a in cmat(2, 4)) {
+#[test]
+fn nullspace_annihilates() {
+    check("nullspace_annihilates", CASES, |g| {
+        let a = cmat(g, 2, 4);
         let d = svd(&a);
         let ns = d.nullspace(1e-9);
         prop_assert!(ns.cols() >= 2);
         let residual = a.matmul(&ns).max_abs();
         prop_assert!(residual < 1e-7 * (1.0 + a.max_abs()), "residual {residual}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lu_solves_what_it_factors(a in cmat(3, 3), b in cmat(3, 2)) {
+#[test]
+fn lu_solves_what_it_factors() {
+    check("lu_solves_what_it_factors", CASES, |g| {
+        let a = cmat(g, 3, 3);
+        let b = cmat(g, 3, 2);
         if let Ok(lu) = Lu::factor(&a) {
             let x = lu.solve(&b);
             let back = a.matmul(&x);
@@ -79,58 +96,85 @@ proptest! {
             let xn = x.frobenius_norm().max(1.0);
             prop_assert!(back.approx_eq(&b, 1e-5 * scale * xn), "A x != b");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn inverse_round_trips(a in cmat(2, 2)) {
+#[test]
+fn inverse_round_trips() {
+    check("inverse_round_trips", CASES, |g| {
+        let a = cmat(g, 2, 2);
         if let Ok(inv) = inverse(&a) {
             let xn = inv.frobenius_norm().max(1.0) * a.frobenius_norm().max(1.0);
             prop_assert!(a.matmul(&inv).approx_eq(&CMat::identity(2), 1e-6 * xn));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fft_round_trip(v in proptest::collection::vec(complex(), 64)) {
-        let x: Vec<C64> = v.into_iter().map(|(re, im)| C64::new(re, im)).collect();
+#[test]
+fn fft_round_trip() {
+    check("fft_round_trip", CASES, |g| {
+        let x: Vec<C64> = (0..64).map(|_| complex(g)).collect();
         let y = ifft(&fft(&x));
         let scale = x.iter().map(|z| z.abs()).fold(1.0, f64::max);
         for (a, b) in x.iter().zip(&y) {
             prop_assert!((*a - *b).abs() < 1e-9 * scale);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fft_parseval(v in proptest::collection::vec(complex(), 32)) {
-        let x: Vec<C64> = v.into_iter().map(|(re, im)| C64::new(re, im)).collect();
+#[test]
+fn fft_parseval() {
+    check("fft_parseval", CASES, |g| {
+        let x: Vec<C64> = (0..32).map(|_| complex(g)).collect();
         let y = fft(&x);
         let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
         prop_assert!((ex - ey).abs() < 1e-8 * (1.0 + ex));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn erfc_bounds_and_symmetry(x in -5.0f64..5.0) {
+#[test]
+fn erfc_bounds_and_symmetry() {
+    check("erfc_bounds_and_symmetry", CASES, |g| {
+        let x = g.f64_in(-5.0, 5.0);
         let v = erfc(x);
         prop_assert!((0.0..=2.0).contains(&v));
         prop_assert!((erfc(-x) - (2.0 - v)).abs() < 1e-9);
         let q = q_func(x);
         prop_assert!((0.0..=1.0).contains(&q));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn db_round_trip(db in -120.0f64..60.0) {
+#[test]
+fn db_round_trip() {
+    check("db_round_trip", CASES, |g| {
+        let db = g.f64_in(-120.0, 60.0);
         prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn percentiles_are_order_statistics(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..40), p in 0.0f64..100.0) {
+#[test]
+fn percentiles_are_order_statistics() {
+    check("percentiles_are_order_statistics", CASES, |g| {
+        let mut xs = g.vec_f64(-1e3, 1e3, 1, 40);
+        let p = g.f64_in(0.0, 100.0);
         let v = percentile(&xs, p);
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cdf_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+#[test]
+fn cdf_monotone() {
+    check("cdf_monotone", CASES, |g| {
+        let xs = g.vec_f64(-100.0, 100.0, 1, 50);
         let cdf = EmpiricalCdf::new(&xs);
         let mut prev = -1.0;
         for i in -10..=10 {
@@ -139,5 +183,21 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&p));
             prev = p;
         }
-    }
+        Ok(())
+    });
+}
+
+#[test]
+fn replayed_generator_reproduces_reported_case() {
+    // Guard for the harness contract the other suites rely on: the seed in
+    // a failure report reconstructs the same inputs.
+    let mut a = Gen::replay(0xC0FFEE, 1.0);
+    let mut b = Gen::replay(0xC0FFEE, 1.0);
+    let ma = cmat(&mut a, 3, 4);
+    let mb = cmat(&mut b, 3, 4);
+    assert!(ma.approx_eq(&mb, f64::MIN_POSITIVE));
+    check("replay_contract", 4, |g| {
+        prop_assert_eq!(g.usize_in(0, 10) < 10, true);
+        Ok(())
+    });
 }

@@ -74,7 +74,10 @@ impl Chain {
             .chunks(block)
             .map(|chunk| self.mapper.map(&self.interleaver.interleave(chunk)))
             .collect();
-        TxFrame { symbols, payload_bits: payload.len() }
+        TxFrame {
+            symbols,
+            payload_bits: payload.len(),
+        }
     }
 
     /// Decodes received per-subcarrier symbols (after equalization) back to
@@ -226,7 +229,6 @@ mod tests {
         assert!(errs > 0, "MCS7 at 8 dB should not decode cleanly");
     }
 
-
     #[test]
     fn soft_receive_round_trips_cleanly() {
         let mut rng = SimRng::seed_from(7);
@@ -257,7 +259,11 @@ mod tests {
             let noisy: Vec<Vec<C64>> = frame
                 .symbols
                 .iter()
-                .map(|sym| sym.iter().map(|&x| x + rng.randc().scale(sigma2.sqrt())).collect())
+                .map(|sym| {
+                    sym.iter()
+                        .map(|&x| x + rng.randc().scale(sigma2.sqrt()))
+                        .collect()
+                })
                 .collect();
             let hard = chain.receive(&noisy, payload.len());
             let nv = vec![vec![sigma2; DATA_SUBCARRIERS]; noisy.len()];
@@ -330,7 +336,11 @@ mod tests {
             let chain = Chain::new(mcs);
             let cap = chain.payload_capacity(8);
             let frame = chain.transmit(&vec![0u8; cap]);
-            assert!(frame.symbols.len() <= 8, "{mcs}: {} symbols for capacity payload", frame.symbols.len());
+            assert!(
+                frame.symbols.len() <= 8,
+                "{mcs}: {} symbols for capacity payload",
+                frame.symbols.len()
+            );
         }
     }
 }

@@ -135,7 +135,11 @@ pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
     let pattern = rate.puncture_pattern();
     let mut state: u32 = 0;
     let mut out = Vec::with_capacity(bits.len() * 2);
-    for (i, &bit) in bits.iter().chain(std::iter::repeat(&0u8).take(CONSTRAINT_LENGTH - 1)).enumerate() {
+    for (i, &bit) in bits
+        .iter()
+        .chain(std::iter::repeat(&0u8).take(CONSTRAINT_LENGTH - 1))
+        .enumerate()
+    {
         debug_assert!(bit <= 1);
         let reg = (state << 1) | bit as u32;
         let a = (reg & G0).count_ones() & 1;

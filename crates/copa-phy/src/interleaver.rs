@@ -45,7 +45,11 @@ impl Interleaver {
         for (k, &j) in forward.iter().enumerate() {
             inverse[j] = k;
         }
-        Self { n_cbps, forward, inverse }
+        Self {
+            n_cbps,
+            forward,
+            inverse,
+        }
     }
 
     /// Coded bits per OFDM symbol.
@@ -96,7 +100,9 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         for m in Modulation::ALL {
             let il = Interleaver::new(m);
-            let bits: Vec<u8> = (0..il.block_len()).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let bits: Vec<u8> = (0..il.block_len())
+                .map(|_| (rng.next_u64() & 1) as u8)
+                .collect();
             let back = il.deinterleave(&il.interleave(&bits));
             assert_eq!(back, bits, "{m}");
         }

@@ -33,10 +33,10 @@ pub mod mcs;
 pub mod mimo_chain;
 pub mod mmse_curves;
 pub mod modulation;
-pub mod scrambler;
-pub mod soft;
 pub mod ofdm;
 pub mod papr;
+pub mod scrambler;
+pub mod soft;
 
 pub use coding::CodeRate;
 pub use link::{RateChoice, ThroughputModel};

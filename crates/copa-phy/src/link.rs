@@ -30,7 +30,9 @@ pub struct ThroughputModel {
 
 impl Default for ThroughputModel {
     fn default() -> Self {
-        Self { mpdu_bytes: DEFAULT_MPDU_BYTES }
+        Self {
+            mpdu_bytes: DEFAULT_MPDU_BYTES,
+        }
     }
 }
 
@@ -56,7 +58,11 @@ impl ThroughputModel {
         if sinrs.is_empty() {
             return 0.5;
         }
-        sinrs.iter().map(|&g| mcs.modulation.uncoded_ber(g)).sum::<f64>() / sinrs.len() as f64
+        sinrs
+            .iter()
+            .map(|&g| mcs.modulation.uncoded_ber(g))
+            .sum::<f64>()
+            / sinrs.len() as f64
     }
 
     /// Predicted goodput of one MCS over the given active cells.
@@ -67,13 +73,25 @@ impl ThroughputModel {
     /// time spent sending data symbols (from the MAC overhead model).
     pub fn evaluate(&self, mcs: Mcs, sinrs: &[f64], airtime_efficiency: f64) -> RateChoice {
         if sinrs.is_empty() {
-            return RateChoice { mcs, goodput_bps: 0.0, uncoded_ber: 0.5, coded_ber: 0.5, fer: 1.0 };
+            return RateChoice {
+                mcs,
+                goodput_bps: 0.0,
+                uncoded_ber: 0.5,
+                coded_ber: 0.5,
+                fer: 1.0,
+            };
         }
         let p = self.effective_uncoded_ber(mcs, sinrs);
         let pb = coded_ber(p, mcs.rate);
         let fer = frame_error_rate(pb, self.mpdu_bytes);
         let goodput = mcs.phy_rate_bps_with(sinrs.len()) * (1.0 - fer) * airtime_efficiency;
-        RateChoice { mcs, goodput_bps: goodput, uncoded_ber: p, coded_ber: pb, fer }
+        RateChoice {
+            mcs,
+            goodput_bps: goodput,
+            uncoded_ber: p,
+            coded_ber: pb,
+            fer,
+        }
     }
 
     /// Rate adaptation: evaluates every MCS and returns the goodput-max.
@@ -144,7 +162,11 @@ mod tests {
         let model = ThroughputModel::default();
         let choice = model.best(&flat(35.0), 1.0);
         assert_eq!(choice.mcs.index, 7);
-        assert!((choice.goodput_bps / 1e6 - 65.0).abs() < 0.5, "{}", choice.goodput_bps / 1e6);
+        assert!(
+            (choice.goodput_bps / 1e6 - 65.0).abs() < 0.5,
+            "{}",
+            choice.goodput_bps / 1e6
+        );
         assert!(choice.fer < 1e-3);
     }
 

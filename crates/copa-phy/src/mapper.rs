@@ -26,7 +26,11 @@ impl Mapper {
             Modulation::Bpsk => 1,
             _ => modulation.bits_per_symbol() as usize / 2,
         };
-        Self { modulation, levels, bits_per_axis }
+        Self {
+            modulation,
+            levels,
+            bits_per_axis,
+        }
     }
 
     /// The modulation this mapper implements.
@@ -104,7 +108,9 @@ impl Mapper {
     /// Maps a whole bit stream (`bits.len()` divisible by bits/symbol).
     pub fn map(&self, bits: &[u8]) -> Vec<C64> {
         assert_eq!(bits.len() % self.bits_per_symbol(), 0);
-        bits.chunks(self.bits_per_symbol()).map(|c| self.map_symbol(c)).collect()
+        bits.chunks(self.bits_per_symbol())
+            .map(|c| self.map_symbol(c))
+            .collect()
     }
 
     /// Demaps a whole symbol stream.

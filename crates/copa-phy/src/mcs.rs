@@ -22,14 +22,46 @@ pub struct Mcs {
 impl Mcs {
     /// The eight single-stream 802.11n MCSes, slowest (most robust) first.
     pub const TABLE: [Mcs; 8] = [
-        Mcs { index: 0, modulation: Modulation::Bpsk, rate: CodeRate::R12 },
-        Mcs { index: 1, modulation: Modulation::Qpsk, rate: CodeRate::R12 },
-        Mcs { index: 2, modulation: Modulation::Qpsk, rate: CodeRate::R34 },
-        Mcs { index: 3, modulation: Modulation::Qam16, rate: CodeRate::R12 },
-        Mcs { index: 4, modulation: Modulation::Qam16, rate: CodeRate::R34 },
-        Mcs { index: 5, modulation: Modulation::Qam64, rate: CodeRate::R23 },
-        Mcs { index: 6, modulation: Modulation::Qam64, rate: CodeRate::R34 },
-        Mcs { index: 7, modulation: Modulation::Qam64, rate: CodeRate::R56 },
+        Mcs {
+            index: 0,
+            modulation: Modulation::Bpsk,
+            rate: CodeRate::R12,
+        },
+        Mcs {
+            index: 1,
+            modulation: Modulation::Qpsk,
+            rate: CodeRate::R12,
+        },
+        Mcs {
+            index: 2,
+            modulation: Modulation::Qpsk,
+            rate: CodeRate::R34,
+        },
+        Mcs {
+            index: 3,
+            modulation: Modulation::Qam16,
+            rate: CodeRate::R12,
+        },
+        Mcs {
+            index: 4,
+            modulation: Modulation::Qam16,
+            rate: CodeRate::R34,
+        },
+        Mcs {
+            index: 5,
+            modulation: Modulation::Qam64,
+            rate: CodeRate::R23,
+        },
+        Mcs {
+            index: 6,
+            modulation: Modulation::Qam64,
+            rate: CodeRate::R34,
+        },
+        Mcs {
+            index: 7,
+            modulation: Modulation::Qam64,
+            rate: CodeRate::R56,
+        },
     ];
 
     /// Information bits carried per data subcarrier per OFDM symbol.

@@ -119,7 +119,10 @@ impl MimoChain {
                 symbols[t][k] = self.mapper.map(&self.interleaver.interleave(chunk));
             }
         }
-        MimoFrame { symbols, payload_bits: payload.len() }
+        MimoFrame {
+            symbols,
+            payload_bits: payload.len(),
+        }
     }
 
     /// Receives raw antenna observations.
@@ -254,7 +257,10 @@ mod tests {
         let chain2 = MimoChain::new(Mcs::TABLE[3], 2);
         let c1 = chain1.payload_capacity(6) as f64;
         let c2 = chain2.payload_capacity(6) as f64;
-        assert!((c2 / c1 - 2.0).abs() < 0.05, "2 streams should ~double capacity");
+        assert!(
+            (c2 / c1 - 2.0).abs() < 0.05,
+            "2 streams should ~double capacity"
+        );
     }
 
     #[test]
@@ -325,6 +331,9 @@ mod tests {
         let noise = 1e-4;
         let rx = through_channel(&frame, &effective, noise, &mut rng);
         let decoded = chain.receive(&rx, &effective, noise, payload.len());
-        assert_eq!(decoded, payload, "beamformed MIMO link should decode cleanly");
+        assert_eq!(
+            decoded, payload,
+            "beamformed MIMO link should decode cleanly"
+        );
     }
 }

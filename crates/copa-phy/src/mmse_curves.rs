@@ -45,7 +45,11 @@ impl MmseCurve {
                 mmse[i] = mmse[i - 1] * (1.0 - 1e-12);
             }
         }
-        Self { modulation, log_snr, mmse }
+        Self {
+            modulation,
+            log_snr,
+            mmse,
+        }
     }
 
     /// The constellation this curve describes.
@@ -89,9 +93,16 @@ impl MmseCurve {
             return SNR_MAX;
         }
         // mmse is descending: find the first index with mmse < target.
-        let i = self.mmse.partition_point(|&m| m >= target).clamp(1, GRID_POINTS - 1);
+        let i = self
+            .mmse
+            .partition_point(|&m| m >= target)
+            .clamp(1, GRID_POINTS - 1);
         let (m0, m1) = (self.mmse[i - 1], self.mmse[i]);
-        let t = if m0 > m1 { (m0 - target) / (m0 - m1) } else { 0.0 };
+        let t = if m0 > m1 {
+            (m0 - target) / (m0 - m1)
+        } else {
+            0.0
+        };
         let ls = self.log_snr[i - 1] * (1.0 - t) + self.log_snr[i] * t;
         ls.exp()
     }

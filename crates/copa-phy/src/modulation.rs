@@ -114,7 +114,9 @@ fn square_qam(m: usize) -> Vec<C64> {
     let mut pts = Vec::with_capacity(m * m);
     for &i_lvl in &levels {
         for &q_lvl in &levels {
-            pts.push(C64::new(i_lvl, q_lvl).scale((m as f64 - 1.0) / energy_per_axis / (m as f64 - 1.0)));
+            pts.push(
+                C64::new(i_lvl, q_lvl).scale((m as f64 - 1.0) / energy_per_axis / (m as f64 - 1.0)),
+            );
         }
     }
     // Normalize to exactly unit average energy.
@@ -155,9 +157,15 @@ mod tests {
         // slightly; that regime is far outside either constellation's use.)
         for db in [10, 20, 30] {
             let gamma = copa_num::special::db_to_lin(db as f64);
-            let bers: Vec<f64> = Modulation::ALL.iter().map(|m| m.uncoded_ber(gamma)).collect();
+            let bers: Vec<f64> = Modulation::ALL
+                .iter()
+                .map(|m| m.uncoded_ber(gamma))
+                .collect();
             for w in bers.windows(2) {
-                assert!(w[0] <= w[1] + 1e-12, "ordering violated at {db} dB: {bers:?}");
+                assert!(
+                    w[0] <= w[1] + 1e-12,
+                    "ordering violated at {db} dB: {bers:?}"
+                );
             }
         }
     }

@@ -52,7 +52,11 @@ pub fn data_subcarrier_bins() -> Vec<usize> {
         if k == 0 || PILOT_OFFSETS.contains(&k) {
             continue;
         }
-        let bin = if k < 0 { (FFT_SIZE as i32 + k) as usize } else { k as usize };
+        let bin = if k < 0 {
+            (FFT_SIZE as i32 + k) as usize
+        } else {
+            k as usize
+        };
         bins.push(bin);
     }
     bins
@@ -92,8 +96,16 @@ mod tests {
         // Paper section 3.1: m = 0.25 gives ~28 ms at 4 km/h, ~112 ms at 1 km/h.
         let t4 = coherence_time_s(4.0 / 3.6, 0.25);
         let t1 = coherence_time_s(1.0 / 3.6, 0.25);
-        assert!((t4 * 1e3 - 27.7).abs() < 1.0, "4 km/h -> {:.1} ms", t4 * 1e3);
-        assert!((t1 * 1e3 - 110.7).abs() < 4.0, "1 km/h -> {:.1} ms", t1 * 1e3);
+        assert!(
+            (t4 * 1e3 - 27.7).abs() < 1.0,
+            "4 km/h -> {:.1} ms",
+            t4 * 1e3
+        );
+        assert!(
+            (t1 * 1e3 - 110.7).abs() < 4.0,
+            "1 km/h -> {:.1} ms",
+            t1 * 1e3
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub fn measure_papr(
     let mut scrambler = Scrambler::new(0x5D);
     for _ in 0..symbols {
         let mut bits: Vec<u8> = if scrambled {
-            (0..active * bps).map(|_| (rng.next_u64() & 1) as u8).collect()
+            (0..active * bps)
+                .map(|_| (rng.next_u64() & 1) as u8)
+                .collect()
         } else {
             vec![0u8; active * bps] // pathological repetitive payload
         };

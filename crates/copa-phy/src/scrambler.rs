@@ -79,7 +79,10 @@ mod tests {
         Scrambler::new(0x24).process(&mut zeros);
         let ones = zeros.iter().filter(|&&b| b == 1).count();
         // Should be close to half.
-        assert!((500..770).contains(&ones), "poor whitening: {ones}/1270 ones");
+        assert!(
+            (500..770).contains(&ones),
+            "poor whitening: {ones}/1270 ones"
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
     use copa_num::SimRng;
 
     fn hard_llrs(coded: &[u8], confidence: f64) -> Vec<f64> {
-        coded.iter().map(|&b| if b == 0 { confidence } else { -confidence }).collect()
+        coded
+            .iter()
+            .map(|&b| if b == 0 { confidence } else { -confidence })
+            .collect()
     }
 
     #[test]
@@ -222,13 +225,19 @@ mod tests {
         let symbols = mapper.map(&padded);
         let snr = copa_num::special::db_to_lin(1.5);
         let sigma = (1.0 / snr).sqrt();
-        let received: Vec<C64> = symbols.iter().map(|&x| x + rng.randc().scale(sigma)).collect();
+        let received: Vec<C64> = symbols
+            .iter()
+            .map(|&x| x + rng.randc().scale(sigma))
+            .collect();
 
         // Hard path.
         let hard_bits = mapper.demap(&received);
-        let hard_decoded =
-            crate::coding::viterbi_decode(&hard_bits[..coded.len()], n, rate);
-        let hard_errs = hard_decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        let hard_decoded = crate::coding::viterbi_decode(&hard_bits[..coded.len()], n, rate);
+        let hard_errs = hard_decoded
+            .iter()
+            .zip(&bits)
+            .filter(|(a, b)| a != b)
+            .count();
 
         // Soft path.
         let mut llrs = Vec::new();
@@ -237,7 +246,11 @@ mod tests {
         }
         llrs.truncate(coded.len());
         let soft_decoded = soft_viterbi_decode(&llrs, n, rate);
-        let soft_errs = soft_decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        let soft_errs = soft_decoded
+            .iter()
+            .zip(&bits)
+            .filter(|(a, b)| a != b)
+            .count();
 
         assert!(
             soft_errs < hard_errs,

@@ -1,116 +1,159 @@
-//! Property-based tests for the PHY models.
+//! Property-based tests for the PHY models, on the in-repo
+//! [`copa_num::prop`] harness.
 
+use copa_num::prop::{check, Gen};
+use copa_num::{prop_assert, prop_assert_eq};
 use copa_phy::coding::{coded_ber, encode, frame_error_rate, viterbi_decode, CodeRate};
 use copa_phy::link::ThroughputModel;
 use copa_phy::mcs::Mcs;
 use copa_phy::modulation::Modulation;
-use proptest::prelude::*;
 
-fn modulation() -> impl Strategy<Value = Modulation> {
-    prop_oneof![
-        Just(Modulation::Bpsk),
-        Just(Modulation::Qpsk),
-        Just(Modulation::Qam16),
-        Just(Modulation::Qam64),
-    ]
+const CASES: usize = 48;
+
+const MODULATIONS: [Modulation; 4] = [
+    Modulation::Bpsk,
+    Modulation::Qpsk,
+    Modulation::Qam16,
+    Modulation::Qam64,
+];
+
+const CODE_RATES: [CodeRate; 4] = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56];
+
+fn modulation(g: &mut Gen) -> Modulation {
+    *g.pick(&MODULATIONS)
 }
 
-fn code_rate() -> impl Strategy<Value = CodeRate> {
-    prop_oneof![
-        Just(CodeRate::R12),
-        Just(CodeRate::R23),
-        Just(CodeRate::R34),
-        Just(CodeRate::R56),
-    ]
+fn code_rate(g: &mut Gen) -> CodeRate {
+    *g.pick(&CODE_RATES)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn uncoded_ber_in_range_and_monotone(m in modulation(), db in -20.0f64..50.0) {
+#[test]
+fn uncoded_ber_in_range_and_monotone() {
+    check("uncoded_ber_in_range_and_monotone", CASES, |g| {
+        let m = modulation(g);
+        let db = g.f64_in(-20.0, 50.0);
         let g1 = copa_num::special::db_to_lin(db);
         let g2 = copa_num::special::db_to_lin(db + 1.0);
         let b1 = m.uncoded_ber(g1);
         let b2 = m.uncoded_ber(g2);
         prop_assert!((0.0..=0.5).contains(&b1));
         prop_assert!(b2 <= b1 + 1e-15, "BER must not increase with SNR");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn coded_ber_bounded_and_monotone(r in code_rate(), p in 0.0f64..0.4) {
+#[test]
+fn coded_ber_bounded_and_monotone() {
+    check("coded_ber_bounded_and_monotone", CASES, |g| {
+        let r = code_rate(g);
+        let p = g.f64_in(0.0, 0.4);
         let c1 = coded_ber(p, r);
         let c2 = coded_ber(p * 1.1, r);
         prop_assert!((0.0..=0.5).contains(&c1));
         prop_assert!(c2 >= c1 - 1e-18);
         // Coding helps at low channel BER.
         if p < 1e-3 {
-            prop_assert!(c1 <= p, "coding should not amplify rare errors: {c1} vs {p}");
+            prop_assert!(
+                c1 <= p,
+                "coding should not amplify rare errors: {c1} vs {p}"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn viterbi_inverts_encoder(bits in proptest::collection::vec(0u8..2, 1..200), r in code_rate()) {
+#[test]
+fn viterbi_inverts_encoder() {
+    check("viterbi_inverts_encoder", CASES, |g| {
+        let n = g.usize_in(1, 200);
+        let bits: Vec<u8> = (0..n).map(|_| g.u8() & 1).collect();
+        let r = code_rate(g);
         let coded = encode(&bits, r);
         let decoded = viterbi_decode(&coded, bits.len(), r);
         prop_assert_eq!(decoded, bits);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fer_is_probability_and_monotone(pb in 0.0f64..1.0, len in 1usize..4000) {
+#[test]
+fn fer_is_probability_and_monotone() {
+    check("fer_is_probability_and_monotone", CASES, |g| {
+        let pb = g.f64_in(0.0, 1.0);
+        let len = g.usize_in(1, 4000);
         let f = frame_error_rate(pb, len);
         prop_assert!((0.0..=1.0).contains(&f));
         prop_assert!(frame_error_rate(pb, len + 1) >= f - 1e-15);
         if pb > 0.0 {
             prop_assert!(frame_error_rate((pb * 1.5).min(1.0), len) >= f - 1e-15);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn goodput_never_exceeds_phy_rate(
-        sinrs_db in proptest::collection::vec(-10.0f64..45.0, 1..104),
-        eff in 0.1f64..1.0,
-    ) {
-        let sinrs: Vec<f64> = sinrs_db.iter().map(|&d| copa_num::special::db_to_lin(d)).collect();
+#[test]
+fn goodput_never_exceeds_phy_rate() {
+    check("goodput_never_exceeds_phy_rate", CASES, |g| {
+        let sinrs_db = g.vec_f64(-10.0, 45.0, 1, 104);
+        let eff = g.f64_in(0.1, 1.0);
+        let sinrs: Vec<f64> = sinrs_db
+            .iter()
+            .map(|&d| copa_num::special::db_to_lin(d))
+            .collect();
         let model = ThroughputModel::default();
         let choice = model.best(&sinrs, eff);
         let cap = choice.mcs.phy_rate_bps_with(sinrs.len()) * eff;
         prop_assert!(choice.goodput_bps <= cap + 1.0);
         prop_assert!(choice.goodput_bps >= 0.0);
         prop_assert!((0.0..=1.0).contains(&choice.fer));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn best_mcs_dominates_all_alternatives(
-        sinrs_db in proptest::collection::vec(0.0f64..40.0, 10..60),
-    ) {
-        let sinrs: Vec<f64> = sinrs_db.iter().map(|&d| copa_num::special::db_to_lin(d)).collect();
+#[test]
+fn best_mcs_dominates_all_alternatives() {
+    check("best_mcs_dominates_all_alternatives", CASES, |g| {
+        let sinrs_db = g.vec_f64(0.0, 40.0, 10, 60);
+        let sinrs: Vec<f64> = sinrs_db
+            .iter()
+            .map(|&d| copa_num::special::db_to_lin(d))
+            .collect();
         let model = ThroughputModel::default();
         let best = model.best(&sinrs, 1.0);
         for &mcs in &Mcs::TABLE {
             let alt = model.evaluate(mcs, &sinrs, 1.0);
             prop_assert!(best.goodput_bps >= alt.goodput_bps - 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multi_decoder_at_least_single(
-        sinrs_db in proptest::collection::vec(-5.0f64..40.0, 10..104),
-    ) {
-        let sinrs: Vec<f64> = sinrs_db.iter().map(|&d| copa_num::special::db_to_lin(d)).collect();
+#[test]
+fn multi_decoder_at_least_single() {
+    check("multi_decoder_at_least_single", CASES, |g| {
+        let sinrs_db = g.vec_f64(-5.0, 40.0, 10, 104);
+        let sinrs: Vec<f64> = sinrs_db
+            .iter()
+            .map(|&d| copa_num::special::db_to_lin(d))
+            .collect();
         let model = ThroughputModel::default();
         let single = model.best(&sinrs, 1.0).goodput_bps;
         let multi = model.multi_decoder_goodput(&sinrs, 1.0);
         // Per-subcarrier adaptation upper-bounds the single-MCS rate up to
         // the FER model's frame-level coupling; allow a small slack.
         prop_assert!(multi >= single * 0.98, "multi {multi} < single {single}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dropping_subcarriers_scales_rate(m in 0usize..8, active in 1usize..52) {
+#[test]
+fn dropping_subcarriers_scales_rate() {
+    check("dropping_subcarriers_scales_rate", CASES, |g| {
+        let m = g.usize_in(0, 8);
+        let active = g.usize_in(1, 52);
         let mcs = Mcs::TABLE[m];
         let full = mcs.phy_rate_bps();
         let partial = mcs.phy_rate_bps_with(active);
         prop_assert!((partial - full * active as f64 / 52.0).abs() < 1e-6);
-    }
+        Ok(())
+    });
 }

@@ -34,7 +34,10 @@ pub fn beamform(est: &FreqChannel, streams: usize) -> LinkPrecoding {
             gains.push(d.s[k] * d.s[k]);
         }
     }
-    LinkPrecoding { precoder, stream_gains }
+    LinkPrecoding {
+        precoder,
+        stream_gains,
+    }
 }
 
 #[cfg(test)]

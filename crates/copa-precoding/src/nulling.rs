@@ -33,7 +33,11 @@ pub fn null_toward(
     est_victim: &FreqChannel,
     streams: usize,
 ) -> Option<LinkPrecoding> {
-    assert_eq!(est_own.tx(), est_victim.tx(), "both channels share the AP's antennas");
+    assert_eq!(
+        est_own.tx(),
+        est_victim.tx(),
+        "both channels share the AP's antennas"
+    );
     let tx = est_own.tx();
     let dof = nulling_dof(tx, est_victim.rx());
     if dof < streams as isize || streams == 0 || streams > est_own.rx() {
@@ -56,7 +60,10 @@ pub fn null_toward(
             gains.push(d.s[k] * d.s[k]);
         }
     }
-    Some(LinkPrecoding { precoder, stream_gains })
+    Some(LinkPrecoding {
+        precoder,
+        stream_gains,
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +113,10 @@ mod tests {
         let mut rng = SimRng::seed_from(61);
         let own_true = ch(&mut rng, 2, 4);
         let vic_true = ch(&mut rng, 2, 4);
-        let imp = Impairments { csi_error_db: -25.0, ..Default::default() };
+        let imp = Impairments {
+            csi_error_db: -25.0,
+            ..Default::default()
+        };
         let own_est = imp.estimate_channel(&mut rng, &own_true);
         let vic_est = imp.estimate_channel(&mut rng, &vic_true);
         let pre = null_toward(&own_est, &vic_est, 2).unwrap();
@@ -168,9 +178,7 @@ mod tests {
             for k in 0..2 {
                 let w = pre.precoder[s].column(k);
                 let realized = own.at(s).matmul(&w).frobenius_norm_sqr();
-                assert!(
-                    (realized - pre.stream_gains[k][s]).abs() < 1e-9 * realized.max(1e-12)
-                );
+                assert!((realized - pre.stream_gains[k][s]).abs() < 1e-9 * realized.max(1e-12));
             }
         }
     }

@@ -54,12 +54,16 @@ impl TxPowers {
     pub fn equal(streams: usize, budget_mw: f64) -> Self {
         assert!(streams > 0);
         let per = budget_mw / (streams * DATA_SUBCARRIERS) as f64;
-        Self { powers: vec![vec![per; DATA_SUBCARRIERS]; streams] }
+        Self {
+            powers: vec![vec![per; DATA_SUBCARRIERS]; streams],
+        }
     }
 
     /// All-zero allocation (an AP that stays silent).
     pub fn silent(streams: usize) -> Self {
-        Self { powers: vec![vec![0.0; DATA_SUBCARRIERS]; streams] }
+        Self {
+            powers: vec![vec![0.0; DATA_SUBCARRIERS]; streams],
+        }
     }
 
     /// Number of streams.

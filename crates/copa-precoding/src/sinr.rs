@@ -178,7 +178,12 @@ mod tests {
         let imp = Impairments::ideal();
         let pre = beamform(&truth, 1);
         let powers = TxPowers::equal(1, 31.6);
-        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let own = TxSide {
+            channel: &truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
         let grid = mmse_sinr_grid(&own, None, NOISE, &imp);
         for s in 0..DATA_SUBCARRIERS {
             let expect = powers.powers[0][s] * truth.at(s)[(0, 0)].norm_sqr() / NOISE;
@@ -199,18 +204,27 @@ mod tests {
         let imp = Impairments::ideal();
         let pre = beamform(&truth, 2);
         let powers = TxPowers::equal(2, 31.6);
-        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let own = TxSide {
+            channel: &truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
 
         let clean = mmse_sinr_grid(&own, None, NOISE, &imp);
 
         let int_pre = beamform(&cross, 2); // arbitrary precoder for interferer
         let int_powers = TxPowers::equal(2, 31.6);
-        let int = TxSide { channel: &cross, precoding: &int_pre, powers: &int_powers, budget_mw: 31.6 };
+        let int = TxSide {
+            channel: &cross,
+            precoding: &int_pre,
+            powers: &int_powers,
+            budget_mw: 31.6,
+        };
         let dirty = mmse_sinr_grid(&own, Some(&int), NOISE, &imp);
 
-        let mean = |g: &Vec<Vec<f64>>| {
-            g.iter().flatten().sum::<f64>() / (2.0 * DATA_SUBCARRIERS as f64)
-        };
+        let mean =
+            |g: &Vec<Vec<f64>>| g.iter().flatten().sum::<f64>() / (2.0 * DATA_SUBCARRIERS as f64);
         assert!(
             mean(&dirty) < mean(&clean) * 0.8,
             "interference should reduce SINR: {} vs {}",
@@ -230,15 +244,24 @@ mod tests {
 
         let pre = beamform(&own_truth, 2);
         let powers = TxPowers::equal(2, 31.6);
-        let own = TxSide { channel: &own_truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let own = TxSide {
+            channel: &own_truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
         let clean = mmse_sinr_grid(&own, None, NOISE, &imp);
 
         // Interferer nulls toward *this* client (cross_truth is its channel
         // to us) while beamforming to its own client.
         let int_pre = null_toward(&int_own, &cross_truth, 2).unwrap();
         let int_powers = TxPowers::equal(2, 31.6);
-        let int =
-            TxSide { channel: &cross_truth, precoding: &int_pre, powers: &int_powers, budget_mw: 31.6 };
+        let int = TxSide {
+            channel: &cross_truth,
+            precoding: &int_pre,
+            powers: &int_powers,
+            budget_mw: 31.6,
+        };
         let nulled = mmse_sinr_grid(&own, Some(&int), NOISE, &imp);
 
         for s in 0..DATA_SUBCARRIERS {
@@ -260,18 +283,31 @@ mod tests {
         let own_truth = ch(&mut rng, 2, 4, 1e-6);
         let cross_truth = ch(&mut rng, 2, 4, 1e-6);
         let int_own = ch(&mut rng, 2, 4, 1e-6);
-        let imp = Impairments { csi_error_db: -300.0, tx_evm_db: -30.0, leakage_db: -300.0 };
+        let imp = Impairments {
+            csi_error_db: -300.0,
+            tx_evm_db: -30.0,
+            leakage_db: -300.0,
+        };
 
         let int_pre = null_toward(&int_own, &cross_truth, 2).unwrap();
         let int_powers = TxPowers::equal(2, 31.6);
-        let int =
-            TxSide { channel: &cross_truth, precoding: &int_pre, powers: &int_powers, budget_mw: 31.6 };
+        let int = TxSide {
+            channel: &cross_truth,
+            precoding: &int_pre,
+            powers: &int_powers,
+            budget_mw: 31.6,
+        };
         let rx_power = received_power_per_subcarrier(&int, &imp);
         let total: f64 = rx_power.iter().sum();
 
         // Compare with the unprecoded (equal power) interference level.
         let bf_pre = beamform(&int_own, 2);
-        let unp = TxSide { channel: &cross_truth, precoding: &bf_pre, powers: &int_powers, budget_mw: 31.6 };
+        let unp = TxSide {
+            channel: &cross_truth,
+            precoding: &bf_pre,
+            powers: &int_powers,
+            budget_mw: 31.6,
+        };
         let unp_power: f64 = received_power_per_subcarrier(&unp, &Impairments::ideal())
             .iter()
             .sum();
@@ -293,9 +329,18 @@ mod tests {
         // Drop subcarrier 5 entirely.
         powers.powers[0][5] = 0.0;
         powers.powers[1][5] = 0.0;
-        let tx = TxSide { channel: &cross, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let tx = TxSide {
+            channel: &cross,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
 
-        let imp = Impairments { csi_error_db: -300.0, tx_evm_db: -300.0, leakage_db: -27.0 };
+        let imp = Impairments {
+            csi_error_db: -300.0,
+            tx_evm_db: -300.0,
+            leakage_db: -27.0,
+        };
         let with_leak = received_power_per_subcarrier(&tx, &imp);
         assert!(with_leak[5] > 0.0, "dropped subcarrier should still leak");
         let ideal = received_power_per_subcarrier(&tx, &Impairments::ideal());
@@ -325,11 +370,19 @@ mod tests {
         let fake = ch(&mut rng, 2, 4, 1e-6);
         let pre = beamform(&fake, 2);
         let powers = TxPowers::equal(2, 31.6);
-        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let own = TxSide {
+            channel: &truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
         let grid = mmse_sinr_grid(&own, None, NOISE, &Impairments::ideal());
         // Streams mutually interfere: SINR can't exceed ~1/(inter-stream
         // leakage), far below the interference-free level.
         let mean: f64 = grid.iter().flatten().sum::<f64>() / (2.0 * DATA_SUBCARRIERS as f64);
-        assert!(mean < 100.0, "1-antenna rx should choke on 2 streams, mean SINR {mean}");
+        assert!(
+            mean < 100.0,
+            "1-antenna rx should choke on 2 streams, mean SINR {mean}"
+        );
     }
 }

@@ -1,13 +1,17 @@
-//! Property-based tests for precoding and SINR evaluation.
+//! Property-based tests for precoding and SINR evaluation, on the in-repo
+//! [`copa_num::prop`] harness.
 
 use copa_channel::{FreqChannel, Impairments, MultipathProfile};
+use copa_num::prop::check;
 use copa_num::SimRng;
+use copa_num::{prop_assert, prop_assert_eq};
 use copa_phy::ofdm::DATA_SUBCARRIERS;
 use copa_precoding::beamforming::beamform;
 use copa_precoding::nulling::null_toward;
 use copa_precoding::sinr::{mmse_sinr_grid, TxSide};
 use copa_precoding::TxPowers;
-use proptest::prelude::*;
+
+const CASES: usize = 24;
 
 fn channel(seed: u64, rx: usize, tx: usize) -> FreqChannel {
     FreqChannel::random(
@@ -19,11 +23,12 @@ fn channel(seed: u64, rx: usize, tx: usize) -> FreqChannel {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn beamform_columns_always_unit_norm(seed in any::<u64>(), rx in 1usize..3, tx in 1usize..5) {
+#[test]
+fn beamform_columns_always_unit_norm() {
+    check("beamform_columns_always_unit_norm", CASES, |g| {
+        let seed = g.u64();
+        let rx = g.usize_in(1, 3);
+        let tx = g.usize_in(1, 5);
         let streams_max = rx.min(tx);
         let ch = channel(seed, rx, tx);
         for k in 1..=streams_max {
@@ -38,10 +43,14 @@ proptest! {
                 prop_assert!(pre.stream_gains[k - 1][s] >= 0.0);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn nulling_annihilates_with_exact_csi(seed in any::<u64>()) {
+#[test]
+fn nulling_annihilates_with_exact_csi() {
+    check("nulling_annihilates_with_exact_csi", CASES, |g| {
+        let seed = g.u64();
         let own = channel(seed ^ 1, 2, 4);
         let victim = channel(seed ^ 2, 2, 4);
         if let Some(pre) = null_toward(&own, &victim, 2) {
@@ -54,39 +63,73 @@ proptest! {
         } else {
             prop_assert!(false, "4x2 nulling must be feasible");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sinr_grid_is_nonnegative_and_finite(seed in any::<u64>(), budget in 1.0f64..40.0) {
+#[test]
+fn sinr_grid_is_nonnegative_and_finite() {
+    check("sinr_grid_is_nonnegative_and_finite", CASES, |g| {
+        let seed = g.u64();
+        let budget = g.f64_in(1.0, 40.0);
         let truth = channel(seed ^ 3, 2, 4);
         let cross = channel(seed ^ 4, 2, 4);
         let pre = beamform(&truth, 2);
         let int_pre = beamform(&channel(seed ^ 5, 2, 4), 2);
         let powers = TxPowers::equal(2, budget);
-        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: budget };
-        let int = TxSide { channel: &cross, precoding: &int_pre, powers: &powers, budget_mw: budget };
+        let own = TxSide {
+            channel: &truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: budget,
+        };
+        let int = TxSide {
+            channel: &cross,
+            precoding: &int_pre,
+            powers: &powers,
+            budget_mw: budget,
+        };
         let grid = mmse_sinr_grid(&own, Some(&int), 1e-9, &Impairments::default());
         for row in &grid {
             for &v in row {
                 prop_assert!(v.is_finite() && v >= 0.0);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn more_interferer_power_never_helps(seed in any::<u64>()) {
+#[test]
+fn more_interferer_power_never_helps() {
+    check("more_interferer_power_never_helps", CASES, |g| {
+        let seed = g.u64();
         let truth = channel(seed ^ 6, 2, 4);
         let cross = channel(seed ^ 7, 2, 4);
         let pre = beamform(&truth, 2);
         let int_pre = beamform(&channel(seed ^ 8, 2, 4), 2);
         let powers = TxPowers::equal(2, 31.6);
-        let own = TxSide { channel: &truth, precoding: &pre, powers: &powers, budget_mw: 31.6 };
+        let own = TxSide {
+            channel: &truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
         let imp = Impairments::ideal();
 
         let weak_powers = TxPowers::equal(2, 3.16);
         let strong_powers = TxPowers::equal(2, 31.6);
-        let weak = TxSide { channel: &cross, precoding: &int_pre, powers: &weak_powers, budget_mw: 3.16 };
-        let strong = TxSide { channel: &cross, precoding: &int_pre, powers: &strong_powers, budget_mw: 31.6 };
+        let weak = TxSide {
+            channel: &cross,
+            precoding: &int_pre,
+            powers: &weak_powers,
+            budget_mw: 3.16,
+        };
+        let strong = TxSide {
+            channel: &cross,
+            precoding: &int_pre,
+            powers: &strong_powers,
+            budget_mw: 31.6,
+        };
         let g_weak = mmse_sinr_grid(&own, Some(&weak), 1e-9, &imp);
         let g_strong = mmse_sinr_grid(&own, Some(&strong), 1e-9, &imp);
         for s in 0..DATA_SUBCARRIERS {
@@ -97,31 +140,51 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scaling_tx_power_scales_interference_free_sinr(seed in any::<u64>(), factor in 1.1f64..10.0) {
-        let truth = channel(seed ^ 9, 1, 2);
-        let pre = beamform(&truth, 1);
-        let p1 = TxPowers::equal(1, 10.0);
-        let p2 = TxPowers::equal(1, 10.0 * factor);
-        let imp = Impairments::ideal();
-        let g1 = mmse_sinr_grid(
-            &TxSide { channel: &truth, precoding: &pre, powers: &p1, budget_mw: 10.0 },
-            None,
-            1e-9,
-            &imp,
-        );
-        let g2 = mmse_sinr_grid(
-            &TxSide { channel: &truth, precoding: &pre, powers: &p2, budget_mw: 10.0 * factor },
-            None,
-            1e-9,
-            &imp,
-        );
-        for s in 0..DATA_SUBCARRIERS {
-            if g1[0][s] > 1e-12 {
-                prop_assert!((g2[0][s] / g1[0][s] / factor - 1.0).abs() < 1e-6);
+#[test]
+fn scaling_tx_power_scales_interference_free_sinr() {
+    check(
+        "scaling_tx_power_scales_interference_free_sinr",
+        CASES,
+        |g| {
+            let seed = g.u64();
+            let factor = g.f64_in(1.1, 10.0);
+            let truth = channel(seed ^ 9, 1, 2);
+            let pre = beamform(&truth, 1);
+            let p1 = TxPowers::equal(1, 10.0);
+            let p2 = TxPowers::equal(1, 10.0 * factor);
+            let imp = Impairments::ideal();
+            let g1 = mmse_sinr_grid(
+                &TxSide {
+                    channel: &truth,
+                    precoding: &pre,
+                    powers: &p1,
+                    budget_mw: 10.0,
+                },
+                None,
+                1e-9,
+                &imp,
+            );
+            let g2 = mmse_sinr_grid(
+                &TxSide {
+                    channel: &truth,
+                    precoding: &pre,
+                    powers: &p2,
+                    budget_mw: 10.0 * factor,
+                },
+                None,
+                1e-9,
+                &imp,
+            );
+            for s in 0..DATA_SUBCARRIERS {
+                if g1[0][s] > 1e-12 {
+                    prop_assert!((g2[0][s] / g1[0][s] / factor - 1.0).abs() < 1e-6);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -14,6 +14,7 @@
 //! * **CSI aging** -- throughput vs the staleness of the CSI the precoders
 //!   were computed from.
 
+use crate::json::{Obj, ToJson};
 use crate::runner::evaluate_parallel;
 use copa_alloc::stream::{
     allocation_only, equal_power, equi_sinr, mercury_best, selection_only, waterfilling,
@@ -26,10 +27,9 @@ use copa_num::SimRng;
 use copa_phy::link::ThroughputModel;
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::modulation::Modulation;
-use serde::Serialize;
 
 /// One row of the coherence-time ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CoherenceRow {
     /// Coherence time, milliseconds.
     pub coherence_ms: f64,
@@ -52,18 +52,35 @@ pub fn coherence_sweep(
     coherence_ms
         .iter()
         .map(|&ms| {
-            let params = ScenarioParams { coherence_us: ms * 1000.0, ..*base };
+            let params = ScenarioParams {
+                coherence_us: ms * 1000.0,
+                ..*base
+            };
             let evals = evaluate_parallel(&params, suite, threads);
-            let csma = mean(&evals.iter().map(|e| e.csma.aggregate_mbps()).collect::<Vec<_>>());
-            let fair =
-                mean(&evals.iter().map(|e| e.copa_fair.aggregate_mbps()).collect::<Vec<_>>());
-            CoherenceRow { coherence_ms: ms, csma_mbps: csma, copa_fair_mbps: fair, gain: fair / csma }
+            let csma = mean(
+                &evals
+                    .iter()
+                    .map(|e| e.csma.aggregate_mbps())
+                    .collect::<Vec<_>>(),
+            );
+            let fair = mean(
+                &evals
+                    .iter()
+                    .map(|e| e.copa_fair.aggregate_mbps())
+                    .collect::<Vec<_>>(),
+            );
+            CoherenceRow {
+                coherence_ms: ms,
+                csma_mbps: csma,
+                copa_fair_mbps: fair,
+                gain: fair / csma,
+            }
         })
         .collect()
 }
 
 /// One row of the impairment ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ImpairmentRow {
     /// CSI error and TX EVM level (dB, relative).
     pub impairment_db: f64,
@@ -104,9 +121,18 @@ pub fn impairment_sweep(
                     .filter_map(|e| e.vanilla_null.map(|o| o.aggregate_mbps()))
                     .collect::<Vec<_>>(),
             );
-            let fair =
-                mean(&evals.iter().map(|e| e.copa_fair.aggregate_mbps()).collect::<Vec<_>>());
-            let csma = mean(&evals.iter().map(|e| e.csma.aggregate_mbps()).collect::<Vec<_>>());
+            let fair = mean(
+                &evals
+                    .iter()
+                    .map(|e| e.copa_fair.aggregate_mbps())
+                    .collect::<Vec<_>>(),
+            );
+            let csma = mean(
+                &evals
+                    .iter()
+                    .map(|e| e.csma.aggregate_mbps())
+                    .collect::<Vec<_>>(),
+            );
             let conc = evals
                 .iter()
                 .filter(|e| e.copa_fair.strategy.is_concurrent())
@@ -126,7 +152,7 @@ pub fn impairment_sweep(
 /// Mean throughput of each single-stream allocator over random faded
 /// channels (Mbps), in a fixed order:
 /// equal, selection-only, allocation-only, equi-SNR, waterfilling, mercury.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AllocatorComparison {
     /// Allocator names.
     pub names: Vec<&'static str>,
@@ -178,7 +204,7 @@ pub fn allocator_comparison(seed: u64, trials: usize, mean_snr_db: f64) -> Alloc
 }
 
 /// One row of the antenna-correlation ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CorrelationRow {
     /// Exponential antenna correlation coefficient.
     pub rho: f64,
@@ -210,7 +236,12 @@ pub fn correlation_sweep(
             let evals = evaluate_parallel(base, &suite, threads);
             CorrelationRow {
                 rho,
-                csma_mbps: mean(&evals.iter().map(|e| e.csma.aggregate_mbps()).collect::<Vec<_>>()),
+                csma_mbps: mean(
+                    &evals
+                        .iter()
+                        .map(|e| e.csma.aggregate_mbps())
+                        .collect::<Vec<_>>(),
+                ),
                 null_mbps: mean(
                     &evals
                         .iter()
@@ -218,7 +249,10 @@ pub fn correlation_sweep(
                         .collect::<Vec<_>>(),
                 ),
                 copa_fair_mbps: mean(
-                    &evals.iter().map(|e| e.copa_fair.aggregate_mbps()).collect::<Vec<_>>(),
+                    &evals
+                        .iter()
+                        .map(|e| e.copa_fair.aggregate_mbps())
+                        .collect::<Vec<_>>(),
                 ),
             }
         })
@@ -226,7 +260,7 @@ pub fn correlation_sweep(
 }
 
 /// One row of the CSI-aging ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AgingRow {
     /// Gauss-Markov correlation between measured and actual channel.
     pub rho: f64,
@@ -263,7 +297,11 @@ pub fn csi_aging_sweep(suite: &[Topology], base: &ScenarioParams, rhos: &[f64]) 
                 }
                 fairs.push(ev.copa_fair.aggregate_mbps());
             }
-            AgingRow { rho, null_mbps: mean(&nulls), copa_fair_mbps: mean(&fairs) }
+            AgingRow {
+                rho,
+                null_mbps: mean(&nulls),
+                copa_fair_mbps: mean(&fairs),
+            }
         })
         .collect()
 }
@@ -362,13 +400,62 @@ mod tests {
 
     #[test]
     fn aging_degrades_nulling_monotonically() {
-        let rows = csi_aging_sweep(
-            &small_suite(),
-            &ScenarioParams::default(),
-            &[1.0, 0.9, 0.5],
-        );
+        let rows = csi_aging_sweep(&small_suite(), &ScenarioParams::default(), &[1.0, 0.9, 0.5]);
         assert!(rows[0].null_mbps > rows[2].null_mbps, "{rows:?}");
         // COPA keeps a working fallback even with garbage CSI.
         assert!(rows[2].copa_fair_mbps > 0.0);
+    }
+}
+
+impl ToJson for CoherenceRow {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("coherence_ms", &self.coherence_ms)
+            .field("csma_mbps", &self.csma_mbps)
+            .field("copa_fair_mbps", &self.copa_fair_mbps)
+            .field("gain", &self.gain)
+            .finish();
+    }
+}
+
+impl ToJson for ImpairmentRow {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("impairment_db", &self.impairment_db)
+            .field("null_mbps", &self.null_mbps)
+            .field("copa_fair_mbps", &self.copa_fair_mbps)
+            .field("csma_mbps", &self.csma_mbps)
+            .field("concurrency_rate", &self.concurrency_rate)
+            .finish();
+    }
+}
+
+impl ToJson for AllocatorComparison {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("names", &self.names)
+            .field("mean_mbps", &self.mean_mbps)
+            .finish();
+    }
+}
+
+impl ToJson for CorrelationRow {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("rho", &self.rho)
+            .field("csma_mbps", &self.csma_mbps)
+            .field("null_mbps", &self.null_mbps)
+            .field("copa_fair_mbps", &self.copa_fair_mbps)
+            .finish();
+    }
+}
+
+impl ToJson for AgingRow {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("rho", &self.rho)
+            .field("null_mbps", &self.null_mbps)
+            .field("copa_fair_mbps", &self.copa_fair_mbps)
+            .finish();
     }
 }

@@ -8,11 +8,11 @@
 //! throughput each scheme actually delivers, closing the gap between the
 //! coherence-time overhead story (Table 1) and the staleness story.
 
+use crate::json::{Obj, ToJson};
 use copa_channel::{MultipathProfile, Topology};
 use copa_core::{DecoderMode, Engine, PreparedScenario, ScenarioParams};
 use copa_num::rng::SimRng;
 use copa_num::stats::mean;
-use serde::Serialize;
 
 /// Episode parameters.
 #[derive(Clone, Copy, Debug)]
@@ -44,7 +44,7 @@ impl Default for EpisodeConfig {
 }
 
 /// Episode outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EpisodeResult {
     /// Time-averaged COPA-fair aggregate, Mbps.
     pub copa_fair_mbps: f64,
@@ -59,7 +59,11 @@ pub struct EpisodeResult {
 }
 
 /// Runs one episode over an (initially drawn) topology.
-pub fn run_episode(topology: &Topology, params: &ScenarioParams, cfg: &EpisodeConfig) -> EpisodeResult {
+pub fn run_episode(
+    topology: &Topology,
+    params: &ScenarioParams,
+    cfg: &EpisodeConfig,
+) -> EpisodeResult {
     assert!(cfg.cycles > 0 && cfg.coherence_s > 0.0);
     let engine = Engine::new(*params);
     let profile = MultipathProfile::default();
@@ -94,7 +98,9 @@ pub fn run_episode(topology: &Topology, params: &ScenarioParams, cfg: &EpisodeCo
             refreshes += 1;
             let mut measure = |a: usize, c: usize| {
                 let mut child = rng.fork((cycle * 4 + a * 2 + c) as u64);
-                params.impairments.estimate_channel(&mut child, &truth.links[a][c])
+                params
+                    .impairments
+                    .estimate_channel(&mut child, &truth.links[a][c])
             };
             est = Some([
                 [measure(0, 0), measure(0, 1)],
@@ -117,7 +123,11 @@ pub fn run_episode(topology: &Topology, params: &ScenarioParams, cfg: &EpisodeCo
     EpisodeResult {
         copa_fair_mbps: mean(&copa_series),
         csma_mbps: mean(&csma_series),
-        null_mbps: if null_series.is_empty() { None } else { Some(mean(&null_series)) },
+        null_mbps: if null_series.is_empty() {
+            None
+        } else {
+            Some(mean(&null_series))
+        },
         refreshes,
         copa_series,
     }
@@ -136,7 +146,10 @@ mod tests {
 
     #[test]
     fn episode_runs_and_refreshes_on_schedule() {
-        let cfg = EpisodeConfig { cycles: 24, ..Default::default() };
+        let cfg = EpisodeConfig {
+            cycles: 24,
+            ..Default::default()
+        };
         let r = run_episode(&topo(), &ScenarioParams::default(), &cfg);
         assert_eq!(r.copa_series.len(), 24);
         // 24 cycles x 4.4 ms = 105.6 ms; refresh every 30 ms -> 4 refreshes.
@@ -149,8 +162,14 @@ mod tests {
     fn paper_refresh_policy_beats_lazy_refresh() {
         // Refreshing once per coherence time preserves most of the COPA
         // gain; refreshing 10x too rarely costs throughput (stale nulls).
-        let base = EpisodeConfig { cycles: 40, ..Default::default() };
-        let lazy = EpisodeConfig { refresh_interval_s: 0.300, ..base };
+        let base = EpisodeConfig {
+            cycles: 40,
+            ..Default::default()
+        };
+        let lazy = EpisodeConfig {
+            refresh_interval_s: 0.300,
+            ..base
+        };
         let t = topo();
         let params = ScenarioParams::default();
         let fresh = run_episode(&t, &params, &base);
@@ -188,5 +207,17 @@ mod tests {
             assert!((v - first).abs() < first * 0.02, "drift in static episode");
         }
         assert_eq!(r.refreshes, 1);
+    }
+}
+
+impl ToJson for EpisodeResult {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("copa_fair_mbps", &self.copa_fair_mbps)
+            .field("csma_mbps", &self.csma_mbps)
+            .field("null_mbps", &self.null_mbps)
+            .field("refreshes", &self.refreshes)
+            .field("copa_series", &self.copa_series)
+            .finish();
     }
 }

@@ -3,6 +3,7 @@
 //! These regenerate the paper's per-subcarrier and per-topology measurement
 //! figures from the simulated testbed.
 
+use crate::json::{Obj, ToJson};
 use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
 use copa_channel::{AntennaConfig, FreqChannel, MultipathProfile, Topology, TopologySampler};
 use copa_core::{prepare, ScenarioParams};
@@ -15,11 +16,10 @@ use copa_precoding::beamforming::beamform;
 use copa_precoding::nulling::null_toward;
 use copa_precoding::sinr::{active_cells, mmse_sinr_grid, received_power_per_subcarrier, TxSide};
 use copa_precoding::TxPowers;
-use serde::Serialize;
 
 /// Figure 2: received power per subcarrier at two antennas from one send
 /// antenna with equal power allocation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig2 {
     /// Received power at antenna 1, dBm per subcarrier.
     pub ant1_dbm: Vec<f64>,
@@ -41,11 +41,14 @@ pub fn fig2(seed: u64) -> Fig2 {
             .map(|s| mw_to_dbm(ch.at(s)[(r, 0)].norm_sqr() * tx_per_subcarrier_mw))
             .collect()
     };
-    Fig2 { ant1_dbm: power(0), ant2_dbm: power(1) }
+    Fig2 {
+        ant1_dbm: power(0),
+        ant2_dbm: power(1),
+    }
 }
 
 /// Figure 3: end-to-end effect of nulling across a topology suite.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig3 {
     /// Interference reduction at the victim from nulling, dB (positive =
     /// less interference), one value per (topology, client).
@@ -98,7 +101,9 @@ pub fn fig3(suite: &[Topology], params: &ScenarioParams) -> Fig3 {
                     powers: &eq,
                     budget_mw: budget,
                 };
-                received_power_per_subcarrier(&tx, &p.impairments).iter().sum()
+                received_power_per_subcarrier(&tx, &p.impairments)
+                    .iter()
+                    .sum()
             };
             let int_bf = interference(&bf);
             let int_null = interference(&null);
@@ -119,7 +124,9 @@ pub fn fig3(suite: &[Topology], params: &ScenarioParams) -> Fig3 {
                     powers: &eq,
                     budget_mw: budget,
                 };
-                received_power_per_subcarrier(&tx, &p.impairments).iter().sum()
+                received_power_per_subcarrier(&tx, &p.impairments)
+                    .iter()
+                    .sum()
             };
             snr_red.push(lin_to_db(own_power(&own_null) / own_power(&own_bf)));
 
@@ -145,11 +152,15 @@ pub fn fig3(suite: &[Topology], params: &ScenarioParams) -> Fig3 {
             sinr_inc.push(lin_to_db(sinr_null / sinr_bf));
         }
     }
-    Fig3 { inr_reduction_db: inr_red, snr_reduction_db: snr_red, sinr_increase_db: sinr_inc }
+    Fig3 {
+        inr_reduction_db: inr_red,
+        snr_reduction_db: snr_red,
+        sinr_increase_db: sinr_inc,
+    }
 }
 
 /// Figure 4: per-subcarrier SNR / SINR at one client.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4 {
     /// SNR with unconstrained beamforming, AP1 alone, dB.
     pub snr_bf_db: Vec<f64>,
@@ -172,25 +183,26 @@ pub fn fig4(topo: &Topology, params: &ScenarioParams) -> Fig4 {
     let null = null_toward(&prep.est[0][0], &prep.est[0][1], streams).expect("4x2 nulls");
     let peer_null = null_toward(&prep.est[1][1], &prep.est[1][0], streams).expect("4x2 nulls");
 
-    let per_subcarrier = |own_pre, interferer: Option<&copa_precoding::LinkPrecoding>| -> Vec<f64> {
-        let own = TxSide {
-            channel: &topo.links[0][0],
-            precoding: own_pre,
-            powers: &eq,
-            budget_mw: budget,
+    let per_subcarrier =
+        |own_pre, interferer: Option<&copa_precoding::LinkPrecoding>| -> Vec<f64> {
+            let own = TxSide {
+                channel: &topo.links[0][0],
+                precoding: own_pre,
+                powers: &eq,
+                budget_mw: budget,
+            };
+            let int_side = interferer.map(|pre| TxSide {
+                channel: &topo.links[1][0],
+                precoding: pre,
+                powers: &eq,
+                budget_mw: budget,
+            });
+            let grid = mmse_sinr_grid(&own, int_side.as_ref(), noise, &params.impairments);
+            // Average the streams per subcarrier, in dB.
+            (0..DATA_SUBCARRIERS)
+                .map(|s| lin_to_db(grid.iter().map(|row| row[s]).sum::<f64>() / streams as f64))
+                .collect()
         };
-        let int_side = interferer.map(|pre| TxSide {
-            channel: &topo.links[1][0],
-            precoding: pre,
-            powers: &eq,
-            budget_mw: budget,
-        });
-        let grid = mmse_sinr_grid(&own, int_side.as_ref(), noise, &params.impairments);
-        // Average the streams per subcarrier, in dB.
-        (0..DATA_SUBCARRIERS)
-            .map(|s| lin_to_db(grid.iter().map(|row| row[s]).sum::<f64>() / streams as f64))
-            .collect()
-    };
 
     Fig4 {
         snr_bf_db: per_subcarrier(&bf, None),
@@ -201,7 +213,7 @@ pub fn fig4(topo: &Topology, params: &ScenarioParams) -> Fig4 {
 
 /// Figure 7: per-subcarrier uncoded BER with and without COPA's power
 /// allocation, at the same nulling precoder and bitrate.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig7 {
     /// Uncoded BER per subcarrier under COPA's allocation (dropped
     /// subcarriers reported as `None`).
@@ -246,13 +258,19 @@ pub fn fig7(topo: &Topology, params: &ScenarioParams) -> Fig7 {
     };
     let problem = ConcurrentProblem {
         own_gains: [null0.stream_gains.clone(), null1.stream_gains.clone()],
-        cross_gains: [cross(&prep.est[0][1], &null0), cross(&prep.est[1][0], &null1)],
+        cross_gains: [
+            cross(&prep.est[0][1], &null0),
+            cross(&prep.est[1][0], &null1),
+        ],
         noise_mw: noise,
         budgets_mw: [budget, budget],
     };
     let sol = allocate_concurrent(&problem, AllocatorKind::EquiSinr, &[], &model, 1.0);
     let copa_powers = sol.powers;
-    let eq = [TxPowers::equal(streams, budget), TxPowers::equal(streams, budget)];
+    let eq = [
+        TxPowers::equal(streams, budget),
+        TxPowers::equal(streams, budget),
+    ];
 
     let grid_for = |powers: &[TxPowers; 2]| -> Vec<Vec<f64>> {
         let own = TxSide {
@@ -291,8 +309,9 @@ pub fn fig7(topo: &Topology, params: &ScenarioParams) -> Fig7 {
     let ber_nopa: Vec<f64> = (0..DATA_SUBCARRIERS)
         .map(|s| modulation.uncoded_ber(nopa_grid[0][s]))
         .collect();
-    let dropped: Vec<usize> =
-        (0..DATA_SUBCARRIERS).filter(|&s| copa_powers[0].powers[0][s] == 0.0).collect();
+    let dropped: Vec<usize> = (0..DATA_SUBCARRIERS)
+        .filter(|&s| copa_powers[0].powers[0][s] == 0.0)
+        .collect();
 
     Fig7 {
         ber_copa,
@@ -305,7 +324,7 @@ pub fn fig7(topo: &Topology, params: &ScenarioParams) -> Fig7 {
 }
 
 /// Figure 9: the (signal, interference) scatter of a topology suite.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig9 {
     /// One `(signal_dbm, interference_dbm)` point per receiver.
     pub points: Vec<(f64, f64)>,
@@ -360,8 +379,14 @@ mod tests {
         let (snr_mean, _) = Fig3::summary(&f.snr_reduction_db);
         let (sinr_mean, _) = Fig3::summary(&f.sinr_increase_db);
         // Paper: ~27 dB INR reduction, ~-8 dB SNR change, ~+18 dB SINR.
-        assert!(inr_mean > 15.0 && inr_mean < 40.0, "INR reduction {inr_mean:.1} dB");
-        assert!(snr_mean < -1.0 && snr_mean > -20.0, "SNR change {snr_mean:.1} dB");
+        assert!(
+            inr_mean > 15.0 && inr_mean < 40.0,
+            "INR reduction {inr_mean:.1} dB"
+        );
+        assert!(
+            snr_mean < -1.0 && snr_mean > -20.0,
+            "SNR change {snr_mean:.1} dB"
+        );
         assert!(sinr_mean > 5.0, "SINR increase {sinr_mean:.1} dB");
     }
 
@@ -412,5 +437,53 @@ mod tests {
     fn standard_suite_has_30_topologies() {
         let s = standard_suite(AntennaConfig::CONSTRAINED_4X2);
         assert_eq!(s.len(), 30);
+    }
+}
+
+impl ToJson for Fig2 {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("ant1_dbm", &self.ant1_dbm)
+            .field("ant2_dbm", &self.ant2_dbm)
+            .finish();
+    }
+}
+
+impl ToJson for Fig3 {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("inr_reduction_db", &self.inr_reduction_db)
+            .field("snr_reduction_db", &self.snr_reduction_db)
+            .field("sinr_increase_db", &self.sinr_increase_db)
+            .finish();
+    }
+}
+
+impl ToJson for Fig4 {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("snr_bf_db", &self.snr_bf_db)
+            .field("snr_null_db", &self.snr_null_db)
+            .field("sinr_null_db", &self.sinr_null_db)
+            .finish();
+    }
+}
+
+impl ToJson for Fig7 {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("ber_copa", &self.ber_copa)
+            .field("ber_nopa", &self.ber_nopa)
+            .field("dropped", &self.dropped)
+            .field("copa_mbps", &self.copa_mbps)
+            .field("nopa_mbps", &self.nopa_mbps)
+            .field("mcs_index", &self.mcs_index)
+            .finish();
+    }
+}
+
+impl ToJson for Fig9 {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out).field("points", &self.points).finish();
     }
 }

@@ -7,7 +7,9 @@
 //! * [`throughput`] -- the topology-suite CDF experiments (Figures 10-13)
 //!   and the multi-decoder comparison (Figure 14).
 //! * [`report`] -- the paper's headline statistics and text rendering.
-//! * [`runner`] -- parallel suite evaluation over crossbeam scoped threads.
+//! * [`runner`] -- parallel suite evaluation over std scoped threads.
+//! * [`json`] -- the dependency-free JSON writer all reports serialize
+//!   through.
 //! * [`ablations`] -- design-choice sweeps (coherence time, impairments,
 //!   allocator comparison, CSI aging) beyond the paper's own figures.
 //! * [`validation`] -- Monte-Carlo validation of the analytic BER chain
@@ -22,6 +24,7 @@
 pub mod ablations;
 pub mod episode;
 pub mod figures;
+pub mod json;
 pub mod report;
 pub mod reuse;
 pub mod runner;
@@ -34,4 +37,6 @@ pub use ablations::{
 pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
 pub use report::{headline_stats, render_experiment, HeadlineStats};
 pub use runner::{evaluate_parallel, evaluate_serial};
-pub use throughput::{fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment};
+pub use throughput::{
+    fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
+};

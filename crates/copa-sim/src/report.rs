@@ -6,12 +6,12 @@
 //! computes the same statistics from experiment output and renders
 //! human-readable summaries for the bench harness.
 
+use crate::json::{Obj, ToJson};
 use crate::throughput::ThroughputExperiment;
 use copa_num::stats::{fraction_greater, mean_relative_improvement, median_relative_improvement};
-use serde::Serialize;
 
 /// The section 1 headline statistics for a nulling-capable scenario.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct HeadlineStats {
     /// Fraction of topologies where vanilla nulling underperforms CSMA.
     pub null_worse_than_csma: f64,
@@ -80,9 +80,18 @@ mod tests {
         ThroughputExperiment {
             label: "test".into(),
             series: vec![
-                SchemeSeries { name: "CSMA".into(), aggregate_mbps: vec![100.0, 110.0, 120.0, 90.0] },
-                SchemeSeries { name: "Null".into(), aggregate_mbps: vec![80.0, 120.0, 100.0, 70.0] },
-                SchemeSeries { name: "COPA".into(), aggregate_mbps: vec![120.0, 140.0, 130.0, 95.0] },
+                SchemeSeries {
+                    name: "CSMA".into(),
+                    aggregate_mbps: vec![100.0, 110.0, 120.0, 90.0],
+                },
+                SchemeSeries {
+                    name: "Null".into(),
+                    aggregate_mbps: vec![80.0, 120.0, 100.0, 70.0],
+                },
+                SchemeSeries {
+                    name: "COPA".into(),
+                    aggregate_mbps: vec![120.0, 140.0, 130.0, 95.0],
+                },
             ],
         }
     }
@@ -104,5 +113,16 @@ mod tests {
         assert!(text.contains("CSMA"));
         assert!(text.contains("105.0"));
         assert!(text.contains("CDF deciles"));
+    }
+}
+
+impl ToJson for HeadlineStats {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("null_worse_than_csma", &self.null_worse_than_csma)
+            .field("copa_over_null_mean", &self.copa_over_null_mean)
+            .field("copa_over_null_median", &self.copa_over_null_median)
+            .field("copa_beats_csma", &self.copa_beats_csma)
+            .finish();
     }
 }

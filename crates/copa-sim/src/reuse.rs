@@ -9,16 +9,16 @@
 //! exclusively by one AP, or shared -- quantifying how much of COPA's gain
 //! is frequency partitioning vs true spatial reuse.
 
+use crate::json::{Obj, ToJson};
 use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
 use copa_channel::Topology;
 use copa_core::{prepare, ScenarioParams};
 use copa_phy::link::ThroughputModel;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
 use copa_precoding::beamforming::beamform;
-use serde::Serialize;
 
 /// Per-topology subcarrier usage classification of a concurrent solution.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReuseStats {
     /// Subcarriers carrying no power from either AP.
     pub unused: usize,
@@ -74,7 +74,11 @@ pub fn concurrent_reuse(topology: &Topology, params: &ScenarioParams) -> ReuseSt
     };
     let sol = allocate_concurrent(&problem, AllocatorKind::EquiSinr, &[], &model, 1.0);
 
-    let mut stats = ReuseStats { unused: 0, exclusive: 0, shared: 0 };
+    let mut stats = ReuseStats {
+        unused: 0,
+        exclusive: 0,
+        shared: 0,
+    };
     for s in 0..DATA_SUBCARRIERS {
         let a = !sol.powers[0].is_dropped(s);
         let b = !sol.powers[1].is_dropped(s);
@@ -88,7 +92,7 @@ pub fn concurrent_reuse(topology: &Topology, params: &ScenarioParams) -> ReuseSt
 }
 
 /// Aggregates reuse statistics over a suite.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReuseSummary {
     /// Mean fraction of the band used exclusively by one AP.
     pub mean_exclusive: f64,
@@ -107,7 +111,11 @@ pub fn reuse_summary(suite: &[Topology], params: &ScenarioParams) -> ReuseSummar
     ReuseSummary {
         mean_exclusive: stats.iter().map(|s| s.exclusive_fraction()).sum::<f64>() / n,
         mean_shared: stats.iter().map(|s| s.shared_fraction()).sum::<f64>() / n,
-        mean_unused: stats.iter().map(|s| 1.0 - s.exclusive_fraction() - s.shared_fraction()).sum::<f64>() / n,
+        mean_unused: stats
+            .iter()
+            .map(|s| 1.0 - s.exclusive_fraction() - s.shared_fraction())
+            .sum::<f64>()
+            / n,
         topologies_with_sharing: stats.iter().filter(|s| s.shared > 0).count(),
     }
 }
@@ -158,5 +166,26 @@ mod tests {
             "weak interference should let both APs use most subcarriers: {:.2}",
             summary.mean_shared
         );
+    }
+}
+
+impl ToJson for ReuseStats {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("unused", &self.unused)
+            .field("exclusive", &self.exclusive)
+            .field("shared", &self.shared)
+            .finish();
+    }
+}
+
+impl ToJson for ReuseSummary {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("mean_exclusive", &self.mean_exclusive)
+            .field("mean_shared", &self.mean_shared)
+            .field("mean_unused", &self.mean_unused)
+            .field("topologies_with_sharing", &self.topologies_with_sharing)
+            .finish();
     }
 }

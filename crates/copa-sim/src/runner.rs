@@ -2,7 +2,7 @@
 //!
 //! Every CDF in the paper is "across topologies", so the basic operation is
 //! mapping the strategy engine over a suite. Evaluations are independent;
-//! crossbeam scoped threads fan them out across cores.
+//! std scoped threads fan them out across cores.
 
 use copa_channel::Topology;
 use copa_core::{Engine, Evaluation, ScenarioParams};
@@ -19,24 +19,29 @@ pub fn evaluate_parallel(
     let n = suite.len();
     let mut results: Vec<Option<Evaluation>> = (0..n).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunk = n.div_ceil(threads);
         for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
             let start = t * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
                     let idx = start + off;
                     let mut p = *params;
-                    p.seed = params.seed.wrapping_add(idx as u64).wrapping_mul(0x9E37_79B9);
+                    p.seed = params
+                        .seed
+                        .wrapping_add(idx as u64)
+                        .wrapping_mul(0x9E37_79B9);
                     let engine = Engine::new(p);
                     *slot = Some(engine.evaluate(&suite[idx]));
                 }
             });
         }
-    })
-    .expect("evaluation threads should not panic");
+    });
 
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Sequential fallback used by tests and tiny suites.

@@ -4,14 +4,14 @@
 //! and reports, per scheme, the aggregate throughput distribution -- the
 //! CDFs of the paper's evaluation section.
 
+use crate::json::{Obj, ToJson};
 use crate::runner::evaluate_parallel;
 use copa_channel::{AntennaConfig, Topology};
 use copa_core::{DecoderMode, Engine, Evaluation, ScenarioParams};
 use copa_num::stats::{mean, EmpiricalCdf};
-use serde::Serialize;
 
 /// One scheme's throughput samples across a suite.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SchemeSeries {
     /// Display name, matching the paper's legends.
     pub name: String,
@@ -32,7 +32,7 @@ impl SchemeSeries {
 }
 
 /// A complete throughput-CDF experiment (one of Figures 10-13).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputExperiment {
     /// Figure label, e.g. "Figure 11 (4x2 constrained)".
     pub label: String,
@@ -47,7 +47,12 @@ impl ThroughputExperiment {
     }
 }
 
-fn collect(label: &str, evals: &[Evaluation], include_mercury: bool, nulling: bool) -> ThroughputExperiment {
+fn collect(
+    label: &str,
+    evals: &[Evaluation],
+    include_mercury: bool,
+    nulling: bool,
+) -> ThroughputExperiment {
     let grab = |f: &dyn Fn(&Evaluation) -> Option<f64>| -> Vec<f64> {
         evals.iter().filter_map(f).collect()
     };
@@ -85,7 +90,10 @@ fn collect(label: &str, evals: &[Evaluation], include_mercury: bool, nulling: bo
             aggregate_mbps: grab(&|e| e.copa_plus.map(|o| o.aggregate_mbps())),
         });
     }
-    ThroughputExperiment { label: label.into(), series }
+    ThroughputExperiment {
+        label: label.into(),
+        series,
+    }
 }
 
 /// Shared driver: evaluate a suite and package the paper's scheme series.
@@ -115,8 +123,16 @@ pub fn fig11(suite: &[Topology], params: &ScenarioParams, threads: usize) -> Thr
 
 /// Figure 12: the Figure 11 channels with interference 10 dB weaker.
 pub fn fig12(suite: &[Topology], params: &ScenarioParams, threads: usize) -> ThroughputExperiment {
-    let weakened: Vec<Topology> = suite.iter().map(|t| t.with_weaker_interference(10.0)).collect();
-    run_cdf_experiment("Figure 12 (4x2, interference -10 dB)", &weakened, params, threads)
+    let weakened: Vec<Topology> = suite
+        .iter()
+        .map(|t| t.with_weaker_interference(10.0))
+        .collect();
+    run_cdf_experiment(
+        "Figure 12 (4x2, interference -10 dB)",
+        &weakened,
+        params,
+        threads,
+    )
 }
 
 /// Figure 13: two three-antenna APs, two two-antenna clients
@@ -127,7 +143,7 @@ pub fn fig13(suite: &[Topology], params: &ScenarioParams, threads: usize) -> Thr
 
 /// Figure 14: potential improvement from per-subcarrier rate selection
 /// ("multiple decoders", section 4.6), relative to single-decoder CSMA.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig14Scenario {
     /// Scenario label ("1x1", "4x2", "3x2").
     pub scenario: String,
@@ -137,11 +153,7 @@ pub struct Fig14Scenario {
 }
 
 /// Runs the Figure 14 comparison for one antenna configuration.
-pub fn fig14_scenario(
-    label: &str,
-    suite: &[Topology],
-    params: &ScenarioParams,
-) -> Fig14Scenario {
+pub fn fig14_scenario(label: &str, suite: &[Topology], params: &ScenarioParams) -> Fig14Scenario {
     // Sequential, single-threaded: each evaluation runs in both decoder
     // modes with matched seeds.
     let mut csma_1 = Vec::new();
@@ -152,7 +164,10 @@ pub fn fig14_scenario(
     let mut copa_n = Vec::new();
     for (idx, topo) in suite.iter().enumerate() {
         let mut p = *params;
-        p.seed = params.seed.wrapping_add(idx as u64).wrapping_mul(0x9E37_79B9);
+        p.seed = params
+            .seed
+            .wrapping_add(idx as u64)
+            .wrapping_mul(0x9E37_79B9);
         let engine = Engine::new(p);
         let single = engine.evaluate_mode(topo, DecoderMode::Single);
         let multi = engine.evaluate_mode(topo, DecoderMode::PerSubcarrier);
@@ -167,7 +182,13 @@ pub fn fig14_scenario(
     let pct = |v: &[f64]| (mean(v) / base - 1.0) * 100.0;
     Fig14Scenario {
         scenario: label.into(),
-        improvement_pct: [pct(&csma_n), pct(&fair_1), pct(&copa_1), pct(&fair_n), pct(&copa_n)],
+        improvement_pct: [
+            pct(&csma_n),
+            pct(&fair_1),
+            pct(&copa_1),
+            pct(&fair_n),
+            pct(&copa_n),
+        ],
     }
 }
 
@@ -209,7 +230,10 @@ mod tests {
             "weaker interference should help vanilla nulling: {null_weak:.1} vs {null_strong:.1}"
         );
         let copa_weak = weak.series("COPA").unwrap().mean_mbps();
-        assert!(copa_weak >= null_weak, "COPA still wins under weak interference");
+        assert!(
+            copa_weak >= null_weak,
+            "COPA still wins under weak interference"
+        );
     }
 
     #[test]
@@ -234,5 +258,32 @@ mod tests {
             "multi-decoder CSMA should not lose: {:.1}%",
             f.improvement_pct[0]
         );
+    }
+}
+
+impl ToJson for SchemeSeries {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("name", &self.name)
+            .field("aggregate_mbps", &self.aggregate_mbps)
+            .finish();
+    }
+}
+
+impl ToJson for ThroughputExperiment {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("label", &self.label)
+            .field("series", &self.series)
+            .finish();
+    }
+}
+
+impl ToJson for Fig14Scenario {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("scenario", &self.scenario)
+            .field("improvement_pct", &self.improvement_pct)
+            .finish();
     }
 }

@@ -7,6 +7,7 @@
 //! measured error rates against the analytic chain, so the reproduction's
 //! prediction machinery is itself verified end to end.
 
+use crate::json::{Obj, ToJson};
 use copa_channel::{FreqChannel, MultipathProfile};
 use copa_num::complex::C64;
 use copa_num::rng::SimRng;
@@ -17,10 +18,9 @@ use copa_phy::mapper::Mapper;
 use copa_phy::mcs::Mcs;
 use copa_phy::modulation::Modulation;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
-use serde::Serialize;
 
 /// One uncoded-BER validation point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct UncodedPoint {
     /// Constellation.
     pub modulation: String,
@@ -71,7 +71,7 @@ pub fn validate_uncoded_ber(
 }
 
 /// One coded-chain validation point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CodedPoint {
     /// MCS description.
     pub mcs: String,
@@ -115,12 +115,17 @@ pub fn validate_coded_chain(
         let sinrs: Vec<f64> = h.iter().map(|hk| hk.norm_sqr() / noise).collect();
 
         // Analytic prediction for this channel realization.
-        let raw: f64 =
-            sinrs.iter().map(|&g| mcs.modulation.uncoded_ber(g)).sum::<f64>() / sinrs.len() as f64;
+        let raw: f64 = sinrs
+            .iter()
+            .map(|&g| mcs.modulation.uncoded_ber(g))
+            .sum::<f64>()
+            / sinrs.len() as f64;
         analytic_sum += coded_ber(raw, mcs.rate);
 
         // Bit-true transmission.
-        let payload: Vec<u8> = (0..payload_len).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let payload: Vec<u8> = (0..payload_len)
+            .map(|_| (rng.next_u64() & 1) as u8)
+            .collect();
         let tx = chain.transmit(&payload);
         let rx: Vec<Vec<C64>> = tx
             .symbols
@@ -189,7 +194,10 @@ mod tests {
         // Pick an operating point with measurable errors: QPSK 1/2 around
         // 4 dB mean SNR on faded channels.
         let point = validate_coded_chain(Mcs::TABLE[1], 4.0, 60, 4, 0xC0DE);
-        assert!(point.simulated_ber > 0.0, "need errors to compare: {point:?}");
+        assert!(
+            point.simulated_ber > 0.0,
+            "need errors to compare: {point:?}"
+        );
         // The union bound is an upper bound on average, and the analytic
         // chain ignores frequency-selective interleaving detail; require
         // order-of-magnitude agreement.
@@ -207,5 +215,28 @@ mod tests {
         let point = validate_coded_chain(Mcs::TABLE[0], 25.0, 20, 4, 0xC1EA);
         assert_eq!(point.simulated_fer, 0.0, "{point:?}");
         assert_eq!(point.simulated_ber, 0.0);
+    }
+}
+
+impl ToJson for UncodedPoint {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("modulation", &self.modulation)
+            .field("snr_db", &self.snr_db)
+            .field("analytic", &self.analytic)
+            .field("simulated", &self.simulated)
+            .finish();
+    }
+}
+
+impl ToJson for CodedPoint {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("mcs", &self.mcs)
+            .field("mean_snr_db", &self.mean_snr_db)
+            .field("analytic_ber", &self.analytic_ber)
+            .field("simulated_ber", &self.simulated_ber)
+            .field("simulated_fer", &self.simulated_fer)
+            .finish();
     }
 }

@@ -24,7 +24,9 @@ fn main() {
     let mcs = Mcs::TABLE[4]; // 16-QAM 3/4
     let chain = Chain::new(mcs);
     let mut rng = SimRng::seed_from(0xB17);
-    let payload: Vec<u8> = (0..chain.payload_capacity(8)).map(|_| (rng.next_u64() & 1) as u8).collect();
+    let payload: Vec<u8> = (0..chain.payload_capacity(8))
+        .map(|_| (rng.next_u64() & 1) as u8)
+        .collect();
 
     println!("Transmitting {} payload bits at {mcs}", payload.len());
     let frame = chain.transmit(&payload);
@@ -36,7 +38,13 @@ fn main() {
 
     // A frequency-selective channel at 18 dB mean SNR.
     let snr_db = 18.0;
-    let ch = FreqChannel::random(&mut rng, 1, 1, db_to_lin(snr_db), &MultipathProfile::default());
+    let ch = FreqChannel::random(
+        &mut rng,
+        1,
+        1,
+        db_to_lin(snr_db),
+        &MultipathProfile::default(),
+    );
     let received: Vec<Vec<_>> = frame
         .symbols
         .iter()
@@ -70,8 +78,15 @@ fn main() {
 
     // Monte-Carlo comparison at a stressed operating point.
     println!("\nMonte-Carlo (40 frames per point, fresh channel each):");
-    println!("{:<28} {:>7} {:>13} {:>13} {:>8}", "mcs", "SNR dB", "analytic BER", "sim BER", "sim FER");
-    for (m, snr) in [(Mcs::TABLE[1], 6.0), (Mcs::TABLE[4], 14.0), (Mcs::TABLE[7], 24.0)] {
+    println!(
+        "{:<28} {:>7} {:>13} {:>13} {:>8}",
+        "mcs", "SNR dB", "analytic BER", "sim BER", "sim FER"
+    );
+    for (m, snr) in [
+        (Mcs::TABLE[1], 6.0),
+        (Mcs::TABLE[4], 14.0),
+        (Mcs::TABLE[7], 24.0),
+    ] {
         let p = validate_coded_chain(m, snr, 40, 4, 0xE0);
         println!(
             "{:<28} {:>7.1} {:>13.2e} {:>13.2e} {:>8.2}",

@@ -21,8 +21,14 @@ fn main() {
             fairness_tweak: false,
             rounds: 100_000,
         };
-        let tweaked = DcfConfig { fairness_tweak: true, ..base };
-        let legacy = DcfConfig { copa_pair: None, ..base };
+        let tweaked = DcfConfig {
+            fairness_tweak: true,
+            ..base
+        };
+        let legacy = DcfConfig {
+            copa_pair: None,
+            ..base
+        };
 
         let out_legacy = simulate(&legacy, 1);
         let out_base = simulate(&base, 1);

@@ -30,11 +30,16 @@ fn main() {
 
     // A full exchange, AP1 leading.
     let coordinator = Coordinator::new(Engine::new(ScenarioParams::default()));
-    let trace = coordinator.run_exchange(&topology, 0).expect("clean channel");
+    let trace = coordinator
+        .run_exchange(&topology, 0)
+        .expect("clean channel");
 
     println!("\nITS exchange (AP1 leads):");
     for f in &trace.frames {
-        println!("  {:<9} {:>5} bytes  {:>6.1} us on air", f.name, f.wire_bytes, f.airtime_us);
+        println!(
+            "  {:<9} {:>5} bytes  {:>6.1} us on air",
+            f.name, f.wire_bytes, f.airtime_us
+        );
     }
     println!(
         "  total control airtime {:.1} us (vs the 4000 us data TXOP it buys)",

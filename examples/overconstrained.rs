@@ -18,9 +18,18 @@ use copa::precoding::nulling_dof;
 
 fn main() {
     println!("Degrees-of-freedom arithmetic (tx antennas - victim antennas):");
-    println!("  4x2: {} spare -> two nulled streams OK (constrained case)", nulling_dof(4, 2));
-    println!("  3x2: {} spare -> two nulled streams impossible", nulling_dof(3, 2));
-    println!("  3x1 (after SDA): {} spare -> two nulled streams OK again", nulling_dof(3, 1));
+    println!(
+        "  4x2: {} spare -> two nulled streams OK (constrained case)",
+        nulling_dof(4, 2)
+    );
+    println!(
+        "  3x2: {} spare -> two nulled streams impossible",
+        nulling_dof(3, 2)
+    );
+    println!(
+        "  3x1 (after SDA): {} spare -> two nulled streams OK again",
+        nulling_dof(3, 1)
+    );
 
     let suite = TopologySampler::default().suite(0x3B2, 15, AntennaConfig::OVERCONSTRAINED_3X2);
     let engine = Engine::new(ScenarioParams::default());
@@ -45,10 +54,16 @@ fn main() {
 
     println!("\nAcross {} 3x2 topologies (aggregate Mbps):", suite.len());
     println!("  CSMA      {:>6.1}", mean(&csma));
-    println!("  Null+SDA  {:>6.1}   (vanilla nulling with shut-down antenna)", mean(&null_sda));
+    println!(
+        "  Null+SDA  {:>6.1}   (vanilla nulling with shut-down antenna)",
+        mean(&null_sda)
+    );
     println!("  COPA fair {:>6.1}", mean(&copa_fair));
     println!("  COPA      {:>6.1}", mean(&copa));
-    println!("  concurrent nulling chosen in {concurrent}/{} topologies", suite.len());
+    println!(
+        "  concurrent nulling chosen in {concurrent}/{} topologies",
+        suite.len()
+    );
     println!(
         "\nNote the paper's observation: Null+SDA alone does not reach CSMA, but\n\
          COPA's power allocation on top of SDA makes concurrency worthwhile.\n\

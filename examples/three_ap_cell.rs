@@ -38,7 +38,12 @@ fn main() {
         let leader = r % 3;
         match a {
             RoundAction::Paired { follower, strategy } => {
-                println!("  round {r:>2}: AP{} pairs with AP{} using {}", leader + 1, follower + 1, strategy)
+                println!(
+                    "  round {r:>2}: AP{} pairs with AP{} using {}",
+                    leader + 1,
+                    follower + 1,
+                    strategy
+                )
             }
             RoundAction::Solo => println!("  round {r:>2}: AP{} transmits solo", leader + 1),
         }
@@ -51,7 +56,12 @@ fn main() {
         .zip(&out.csma_baseline_mbps)
         .enumerate()
     {
-        println!("  client {}: COPA cell {:>6.1}   CSMA 1/3-share {:>6.1}", i + 1, copa, csma);
+        println!(
+            "  client {}: COPA cell {:>6.1}   CSMA 1/3-share {:>6.1}",
+            i + 1,
+            copa,
+            csma
+        );
     }
     println!(
         "  aggregate: COPA cell {:.1} vs CSMA {:.1} ({:+.0}%), Jain fairness {:.3}",

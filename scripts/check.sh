@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the COPA workspace.
+#
+# The workspace is hermetic: every dependency is a `path = ...` crate
+# inside this repo, so the whole gate runs with `--offline` and must
+# succeed on a machine with no crates.io access at all. This script is
+# what CI (and the PR driver) runs; keep it green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> 1/4 hermeticity: no registry dependencies in any Cargo.toml"
+bad=0
+while IFS= read -r toml; do
+    # Reject dotted dependency tables ([dependencies.foo]) outright --
+    # the workspace convention is inline `foo = { path = "..." }`.
+    if grep -nE '^\[(dev-|build-)?dependencies\.' "$toml"; then
+        echo "error: $toml uses a dotted dependency table (use inline path deps)" >&2
+        bad=1
+    fi
+    # Inside [dependencies]/[dev-dependencies]/[build-dependencies]
+    # sections, every entry must carry `path` or `workspace = true`
+    # (and [workspace.dependencies] entries must carry `path`).
+    if ! awk -v toml="$toml" '
+        /^\[/ {
+            dep = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
+            next
+        }
+        dep && NF && $0 !~ /^[[:space:]]*#/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/) {
+                printf "error: %s:%d: non-path dependency: %s\n", toml, NR, $0 > "/dev/stderr"
+                exit 1
+            }
+        }
+    ' "$toml"; then
+        bad=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+if [ "$bad" -ne 0 ]; then
+    echo "hermeticity check FAILED: external dependencies are not allowed" >&2
+    exit 1
+fi
+echo "    ok: all dependencies are in-repo path deps"
+
+echo "==> 2/4 cargo fmt --check"
+cargo fmt --check
+
+echo "==> 3/4 cargo build --release --offline (workspace, benches included)"
+cargo build --release --offline --workspace --benches
+
+echo "==> 4/4 cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> all checks passed"

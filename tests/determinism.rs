@@ -1,0 +1,91 @@
+//! Determinism regression: the whole evaluation pipeline must be a pure
+//! function of (topology suite, seed). Two runs -- and a multi-threaded
+//! run vs a single-threaded one -- must agree to the last bit, or CDFs
+//! stop being reproducible across machines and thread counts.
+
+use copa::channel::{AntennaConfig, TopologySampler};
+use copa::core::{Engine, Evaluation, ScenarioParams};
+use copa::sim::{evaluate_parallel, evaluate_serial};
+
+/// Byte-exact fingerprint of an evaluation: every outcome's strategy and
+/// the raw bits of every throughput number (`Evaluation` has no `Eq`;
+/// float bits are the strictest possible comparison).
+fn fingerprint(e: &Evaluation) -> String {
+    let mut s = String::new();
+    let mut push = |o: &copa::core::Outcome| {
+        s.push_str(&format!(
+            "{:?}:{:016x}:{:016x};",
+            o.strategy,
+            o.per_client_bps[0].to_bits(),
+            o.per_client_bps[1].to_bits()
+        ));
+    };
+    for o in &e.outcomes {
+        push(o);
+    }
+    push(&e.csma);
+    push(&e.copa_seq);
+    push(&e.copa);
+    push(&e.copa_fair);
+    if let Some(o) = &e.vanilla_null {
+        push(o);
+    }
+    if let Some(o) = &e.copa_plus {
+        push(o);
+    }
+    if let Some(o) = &e.copa_plus_fair {
+        push(o);
+    }
+    s
+}
+
+#[test]
+fn engine_evaluate_is_byte_identical_across_runs() {
+    let suite = TopologySampler::default().suite(0xDE7, 6, AntennaConfig::CONSTRAINED_4X2);
+    let params = ScenarioParams::default();
+    for t in &suite {
+        let a = Engine::new(params).evaluate(t);
+        let b = Engine::new(params).evaluate(t);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "same engine params, same topology"
+        );
+    }
+}
+
+#[test]
+fn runner_thread_count_does_not_change_results() {
+    let suite = TopologySampler::default().suite(0xDE8, 6, AntennaConfig::SINGLE);
+    let params = ScenarioParams::default();
+    let serial = evaluate_serial(&params, &suite);
+    let parallel = evaluate_parallel(&params, &suite, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "topology {i}: serial and 4-thread runs must be byte-identical"
+        );
+    }
+    // And an odd thread count that does not divide the suite evenly.
+    let three = evaluate_parallel(&params, &suite, 3);
+    for (a, b) in serial.iter().zip(&three) {
+        assert_eq!(fingerprint(a), fingerprint(b));
+    }
+}
+
+#[test]
+fn mercury_variants_are_deterministic_too() {
+    let suite = TopologySampler::default().suite(0xDE9, 2, AntennaConfig::SINGLE);
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
+    let a = evaluate_serial(&params, &suite);
+    let b = evaluate_parallel(&params, &suite, 2);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(fingerprint(x), fingerprint(y));
+        assert!(x.copa_plus.is_some(), "mercury outcomes requested");
+    }
+}

@@ -55,7 +55,10 @@ fn copa_never_loses_to_its_own_fallback() {
 #[test]
 fn fairness_constraint_is_enforced_everywhere() {
     let e = engine();
-    for cfg in [AntennaConfig::CONSTRAINED_4X2, AntennaConfig::OVERCONSTRAINED_3X2] {
+    for cfg in [
+        AntennaConfig::CONSTRAINED_4X2,
+        AntennaConfig::OVERCONSTRAINED_3X2,
+    ] {
         for t in suite(cfg, 8, 4) {
             let ev = e.evaluate(&t);
             assert!(
@@ -122,7 +125,10 @@ fn ideal_radios_make_nulling_shine() {
         null_sum >= csma_sum,
         "on average, ideal nulling should beat CSMA: {null_sum:.0} vs {csma_sum:.0}"
     );
-    assert!(concurrent >= 6, "ideal radios: expected mostly concurrent picks, got {concurrent}/8");
+    assert!(
+        concurrent >= 6,
+        "ideal radios: expected mostly concurrent picks, got {concurrent}/8"
+    );
 }
 
 #[test]
@@ -131,7 +137,11 @@ fn impairments_degrade_nulling_monotonically() {
     let mut prev = f64::INFINITY;
     for csi_db in [-300.0, -30.0, -20.0] {
         let params = ScenarioParams {
-            impairments: Impairments { csi_error_db: csi_db, tx_evm_db: csi_db, leakage_db: -27.0 },
+            impairments: Impairments {
+                csi_error_db: csi_db,
+                tx_evm_db: csi_db,
+                leakage_db: -27.0,
+            },
             ..Default::default()
         };
         let ev = Engine::new(params).evaluate(&topo);
@@ -170,7 +180,10 @@ fn weak_interference_increases_concurrency_rate() {
         topos
             .iter()
             .filter(|t| {
-                e.evaluate(&t.with_weaker_interference(delta)).copa.strategy.is_concurrent()
+                e.evaluate(&t.with_weaker_interference(delta))
+                    .copa
+                    .strategy
+                    .is_concurrent()
             })
             .count()
     };
@@ -180,7 +193,10 @@ fn weak_interference_increases_concurrency_rate() {
         weak >= strong,
         "weaker interference should not reduce concurrency: {weak} vs {strong}"
     );
-    assert!(weak >= 7, "with -15 dB interference concurrency should dominate: {weak}/10");
+    assert!(
+        weak >= 7,
+        "with -15 dB interference concurrency should dominate: {weak}/10"
+    );
 }
 
 #[test]

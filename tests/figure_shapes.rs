@@ -16,7 +16,10 @@ const THREADS: usize = 4;
 
 #[test]
 fn fig3_nulling_bands() {
-    let f = fig3(&suite(AntennaConfig::CONSTRAINED_4X2, N), &ScenarioParams::default());
+    let f = fig3(
+        &suite(AntennaConfig::CONSTRAINED_4X2, N),
+        &ScenarioParams::default(),
+    );
     let (inr, _) = Fig3::summary(&f.inr_reduction_db);
     let (snr, _) = Fig3::summary(&f.snr_reduction_db);
     let (sinr, _) = Fig3::summary(&f.sinr_increase_db);
@@ -38,9 +41,15 @@ fn fig4_variance_story() {
         if std_dev(&f.sinr_null_db) > std_dev(&f.snr_bf_db) {
             increased += 1;
         }
-        assert!(mean(&f.snr_null_db) < mean(&f.snr_bf_db), "nulling must cost SNR");
+        assert!(
+            mean(&f.snr_null_db) < mean(&f.snr_bf_db),
+            "nulling must cost SNR"
+        );
     }
-    assert!(increased >= 3, "variance should rise in most topologies: {increased}/4");
+    assert!(
+        increased >= 3,
+        "variance should rise in most topologies: {increased}/4"
+    );
 }
 
 #[test]
@@ -48,16 +57,26 @@ fn fig9_envelope() {
     let f = fig9(&suite(AntennaConfig::CONSTRAINED_4X2, 30));
     let frac_signal_stronger =
         f.points.iter().filter(|(s, i)| s > i).count() as f64 / f.points.len() as f64;
-    assert!(frac_signal_stronger > 0.75, "Figure 9: signal usually dominates");
+    assert!(
+        frac_signal_stronger > 0.75,
+        "Figure 9: signal usually dominates"
+    );
     for (s, i) in &f.points {
         assert!((-90.0..-25.0).contains(s), "signal {s} outside envelope");
-        assert!((-100.0..-20.0).contains(i), "interference {i} outside envelope");
+        assert!(
+            (-100.0..-20.0).contains(i),
+            "interference {i} outside envelope"
+        );
     }
 }
 
 #[test]
 fn fig10_shape() {
-    let exp = fig10(&suite(AntennaConfig::SINGLE, N), &ScenarioParams::default(), THREADS);
+    let exp = fig10(
+        &suite(AntennaConfig::SINGLE, N),
+        &ScenarioParams::default(),
+        THREADS,
+    );
     let csma = exp.series("CSMA").unwrap().mean_mbps();
     let seq = exp.series("COPA-SEQ").unwrap().mean_mbps();
     let fair = exp.series("COPA fair").unwrap().mean_mbps();
@@ -80,7 +99,10 @@ fn fig11_shape_and_headlines() {
     let fair = exp.series("COPA fair").unwrap().mean_mbps();
     let copa = exp.series("COPA").unwrap().mean_mbps();
     // Paper shape: Null < CSMA < COPA fair <= COPA.
-    assert!(null < csma, "vanilla nulling should underperform CSMA on average");
+    assert!(
+        null < csma,
+        "vanilla nulling should underperform CSMA on average"
+    );
     assert!(fair > csma, "COPA fair should beat CSMA");
     assert!(copa >= fair - 0.1);
 
@@ -109,11 +131,17 @@ fn fig12_crossover() {
     let null_strong = strong.series("Null").unwrap().mean_mbps();
     let null_weak = weak.series("Null").unwrap().mean_mbps();
     let csma = weak.series("CSMA").unwrap().mean_mbps();
-    assert!(null_weak > null_strong, "weaker interference must help nulling");
+    assert!(
+        null_weak > null_strong,
+        "weaker interference must help nulling"
+    );
     assert!(null_weak > csma * 0.95, "nulling should become competitive");
     let copa_weak = weak.series("COPA").unwrap().mean_mbps();
     let copa_strong = strong.series("COPA").unwrap().mean_mbps();
-    assert!(copa_weak > copa_strong, "COPA benefits from weak interference too");
+    assert!(
+        copa_weak > copa_strong,
+        "COPA benefits from weak interference too"
+    );
 }
 
 #[test]
@@ -128,8 +156,14 @@ fn fig13_overconstrained_shape() {
     let fair = exp.series("COPA fair").unwrap().mean_mbps();
     let copa = exp.series("COPA").unwrap().mean_mbps();
     // Paper: Null+SDA alone doesn't come close to CSMA; COPA beats CSMA.
-    assert!(null_sda < csma, "Null+SDA {null_sda:.1} should trail CSMA {csma:.1}");
-    assert!(copa >= csma, "COPA {copa:.1} should be at least CSMA {csma:.1}");
+    assert!(
+        null_sda < csma,
+        "Null+SDA {null_sda:.1} should trail CSMA {csma:.1}"
+    );
+    assert!(
+        copa >= csma,
+        "COPA {copa:.1} should be at least CSMA {csma:.1}"
+    );
     assert!(fair <= copa + 0.1);
 }
 
@@ -137,7 +171,10 @@ fn fig13_overconstrained_shape() {
 fn copa_plus_dominates_on_average() {
     // COPA+ (mercury) has a strictly larger menu, so its average aggregate
     // must not trail COPA's.
-    let params = ScenarioParams { include_mercury: true, ..Default::default() };
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
     let s = suite(AntennaConfig::SINGLE, 6);
     let exp = fig10(&s, &params, THREADS);
     let copa = exp.series("COPA").unwrap().mean_mbps();

@@ -101,8 +101,7 @@ fn stale_csi_hurts_nulling() {
     let mut aged = p.clone();
     for a in 0..2 {
         for c in 0..2 {
-            aged.topology.links[a][c] =
-                aged.topology.links[a][c].evolve(&mut rng, 0.5, &profile);
+            aged.topology.links[a][c] = aged.topology.links[a][c].evolve(&mut rng, 0.5, &profile);
         }
     }
     let stale = engine.evaluate_prepared(&aged, DecoderMode::Single);
@@ -143,7 +142,11 @@ fn every_corrupted_exchange_frame_is_caught() {
     let params = ScenarioParams::default();
     let p = prepare(&topo, &params);
     let frames = vec![
-        ItsFrame::Init { leader: Addr::from_id(1), client: Addr::from_id(11), airtime_us: 4210 },
+        ItsFrame::Init {
+            leader: Addr::from_id(1),
+            client: Addr::from_id(11),
+            airtime_us: 4210,
+        },
         ItsFrame::Req {
             leader: Addr::from_id(1),
             follower: Addr::from_id(2),
