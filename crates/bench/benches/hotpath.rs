@@ -1,0 +1,181 @@
+//! Hot-path benchmark: per-subcarrier kernel cost, allocations per
+//! evaluation, and whole-suite throughput through the parallel runner.
+//!
+//! Every figure in the paper is a CDF over topology suites, so wall-clock
+//! is dominated by the kernel chain (nullspace projection -> SVD
+//! beamforming -> MMSE SINR -> rate) repeated 52 subcarriers x strategies
+//! x topologies. This bench pins that cost down with three views:
+//!
+//! 1. kernel timings (`svd_*`, `sinr_grid_*`) -- the per-subcarrier chain;
+//! 2. engine timings (`evaluate_*`) -- one full topology evaluation;
+//! 3. runner throughput (`suite_*`) -- a heterogeneous suite through
+//!    `evaluate_parallel`, reported as topologies/second.
+//!
+//! A counting global allocator additionally reports **allocations per
+//! evaluation** as `{"type":"alloc",...}` JSON lines, so the
+//! allocation-free-hot-path guarantee is a measured number, not a claim.
+//! All JSON lines use the in-repo harness format; `scripts/check.sh
+//! --bench-smoke` captures them into `BENCH_hotpath.json` to build a
+//! trajectory across PRs.
+
+use copa_bench::harness::{black_box, Criterion};
+use copa_channel::{AntennaConfig, MultipathProfile, TopologySampler};
+use copa_core::{Engine, EngineWorkspace, ScenarioParams};
+use copa_num::{svd, CMat, SimRng};
+use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
+use copa_sim::evaluate_parallel;
+use copa_sim::json::{Obj, ToJson};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global allocator wrapper that counts every heap allocation, so the
+/// bench can report allocations-per-evaluation alongside wall time.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    f();
+    ALLOC_COUNT.load(Ordering::Relaxed) - before
+}
+
+/// One `{"type":"alloc",...}` JSON line (same spirit as the bench lines).
+struct AllocReport {
+    name: String,
+    allocs: u64,
+}
+
+impl ToJson for AllocReport {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("type", &"alloc")
+            .field("name", &self.name)
+            .field("allocs", &self.allocs)
+            .finish();
+    }
+}
+
+fn report_allocs(name: &str, allocs: u64) {
+    let r = AllocReport {
+        name: name.to_string(),
+        allocs,
+    };
+    println!("alloc {:<32} {:>10} allocations", r.name, r.allocs);
+    println!("{}", r.to_json());
+}
+
+/// A deliberately heterogeneous suite: mixed antenna configs so topology
+/// costs differ and a static chunking of the suite would idle workers.
+fn mixed_suite(per_config: usize) -> Vec<copa_channel::Topology> {
+    let sampler = TopologySampler::default();
+    let mut suite = sampler.suite(0xB0_07, per_config, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(sampler.suite(0xB0_08, per_config, AntennaConfig::SINGLE));
+    suite.extend(sampler.suite(0xB0_09, per_config, AntennaConfig::OVERCONSTRAINED_3X2));
+    suite
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let params = ScenarioParams::default();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- 1. per-subcarrier kernels --------------------------------------
+    let mut rng = SimRng::seed_from(0xFEED);
+    let m24 = CMat::from_fn(2, 4, |_, _| rng.randc());
+    c.bench_function("svd_2x4", |b| b.iter(|| svd(black_box(&m24))));
+
+    let profile = MultipathProfile::default();
+    let own = copa_channel::FreqChannel::random(&mut rng, 2, 4, 1e-6, &profile);
+    let cross = copa_channel::FreqChannel::random(&mut rng, 2, 4, 1e-7, &profile);
+    let imp = copa_channel::Impairments::default();
+    let pre = beamform(&own, 2);
+    let int_pre = beamform(&cross, 2);
+    let powers = TxPowers::equal(2, 31.6);
+    c.bench_function("sinr_grid_4x2_interf", |b| {
+        b.iter(|| {
+            let own_side = TxSide {
+                channel: &own,
+                precoding: &pre,
+                powers: &powers,
+                budget_mw: 31.6,
+            };
+            let int_side = TxSide {
+                channel: &cross,
+                precoding: &int_pre,
+                powers: &powers,
+                budget_mw: 31.6,
+            };
+            mmse_sinr_grid(black_box(&own_side), Some(&int_side), 1e-9, &imp)
+        })
+    });
+
+    // --- 2. one full topology evaluation --------------------------------
+    let t4x2 = TopologySampler::default()
+        .suite(0xE0, 1, AntennaConfig::CONSTRAINED_4X2)
+        .remove(0);
+    let engine = Engine::new(params);
+    c.bench_function("evaluate_4x2", |b| {
+        b.iter(|| engine.evaluate(black_box(&t4x2)))
+    });
+
+    // Allocations for one evaluation (median-free single shot is stable:
+    // the count is deterministic). Warm up once so one-time lazy init is
+    // excluded. Two views: `evaluate` creates a fresh workspace per call
+    // (the convenience API); `evaluate_with` reuses a warmed workspace,
+    // which is what the suite runner does per worker -- that number is the
+    // allocation-free-kernel canary.
+    let _ = engine.evaluate(&t4x2);
+    let allocs = count_allocs(|| {
+        black_box(engine.evaluate(&t4x2));
+    });
+    report_allocs("evaluate_4x2", allocs);
+
+    let mut ws = EngineWorkspace::new();
+    let _ = engine.evaluate_with(&t4x2, &mut ws);
+    let allocs_warm = count_allocs(|| {
+        black_box(engine.evaluate_with(&t4x2, &mut ws));
+    });
+    report_allocs("evaluate_4x2_warm_ws", allocs_warm);
+
+    // --- 3. suite throughput through the parallel runner ----------------
+    let suite = mixed_suite(4);
+    c.bench_function("suite_mixed_12", |b| {
+        b.iter(|| evaluate_parallel(black_box(&params), &suite, threads))
+    });
+    let n = suite.len() as f64;
+    if let Some(r) = c.reports().iter().find(|r| r.name == "suite_mixed_12") {
+        let topos_per_sec = n / (r.median_ns / 1e9);
+        let mut out = String::new();
+        Obj::new(&mut out)
+            .field("type", &"throughput")
+            .field("name", &"suite_mixed_12")
+            .field("topologies_per_sec", &topos_per_sec)
+            .field("threads", &threads)
+            .finish();
+        println!("thrpt suite_mixed_12                 {topos_per_sec:.2} topologies/s");
+        println!("{out}");
+    }
+
+    c.final_summary();
+}

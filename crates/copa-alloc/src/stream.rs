@@ -12,7 +12,7 @@
 //! with the predicted throughput of the best 802.11n MCS.
 
 use copa_num::stats::mean;
-use copa_phy::link::ThroughputModel;
+use copa_phy::link::{RateChoice, ThroughputModel};
 use copa_phy::mcs::Mcs;
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::modulation::Modulation;
@@ -114,7 +114,7 @@ pub fn equi_sinr(
         qa.partial_cmp(&qb).unwrap()
     });
 
-    let mut best: Option<StreamAllocation> = None;
+    let mut best: Option<(usize, f64, RateChoice)> = None;
     // Drop the `i` worst subcarriers; equalize SINR on the rest:
     //   p_j = S * floor_j / g_j,   S = P / sum(floor_j / g_j).
     for drop in 0..n {
@@ -127,29 +127,33 @@ pub fn equi_sinr(
             continue;
         }
         let target_sinr = problem.budget_mw / denom;
-        let active = vec![target_sinr; survivors.len()];
-        let choice = model.best(&active, airtime);
+        // Every survivor sits at the same target SINR, so rate selection
+        // takes the flat fast path: one BER evaluation per MCS instead of
+        // one per subcarrier (bit-identical to `best(&[target; len])`).
+        let choice = model.best_flat(target_sinr, survivors.len(), airtime);
         if best
             .as_ref()
-            .map(|b| choice.goodput_bps > b.throughput_bps)
+            .map(|(_, _, b)| choice.goodput_bps > b.goodput_bps)
             .unwrap_or(true)
         {
-            let mut powers = vec![0.0; n];
-            let mut sinrs = vec![0.0; n];
-            for &s in survivors {
-                powers[s] = target_sinr * problem.floor(s) / problem.gains[s].max(1e-300);
-                sinrs[s] = target_sinr;
-            }
-            best = Some(StreamAllocation {
-                powers,
-                sinrs,
-                throughput_bps: choice.goodput_bps,
-                mcs: choice.mcs,
-                dropped: drop,
-            });
+            best = Some((drop, target_sinr, choice));
         }
     }
-    best.expect("at least one drop count must evaluate")
+    // Materialize only the winning drop count's power vector.
+    let (drop, target_sinr, choice) = best.expect("at least one drop count must evaluate");
+    let mut powers = vec![0.0; n];
+    let mut sinrs = vec![0.0; n];
+    for &s in &order[drop..] {
+        powers[s] = target_sinr * problem.floor(s) / problem.gains[s].max(1e-300);
+        sinrs[s] = target_sinr;
+    }
+    StreamAllocation {
+        powers,
+        sinrs,
+        throughput_bps: choice.goodput_bps,
+        mcs: choice.mcs,
+        dropped: drop,
+    }
 }
 
 /// Subcarrier *selection only*: drop the worst `i` subcarriers but split
@@ -216,7 +220,7 @@ pub fn allocation_only(
         .map(|s| target * problem.floor(s) / problem.gains[s].max(1e-300))
         .collect();
     let sinrs = vec![target; n];
-    let choice = model.best(&sinrs, airtime);
+    let choice = model.best_flat(target, n, airtime);
     StreamAllocation {
         powers,
         sinrs,

@@ -57,14 +57,41 @@ impl CsiCache {
     }
 
     /// Fetches CSI if it is still fresh (within one coherence time).
+    ///
+    /// Clones the channel out of the cache; when the caller only needs to
+    /// *look* at the CSI, [`Self::with_fresh`] avoids the clone.
     pub fn fresh(&self, sender: Addr, now_us: f64, coherence_us: f64) -> Option<FreqChannel> {
+        self.with_fresh(sender, now_us, coherence_us, |ch| ch.clone())
+    }
+
+    /// Applies `f` to the cached channel if it is still fresh, under a
+    /// single read guard and without cloning the channel. This is the one
+    /// lock acquisition on the whole `fresh`-lookup path.
+    pub fn with_fresh<R>(
+        &self,
+        sender: Addr,
+        now_us: f64,
+        coherence_us: f64,
+        f: impl FnOnce(&FreqChannel) -> R,
+    ) -> Option<R> {
         let map = self.entries.read().expect("CSI cache lock poisoned");
         let e = map.get(&sender)?;
         if now_us - e.learned_at_us <= coherence_us {
-            Some(e.channel.clone())
+            Some(f(&e.channel))
         } else {
             None
         }
+    }
+
+    /// Copies the whole table out under one read guard, for callers that
+    /// would otherwise probe entry by entry (each probe taking its own
+    /// guard). Entries come back sorted by sender address so iteration
+    /// order is deterministic.
+    pub fn snapshot(&self) -> Vec<(Addr, CsiEntry)> {
+        let map = self.entries.read().expect("CSI cache lock poisoned");
+        let mut all: Vec<(Addr, CsiEntry)> = map.iter().map(|(a, e)| (*a, e.clone())).collect();
+        all.sort_by_key(|(a, _)| *a);
+        all
     }
 
     /// Number of cached senders.
@@ -274,6 +301,51 @@ mod tests {
             "stale beyond coherence"
         );
         assert!(cache.fresh(Addr::from_id(9), 1000.0, 30_000.0).is_none());
+    }
+
+    #[test]
+    fn csi_cache_with_fresh_avoids_clone() {
+        let cache = CsiCache::new();
+        let ch = FreqChannel::random(
+            &mut SimRng::seed_from(2),
+            2,
+            4,
+            1.0,
+            &MultipathProfile::default(),
+        );
+        let a = Addr::from_id(3);
+        cache.learn(a, ch.clone(), 0.0);
+        // Inspect under the guard without cloning the channel out.
+        let dims = cache.with_fresh(a, 10.0, 1000.0, |c| (c.rx(), c.tx()));
+        assert_eq!(dims, Some((2, 4)));
+        // Stale or unknown senders short-circuit to None without calling f.
+        assert!(cache.with_fresh(a, 5000.0, 1000.0, |_| ()).is_none());
+        assert!(cache
+            .with_fresh(Addr::from_id(4), 0.0, 1000.0, |_| ())
+            .is_none());
+        // fresh() is the cloning wrapper over the same path.
+        let got = cache.fresh(a, 10.0, 1000.0).expect("fresh");
+        assert_eq!(got.at(0)[(0, 0)], ch.at(0)[(0, 0)]);
+    }
+
+    #[test]
+    fn csi_cache_snapshot_is_sorted_and_complete() {
+        let cache = CsiCache::new();
+        let mut rng = SimRng::seed_from(3);
+        for id in [9u8, 1, 5] {
+            let ch = FreqChannel::random(&mut rng, 1, 2, 1.0, &MultipathProfile::default());
+            cache.learn(Addr::from_id(id), ch, f64::from(id));
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 3);
+        let ids: Vec<Addr> = snap.iter().map(|(a, _)| *a).collect();
+        assert_eq!(
+            ids,
+            vec![Addr::from_id(1), Addr::from_id(5), Addr::from_id(9)]
+        );
+        for (a, e) in &snap {
+            assert_eq!(e.learned_at_us, f64::from(a.0[5]));
+        }
     }
 
     #[test]

@@ -12,16 +12,17 @@ use crate::scenario::{prepare, PreparedScenario, ScenarioParams};
 use crate::strategy::{Outcome, Strategy};
 use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
 use copa_alloc::stream::{equi_sinr, mercury_best, StreamProblem};
-use copa_channel::Topology;
+use copa_channel::{FreqChannel, Topology};
 use copa_mac::overhead::{airtime_efficiency, OverheadConfig, Scheme};
+use copa_num::matrix::CMat;
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::modulation::Modulation;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
-use copa_precoding::beamforming::beamform;
-use copa_precoding::nulling::null_toward;
+use copa_precoding::beamforming::beamform_with;
+use copa_precoding::nulling::null_toward_with;
 use copa_precoding::sda::antenna_to_keep;
-use copa_precoding::sinr::{active_cells, mmse_sinr_grid, TxSide};
-use copa_precoding::{LinkPrecoding, TxPowers};
+use copa_precoding::sinr::{active_cells_into, mmse_sinr_grid_with, SinrScratch, TxSide};
+use copa_precoding::{LinkPrecoding, PrecodeScratch, TxPowers};
 
 /// How the receiver decodes (section 4.6): one decoder for the whole frame
 /// (stock 802.11) or one decoder per coding rate, enabling per-subcarrier
@@ -62,6 +63,41 @@ impl Evaluation {
     }
 }
 
+/// Reusable working storage for one evaluation worker.
+///
+/// One instance holds every scratch buffer the engine touches on the hot
+/// path -- precoding scratch, SINR scratch, the SINR grid, the active-cell
+/// list and the precoder output slots. Buffers grow to the largest shape in
+/// play and are then reused across all subcarriers, strategies and
+/// topologies the worker evaluates, so a warmed-up evaluation does not touch
+/// the allocator in its per-subcarrier kernels.
+#[derive(Default)]
+pub struct EngineWorkspace {
+    /// Beamforming / nulling scratch.
+    pre: PrecodeScratch,
+    /// MMSE SINR scratch.
+    sinr: SinrScratch,
+    /// SINR grid output slot (`streams x DATA_SUBCARRIERS`).
+    grid: Vec<Vec<f64>>,
+    /// Active-cell SINR list output slot.
+    cells: Vec<f64>,
+    /// Precoder slot for the sequential path (one link at a time).
+    seq_pre: LinkPrecoding,
+    /// Precoder slots for the concurrent path (both APs at once).
+    pres: [LinkPrecoding; 2],
+    /// Cross-gain scratch: one precoder column.
+    cg_w: CMat,
+    /// Cross-gain scratch: channel times column.
+    cg_hw: CMat,
+}
+
+impl EngineWorkspace {
+    /// A fresh workspace; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The strategy engine. Construct once, evaluate many topologies.
 pub struct Engine {
     params: ScenarioParams,
@@ -87,22 +123,48 @@ impl Engine {
 
     /// Evaluates a topology with the stock single decoder.
     pub fn evaluate(&self, topology: &Topology) -> Evaluation {
-        self.evaluate_mode(topology, DecoderMode::Single)
+        self.evaluate_with(topology, &mut EngineWorkspace::new())
+    }
+
+    /// [`Self::evaluate`] reusing a caller-owned workspace (the hot-path
+    /// entry point for suite runners: one workspace per worker thread).
+    pub fn evaluate_with(&self, topology: &Topology, ws: &mut EngineWorkspace) -> Evaluation {
+        self.evaluate_mode_with(topology, DecoderMode::Single, ws)
     }
 
     /// Evaluates a topology under the given decoder mode.
     pub fn evaluate_mode(&self, topology: &Topology, mode: DecoderMode) -> Evaluation {
+        self.evaluate_mode_with(topology, mode, &mut EngineWorkspace::new())
+    }
+
+    /// [`Self::evaluate_mode`] reusing a caller-owned workspace.
+    pub fn evaluate_mode_with(
+        &self,
+        topology: &Topology,
+        mode: DecoderMode,
+        ws: &mut EngineWorkspace,
+    ) -> Evaluation {
         let p = prepare(topology, &self.params);
-        self.evaluate_prepared(&p, mode)
+        self.evaluate_prepared_with(&p, mode, ws)
     }
 
     /// Evaluates an already-prepared scenario (lets callers substitute their
     /// own CSI estimates, e.g. CSI that round-tripped through the ITS
     /// compression pipeline).
     pub fn evaluate_prepared(&self, p: &PreparedScenario, mode: DecoderMode) -> Evaluation {
-        let csma = self.eval_sequential(p, Strategy::Csma, mode);
-        let copa_seq = self.eval_sequential(p, Strategy::CopaSeq, mode);
-        let vanilla_null = self.eval_concurrent(p, Strategy::VanillaNull, mode);
+        self.evaluate_prepared_with(p, mode, &mut EngineWorkspace::new())
+    }
+
+    /// [`Self::evaluate_prepared`] reusing a caller-owned workspace.
+    pub fn evaluate_prepared_with(
+        &self,
+        p: &PreparedScenario,
+        mode: DecoderMode,
+        ws: &mut EngineWorkspace,
+    ) -> Evaluation {
+        let csma = self.eval_sequential(p, Strategy::Csma, mode, ws);
+        let copa_seq = self.eval_sequential(p, Strategy::CopaSeq, mode, ws);
+        let vanilla_null = self.eval_concurrent(p, Strategy::VanillaNull, mode, ws);
 
         let mut outcomes = vec![csma, copa_seq];
         if let Some(v) = vanilla_null {
@@ -119,8 +181,8 @@ impl Engine {
                 continue; // already evaluated
             }
             let out = match s {
-                Strategy::SeqMercury => Some(self.eval_sequential(p, s, mode)),
-                _ => self.eval_concurrent(p, s, mode),
+                Strategy::SeqMercury => Some(self.eval_sequential(p, s, mode, ws)),
+                _ => self.eval_concurrent(p, s, mode, ws),
             };
             if let Some(o) = out {
                 outcomes.push(o);
@@ -187,6 +249,7 @@ impl Engine {
         p: &PreparedScenario,
         strategy: Strategy,
         mode: DecoderMode,
+        ws: &mut EngineWorkspace,
     ) -> Outcome {
         let topo = &p.topology;
         let streams = topo.config.max_streams();
@@ -202,26 +265,41 @@ impl Engine {
         let noise = topo.noise_per_subcarrier_mw();
         let budget = topo.tx_budget_mw();
 
+        let EngineWorkspace {
+            pre: pre_scratch,
+            sinr: sinr_scratch,
+            grid,
+            cells,
+            seq_pre,
+            ..
+        } = ws;
         let mut per_client = [0.0; 2];
         for i in 0..2 {
-            let pre = beamform(&p.est[i][i], streams);
+            beamform_with(&p.est[i][i], streams, pre_scratch, seq_pre);
             let powers = match strategy {
                 Strategy::Csma => TxPowers::equal(streams, budget),
                 Strategy::SeqMercury => {
-                    self.alloc_streams(&pre, noise, budget, None, AllocatorKind::Mercury, eff)
+                    self.alloc_streams(seq_pre, noise, budget, None, AllocatorKind::Mercury, eff)
                 }
-                _ => self.alloc_streams(&pre, noise, budget, None, AllocatorKind::EquiSinr, eff),
+                _ => self.alloc_streams(seq_pre, noise, budget, None, AllocatorKind::EquiSinr, eff),
             };
             let own = TxSide {
                 channel: &topo.links[i][i],
-                precoding: &pre,
+                precoding: seq_pre,
                 powers: &powers,
                 budget_mw: budget,
             };
-            let grid = mmse_sinr_grid(&own, None, noise, &self.params.impairments);
-            let cells = active_cells(&grid, &powers);
+            mmse_sinr_grid_with(
+                &own,
+                None,
+                noise,
+                &self.params.impairments,
+                sinr_scratch,
+                grid,
+            );
+            active_cells_into(grid, &powers, cells);
             // Half the medium time each.
-            per_client[i] = 0.5 * self.goodput(&cells, eff, mode);
+            per_client[i] = 0.5 * self.goodput(cells, eff, mode);
         }
         Outcome {
             strategy,
@@ -269,6 +347,7 @@ impl Engine {
         p: &PreparedScenario,
         strategy: Strategy,
         mode: DecoderMode,
+        ws: &mut EngineWorkspace,
     ) -> Option<Outcome> {
         let nulling = matches!(
             strategy,
@@ -279,13 +358,13 @@ impl Engine {
             // Full-rank symmetric nulling (e.g. 4x2: two streams each while
             // nulling both victim antennas) when the degrees of freedom
             // allow it.
-            if let Some(out) = self.eval_concurrent_setup(p, strategy, mode, None, true) {
+            if let Some(out) = self.eval_concurrent_setup(p, strategy, mode, None, true, ws) {
                 return Some(out);
             }
             // Overconstrained (section 3.4): shut down a victim antenna.
             // DCF randomizes who leads, so average both role assignments.
-            let a = self.eval_concurrent_setup(p, strategy, mode, Some(0), false);
-            let b = self.eval_concurrent_setup(p, strategy, mode, Some(1), false);
+            let a = self.eval_concurrent_setup(p, strategy, mode, Some(0), false, ws);
+            let b = self.eval_concurrent_setup(p, strategy, mode, Some(1), false, ws);
             let sda = match (a, b) {
                 (Some(x), Some(y)) => Some(Outcome {
                     strategy,
@@ -302,7 +381,7 @@ impl Engine {
             }
             // COPA's engine also considers the symmetric reduced-rank
             // option (one nulled stream each) and keeps the better.
-            let reduced = self.eval_concurrent_setup(p, strategy, mode, None, false);
+            let reduced = self.eval_concurrent_setup(p, strategy, mode, None, false, ws);
             return match (sda, reduced) {
                 (Some(x), Some(y)) => Some(if x.aggregate_bps() >= y.aggregate_bps() {
                     x
@@ -312,7 +391,7 @@ impl Engine {
                 (x, y) => x.or(y),
             };
         }
-        self.eval_concurrent_setup(p, strategy, mode, None, false)
+        self.eval_concurrent_setup(p, strategy, mode, None, false, ws)
     }
 
     /// One concurrent configuration. `sda_leader = Some(l)` means AP `l`
@@ -325,6 +404,7 @@ impl Engine {
         mode: DecoderMode,
         sda_leader: Option<usize>,
         require_full_rank: bool,
+        ws: &mut EngineWorkspace,
     ) -> Option<Outcome> {
         let topo = &p.topology;
         let noise = topo.noise_per_subcarrier_mw();
@@ -335,59 +415,62 @@ impl Engine {
         );
 
         // Estimated channels, with the SDA row reduction applied to every
-        // channel *into* the reduced client.
-        let mut est_own = [p.est[0][0].clone(), p.est[1][1].clone()];
-        let mut est_cross = [p.est[0][1].clone(), p.est[1][0].clone()]; // [i] = AP i -> other client
-        let mut true_own = [topo.links[0][0].clone(), topo.links[1][1].clone()];
-        let mut true_cross = [topo.links[0][1].clone(), topo.links[1][0].clone()];
+        // channel *into* the reduced client. Borrowed in place -- only the
+        // SDA path materializes (four reduced) channels.
+        let mut est_own: [&FreqChannel; 2] = [&p.est[0][0], &p.est[1][1]];
+        let mut est_cross: [&FreqChannel; 2] = [&p.est[0][1], &p.est[1][0]]; // [i] = AP i -> other client
+        let mut true_own: [&FreqChannel; 2] = [&topo.links[0][0], &topo.links[1][1]];
+        let mut true_cross: [&FreqChannel; 2] = [&topo.links[0][1], &topo.links[1][0]];
+        let reduced: [FreqChannel; 4];
         if let Some(leader) = sda_leader {
             let follower = 1 - leader;
             let keep = antenna_to_keep(&p.est[follower][follower]);
-            est_own[follower] = est_own[follower].select_rx(&[keep]);
-            est_cross[leader] = est_cross[leader].select_rx(&[keep]);
-            true_own[follower] = true_own[follower].select_rx(&[keep]);
-            true_cross[leader] = true_cross[leader].select_rx(&[keep]);
+            reduced = [
+                est_own[follower].select_rx(&[keep]),
+                est_cross[leader].select_rx(&[keep]),
+                true_own[follower].select_rx(&[keep]),
+                true_cross[leader].select_rx(&[keep]),
+            ];
+            est_own[follower] = &reduced[0];
+            est_cross[leader] = &reduced[1];
+            true_own[follower] = &reduced[2];
+            true_cross[leader] = &reduced[3];
         }
 
+        let EngineWorkspace {
+            pre: pre_scratch,
+            sinr: sinr_scratch,
+            grid,
+            cells,
+            pres,
+            cg_w,
+            cg_hw,
+            ..
+        } = ws;
+
         // Precoders: most streams each side can sustain.
-        let mut pres: Vec<LinkPrecoding> = Vec::with_capacity(2);
         for i in 0..2 {
             let max_streams = est_own[i].rx().min(est_own[i].tx());
-            let pre = if nulling {
+            if nulling {
                 // Highest stream count that still permits nulling; with
                 // `require_full_rank`, only the full stream count will do.
-                let pre = (1..=max_streams)
-                    .rev()
-                    .find_map(|k| null_toward(&est_own[i], &est_cross[i], k))?;
-                if require_full_rank && pre.streams() < max_streams {
+                let feasible = (1..=max_streams).rev().any(|k| {
+                    null_toward_with(est_own[i], est_cross[i], k, pre_scratch, &mut pres[i])
+                });
+                if !feasible {
                     return None;
                 }
-                pre
+                if require_full_rank && pres[i].streams() < max_streams {
+                    return None;
+                }
             } else {
-                beamform(&est_own[i], max_streams)
-            };
-            pres.push(pre);
+                beamform_with(est_own[i], max_streams, pre_scratch, &mut pres[i]);
+            }
         }
 
         // Cross-gain predictions for the allocator: residual leakage of each
         // stream at the victim, plus the EVM floor the radio specs promise.
         let evm = self.params.impairments.evm_factor();
-        let cross_gain = |i: usize, pre: &LinkPrecoding| -> Vec<Vec<f64>> {
-            let hx = &est_cross[i];
-            (0..pre.streams())
-                .map(|k| {
-                    (0..DATA_SUBCARRIERS)
-                        .map(|s| {
-                            let w = pre.precoder[s].column(k);
-                            let leak = hx.at(s).matmul(&w).frobenius_norm_sqr();
-                            let evm_floor = evm * hx.at(s).frobenius_norm_sqr() / hx.tx() as f64;
-                            leak + evm_floor
-                        })
-                        .collect()
-                })
-                .collect()
-        };
-
         let streams = topo.config.max_streams();
         let eff = airtime_efficiency(
             Scheme::CopaConcurrent,
@@ -408,7 +491,10 @@ impl Engine {
                 };
                 let problem = ConcurrentProblem {
                     own_gains: [pres[0].stream_gains.clone(), pres[1].stream_gains.clone()],
-                    cross_gains: [cross_gain(0, &pres[0]), cross_gain(1, &pres[1])],
+                    cross_gains: [
+                        cross_gain_grid(est_cross[0], &pres[0], evm, cg_w, cg_hw),
+                        cross_gain_grid(est_cross[1], &pres[1], evm, cg_w, cg_hw),
+                    ],
                     noise_mw: noise,
                     budgets_mw: [budget, budget],
                 };
@@ -422,21 +508,28 @@ impl Engine {
         let mut per_client = [0.0; 2];
         for i in 0..2 {
             let own = TxSide {
-                channel: &true_own[i],
+                channel: true_own[i],
                 precoding: &pres[i],
                 powers: &powers[i],
                 budget_mw: budget,
             };
             let j = 1 - i;
             let int = TxSide {
-                channel: &true_cross[j], // AP j -> client i
+                channel: true_cross[j], // AP j -> client i
                 precoding: &pres[j],
                 powers: &powers[j],
                 budget_mw: budget,
             };
-            let grid = mmse_sinr_grid(&own, Some(&int), noise, &self.params.impairments);
-            let cells = active_cells(&grid, &powers[i]);
-            per_client[i] = self.goodput(&cells, eff, mode);
+            mmse_sinr_grid_with(
+                &own,
+                Some(&int),
+                noise,
+                &self.params.impairments,
+                sinr_scratch,
+                grid,
+            );
+            active_cells_into(grid, &powers[i], cells);
+            per_client[i] = self.goodput(cells, eff, mode);
         }
         Some(Outcome {
             strategy,
@@ -445,10 +538,43 @@ impl Engine {
     }
 }
 
+// alloc-free: begin cross_gain_grid (per-subcarrier kernel -- no Vec::new / vec!)
+/// Predicted gain of each of `pre`'s streams at the victim behind the cross
+/// channel `hx`: residual nulling leakage plus the EVM floor the radio specs
+/// promise. The outer `streams x DATA_SUBCARRIERS` grid is the return value
+/// (it is moved into the allocator problem); the per-subcarrier matrix
+/// products go through caller-owned scratch.
+fn cross_gain_grid(
+    hx: &FreqChannel,
+    pre: &LinkPrecoding,
+    evm: f64,
+    w: &mut CMat,
+    hw: &mut CMat,
+) -> Vec<Vec<f64>> {
+    (0..pre.streams())
+        .map(|k| {
+            (0..DATA_SUBCARRIERS)
+                .map(|s| {
+                    pre.precoder[s].column_into(k, w);
+                    hx.at(s).mul_into(w, hw);
+                    let leak = hw.frobenius_norm_sqr();
+                    let evm_floor = evm * hx.at(s).frobenius_norm_sqr() / hx.tx() as f64;
+                    leak + evm_floor
+                })
+                .collect()
+        })
+        .collect()
+}
+// alloc-free: end cross_gain_grid
+
 /// Convenience: evaluate a whole topology suite, returning one Evaluation
-/// per topology.
+/// per topology. Reuses a single [`EngineWorkspace`] across the suite.
 pub fn evaluate_suite(engine: &Engine, suite: &[Topology]) -> Vec<Evaluation> {
-    suite.iter().map(|t| engine.evaluate(t)).collect()
+    let mut ws = EngineWorkspace::new();
+    suite
+        .iter()
+        .map(|t| engine.evaluate_with(t, &mut ws))
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,6 +23,6 @@ pub mod scenario;
 pub mod strategy;
 
 pub use cell::{run_cell, CellOutcome, MultiApScenario};
-pub use engine::{evaluate_suite, DecoderMode, Engine, Evaluation};
+pub use engine::{evaluate_suite, DecoderMode, Engine, EngineWorkspace, Evaluation};
 pub use scenario::{prepare, PreparedScenario, ScenarioParams};
 pub use strategy::{Outcome, Strategy};

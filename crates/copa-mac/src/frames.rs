@@ -18,8 +18,9 @@
 
 use crate::wire::{ByteReader, ByteWriter, Truncated};
 
-/// A MAC address.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// A MAC address. Ordered byte-wise so address collections can be sorted
+/// deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Addr(pub [u8; 6]);
 
 impl Addr {

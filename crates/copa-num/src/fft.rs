@@ -48,12 +48,24 @@ pub fn ifft(x: &[C64]) -> Vec<C64> {
 /// Equivalent to zero-padding the impulse response to length `n` and calling
 /// [`fft`], but tolerates delays beyond `n` (they wrap, as aliasing would).
 pub fn tapped_delay_response(taps: &[(usize, C64)], n: usize) -> Vec<C64> {
-    let mut impulse = vec![ZERO; n];
-    for &(delay, gain) in taps {
-        impulse[delay % n] += gain;
-    }
-    fft(&impulse)
+    let mut out = Vec::new();
+    tapped_delay_response_into(taps, n, &mut out);
+    out
 }
+
+// alloc-free: begin tapped_delay_response_into (kernel -- no Vec::new / vec!)
+/// [`tapped_delay_response`] writing into a caller-owned buffer: builds the
+/// impulse response in `out` and transforms it in place. Bit-identical to
+/// the allocating version (same accumulation, same in-place FFT).
+pub fn tapped_delay_response_into(taps: &[(usize, C64)], n: usize, out: &mut Vec<C64>) {
+    out.clear();
+    out.resize(n, ZERO);
+    for &(delay, gain) in taps {
+        out[delay % n] += gain;
+    }
+    fft_in_place(out);
+}
+// alloc-free: end tapped_delay_response_into
 
 fn transform(x: &mut [C64], sign: f64) {
     let n = x.len();

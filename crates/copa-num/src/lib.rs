@@ -26,4 +26,5 @@ pub mod svd;
 pub use complex::C64;
 pub use matrix::CMat;
 pub use rng::SimRng;
-pub use svd::{nullspace, svd, Svd};
+pub use solve::{inverse_loaded_into, LuScratch};
+pub use svd::{nullspace, svd, svd_into, Svd, SvdScratch};

@@ -10,7 +10,10 @@ use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
 /// A dense, row-major complex matrix.
-#[derive(Clone, PartialEq)]
+///
+/// `Default` is the empty `0 x 0` matrix -- the natural starting state for
+/// scratch-workspace buffers that grow on first use.
+#[derive(Clone, Default, PartialEq)]
 pub struct CMat {
     rows: usize,
     cols: usize,
@@ -98,9 +101,45 @@ impl CMat {
         &self.data
     }
 
+    /// Raw row-major entries, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Reshapes this matrix in place to an all-zero `rows x cols`, reusing
+    /// the existing buffer. After the first few calls at the largest shape
+    /// in play, this never allocates -- the backbone of the scratch
+    /// workspaces used by the per-subcarrier kernels.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, ZERO);
+    }
+
+    /// Makes `self` a copy of `src` (shape and entries), reusing the buffer.
+    pub fn copy_from(&mut self, src: &CMat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Conjugate (Hermitian) transpose `A^H`.
     pub fn hermitian(&self) -> CMat {
         CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Writes `self^H` into `out` without allocating (same entry order as
+    /// [`CMat::hermitian`], so results are bit-identical).
+    pub fn hermitian_into(&self, out: &mut CMat) {
+        out.reset(self.cols, self.rows);
+        for i in 0..out.rows {
+            for j in 0..out.cols {
+                out[(i, j)] = self[(j, i)].conj();
+            }
+        }
     }
 
     /// Plain transpose `A^T` (no conjugation).
@@ -129,6 +168,16 @@ impl CMat {
         CMat::from_fn(self.rows, 1, |i, _| self[(i, j)])
     }
 
+    /// Writes column `j` into `out` as a `rows x 1` matrix without
+    /// allocating. Bit-identical to [`CMat::column`].
+    pub fn column_into(&self, j: usize, out: &mut CMat) {
+        assert!(j < self.cols);
+        out.reset(self.rows, 1);
+        for i in 0..self.rows {
+            out[(i, 0)] = self[(i, j)];
+        }
+    }
+
     /// Extracts row `i` as a `1 x cols` matrix.
     pub fn row(&self, i: usize) -> CMat {
         assert!(i < self.rows);
@@ -138,6 +187,17 @@ impl CMat {
     /// Returns the sub-matrix made of the given columns, in order.
     pub fn select_columns(&self, cols: &[usize]) -> CMat {
         CMat::from_fn(self.rows, cols.len(), |i, j| self[(i, cols[j])])
+    }
+
+    /// Writes the sub-matrix made of the given columns into `out` without
+    /// allocating. Bit-identical to [`CMat::select_columns`].
+    pub fn select_columns_into(&self, cols: &[usize], out: &mut CMat) {
+        out.reset(self.rows, cols.len());
+        for i in 0..self.rows {
+            for j in 0..cols.len() {
+                out[(i, j)] = self[(i, cols[j])];
+            }
+        }
     }
 
     /// Returns the sub-matrix made of the given rows, in order.
@@ -203,6 +263,34 @@ impl CMat {
             }
         }
         out
+    }
+
+    /// Writes `self * rhs` into `out` without allocating. The loop order and
+    /// the zero-entry skip match [`CMat::matmul`] exactly, so the result is
+    /// bit-identical to the allocating version.
+    pub fn mul_into(&self, rhs: &CMat, out: &mut CMat) {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        out.reset(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+    }
+
+    /// Entrywise `self += rhs`. Bit-identical to `&self + &rhs` (the same
+    /// `a + b` per entry), but without allocating the sum.
+    pub fn add_in_place(&mut self, rhs: &CMat) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = *a + *b;
+        }
     }
 
     /// `A^H * A` (Gram matrix), used throughout the precoding code.

@@ -30,6 +30,86 @@ pub struct Lu {
     perm: Vec<usize>,
 }
 
+// alloc-free: begin lu_kernels (per-subcarrier kernel -- no Vec::new / vec!)
+
+/// In-place LU factorization with partial pivoting. `perm` must arrive as
+/// the identity permutation `0..n`; on return it holds the row permutation.
+/// Shared by [`Lu::factor`] and the scratch-based paths, so the two are
+/// bit-identical by construction.
+fn factor_in_place(lu: &mut CMat, perm: &mut [usize]) -> Result<(), SingularMatrix> {
+    let n = lu.rows();
+    for k in 0..n {
+        // Partial pivot: largest |entry| in column k at or below the diagonal.
+        let mut p = k;
+        let mut best = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best < 1e-300 {
+            return Err(SingularMatrix);
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+        }
+        let piv = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / piv;
+            lu[(i, k)] = m;
+            for j in (k + 1)..n {
+                let s = m * lu[(k, j)];
+                lu[(i, j)] -= s;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forward/back substitution on a row-permuted right-hand side held in `x`.
+fn substitute_in_place(lu: &CMat, x: &mut CMat) {
+    let n = lu.rows();
+    let m = x.cols();
+    // Forward substitution (L has unit diagonal).
+    for i in 1..n {
+        for k in 0..i {
+            let l = lu[(i, k)];
+            if l == ZERO {
+                continue;
+            }
+            for j in 0..m {
+                let s = l * x[(k, j)];
+                x[(i, j)] -= s;
+            }
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            let u = lu[(i, k)];
+            if u == ZERO {
+                continue;
+            }
+            for j in 0..m {
+                let s = u * x[(k, j)];
+                x[(i, j)] -= s;
+            }
+        }
+        let d = lu[(i, i)];
+        for j in 0..m {
+            x[(i, j)] /= d;
+        }
+    }
+}
+// alloc-free: end lu_kernels
+
 impl Lu {
     /// Factorizes `a`. Fails if `a` is singular to working precision.
     pub fn factor(a: &CMat) -> Result<Lu, SingularMatrix> {
@@ -37,78 +117,30 @@ impl Lu {
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Partial pivot: largest |entry| in column k at or below the diagonal.
-            let mut p = k;
-            let mut best = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < 1e-300 {
-                return Err(SingularMatrix);
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-            }
-            let piv = lu[(k, k)];
-            for i in (k + 1)..n {
-                let m = lu[(i, k)] / piv;
-                lu[(i, k)] = m;
-                for j in (k + 1)..n {
-                    let s = m * lu[(k, j)];
-                    lu[(i, j)] -= s;
-                }
-            }
-        }
+        factor_in_place(&mut lu, &mut perm)?;
         Ok(Lu { n, lu, perm })
     }
 
     /// Solves `A x = b` for a multi-column right-hand side.
     pub fn solve(&self, b: &CMat) -> CMat {
+        let mut x = CMat::zeros(0, 0);
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// [`Lu::solve`] writing into a caller-owned matrix (bit-identical,
+    /// allocation-free after warm-up).
+    pub fn solve_into(&self, b: &CMat, x: &mut CMat) {
         assert_eq!(b.rows(), self.n, "rhs row mismatch");
         let m = b.cols();
         // Apply permutation.
-        let mut x = CMat::from_fn(self.n, m, |i, j| b[(self.perm[i], j)]);
-        // Forward substitution (L has unit diagonal).
-        for i in 1..self.n {
-            for k in 0..i {
-                let l = self.lu[(i, k)];
-                if l == ZERO {
-                    continue;
-                }
-                for j in 0..m {
-                    let s = l * x[(k, j)];
-                    x[(i, j)] -= s;
-                }
-            }
-        }
-        // Back substitution.
-        for i in (0..self.n).rev() {
-            for k in (i + 1)..self.n {
-                let u = self.lu[(i, k)];
-                if u == ZERO {
-                    continue;
-                }
-                for j in 0..m {
-                    let s = u * x[(k, j)];
-                    x[(i, j)] -= s;
-                }
-            }
-            let d = self.lu[(i, i)];
+        x.reset(self.n, m);
+        for i in 0..self.n {
             for j in 0..m {
-                x[(i, j)] /= d;
+                x[(i, j)] = b[(self.perm[i], j)];
             }
         }
-        x
+        substitute_in_place(&self.lu, x);
     }
 
     /// Determinant from the U diagonal and permutation sign.
@@ -193,6 +225,46 @@ pub fn inverse_loaded(a: &CMat, eps: f64) -> CMat {
     }
     inverse(&m).expect("diagonally loaded matrix must be invertible")
 }
+
+/// Reusable working storage for [`inverse_loaded_into`]: the LU factors and
+/// the row permutation, grown once and reused across subcarriers.
+#[derive(Clone, Debug, Default)]
+pub struct LuScratch {
+    lu: CMat,
+    perm: Vec<usize>,
+}
+
+impl LuScratch {
+    /// A fresh scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// alloc-free: begin inverse_loaded_into (per-subcarrier kernel -- no Vec::new / vec!)
+/// [`inverse_loaded`] writing into a caller-owned matrix. Runs the same
+/// factor and substitution code as the allocating path ([`factor_in_place`]
+/// / [`substitute_in_place`]), so results are bit-identical, but performs no
+/// heap allocation after warm-up.
+pub fn inverse_loaded_into(a: &CMat, eps: f64, scratch: &mut LuScratch, out: &mut CMat) {
+    let n = a.rows();
+    scratch.lu.copy_from(a);
+    for i in 0..n {
+        scratch.lu[(i, i)] += C64::real(eps);
+    }
+    scratch.perm.clear();
+    scratch.perm.extend(0..n);
+    factor_in_place(&mut scratch.lu, &mut scratch.perm)
+        .expect("diagonally loaded matrix must be invertible");
+    // Right-hand side is the identity; applying the row permutation to it
+    // puts a one in column `perm[i]` of row `i`.
+    out.reset(n, n);
+    for i in 0..n {
+        out[(i, scratch.perm[i])] = crate::complex::ONE;
+    }
+    substitute_in_place(&scratch.lu, out);
+}
+// alloc-free: end inverse_loaded_into
 
 #[cfg(test)]
 mod tests {

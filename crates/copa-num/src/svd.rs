@@ -62,6 +62,53 @@ impl Svd {
         let cols: Vec<usize> = (r..self.s.len()).collect();
         self.v.select_columns(&cols)
     }
+
+    /// [`Svd::nullspace`] writing into a caller-owned matrix. Bit-identical
+    /// (plain copies of the same `V` columns), but allocation-free.
+    pub fn nullspace_into(&self, rel_tol: f64, out: &mut CMat) {
+        let r = self.rank(rel_tol);
+        let n = self.s.len();
+        out.reset(self.v.rows(), n - r);
+        for i in 0..self.v.rows() {
+            for j in 0..(n - r) {
+                out[(i, j)] = self.v[(i, r + j)];
+            }
+        }
+    }
+}
+
+impl Default for Svd {
+    /// An empty decomposition, useful as a reusable output slot in scratch
+    /// workspaces (its buffers grow on first use and are then reused).
+    fn default() -> Self {
+        Svd {
+            u: CMat::zeros(0, 0),
+            s: Vec::new(),
+            v: CMat::zeros(0, 0),
+        }
+    }
+}
+
+/// Reusable working storage for [`svd_into`]. One instance per worker thread
+/// (or per [`copa-core` workspace]) serves every subcarrier: the buffers grow
+/// to the largest shape seen and are then reused allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct SvdScratch {
+    /// Working copy of `A`, rotated into `A * V`.
+    w: CMat,
+    /// Accumulated rotations (unsorted `V`).
+    v: CMat,
+    /// Column norms of `w` after convergence.
+    norms: Vec<f64>,
+    /// Column permutation sorting singular values non-increasing.
+    order: Vec<usize>,
+}
+
+impl SvdScratch {
+    /// A fresh scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Maximum number of full Jacobi sweeps before giving up. Tiny matrices
@@ -69,11 +116,29 @@ impl Svd {
 const MAX_SWEEPS: usize = 64;
 
 /// Computes the SVD of an arbitrary complex matrix by one-sided Jacobi.
+///
+/// Allocating convenience wrapper around [`svd_into`]; the two are
+/// bit-identical by construction (same code path).
 pub fn svd(a: &CMat) -> Svd {
+    let mut scratch = SvdScratch::new();
+    let mut out = Svd::default();
+    svd_into(a, &mut scratch, &mut out);
+    out
+}
+
+// alloc-free: begin svd_into (per-subcarrier kernel -- no Vec::new / vec!)
+/// One-sided Jacobi SVD writing into caller-owned buffers. After warm-up at
+/// the largest shape in play, performs zero heap allocations per call.
+pub fn svd_into(a: &CMat, scratch: &mut SvdScratch, out: &mut Svd) {
     let m = a.rows();
     let n = a.cols();
-    let mut w = a.clone(); // becomes A * V
-    let mut v = CMat::identity(n);
+    let w = &mut scratch.w; // becomes A * V
+    w.copy_from(a);
+    let v = &mut scratch.v;
+    v.reset(n, n);
+    for i in 0..n {
+        v[(i, i)] = crate::complex::ONE;
+    }
 
     // Convergence threshold relative to the matrix scale.
     let scale = w.frobenius_norm().max(1e-300);
@@ -134,15 +199,20 @@ pub fn svd(a: &CMat) -> Svd {
     }
 
     // Column norms are the singular values; normalize to get U.
-    let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt())
-        .collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n);
+    let norms = &mut scratch.norms;
+    norms.clear();
+    norms.extend((0..n).map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt()));
     order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
 
-    let mut s = Vec::with_capacity(n);
-    let mut u = CMat::zeros(m, n);
-    let mut v_sorted = CMat::zeros(n, n);
+    let s = &mut out.s;
+    s.clear();
+    let u = &mut out.u;
+    u.reset(m, n);
+    let v_sorted = &mut out.v;
+    v_sorted.reset(n, n);
     let sv_floor = 1e-14 * scale;
     for (jj, &j) in order.iter().enumerate() {
         s.push(norms[j]);
@@ -155,9 +225,8 @@ pub fn svd(a: &CMat) -> Svd {
             v_sorted[(i, jj)] = v[(i, j)];
         }
     }
-
-    Svd { u, s, v: v_sorted }
 }
+// alloc-free: end svd_into
 
 /// Orthonormal basis of the nullspace of `a` (columns of `V` with singular
 /// value below `rel_tol * s_max`). Shorthand for `svd(a).nullspace(rel_tol)`.

@@ -1,0 +1,160 @@
+//! Property tests for the scratch-workspace (`_into`) kernel variants.
+//!
+//! The hot path leans on two guarantees: (1) the `_into` variants compute
+//! *bit-identical* results to their allocating counterparts, and (2) a
+//! scratch buffer reused across many calls with varying shapes carries no
+//! state from one call into the next. Both are checked here over random
+//! matrices and sizes, comparing every f64 via `to_bits`.
+
+use copa_num::complex::C64;
+use copa_num::fft::{tapped_delay_response, tapped_delay_response_into};
+use copa_num::matrix::CMat;
+use copa_num::prop::{check, Gen};
+use copa_num::prop_assert;
+use copa_num::solve::{inverse_loaded, inverse_loaded_into, Lu, LuScratch};
+use copa_num::svd::{svd, svd_into, Svd, SvdScratch};
+
+const CASES: usize = 48;
+
+fn complex(g: &mut Gen) -> C64 {
+    C64::new(g.f64_in(-10.0, 10.0), g.f64_in(-10.0, 10.0))
+}
+
+fn cmat(g: &mut Gen, m: usize, n: usize) -> CMat {
+    let v: Vec<C64> = (0..m * n).map(|_| complex(g)).collect();
+    CMat::from_rows(m, n, &v)
+}
+
+/// Bit-level equality of two matrices, shapes included.
+fn bits_eq(a: &CMat, b: &CMat) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && (0..a.rows()).all(|i| {
+            (0..a.cols()).all(|j| {
+                let (x, y) = (a[(i, j)], b[(i, j)]);
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits()
+            })
+        })
+}
+
+#[test]
+fn mul_into_bit_identical_to_matmul() {
+    check("mul_into_bit_identical_to_matmul", CASES, |g| {
+        // One `out` buffer reused across all shapes in this case.
+        let mut out = CMat::zeros(1, 1);
+        for _ in 0..4 {
+            let (m, k, n) = (g.usize_in(1, 5), g.usize_in(1, 5), g.usize_in(1, 5));
+            let a = cmat(g, m, k);
+            let b = cmat(g, k, n);
+            a.mul_into(&b, &mut out);
+            prop_assert!(bits_eq(&a.matmul(&b), &out), "{m}x{k} * {k}x{n}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn hermitian_and_column_selection_bit_identical() {
+    check("hermitian_and_column_selection_bit_identical", CASES, |g| {
+        let mut out = CMat::zeros(1, 1);
+        for _ in 0..4 {
+            let (m, n) = (g.usize_in(1, 6), g.usize_in(1, 6));
+            let a = cmat(g, m, n);
+            a.hermitian_into(&mut out);
+            prop_assert!(bits_eq(&a.hermitian(), &out), "hermitian {m}x{n}");
+            let j = g.usize_in(0, n);
+            a.column_into(j, &mut out);
+            prop_assert!(bits_eq(&a.column(j), &out), "column {j} of {m}x{n}");
+            let cols: Vec<usize> = (0..g.usize_in(1, n + 1))
+                .map(|_| g.usize_in(0, n))
+                .collect();
+            a.select_columns_into(&cols, &mut out);
+            prop_assert!(
+                bits_eq(&a.select_columns(&cols), &out),
+                "select {cols:?} of {m}x{n}"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn svd_scratch_reuse_is_stateless() {
+    check("svd_scratch_reuse_is_stateless", CASES, |g| {
+        // One scratch + one output slot across wildly varying shapes; every
+        // call must match a fresh allocating `svd` bit for bit.
+        let mut scratch = SvdScratch::new();
+        let mut out = Svd::default();
+        let mut ns = CMat::zeros(1, 1);
+        for _ in 0..4 {
+            let (m, n) = (g.usize_in(1, 5), g.usize_in(1, 5));
+            let a = cmat(g, m, n);
+            let fresh = svd(&a);
+            svd_into(&a, &mut scratch, &mut out);
+            prop_assert!(bits_eq(&fresh.u, &out.u), "U differs for {m}x{n}");
+            prop_assert!(bits_eq(&fresh.v, &out.v), "V differs for {m}x{n}");
+            prop_assert!(
+                fresh.s.len() == out.s.len()
+                    && fresh
+                        .s
+                        .iter()
+                        .zip(&out.s)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "singular values differ for {m}x{n}"
+            );
+            out.nullspace_into(1e-9, &mut ns);
+            prop_assert!(bits_eq(&fresh.nullspace(1e-9), &ns), "nullspace {m}x{n}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn lu_solve_into_and_inverse_loaded_into_bit_identical() {
+    check("lu_solve_into_inverse_loaded_into", CASES, |g| {
+        let mut scratch = LuScratch::new();
+        let mut inv = CMat::zeros(1, 1);
+        let mut x = CMat::zeros(1, 1);
+        for _ in 0..4 {
+            let n = g.usize_in(1, 5);
+            let a = cmat(g, n, n);
+            let eps = g.f64_in(1e-9, 1e-3);
+            inverse_loaded_into(&a, eps, &mut scratch, &mut inv);
+            prop_assert!(bits_eq(&inverse_loaded(&a, eps), &inv), "inverse n={n}");
+            // The diagonally loaded matrix is always factorable.
+            let mut loaded = a.clone();
+            for i in 0..n {
+                loaded[(i, i)] = loaded[(i, i)] + C64::real(eps);
+            }
+            let lu = Lu::factor(&loaded).expect("loaded matrix factors");
+            let cols = g.usize_in(1, 3);
+            let b = cmat(g, n, cols);
+            lu.solve_into(&b, &mut x);
+            prop_assert!(bits_eq(&lu.solve(&b), &x), "solve n={n}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn tapped_delay_response_into_bit_identical() {
+    check("tapped_delay_response_into_bit_identical", CASES, |g| {
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            let n = *g.pick(&[8usize, 16, 64]);
+            let taps: Vec<(usize, C64)> = (0..g.usize_in(1, 5))
+                .map(|_| (g.usize_in(0, 2 * n), complex(g)))
+                .collect();
+            let fresh = tapped_delay_response(&taps, n);
+            tapped_delay_response_into(&taps, n, &mut out);
+            prop_assert!(
+                fresh.len() == out.len()
+                    && fresh.iter().zip(&out).all(|(x, y)| {
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits()
+                    }),
+                "fft length {n}"
+            );
+        }
+        Ok(())
+    });
+}

@@ -103,6 +103,64 @@ impl ThroughputModel {
             .expect("MCS table is non-empty")
     }
 
+    /// [`ThroughputModel::effective_uncoded_ber`] for the flat SINR vector
+    /// `[g; n]`, without materializing it. Every entry maps to the same
+    /// per-subcarrier BER, so it is computed once and folded `n` times with
+    /// the same left-to-right sum as the iterator version -- the result is
+    /// bit-identical, at one `erfc` evaluation instead of `n`.
+    pub fn effective_uncoded_ber_flat(&self, mcs: Mcs, g: f64, n: usize) -> f64 {
+        if n == 0 {
+            return 0.5;
+        }
+        let ber = mcs.modulation.uncoded_ber(g);
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            sum += ber;
+        }
+        sum / n as f64
+    }
+
+    /// [`ThroughputModel::evaluate`] for the flat SINR vector `[g; n]`
+    /// (bit-identical, allocation-free, one BER evaluation).
+    pub fn evaluate_flat(&self, mcs: Mcs, g: f64, n: usize, airtime_efficiency: f64) -> RateChoice {
+        if n == 0 {
+            return RateChoice {
+                mcs,
+                goodput_bps: 0.0,
+                uncoded_ber: 0.5,
+                coded_ber: 0.5,
+                fer: 1.0,
+            };
+        }
+        let p = self.effective_uncoded_ber_flat(mcs, g, n);
+        let pb = coded_ber(p, mcs.rate);
+        let fer = frame_error_rate(pb, self.mpdu_bytes);
+        let goodput = mcs.phy_rate_bps_with(n) * (1.0 - fer) * airtime_efficiency;
+        RateChoice {
+            mcs,
+            goodput_bps: goodput,
+            uncoded_ber: p,
+            coded_ber: pb,
+            fer,
+        }
+    }
+
+    /// [`ThroughputModel::best`] for the flat SINR vector `[g; n]`.
+    ///
+    /// This is the hot call in COPA's equi-SINR allocation: every surviving
+    /// subcarrier is driven to the *same* target SINR, so rate selection
+    /// there never needs a heterogeneous vector. Bit-identical to
+    /// `best(&vec![g; n], airtime_efficiency)` (asserted by a unit test)
+    /// while skipping `n - 1` of the `n` BER evaluations per MCS and the
+    /// temporary vector.
+    pub fn best_flat(&self, g: f64, n: usize, airtime_efficiency: f64) -> RateChoice {
+        Mcs::TABLE
+            .iter()
+            .map(|&m| self.evaluate_flat(m, g, n, airtime_efficiency))
+            .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
+            .expect("MCS table is non-empty")
+    }
+
     /// Section 4.6 "multiple decoders": an independent MCS per subcarrier
     /// (one decoder per coding rate). Upper-bounds per-subcarrier rate
     /// adaptation by treating each subcarrier's coded stream independently.
@@ -240,6 +298,35 @@ mod tests {
             multi >= single,
             "multi-decoder {multi} should be >= single {single}"
         );
+    }
+
+    #[test]
+    fn best_flat_is_bit_identical_to_best() {
+        // The equi-SINR allocator relies on this exactly: `best_flat(g, n)`
+        // must reproduce `best(&[g; n])` to the last bit, not approximately.
+        let model = ThroughputModel::default();
+        for n in [0usize, 1, 2, 13, DATA_SUBCARRIERS] {
+            for db in [-3.0, 0.0, 4.7, 11.2, 19.9, 27.3, 38.0] {
+                let g = db_to_lin(db);
+                let vec_choice = model.best(&vec![g; n], 1.0);
+                let flat_choice = model.best_flat(g, n, 1.0);
+                assert_eq!(vec_choice.mcs.index, flat_choice.mcs.index);
+                assert_eq!(
+                    vec_choice.goodput_bps.to_bits(),
+                    flat_choice.goodput_bps.to_bits(),
+                    "goodput differs at n={n} db={db}"
+                );
+                assert_eq!(
+                    vec_choice.uncoded_ber.to_bits(),
+                    flat_choice.uncoded_ber.to_bits()
+                );
+                assert_eq!(
+                    vec_choice.coded_ber.to_bits(),
+                    flat_choice.coded_ber.to_bits()
+                );
+                assert_eq!(vec_choice.fer.to_bits(), flat_choice.fer.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -4,18 +4,37 @@
 //! maximize power at the intended receiver, and are calculated using the
 //! Singular Value Decomposition of the appropriate channel" (section 3.3).
 
-use crate::precoder::LinkPrecoding;
+use crate::precoder::{LinkPrecoding, PrecodeScratch};
 use copa_channel::FreqChannel;
-use copa_num::svd::svd;
+use copa_num::svd::svd_into;
 
 /// Builds the SVD beamforming precoder for `streams` spatial streams from
 /// the (estimated) channel: on each subcarrier, the precoder columns are the
 /// top right singular vectors and the nominal stream gains are the squared
 /// singular values.
 ///
+/// Allocating convenience wrapper around [`beamform_with`].
+///
 /// # Panics
 /// Panics if `streams` exceeds `min(rx, tx)` antennas.
 pub fn beamform(est: &FreqChannel, streams: usize) -> LinkPrecoding {
+    let mut ws = PrecodeScratch::new();
+    let mut out = LinkPrecoding::empty();
+    beamform_with(est, streams, &mut ws, &mut out);
+    out
+}
+
+// alloc-free: begin beamform_with (per-subcarrier kernel -- no Vec::new / vec!)
+/// [`beamform`] writing into caller-owned buffers: after warm-up one scratch
+/// and one output slot serve every subcarrier of every link with zero heap
+/// allocation. Bit-identical to the allocating version (same SVD kernel,
+/// same column selection).
+pub fn beamform_with(
+    est: &FreqChannel,
+    streams: usize,
+    ws: &mut PrecodeScratch,
+    out: &mut LinkPrecoding,
+) {
     assert!(streams >= 1, "need at least one stream");
     assert!(
         streams <= est.rx().min(est.tx()),
@@ -24,21 +43,18 @@ pub fn beamform(est: &FreqChannel, streams: usize) -> LinkPrecoding {
         est.rx(),
         est.tx()
     );
-    let cols: Vec<usize> = (0..streams).collect();
-    let mut precoder = Vec::with_capacity(52);
-    let mut stream_gains = vec![Vec::with_capacity(52); streams];
-    for h in est.iter() {
-        let d = svd(h);
-        precoder.push(d.v.select_columns(&cols));
-        for (k, gains) in stream_gains.iter_mut().enumerate() {
-            gains.push(d.s[k] * d.s[k]);
+    ws.cols.clear();
+    ws.cols.extend(0..streams);
+    out.reset_shape(est.iter().count(), streams);
+    for (s, h) in est.iter().enumerate() {
+        svd_into(h, &mut ws.svd, &mut ws.dec);
+        ws.dec.v.select_columns_into(&ws.cols, &mut out.precoder[s]);
+        for (k, gains) in out.stream_gains.iter_mut().enumerate() {
+            gains[s] = ws.dec.s[k] * ws.dec.s[k];
         }
     }
-    LinkPrecoding {
-        precoder,
-        stream_gains,
-    }
 }
+// alloc-free: end beamform_with
 
 #[cfg(test)]
 mod tests {

@@ -8,9 +8,9 @@
 //! estimated CSI, so against the true channel the null is imperfect --
 //! exactly the residual-interference effect of section 2.2.
 
-use crate::precoder::LinkPrecoding;
+use crate::precoder::{LinkPrecoding, PrecodeScratch};
 use copa_channel::FreqChannel;
-use copa_num::svd::svd;
+use copa_num::svd::svd_into;
 
 /// Relative singular-value threshold separating signal space from nullspace.
 const NULL_TOL: f64 = 1e-9;
@@ -33,6 +33,23 @@ pub fn null_toward(
     est_victim: &FreqChannel,
     streams: usize,
 ) -> Option<LinkPrecoding> {
+    let mut ws = PrecodeScratch::new();
+    let mut out = LinkPrecoding::empty();
+    null_toward_with(est_own, est_victim, streams, &mut ws, &mut out).then_some(out)
+}
+
+// alloc-free: begin null_toward_with (per-subcarrier kernel -- no Vec::new / vec!)
+/// [`null_toward`] writing into caller-owned buffers. Returns `false` (with
+/// `out` untouched beyond its shape) when the problem is overconstrained.
+/// Bit-identical to the allocating version: same SVD, nullspace projection
+/// and beamforming kernels, just without per-subcarrier allocations.
+pub fn null_toward_with(
+    est_own: &FreqChannel,
+    est_victim: &FreqChannel,
+    streams: usize,
+    ws: &mut PrecodeScratch,
+    out: &mut LinkPrecoding,
+) -> bool {
     assert_eq!(
         est_own.tx(),
         est_victim.tx(),
@@ -41,30 +58,29 @@ pub fn null_toward(
     let tx = est_own.tx();
     let dof = nulling_dof(tx, est_victim.rx());
     if dof < streams as isize || streams == 0 || streams > est_own.rx() {
-        return None;
+        return false;
     }
 
-    let cols: Vec<usize> = (0..streams).collect();
-    let mut precoder = Vec::with_capacity(52);
-    let mut stream_gains = vec![Vec::with_capacity(52); streams];
-    for (h_own, h_vic) in est_own.iter().zip(est_victim.iter()) {
+    ws.cols.clear();
+    ws.cols.extend(0..streams);
+    out.reset_shape(est_own.iter().count(), streams);
+    for (s, (h_own, h_vic)) in est_own.iter().zip(est_victim.iter()).enumerate() {
         // Orthonormal basis of null(H_victim): tx x dof.
-        let v0 = svd(h_vic).nullspace(NULL_TOL);
-        debug_assert!(v0.cols() >= streams);
+        svd_into(h_vic, &mut ws.svd, &mut ws.vic_dec);
+        ws.vic_dec.nullspace_into(NULL_TOL, &mut ws.v0);
+        debug_assert!(ws.v0.cols() >= streams);
         // Beamform the projected channel H_own * V0 (rx_own x dof).
-        let h_eff = h_own.matmul(&v0);
-        let d = svd(&h_eff);
-        let v1 = d.v.select_columns(&cols);
-        precoder.push(v0.matmul(&v1));
-        for (k, gains) in stream_gains.iter_mut().enumerate() {
-            gains.push(d.s[k] * d.s[k]);
+        h_own.mul_into(&ws.v0, &mut ws.h_eff);
+        svd_into(&ws.h_eff, &mut ws.svd, &mut ws.dec);
+        ws.dec.v.select_columns_into(&ws.cols, &mut ws.v1);
+        ws.v0.mul_into(&ws.v1, &mut out.precoder[s]);
+        for (k, gains) in out.stream_gains.iter_mut().enumerate() {
+            gains[s] = ws.dec.s[k] * ws.dec.s[k];
         }
     }
-    Some(LinkPrecoding {
-        precoder,
-        stream_gains,
-    })
+    true
 }
+// alloc-free: end null_toward_with
 
 #[cfg(test)]
 mod tests {

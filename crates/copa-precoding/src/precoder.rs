@@ -1,7 +1,40 @@
 //! Precoding data model shared by beamforming, nulling and the allocators.
 
 use copa_num::matrix::CMat;
+use copa_num::svd::{Svd, SvdScratch};
 use copa_phy::ofdm::DATA_SUBCARRIERS;
+
+/// Reusable working storage for the per-subcarrier precoding kernels
+/// ([`crate::beamforming::beamform_with`] and
+/// [`crate::nulling::null_toward_with`]).
+///
+/// One instance serves every subcarrier of every link of every topology a
+/// worker evaluates: the buffers grow to the largest shape in play and are
+/// then reused without touching the allocator.
+#[derive(Clone, Debug, Default)]
+pub struct PrecodeScratch {
+    /// Jacobi SVD working storage.
+    pub(crate) svd: SvdScratch,
+    /// Output slot for the own-channel SVD.
+    pub(crate) dec: Svd,
+    /// Output slot for the victim-channel SVD (nulling only).
+    pub(crate) vic_dec: Svd,
+    /// Nullspace basis of the victim channel (`tx x dof`).
+    pub(crate) v0: CMat,
+    /// Projected channel `H_own * V0`.
+    pub(crate) h_eff: CMat,
+    /// Beamformer within the nullspace.
+    pub(crate) v1: CMat,
+    /// Selected column indices `0..streams`.
+    pub(crate) cols: Vec<usize>,
+}
+
+impl PrecodeScratch {
+    /// A fresh scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A per-subcarrier linear precoder for one AP->client link.
 ///
@@ -11,7 +44,7 @@ use copa_phy::ofdm::DATA_SUBCARRIERS;
 /// the nominal post-combining channel gain of each stream (the squared
 /// singular value of the effective channel), which the power allocators use
 /// as the scalar per-subcarrier gain `g` in `SINR = p g / (noise + I)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LinkPrecoding {
     /// Per-subcarrier precoding matrices (`tx x streams`, unit-norm columns).
     pub precoder: Vec<CMat>,
@@ -20,6 +53,28 @@ pub struct LinkPrecoding {
 }
 
 impl LinkPrecoding {
+    /// An empty precoding, used as a reusable output slot for the `_with`
+    /// kernels (buffers grow on first use, then are reused).
+    pub fn empty() -> Self {
+        Self {
+            precoder: Vec::new(),
+            stream_gains: Vec::new(),
+        }
+    }
+
+    /// Reshapes for `n_sub` subcarriers x `streams` streams, reusing every
+    /// existing buffer (per-subcarrier matrices keep their allocations).
+    pub(crate) fn reset_shape(&mut self, n_sub: usize, streams: usize) {
+        self.precoder.truncate(n_sub);
+        self.precoder.resize_with(n_sub, CMat::default);
+        self.stream_gains.truncate(streams);
+        self.stream_gains.resize_with(streams, Vec::new);
+        for g in &mut self.stream_gains {
+            g.clear();
+            g.resize(n_sub, 0.0);
+        }
+    }
+
     /// Number of spatial streams.
     pub fn streams(&self) -> usize {
         self.stream_gains.len()

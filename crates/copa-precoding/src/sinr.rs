@@ -9,9 +9,73 @@
 
 use crate::precoder::{LinkPrecoding, TxPowers};
 use copa_channel::{FreqChannel, Impairments};
+use copa_num::complex::ONE;
 use copa_num::matrix::CMat;
-use copa_num::solve::inverse_loaded;
+use copa_num::solve::{inverse_loaded_into, LuScratch};
+use copa_num::C64;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
+
+/// Buffers for one transmitter's covariance contribution.
+#[derive(Clone, Debug, Default)]
+struct CovScratch {
+    /// Effective transmitted matrix `P diag(sqrt(p))`.
+    txm: CMat,
+    /// `H * txm` (received signal matrix).
+    b: CMat,
+    /// `b^H`.
+    bh: CMat,
+    /// `b * b^H`.
+    bbh: CMat,
+    /// Per-antenna transmitted powers.
+    pant: Vec<f64>,
+    /// EVM noise diagonal.
+    diag: CMat,
+    /// `H * diag`.
+    hd: CMat,
+    /// `H^H`.
+    hh: CMat,
+    /// `H * diag * H^H` (EVM term).
+    hdh: CMat,
+    /// `H * H^H` (leakage term).
+    hhh: CMat,
+}
+
+/// Reusable working storage for [`mmse_sinr_grid_with`]: every temporary of
+/// the per-subcarrier MMSE chain, owned once per worker and reused across
+/// subcarriers, strategies and topologies.
+#[derive(Clone, Debug, Default)]
+pub struct SinrScratch {
+    cov_scratch: CovScratch,
+    /// One transmitter's covariance contribution.
+    cov: CMat,
+    /// Base covariance (noise + own EVM + interferer).
+    base: CMat,
+    /// Own effective transmitted matrix.
+    txm: CMat,
+    /// Received stream signatures `H * txm`.
+    a: CMat,
+    /// Per-stream covariance `R_k`.
+    rk: CMat,
+    /// Interfering stream signature and products.
+    aj: CMat,
+    ajh: CMat,
+    ajajh: CMat,
+    /// Desired stream signature and products.
+    ak: CMat,
+    akh: CMat,
+    t1: CMat,
+    t2: CMat,
+    /// LU working storage and the inverse.
+    lu: LuScratch,
+    rinv: CMat,
+}
+
+impl SinrScratch {
+    /// A fresh scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One transmitter as seen from a particular receiver: the true channel to
 /// that receiver plus what the transmitter is sending.
@@ -28,42 +92,71 @@ pub struct TxSide<'a> {
 
 impl<'a> TxSide<'a> {
     /// Effective transmitted matrix `P diag(sqrt(p))` on subcarrier `s`
-    /// (tx x streams).
-    fn tx_matrix(&self, s: usize) -> CMat {
+    /// (tx x streams), written into `out`.
+    fn tx_matrix_into(&self, s: usize, out: &mut CMat) {
         let p = &self.precoding.precoder[s];
-        CMat::from_fn(p.rows(), p.cols(), |i, k| {
-            p[(i, k)].scale(self.powers.powers[k][s].sqrt())
-        })
-    }
-
-    /// Per-antenna transmitted power diag on subcarrier `s` (for EVM noise).
-    fn per_antenna_power(&self, s: usize) -> Vec<f64> {
-        let t = self.tx_matrix(s);
-        (0..t.rows())
-            .map(|i| (0..t.cols()).map(|k| t[(i, k)].norm_sqr()).sum())
-            .collect()
+        out.reset(p.rows(), p.cols());
+        for i in 0..p.rows() {
+            for k in 0..p.cols() {
+                out[(i, k)] = p[(i, k)].scale(self.powers.powers[k][s].sqrt());
+            }
+        }
     }
 
     /// Covariance contribution of this transmitter at the receiver on
-    /// subcarrier `s`, *excluding* the desired-signal columns if
-    /// `exclude_signal` (used when this is the receiver's own AP).
+    /// subcarrier `s` (allocating convenience wrapper; see
+    /// [`TxSide::covariance_into`]).
     fn covariance(&self, s: usize, imp: &Impairments, include_signal: bool) -> CMat {
+        let mut ws = CovScratch::default();
+        let mut r = CMat::default();
+        self.covariance_into(s, imp, include_signal, &mut ws, &mut r);
+        r
+    }
+
+    // alloc-free: begin covariance_into (per-subcarrier kernel -- no Vec::new / vec!)
+    /// Covariance contribution of this transmitter at the receiver on
+    /// subcarrier `s`, *excluding* the desired-signal columns unless
+    /// `include_signal` (excluded when this is the receiver's own AP).
+    /// Written into `r` using only caller-owned buffers.
+    fn covariance_into(
+        &self,
+        s: usize,
+        imp: &Impairments,
+        include_signal: bool,
+        ws: &mut CovScratch,
+        r: &mut CMat,
+    ) {
         let h = self.channel.at(s);
         let rx = h.rows();
-        let mut r = CMat::zeros(rx, rx);
+        r.reset(rx, rx);
+        self.tx_matrix_into(s, &mut ws.txm);
 
         if include_signal {
-            let b = h.matmul(&self.tx_matrix(s));
-            r = &r + &b.matmul(&b.hermitian());
+            h.mul_into(&ws.txm, &mut ws.b);
+            ws.b.hermitian_into(&mut ws.bh);
+            ws.b.mul_into(&ws.bh, &mut ws.bbh);
+            r.add_in_place(&ws.bbh);
         }
 
         // Transmit EVM: unprecoded noise radiated per antenna.
         let evm = imp.evm_factor();
         if evm > 0.0 {
-            let pw = self.per_antenna_power(s);
+            let pw = &mut ws.pant;
+            pw.clear();
+            pw.extend((0..ws.txm.rows()).map(|i| {
+                (0..ws.txm.cols())
+                    .map(|k| ws.txm[(i, k)].norm_sqr())
+                    .sum::<f64>()
+            }));
             if pw.iter().any(|&p| p > 0.0) {
-                let d = CMat::diag_real(&pw.iter().map(|&p| p * evm).collect::<Vec<_>>());
-                r = &r + &h.matmul(&d).matmul(&h.hermitian());
+                ws.diag.reset(pw.len(), pw.len());
+                for (i, &p) in pw.iter().enumerate() {
+                    ws.diag[(i, i)] = C64::real(p * evm);
+                }
+                h.mul_into(&ws.diag, &mut ws.hd);
+                h.hermitian_into(&mut ws.hh);
+                ws.hd.mul_into(&ws.hh, &mut ws.hdh);
+                r.add_in_place(&ws.hdh);
             }
         }
 
@@ -74,12 +167,15 @@ impl<'a> TxSide<'a> {
             let leak_mw = imp.leakage_factor() * self.budget_mw / DATA_SUBCARRIERS as f64;
             if leak_mw > 0.0 {
                 let per_ant = leak_mw / h.cols() as f64;
-                let hh = h.matmul(&h.hermitian());
-                r = &r + &hh.scale(per_ant);
+                h.hermitian_into(&mut ws.hh);
+                h.mul_into(&ws.hh, &mut ws.hhh);
+                for (dst, src) in r.as_mut_slice().iter_mut().zip(ws.hhh.as_slice()) {
+                    *dst = *dst + src.scale(per_ant);
+                }
             }
         }
-        r
     }
+    // alloc-free: end covariance_into
 }
 
 /// Per-stream post-MMSE SINR grid (`[stream][subcarrier]`, linear) at the
@@ -95,40 +191,75 @@ pub fn mmse_sinr_grid(
     noise_mw: f64,
     imp: &Impairments,
 ) -> Vec<Vec<f64>> {
+    let mut ws = SinrScratch::new();
+    let mut grid = Vec::new();
+    mmse_sinr_grid_with(own, interferer, noise_mw, imp, &mut ws, &mut grid);
+    grid
+}
+
+// alloc-free: begin mmse_sinr_grid_with (per-subcarrier kernel -- no Vec::new / vec!)
+/// [`mmse_sinr_grid`] writing into caller-owned buffers: `ws` holds every
+/// matrix temporary and `grid` is reshaped in place. After warm-up the whole
+/// per-subcarrier MMSE chain runs without heap allocation, and results are
+/// bit-identical to the allocating version (same kernels, same order).
+pub fn mmse_sinr_grid_with(
+    own: &TxSide,
+    interferer: Option<&TxSide>,
+    noise_mw: f64,
+    imp: &Impairments,
+    ws: &mut SinrScratch,
+    grid: &mut Vec<Vec<f64>>,
+) {
     let streams = own.precoding.streams();
     let rx = own.channel.rx();
-    let mut grid = vec![vec![0.0; DATA_SUBCARRIERS]; streams];
+    grid.truncate(streams);
+    grid.resize_with(streams, Vec::new);
+    for row in grid.iter_mut() {
+        row.clear();
+        row.resize(DATA_SUBCARRIERS, 0.0);
+    }
 
     for s in 0..DATA_SUBCARRIERS {
         // Base covariance: thermal noise + own EVM + interferer everything.
-        let mut base = CMat::identity(rx).scale(noise_mw);
-        base = &base + &own.covariance(s, imp, false);
+        ws.base.reset(rx, rx);
+        for i in 0..rx {
+            ws.base[(i, i)] = ONE.scale(noise_mw);
+        }
+        own.covariance_into(s, imp, false, &mut ws.cov_scratch, &mut ws.cov);
+        ws.base.add_in_place(&ws.cov);
         if let Some(int) = interferer {
-            base = &base + &int.covariance(s, imp, true);
+            int.covariance_into(s, imp, true, &mut ws.cov_scratch, &mut ws.cov);
+            ws.base.add_in_place(&ws.cov);
         }
 
-        let a = own.channel.at(s).matmul(&own.tx_matrix(s)); // rx x streams
+        own.tx_matrix_into(s, &mut ws.txm);
+        own.channel.at(s).mul_into(&ws.txm, &mut ws.a); // rx x streams
         for k in 0..streams {
             if own.powers.powers[k][s] <= 0.0 {
                 continue;
             }
             // R_k = base + sum_{j != k} a_j a_j^H.
-            let mut rk = base.clone();
+            ws.rk.copy_from(&ws.base);
             for j in 0..streams {
                 if j == k {
                     continue;
                 }
-                let aj = a.column(j);
-                rk = &rk + &aj.matmul(&aj.hermitian());
+                ws.a.column_into(j, &mut ws.aj);
+                ws.aj.hermitian_into(&mut ws.ajh);
+                ws.aj.mul_into(&ws.ajh, &mut ws.ajajh);
+                ws.rk.add_in_place(&ws.ajajh);
             }
-            let ak = a.column(k);
-            let rinv = inverse_loaded(&rk, noise_mw.max(1e-18) * 1e-9);
-            let sinr = ak.hermitian().matmul(&rinv).matmul(&ak)[(0, 0)];
+            ws.a.column_into(k, &mut ws.ak);
+            inverse_loaded_into(&ws.rk, noise_mw.max(1e-18) * 1e-9, &mut ws.lu, &mut ws.rinv);
+            ws.ak.hermitian_into(&mut ws.akh);
+            ws.akh.mul_into(&ws.rinv, &mut ws.t1);
+            ws.t1.mul_into(&ws.ak, &mut ws.t2);
+            let sinr = ws.t2[(0, 0)];
             grid[k][s] = sinr.re.max(0.0);
         }
     }
-    grid
 }
+// alloc-free: end mmse_sinr_grid_with
 
 /// Total received power (mW, summed over receive antennas) from a
 /// transmitter on each subcarrier -- the paper's INR / signal-power
@@ -146,6 +277,13 @@ pub fn received_power_per_subcarrier(tx: &TxSide, imp: &Impairments) -> Vec<f64>
 /// flat vector the throughput model consumes.
 pub fn active_cells(grid: &[Vec<f64>], powers: &TxPowers) -> Vec<f64> {
     let mut out = Vec::new();
+    active_cells_into(grid, powers, &mut out);
+    out
+}
+
+/// [`active_cells`] appending into a caller-owned buffer (cleared first).
+pub fn active_cells_into(grid: &[Vec<f64>], powers: &TxPowers, out: &mut Vec<f64>) {
+    out.clear();
     for (k, row) in grid.iter().enumerate() {
         for (s, &sinr) in row.iter().enumerate() {
             if powers.powers[k][s] > 0.0 {
@@ -153,7 +291,6 @@ pub fn active_cells(grid: &[Vec<f64>], powers: &TxPowers) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

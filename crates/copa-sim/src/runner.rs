@@ -2,14 +2,20 @@
 //!
 //! Every CDF in the paper is "across topologies", so the basic operation is
 //! mapping the strategy engine over a suite. Evaluations are independent;
-//! std scoped threads fan them out across cores.
+//! std scoped threads pull topology indices from a shared atomic counter
+//! (work stealing), so a handful of slow topologies cannot idle the other
+//! workers the way static chunking could.
 
 use copa_channel::Topology;
-use copa_core::{Engine, Evaluation, ScenarioParams};
+use copa_core::{Engine, EngineWorkspace, Evaluation, ScenarioParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluates `suite` in parallel with `threads` workers (results in suite
 /// order). Each topology gets a distinct, deterministic CSI seed derived
-/// from its index, so results are reproducible regardless of thread count.
+/// from its index, so results are byte-identical regardless of thread count
+/// or which worker happens to claim which topology. Spawns at most
+/// `suite.len()` workers; an empty suite returns an empty vector without
+/// spawning anything.
 pub fn evaluate_parallel(
     params: &ScenarioParams,
     suite: &[Topology],
@@ -17,30 +23,49 @@ pub fn evaluate_parallel(
 ) -> Vec<Evaluation> {
     assert!(threads >= 1);
     let n = suite.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
     let mut results: Vec<Option<Evaluation>> = (0..n).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        let chunk = n.div_ceil(threads);
-        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (off, slot) in out_chunk.iter_mut().enumerate() {
-                    let idx = start + off;
-                    let mut p = *params;
-                    p.seed = params
-                        .seed
-                        .wrapping_add(idx as u64)
-                        .wrapping_mul(0x9E37_79B9);
-                    let engine = Engine::new(p);
-                    *slot = Some(engine.evaluate(&suite[idx]));
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    // One reusable workspace per worker: buffers grow to the
+                    // largest topology shape, then evaluation is alloc-free.
+                    let mut ws = EngineWorkspace::new();
+                    let mut done: Vec<(usize, Evaluation)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let mut p = *params;
+                        p.seed = params
+                            .seed
+                            .wrapping_add(idx as u64)
+                            .wrapping_mul(0x9E37_79B9);
+                        let engine = Engine::new(p);
+                        done.push((idx, engine.evaluate_with(&suite[idx], &mut ws)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, ev) in h.join().expect("worker panicked") {
+                results[idx] = Some(ev);
+            }
         }
     });
 
     results
         .into_iter()
-        .map(|r| r.expect("all slots filled"))
+        .map(|r| r.expect("every index was claimed exactly once"))
         .collect()
 }
 
@@ -63,6 +88,31 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.copa.aggregate_bps(), b.copa.aggregate_bps());
             assert_eq!(a.csma.aggregate_bps(), b.csma.aggregate_bps());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_topologies() {
+        // Requesting far more workers than there is work must not panic,
+        // must not leave holes, and must match the serial result exactly.
+        let suite = TopologySampler::default().suite(62, 3, AntennaConfig::SINGLE);
+        let params = ScenarioParams::default();
+        let serial = evaluate_serial(&params, &suite);
+        let wide = evaluate_parallel(&params, &suite, 64);
+        assert_eq!(wide.len(), suite.len());
+        for (a, b) in serial.iter().zip(&wide) {
+            assert_eq!(
+                a.copa.aggregate_bps().to_bits(),
+                b.copa.aggregate_bps().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_suite_is_fine() {
+        let params = ScenarioParams::default();
+        for threads in [1, 2, 8] {
+            assert!(evaluate_parallel(&params, &[], threads).is_empty());
         }
     }
 

@@ -5,10 +5,22 @@
 # inside this repo, so the whole gate runs with `--offline` and must
 # succeed on a machine with no crates.io access at all. This script is
 # what CI (and the PR driver) runs; keep it green.
+#
+# Usage: scripts/check.sh [--bench-smoke]
+#   --bench-smoke  additionally run the hotpath benchmark in --quick mode
+#                  and leave its JSON lines in BENCH_hotpath.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> 1/4 hermeticity: no registry dependencies in any Cargo.toml"
+BENCH_SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> 1/5 hermeticity: no registry dependencies in any Cargo.toml"
 bad=0
 while IFS= read -r toml; do
     # Reject dotted dependency tables ([dependencies.foo]) outright --
@@ -41,13 +53,43 @@ if [ "$bad" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are in-repo path deps"
 
-echo "==> 2/4 cargo fmt --check"
+echo "==> 2/5 alloc-free kernel regions: no Vec::new / vec! reintroduced"
+# Per-subcarrier kernels are bracketed by "alloc-free: begin <name>" /
+# "alloc-free: end <name>" markers. Inside those regions, constructs that
+# allocate per call are banned; scratch buffers must come from the caller.
+if ! awk '
+    /alloc-free: begin/ { inside = 1; region = $0 }
+    inside && !/alloc-free:/ && !/^[[:space:]]*\/\// {
+        if ($0 ~ /Vec::new\(|vec!|\.to_vec\(|with_capacity\(|Vec::from|CMat::zeros\(|\.clone\(\)/) {
+            printf "error: %s:%d: allocation in alloc-free region (%s): %s\n", \
+                FILENAME, FNR, region, $0 > "/dev/stderr"
+            bad = 1
+        }
+    }
+    /alloc-free: end/ { inside = 0 }
+    END { exit bad }
+' $(grep -rl 'alloc-free: begin' crates --include='*.rs'); then
+    echo "alloc-free gate FAILED: per-subcarrier kernels must not allocate" >&2
+    exit 1
+fi
+echo "    ok: $(grep -rh 'alloc-free: begin' crates --include='*.rs' | wc -l | tr -d ' ') marked kernel regions are allocation-free"
+
+echo "==> 3/5 cargo fmt --check"
 cargo fmt --check
 
-echo "==> 3/4 cargo build --release --offline (workspace, benches included)"
+echo "==> 4/5 cargo build --release --offline (workspace, benches included)"
 cargo build --release --offline --workspace --benches
 
-echo "==> 4/4 cargo test -q --offline (workspace)"
+echo "==> 5/5 cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+    echo "==> bench smoke: hotpath --quick (JSON -> BENCH_hotpath.json)"
+    cargo bench --offline -p copa-bench --bench hotpath -- --quick | tee BENCH_hotpath.json
+    grep -q '"name"' BENCH_hotpath.json || {
+        echo "bench smoke FAILED: no JSON lines in BENCH_hotpath.json" >&2
+        exit 1
+    }
+fi
 
 echo "==> all checks passed"

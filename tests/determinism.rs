@@ -76,6 +76,28 @@ fn runner_thread_count_does_not_change_results() {
 }
 
 #[test]
+fn work_stealing_runner_is_byte_identical_across_1_2_8_threads() {
+    // Mixed antenna configs exercise every engine path (full-rank nulling,
+    // SDA, beamforming-only) while workers race for indices.
+    let mut suite = TopologySampler::default().suite(0xDEA, 4, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(TopologySampler::default().suite(0xDEB, 4, AntennaConfig::SINGLE));
+    suite.extend(TopologySampler::default().suite(0xDEC, 4, AntennaConfig::OVERCONSTRAINED_3X2));
+    let params = ScenarioParams::default();
+    let one = evaluate_parallel(&params, &suite, 1);
+    for threads in [2, 8] {
+        let many = evaluate_parallel(&params, &suite, threads);
+        assert_eq!(one.len(), many.len());
+        for (i, (a, b)) in one.iter().zip(&many).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "topology {i}: 1-thread vs {threads}-thread runs must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
 fn mercury_variants_are_deterministic_too() {
     let suite = TopologySampler::default().suite(0xDE9, 2, AntennaConfig::SINGLE);
     let params = ScenarioParams {
