@@ -70,7 +70,7 @@ fn print_reproduction() {
             refresh_interval_s: refresh_s,
             ..Default::default()
         };
-        let r = run_episode(&topo, &params, &cfg);
+        let r = run_episode(&topo, &params, &cfg).expect("episode");
         println!(
             "  {label}: COPA fair {:.1} Mbps, CSMA {:.1} Mbps, null {:.1} Mbps, {} refreshes",
             r.copa_fair_mbps,

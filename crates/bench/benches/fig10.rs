@@ -5,7 +5,7 @@
 use copa_bench::harness::{black_box, Criterion};
 use copa_bench::{print_comparison, threads, FIG10_PAPER};
 use copa_channel::AntennaConfig;
-use copa_core::{Engine, ScenarioParams};
+use copa_core::{Engine, EvalRequest, ScenarioParams};
 use copa_sim::{fig10, standard_suite};
 
 fn print_reproduction() {
@@ -24,7 +24,13 @@ fn main() {
     c.bench_function("engine_evaluate_fig10", |b| {
         let suite = standard_suite(AntennaConfig::SINGLE);
         let engine = Engine::new(ScenarioParams::default());
-        b.iter(|| black_box(engine.evaluate(&suite[0])))
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(&mut EvalRequest::topology(&suite[0]))
+                    .expect("valid topology"),
+            )
+        })
     });
     c.final_summary();
 }

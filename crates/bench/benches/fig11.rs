@@ -5,7 +5,7 @@
 use copa_bench::harness::{black_box, Criterion};
 use copa_bench::{print_comparison, threads, FIG11_PAPER};
 use copa_channel::AntennaConfig;
-use copa_core::{Engine, ScenarioParams};
+use copa_core::{Engine, EvalRequest, ScenarioParams};
 use copa_sim::{fig11, standard_suite};
 
 fn print_reproduction() {
@@ -16,7 +16,7 @@ fn print_reproduction() {
     };
     let exp = fig11(&suite, &params, threads());
     print_comparison(&exp, &FIG11_PAPER);
-    let h = copa_sim::headline_stats(&exp);
+    let h = copa_sim::headline_stats(&exp).expect("fig11 has CSMA/Null/COPA series");
     println!("Section 1 headline statistics (paper / measured):");
     println!(
         "  nulling underperforms CSMA:  83% / {:.0}%",
@@ -39,7 +39,13 @@ fn main() {
     c.bench_function("engine_evaluate_fig11", |b| {
         let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
         let engine = Engine::new(ScenarioParams::default());
-        b.iter(|| black_box(engine.evaluate(&suite[0])))
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(&mut EvalRequest::topology(&suite[0]))
+                    .expect("valid topology"),
+            )
+        })
     });
     c.final_summary();
 }

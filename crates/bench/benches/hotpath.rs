@@ -20,7 +20,7 @@
 
 use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{AntennaConfig, MultipathProfile, TopologySampler};
-use copa_core::{Engine, EngineWorkspace, ScenarioParams};
+use copa_core::{Engine, EngineWorkspace, EvalRequest, ScenarioParams};
 use copa_num::{svd, CMat, SimRng};
 use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
 use copa_sim::evaluate_parallel;
@@ -136,25 +136,29 @@ fn main() {
         .remove(0);
     let engine = Engine::new(params);
     c.bench_function("evaluate_4x2", |b| {
-        b.iter(|| engine.evaluate(black_box(&t4x2)))
+        b.iter(|| {
+            engine
+                .run(&mut EvalRequest::topology(black_box(&t4x2)))
+                .expect("valid topology")
+        })
     });
 
     // Allocations for one evaluation (median-free single shot is stable:
     // the count is deterministic). Warm up once so one-time lazy init is
-    // excluded. Two views: `evaluate` creates a fresh workspace per call
-    // (the convenience API); `evaluate_with` reuses a warmed workspace,
+    // excluded. Two views: a bare `EvalRequest` creates a fresh workspace
+    // per call (the convenience API); `.workspace(..)` reuses a warmed one,
     // which is what the suite runner does per worker -- that number is the
     // allocation-free-kernel canary.
-    let _ = engine.evaluate(&t4x2);
+    let _ = engine.run(&mut EvalRequest::topology(&t4x2));
     let allocs = count_allocs(|| {
-        black_box(engine.evaluate(&t4x2));
+        let _ = black_box(engine.run(&mut EvalRequest::topology(&t4x2)));
     });
     report_allocs("evaluate_4x2", allocs);
 
     let mut ws = EngineWorkspace::new();
-    let _ = engine.evaluate_with(&t4x2, &mut ws);
+    let _ = engine.run(&mut EvalRequest::topology(&t4x2).workspace(&mut ws));
     let allocs_warm = count_allocs(|| {
-        black_box(engine.evaluate_with(&t4x2, &mut ws));
+        let _ = black_box(engine.run(&mut EvalRequest::topology(&t4x2).workspace(&mut ws)));
     });
     report_allocs("evaluate_4x2_warm_ws", allocs_warm);
 

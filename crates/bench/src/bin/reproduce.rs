@@ -22,7 +22,7 @@ fn main() {
 
     let e11 = fig11(&s4, &params, threads);
     println!("{}", render_experiment(&e11));
-    let h = headline_stats(&e11);
+    let h = headline_stats(&e11).expect("fig11 has CSMA/Null/COPA series");
     println!(
         "Null worse than CSMA: {:.0}% (paper 83%)",
         h.null_worse_than_csma * 100.0

@@ -1,7 +1,7 @@
 //! Developer tool: wall-clock cost of one engine evaluation (plain vs
 //! mercury/COPA+).
 use copa_channel::AntennaConfig;
-use copa_core::{Engine, ScenarioParams};
+use copa_core::{Engine, EvalRequest, ScenarioParams};
 use copa_sim::standard_suite;
 use std::time::Instant;
 
@@ -9,7 +9,7 @@ fn main() {
     let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
     let t = Instant::now();
     let e = Engine::new(ScenarioParams::default());
-    let _ = e.evaluate(&suite[0]);
+    let _ = e.run(&mut EvalRequest::topology(&suite[0]));
     println!("plain eval: {:?}", t.elapsed());
     let t = Instant::now();
     let e = Engine::new(ScenarioParams {
@@ -18,6 +18,6 @@ fn main() {
     });
     println!("engine+curves built: {:?}", t.elapsed());
     let t = Instant::now();
-    let _ = e.evaluate(&suite[0]);
+    let _ = e.run(&mut EvalRequest::topology(&suite[0]));
     println!("mercury eval: {:?}", t.elapsed());
 }

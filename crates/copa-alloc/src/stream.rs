@@ -111,7 +111,7 @@ pub fn equi_sinr(
     order.sort_by(|&a, &b| {
         let qa = problem.gains[a] / problem.floor(a);
         let qb = problem.gains[b] / problem.floor(b);
-        qa.partial_cmp(&qb).unwrap()
+        qa.total_cmp(&qb)
     });
 
     let mut best: Option<(usize, f64, RateChoice)> = None;
@@ -171,7 +171,7 @@ pub fn selection_only(
     order.sort_by(|&a, &b| {
         let qa = problem.gains[a] / problem.floor(a);
         let qb = problem.gains[b] / problem.floor(b);
-        qa.partial_cmp(&qb).unwrap()
+        qa.total_cmp(&qb)
     });
     let mut best: Option<StreamAllocation> = None;
     for drop in 0..n {
@@ -407,7 +407,7 @@ fn finish_for_modulation(
         .iter()
         .filter(|m| m.modulation == modulation)
         .map(|&m| model.evaluate(m, &active, airtime))
-        .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
+        .max_by(|a, b| a.goodput_bps.total_cmp(&b.goodput_bps))
         .expect("every modulation appears in the MCS table");
     StreamAllocation {
         powers,

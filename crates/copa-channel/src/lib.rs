@@ -10,14 +10,18 @@
 //!   paper's Figure 9 signal/interference scatter.
 //! * [`impairments`] -- CSI estimation noise, transmit EVM and carrier
 //!   leakage: the reasons nulling leaves residual interference (section 2.2).
+//! * [`faults`] -- deterministic seeded fault injection (frame loss, wire
+//!   corruption/truncation, CSI staleness) for degradation experiments.
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod impairments;
 pub mod multipath;
 pub mod pathloss;
 pub mod topology;
 
+pub use faults::{Delivery, FaultPlan};
 pub use impairments::Impairments;
 pub use multipath::{FreqChannel, MultipathProfile};
 pub use topology::{AntennaConfig, Topology, TopologySampler};

@@ -12,7 +12,7 @@
 //! (or transmits solo when no pairing is incentive-compatible and
 //! profitable). Long-run per-client throughputs and Jain fairness follow.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EvalRequest};
 use crate::strategy::Strategy;
 use copa_channel::{AntennaConfig, FreqChannel, Topology, TopologySampler};
 use copa_num::rng::SimRng;
@@ -154,9 +154,14 @@ pub fn run_cell(scenario: &MultiApScenario, engine: &Engine, rounds: usize) -> C
     let eval_pair =
         |i: usize, j: usize, cache: &mut Vec<Vec<Option<crate::engine::Evaluation>>>| {
             if cache[i][j].is_none() {
-                cache[i][j] = Some(engine.evaluate(&scenario.pair_topology(i, j)));
+                cache[i][j] = Some(
+                    engine
+                        .run(&mut EvalRequest::topology(&scenario.pair_topology(i, j)))
+                        .expect("sampled topologies are valid"),
+                );
             }
-            cache[i][j].clone().unwrap()
+            // invariant: the branch above just filled this slot.
+            cache[i][j].clone().expect("memoized above")
         };
 
     // Solo (full-airtime) rate per AP: COPA-SEQ per-client is half the
@@ -287,7 +292,9 @@ mod tests {
         let s = scenario(2, 4);
         let engine = Engine::new(ScenarioParams::default());
         let out = run_cell(&s, &engine, 2);
-        let direct = engine.evaluate(&s.pair_topology(0, 1));
+        let direct = engine
+            .run(&mut EvalRequest::topology(&s.pair_topology(0, 1)))
+            .expect("valid topology");
         let expected = direct
             .copa_fair
             .aggregate_mbps()

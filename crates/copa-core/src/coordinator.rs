@@ -9,15 +9,20 @@
 //! -- so quantization loss genuinely flows into the chosen strategy, as it
 //! would over the air.
 
-use crate::engine::{DecoderMode, Engine, Evaluation};
+use crate::engine::{Engine, EvalRequest, Evaluation};
+use crate::error::{CopaError, WireFault};
 use crate::scenario::{prepare, PreparedScenario};
-use crate::strategy::Strategy;
+use crate::strategy::{Outcome, Strategy};
+use copa_channel::faults::{Delivery, FaultPlan};
 use copa_channel::{FreqChannel, Topology};
 use copa_mac::csi_codec::{compress_csi, decompress_csi};
-use copa_mac::frames::{Addr, Decision, FrameError, ItsFrame};
-use copa_mac::timing::{bulk_frame_us, control_frame_us, SIFS_US};
+use copa_mac::frames::{Addr, Decision, ItsFrame};
+use copa_mac::timing::{
+    bulk_frame_us, control_frame_us, CW_MAX, CW_MIN, DIFS_US, SIFS_US, SLOT_US,
+};
+use copa_num::rng::SimRng;
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 /// A CSI cache entry: the channel learned by overhearing, plus when.
 #[derive(Clone, Debug)]
@@ -46,7 +51,7 @@ impl CsiCache {
     pub fn learn(&self, sender: Addr, channel: FreqChannel, now_us: f64) {
         self.entries
             .write()
-            .expect("CSI cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(
                 sender,
                 CsiEntry {
@@ -60,6 +65,7 @@ impl CsiCache {
     ///
     /// Clones the channel out of the cache; when the caller only needs to
     /// *look* at the CSI, [`Self::with_fresh`] avoids the clone.
+    #[deprecated(note = "use `with_fresh`, which inspects under the guard without cloning")]
     pub fn fresh(&self, sender: Addr, now_us: f64, coherence_us: f64) -> Option<FreqChannel> {
         self.with_fresh(sender, now_us, coherence_us, |ch| ch.clone())
     }
@@ -74,7 +80,7 @@ impl CsiCache {
         coherence_us: f64,
         f: impl FnOnce(&FreqChannel) -> R,
     ) -> Option<R> {
-        let map = self.entries.read().expect("CSI cache lock poisoned");
+        let map = self.entries.read().unwrap_or_else(PoisonError::into_inner);
         let e = map.get(&sender)?;
         if now_us - e.learned_at_us <= coherence_us {
             Some(f(&e.channel))
@@ -88,7 +94,7 @@ impl CsiCache {
     /// guard). Entries come back sorted by sender address so iteration
     /// order is deterministic.
     pub fn snapshot(&self) -> Vec<(Addr, CsiEntry)> {
-        let map = self.entries.read().expect("CSI cache lock poisoned");
+        let map = self.entries.read().unwrap_or_else(PoisonError::into_inner);
         let mut all: Vec<(Addr, CsiEntry)> = map.iter().map(|(a, e)| (*a, e.clone())).collect();
         all.sort_by_key(|(a, _)| *a);
         all
@@ -96,14 +102,17 @@ impl CsiCache {
 
     /// Number of cached senders.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("CSI cache lock poisoned").len()
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// `true` if nothing has been overheard yet.
     pub fn is_empty(&self) -> bool {
         self.entries
             .read()
-            .expect("CSI cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .is_empty()
     }
 }
@@ -122,14 +131,156 @@ pub struct FrameRecord {
 /// The result of a full ITS exchange.
 #[derive(Debug)]
 pub struct ExchangeTrace {
-    /// Frames that crossed the air, in order.
+    /// Frames that decoded on the air, in order (retransmissions of a frame
+    /// appear once per successful decode; lost attempts only burn airtime).
     pub frames: Vec<FrameRecord>,
-    /// Total control airtime including SIFS gaps, microseconds.
+    /// Total control airtime including SIFS gaps, retransmissions and
+    /// backoff, microseconds.
     pub control_airtime_us: f64,
+    /// Delivery attempts made across all frames.
+    pub attempts: u32,
+    /// Retries consumed out of the fault plan's budget.
+    pub retries: u32,
     /// The decision the Leader sent in ITS ACK.
     pub decision: Strategy,
     /// The Leader's full evaluation (computed from decompressed CSI).
     pub evaluation: Evaluation,
+}
+
+/// The outcome of a fault-aware ITS exchange.
+#[derive(Debug)]
+pub enum ExchangeOutcome {
+    /// The exchange completed; both cells follow the Leader's decision.
+    Coordinated(ExchangeTrace),
+    /// The retry budget ran out: both cells abandon coordination for this
+    /// coherence interval and fall back to stock CSMA.
+    Degraded {
+        /// The Leader's local evaluation (its CSMA outcome is what the
+        /// cells actually run).
+        evaluation: Evaluation,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+        /// Retries consumed (the whole budget, by construction).
+        retries: u32,
+        /// Control airtime burned by the failed exchange, microseconds.
+        control_airtime_us: f64,
+        /// Why the exchange gave up (an [`CopaError::ExchangeFailed`]
+        /// wrapping the final fault).
+        reason: CopaError,
+    },
+}
+
+impl ExchangeOutcome {
+    /// The strategy both cells actually end up running.
+    pub fn decision(&self) -> Strategy {
+        match self {
+            ExchangeOutcome::Coordinated(t) => t.decision,
+            ExchangeOutcome::Degraded { .. } => Strategy::Csma,
+        }
+    }
+
+    /// The per-client outcome of that strategy (COPA-fair when coordinated,
+    /// stock CSMA when degraded).
+    pub fn chosen(&self) -> &Outcome {
+        match self {
+            ExchangeOutcome::Coordinated(t) => &t.evaluation.copa_fair,
+            ExchangeOutcome::Degraded { evaluation, .. } => &evaluation.csma,
+        }
+    }
+
+    /// `true` when the exchange fell back to CSMA.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ExchangeOutcome::Degraded { .. })
+    }
+
+    /// Retries consumed by this exchange.
+    pub fn retries(&self) -> u32 {
+        match self {
+            ExchangeOutcome::Coordinated(t) => t.retries,
+            ExchangeOutcome::Degraded { retries, .. } => *retries,
+        }
+    }
+}
+
+/// The lossy medium one exchange runs over: applies the fault plan to every
+/// transmitted frame, accounts airtime (including retransmissions and
+/// DCF-style backoff), and enforces the shared retry budget.
+struct Airwave<'a> {
+    plan: &'a FaultPlan,
+    rng: SimRng,
+    attempts: u32,
+    retries_used: u32,
+    backoff_stage: u32,
+    airtime_us: f64,
+    frames: Vec<FrameRecord>,
+}
+
+impl<'a> Airwave<'a> {
+    fn new(plan: &'a FaultPlan, rng: SimRng) -> Self {
+        Self {
+            plan,
+            rng,
+            attempts: 0,
+            retries_used: 0,
+            backoff_stage: 0,
+            airtime_us: 0.0,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Consumes one retry from the budget, charging the mean backoff of a
+    /// doubling contention window; fails with `cause` once the budget is
+    /// spent.
+    fn retry(&mut self, cause: CopaError) -> Result<(), CopaError> {
+        if self.retries_used >= self.plan.max_retries {
+            return Err(cause);
+        }
+        self.retries_used += 1;
+        let cw = ((CW_MIN + 1) << self.backoff_stage.min(6)).min(CW_MAX + 1) - 1;
+        self.backoff_stage += 1;
+        self.airtime_us += DIFS_US + 0.5 * f64::from(cw) * SLOT_US;
+        Ok(())
+    }
+
+    /// Transmits one frame through the faulty medium until it decodes or
+    /// the retry budget dies. `air_of` maps wire bytes to airtime (control
+    /// vs bulk rate). A fault-free plan charges exactly one airtime + SIFS,
+    /// keeping clean traces bit-identical to the lossless implementation.
+    fn send(
+        &mut self,
+        name: &'static str,
+        wire: &[u8],
+        air_of: fn(usize) -> f64,
+    ) -> Result<ItsFrame, CopaError> {
+        let air_us = air_of(wire.len());
+        loop {
+            self.attempts += 1;
+            self.airtime_us += air_us + SIFS_US;
+            let fault = match self.plan.deliver(&mut self.rng, wire) {
+                Delivery::Lost => CopaError::CodecError {
+                    stage: name,
+                    kind: WireFault::Lost { frame: name },
+                },
+                Delivery::Intact(bytes)
+                | Delivery::Corrupted(bytes)
+                | Delivery::Truncated(bytes) => match ItsFrame::decode(&bytes) {
+                    Ok(frame) => {
+                        self.frames.push(FrameRecord {
+                            name,
+                            wire_bytes: wire.len(),
+                            airtime_us: air_us,
+                        });
+                        return Ok(frame);
+                    }
+                    Err(e) => CopaError::CodecError {
+                        stage: name,
+                        kind: WireFault::Frame(e),
+                    },
+                },
+            };
+            self.retry(fault)?;
+        }
+    }
 }
 
 /// Drives ITS exchanges over a topology.
@@ -148,24 +299,75 @@ impl Coordinator {
         &self.engine
     }
 
-    /// Runs one complete ITS exchange with AP `leader` as Leader.
-    ///
-    /// Returns an error if any frame fails to decode (which, over the air,
-    /// would trigger backoff and retry).
+    /// Runs one complete ITS exchange with AP `leader` as Leader over a
+    /// clean (fault-free) medium.
     pub fn run_exchange(
         &self,
         topology: &Topology,
         leader: usize,
-    ) -> Result<ExchangeTrace, FrameError> {
-        assert!(leader < 2);
+    ) -> Result<ExchangeTrace, CopaError> {
+        match self.run_exchange_with_faults(topology, leader, &FaultPlan::none(0), 0)? {
+            ExchangeOutcome::Coordinated(trace) => Ok(trace),
+            ExchangeOutcome::Degraded { reason, .. } => Err(reason),
+        }
+    }
+
+    /// Runs one ITS exchange over the medium described by `plan`.
+    ///
+    /// Every frame is retried with DCF-style backoff out of a shared budget
+    /// (`plan.max_retries`); stale cached CSI forces a re-measurement that
+    /// also costs a retry. When the budget runs out the exchange does what
+    /// the real protocol must: both cells give up on coordination for this
+    /// coherence interval and run stock CSMA, reported as
+    /// [`ExchangeOutcome::Degraded`] rather than an error. `exchange_id`
+    /// salts the fault stream, so a `(plan.seed, exchange_id)` pair replays
+    /// bit-identically regardless of which thread runs it.
+    pub fn run_exchange_with_faults(
+        &self,
+        topology: &Topology,
+        leader: usize,
+        plan: &FaultPlan,
+        exchange_id: u64,
+    ) -> Result<ExchangeOutcome, CopaError> {
+        assert!(leader < 2); // allowlisted: caller-side API contract
+        let p = prepare(topology, self.engine.params());
+        let mut air = Airwave::new(plan, plan.rng_for(exchange_id));
+        match self.attempt_exchange(&p, topology, leader, &mut air) {
+            Ok(trace) => Ok(ExchangeOutcome::Coordinated(trace)),
+            Err(last) => {
+                // Coordination failed: both cells stay on stock CSMA for
+                // this coherence interval. The Leader can still evaluate
+                // its local view -- the CSMA outcome needs no exchange.
+                let evaluation = self.engine.run(&mut EvalRequest::prepared(&p))?;
+                Ok(ExchangeOutcome::Degraded {
+                    evaluation,
+                    attempts: air.attempts,
+                    retries: air.retries_used,
+                    control_airtime_us: air.airtime_us,
+                    reason: CopaError::ExchangeFailed {
+                        attempts: air.attempts,
+                        retries: air.retries_used,
+                        last: Box::new(last),
+                    },
+                })
+            }
+        }
+    }
+
+    /// One full coordination chain under the fault plan: INIT, REQ (with
+    /// CSI decompression), the Leader's evaluation, ACK. Any error here is
+    /// terminal for the exchange -- the shared retry budget is spent.
+    fn attempt_exchange(
+        &self,
+        p: &PreparedScenario,
+        topology: &Topology,
+        leader: usize,
+        air: &mut Airwave<'_>,
+    ) -> Result<ExchangeTrace, CopaError> {
         let follower = 1 - leader;
         let params = self.engine.params();
-        let p = prepare(topology, params);
-
         let ap = [Addr::from_id(1), Addr::from_id(2)];
         let client = [Addr::from_id(11), Addr::from_id(12)];
-        let mut frames = Vec::new();
-        let mut airtime = 0.0;
 
         // Step 2: ITS INIT from the Leader.
         let init = ItsFrame::Init {
@@ -173,54 +375,59 @@ impl Coordinator {
             client: client[leader],
             airtime_us: copa_mac::timing::TXOP_US as u32,
         };
-        let init_wire = init.encode();
-        let decoded_init = ItsFrame::decode(&init_wire)?;
-        let init_air = control_frame_us(init_wire.len());
-        frames.push(FrameRecord {
-            name: "ITS INIT",
-            wire_bytes: init_wire.len(),
-            airtime_us: init_air,
-        });
-        airtime += init_air + SIFS_US;
+        let decoded_init = air.send("ITS INIT", &init.encode(), control_frame_us)?;
         let (init_leader, init_client) = match decoded_init {
             ItsFrame::Init { leader, client, .. } => (leader, client),
+            // invariant: decode of an encoded INIT preserves the tag
             _ => unreachable!("encoded an INIT"),
         };
 
         // Step 3: ITS REQ from the Follower, carrying compressed CSI from
-        // the Follower to both clients.
-        let req = ItsFrame::Req {
-            leader: init_leader,
-            follower: ap[follower],
-            client1: init_client,
-            client2: client[follower],
-            csi_to_client1: compress_csi(&p.est[follower][leader]),
-            csi_to_client2: compress_csi(&p.est[follower][follower]),
-            airtime_us: copa_mac::timing::TXOP_US as u32,
+        // the Follower to both clients. Stale cached CSI forces a
+        // re-measurement before sending; a REQ whose CSI payload fails to
+        // decompress is retransmitted like any other garbled frame.
+        let (csi1, csi2) = loop {
+            if air.plan.csi_is_stale(&mut air.rng) {
+                air.retry(CopaError::StaleCsi {
+                    age_us: 2.0 * params.coherence_us,
+                    coherence_us: params.coherence_us,
+                })?;
+                continue;
+            }
+            let req = ItsFrame::Req {
+                leader: init_leader,
+                follower: ap[follower],
+                client1: init_client,
+                client2: client[follower],
+                csi_to_client1: compress_csi(&p.est[follower][leader]),
+                csi_to_client2: compress_csi(&p.est[follower][follower]),
+                airtime_us: copa_mac::timing::TXOP_US as u32,
+            };
+            let decoded_req = air.send("ITS REQ", &req.encode(), bulk_frame_us)?;
+            let (blob1, blob2) = match decoded_req {
+                ItsFrame::Req {
+                    csi_to_client1,
+                    csi_to_client2,
+                    ..
+                } => (csi_to_client1, csi_to_client2),
+                // invariant: decode of an encoded REQ preserves the tag
+                _ => unreachable!("encoded a REQ"),
+            };
+            match (decompress_csi(&blob1), decompress_csi(&blob2)) {
+                (Ok(a), Ok(b)) => break (a, b),
+                (r1, r2) => {
+                    // invariant: this arm only matches when a side failed
+                    let e = r1.err().or_else(|| r2.err()).expect("one side failed");
+                    air.retry(CopaError::CodecError {
+                        stage: "ITS REQ CSI payload",
+                        kind: WireFault::Csi(e),
+                    })?;
+                }
+            }
         };
-        let req_wire = req.encode();
-        let decoded_req = ItsFrame::decode(&req_wire)?;
-        let req_air = bulk_frame_us(req_wire.len());
-        frames.push(FrameRecord {
-            name: "ITS REQ",
-            wire_bytes: req_wire.len(),
-            airtime_us: req_air,
-        });
-        airtime += req_air + SIFS_US;
 
         // Step 4: the Leader computes the best joint strategy from what the
         // REQ actually delivered (decompressed CSI, quantization and all).
-        let (csi1, csi2) = match decoded_req {
-            ItsFrame::Req {
-                csi_to_client1,
-                csi_to_client2,
-                ..
-            } => (
-                decompress_csi(&csi_to_client1),
-                decompress_csi(&csi_to_client2),
-            ),
-            _ => unreachable!("encoded a REQ"),
-        };
         let mut leaders_view = PreparedScenario {
             topology: p.topology.clone(),
             est: p.est.clone(),
@@ -228,9 +435,7 @@ impl Coordinator {
         };
         leaders_view.est[follower][leader] = csi1;
         leaders_view.est[follower][follower] = csi2;
-        let evaluation = self
-            .engine
-            .evaluate_prepared(&leaders_view, DecoderMode::Single);
+        let evaluation = self.engine.run(&mut EvalRequest::prepared(&leaders_view))?;
         let chosen = evaluation.copa_fair;
 
         // Step 5: ITS ACK with the decision (and, when concurrent, the
@@ -255,19 +460,13 @@ impl Coordinator {
             decision,
             airtime_us: copa_mac::timing::TXOP_US as u32,
         };
-        let ack_wire = ack.encode();
-        let _decoded_ack = ItsFrame::decode(&ack_wire)?;
-        let ack_air = bulk_frame_us(ack_wire.len());
-        frames.push(FrameRecord {
-            name: "ITS ACK",
-            wire_bytes: ack_wire.len(),
-            airtime_us: ack_air,
-        });
-        airtime += ack_air + SIFS_US;
+        air.send("ITS ACK", &ack.encode(), bulk_frame_us)?;
 
         Ok(ExchangeTrace {
-            frames,
-            control_airtime_us: airtime,
+            frames: std::mem::take(&mut air.frames),
+            control_airtime_us: air.airtime_us,
+            attempts: air.attempts,
+            retries: air.retries_used,
             decision: chosen.strategy,
             evaluation,
         })
@@ -295,15 +494,18 @@ mod tests {
         let a = Addr::from_id(7);
         cache.learn(a, ch, 1000.0);
         assert_eq!(cache.len(), 1);
-        assert!(cache.fresh(a, 20_000.0, 30_000.0).is_some());
+        assert!(cache.with_fresh(a, 20_000.0, 30_000.0, |_| ()).is_some());
         assert!(
-            cache.fresh(a, 40_000.0, 30_000.0).is_none(),
+            cache.with_fresh(a, 40_000.0, 30_000.0, |_| ()).is_none(),
             "stale beyond coherence"
         );
-        assert!(cache.fresh(Addr::from_id(9), 1000.0, 30_000.0).is_none());
+        assert!(cache
+            .with_fresh(Addr::from_id(9), 1000.0, 30_000.0, |_| ())
+            .is_none());
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy `fresh` wrapper too
     fn csi_cache_with_fresh_avoids_clone() {
         let cache = CsiCache::new();
         let ch = FreqChannel::random(
@@ -376,7 +578,9 @@ mod tests {
             .suite(51, 1, AntennaConfig::CONSTRAINED_4X2)
             .remove(0);
         let engine = Engine::new(ScenarioParams::default());
-        let direct = engine.evaluate(&topo);
+        let direct = engine
+            .run(&mut EvalRequest::topology(&topo))
+            .expect("valid topology");
         let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
         let trace = coord.run_exchange(&topo, 0).unwrap();
         let ratio = trace.evaluation.copa_fair.aggregate_bps() / direct.copa_fair.aggregate_bps();
@@ -394,6 +598,123 @@ mod tests {
             let trace = coord.run_exchange(&t.clone(), 1).unwrap();
             // Valid decision either way; just exercise the leader=1 path.
             assert!(Strategy::copa_menu().contains(&trace.decision));
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_clean_exchange() {
+        let topo = TopologySampler::default()
+            .suite(53, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
+        let clean = coord.run_exchange(&topo, 0).expect("clean medium");
+        let outcome = coord
+            .run_exchange_with_faults(&topo, 0, &FaultPlan::none(99), 7)
+            .expect("zero plan cannot fail");
+        let trace = match outcome {
+            ExchangeOutcome::Coordinated(t) => t,
+            other => panic!("zero plan must coordinate, got {other:?}"),
+        };
+        assert_eq!(trace.decision, clean.decision);
+        assert_eq!(trace.attempts, 3, "one attempt per frame");
+        assert_eq!(trace.retries, 0);
+        assert_eq!(
+            trace.control_airtime_us.to_bits(),
+            clean.control_airtime_us.to_bits()
+        );
+        assert_eq!(
+            trace.evaluation.copa_fair.aggregate_bps().to_bits(),
+            clean.evaluation.copa_fair.aggregate_bps().to_bits()
+        );
+    }
+
+    #[test]
+    fn total_loss_degrades_to_csma() {
+        let topo = TopologySampler::default()
+            .suite(54, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
+        let plan = FaultPlan::lossy(1, 1.0);
+        let outcome = coord
+            .run_exchange_with_faults(&topo, 0, &plan, 0)
+            .expect("degradation is an outcome, not an error");
+        assert!(outcome.is_degraded());
+        assert_eq!(outcome.decision(), Strategy::Csma);
+        assert_eq!(outcome.retries(), plan.max_retries);
+        match outcome {
+            ExchangeOutcome::Degraded {
+                reason: CopaError::ExchangeFailed { attempts, last, .. },
+                control_airtime_us,
+                ..
+            } => {
+                assert_eq!(attempts, plan.max_retries + 1);
+                assert!(
+                    matches!(
+                        *last,
+                        CopaError::CodecError {
+                            kind: WireFault::Lost { .. },
+                            ..
+                        }
+                    ),
+                    "final fault should be a lost frame: {last}"
+                );
+                assert!(
+                    control_airtime_us > 0.0,
+                    "failed attempts still burn airtime"
+                );
+            }
+            other => panic!("expected ExchangeFailed reason, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_retried_then_survive() {
+        // Moderate corruption with a generous retry budget: the exchange
+        // should eventually coordinate, having burned retries on CRC
+        // failures.
+        let topo = TopologySampler::default()
+            .suite(55, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
+        let plan = FaultPlan {
+            corruption: 0.5,
+            max_retries: 64,
+            ..FaultPlan::none(11)
+        };
+        // Across a few exchange ids at 50% corruption, at least one retry
+        // must happen and every exchange must still coordinate.
+        let mut total_retries = 0;
+        for id in 0..6 {
+            let outcome = coord
+                .run_exchange_with_faults(&topo, 0, &plan, id)
+                .expect("budget is generous");
+            assert!(!outcome.is_degraded());
+            total_retries += outcome.retries();
+        }
+        assert!(total_retries > 0, "50% corruption must cost retries");
+    }
+
+    #[test]
+    fn fault_outcomes_replay_bit_identically() {
+        let topo = TopologySampler::default()
+            .suite(56, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
+        let plan = FaultPlan {
+            frame_loss: 0.4,
+            corruption: 0.2,
+            stale_csi: 0.2,
+            ..FaultPlan::none(0xD15EA5E)
+        };
+        for id in 0..4 {
+            let a = coord.run_exchange_with_faults(&topo, 0, &plan, id).unwrap();
+            let b = coord.run_exchange_with_faults(&topo, 0, &plan, id).unwrap();
+            assert_eq!(a.is_degraded(), b.is_degraded());
+            assert_eq!(a.retries(), b.retries());
+            assert_eq!(
+                a.chosen().aggregate_bps().to_bits(),
+                b.chosen().aggregate_bps().to_bits()
+            );
         }
     }
 }

@@ -8,6 +8,7 @@
 //! the incentive-compatibility constraint that no client does worse than
 //! the sequential fallback ("COPA fair", section 3.5).
 
+use crate::error::CopaError;
 use crate::scenario::{prepare, PreparedScenario, ScenarioParams};
 use crate::strategy::{Outcome, Strategy};
 use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
@@ -98,6 +99,68 @@ impl EngineWorkspace {
     }
 }
 
+/// What an [`EvalRequest`] evaluates: a raw topology (the engine prepares
+/// CSI estimates itself) or an already-prepared scenario (the caller
+/// substituted its own estimates, e.g. CSI that round-tripped through the
+/// ITS compression pipeline).
+pub enum EvalInput<'a> {
+    /// Prepare CSI from the topology using the engine's params.
+    Topology(&'a Topology),
+    /// Use the caller's prepared scenario as-is (validated before use).
+    Prepared(&'a PreparedScenario),
+}
+
+/// One evaluation request: input + decoder mode + optional caller-owned
+/// workspace, consumed by [`Engine::run`].
+///
+/// ```ignore
+/// let ev = engine.run(&mut EvalRequest::topology(&topo))?;
+/// let ev = engine.run(
+///     &mut EvalRequest::prepared(&scenario)
+///         .mode(DecoderMode::PerSubcarrier)
+///         .workspace(&mut ws),
+/// )?;
+/// ```
+pub struct EvalRequest<'a> {
+    input: EvalInput<'a>,
+    mode: DecoderMode,
+    workspace: Option<&'a mut EngineWorkspace>,
+}
+
+impl<'a> EvalRequest<'a> {
+    /// A request for a raw topology with the stock single decoder.
+    pub fn topology(topology: &'a Topology) -> Self {
+        Self {
+            input: EvalInput::Topology(topology),
+            mode: DecoderMode::Single,
+            workspace: None,
+        }
+    }
+
+    /// A request for an already-prepared scenario with the stock single
+    /// decoder.
+    pub fn prepared(prepared: &'a PreparedScenario) -> Self {
+        Self {
+            input: EvalInput::Prepared(prepared),
+            mode: DecoderMode::Single,
+            workspace: None,
+        }
+    }
+
+    /// Selects the decoder mode (default: [`DecoderMode::Single`]).
+    pub fn mode(mut self, mode: DecoderMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Reuses a caller-owned workspace instead of allocating a fresh one
+    /// (the hot-path option for suite runners: one workspace per worker).
+    pub fn workspace(mut self, ws: &'a mut EngineWorkspace) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
+}
+
 /// The strategy engine. Construct once, evaluate many topologies.
 pub struct Engine {
     params: ScenarioParams,
@@ -121,42 +184,97 @@ impl Engine {
         &self.params
     }
 
+    /// Runs one [`EvalRequest`]: resolves the input (preparing CSI for raw
+    /// topologies, validating caller-prepared scenarios), borrows the
+    /// request's workspace or allocates a fresh one, and evaluates every
+    /// strategy. This is the single fallible entry point the six legacy
+    /// `evaluate*` wrappers forward to.
+    pub fn run(&self, req: &mut EvalRequest<'_>) -> Result<Evaluation, CopaError> {
+        let owned;
+        let p: &PreparedScenario = match req.input {
+            EvalInput::Topology(t) => {
+                owned = prepare(t, &self.params);
+                &owned
+            }
+            EvalInput::Prepared(p) => {
+                // Caller-supplied CSI (e.g. decompressed from an ITS frame)
+                // is the one place degenerate channels can enter the engine.
+                validate_prepared(p)?;
+                p
+            }
+        };
+        let mut fresh;
+        let ws: &mut EngineWorkspace = match req.workspace.as_deref_mut() {
+            Some(ws) => ws,
+            None => {
+                fresh = EngineWorkspace::new();
+                &mut fresh
+            }
+        };
+        Ok(self.eval_all(p, req.mode, ws))
+    }
+
     /// Evaluates a topology with the stock single decoder.
+    #[deprecated(note = "use `Engine::run` with `EvalRequest::topology`")]
     pub fn evaluate(&self, topology: &Topology) -> Evaluation {
-        self.evaluate_with(topology, &mut EngineWorkspace::new())
+        self.run(&mut EvalRequest::topology(topology))
+            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
     }
 
     /// [`Self::evaluate`] reusing a caller-owned workspace (the hot-path
     /// entry point for suite runners: one workspace per worker thread).
+    #[deprecated(note = "use `Engine::run` with `EvalRequest::topology(..).workspace(..)`")]
     pub fn evaluate_with(&self, topology: &Topology, ws: &mut EngineWorkspace) -> Evaluation {
-        self.evaluate_mode_with(topology, DecoderMode::Single, ws)
+        self.run(&mut EvalRequest::topology(topology).workspace(ws))
+            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
     }
 
     /// Evaluates a topology under the given decoder mode.
+    #[deprecated(note = "use `Engine::run` with `EvalRequest::topology(..).mode(..)`")]
     pub fn evaluate_mode(&self, topology: &Topology, mode: DecoderMode) -> Evaluation {
-        self.evaluate_mode_with(topology, mode, &mut EngineWorkspace::new())
+        self.run(&mut EvalRequest::topology(topology).mode(mode))
+            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
     }
 
     /// [`Self::evaluate_mode`] reusing a caller-owned workspace.
+    #[deprecated(
+        note = "use `Engine::run` with `EvalRequest::topology(..).mode(..).workspace(..)`"
+    )]
     pub fn evaluate_mode_with(
         &self,
         topology: &Topology,
         mode: DecoderMode,
         ws: &mut EngineWorkspace,
     ) -> Evaluation {
-        let p = prepare(topology, &self.params);
-        self.evaluate_prepared_with(&p, mode, ws)
+        self.run(&mut EvalRequest::topology(topology).mode(mode).workspace(ws))
+            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
     }
 
     /// Evaluates an already-prepared scenario (lets callers substitute their
     /// own CSI estimates, e.g. CSI that round-tripped through the ITS
     /// compression pipeline).
+    #[deprecated(note = "use `Engine::run` with `EvalRequest::prepared(..).mode(..)`")]
     pub fn evaluate_prepared(&self, p: &PreparedScenario, mode: DecoderMode) -> Evaluation {
-        self.evaluate_prepared_with(p, mode, &mut EngineWorkspace::new())
+        self.run(&mut EvalRequest::prepared(p).mode(mode))
+            .expect("prepared scenario must be valid") // allowlisted legacy wrapper
     }
 
     /// [`Self::evaluate_prepared`] reusing a caller-owned workspace.
+    #[deprecated(
+        note = "use `Engine::run` with `EvalRequest::prepared(..).mode(..).workspace(..)`"
+    )]
     pub fn evaluate_prepared_with(
+        &self,
+        p: &PreparedScenario,
+        mode: DecoderMode,
+        ws: &mut EngineWorkspace,
+    ) -> Evaluation {
+        self.run(&mut EvalRequest::prepared(p).mode(mode).workspace(ws))
+            .expect("prepared scenario must be valid") // allowlisted legacy wrapper
+    }
+
+    /// Evaluates every strategy for one validated, prepared scenario.
+    fn eval_all(
         &self,
         p: &PreparedScenario,
         mode: DecoderMode,
@@ -567,13 +685,54 @@ fn cross_gain_grid(
 }
 // alloc-free: end cross_gain_grid
 
+/// Static channel-matrix names for error context (indexed `[i][j]`).
+const EST_NAMES: [[&str; 2]; 2] = [["est[0][0]", "est[0][1]"], ["est[1][0]", "est[1][1]"]];
+
+/// Rejects caller-prepared scenarios the numerics cannot digest: estimated
+/// CSI whose shape disagrees with the true link it estimates, and channels
+/// with non-finite entries or an all-zero own link (rank zero -- beamforming
+/// would divide by a zero norm).
+fn validate_prepared(p: &PreparedScenario) -> Result<(), CopaError> {
+    for i in 0..2 {
+        for j in 0..2 {
+            let est = &p.est[i][j];
+            let truth = &p.topology.links[i][j];
+            if est.rx() != truth.rx() || est.tx() != truth.tx() {
+                return Err(CopaError::DimensionMismatch {
+                    context: "estimated CSI vs true link",
+                    expected: (truth.rx(), truth.tx()),
+                    got: (est.rx(), est.tx()),
+                });
+            }
+            for (s, m) in est.iter().enumerate() {
+                let norm = m.frobenius_norm_sqr();
+                if !norm.is_finite() || (i == j && norm == 0.0) {
+                    return Err(CopaError::SingularChannel {
+                        context: EST_NAMES[i][j],
+                        subcarrier: s,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Convenience: evaluate a whole topology suite, returning one Evaluation
-/// per topology. Reuses a single [`EngineWorkspace`] across the suite.
+/// per topology. Reuses a single [`EngineWorkspace`] across the suite, but
+/// runs serially on one thread.
+#[deprecated(
+    note = "use `copa_sim::runner::evaluate_parallel` (work-stealing, per-worker workspaces, per-topology seeds)"
+)]
 pub fn evaluate_suite(engine: &Engine, suite: &[Topology]) -> Vec<Evaluation> {
     let mut ws = EngineWorkspace::new();
     suite
         .iter()
-        .map(|t| engine.evaluate_with(t, &mut ws))
+        .map(|t| {
+            engine
+                .run(&mut EvalRequest::topology(t).workspace(&mut ws))
+                .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
+        })
         .collect()
 }
 
@@ -590,10 +749,15 @@ mod tests {
         TopologySampler::default().suite(seed, 1, cfg).remove(0)
     }
 
+    fn eval(e: &Engine, t: &Topology) -> Evaluation {
+        e.run(&mut EvalRequest::topology(t))
+            .expect("valid topology")
+    }
+
     #[test]
     fn evaluates_4x2_with_all_strategies() {
         let e = engine();
-        let ev = e.evaluate(&topo(11, AntennaConfig::CONSTRAINED_4X2));
+        let ev = eval(&e, &topo(11, AntennaConfig::CONSTRAINED_4X2));
         assert!(ev.csma.aggregate_bps() > 0.0);
         assert!(ev.copa_seq.aggregate_bps() > 0.0);
         assert!(ev.vanilla_null.is_some(), "4x2 supports nulling");
@@ -607,7 +771,7 @@ mod tests {
     #[test]
     fn single_antenna_has_no_nulling() {
         let e = engine();
-        let ev = e.evaluate(&topo(12, AntennaConfig::SINGLE));
+        let ev = eval(&e, &topo(12, AntennaConfig::SINGLE));
         assert!(ev.vanilla_null.is_none(), "1x1 cannot null");
         assert!(ev.outcome(Strategy::ConcurrentNull).is_none());
         assert!(ev.outcome(Strategy::ConcurrentBf).is_some());
@@ -616,7 +780,7 @@ mod tests {
     #[test]
     fn overconstrained_uses_sda() {
         let e = engine();
-        let ev = e.evaluate(&topo(13, AntennaConfig::OVERCONSTRAINED_3X2));
+        let ev = eval(&e, &topo(13, AntennaConfig::OVERCONSTRAINED_3X2));
         // SDA makes nulling feasible even though 3 - 2 < 2.
         assert!(
             ev.vanilla_null.is_some(),
@@ -631,7 +795,7 @@ mod tests {
         // only lose the tiny extra MAC overhead.
         let e = engine();
         for seed in 20..26 {
-            let ev = e.evaluate(&topo(seed, AntennaConfig::CONSTRAINED_4X2));
+            let ev = eval(&e, &topo(seed, AntennaConfig::CONSTRAINED_4X2));
             assert!(
                 ev.copa_seq.aggregate_bps() > ev.csma.aggregate_bps() * 0.93,
                 "seed {seed}: COPA-SEQ {:.1} vs CSMA {:.1} Mbps",
@@ -645,7 +809,7 @@ mod tests {
     fn fair_variant_is_incentive_compatible() {
         let e = engine();
         for seed in 30..36 {
-            let ev = e.evaluate(&topo(seed, AntennaConfig::CONSTRAINED_4X2));
+            let ev = eval(&e, &topo(seed, AntennaConfig::CONSTRAINED_4X2));
             assert!(
                 ev.copa_fair.incentive_compatible_vs(&ev.copa_seq),
                 "seed {seed}: fair pick must not hurt either client"
@@ -660,7 +824,7 @@ mod tests {
             ..Default::default()
         };
         let e = Engine::new(params);
-        let ev = e.evaluate(&topo(40, AntennaConfig::SINGLE));
+        let ev = eval(&e, &topo(40, AntennaConfig::SINGLE));
         let plus = ev.copa_plus.expect("mercury enabled");
         assert!(
             plus.aggregate_bps() >= ev.copa.aggregate_bps() * 0.98,
@@ -671,11 +835,57 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run() {
+        let e = engine();
+        let t = topo(50, AntennaConfig::CONSTRAINED_4X2);
+        let via_run = eval(&e, &t);
+        let mut ws = EngineWorkspace::new();
+        let p = prepare(&t, e.params());
+        for wrapper in [
+            e.evaluate(&t),
+            e.evaluate_with(&t, &mut ws),
+            e.evaluate_mode(&t, DecoderMode::Single),
+            e.evaluate_mode_with(&t, DecoderMode::Single, &mut ws),
+            e.evaluate_prepared(&p, DecoderMode::Single),
+            e.evaluate_prepared_with(&p, DecoderMode::Single, &mut ws),
+        ] {
+            assert_eq!(
+                via_run.copa_fair.aggregate_bps().to_bits(),
+                wrapper.copa_fair.aggregate_bps().to_bits(),
+                "legacy wrappers must be bit-identical to Engine::run"
+            );
+        }
+    }
+
+    #[test]
+    fn run_rejects_degenerate_prepared_csi() {
+        let e = engine();
+        let t = topo(51, AntennaConfig::CONSTRAINED_4X2);
+
+        let mut zeroed = prepare(&t, e.params());
+        zeroed.est[0][0] = zeroed.est[0][0].scale_power(0.0);
+        match e.run(&mut EvalRequest::prepared(&zeroed)) {
+            Err(CopaError::SingularChannel { context, .. }) => assert_eq!(context, "est[0][0]"),
+            other => panic!("expected SingularChannel, got {other:?}"),
+        }
+
+        let mut lopsided = prepare(&t, e.params());
+        lopsided.est[1][0] = lopsided.est[1][0].select_rx(&[0]);
+        match e.run(&mut EvalRequest::prepared(&lopsided)) {
+            Err(CopaError::DimensionMismatch { got, .. }) => assert_eq!(got.0, 1),
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn multi_decoder_not_worse() {
         let e = engine();
         let t = topo(41, AntennaConfig::CONSTRAINED_4X2);
-        let single = e.evaluate_mode(&t, DecoderMode::Single);
-        let multi = e.evaluate_mode(&t, DecoderMode::PerSubcarrier);
+        let single = eval(&e, &t);
+        let multi = e
+            .run(&mut EvalRequest::topology(&t).mode(DecoderMode::PerSubcarrier))
+            .expect("valid topology");
         assert!(
             multi.csma.aggregate_bps() >= single.csma.aggregate_bps() * 0.999,
             "per-subcarrier rate adaptation should not hurt CSMA"

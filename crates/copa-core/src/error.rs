@@ -1,0 +1,211 @@
+//! The workspace-wide failure taxonomy.
+//!
+//! Every fallible operation in the evaluation pipeline -- channel
+//! validation, CSI codec round trips, the ITS exchange, suite runners --
+//! reports through one [`CopaError`] enum, so callers at any layer can
+//! match on the failure class without caring which crate raised it. Each
+//! variant carries enough context to diagnose a failure out of a
+//! million-topology suite; `Display` and `source` are hand-rolled (no
+//! external error crates, per the hermetic-build rule).
+
+use copa_mac::csi_codec::CsiCodecError;
+use copa_mac::frames::FrameError;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong at the wire layer of one ITS frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// The frame arrived but its ITS framing failed to decode (CRC,
+    /// truncation, unknown tag).
+    Frame(FrameError),
+    /// The framing decoded but the compressed CSI payload did not.
+    Csi(CsiCodecError),
+    /// The frame never arrived at all.
+    Lost {
+        /// Which ITS frame was lost ("INIT", "REQ", "ACK").
+        frame: &'static str,
+    },
+}
+
+impl fmt::Display for WireFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireFault::Frame(e) => write!(f, "frame codec: {e}"),
+            WireFault::Csi(e) => write!(f, "CSI codec: {e}"),
+            WireFault::Lost { frame } => write!(f, "{frame} frame lost in flight"),
+        }
+    }
+}
+
+/// The unified error type of the COPA evaluation pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CopaError {
+    /// A channel matrix is degenerate (non-finite or rank zero), so
+    /// precoding and SINR evaluation are meaningless.
+    SingularChannel {
+        /// Which channel was degenerate (e.g. `"est[0][0]"`).
+        context: &'static str,
+        /// The first offending subcarrier.
+        subcarrier: usize,
+    },
+    /// Cached CSI is older than the channel coherence time.
+    StaleCsi {
+        /// Age of the cached report, in microseconds.
+        age_us: f64,
+        /// The coherence time it exceeded, in microseconds.
+        coherence_us: f64,
+    },
+    /// An ITS frame or CSI payload failed to survive the wire.
+    CodecError {
+        /// Pipeline stage that hit the fault (e.g. `"REQ decode"`).
+        stage: &'static str,
+        /// The wire-level failure.
+        kind: WireFault,
+    },
+    /// Two shapes that must agree did not.
+    DimensionMismatch {
+        /// What was being matched (e.g. `"estimated CSI vs true link"`).
+        context: &'static str,
+        /// The shape the pipeline required, as `(rx, tx)`.
+        expected: (usize, usize),
+        /// The shape it got.
+        got: (usize, usize),
+    },
+    /// A strategy the caller insisted on is infeasible for this topology.
+    InfeasibleStrategy {
+        /// Where the strategy was required (e.g. `"headline stats"`).
+        context: &'static str,
+        /// The strategy that could not be evaluated.
+        strategy: &'static str,
+    },
+    /// An ITS exchange exhausted its retry budget.
+    ExchangeFailed {
+        /// Total delivery attempts made (first try plus retries).
+        attempts: u32,
+        /// Retries consumed out of the plan's budget.
+        retries: u32,
+        /// The failure that ended the final attempt.
+        last: Box<CopaError>,
+    },
+}
+
+impl fmt::Display for CopaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopaError::SingularChannel {
+                context,
+                subcarrier,
+            } => write!(
+                f,
+                "singular channel in {context} at subcarrier {subcarrier}"
+            ),
+            CopaError::StaleCsi {
+                age_us,
+                coherence_us,
+            } => write!(
+                f,
+                "stale CSI: {age_us:.0} us old exceeds coherence time {coherence_us:.0} us"
+            ),
+            CopaError::CodecError { stage, kind } => write!(f, "codec error in {stage}: {kind}"),
+            CopaError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            CopaError::InfeasibleStrategy { context, strategy } => {
+                write!(f, "strategy {strategy} infeasible in {context}")
+            }
+            CopaError::ExchangeFailed {
+                attempts,
+                retries,
+                last,
+            } => write!(
+                f,
+                "ITS exchange failed after {attempts} attempts ({retries} retries): {last}"
+            ),
+        }
+    }
+}
+
+impl Error for CopaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CopaError::CodecError { kind, .. } => match kind {
+                WireFault::Frame(e) => Some(e),
+                WireFault::Csi(e) => Some(e),
+                WireFault::Lost { .. } => None,
+            },
+            CopaError::ExchangeFailed { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for CopaError {
+    fn from(e: FrameError) -> Self {
+        CopaError::CodecError {
+            stage: "frame decode",
+            kind: WireFault::Frame(e),
+        }
+    }
+}
+
+impl From<CsiCodecError> for CopaError {
+    fn from(e: CsiCodecError) -> Self {
+        CopaError::CodecError {
+            stage: "CSI decode",
+            kind: WireFault::Csi(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = CopaError::SingularChannel {
+            context: "est[0][1]",
+            subcarrier: 17,
+        };
+        assert_eq!(
+            e.to_string(),
+            "singular channel in est[0][1] at subcarrier 17"
+        );
+        let e = CopaError::DimensionMismatch {
+            context: "estimated CSI vs true link",
+            expected: (2, 4),
+            got: (1, 4),
+        };
+        assert!(e.to_string().contains("expected 2x4, got 1x4"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_wire_layer() {
+        let inner: CopaError = FrameError::BadCrc.into();
+        assert!(inner.source().is_some());
+        let outer = CopaError::ExchangeFailed {
+            attempts: 5,
+            retries: 4,
+            last: Box::new(inner.clone()),
+        };
+        let chained = outer.source().expect("exchange failure has a cause");
+        assert_eq!(chained.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn lost_frames_have_no_source_but_name_the_frame() {
+        let e = CopaError::CodecError {
+            stage: "REQ delivery",
+            kind: WireFault::Lost { frame: "REQ" },
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("REQ frame lost"));
+    }
+}

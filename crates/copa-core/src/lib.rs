@@ -3,6 +3,7 @@
 //! The COPA system: ties the channel, PHY, precoding, allocation and MAC
 //! substrates into the strategy engine of the paper's Figure 8.
 //!
+//! * [`error`] -- the workspace-wide [`CopaError`] failure taxonomy.
 //! * [`scenario`] -- CSI estimation: what the APs actually know.
 //! * [`strategy`] -- the strategy menu and outcome bookkeeping.
 //! * [`engine`] -- evaluate all strategies on a topology, pick the best
@@ -19,10 +20,14 @@
 pub mod cell;
 pub mod coordinator;
 pub mod engine;
+pub mod error;
 pub mod scenario;
 pub mod strategy;
 
 pub use cell::{run_cell, CellOutcome, MultiApScenario};
-pub use engine::{evaluate_suite, DecoderMode, Engine, EngineWorkspace, Evaluation};
+#[allow(deprecated)]
+pub use engine::evaluate_suite;
+pub use engine::{DecoderMode, Engine, EngineWorkspace, EvalInput, EvalRequest, Evaluation};
+pub use error::{CopaError, WireFault};
 pub use scenario::{prepare, PreparedScenario, ScenarioParams};
 pub use strategy::{Outcome, Strategy};

@@ -3,7 +3,7 @@
 
 use copa_channel::{AntennaConfig, FreqChannel, MultipathProfile, TopologySampler};
 use copa_core::coordinator::{Coordinator, CsiCache};
-use copa_core::{Engine, ScenarioParams, Strategy};
+use copa_core::{Engine, EvalRequest, ScenarioParams, Strategy};
 use copa_mac::frames::Addr;
 use copa_num::prop::{check, Gen};
 use copa_num::SimRng;
@@ -36,7 +36,9 @@ fn copa_picks_the_best_feasible_outcome() {
     check("copa_picks_the_best_feasible_outcome", ENGINE_CASES, |g| {
         let cfg = *g.pick(&CONFIGS);
         let t = sample_topology(g, cfg);
-        let e = Engine::new(params(g)).evaluate(&t);
+        let e = Engine::new(params(g))
+            .run(&mut EvalRequest::topology(&t))
+            .expect("sampled topology is valid");
         // COPA maximizes over its own menu (section 3.3) -- CSMA and the
         // vanilla-nulling baseline are outside it and may win on some
         // topologies (that is the paper's Figure 11 story).
@@ -60,7 +62,9 @@ fn copa_fair_is_incentive_compatible() {
     check("copa_fair_is_incentive_compatible", ENGINE_CASES, |g| {
         let cfg = *g.pick(&CONFIGS);
         let t = sample_topology(g, cfg);
-        let e = Engine::new(params(g)).evaluate(&t);
+        let e = Engine::new(params(g))
+            .run(&mut EvalRequest::topology(&t))
+            .expect("sampled topology is valid");
         // Fairness (section 3.5): the fair pick never leaves a client worse
         // off than sequential cooperation, and never beats COPA's aggregate.
         prop_assert!(
@@ -78,8 +82,12 @@ fn evaluation_is_pure() {
     check("evaluation_is_pure", ENGINE_CASES, |g| {
         let t = sample_topology(g, AntennaConfig::SINGLE);
         let p = params(g);
-        let a = Engine::new(p).evaluate(&t);
-        let b = Engine::new(p).evaluate(&t);
+        let a = Engine::new(p)
+            .run(&mut EvalRequest::topology(&t))
+            .expect("valid");
+        let b = Engine::new(p)
+            .run(&mut EvalRequest::topology(&t))
+            .expect("valid");
         prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
         for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             prop_assert_eq!(x.strategy, y.strategy);
@@ -109,19 +117,23 @@ fn csi_cache_freshness_window() {
         prop_assert_eq!(cache.len(), 1);
         // Within the coherence window the entry is returned...
         let dt = g.f64_in(0.0, 1.0) * coherence;
-        prop_assert!(cache.fresh(sender, learned_at + dt, coherence).is_some());
+        prop_assert!(cache
+            .with_fresh(sender, learned_at + dt, coherence, |_| ())
+            .is_some());
         // ...after it, the entry is stale...
         prop_assert!(cache
-            .fresh(sender, learned_at + coherence + 1.0, coherence)
+            .with_fresh(sender, learned_at + coherence + 1.0, coherence, |_| ())
             .is_none());
         // ...and unknown senders never hit.
         let other = Addr::from_id(sender.0[5].wrapping_add(1));
-        prop_assert!(cache.fresh(other, learned_at, coherence).is_none());
+        prop_assert!(cache
+            .with_fresh(other, learned_at, coherence, |_| ())
+            .is_none());
         // Re-learning refreshes the timestamp instead of duplicating.
         cache.learn(sender, ch, learned_at + 2.0 * coherence);
         prop_assert_eq!(cache.len(), 1);
         prop_assert!(cache
-            .fresh(sender, learned_at + 2.0 * coherence, coherence)
+            .with_fresh(sender, learned_at + 2.0 * coherence, coherence, |_| ())
             .is_some());
         Ok(())
     });

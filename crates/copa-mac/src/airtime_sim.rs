@@ -123,7 +123,8 @@ pub fn simulate_medium(cfg: &MediumConfig, seed: u64) -> MediumOutcome {
         // time by the minimum backoff; stations at zero transmit.
         now += DIFS_US;
         out.idle_us += DIFS_US;
-        let min = *backoff.iter().min().unwrap();
+        // invariant: `backoff` has one entry per station and n > 0.
+        let min = *backoff.iter().min().expect("stations is non-empty");
         now += min as f64 * SLOT_US;
         out.idle_us += min as f64 * SLOT_US;
         for b in backoff.iter_mut() {
@@ -207,6 +208,8 @@ pub fn realized_copa_overhead_pct(scheme: Scheme, coherence_us: f64, seed: u64) 
     let concurrent = match scheme {
         Scheme::CopaConcurrent => true,
         Scheme::CopaSequential => false,
+        // allowlisted: caller-side API contract -- legacy schemes have
+        // no COPA overhead to report.
         _ => panic!("use simulate_medium directly for legacy schemes"),
     };
     let cfg = MediumConfig {

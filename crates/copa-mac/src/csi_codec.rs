@@ -21,6 +21,65 @@ const AMP_RANGE_DB: f64 = 48.0; // +-48 dB around the mean
 /// Bits per quantized sample.
 const QUANT_LEVELS: f64 = 255.0;
 
+/// Largest antenna count a CSI report may declare. Corrupted headers would
+/// otherwise ask the decoder to materialize absurd track tables.
+const MAX_ANTENNAS: usize = 8;
+
+/// Decode failure in the CSI compression pipeline: the payload was garbled
+/// (collision, fault injection) or truncated in flight. Every malformed
+/// input maps to one of these variants -- the decoder never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsiCodecError {
+    /// Fewer bytes than the declared structure requires.
+    Truncated {
+        /// Bytes the structure needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The header declares an impossible antenna geometry.
+    BadDimensions {
+        /// Declared receive antennas.
+        rx: usize,
+        /// Declared transmit antennas.
+        tx: usize,
+    },
+    /// An LZSS back-reference points before the start of the output.
+    BadBackref {
+        /// Output position at which the reference was found.
+        position: usize,
+        /// The (invalid) backwards offset.
+        offset: usize,
+    },
+    /// A header field decoded to a nonsensical value (e.g. NaN mean gain).
+    CorruptField {
+        /// Which field was corrupt.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for CsiCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsiCodecError::Truncated { needed, got } => {
+                write!(f, "CSI payload truncated: needed {needed} bytes, got {got}")
+            }
+            CsiCodecError::BadDimensions { rx, tx } => {
+                write!(f, "CSI header declares impossible dimensions {rx}x{tx}")
+            }
+            CsiCodecError::BadBackref { position, offset } => write!(
+                f,
+                "LZSS back-reference at output position {position} reaches {offset} bytes back"
+            ),
+            CsiCodecError::CorruptField { field } => {
+                write!(f, "CSI header field `{field}` is corrupt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsiCodecError {}
+
 /// Quantized CSI for one link: per antenna pair, 52 amplitude bytes and
 /// 52 phase bytes, plus the reference mean gain.
 #[derive(Clone, Debug, PartialEq)]
@@ -252,8 +311,9 @@ pub fn lzss_encode(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompresses an [`lzss_encode`] stream.
-pub fn lzss_decode(data: &[u8]) -> Vec<u8> {
+/// Decompresses an [`lzss_encode`] stream. Fails (instead of panicking) on
+/// corrupted input whose back-references reach before the output start.
+pub fn lzss_decode(data: &[u8]) -> Result<Vec<u8>, CsiCodecError> {
     const MIN_MATCH: usize = 3;
     let mut out = Vec::with_capacity(data.len() * 2);
     let mut i = 0;
@@ -274,6 +334,12 @@ pub fn lzss_decode(data: &[u8]) -> Vec<u8> {
                 let off = ((data[i] as usize) << 4) | (data[i + 1] as usize >> 4);
                 let len = (data[i + 1] & 0xF) as usize + MIN_MATCH;
                 i += 2;
+                if off == 0 || off > out.len() {
+                    return Err(CsiCodecError::BadBackref {
+                        position: out.len(),
+                        offset: off,
+                    });
+                }
                 let from = out.len() - off;
                 for k in 0..len {
                     out.push(out[from + k]);
@@ -281,7 +347,7 @@ pub fn lzss_decode(data: &[u8]) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Bytes an ADM-coded track occupies (first sample + packed nibbles).
@@ -307,12 +373,35 @@ pub fn compress_csi(ch: &FreqChannel) -> Vec<u8> {
     lzss_encode(&raw)
 }
 
-/// Inverse of [`compress_csi`] (up to the documented ADM/quantization error).
-pub fn decompress_csi(data: &[u8]) -> FreqChannel {
-    let raw = lzss_decode(data);
+/// Inverse of [`compress_csi`] (up to the documented ADM/quantization
+/// error). Any malformed or garbled input decodes to a [`CsiCodecError`]
+/// rather than panicking -- this is the wire boundary where fault-injected
+/// corruption lands.
+pub fn decompress_csi(data: &[u8]) -> Result<FreqChannel, CsiCodecError> {
+    let raw = lzss_decode(data)?;
+    if raw.len() < 10 {
+        return Err(CsiCodecError::Truncated {
+            needed: 10,
+            got: raw.len(),
+        });
+    }
     let rx = raw[0] as usize;
     let tx = raw[1] as usize;
-    let mean_gain = f64::from_le_bytes(raw[2..10].try_into().expect("mean gain"));
+    if rx == 0 || tx == 0 || rx > MAX_ANTENNAS || tx > MAX_ANTENNAS {
+        return Err(CsiCodecError::BadDimensions { rx, tx });
+    }
+    // invariant: raw[2..10] is 8 bytes -- length checked above.
+    let mean_gain = f64::from_le_bytes(raw[2..10].try_into().expect("8 header bytes"));
+    if !mean_gain.is_finite() || mean_gain <= 0.0 {
+        return Err(CsiCodecError::CorruptField { field: "mean_gain" });
+    }
+    let needed = 10 + rx * tx * 2 * ADM_TRACK_BYTES;
+    if raw.len() < needed {
+        return Err(CsiCodecError::Truncated {
+            needed,
+            got: raw.len(),
+        });
+    }
     let mut tracks = Vec::with_capacity(rx * tx);
     let mut pos = 10;
     let take_track = |pos: &mut usize| {
@@ -326,12 +415,12 @@ pub fn decompress_csi(data: &[u8]) -> FreqChannel {
         let phases = take_track(&mut pos);
         tracks.push((amps, phases));
     }
-    dequantize(&QuantizedCsi {
+    Ok(dequantize(&QuantizedCsi {
         rx,
         tx,
         mean_gain,
         tracks,
-    })
+    }))
 }
 
 /// Raw (uncompressed, quantized) CSI size in bytes for a link.
@@ -372,8 +461,18 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         for len in [0usize, 1, 2, 3, 17, 100, 1000] {
             let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-            assert_eq!(lzss_decode(&lzss_encode(&data)), data, "len={len}");
+            assert_eq!(lzss_decode(&lzss_encode(&data)), Ok(data), "len={len}");
         }
+    }
+
+    #[test]
+    fn lzss_bad_backref_is_an_error_not_a_panic() {
+        // A pair unit whose offset reaches before the output start.
+        let corrupt = [0x00u8, 0xFF, 0xF0];
+        assert!(matches!(
+            lzss_decode(&corrupt),
+            Err(CsiCodecError::BadBackref { .. })
+        ));
     }
 
     #[test]
@@ -387,7 +486,7 @@ mod tests {
             "runs should compress well, got {}",
             enc.len()
         );
-        assert_eq!(lzss_decode(&enc), data);
+        assert_eq!(lzss_decode(&enc), Ok(data));
     }
 
     #[test]
@@ -430,7 +529,7 @@ mod tests {
     #[test]
     fn csi_compression_round_trip_error_is_bounded() {
         let c = ch(3, 2, 4);
-        let back = decompress_csi(&compress_csi(&c));
+        let back = decompress_csi(&compress_csi(&c)).expect("own encoding decodes");
         assert_eq!(back.rx(), 2);
         assert_eq!(back.tx(), 4);
         // ADM is the lossy stage: track error bounded, mean error small.

@@ -95,7 +95,8 @@ pub fn simulate(cfg: &DcfConfig, seed: u64) -> DcfOutcome {
                 }
             })
             .collect();
-        let min = *backoffs.iter().min().unwrap();
+        // invariant: one backoff per station, and cfg.stations > 0.
+        let min = *backoffs.iter().min().expect("stations is non-empty");
         out.idle_slots += min as u64;
         let winners: Vec<usize> = (0..cfg.stations).filter(|&i| backoffs[i] == min).collect();
 

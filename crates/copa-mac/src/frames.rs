@@ -205,7 +205,8 @@ impl ItsFrame {
             return Err(FrameError::Truncated);
         }
         let (body, crc_bytes) = data.split_at(data.len() - 4);
-        let want = u32::from_be_bytes(crc_bytes.try_into().unwrap());
+        // invariant: split_at(len - 4) leaves exactly 4 CRC bytes.
+        let want = u32::from_be_bytes(crc_bytes.try_into().expect("4-byte CRC tail"));
         if crc32(body) != want {
             return Err(FrameError::BadCrc);
         }

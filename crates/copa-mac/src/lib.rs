@@ -27,5 +27,6 @@ pub mod overhead;
 pub mod timing;
 pub mod wire;
 
+pub use csi_codec::CsiCodecError;
 pub use frames::{Addr, Decision, FrameError, ItsFrame};
 pub use overhead::{airtime_efficiency, overhead_fraction, table1, OverheadConfig, Scheme};

@@ -97,12 +97,18 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a big-endian u16.
     pub fn get_u16(&mut self) -> Result<u16, Truncated> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(
+            // invariant: take(2) returns exactly 2 bytes.
+            self.take(2)?.try_into().expect("exact-size slice"),
+        ))
     }
 
     /// Reads a big-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, Truncated> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(
+            // invariant: take(4) returns exactly 4 bytes.
+            self.take(4)?.try_into().expect("exact-size slice"),
+        ))
     }
 
     /// Reads exactly `n` bytes, advancing past them.
@@ -117,7 +123,8 @@ impl<'a> ByteReader<'a> {
 
     /// Copies exactly `N` bytes into an array.
     pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], Truncated> {
-        Ok(self.take(N)?.try_into().unwrap())
+        // invariant: take(N) returns exactly N bytes.
+        Ok(self.take(N)?.try_into().expect("exact-size slice"))
     }
 }
 

@@ -1,7 +1,11 @@
 //! Property-based tests for the MAC codecs and protocol machinery, on the
 //! in-repo [`copa_num::prop`] harness.
 
-use copa_mac::csi_codec::{delta_decode, delta_encode, lzss_decode, lzss_encode};
+use copa_channel::{FreqChannel, MultipathProfile};
+use copa_mac::csi_codec::{
+    compress_csi, decompress_csi, delta_decode, delta_encode, lzss_decode, lzss_encode,
+    CsiCodecError,
+};
 use copa_mac::frames::{crc32, Addr, Decision, FrameError, ItsFrame};
 use copa_num::prop::{check, Gen};
 use copa_num::{prop_assert, prop_assert_eq, prop_assert_ne};
@@ -109,7 +113,7 @@ fn truncation_never_panics() {
 fn lzss_round_trips() {
     check("lzss_round_trips", CASES, |g| {
         let data = g.vec_u8(0, 2000);
-        prop_assert_eq!(lzss_decode(&lzss_encode(&data)), data);
+        prop_assert_eq!(lzss_decode(&lzss_encode(&data)), Ok(data));
         Ok(())
     });
 }
@@ -126,7 +130,7 @@ fn lzss_handles_structured_data() {
             .cloned()
             .collect();
         let enc = lzss_encode(&data);
-        prop_assert_eq!(lzss_decode(&enc), data.clone());
+        prop_assert_eq!(lzss_decode(&enc), Ok(data.clone()));
         if reps > 20 {
             prop_assert!(enc.len() < data.len(), "repetition should compress");
         }
@@ -153,6 +157,73 @@ fn crc_detects_difference() {
         let idx = flip as usize % b.len();
         b[idx] ^= 1 << bit;
         prop_assert_ne!(crc32(&a), crc32(&b), "single-bit flip must change CRC-32");
+        Ok(())
+    });
+}
+
+/// A random but physically plausible channel for codec fuzzing.
+fn channel(g: &mut Gen) -> FreqChannel {
+    let rx = g.usize_in(1, 2);
+    let tx = g.usize_in(rx, 4);
+    FreqChannel::random(
+        &mut copa_num::SimRng::seed_from(g.u64()),
+        rx,
+        tx,
+        1e-6,
+        &MultipathProfile::default(),
+    )
+}
+
+#[test]
+fn corrupted_csi_decodes_fail_as_typed_errors_never_panics() {
+    // The fault-injection wire layer hands arbitrary garbled payloads to
+    // `decompress_csi`; every failure must surface as a `CsiCodecError`
+    // (which the coordinator wraps into `CopaError::CodecError`), and a
+    // decode that happens to succeed must produce a sane channel. Nothing
+    // on this path is allowed to panic.
+    check("corrupted_csi_typed_errors", CASES, |g| {
+        let wire = compress_csi(&channel(g));
+        let mut bad = wire.clone();
+        match g.usize_in(0, 2) {
+            // Burst of bit flips anywhere in the payload.
+            0 => {
+                for _ in 0..g.usize_in(1, 8) {
+                    let pos = g.usize_in(0, bad.len() - 1);
+                    bad[pos] ^= g.u8() | 1;
+                }
+            }
+            // Truncation at an arbitrary point (lost tail on the wire).
+            1 => bad.truncate(g.usize_in(0, bad.len() - 1)),
+            // Pure noise of the same length.
+            _ => bad = g.bytes(wire.len()),
+        }
+        match decompress_csi(&bad) {
+            Ok(ch) => {
+                prop_assert!(ch.rx() >= 1 && ch.tx() >= 1, "decoded channel has antennas");
+            }
+            Err(
+                CsiCodecError::Truncated { .. }
+                | CsiCodecError::BadDimensions { .. }
+                | CsiCodecError::BadBackref { .. }
+                | CsiCodecError::CorruptField { .. },
+            ) => {}
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn intact_csi_always_round_trips() {
+    check("intact_csi_round_trips", CASES, |g| {
+        let ch = channel(g);
+        let back = decompress_csi(&compress_csi(&ch));
+        match back {
+            Ok(b) => {
+                prop_assert_eq!(b.rx(), ch.rx());
+                prop_assert_eq!(b.tx(), ch.tx());
+            }
+            Err(e) => return Err(format!("own encoding failed to decode: {e}")),
+        }
         Ok(())
     });
 }

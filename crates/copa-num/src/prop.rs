@@ -191,6 +191,8 @@ where
         let mut g = Gen::new(seed, 1.0);
         if let Err(msg) = prop(&mut g) {
             let (scale, msg) = shrink(seed, &prop, msg);
+            // allowlisted: the property harness reports failure by
+            // panicking, exactly like the test framework it stands in for.
             panic!(
                 "property '{name}' failed at case {case}/{cases} \
                  (seed {seed:#018x}, scale {scale:.4}):\n  {msg}\n  \

@@ -35,7 +35,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return f64::NAN;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -97,7 +97,7 @@ impl EmpiricalCdf {
     /// Builds the CDF from samples (copies and sorts them).
     pub fn new(samples: &[f64]) -> Self {
         let mut values = samples.to_vec();
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         Self { values }
     }
 

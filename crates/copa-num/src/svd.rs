@@ -205,7 +205,7 @@ pub fn svd_into(a: &CMat, scratch: &mut SvdScratch, out: &mut Svd) {
     let norms = &mut scratch.norms;
     norms.clear();
     norms.extend((0..n).map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt()));
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
+    order.sort_by(|&a, &b| norms[b].total_cmp(&norms[a]));
 
     let s = &mut out.s;
     s.clear();

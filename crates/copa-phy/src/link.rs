@@ -99,7 +99,7 @@ impl ThroughputModel {
         Mcs::TABLE
             .iter()
             .map(|&m| self.evaluate(m, sinrs, airtime_efficiency))
-            .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
+            .max_by(|a, b| a.goodput_bps.total_cmp(&b.goodput_bps))
             .expect("MCS table is non-empty")
     }
 
@@ -157,7 +157,7 @@ impl ThroughputModel {
         Mcs::TABLE
             .iter()
             .map(|&m| self.evaluate_flat(m, g, n, airtime_efficiency))
-            .max_by(|a, b| a.goodput_bps.partial_cmp(&b.goodput_bps).unwrap())
+            .max_by(|a, b| a.goodput_bps.total_cmp(&b.goodput_bps))
             .expect("MCS table is non-empty")
     }
 

@@ -19,9 +19,9 @@ pub fn antenna_to_keep(est_own: &FreqChannel) -> usize {
         .max_by(|&a, &b| {
             let ea = row_energy(est_own, a);
             let eb = row_energy(est_own, b);
-            ea.partial_cmp(&eb).unwrap()
+            ea.total_cmp(&eb)
         })
-        .unwrap()
+        .expect("rx >= 1 guarantees a candidate") // invariant: asserted above
 }
 
 fn row_energy(ch: &FreqChannel, row: usize) -> f64 {

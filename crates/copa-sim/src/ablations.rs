@@ -21,7 +21,7 @@ use copa_alloc::stream::{
     StreamProblem,
 };
 use copa_channel::{MultipathProfile, Topology};
-use copa_core::{prepare, DecoderMode, Engine, ScenarioParams};
+use copa_core::{prepare, Engine, EvalRequest, ScenarioParams};
 use copa_num::stats::mean;
 use copa_num::SimRng;
 use copa_phy::link::ThroughputModel;
@@ -291,7 +291,9 @@ pub fn csi_aging_sweep(suite: &[Topology], base: &ScenarioParams, rhos: &[f64]) 
                             p.topology.links[a][c].evolve(&mut rng, rho, &profile);
                     }
                 }
-                let ev = engine.evaluate_prepared(&p, DecoderMode::Single);
+                let ev = engine
+                    .run(&mut EvalRequest::prepared(&p))
+                    .expect("aged scenario stays valid");
                 if let Some(n) = ev.vanilla_null {
                     nulls.push(n.aggregate_mbps());
                 }

@@ -10,7 +10,7 @@
 
 use crate::json::{Obj, ToJson};
 use copa_channel::{MultipathProfile, Topology};
-use copa_core::{DecoderMode, Engine, PreparedScenario, ScenarioParams};
+use copa_core::{CopaError, Engine, EvalRequest, PreparedScenario, ScenarioParams};
 use copa_num::rng::SimRng;
 use copa_num::stats::mean;
 
@@ -58,13 +58,14 @@ pub struct EpisodeResult {
     pub copa_series: Vec<f64>,
 }
 
-/// Runs one episode over an (initially drawn) topology.
+/// Runs one episode over an (initially drawn) topology. Fails only if an
+/// evaluation rejects the evolved channels (e.g. a degenerate estimate).
 pub fn run_episode(
     topology: &Topology,
     params: &ScenarioParams,
     cfg: &EpisodeConfig,
-) -> EpisodeResult {
-    assert!(cfg.cycles > 0 && cfg.coherence_s > 0.0);
+) -> Result<EpisodeResult, CopaError> {
+    assert!(cfg.cycles > 0 && cfg.coherence_s > 0.0); // allowlisted: caller-side API contract
     let engine = Engine::new(*params);
     let profile = MultipathProfile::default();
     let mut rng = SimRng::seed_from(cfg.seed);
@@ -109,10 +110,11 @@ pub fn run_episode(
         }
         let prepared = PreparedScenario {
             topology: truth.clone(),
+            // invariant: last_refresh starts at -inf, so cycle 0 refreshes
             est: est.clone().expect("first cycle refreshes"),
             params: *params,
         };
-        let ev = engine.evaluate_prepared(&prepared, DecoderMode::Single);
+        let ev = engine.run(&mut EvalRequest::prepared(&prepared))?;
         copa_series.push(ev.copa_fair.aggregate_mbps());
         csma_series.push(ev.csma.aggregate_mbps());
         if let Some(n) = ev.vanilla_null {
@@ -120,7 +122,7 @@ pub fn run_episode(
         }
     }
 
-    EpisodeResult {
+    Ok(EpisodeResult {
         copa_fair_mbps: mean(&copa_series),
         csma_mbps: mean(&csma_series),
         null_mbps: if null_series.is_empty() {
@@ -130,7 +132,7 @@ pub fn run_episode(
         },
         refreshes,
         copa_series,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +152,7 @@ mod tests {
             cycles: 24,
             ..Default::default()
         };
-        let r = run_episode(&topo(), &ScenarioParams::default(), &cfg);
+        let r = run_episode(&topo(), &ScenarioParams::default(), &cfg).expect("episode");
         assert_eq!(r.copa_series.len(), 24);
         // 24 cycles x 4.4 ms = 105.6 ms; refresh every 30 ms -> 4 refreshes.
         assert!((3..=5).contains(&r.refreshes), "refreshes {}", r.refreshes);
@@ -172,8 +174,8 @@ mod tests {
         };
         let t = topo();
         let params = ScenarioParams::default();
-        let fresh = run_episode(&t, &params, &base);
-        let stale = run_episode(&t, &params, &lazy);
+        let fresh = run_episode(&t, &params, &base).expect("episode");
+        let stale = run_episode(&t, &params, &lazy).expect("episode");
         assert!(stale.refreshes < fresh.refreshes);
         // Stale CSI hurts nulling-based concurrency.
         if let (Some(nf), Some(ns)) = (fresh.null_mbps, stale.null_mbps) {
@@ -201,7 +203,7 @@ mod tests {
             refresh_interval_s: 1e6,
             ..Default::default()
         };
-        let r = run_episode(&topo(), &ScenarioParams::default(), &cfg);
+        let r = run_episode(&topo(), &ScenarioParams::default(), &cfg).expect("episode");
         let first = r.copa_series[0];
         for v in &r.copa_series {
             assert!((v - first).abs() < first * 0.02, "drift in static episode");

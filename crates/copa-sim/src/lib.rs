@@ -8,6 +8,8 @@
 //!   and the multi-decoder comparison (Figure 14).
 //! * [`report`] -- the paper's headline statistics and text rendering.
 //! * [`runner`] -- parallel suite evaluation over std scoped threads.
+//! * [`degradation`] -- suites under injected ITS faults: retries, CSMA
+//!   fallbacks and [`DegradationStats`] accounting.
 //! * [`json`] -- the dependency-free JSON writer all reports serialize
 //!   through.
 //! * [`ablations`] -- design-choice sweeps (coherence time, impairments,
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod degradation;
 pub mod episode;
 pub mod figures;
 pub mod json;
@@ -34,9 +37,10 @@ pub mod validation;
 pub use ablations::{
     allocator_comparison, coherence_sweep, correlation_sweep, csi_aging_sweep, impairment_sweep,
 };
+pub use degradation::{run_degraded_suite, DegradationStats, DegradedSuiteResult};
 pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
 pub use report::{headline_stats, render_experiment, HeadlineStats};
-pub use runner::{evaluate_parallel, evaluate_serial};
+pub use runner::{evaluate_parallel, evaluate_serial, try_evaluate_parallel};
 pub use throughput::{
     fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
 };

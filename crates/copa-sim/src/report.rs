@@ -8,6 +8,7 @@
 
 use crate::json::{Obj, ToJson};
 use crate::throughput::ThroughputExperiment;
+use copa_core::CopaError;
 use copa_num::stats::{fraction_greater, mean_relative_improvement, median_relative_improvement};
 
 /// The section 1 headline statistics for a nulling-capable scenario.
@@ -25,18 +26,27 @@ pub struct HeadlineStats {
 
 /// Computes the headline statistics from a Figure 11-style experiment.
 ///
-/// # Panics
-/// Panics if the experiment lacks a "Null" series.
-pub fn headline_stats(exp: &ThroughputExperiment) -> HeadlineStats {
-    let csma = &exp.series("CSMA").expect("CSMA series").aggregate_mbps;
-    let null = &exp.series("Null").expect("Null series").aggregate_mbps;
-    let copa = &exp.series("COPA").expect("COPA series").aggregate_mbps;
-    HeadlineStats {
+/// Errors with [`CopaError::InfeasibleStrategy`] if the experiment lacks
+/// one of the "CSMA" / "Null" / "COPA" series (e.g. a suite where nulling
+/// was never feasible).
+pub fn headline_stats(exp: &ThroughputExperiment) -> Result<HeadlineStats, CopaError> {
+    let series = |name: &'static str| {
+        exp.series(name)
+            .map(|s| &s.aggregate_mbps)
+            .ok_or(CopaError::InfeasibleStrategy {
+                context: "headline stats",
+                strategy: name,
+            })
+    };
+    let csma = series("CSMA")?;
+    let null = series("Null")?;
+    let copa = series("COPA")?;
+    Ok(HeadlineStats {
         null_worse_than_csma: fraction_greater(csma, null),
         copa_over_null_mean: mean_relative_improvement(copa, null),
         copa_over_null_median: median_relative_improvement(copa, null),
         copa_beats_csma: fraction_greater(copa, csma),
-    }
+    })
 }
 
 /// Renders an experiment like the paper's figure legends:
@@ -44,17 +54,19 @@ pub fn headline_stats(exp: &ThroughputExperiment) -> HeadlineStats {
 pub fn render_experiment(exp: &ThroughputExperiment) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "== {} ==", exp.label).unwrap();
+    writeln!(out, "== {} ==", exp.label).expect("String writes are infallible");
     for s in &exp.series {
-        writeln!(out, "  {:<12} mean {:>6.1} Mbps", s.name, s.mean_mbps()).unwrap();
+        writeln!(out, "  {:<12} mean {:>6.1} Mbps", s.name, s.mean_mbps())
+            .expect("String writes are infallible");
     }
-    writeln!(out, "  CDF deciles (Mbps):").unwrap();
+    writeln!(out, "  CDF deciles (Mbps):").expect("String writes are infallible");
     for s in &exp.series {
         let cdf = s.cdf();
         let deciles: Vec<String> = (1..=9)
             .map(|d| format!("{:.0}", cdf.quantile(d as f64 / 10.0)))
             .collect();
-        writeln!(out, "    {:<12} {}", s.name, deciles.join(" ")).unwrap();
+        writeln!(out, "    {:<12} {}", s.name, deciles.join(" "))
+            .expect("String writes are infallible");
     }
     out
 }
@@ -98,13 +110,25 @@ mod tests {
 
     #[test]
     fn headline_statistics() {
-        let h = headline_stats(&fake_experiment());
+        let h = headline_stats(&fake_experiment()).expect("all series present");
         // CSMA > Null in 3 of 4.
         assert!((h.null_worse_than_csma - 0.75).abs() < 1e-12);
         // COPA > CSMA in 4 of 4.
         assert!((h.copa_beats_csma - 1.0).abs() < 1e-12);
         assert!(h.copa_over_null_mean > 0.0);
         assert!(h.copa_over_null_median > 0.0);
+    }
+
+    #[test]
+    fn missing_series_is_an_error_not_a_panic() {
+        let mut exp = fake_experiment();
+        exp.series.retain(|s| s.name != "Null");
+        match headline_stats(&exp) {
+            Err(copa_core::CopaError::InfeasibleStrategy { strategy, .. }) => {
+                assert_eq!(strategy, "Null")
+            }
+            other => panic!("expected InfeasibleStrategy, got {other:?}"),
+        }
     }
 
     #[test]

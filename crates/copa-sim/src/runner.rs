@@ -7,28 +7,38 @@
 //! workers the way static chunking could.
 
 use copa_channel::Topology;
-use copa_core::{Engine, EngineWorkspace, Evaluation, ScenarioParams};
+use copa_core::{CopaError, Engine, EngineWorkspace, EvalRequest, Evaluation, ScenarioParams};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// The per-topology params seed: distinct and deterministic per suite
+/// index, so results are byte-identical regardless of thread count or which
+/// worker claims which topology. Shared with the degraded-suite runner so
+/// zero-fault degraded runs are bit-identical to plain evaluation.
+pub(crate) fn seed_for(params: &ScenarioParams, idx: usize) -> u64 {
+    params
+        .seed
+        .wrapping_add(idx as u64)
+        .wrapping_mul(0x9E37_79B9)
+}
+
 /// Evaluates `suite` in parallel with `threads` workers (results in suite
-/// order). Each topology gets a distinct, deterministic CSI seed derived
-/// from its index, so results are byte-identical regardless of thread count
-/// or which worker happens to claim which topology. Spawns at most
-/// `suite.len()` workers; an empty suite returns an empty vector without
+/// order), propagating the first failure (in suite order) instead of
+/// panicking. A failed topology does not poison the pool: every worker
+/// records its `Result` and keeps pulling indices. Spawns at most
+/// `suite.len()` workers; an empty suite returns `Ok(vec![])` without
 /// spawning anything.
-pub fn evaluate_parallel(
+pub fn try_evaluate_parallel(
     params: &ScenarioParams,
     suite: &[Topology],
     threads: usize,
-) -> Vec<Evaluation> {
-    assert!(threads >= 1);
+) -> Result<Vec<Evaluation>, CopaError> {
     let n = suite.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let workers = threads.min(n);
+    let workers = threads.max(1).min(n);
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<Evaluation>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<Evaluation, CopaError>>> = (0..n).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -38,25 +48,25 @@ pub fn evaluate_parallel(
                     // One reusable workspace per worker: buffers grow to the
                     // largest topology shape, then evaluation is alloc-free.
                     let mut ws = EngineWorkspace::new();
-                    let mut done: Vec<(usize, Evaluation)> = Vec::new();
+                    let mut done: Vec<(usize, Result<Evaluation, CopaError>)> = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= n {
                             break;
                         }
                         let mut p = *params;
-                        p.seed = params
-                            .seed
-                            .wrapping_add(idx as u64)
-                            .wrapping_mul(0x9E37_79B9);
+                        p.seed = seed_for(params, idx);
                         let engine = Engine::new(p);
-                        done.push((idx, engine.evaluate_with(&suite[idx], &mut ws)));
+                        let r =
+                            engine.run(&mut EvalRequest::topology(&suite[idx]).workspace(&mut ws));
+                        done.push((idx, r));
                     }
                     done
                 })
             })
             .collect();
         for h in handles {
+            // invariant: workers return Results rather than panicking
             for (idx, ev) in h.join().expect("worker panicked") {
                 results[idx] = Some(ev);
             }
@@ -65,8 +75,22 @@ pub fn evaluate_parallel(
 
     results
         .into_iter()
-        .map(|r| r.expect("every index was claimed exactly once"))
+        .map(|r| {
+            // invariant: the atomic counter hands out every index exactly once
+            r.expect("every index was claimed exactly once")
+        })
         .collect()
+}
+
+/// Infallible convenience wrapper over [`try_evaluate_parallel`] for suites
+/// of engine-prepared topologies (which cannot fail validation).
+pub fn evaluate_parallel(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    threads: usize,
+) -> Vec<Evaluation> {
+    try_evaluate_parallel(params, suite, threads).expect("infallible: engine-prepared CSI")
+    // allowlisted legacy wrapper
 }
 
 /// Sequential fallback used by tests and tiny suites.

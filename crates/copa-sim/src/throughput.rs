@@ -7,7 +7,7 @@
 use crate::json::{Obj, ToJson};
 use crate::runner::evaluate_parallel;
 use copa_channel::{AntennaConfig, Topology};
-use copa_core::{DecoderMode, Engine, Evaluation, ScenarioParams};
+use copa_core::{DecoderMode, Engine, EvalRequest, Evaluation, ScenarioParams};
 use copa_num::stats::{mean, EmpiricalCdf};
 
 /// One scheme's throughput samples across a suite.
@@ -169,8 +169,12 @@ pub fn fig14_scenario(label: &str, suite: &[Topology], params: &ScenarioParams) 
             .wrapping_add(idx as u64)
             .wrapping_mul(0x9E37_79B9);
         let engine = Engine::new(p);
-        let single = engine.evaluate_mode(topo, DecoderMode::Single);
-        let multi = engine.evaluate_mode(topo, DecoderMode::PerSubcarrier);
+        let single = engine
+            .run(&mut EvalRequest::topology(topo).mode(DecoderMode::Single))
+            .expect("sampled topologies are valid");
+        let multi = engine
+            .run(&mut EvalRequest::topology(topo).mode(DecoderMode::PerSubcarrier))
+            .expect("sampled topologies are valid");
         csma_1.push(single.csma.aggregate_mbps());
         csma_n.push(multi.csma.aggregate_mbps());
         fair_1.push(single.copa_fair.aggregate_mbps());

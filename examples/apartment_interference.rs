@@ -12,7 +12,7 @@
 //! when interference is weak (Figure 12 vs Figure 11), while COPA adapts.
 
 use copa::channel::{AntennaConfig, TopologySampler};
-use copa::core::{Engine, ScenarioParams};
+use copa::core::{Engine, EvalRequest, ScenarioParams};
 use copa::num::stats::mean;
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
         let mut concurrent_picks = 0usize;
         for t in &suite {
             let t = t.with_weaker_interference(wall_db);
-            let ev = engine.evaluate(&t);
+            let ev = engine
+                .run(&mut EvalRequest::topology(&t))
+                .expect("sampled topology is valid");
             csma.push(ev.csma.aggregate_mbps());
             if let Some(n) = ev.vanilla_null {
                 null.push(n.aggregate_mbps());

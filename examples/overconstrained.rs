@@ -12,7 +12,7 @@
 //! and compares the three ways out on real topologies.
 
 use copa::channel::{AntennaConfig, TopologySampler};
-use copa::core::{Engine, ScenarioParams, Strategy};
+use copa::core::{Engine, EvalRequest, ScenarioParams, Strategy};
 use copa::num::stats::mean;
 use copa::precoding::nulling_dof;
 
@@ -40,7 +40,9 @@ fn main() {
     let mut copa = Vec::new();
     let mut concurrent = 0usize;
     for t in &suite {
-        let ev = engine.evaluate(t);
+        let ev = engine
+            .run(&mut EvalRequest::topology(t))
+            .expect("sampled topology is valid");
         csma.push(ev.csma.aggregate_mbps());
         if let Some(n) = ev.vanilla_null {
             null_sda.push(n.aggregate_mbps());

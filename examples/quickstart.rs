@@ -10,7 +10,7 @@
 //! and why.
 
 use copa::channel::{AntennaConfig, TopologySampler};
-use copa::core::{Engine, ScenarioParams};
+use copa::core::{Engine, EvalRequest, ScenarioParams};
 
 fn main() {
     // A deterministic topology draw: signal and interference powers match
@@ -35,7 +35,9 @@ fn main() {
     // beamforming and nulling precoders, allocates power per subcarrier,
     // and evaluates the true SINR each client would see.
     let engine = Engine::new(ScenarioParams::default());
-    let eval = engine.evaluate(&topology);
+    let eval = engine
+        .run(&mut EvalRequest::topology(&topology))
+        .expect("sampled topology is valid");
 
     println!("\nAll evaluated strategies (aggregate / per-client Mbps):");
     for o in &eval.outcomes {

@@ -6,21 +6,26 @@
 # succeed on a machine with no crates.io access at all. This script is
 # what CI (and the PR driver) runs; keep it green.
 #
-# Usage: scripts/check.sh [--bench-smoke]
-#   --bench-smoke  additionally run the hotpath benchmark in --quick mode
-#                  and leave its JSON lines in BENCH_hotpath.json.
+# Usage: scripts/check.sh [--bench-smoke] [--faults-smoke]
+#   --bench-smoke   additionally run the hotpath benchmark in --quick mode
+#                   and leave its JSON lines in BENCH_hotpath.json.
+#   --faults-smoke  additionally run one degraded-suite episode offline
+#                   (240 topologies, 20% ITS frame loss) and require CSMA
+#                   fallbacks to be reported without any panic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+FAULTS_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
+        --faults-smoke) FAULTS_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
-echo "==> 1/5 hermeticity: no registry dependencies in any Cargo.toml"
+echo "==> 1/6 hermeticity: no registry dependencies in any Cargo.toml"
 bad=0
 while IFS= read -r toml; do
     # Reject dotted dependency tables ([dependencies.foo]) outright --
@@ -53,7 +58,7 @@ if [ "$bad" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are in-repo path deps"
 
-echo "==> 2/5 alloc-free kernel regions: no Vec::new / vec! reintroduced"
+echo "==> 2/6 alloc-free kernel regions: no Vec::new / vec! reintroduced"
 # Per-subcarrier kernels are bracketed by "alloc-free: begin <name>" /
 # "alloc-free: end <name>" markers. Inside those regions, constructs that
 # allocate per call are banned; scratch buffers must come from the caller.
@@ -74,13 +79,45 @@ if ! awk '
 fi
 echo "    ok: $(grep -rh 'alloc-free: begin' crates --include='*.rs' | wc -l | tr -d ' ') marked kernel regions are allocation-free"
 
-echo "==> 3/5 cargo fmt --check"
+echo "==> 3/6 panic gate: no new unwrap()/panic! in library crates"
+# Library (non-test) code must not panic on user-reachable paths: fallible
+# APIs return copa_core::CopaError, internal invariants use expect /
+# debug_assert! with an "// invariant:" comment. The few deliberate panic
+# sites carry an "// allowlisted:" comment and a file:count budget in
+# scripts/panic_allowlist.txt; this gate fails when any crates/*/src file
+# exceeds its budget (test modules after #[cfg(test)] are exempt).
+panic_bad=0
+while IFS= read -r f; do
+    n=$(awk '/#\[cfg\(test\)\]/ { exit } { print }' "$f" \
+        | grep -c 'unwrap(\|panic!' || true)
+    budget=$( (grep "^$f:" scripts/panic_allowlist.txt || true) | tail -n1 | awk -F: '{print $NF}')
+    budget=${budget:-0}
+    if [ "$n" -gt "$budget" ]; then
+        echo "error: $f: $n unwrap()/panic! site(s) in non-test code," \
+             "budget $budget (scripts/panic_allowlist.txt)" >&2
+        panic_bad=1
+    fi
+done < <(find crates -path '*/src/*' -name '*.rs' | sort)
+while IFS= read -r entry; do
+    path=${entry%:*}
+    if [ ! -f "$path" ]; then
+        echo "error: stale allowlist entry: $path" >&2
+        panic_bad=1
+    fi
+done < <(grep -v '^\s*#' scripts/panic_allowlist.txt | grep -v '^\s*$')
+if [ "$panic_bad" -ne 0 ]; then
+    echo "panic gate FAILED: convert to CopaError or budget the site in scripts/panic_allowlist.txt" >&2
+    exit 1
+fi
+echo "    ok: library crates stay within the panic allowlist"
+
+echo "==> 4/6 cargo fmt --check"
 cargo fmt --check
 
-echo "==> 4/5 cargo build --release --offline (workspace, benches included)"
+echo "==> 5/6 cargo build --release --offline (workspace, benches included)"
 cargo build --release --offline --workspace --benches
 
-echo "==> 5/5 cargo test -q --offline (workspace)"
+echo "==> 6/6 cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
@@ -88,6 +125,16 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench --offline -p copa-bench --bench hotpath -- --quick | tee BENCH_hotpath.json
     grep -q '"name"' BENCH_hotpath.json || {
         echo "bench smoke FAILED: no JSON lines in BENCH_hotpath.json" >&2
+        exit 1
+    }
+fi
+
+if [ "$FAULTS_SMOKE" -eq 1 ]; then
+    echo "==> faults smoke: 240-topology degraded suite at 20% frame loss"
+    out=$(cargo run --release --offline --example degraded_suite)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '"csma_fallbacks":[1-9]' || {
+        echo "faults smoke FAILED: no CSMA fallbacks reported" >&2
         exit 1
     }
 fi

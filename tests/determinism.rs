@@ -4,7 +4,7 @@
 //! stop being reproducible across machines and thread counts.
 
 use copa::channel::{AntennaConfig, TopologySampler};
-use copa::core::{Engine, Evaluation, ScenarioParams};
+use copa::core::{Engine, EvalRequest, Evaluation, ScenarioParams};
 use copa::sim::{evaluate_parallel, evaluate_serial};
 
 /// Byte-exact fingerprint of an evaluation: every outcome's strategy and
@@ -44,8 +44,12 @@ fn engine_evaluate_is_byte_identical_across_runs() {
     let suite = TopologySampler::default().suite(0xDE7, 6, AntennaConfig::CONSTRAINED_4X2);
     let params = ScenarioParams::default();
     for t in &suite {
-        let a = Engine::new(params).evaluate(t);
-        let b = Engine::new(params).evaluate(t);
+        let a = Engine::new(params)
+            .run(&mut EvalRequest::topology(t))
+            .expect("valid topology");
+        let b = Engine::new(params)
+            .run(&mut EvalRequest::topology(t))
+            .expect("valid topology");
         assert_eq!(
             fingerprint(&a),
             fingerprint(&b),
@@ -109,5 +113,69 @@ fn mercury_variants_are_deterministic_too() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(fingerprint(x), fingerprint(y));
         assert!(x.copa_plus.is_some(), "mercury outcomes requested");
+    }
+}
+
+#[test]
+fn degraded_suite_is_byte_identical_across_1_2_8_threads() {
+    // Fault injection must not break the determinism contract: the same
+    // FaultPlan seed produces bit-identical throughputs, decisions, and
+    // DegradationStats no matter how workers race for topologies.
+    use copa::channel::FaultPlan;
+    use copa::sim::run_degraded_suite;
+    let suite = TopologySampler::default().suite(0xFA01, 16, AntennaConfig::CONSTRAINED_4X2);
+    let params = ScenarioParams::default();
+    let plan = FaultPlan {
+        frame_loss: 0.3,
+        corruption: 0.1,
+        stale_csi: 0.1,
+        max_retries: 2,
+        ..FaultPlan::none(7)
+    };
+    let one = run_degraded_suite(&params, &suite, &plan, 1).expect("degraded suite");
+    assert!(
+        one.stats.csma_fallbacks > 0,
+        "plan should be harsh enough to force fallbacks"
+    );
+    for threads in [2, 8] {
+        let many = run_degraded_suite(&params, &suite, &plan, threads).expect("degraded suite");
+        assert_eq!(one.stats, many.stats, "{threads}-thread stats drifted");
+        assert_eq!(one.decisions, many.decisions);
+        for (i, (a, b)) in one
+            .throughputs_mbps
+            .iter()
+            .zip(&many.throughputs_mbps)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "topology {i}: 1-thread vs {threads}-thread throughput"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_bit_transparent_over_the_plain_runner() {
+    // A FaultPlan that cannot inject anything must leave the evaluation
+    // pipeline untouched: same throughput bits as evaluate_parallel, no
+    // degradation accounting, and all-coordinated decisions.
+    use copa::channel::FaultPlan;
+    use copa::sim::run_degraded_suite;
+    let suite = TopologySampler::default().suite(0xFA02, 10, AntennaConfig::CONSTRAINED_4X2);
+    let params = ScenarioParams::default();
+    let plain = evaluate_parallel(&params, &suite, 4);
+    let degraded =
+        run_degraded_suite(&params, &suite, &FaultPlan::none(99), 4).expect("degraded suite");
+    assert_eq!(degraded.stats.retries, 0);
+    assert_eq!(degraded.stats.failed, 0);
+    assert_eq!(degraded.stats.csma_fallbacks, 0);
+    for (i, (ev, got)) in plain.iter().zip(&degraded.throughputs_mbps).enumerate() {
+        assert_eq!(
+            ev.copa_fair.aggregate_mbps().to_bits(),
+            got.to_bits(),
+            "topology {i}: zero-fault suite must match the plain runner bit for bit"
+        );
     }
 }

@@ -3,10 +3,15 @@
 //! evaluation, MAC overhead and strategy selection.
 
 use copa::channel::{AntennaConfig, Impairments, TopologySampler};
-use copa::core::{Engine, ScenarioParams, Strategy};
+use copa::core::{Engine, EvalRequest, Evaluation, ScenarioParams, Strategy};
 
 fn engine() -> Engine {
     Engine::new(ScenarioParams::default())
+}
+
+fn eval(e: &Engine, t: &copa::channel::Topology) -> Evaluation {
+    e.run(&mut EvalRequest::topology(t))
+        .expect("valid topology")
 }
 
 fn suite(cfg: AntennaConfig, n: usize, seed: u64) -> Vec<copa::channel::Topology> {
@@ -19,7 +24,7 @@ fn csma_respects_the_physical_ceiling() {
     // maximum achievable rate at 65 Mbps with a 4 ms TXOP).
     let e = engine();
     for t in suite(AntennaConfig::CONSTRAINED_4X2, 8, 1) {
-        let ev = e.evaluate(&t);
+        let ev = eval(&e, &t);
         assert!(
             ev.csma.aggregate_mbps() <= 2.0 * 57.6,
             "CSMA {:.1} exceeds the 2-stream ceiling",
@@ -27,7 +32,7 @@ fn csma_respects_the_physical_ceiling() {
         );
     }
     for t in suite(AntennaConfig::SINGLE, 8, 2) {
-        let ev = e.evaluate(&t);
+        let ev = eval(&e, &t);
         assert!(ev.csma.aggregate_mbps() <= 57.6);
     }
 }
@@ -42,7 +47,7 @@ fn copa_never_loses_to_its_own_fallback() {
         AntennaConfig::OVERCONSTRAINED_3X2,
     ] {
         for t in suite(cfg, 6, 3) {
-            let ev = e.evaluate(&t);
+            let ev = eval(&e, &t);
             assert!(
                 ev.copa.aggregate_bps() >= ev.copa_seq.aggregate_bps(),
                 "{cfg:?}: COPA below COPA-SEQ"
@@ -60,7 +65,7 @@ fn fairness_constraint_is_enforced_everywhere() {
         AntennaConfig::OVERCONSTRAINED_3X2,
     ] {
         for t in suite(cfg, 8, 4) {
-            let ev = e.evaluate(&t);
+            let ev = eval(&e, &t);
             assert!(
                 ev.copa_fair.incentive_compatible_vs(&ev.copa_seq),
                 "{cfg:?}: COPA fair hurt a client vs sequential cooperation"
@@ -75,7 +80,7 @@ fn fair_price_is_bounded_and_nonnegative() {
     // fair never exceeds unfair aggregate.
     let e = engine();
     for t in suite(AntennaConfig::CONSTRAINED_4X2, 10, 5) {
-        let ev = e.evaluate(&t);
+        let ev = eval(&e, &t);
         assert!(ev.copa_fair.aggregate_bps() <= ev.copa.aggregate_bps() + 1.0);
     }
 }
@@ -86,7 +91,7 @@ fn copa_beats_vanilla_nulling_per_topology() {
     // to do something else), so it should essentially never lose to it.
     let e = engine();
     for t in suite(AntennaConfig::CONSTRAINED_4X2, 10, 6) {
-        let ev = e.evaluate(&t);
+        let ev = eval(&e, &t);
         let null = ev.vanilla_null.expect("4x2 nulls");
         assert!(
             ev.copa.aggregate_bps() >= null.aggregate_bps() * 0.97,
@@ -112,7 +117,7 @@ fn ideal_radios_make_nulling_shine() {
     let mut csma_sum = 0.0;
     let topos = suite(AntennaConfig::CONSTRAINED_4X2, 8, 7);
     for t in &topos {
-        let ev = e.evaluate(t);
+        let ev = eval(&e, t);
         if ev.copa.strategy.is_concurrent() {
             concurrent += 1;
         }
@@ -144,7 +149,7 @@ fn impairments_degrade_nulling_monotonically() {
             },
             ..Default::default()
         };
-        let ev = Engine::new(params).evaluate(&topo);
+        let ev = eval(&Engine::new(params), &topo);
         let null = ev.vanilla_null.unwrap().aggregate_bps();
         assert!(
             null <= prev * 1.02,
@@ -158,7 +163,7 @@ fn impairments_degrade_nulling_monotonically() {
 fn single_antenna_menu_is_restricted() {
     let e = engine();
     for t in suite(AntennaConfig::SINGLE, 5, 9) {
-        let ev = e.evaluate(&t);
+        let ev = eval(&e, &t);
         assert!(ev.vanilla_null.is_none());
         assert!(ev.outcome(Strategy::ConcurrentNull).is_none());
         // Per-client throughputs are symmetric in expectation but always
@@ -180,7 +185,7 @@ fn weak_interference_increases_concurrency_rate() {
         topos
             .iter()
             .filter(|t| {
-                e.evaluate(&t.with_weaker_interference(delta))
+                eval(&e, &t.with_weaker_interference(delta))
                     .copa
                     .strategy
                     .is_concurrent()
@@ -204,8 +209,8 @@ fn evaluation_is_deterministic() {
     let e1 = engine();
     let e2 = engine();
     let t = suite(AntennaConfig::CONSTRAINED_4X2, 1, 11).remove(0);
-    let a = e1.evaluate(&t);
-    let b = e2.evaluate(&t);
+    let a = eval(&e1, &t);
+    let b = eval(&e2, &t);
     assert_eq!(a.copa.strategy, b.copa.strategy);
     assert_eq!(a.copa.aggregate_bps(), b.copa.aggregate_bps());
     assert_eq!(a.csma.aggregate_bps(), b.csma.aggregate_bps());

@@ -106,7 +106,7 @@ fn fig11_shape_and_headlines() {
     assert!(fair > csma, "COPA fair should beat CSMA");
     assert!(copa >= fair - 0.1);
 
-    let h = headline_stats(&exp);
+    let h = headline_stats(&exp).expect("fig11 has all three series");
     assert!(
         h.null_worse_than_csma > 0.6,
         "nulling should lose to CSMA in most topologies: {:.0}%",

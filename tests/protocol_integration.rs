@@ -3,7 +3,7 @@
 
 use copa::channel::{AntennaConfig, MultipathProfile, TopologySampler};
 use copa::core::coordinator::{Coordinator, CsiCache};
-use copa::core::{prepare, DecoderMode, Engine, PreparedScenario, ScenarioParams};
+use copa::core::{prepare, DecoderMode, Engine, EvalRequest, PreparedScenario, ScenarioParams};
 use copa::mac::csi_codec::{compress_csi, decompress_csi, raw_csi_bytes};
 use copa::mac::frames::{Addr, FrameError, ItsFrame};
 use copa::num::SimRng;
@@ -67,11 +67,16 @@ fn decisions_from_compressed_csi_stay_useful() {
     };
     for a in 0..2 {
         for c in 0..2 {
-            squeezed.est[a][c] = decompress_csi(&compress_csi(&p.est[a][c]));
+            squeezed.est[a][c] =
+                decompress_csi(&compress_csi(&p.est[a][c])).expect("own encoding decodes");
         }
     }
-    let direct = engine.evaluate_prepared(&p, DecoderMode::Single);
-    let lossy = engine.evaluate_prepared(&squeezed, DecoderMode::Single);
+    let direct = engine
+        .run(&mut EvalRequest::prepared(&p).mode(DecoderMode::Single))
+        .expect("prepared scenario is valid");
+    let lossy = engine
+        .run(&mut EvalRequest::prepared(&squeezed).mode(DecoderMode::Single))
+        .expect("quantized CSI is still well-formed");
     let ratio = lossy.copa_fair.aggregate_bps() / direct.copa_fair.aggregate_bps();
     assert!(
         ratio > 0.6,
@@ -92,7 +97,9 @@ fn stale_csi_hurts_nulling() {
     let p = prepare(&topo, &params);
 
     // Fresh decision.
-    let fresh = engine.evaluate_prepared(&p, DecoderMode::Single);
+    let fresh = engine
+        .run(&mut EvalRequest::prepared(&p).mode(DecoderMode::Single))
+        .expect("prepared scenario is valid");
     let fresh_null = fresh.vanilla_null.unwrap().aggregate_bps();
 
     // Let the true channels decorrelate (rho = 0.5: past coherence).
@@ -104,7 +111,9 @@ fn stale_csi_hurts_nulling() {
             aged.topology.links[a][c] = aged.topology.links[a][c].evolve(&mut rng, 0.5, &profile);
         }
     }
-    let stale = engine.evaluate_prepared(&aged, DecoderMode::Single);
+    let stale = engine
+        .run(&mut EvalRequest::prepared(&aged).mode(DecoderMode::Single))
+        .expect("aged scenario is still well-formed");
     let stale_null = stale.vanilla_null.unwrap().aggregate_bps();
     assert!(
         stale_null < fresh_null * 0.9,
@@ -130,8 +139,8 @@ fn csi_cache_expiry_matches_coherence_budget() {
     let addr = Addr::from_id(3);
     // Learned at t = 0, coherence 30 ms: fresh at 29 ms, stale at 31 ms.
     cache.learn(addr, ch, 0.0);
-    assert!(cache.fresh(addr, 29_000.0, 30_000.0).is_some());
-    assert!(cache.fresh(addr, 31_000.0, 30_000.0).is_none());
+    assert!(cache.with_fresh(addr, 29_000.0, 30_000.0, |_| ()).is_some());
+    assert!(cache.with_fresh(addr, 31_000.0, 30_000.0, |_| ()).is_none());
 }
 
 #[test]
