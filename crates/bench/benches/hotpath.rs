@@ -23,8 +23,8 @@ use copa_channel::{AntennaConfig, MultipathProfile, TopologySampler};
 use copa_core::{Engine, EngineWorkspace, EvalRequest, ScenarioParams};
 use copa_num::{svd, CMat, SimRng};
 use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
-use copa_sim::evaluate_parallel;
 use copa_sim::json::{Obj, ToJson};
+use copa_sim::{evaluate_guarded, evaluate_parallel};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -161,6 +161,20 @@ fn main() {
         let _ = black_box(engine.run(&mut EvalRequest::topology(&t4x2).workspace(&mut ws)));
     });
     report_allocs("evaluate_4x2_warm_ws", allocs_warm);
+
+    // Supervision guard: the supervisor's per-topology `catch_unwind`
+    // wrapper must be free -- same warmed workspace, same topology, and
+    // exactly as many allocations as the bare engine call. A regression
+    // here means panic isolation started taxing the hot path.
+    let _ = evaluate_guarded(&engine, 0, &t4x2, &mut ws);
+    let allocs_guarded = count_allocs(|| {
+        let _ = black_box(evaluate_guarded(&engine, 0, &t4x2, &mut ws));
+    });
+    report_allocs("evaluate_4x2_guarded", allocs_guarded);
+    assert_eq!(
+        allocs_guarded, allocs_warm,
+        "evaluate_guarded must add zero allocations over the bare warmed path"
+    );
 
     // --- 3. suite throughput through the parallel runner ----------------
     let suite = mixed_suite(4);

@@ -16,6 +16,7 @@ use copa_alloc::stream::{equi_sinr, mercury_best, StreamProblem};
 use copa_channel::{FreqChannel, Topology};
 use copa_mac::overhead::{airtime_efficiency, OverheadConfig, Scheme};
 use copa_num::matrix::CMat;
+use copa_num::svd::{cond_into, Svd, SvdScratch};
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::modulation::Modulation;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
@@ -90,6 +91,10 @@ pub struct EngineWorkspace {
     cg_w: CMat,
     /// Cross-gain scratch: channel times column.
     cg_hw: CMat,
+    /// SVD scratch for the conditioning quarantine check.
+    cond_svd: SvdScratch,
+    /// SVD output slot for the conditioning quarantine check.
+    cond_out: Svd,
 }
 
 impl EngineWorkspace {
@@ -211,7 +216,43 @@ impl Engine {
                 &mut fresh
             }
         };
+        self.quarantine_ill_conditioned(p, ws)?;
         Ok(self.eval_all(p, req.mode, ws))
+    }
+
+    /// The numerical-conditioning quarantine: when `params.cond_limit` is
+    /// finite, measure the 2-norm condition number of every own-link
+    /// (`est[i][i]`) subcarrier matrix and reject the whole topology the
+    /// moment one exceeds the limit. Ill-conditioned own links are exactly
+    /// where nulling-based allocation goes wrong (COPA section 5: SINR
+    /// variance explodes), so such draws are surfaced as
+    /// [`CopaError::SingularChannel`] with the measured condition number
+    /// instead of being folded into garbage SINR averages. With the default
+    /// infinite limit this is a single branch -- results stay bit-identical.
+    fn quarantine_ill_conditioned(
+        &self,
+        p: &PreparedScenario,
+        ws: &mut EngineWorkspace,
+    ) -> Result<(), CopaError> {
+        let limit = self.params.cond_limit;
+        if !limit.is_finite() {
+            return Ok(());
+        }
+        for i in 0..2 {
+            // alloc-free: begin cond quarantine sweep (scratch reused per subcarrier)
+            for (s, m) in p.est[i][i].iter().enumerate() {
+                let cond = cond_into(m, &mut ws.cond_svd, &mut ws.cond_out);
+                if !(cond <= limit) {
+                    return Err(CopaError::SingularChannel {
+                        context: EST_NAMES[i][i],
+                        subcarrier: s,
+                        cond,
+                    });
+                }
+            }
+            // alloc-free: end cond quarantine sweep
+        }
+        Ok(())
     }
 
     /// Evaluates a topology with the stock single decoder.
@@ -710,6 +751,7 @@ fn validate_prepared(p: &PreparedScenario) -> Result<(), CopaError> {
                     return Err(CopaError::SingularChannel {
                         context: EST_NAMES[i][j],
                         subcarrier: s,
+                        cond: f64::INFINITY,
                     });
                 }
             }
@@ -876,6 +918,41 @@ mod tests {
             Err(CopaError::DimensionMismatch { got, .. }) => assert_eq!(got.0, 1),
             other => panic!("expected DimensionMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cond_limit_quarantines_ill_conditioned_channels() {
+        let t = topo(52, AntennaConfig::CONSTRAINED_4X2);
+
+        // An absurdly tight limit rejects every realistic fading draw...
+        let tight = Engine::new(ScenarioParams {
+            cond_limit: 1.0 + 1e-12,
+            ..Default::default()
+        });
+        match tight.run(&mut EvalRequest::topology(&t)) {
+            Err(CopaError::SingularChannel { context, cond, .. }) => {
+                assert!(context.starts_with("est["), "context {context}");
+                assert!(cond.is_finite() && cond > 1.0, "measured cond {cond}");
+            }
+            other => panic!("expected conditioning quarantine, got {other:?}"),
+        }
+
+        // ...a generous finite limit accepts it, bit-identical to the
+        // default infinite limit (the check must not perturb results).
+        let loose = Engine::new(ScenarioParams {
+            cond_limit: 1e12,
+            ..Default::default()
+        });
+        let guarded = loose
+            .run(&mut EvalRequest::topology(&t))
+            .expect("well-conditioned draw");
+        let plain = engine()
+            .run(&mut EvalRequest::topology(&t))
+            .expect("valid topology");
+        assert_eq!(
+            guarded.copa_fair.aggregate_bps().to_bits(),
+            plain.copa_fair.aggregate_bps().to_bits()
+        );
     }
 
     #[test]

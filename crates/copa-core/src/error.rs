@@ -41,13 +41,17 @@ impl fmt::Display for WireFault {
 /// The unified error type of the COPA evaluation pipeline.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CopaError {
-    /// A channel matrix is degenerate (non-finite or rank zero), so
-    /// precoding and SINR evaluation are meaningless.
+    /// A channel matrix is degenerate (non-finite, rank zero, or too
+    /// ill-conditioned for nulling), so precoding and SINR evaluation are
+    /// meaningless.
     SingularChannel {
         /// Which channel was degenerate (e.g. `"est[0][0]"`).
         context: &'static str,
         /// The first offending subcarrier.
         subcarrier: usize,
+        /// Measured 2-norm condition number at that subcarrier
+        /// (`f64::INFINITY` when the matrix is outright degenerate).
+        cond: f64,
     },
     /// Cached CSI is older than the channel coherence time.
     StaleCsi {
@@ -88,6 +92,23 @@ pub enum CopaError {
         /// The failure that ended the final attempt.
         last: Box<CopaError>,
     },
+    /// A suite worker panicked while evaluating one topology. The
+    /// supervisor converts the unwind into this record and rebuilds the
+    /// worker's workspace, so one poisoned evaluation costs exactly one
+    /// topology rather than the whole pool.
+    WorkerPanic {
+        /// Index of the topology whose evaluation unwound.
+        topology_id: usize,
+        /// The panic payload, downcast to text when possible.
+        payload: String,
+    },
+    /// The checkpoint journal could not be written or replayed.
+    JournalError {
+        /// What the journal layer was doing (e.g. `"segment header"`).
+        context: &'static str,
+        /// Human-readable detail (I/O error text, checksum mismatch...).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CopaError {
@@ -96,10 +117,17 @@ impl fmt::Display for CopaError {
             CopaError::SingularChannel {
                 context,
                 subcarrier,
-            } => write!(
-                f,
-                "singular channel in {context} at subcarrier {subcarrier}"
-            ),
+                cond,
+            } => {
+                write!(
+                    f,
+                    "singular channel in {context} at subcarrier {subcarrier}"
+                )?;
+                if cond.is_finite() {
+                    write!(f, " (cond {cond:.3e})")?;
+                }
+                Ok(())
+            }
             CopaError::StaleCsi {
                 age_us,
                 coherence_us,
@@ -128,6 +156,13 @@ impl fmt::Display for CopaError {
                 f,
                 "ITS exchange failed after {attempts} attempts ({retries} retries): {last}"
             ),
+            CopaError::WorkerPanic {
+                topology_id,
+                payload,
+            } => write!(f, "worker panicked on topology {topology_id}: {payload}"),
+            CopaError::JournalError { context, detail } => {
+                write!(f, "journal error in {context}: {detail}")
+            }
         }
     }
 }
@@ -173,10 +208,20 @@ mod tests {
         let e = CopaError::SingularChannel {
             context: "est[0][1]",
             subcarrier: 17,
+            cond: f64::INFINITY,
         };
         assert_eq!(
             e.to_string(),
             "singular channel in est[0][1] at subcarrier 17"
+        );
+        let e = CopaError::SingularChannel {
+            context: "est[1][1]",
+            subcarrier: 3,
+            cond: 1.25e9,
+        };
+        assert_eq!(
+            e.to_string(),
+            "singular channel in est[1][1] at subcarrier 3 (cond 1.250e9)"
         );
         let e = CopaError::DimensionMismatch {
             context: "estimated CSI vs true link",
@@ -197,6 +242,28 @@ mod tests {
         };
         let chained = outer.source().expect("exchange failure has a cause");
         assert_eq!(chained.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn supervision_errors_format_and_have_no_source() {
+        let e = CopaError::WorkerPanic {
+            topology_id: 42,
+            payload: "index out of bounds".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker panicked on topology 42: index out of bounds"
+        );
+        assert!(e.source().is_none());
+        let e = CopaError::JournalError {
+            context: "segment header",
+            detail: "checksum mismatch".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "journal error in segment header: checksum mismatch"
+        );
+        assert!(e.source().is_none());
     }
 
     #[test]

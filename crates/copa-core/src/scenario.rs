@@ -23,6 +23,13 @@ pub struct ScenarioParams {
     /// Also evaluate the mercury/waterfilling (COPA+) variants
     /// (significantly more compute, as in the paper).
     pub include_mercury: bool,
+    /// Quarantine threshold on the per-subcarrier condition number of the
+    /// estimated channels: any `est[i][i]` subcarrier whose 2-norm
+    /// condition number exceeds this is rejected as
+    /// [`CopaError::SingularChannel`](crate::CopaError::SingularChannel)
+    /// before precoding runs. `f64::INFINITY` (the default) disables the
+    /// check, keeping results bit-identical to earlier releases.
+    pub cond_limit: f64,
 }
 
 impl Default for ScenarioParams {
@@ -33,6 +40,7 @@ impl Default for ScenarioParams {
             model: ThroughputModel::default(),
             seed: 0xC0FA,
             include_mercury: false,
+            cond_limit: f64::INFINITY,
         }
     }
 }

@@ -67,6 +67,37 @@ impl Strategy {
             Strategy::ConcurrentNullMercury,
         ]
     }
+
+    /// Stable one-byte tag for the checkpoint journal. The values are part
+    /// of the on-disk format: never renumber, only append.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Strategy::Csma => 0,
+            Strategy::CopaSeq => 1,
+            Strategy::VanillaNull => 2,
+            Strategy::ConcurrentBf => 3,
+            Strategy::ConcurrentNull => 4,
+            Strategy::SeqMercury => 5,
+            Strategy::ConcurrentBfMercury => 6,
+            Strategy::ConcurrentNullMercury => 7,
+        }
+    }
+
+    /// Inverse of [`Strategy::wire_tag`]; `None` for unknown tags (a
+    /// corrupt or future-format journal record).
+    pub fn from_wire_tag(tag: u8) -> Option<Strategy> {
+        Some(match tag {
+            0 => Strategy::Csma,
+            1 => Strategy::CopaSeq,
+            2 => Strategy::VanillaNull,
+            3 => Strategy::ConcurrentBf,
+            4 => Strategy::ConcurrentNull,
+            5 => Strategy::SeqMercury,
+            6 => Strategy::ConcurrentBfMercury,
+            7 => Strategy::ConcurrentNullMercury,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -137,6 +168,25 @@ mod tests {
         // Baselines are never in COPA's own menu.
         assert!(!Strategy::copa_plus_menu().contains(&Strategy::Csma));
         assert!(!Strategy::copa_plus_menu().contains(&Strategy::VanillaNull));
+    }
+
+    #[test]
+    fn wire_tags_round_trip_and_reject_unknowns() {
+        let all = [
+            Strategy::Csma,
+            Strategy::CopaSeq,
+            Strategy::VanillaNull,
+            Strategy::ConcurrentBf,
+            Strategy::ConcurrentNull,
+            Strategy::SeqMercury,
+            Strategy::ConcurrentBfMercury,
+            Strategy::ConcurrentNullMercury,
+        ];
+        for s in all {
+            assert_eq!(Strategy::from_wire_tag(s.wire_tag()), Some(s));
+        }
+        assert_eq!(Strategy::from_wire_tag(8), None);
+        assert_eq!(Strategy::from_wire_tag(255), None);
     }
 
     #[test]

@@ -140,6 +140,83 @@ fn csi_cache_freshness_window() {
 }
 
 #[test]
+fn certain_faults_exhaust_the_budget_and_degrade() {
+    // The p = 1.0 edge of the fault plan: every frame is lost (or every
+    // CSI draw is stale), so the exchange must burn exactly its retry
+    // budget and come back Degraded -- never spin forever, never panic.
+    use copa_channel::FaultPlan;
+    use copa_core::coordinator::ExchangeOutcome;
+    check("certain_faults_exhaust_the_budget", ENGINE_CASES, |g| {
+        let cfg = *g.pick(&CONFIGS);
+        let t = sample_topology(g, cfg);
+        let budget = *g.pick(&[0u32, 1, 2, 7]);
+        let plan = if g.bool() {
+            FaultPlan {
+                frame_loss: 1.0,
+                max_retries: budget,
+                ..FaultPlan::none(g.u64())
+            }
+        } else {
+            FaultPlan {
+                stale_csi: 1.0,
+                max_retries: budget,
+                ..FaultPlan::none(g.u64())
+            }
+        };
+        let coord = Coordinator::new(Engine::new(params(g)));
+        let outcome = coord.run_exchange_with_faults(&t, 0, &plan, g.u64());
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => return Err(format!("certain faults must degrade, not error: {e}")),
+        };
+        prop_assert!(outcome.is_degraded(), "certain faults cannot coordinate");
+        prop_assert_eq!(
+            outcome.retries(),
+            budget,
+            "a hopeless medium must consume exactly the retry budget"
+        );
+        match outcome {
+            ExchangeOutcome::Degraded { evaluation, .. } => {
+                prop_assert!(
+                    evaluation.csma.aggregate_bps() > 0.0,
+                    "CSMA fallback still flows"
+                );
+            }
+            ExchangeOutcome::Coordinated(_) => unreachable!("checked degraded above"),
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn zero_retry_budget_degrades_on_the_first_fault() {
+    // max_retries = 0 means the very first injected fault ends the
+    // exchange: no retry loop entered, retries reported as 0.
+    use copa_channel::FaultPlan;
+    check(
+        "zero_retry_budget_degrades_immediately",
+        ENGINE_CASES,
+        |g| {
+            let cfg = *g.pick(&CONFIGS);
+            let t = sample_topology(g, cfg);
+            let plan = FaultPlan {
+                frame_loss: 1.0,
+                max_retries: 0,
+                ..FaultPlan::none(g.u64())
+            };
+            let coord = Coordinator::new(Engine::new(params(g)));
+            let outcome = match coord.run_exchange_with_faults(&t, 0, &plan, g.u64()) {
+                Ok(o) => o,
+                Err(e) => return Err(format!("zero budget must degrade, not error: {e}")),
+            };
+            prop_assert!(outcome.is_degraded());
+            prop_assert_eq!(outcome.retries(), 0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn its_exchange_round_trips_over_the_air() {
     check("its_exchange_round_trips_over_the_air", ENGINE_CASES, |g| {
         let cfg = *g.pick(&CONFIGS);

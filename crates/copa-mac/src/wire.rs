@@ -40,6 +40,11 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
+    /// Appends a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
     /// Appends raw bytes verbatim.
     pub fn put_slice(&mut self, s: &[u8]) {
         self.buf.extend_from_slice(s);
@@ -111,6 +116,14 @@ impl<'a> ByteReader<'a> {
         ))
     }
 
+    /// Reads a big-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, Truncated> {
+        Ok(u64::from_be_bytes(
+            // invariant: take(8) returns exactly 8 bytes.
+            self.take(8)?.try_into().expect("exact-size slice"),
+        ))
+    }
+
     /// Reads exactly `n` bytes, advancing past them.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
         if self.data.len() < n {
@@ -138,14 +151,16 @@ mod tests {
         w.put_u8(0xAB);
         w.put_u16(0x1234);
         w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
         w.put_slice(&[1, 2, 3]);
-        assert_eq!(w.len(), 10);
+        assert_eq!(w.len(), 18);
         let bytes = w.into_vec();
 
         let mut r = ByteReader::new(&bytes);
         assert_eq!(r.get_u8(), Ok(0xAB));
         assert_eq!(r.get_u16(), Ok(0x1234));
         assert_eq!(r.get_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.get_u64(), Ok(0x0123_4567_89AB_CDEF));
         assert_eq!(r.take(3), Ok(&[1u8, 2, 3][..]));
         assert!(r.is_empty());
     }
@@ -156,12 +171,16 @@ mod tests {
         w.put_u16(0x0102);
         w.put_u32(0x0304_0506);
         assert_eq!(w.as_slice(), &[1, 2, 3, 4, 5, 6]);
+        let mut w = ByteWriter::default();
+        w.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(w.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]
     fn reads_past_end_fail_without_consuming() {
         let bytes = [9u8, 8];
         let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u64(), Err(Truncated));
         assert_eq!(r.get_u32(), Err(Truncated));
         assert_eq!(r.remaining(), 2, "failed read must not consume");
         assert_eq!(r.get_u16(), Ok(0x0908));

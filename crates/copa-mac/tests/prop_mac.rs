@@ -161,6 +161,93 @@ fn crc_detects_difference() {
     });
 }
 
+#[test]
+fn certain_fault_probabilities_terminate_and_classify() {
+    // Regression guard for the p = 1.0 edge: `FaultPlan::draw` must
+    // short-circuit certain faults without consuming RNG state or spinning,
+    // for every fault mode and for degenerate wires (empty payloads).
+    use copa_channel::faults::{Delivery, FaultPlan};
+    check("certain_fault_probabilities_terminate", CASES, |g| {
+        let seed = g.u64();
+        let wire = g.vec_u8(0, 64);
+        let lossy = FaultPlan {
+            frame_loss: 1.0,
+            ..FaultPlan::none(seed)
+        };
+        let mut rng = lossy.rng_for(0);
+        let fresh = lossy.rng_for(0).next_u64();
+        for _ in 0..4 {
+            prop_assert_eq!(lossy.deliver(&mut rng, &wire), Delivery::Lost);
+        }
+        // Certain loss is decided without a Bernoulli draw.
+        prop_assert_eq!(rng.next_u64(), fresh);
+
+        let corrupting = FaultPlan {
+            corruption: 1.0,
+            ..FaultPlan::none(seed)
+        };
+        let mut rng = corrupting.rng_for(1);
+        match corrupting.deliver(&mut rng, &wire) {
+            Delivery::Corrupted(bytes) => {
+                prop_assert_eq!(bytes.len(), wire.len());
+                if !wire.is_empty() {
+                    prop_assert_ne!(bytes, wire.clone());
+                }
+            }
+            other => return Err(format!("expected corruption, got {other:?}")),
+        }
+
+        let truncating = FaultPlan {
+            truncation: 1.0,
+            ..FaultPlan::none(seed)
+        };
+        let mut rng = truncating.rng_for(2);
+        match truncating.deliver(&mut rng, &wire) {
+            // An empty wire truncates to itself; that must not panic.
+            Delivery::Truncated(bytes) => {
+                prop_assert!(bytes.len() < wire.len().max(1));
+                prop_assert_eq!(&wire[..bytes.len()], &bytes[..]);
+            }
+            other => return Err(format!("expected truncation, got {other:?}")),
+        }
+
+        // Certain staleness is likewise decided without entropy.
+        let stale = FaultPlan {
+            stale_csi: 1.0,
+            ..FaultPlan::none(seed)
+        };
+        let mut rng = stale.rng_for(3);
+        let fresh = stale.rng_for(3).next_u64();
+        prop_assert!(stale.csi_is_stale(&mut rng));
+        prop_assert_eq!(rng.next_u64(), fresh);
+        Ok(())
+    });
+}
+
+#[test]
+fn out_of_range_probabilities_never_panic() {
+    // Probabilities outside [0, 1] (and NaN) must clamp to a defined
+    // outcome rather than loop or panic: <= 0 never fires, >= 1 always
+    // fires, NaN compares false on both guards and so never fires.
+    use copa_channel::faults::{Delivery, FaultPlan};
+    check("out_of_range_probabilities_never_panic", CASES, |g| {
+        let p = *g.pick(&[-1.0, -0.0, 2.0, 1e300, f64::NAN]);
+        let plan = FaultPlan {
+            frame_loss: p,
+            ..FaultPlan::none(g.u64())
+        };
+        let wire = g.vec_u8(1, 32);
+        let mut rng = plan.rng_for(0);
+        let got = plan.deliver(&mut rng, &wire);
+        if p >= 1.0 {
+            prop_assert_eq!(got, Delivery::Lost);
+        } else {
+            prop_assert_eq!(got, Delivery::Intact(wire));
+        }
+        Ok(())
+    });
+}
+
 /// A random but physically plausible channel for codec fuzzing.
 fn channel(g: &mut Gen) -> FreqChannel {
     let rx = g.usize_in(1, 2);

@@ -27,4 +27,4 @@ pub use complex::C64;
 pub use matrix::CMat;
 pub use rng::SimRng;
 pub use solve::{inverse_loaded_into, LuScratch};
-pub use svd::{nullspace, svd, svd_into, Svd, SvdScratch};
+pub use svd::{cond, cond_into, nullspace, svd, svd_into, Svd, SvdScratch};

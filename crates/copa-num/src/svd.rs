@@ -234,6 +234,38 @@ pub fn nullspace(a: &CMat, rel_tol: f64) -> CMat {
     svd(a).nullspace(rel_tol)
 }
 
+// alloc-free: begin cond_into (per-subcarrier kernel -- no Vec::new / vec!)
+/// Spectral condition number `s_max / s_min` of `a`, where `s_min` is the
+/// smallest of the `min(m, n)` *structural* singular values (trailing
+/// structurally-zero values of a wide matrix do not count). Rank-deficient
+/// and empty matrices report `f64::INFINITY`: they are infinitely
+/// ill-conditioned as far as precoding is concerned.
+///
+/// Reuses the caller's [`SvdScratch`] and [`Svd`] slot, so after warm-up at
+/// the largest shape in play the estimate is allocation-free -- cheap enough
+/// to screen every per-subcarrier channel before it reaches the precoders.
+pub fn cond_into(a: &CMat, scratch: &mut SvdScratch, out: &mut Svd) -> f64 {
+    let k = a.rows().min(a.cols());
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    svd_into(a, scratch, out);
+    let smax = out.s[0];
+    let smin = out.s[k - 1];
+    if smin > 0.0 && smax.is_finite() {
+        smax / smin
+    } else {
+        f64::INFINITY
+    }
+}
+// alloc-free: end cond_into
+
+/// Allocating convenience wrapper around [`cond_into`]; bit-identical by
+/// construction (same code path).
+pub fn cond(a: &CMat) -> f64 {
+    cond_into(a, &mut SvdScratch::new(), &mut Svd::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +380,54 @@ mod tests {
         let d = svd(&a);
         let sv_energy: f64 = d.s.iter().map(|x| x * x).sum();
         assert!((sv_energy - a.frobenius_norm_sqr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let a = CMat::diag_real(&[1.0, 1.0, 1.0]);
+        assert!((cond(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cond_matches_singular_value_ratio() {
+        let a = CMat::diag_real(&[8.0, 2.0, 0.5]);
+        assert!((cond(&a) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cond_of_wide_matrix_ignores_structural_zeros() {
+        // A full-rank 2x4 matrix has two nonzero singular values; the two
+        // structurally-zero trailing values must not force cond = inf.
+        let mut rng = SimRng::seed_from(71);
+        let a = random_mat(&mut rng, 2, 4);
+        let c = cond(&a);
+        assert!(c.is_finite() && c >= 1.0, "cond {c}");
+        let d = svd(&a);
+        assert!((c - d.s[0] / d.s[1]).abs() < 1e-9 * c);
+    }
+
+    #[test]
+    fn cond_of_rank_deficient_matrix_is_huge_or_infinite() {
+        // Exactly-dependent columns land on a smallest singular value at
+        // roundoff level, so cond is either infinite or astronomically
+        // large -- either way far past any sane quarantine threshold.
+        let c1 = [C64::new(1.0, 0.5), C64::new(-0.5, 2.0)];
+        let a = CMat::from_fn(2, 2, |i, j| if j == 0 { c1[i] } else { c1[i].scale(3.0) });
+        assert!(cond(&a) > 1e12, "cond {}", cond(&a));
+        assert_eq!(cond(&CMat::zeros(2, 3)), f64::INFINITY);
+        assert_eq!(cond(&CMat::zeros(0, 0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn cond_into_is_bit_identical_to_cond_and_reuses_scratch() {
+        let mut rng = SimRng::seed_from(72);
+        let mut scratch = SvdScratch::new();
+        let mut out = Svd::default();
+        for &(m, n) in &[(2, 2), (2, 4), (4, 2), (3, 3)] {
+            let a = random_mat(&mut rng, m, n);
+            let via_scratch = cond_into(&a, &mut scratch, &mut out);
+            assert_eq!(via_scratch.to_bits(), cond(&a).to_bits(), "{m}x{n}");
+        }
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   and the multi-decoder comparison (Figure 14).
 //! * [`report`] -- the paper's headline statistics and text rendering.
 //! * [`runner`] -- parallel suite evaluation over std scoped threads.
+//! * [`supervisor`] -- the supervised suite runner: panic isolation,
+//!   per-topology deadlines with bounded-retry backoff, and the
+//!   [`SuiteHealth`] report.
+//! * [`journal`] -- the crash-safe checkpoint journal backing
+//!   [`run_suite_resumed`].
 //! * [`degradation`] -- suites under injected ITS faults: retries, CSMA
 //!   fallbacks and [`DegradationStats`] accounting.
 //! * [`json`] -- the dependency-free JSON writer all reports serialize
@@ -27,10 +32,12 @@ pub mod ablations;
 pub mod degradation;
 pub mod episode;
 pub mod figures;
+pub mod journal;
 pub mod json;
 pub mod report;
 pub mod reuse;
 pub mod runner;
+pub mod supervisor;
 pub mod throughput;
 pub mod validation;
 
@@ -39,8 +46,13 @@ pub use ablations::{
 };
 pub use degradation::{run_degraded_suite, DegradationStats, DegradedSuiteResult};
 pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
+pub use journal::{load_journal, JournalState, JournalWriter};
 pub use report::{headline_stats, render_experiment, HeadlineStats};
 pub use runner::{evaluate_parallel, evaluate_serial, try_evaluate_parallel};
+pub use supervisor::{
+    evaluate_guarded, run_suite, run_suite_journaled, run_suite_resumed, MonotonicClock,
+    SuiteClock, SuiteConfig, SuiteHealth, SuiteReport, TopologyOutcome, TopologyRecord,
+};
 pub use throughput::{
     fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
 };

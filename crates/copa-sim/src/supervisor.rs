@@ -1,0 +1,984 @@
+//! Supervised suite runner: panic isolation, per-topology deadlines with
+//! bounded-retry backoff, and crash-safe checkpoint/resume.
+//!
+//! [`run_suite`] wraps the work-stealing pool of [`crate::runner`] with
+//! three layers of run-level robustness:
+//!
+//! 1. **Panic isolation** -- every topology evaluation runs under
+//!    `catch_unwind`; a panicking worker discards its (possibly corrupt)
+//!    workspace, records a `Panicked` outcome for that one topology, and
+//!    keeps pulling work. One poisoned evaluation costs one topology, not
+//!    the pool.
+//! 2. **Deadline + retry supervision** -- a monotonic clock (injected as
+//!    [`SuiteClock`], so tests stay deterministic) charges each attempt
+//!    against an airtime-proportional deadline. Stragglers are requeued
+//!    with capped exponential backoff; topologies that exhaust the retry
+//!    budget are classified `Abandoned`. Per-worker [`SuiteHealth`]
+//!    partials merge commutatively, so the report is thread-count
+//!    invariant whenever the clock is.
+//! 3. **Checkpoint/resume** -- completed records append to the
+//!    [`crate::journal`]; [`run_suite_resumed`] replays it, skips the
+//!    indices already on disk, and produces byte-identical JSON to an
+//!    uninterrupted run.
+
+use crate::journal::{load_journal, JournalWriter};
+use crate::json::{Obj, ToJson};
+use crate::runner::seed_for;
+use copa_channel::Topology;
+use copa_core::{CopaError, Engine, EngineWorkspace, EvalRequest, ScenarioParams, Strategy};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The supervisor's notion of time. Injected so tests can script deadline
+/// misses deterministically; production uses [`MonotonicClock`].
+pub trait SuiteClock: Sync {
+    /// Microseconds since an arbitrary (monotonic) origin.
+    fn now_us(&self) -> u64;
+
+    /// Parks the calling worker for about `us` microseconds.
+    fn sleep_us(&self, us: u64);
+
+    /// Wall time charged to one evaluation attempt. The default is the
+    /// real elapsed time; deterministic tests override this with a pure
+    /// function of `(idx, attempt)` so every thread count observes the
+    /// same misses.
+    fn attempt_us(&self, idx: usize, attempt: u32, start_us: u64, end_us: u64) -> u64 {
+        let _ = (idx, attempt);
+        end_us.saturating_sub(start_us)
+    }
+}
+
+/// Real time: `Instant`-based, immune to wall-clock steps.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuiteClock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn sleep_us(&self, us: u64) {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+/// Supervision policy for one suite run.
+#[derive(Clone, Copy)]
+pub struct SuiteConfig<'a> {
+    /// Worker threads (work-stealing, like the plain runner).
+    pub threads: usize,
+    /// Deadline per topology is this many microseconds per spatial stream
+    /// (airtime-proportional: a 4x2 topology gets twice a 1x1's budget).
+    /// `u64::MAX` disables deadline supervision entirely.
+    pub deadline_us_per_stream: u64,
+    /// How many times a straggler is requeued before being `Abandoned`.
+    pub max_deadline_retries: u32,
+    /// First requeue backoff; doubles per attempt.
+    pub backoff_base_us: u64,
+    /// Exponential backoff is capped here.
+    pub backoff_cap_us: u64,
+    /// Journal segment rotation threshold (records per sealed segment).
+    pub records_per_segment: u32,
+    /// Stop claiming fresh topologies after this many suite indices: a
+    /// deterministic stand-in for "the process was killed mid-suite" in
+    /// resume tests. `None` runs the whole suite.
+    pub stop_after: Option<usize>,
+    /// Clock override for deterministic tests; `None` uses real time.
+    pub clock: Option<&'a dyn SuiteClock>,
+}
+
+impl Default for SuiteConfig<'_> {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            deadline_us_per_stream: 30_000_000,
+            max_deadline_retries: 2,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 100_000,
+            records_per_segment: 64,
+            stop_after: None,
+            clock: None,
+        }
+    }
+}
+
+/// How one topology's supervision ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyOutcome {
+    /// Evaluation completed: COPA-fair aggregate throughput and choice.
+    Done {
+        /// Aggregate COPA-fair throughput, Mbps.
+        mbps: f64,
+        /// The strategy COPA-fair selected.
+        strategy: Strategy,
+    },
+    /// The evaluation panicked; the worker's workspace was rebuilt.
+    Panicked {
+        /// The panic payload, downcast to text when possible.
+        payload: String,
+    },
+    /// The conditioning quarantine rejected a channel.
+    Quarantined {
+        /// Which estimated channel tripped the limit (e.g. `"est[1][1]"`).
+        context: String,
+        /// The offending subcarrier.
+        subcarrier: u32,
+        /// Its measured condition number.
+        cond: f64,
+    },
+    /// Every attempt missed its deadline; the retry budget is exhausted.
+    Abandoned,
+    /// Evaluation returned some other [`CopaError`].
+    Failed {
+        /// The error's display form.
+        error: String,
+    },
+}
+
+/// One topology's supervised result (the unit the journal checkpoints).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologyRecord {
+    /// Suite index of the topology.
+    pub index: u32,
+    /// Evaluation attempts made (1 unless deadlines forced requeues).
+    pub attempts: u32,
+    /// Total backoff this topology spent queued, microseconds.
+    pub backoff_us: u64,
+    /// How supervision ended.
+    pub outcome: TopologyOutcome,
+}
+
+impl ToJson for TopologyRecord {
+    fn write_json(&self, out: &mut String) {
+        let o = Obj::new(out)
+            .field("index", &self.index)
+            .field("attempts", &self.attempts)
+            .field("backoff_us", &self.backoff_us);
+        match &self.outcome {
+            TopologyOutcome::Done { mbps, strategy } => o
+                .field("status", &"done")
+                .field("mbps", mbps)
+                .field("strategy", &strategy.to_string())
+                .finish(),
+            TopologyOutcome::Panicked { payload } => o
+                .field("status", &"panicked")
+                .field("payload", payload)
+                .finish(),
+            TopologyOutcome::Quarantined {
+                context,
+                subcarrier,
+                cond,
+            } => o
+                .field("status", &"quarantined")
+                .field("context", context)
+                .field("subcarrier", subcarrier)
+                .field("cond", cond)
+                .finish(),
+            TopologyOutcome::Abandoned => o.field("status", &"abandoned").finish(),
+            TopologyOutcome::Failed { error } => {
+                o.field("status", &"failed").field("error", error).finish()
+            }
+        }
+    }
+}
+
+/// Suite-wide supervision accounting. Per-worker partials are merged
+/// commutatively (like `DegradationStats`), so totals are independent of
+/// which worker handled which topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuiteHealth {
+    /// Topologies that evaluated successfully.
+    pub completed: u64,
+    /// Topologies lost to a worker panic.
+    pub panicked: u64,
+    /// Topologies rejected by the conditioning quarantine.
+    pub quarantined: u64,
+    /// Topologies that exhausted their deadline-retry budget.
+    pub abandoned: u64,
+    /// Topologies that failed with any other error.
+    pub failed: u64,
+    /// Individual attempts that missed their deadline.
+    pub deadline_misses: u64,
+    /// Total backoff spent across all requeues, microseconds.
+    pub backoff_us: u64,
+    /// Largest condition number seen among quarantined topologies
+    /// (0 when none were quarantined).
+    pub max_cond: f64,
+}
+
+impl Default for SuiteHealth {
+    fn default() -> Self {
+        Self {
+            completed: 0,
+            panicked: 0,
+            quarantined: 0,
+            abandoned: 0,
+            failed: 0,
+            deadline_misses: 0,
+            backoff_us: 0,
+            max_cond: 0.0,
+        }
+    }
+}
+
+impl SuiteHealth {
+    /// Accounts one finished record.
+    pub fn absorb(&mut self, rec: &TopologyRecord) {
+        self.backoff_us += rec.backoff_us;
+        match &rec.outcome {
+            TopologyOutcome::Done { .. } => {
+                self.completed += 1;
+                self.deadline_misses += u64::from(rec.attempts - 1);
+            }
+            TopologyOutcome::Panicked { .. } => {
+                self.panicked += 1;
+                self.deadline_misses += u64::from(rec.attempts - 1);
+            }
+            TopologyOutcome::Quarantined { cond, .. } => {
+                self.quarantined += 1;
+                self.deadline_misses += u64::from(rec.attempts - 1);
+                if *cond > self.max_cond {
+                    self.max_cond = *cond;
+                }
+            }
+            TopologyOutcome::Abandoned => {
+                self.abandoned += 1;
+                // Every attempt of an abandoned topology was a miss.
+                self.deadline_misses += u64::from(rec.attempts);
+            }
+            TopologyOutcome::Failed { .. } => {
+                self.failed += 1;
+                self.deadline_misses += u64::from(rec.attempts - 1);
+            }
+        }
+    }
+
+    /// Accumulates another worker's partial. Sums and max are commutative
+    /// and associative, so merged totals are thread-count invariant.
+    pub fn merge(&mut self, other: &SuiteHealth) {
+        self.completed += other.completed;
+        self.panicked += other.panicked;
+        self.quarantined += other.quarantined;
+        self.abandoned += other.abandoned;
+        self.failed += other.failed;
+        self.deadline_misses += other.deadline_misses;
+        self.backoff_us += other.backoff_us;
+        if other.max_cond > self.max_cond {
+            self.max_cond = other.max_cond;
+        }
+    }
+}
+
+impl ToJson for SuiteHealth {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("completed", &self.completed)
+            .field("panicked", &self.panicked)
+            .field("quarantined", &self.quarantined)
+            .field("abandoned", &self.abandoned)
+            .field("failed", &self.failed)
+            .field("deadline_misses", &self.deadline_misses)
+            .field("backoff_us", &self.backoff_us)
+            .field("max_cond", &self.max_cond)
+            .finish();
+    }
+}
+
+/// One supervised suite run: the per-topology records (suite order) and
+/// the merged health accounting.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Length of the suite the run was launched over.
+    pub suite_len: usize,
+    /// One record per supervised topology, sorted by suite index. An
+    /// interrupted run (`stop_after`) holds only the finished prefix.
+    pub records: Vec<TopologyRecord>,
+    /// Merged supervision accounting.
+    pub health: SuiteHealth,
+}
+
+impl ToJson for SuiteReport {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("suite_len", &self.suite_len)
+            .field("health", &self.health)
+            .field("records", &self.records)
+            .finish();
+    }
+}
+
+/// Renders a panic payload as text (the common `String` / `&str` payloads
+/// are preserved verbatim).
+fn panic_text(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(other) => match other.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Evaluates one topology under `catch_unwind`, converting an unwind into
+/// [`CopaError::WorkerPanic`] and rebuilding the workspace (whose buffers
+/// may hold torn state). This is the exact per-topology wrapper the
+/// supervisor uses; the hotpath bench asserts it adds zero allocations to
+/// a warmed evaluation.
+pub fn evaluate_guarded(
+    engine: &Engine,
+    topology_id: usize,
+    topology: &Topology,
+    ws: &mut EngineWorkspace,
+) -> Result<(f64, Strategy), CopaError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let ev = engine.run(&mut EvalRequest::topology(topology).workspace(ws))?;
+        Ok((ev.copa_fair.aggregate_mbps(), ev.copa_fair.strategy))
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => {
+            *ws = EngineWorkspace::new();
+            Err(CopaError::WorkerPanic {
+                topology_id,
+                payload: panic_text(payload),
+            })
+        }
+    }
+}
+
+/// A queued evaluation attempt (fresh claims start at `attempt == 0`).
+struct Attempt {
+    idx: usize,
+    attempt: u32,
+    not_before_us: u64,
+    backoff_us: u64,
+}
+
+/// What a worker found when looking for work.
+enum Claim {
+    Work(Attempt),
+    Wait(u64),
+    Exhausted,
+}
+
+/// Deadline for one topology: `deadline_us_per_stream` scaled by its
+/// stream count, saturating so `u64::MAX` stays "disabled".
+fn deadline_us(cfg: &SuiteConfig<'_>, t: &Topology) -> u64 {
+    cfg.deadline_us_per_stream
+        .saturating_mul(t.config.max_streams().max(1) as u64)
+}
+
+/// Capped exponential backoff for the given (0-based) attempt number.
+fn backoff_us(cfg: &SuiteConfig<'_>, attempt: u32) -> u64 {
+    let doubling = 1u64 << attempt.min(20);
+    cfg.backoff_base_us
+        .saturating_mul(doubling)
+        .min(cfg.backoff_cap_us)
+}
+
+/// The work-stealing supervision loop shared by all public entry points.
+/// `done[idx]` marks indices already journaled (skipped on resume);
+/// `journal` receives each record as it completes. Returns the records
+/// produced by this run (append order) and the merged worker health.
+fn supervise<F>(
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+    clock: &dyn SuiteClock,
+    done: &[bool],
+    journal: Option<&Mutex<JournalWriter>>,
+    eval: &F,
+) -> Result<(Vec<TopologyRecord>, SuiteHealth), CopaError>
+where
+    F: Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync,
+{
+    let n = suite.len();
+    let limit = cfg.stop_after.unwrap_or(n).min(n);
+    let deadlines: Vec<u64> = suite.iter().map(|t| deadline_us(cfg, t)).collect();
+    let next = AtomicUsize::new(0);
+    let active = AtomicUsize::new(0);
+    let retries: Mutex<VecDeque<Attempt>> = Mutex::new(VecDeque::new());
+    let journal_err: Mutex<Option<CopaError>> = Mutex::new(None);
+    let workers = cfg.threads.max(1).min(limit.max(1));
+
+    let claim = || -> Claim {
+        {
+            // invariant: no code path panics while holding this lock
+            let mut q = retries.lock().expect("retry queue lock");
+            if let Some(front) = q.front() {
+                if front.not_before_us <= clock.now_us() {
+                    // Claim the retry while still holding the lock so the
+                    // `active` count never under-reports in-flight work.
+                    active.fetch_add(1, Ordering::SeqCst);
+                    if let Some(a) = q.pop_front() {
+                        return Claim::Work(a);
+                    }
+                }
+            }
+        }
+        loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= limit {
+                break;
+            }
+            if done[idx] {
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            return Claim::Work(Attempt {
+                idx,
+                attempt: 0,
+                not_before_us: 0,
+                backoff_us: 0,
+            });
+        }
+        // Main queue exhausted. Checking `active` before the retry queue
+        // closes the race with a worker that is about to requeue: pushes
+        // happen before the `active` decrement.
+        let anyone_active = active.load(Ordering::SeqCst) > 0;
+        let earliest = {
+            // invariant: no code path panics while holding this lock
+            let q = retries.lock().expect("retry queue lock");
+            q.front().map(|a| a.not_before_us)
+        };
+        match earliest {
+            Some(t) => Claim::Wait(t.saturating_sub(clock.now_us()).clamp(1, 1_000)),
+            None if anyone_active => Claim::Wait(100),
+            None => Claim::Exhausted,
+        }
+    };
+
+    let mut worker_outputs: Vec<(Vec<TopologyRecord>, SuiteHealth)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = EngineWorkspace::new();
+                    let mut records: Vec<TopologyRecord> = Vec::new();
+                    let mut health = SuiteHealth::default();
+                    loop {
+                        let a = match claim() {
+                            Claim::Work(a) => a,
+                            Claim::Wait(us) => {
+                                clock.sleep_us(us);
+                                continue;
+                            }
+                            Claim::Exhausted => break,
+                        };
+                        let idx = a.idx;
+                        let start = clock.now_us();
+                        let attempt_result =
+                            catch_unwind(AssertUnwindSafe(|| eval(idx, &suite[idx], &mut ws)));
+                        let elapsed = clock.attempt_us(idx, a.attempt, start, clock.now_us());
+                        let record = match attempt_result {
+                            Err(payload) => {
+                                // The unwound evaluation may have left the
+                                // workspace buffers torn: rebuild, record,
+                                // move on. No retry -- a panic is a bug,
+                                // not a transient.
+                                ws = EngineWorkspace::new();
+                                Some(TopologyOutcome::Panicked {
+                                    payload: panic_text(payload),
+                                })
+                            }
+                            Ok(_) if elapsed > deadlines[idx] => {
+                                if a.attempt >= cfg.max_deadline_retries {
+                                    Some(TopologyOutcome::Abandoned)
+                                } else {
+                                    let pause = backoff_us(cfg, a.attempt);
+                                    // invariant: no code path panics while holding this lock
+                                    retries
+                                        .lock()
+                                        .expect("retry queue lock")
+                                        .push_back(Attempt {
+                                            idx,
+                                            attempt: a.attempt + 1,
+                                            not_before_us: clock.now_us() + pause,
+                                            backoff_us: a.backoff_us + pause,
+                                        });
+                                    None
+                                }
+                            }
+                            Ok(Ok((mbps, strategy))) => {
+                                Some(TopologyOutcome::Done { mbps, strategy })
+                            }
+                            Ok(Err(CopaError::SingularChannel {
+                                context,
+                                subcarrier,
+                                cond,
+                            })) => Some(TopologyOutcome::Quarantined {
+                                context: context.to_string(),
+                                subcarrier: subcarrier as u32,
+                                cond,
+                            }),
+                            Ok(Err(e)) => Some(TopologyOutcome::Failed {
+                                error: e.to_string(),
+                            }),
+                        };
+                        if let Some(outcome) = record {
+                            let rec = TopologyRecord {
+                                index: idx as u32,
+                                attempts: a.attempt + 1,
+                                backoff_us: a.backoff_us,
+                                outcome,
+                            };
+                            if let Some(j) = journal {
+                                // invariant: no code path panics while holding this lock
+                                let append = j.lock().expect("journal lock").append(&rec);
+                                if let Err(e) = append {
+                                    // invariant: no code path panics while holding this lock
+                                    journal_err
+                                        .lock()
+                                        .expect("journal error slot")
+                                        .get_or_insert(e);
+                                }
+                            }
+                            health.absorb(&rec);
+                            records.push(rec);
+                        }
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    (records, health)
+                })
+            })
+            .collect();
+        for h in handles {
+            // invariant: worker panics are caught per-evaluation
+            worker_outputs.push(h.join().expect("supervised worker"));
+        }
+    });
+
+    // invariant: no code path panics while holding this lock
+    if let Some(e) = journal_err.lock().expect("journal error slot").take() {
+        return Err(e);
+    }
+    let mut records = Vec::new();
+    let mut health = SuiteHealth::default();
+    for (rs, hl) in worker_outputs {
+        records.extend(rs);
+        health.merge(&hl);
+    }
+    Ok((records, health))
+}
+
+/// Builds the final report: prior (journaled) records first, then this
+/// run's, sorted by suite index with first-record-wins deduplication.
+fn build_report(
+    suite_len: usize,
+    prior: Vec<TopologyRecord>,
+    fresh: Vec<TopologyRecord>,
+    mut health: SuiteHealth,
+) -> SuiteReport {
+    let mut records = prior;
+    for r in &records {
+        health.absorb(r);
+    }
+    records.extend(fresh);
+    records.sort_by_key(|r| r.index);
+    records.dedup_by_key(|r| r.index);
+    SuiteReport {
+        suite_len,
+        records,
+        health,
+    }
+}
+
+/// The production evaluation: per-index suite seeds (identical to
+/// [`crate::runner::evaluate_parallel`]) and the COPA-fair outcome.
+fn default_eval(
+    params: &ScenarioParams,
+) -> impl Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync + '_
+{
+    move |idx, topo, ws| {
+        let mut p = *params;
+        p.seed = seed_for(params, idx);
+        let engine = Engine::new(p);
+        let ev = engine.run(&mut EvalRequest::topology(topo).workspace(ws))?;
+        Ok((ev.copa_fair.aggregate_mbps(), ev.copa_fair.strategy))
+    }
+}
+
+fn resolve_clock<'a>(cfg: &SuiteConfig<'a>, fallback: &'a MonotonicClock) -> &'a dyn SuiteClock {
+    match cfg.clock {
+        Some(c) => c,
+        None => fallback,
+    }
+}
+
+/// Runs `suite` under supervision without checkpointing.
+pub fn run_suite(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+) -> SuiteReport {
+    run_suite_with(suite, cfg, &default_eval(params))
+}
+
+/// [`run_suite`] with a caller-supplied evaluation (the injection point
+/// for panic/fault tests; `eval` sees the suite index, the topology and
+/// the worker's workspace).
+pub fn run_suite_with<F>(suite: &[Topology], cfg: &SuiteConfig<'_>, eval: &F) -> SuiteReport
+where
+    F: Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync,
+{
+    let fallback = MonotonicClock::new();
+    let clock = resolve_clock(cfg, &fallback);
+    let done = vec![false; suite.len()];
+    let (records, health) = supervise(suite, cfg, clock, &done, None, eval)
+        // invariant: supervise only fails on journal IO, and there is none
+        .expect("journal-free supervision cannot fail");
+    build_report(suite.len(), Vec::new(), records, health)
+}
+
+/// Runs `suite` under supervision, checkpointing every record to the
+/// journal at `prefix` (any previous journal there is wiped first).
+pub fn run_suite_journaled(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+    prefix: &Path,
+) -> Result<SuiteReport, CopaError> {
+    run_suite_journaled_with(params.seed, suite, cfg, prefix, &default_eval(params))
+}
+
+/// [`run_suite_journaled`] with a caller-supplied evaluation. `seed` keys
+/// the journal header so a resume against different params is rejected.
+pub fn run_suite_journaled_with<F>(
+    seed: u64,
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+    prefix: &Path,
+    eval: &F,
+) -> Result<SuiteReport, CopaError>
+where
+    F: Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync,
+{
+    let writer = JournalWriter::create(prefix, suite.len() as u32, seed, cfg.records_per_segment)?;
+    journaled(seed, suite, cfg, Vec::new(), writer, eval)
+}
+
+/// Replays the journal at `prefix`, skips every topology already recorded
+/// there, supervises the remainder, and returns the combined report --
+/// byte-identical (as JSON) to what the uninterrupted run would have
+/// produced.
+pub fn run_suite_resumed(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+    prefix: &Path,
+) -> Result<SuiteReport, CopaError> {
+    run_suite_resumed_with(params.seed, suite, cfg, prefix, &default_eval(params))
+}
+
+/// [`run_suite_resumed`] with a caller-supplied evaluation.
+pub fn run_suite_resumed_with<F>(
+    seed: u64,
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+    prefix: &Path,
+    eval: &F,
+) -> Result<SuiteReport, CopaError>
+where
+    F: Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync,
+{
+    let state = load_journal(prefix, suite.len() as u32, seed)?;
+    let writer = JournalWriter::resume(
+        prefix,
+        suite.len() as u32,
+        seed,
+        cfg.records_per_segment,
+        &state,
+    )?;
+    journaled(seed, suite, cfg, state.records, writer, eval)
+}
+
+/// Shared tail of the journaled entry points: supervise the not-yet-done
+/// indices, seal the journal, and assemble the combined report.
+fn journaled<F>(
+    _seed: u64,
+    suite: &[Topology],
+    cfg: &SuiteConfig<'_>,
+    prior: Vec<TopologyRecord>,
+    writer: JournalWriter,
+    eval: &F,
+) -> Result<SuiteReport, CopaError>
+where
+    F: Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync,
+{
+    let fallback = MonotonicClock::new();
+    let clock = resolve_clock(cfg, &fallback);
+    let mut done = vec![false; suite.len()];
+    for r in &prior {
+        if let Some(slot) = done.get_mut(r.index as usize) {
+            *slot = true;
+        }
+    }
+    let journal = Mutex::new(writer);
+    let (records, health) = supervise(suite, cfg, clock, &done, Some(&journal), eval)?;
+    // invariant: supervise has joined every worker; the lock is free
+    let writer = journal.into_inner().expect("journal lock");
+    writer.finish()?;
+    Ok(build_report(suite.len(), prior, records, health))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_channel::{AntennaConfig, TopologySampler};
+    use std::sync::atomic::AtomicU64;
+
+    fn suite(n: usize) -> Vec<Topology> {
+        TopologySampler::default().suite(0x5AFE, n, AntennaConfig::CONSTRAINED_4X2)
+    }
+
+    fn temp_prefix(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("copa-supervisor-{tag}-{}", std::process::id()))
+    }
+
+    /// A deterministic clock: `now` advances only via `sleep_us`, and
+    /// attempt durations are a scripted pure function of the index, so
+    /// deadline misses are identical across thread counts.
+    struct ScriptedClock {
+        now: AtomicU64,
+        slow_every: usize,
+        slow_us: u64,
+    }
+
+    impl ScriptedClock {
+        fn new(slow_every: usize, slow_us: u64) -> Self {
+            Self {
+                now: AtomicU64::new(0),
+                slow_every,
+                slow_us,
+            }
+        }
+    }
+
+    impl SuiteClock for ScriptedClock {
+        fn now_us(&self) -> u64 {
+            self.now.load(Ordering::SeqCst)
+        }
+
+        fn sleep_us(&self, us: u64) {
+            self.now.fetch_add(us, Ordering::SeqCst);
+        }
+
+        fn attempt_us(&self, idx: usize, _attempt: u32, _start: u64, _end: u64) -> u64 {
+            if idx % self.slow_every == 0 {
+                self.slow_us
+            } else {
+                1
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_run_matches_plain_runner() {
+        let s = suite(8);
+        let params = ScenarioParams::default();
+        let report = run_suite(&params, &s, &SuiteConfig::default());
+        assert_eq!(report.records.len(), 8);
+        assert_eq!(report.health.completed, 8);
+        assert_eq!(report.health.panicked + report.health.failed, 0);
+        let plain = crate::runner::evaluate_parallel(&params, &s, 4);
+        for (rec, ev) in report.records.iter().zip(&plain) {
+            match &rec.outcome {
+                TopologyOutcome::Done { mbps, strategy } => {
+                    assert_eq!(mbps.to_bits(), ev.copa_fair.aggregate_mbps().to_bits());
+                    assert_eq!(*strategy, ev.copa_fair.strategy);
+                }
+                other => panic!("expected Done, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_costs_exactly_one_topology() {
+        let s = suite(10);
+        let params = ScenarioParams::default();
+        let eval = default_eval(&params);
+        let poisoned = |idx: usize, t: &Topology, ws: &mut EngineWorkspace| {
+            if idx == 4 {
+                panic!("poisoned topology {idx}");
+            }
+            eval(idx, t, ws)
+        };
+        for threads in [1, 2, 8] {
+            let cfg = SuiteConfig {
+                threads,
+                ..Default::default()
+            };
+            let report = run_suite_with(&s, &cfg, &poisoned);
+            assert_eq!(report.records.len(), 10, "{threads} threads");
+            assert_eq!(report.health.panicked, 1);
+            assert_eq!(report.health.completed, 9);
+            match &report.records[4].outcome {
+                TopologyOutcome::Panicked { payload } => {
+                    assert!(payload.contains("poisoned topology 4"), "{payload}");
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+            // The panicking worker kept working: its neighbours completed.
+            assert!(matches!(
+                report.records[5].outcome,
+                TopologyOutcome::Done { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn health_is_bit_identical_across_1_2_8_threads() {
+        let s = suite(12);
+        let params = ScenarioParams::default();
+        let clock = ScriptedClock::new(5, 10_000);
+        let base = SuiteConfig {
+            deadline_us_per_stream: 1_000, // 4x2: deadline 2000us < 10000us
+            max_deadline_retries: 2,
+            clock: Some(&clock),
+            ..Default::default()
+        };
+        let one = run_suite(&params, &s, &SuiteConfig { threads: 1, ..base });
+        assert!(one.health.abandoned > 0, "scripted stragglers abandoned");
+        assert!(one.health.deadline_misses > 0);
+        for threads in [2, 8] {
+            let many = run_suite(&params, &s, &SuiteConfig { threads, ..base });
+            assert_eq!(one.health, many.health, "{threads} threads");
+            assert_eq!(one.records, many.records, "{threads} threads");
+            assert_eq!(one.to_json(), many.to_json(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn deadline_retries_accumulate_backoff_and_abandon() {
+        let s = suite(4);
+        let params = ScenarioParams::default();
+        let clock = ScriptedClock::new(1, 10_000); // every topology is slow
+        let cfg = SuiteConfig {
+            threads: 2,
+            deadline_us_per_stream: 1_000,
+            max_deadline_retries: 2,
+            backoff_base_us: 100,
+            backoff_cap_us: 150,
+            clock: Some(&clock),
+            ..Default::default()
+        };
+        let report = run_suite(&params, &s, &cfg);
+        assert_eq!(report.health.abandoned, 4);
+        assert_eq!(report.health.completed, 0);
+        for rec in &report.records {
+            assert_eq!(rec.attempts, 3, "initial try + 2 retries");
+            // Backoff: 100 then min(200, 150) = 250 total.
+            assert_eq!(rec.backoff_us, 250);
+            assert_eq!(rec.outcome, TopologyOutcome::Abandoned);
+        }
+        assert_eq!(report.health.deadline_misses, 12, "3 misses x 4 topologies");
+    }
+
+    #[test]
+    fn quarantine_surfaces_in_health() {
+        let s = suite(6);
+        let params = ScenarioParams {
+            cond_limit: 1.0 + 1e-12, // rejects every realistic draw
+            ..Default::default()
+        };
+        let report = run_suite(&params, &s, &SuiteConfig::default());
+        assert_eq!(report.health.quarantined, 6);
+        assert!(report.health.max_cond > 1.0);
+        for rec in &report.records {
+            assert!(matches!(rec.outcome, TopologyOutcome::Quarantined { .. }));
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_json() {
+        let s = suite(9);
+        let params = ScenarioParams::default();
+        let prefix = temp_prefix("resume");
+        let full = run_suite_journaled(
+            &params,
+            &s,
+            &SuiteConfig {
+                records_per_segment: 2,
+                ..Default::default()
+            },
+            &prefix,
+        )
+        .expect("uninterrupted run");
+        // Crash after 4 topologies, then resume.
+        let interrupted = run_suite_journaled(
+            &params,
+            &s,
+            &SuiteConfig {
+                records_per_segment: 2,
+                stop_after: Some(4),
+                ..Default::default()
+            },
+            &prefix,
+        )
+        .expect("interrupted run");
+        assert_eq!(interrupted.records.len(), 4);
+        let resumed = run_suite_resumed(
+            &params,
+            &s,
+            &SuiteConfig {
+                records_per_segment: 2,
+                ..Default::default()
+            },
+            &prefix,
+        )
+        .expect("resumed run");
+        assert_eq!(resumed.to_json(), full.to_json(), "byte-identical resume");
+        crate::journal::wipe_journal(&prefix).expect("cleanup");
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_different_params() {
+        let s = suite(4);
+        let params = ScenarioParams::default();
+        let prefix = temp_prefix("mismatch");
+        run_suite_journaled(&params, &s, &SuiteConfig::default(), &prefix).expect("journaled run");
+        let other = ScenarioParams {
+            seed: 0xBAD5EED,
+            ..Default::default()
+        };
+        match run_suite_resumed(&other, &s, &SuiteConfig::default(), &prefix) {
+            Err(CopaError::JournalError { .. }) => {}
+            other => panic!("expected JournalError, got {other:?}"),
+        }
+        crate::journal::wipe_journal(&prefix).expect("cleanup");
+    }
+
+    #[test]
+    fn evaluate_guarded_converts_panics_and_rebuilds_workspace() {
+        let s = suite(1);
+        let params = ScenarioParams::default();
+        let engine = Engine::new(params);
+        let mut ws = EngineWorkspace::new();
+        let ok = evaluate_guarded(&engine, 0, &s[0], &mut ws).expect("valid topology");
+        assert!(ok.0 > 0.0);
+        // A panic inside the guard (simulated via a poisoned engine run is
+        // hard to trigger here, so go through the closure directly).
+        let r = catch_unwind(AssertUnwindSafe(|| panic!("boom")));
+        assert_eq!(panic_text(r.expect_err("panicked")), "boom");
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the checkpoint-journal codec and salvage
+//! logic, on the in-repo [`copa_num::prop`] harness: random record batches
+//! round-trip bit-identically, and truncated or bit-flipped journal tails
+//! are caught by the checksums with resume falling back to the last valid
+//! record instead of erroring the run.
+
+use copa_core::Strategy;
+use copa_num::prop::{check, Gen};
+use copa_num::{prop_assert, prop_assert_eq, prop_assert_ne};
+use copa_sim::journal::{
+    crc32, decode_record, encode_record, load_journal, wipe_journal, JournalWriter,
+};
+use copa_sim::{TopologyOutcome, TopologyRecord};
+use std::path::PathBuf;
+
+const CASES: usize = 48;
+
+const STRATEGIES: [Strategy; 8] = [
+    Strategy::Csma,
+    Strategy::CopaSeq,
+    Strategy::VanillaNull,
+    Strategy::ConcurrentBf,
+    Strategy::ConcurrentNull,
+    Strategy::SeqMercury,
+    Strategy::ConcurrentBfMercury,
+    Strategy::ConcurrentNullMercury,
+];
+
+fn text(g: &mut Gen) -> String {
+    let bytes = g.vec_u8(0, 40);
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A random record covering every outcome variant, including non-finite
+/// floats (stored as raw bits, so they must survive exactly).
+fn record(g: &mut Gen, index: u32) -> TopologyRecord {
+    let outcome = match g.usize_in(0, 4) {
+        0 => {
+            let mbps = match g.usize_in(0, 3) {
+                0 => 0.0,
+                1 => f64::INFINITY,
+                2 => f64::NAN,
+                _ => g.f64_in(-1e9, 1e9),
+            };
+            TopologyOutcome::Done {
+                mbps,
+                strategy: *g.pick(&STRATEGIES),
+            }
+        }
+        1 => TopologyOutcome::Panicked { payload: text(g) },
+        2 => TopologyOutcome::Quarantined {
+            context: text(g),
+            subcarrier: g.u32(),
+            cond: g.f64_in(1.0, 1e18),
+        },
+        3 => TopologyOutcome::Abandoned,
+        _ => TopologyOutcome::Failed { error: text(g) },
+    };
+    TopologyRecord {
+        index,
+        attempts: g.u32() % 16 + 1,
+        backoff_us: g.u64() % 1_000_000,
+        outcome,
+    }
+}
+
+/// Bit-exact record equality: `PartialEq` on f64 treats NaN != NaN, so
+/// compare the encoded bytes instead (the codec stores raw f64 bits).
+fn same_bits(a: &TopologyRecord, b: &TopologyRecord) -> bool {
+    encode_record(a) == encode_record(b)
+}
+
+fn temp_prefix(g: &mut Gen) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "copa-prop-journal-{}-{:016x}",
+        std::process::id(),
+        g.u64()
+    ))
+}
+
+#[test]
+fn record_codec_round_trips_bit_identically() {
+    check("record_codec_round_trips_bit_identically", CASES, |g| {
+        let index = g.u32();
+        let rec = record(g, index);
+        let payload = encode_record(&rec);
+        let back = decode_record(&payload);
+        prop_assert!(back.is_some(), "decode failed for {rec:?}");
+        if let Some(back) = back {
+            prop_assert!(same_bits(&rec, &back), "{rec:?} != {back:?}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn journal_batches_round_trip_through_disk() {
+    check("journal_batches_round_trip_through_disk", CASES, |g| {
+        let n = g.usize_in(1, 24);
+        let per_segment = g.usize_in(1, 8) as u32;
+        let seed = g.u64();
+        let records: Vec<TopologyRecord> = (0..n).map(|i| record(g, i as u32)).collect();
+        let prefix = temp_prefix(g);
+        let mut w =
+            JournalWriter::create(&prefix, n as u32, seed, per_segment).expect("create journal");
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        w.finish().expect("finish");
+        let state = load_journal(&prefix, n as u32, seed).expect("load");
+        wipe_journal(&prefix).expect("cleanup");
+        prop_assert!(state.sealed_intact, "clean journal must load intact");
+        prop_assert_eq!(state.records.len(), records.len());
+        for (a, b) in records.iter().zip(&state.records) {
+            prop_assert!(same_bits(a, b), "replayed {b:?} != written {a:?}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn corrupted_tails_are_detected_and_salvaged() {
+    check("corrupted_tails_are_detected_and_salvaged", CASES, |g| {
+        let n = g.usize_in(2, 16);
+        let seed = g.u64();
+        let records: Vec<TopologyRecord> = (0..n).map(|i| record(g, i as u32)).collect();
+        let prefix = temp_prefix(g);
+        // One oversized segment keeps everything in the unsealed part, the
+        // file a real crash tears.
+        let mut w = JournalWriter::create(&prefix, n as u32, seed, 1_000).expect("create journal");
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w); // crash: the part is never sealed
+
+        let part = {
+            let mut p = prefix.as_os_str().to_os_string();
+            p.push(".part");
+            PathBuf::from(p)
+        };
+        let clean = std::fs::read(&part).expect("read part");
+        let intact = load_journal(&prefix, n as u32, seed).expect("load clean");
+        prop_assert_eq!(intact.records.len(), n);
+
+        // Damage the tail: truncate mid-record or flip a bit in it.
+        let tail_start = clean.len() - g.usize_in(1, 16);
+        let damaged = if g.bool() {
+            clean[..tail_start].to_vec()
+        } else {
+            let mut d = clean.clone();
+            d[tail_start] ^= 1 << g.usize_in(0, 7);
+            d
+        };
+        std::fs::write(&part, &damaged).expect("write damaged part");
+
+        let state = load_journal(&prefix, n as u32, seed).expect("salvage, not error");
+        wipe_journal(&prefix).expect("cleanup");
+        prop_assert!(state.sealed_intact, "part damage is the expected crash");
+        prop_assert!(
+            state.records.len() < n,
+            "damaged tail must drop at least the final record"
+        );
+        // Whatever survived is a bit-exact prefix of what was written.
+        for (a, b) in records.iter().zip(&state.records) {
+            prop_assert!(same_bits(a, b), "salvaged {b:?} != written {a:?}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn crc32_detects_single_bit_flips() {
+    check("crc32_detects_single_bit_flips", CASES, |g| {
+        let bytes = g.vec_u8(1, 64);
+        let crc = crc32(&bytes);
+        let mut flipped = bytes.clone();
+        let at = g.usize_in(0, flipped.len() - 1);
+        flipped[at] ^= 1 << g.usize_in(0, 7);
+        prop_assert_ne!(crc32(&flipped), crc);
+        Ok(())
+    });
+}

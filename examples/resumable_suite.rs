@@ -1,0 +1,86 @@
+//! Crash/resume smoke: a journaled suite killed at 50% and resumed.
+//!
+//! ```sh
+//! cargo run --release --example resumable_suite
+//! ```
+//!
+//! Runs 80 two-AP topologies through the supervised runner three times:
+//! once uninterrupted (the reference), once with `stop_after` cutting the
+//! run at the halfway mark -- the controlled stand-in for a `kill -9` --
+//! and once resuming from the checkpoint journal that interrupted run left
+//! on disk. The resumed report must be byte-identical (as JSON) to the
+//! uninterrupted one, having re-evaluated only the missing half. Prints
+//! the suite health as a JSON line so `scripts/check.sh --resume-smoke`
+//! can assert on it, and exits nonzero on any divergence.
+
+use copa::channel::{AntennaConfig, TopologySampler};
+use copa::core::ScenarioParams;
+use copa::sim::journal::wipe_journal;
+use copa::sim::json::ToJson;
+use copa::sim::{run_suite_journaled, run_suite_resumed, SuiteConfig};
+
+fn main() {
+    let mut suite = TopologySampler::default().suite(0xC0A, 60, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(TopologySampler::default().suite(0xC0B, 20, AntennaConfig::OVERCONSTRAINED_3X2));
+    let params = ScenarioParams::default();
+    let prefix = std::env::temp_dir().join(format!("copa-resume-smoke-{}", std::process::id()));
+    let halfway = suite.len() / 2;
+
+    let reference = {
+        let cfg = SuiteConfig {
+            threads: 4,
+            records_per_segment: 16,
+            ..Default::default()
+        };
+        let report = run_suite_journaled(&params, &suite, &cfg, &prefix).expect("reference run");
+        report.to_json()
+    };
+
+    let interrupted = {
+        let cfg = SuiteConfig {
+            threads: 4,
+            records_per_segment: 16,
+            stop_after: Some(halfway),
+            ..Default::default()
+        };
+        run_suite_journaled(&params, &suite, &cfg, &prefix).expect("interrupted run")
+    };
+    println!(
+        "{} topologies, killed after {} ({} evaluated before the cut)",
+        suite.len(),
+        halfway,
+        interrupted.records.len()
+    );
+    assert_eq!(
+        interrupted.records.len(),
+        halfway,
+        "stop_after must cut the run at the halfway mark"
+    );
+
+    let resumed = {
+        let cfg = SuiteConfig {
+            threads: 4,
+            records_per_segment: 16,
+            ..Default::default()
+        };
+        run_suite_resumed(&params, &suite, &cfg, &prefix).expect("resumed run")
+    };
+    wipe_journal(&prefix).expect("journal cleanup");
+
+    println!(
+        "  resumed: {} records, {} completed, {} re-evaluated",
+        resumed.records.len(),
+        resumed.health.completed,
+        suite.len() - halfway
+    );
+    let mut json = String::new();
+    resumed.health.write_json(&mut json);
+    println!("{json}");
+
+    assert_eq!(resumed.records.len(), suite.len());
+    assert!(
+        resumed.to_json() == reference,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+    println!("ok: kill-and-resume is byte-identical, no panics");
+}

@@ -6,21 +6,27 @@
 # succeed on a machine with no crates.io access at all. This script is
 # what CI (and the PR driver) runs; keep it green.
 #
-# Usage: scripts/check.sh [--bench-smoke] [--faults-smoke]
+# Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
 #                   and leave its JSON lines in BENCH_hotpath.json.
 #   --faults-smoke  additionally run one degraded-suite episode offline
 #                   (240 topologies, 20% ITS frame loss) and require CSMA
 #                   fallbacks to be reported without any panic.
+#   --resume-smoke  additionally kill a journaled suite at 50% and resume
+#                   it (examples/resumable_suite.rs), requiring the resumed
+#                   JSON to be byte-identical, then run the hotpath bench's
+#                   zero-allocation supervision guard.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 FAULTS_SMOKE=0
+RESUME_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults-smoke) FAULTS_SMOKE=1 ;;
+        --resume-smoke) RESUME_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -79,13 +85,14 @@ if ! awk '
 fi
 echo "    ok: $(grep -rh 'alloc-free: begin' crates --include='*.rs' | wc -l | tr -d ' ') marked kernel regions are allocation-free"
 
-echo "==> 3/6 panic gate: no new unwrap()/panic! in library crates"
+echo "==> 3/6 panic gate: no new unwrap()/panic! in library, example or test code"
 # Library (non-test) code must not panic on user-reachable paths: fallible
 # APIs return copa_core::CopaError, internal invariants use expect /
 # debug_assert! with an "// invariant:" comment. The few deliberate panic
 # sites carry an "// allowlisted:" comment and a file:count budget in
-# scripts/panic_allowlist.txt; this gate fails when any crates/*/src file
-# exceeds its budget (test modules after #[cfg(test)] are exempt).
+# scripts/panic_allowlist.txt; this gate fails when any crates/*/src,
+# examples/ or tests/ file exceeds its budget (modules after #[cfg(test)]
+# are exempt, as are #[test] assert! macros -- only unwrap()/panic! count).
 panic_bad=0
 while IFS= read -r f; do
     n=$(awk '/#\[cfg\(test\)\]/ { exit } { print }' "$f" \
@@ -97,7 +104,7 @@ while IFS= read -r f; do
              "budget $budget (scripts/panic_allowlist.txt)" >&2
         panic_bad=1
     fi
-done < <(find crates -path '*/src/*' -name '*.rs' | sort)
+done < <({ find crates -path '*/src/*' -name '*.rs'; find examples tests -name '*.rs'; } | sort)
 while IFS= read -r entry; do
     path=${entry%:*}
     if [ ! -f "$path" ]; then
@@ -125,6 +132,23 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench --offline -p copa-bench --bench hotpath -- --quick | tee BENCH_hotpath.json
     grep -q '"name"' BENCH_hotpath.json || {
         echo "bench smoke FAILED: no JSON lines in BENCH_hotpath.json" >&2
+        exit 1
+    }
+fi
+
+if [ "$RESUME_SMOKE" -eq 1 ]; then
+    echo "==> resume smoke: journaled suite killed at 50%, resumed, byte-diffed"
+    out=$(cargo run --release --offline --example resumable_suite)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: kill-and-resume is byte-identical' || {
+        echo "resume smoke FAILED: resumed run diverged from the reference" >&2
+        exit 1
+    }
+    echo "==> resume smoke: supervision wrapper zero-allocation guard"
+    guard=$(cargo bench --offline -p copa-bench --bench hotpath -- --quick)
+    printf '%s\n' "$guard" | grep '^alloc '
+    printf '%s\n' "$guard" | grep -q '"name":"evaluate_4x2_guarded"' || {
+        echo "resume smoke FAILED: guarded-evaluation alloc report missing" >&2
         exit 1
     }
 fi

@@ -157,6 +157,104 @@ fn degraded_suite_is_byte_identical_across_1_2_8_threads() {
 }
 
 #[test]
+fn killed_and_resumed_suite_reproduces_uninterrupted_json() {
+    // Crash-safety contract of the supervised runner: kill a journaled run
+    // mid-suite, resume from the journal, and the combined report is
+    // byte-identical (as JSON) to an uninterrupted 1-thread run -- at any
+    // thread count, at any crash point.
+    use copa::sim::journal::wipe_journal;
+    use copa::sim::json::ToJson;
+    use copa::sim::{run_suite_journaled, run_suite_resumed, SuiteConfig};
+    let mut suite = TopologySampler::default().suite(0xFB01, 6, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(TopologySampler::default().suite(0xFB02, 6, AntennaConfig::SINGLE));
+    let params = ScenarioParams::default();
+    let prefix = std::env::temp_dir().join(format!("copa-det-resume-{}", std::process::id()));
+
+    let baseline = {
+        let cfg = SuiteConfig {
+            threads: 1,
+            records_per_segment: 4,
+            ..Default::default()
+        };
+        let report = run_suite_journaled(&params, &suite, &cfg, &prefix).expect("baseline run");
+        report.to_json()
+    };
+
+    for threads in [1, 2, 8] {
+        for crash_after in [1, 5, 11] {
+            let cfg = SuiteConfig {
+                threads,
+                records_per_segment: 4,
+                stop_after: Some(crash_after),
+                ..Default::default()
+            };
+            let partial =
+                run_suite_journaled(&params, &suite, &cfg, &prefix).expect("interrupted run");
+            assert_eq!(
+                partial.records.len(),
+                crash_after,
+                "{threads} threads, crash after {crash_after}"
+            );
+            let cfg = SuiteConfig {
+                threads,
+                records_per_segment: 4,
+                ..Default::default()
+            };
+            let resumed = run_suite_resumed(&params, &suite, &cfg, &prefix).expect("resumed run");
+            assert_eq!(
+                resumed.to_json(),
+                baseline,
+                "{threads} threads, crash after {crash_after}: resumed JSON must be \
+                 byte-identical to the uninterrupted 1-thread run"
+            );
+        }
+    }
+    wipe_journal(&prefix).expect("cleanup");
+}
+
+#[test]
+fn supervised_health_is_thread_count_invariant() {
+    use copa::sim::json::ToJson;
+    use copa::sim::{run_suite, SuiteConfig};
+    let mut suite = TopologySampler::default().suite(0xFB03, 8, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(TopologySampler::default().suite(0xFB04, 4, AntennaConfig::OVERCONSTRAINED_3X2));
+    // A finite conditioning limit makes some outcomes quarantine, so the
+    // invariance claim covers the mixed-outcome path too.
+    let params = ScenarioParams {
+        cond_limit: 50.0,
+        ..Default::default()
+    };
+    let one = run_suite(
+        &params,
+        &suite,
+        &SuiteConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        one.health.completed + one.health.quarantined,
+        suite.len() as u64
+    );
+    for threads in [2, 8] {
+        let many = run_suite(
+            &params,
+            &suite,
+            &SuiteConfig {
+                threads,
+                ..Default::default()
+            },
+        );
+        assert_eq!(one.health, many.health, "{threads}-thread health drifted");
+        assert_eq!(
+            one.to_json(),
+            many.to_json(),
+            "{threads}-thread report drifted"
+        );
+    }
+}
+
+#[test]
 fn zero_fault_plan_is_bit_transparent_over_the_plain_runner() {
     // A FaultPlan that cannot inject anything must leave the evaluation
     // pipeline untouched: same throughput bits as evaluate_parallel, no
