@@ -20,8 +20,9 @@
 
 use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{AntennaConfig, MultipathProfile, TopologySampler};
-use copa_core::{Engine, EngineWorkspace, EvalRequest, ScenarioParams};
+use copa_core::{Engine, EngineMetrics, EngineObs, EngineWorkspace, EvalRequest, ScenarioParams};
 use copa_num::{svd, CMat, SimRng};
+use copa_obs::{FrozenClock, NoopSink, Telemetry};
 use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
 use copa_sim::json::{Obj, ToJson};
 use copa_sim::{evaluate_guarded, evaluate_parallel};
@@ -174,6 +175,56 @@ fn main() {
     assert_eq!(
         allocs_guarded, allocs_warm,
         "evaluate_guarded must add zero allocations over the bare warmed path"
+    );
+
+    // Telemetry guard, noop sink: an observed request with a NoopSink must
+    // be strictly pay-for-what-you-use -- zero added allocations over the
+    // warmed path (and no clock reads, but that is a unit-test concern).
+    let mut registry = Telemetry::new();
+    let metrics = EngineMetrics::register(&mut registry);
+    let frozen = FrozenClock(0);
+    let noop_obs = EngineObs::new(&NoopSink, &frozen, metrics);
+    let _ = engine.run(
+        &mut EvalRequest::topology(&t4x2)
+            .workspace(&mut ws)
+            .observe(noop_obs),
+    );
+    let allocs_noop = count_allocs(|| {
+        let _ = black_box(
+            engine.run(
+                &mut EvalRequest::topology(&t4x2)
+                    .workspace(&mut ws)
+                    .observe(noop_obs),
+            ),
+        );
+    });
+    report_allocs("evaluate_4x2_noop_obs", allocs_noop);
+    assert_eq!(
+        allocs_noop, allocs_warm,
+        "a NoopSink-observed evaluation must add zero allocations over the warmed path"
+    );
+
+    // Telemetry guard, live sink (tracing off): counters and histograms
+    // are preallocated atomics, so even live recording stays alloc-free.
+    let live_obs = EngineObs::new(&registry, &frozen, metrics);
+    let _ = engine.run(
+        &mut EvalRequest::topology(&t4x2)
+            .workspace(&mut ws)
+            .observe(live_obs),
+    );
+    let allocs_live = count_allocs(|| {
+        let _ = black_box(
+            engine.run(
+                &mut EvalRequest::topology(&t4x2)
+                    .workspace(&mut ws)
+                    .observe(live_obs),
+            ),
+        );
+    });
+    report_allocs("evaluate_4x2_live_obs", allocs_live);
+    assert_eq!(
+        allocs_live, allocs_warm,
+        "a live-telemetry evaluation (tracing off) must stay allocation-free"
     );
 
     // --- 3. suite throughput through the parallel runner ----------------

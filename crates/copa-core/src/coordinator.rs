@@ -13,6 +13,7 @@ use crate::engine::{Engine, EvalRequest, Evaluation};
 use crate::error::{CopaError, WireFault};
 use crate::scenario::{prepare, PreparedScenario};
 use crate::strategy::{Outcome, Strategy};
+use crate::telemetry::ExchangeObs;
 use copa_channel::faults::{Delivery, FaultPlan};
 use copa_channel::{FreqChannel, Topology};
 use copa_mac::csi_codec::{compress_csi, decompress_csi};
@@ -329,10 +330,28 @@ impl Coordinator {
         plan: &FaultPlan,
         exchange_id: u64,
     ) -> Result<ExchangeOutcome, CopaError> {
+        self.run_exchange_observed(topology, leader, plan, exchange_id, None)
+    }
+
+    /// [`Self::run_exchange_with_faults`] with an observation context:
+    /// records ITS frames sent / retried / lost, the exchange verdict,
+    /// and the control airtime histogram through the sink. All samples
+    /// derive from *simulated* protocol time and the deterministic fault
+    /// stream, so telemetry is a pure function of `(plan.seed,
+    /// exchange_id)` and the results are bit-identical with or without
+    /// observation.
+    pub fn run_exchange_observed(
+        &self,
+        topology: &Topology,
+        leader: usize,
+        plan: &FaultPlan,
+        exchange_id: u64,
+        obs: Option<&ExchangeObs<'_>>,
+    ) -> Result<ExchangeOutcome, CopaError> {
         assert!(leader < 2); // allowlisted: caller-side API contract
         let p = prepare(topology, self.engine.params());
         let mut air = Airwave::new(plan, plan.rng_for(exchange_id));
-        match self.attempt_exchange(&p, topology, leader, &mut air) {
+        let outcome = match self.attempt_exchange(&p, topology, leader, &mut air) {
             Ok(trace) => Ok(ExchangeOutcome::Coordinated(trace)),
             Err(last) => {
                 // Coordination failed: both cells stay on stock CSMA for
@@ -351,7 +370,41 @@ impl Coordinator {
                     },
                 })
             }
+        };
+        if let (Some(o), Ok(out)) = (obs, &outcome) {
+            let m = &o.metrics;
+            let (attempts, retries, delivered, airtime_us) = match out {
+                ExchangeOutcome::Coordinated(t) => {
+                    o.sink.add(m.exchanges_completed, 1);
+                    (
+                        t.attempts,
+                        t.retries,
+                        t.frames.len() as u32,
+                        t.control_airtime_us,
+                    )
+                }
+                ExchangeOutcome::Degraded {
+                    attempts,
+                    retries,
+                    control_airtime_us,
+                    ..
+                } => {
+                    o.sink.add(m.exchanges_degraded, 1);
+                    (
+                        *attempts,
+                        *retries,
+                        air.frames.len() as u32,
+                        *control_airtime_us,
+                    )
+                }
+            };
+            o.sink.add(m.frames_sent, u64::from(attempts));
+            o.sink.add(m.frames_retried, u64::from(retries));
+            o.sink
+                .add(m.frames_lost, u64::from(attempts.saturating_sub(delivered)));
+            o.sink.record(m.airtime_us, airtime_us.max(0.0) as u64);
         }
+        outcome
     }
 
     /// One full coordination chain under the fault plan: INIT, REQ (with

@@ -11,6 +11,7 @@
 use crate::error::CopaError;
 use crate::scenario::{prepare, PreparedScenario, ScenarioParams};
 use crate::strategy::{Outcome, Strategy};
+use crate::telemetry::{phase_span, EngineObs};
 use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
 use copa_alloc::stream::{equi_sinr, mercury_best, StreamProblem};
 use copa_channel::{FreqChannel, Topology};
@@ -130,6 +131,7 @@ pub struct EvalRequest<'a> {
     input: EvalInput<'a>,
     mode: DecoderMode,
     workspace: Option<&'a mut EngineWorkspace>,
+    obs: Option<EngineObs<'a>>,
 }
 
 impl<'a> EvalRequest<'a> {
@@ -139,6 +141,7 @@ impl<'a> EvalRequest<'a> {
             input: EvalInput::Topology(topology),
             mode: DecoderMode::Single,
             workspace: None,
+            obs: None,
         }
     }
 
@@ -149,6 +152,7 @@ impl<'a> EvalRequest<'a> {
             input: EvalInput::Prepared(prepared),
             mode: DecoderMode::Single,
             workspace: None,
+            obs: None,
         }
     }
 
@@ -162,6 +166,16 @@ impl<'a> EvalRequest<'a> {
     /// (the hot-path option for suite runners: one workspace per worker).
     pub fn workspace(mut self, ws: &'a mut EngineWorkspace) -> Self {
         self.workspace = Some(ws);
+        self
+    }
+
+    /// Attaches an observation context: per-phase spans (CSI prep,
+    /// precoding, allocation, SINR) and the evaluation counter are
+    /// recorded through its sink. Without one (or with a
+    /// [`copa_obs::NoopSink`]) the evaluation performs no clock reads and
+    /// produces bit-identical results.
+    pub fn observe(mut self, obs: EngineObs<'a>) -> Self {
+        self.obs = Some(obs);
         self
     }
 }
@@ -195,10 +209,17 @@ impl Engine {
     /// strategy. This is the single fallible entry point the six legacy
     /// `evaluate*` wrappers forward to.
     pub fn run(&self, req: &mut EvalRequest<'_>) -> Result<Evaluation, CopaError> {
+        let obs = req.obs;
+        let obs = obs.as_ref();
         let owned;
         let p: &PreparedScenario = match req.input {
             EvalInput::Topology(t) => {
-                owned = prepare(t, &self.params);
+                owned = phase_span(
+                    obs,
+                    |m| m.csi_prep_us,
+                    "csi_prep",
+                    || prepare(t, &self.params),
+                );
                 &owned
             }
             EvalInput::Prepared(p) => {
@@ -217,7 +238,11 @@ impl Engine {
             }
         };
         self.quarantine_ill_conditioned(p, ws)?;
-        Ok(self.eval_all(p, req.mode, ws))
+        let ev = self.eval_all(p, req.mode, ws, obs);
+        if let Some(o) = obs {
+            o.sink.add(o.metrics.evaluations, 1);
+        }
+        Ok(ev)
     }
 
     /// The numerical-conditioning quarantine: when `params.cond_limit` is
@@ -320,10 +345,11 @@ impl Engine {
         p: &PreparedScenario,
         mode: DecoderMode,
         ws: &mut EngineWorkspace,
+        obs: Option<&EngineObs<'_>>,
     ) -> Evaluation {
-        let csma = self.eval_sequential(p, Strategy::Csma, mode, ws);
-        let copa_seq = self.eval_sequential(p, Strategy::CopaSeq, mode, ws);
-        let vanilla_null = self.eval_concurrent(p, Strategy::VanillaNull, mode, ws);
+        let csma = self.eval_sequential(p, Strategy::Csma, mode, ws, obs);
+        let copa_seq = self.eval_sequential(p, Strategy::CopaSeq, mode, ws, obs);
+        let vanilla_null = self.eval_concurrent(p, Strategy::VanillaNull, mode, ws, obs);
 
         let mut outcomes = vec![csma, copa_seq];
         if let Some(v) = vanilla_null {
@@ -340,8 +366,8 @@ impl Engine {
                 continue; // already evaluated
             }
             let out = match s {
-                Strategy::SeqMercury => Some(self.eval_sequential(p, s, mode, ws)),
-                _ => self.eval_concurrent(p, s, mode, ws),
+                Strategy::SeqMercury => Some(self.eval_sequential(p, s, mode, ws, obs)),
+                _ => self.eval_concurrent(p, s, mode, ws, obs),
             };
             if let Some(o) = out {
                 outcomes.push(o);
@@ -409,6 +435,7 @@ impl Engine {
         strategy: Strategy,
         mode: DecoderMode,
         ws: &mut EngineWorkspace,
+        obs: Option<&EngineObs<'_>>,
     ) -> Outcome {
         let topo = &p.topology;
         let streams = topo.config.max_streams();
@@ -434,29 +461,60 @@ impl Engine {
         } = ws;
         let mut per_client = [0.0; 2];
         for i in 0..2 {
-            beamform_with(&p.est[i][i], streams, pre_scratch, seq_pre);
-            let powers = match strategy {
-                Strategy::Csma => TxPowers::equal(streams, budget),
-                Strategy::SeqMercury => {
-                    self.alloc_streams(seq_pre, noise, budget, None, AllocatorKind::Mercury, eff)
-                }
-                _ => self.alloc_streams(seq_pre, noise, budget, None, AllocatorKind::EquiSinr, eff),
-            };
+            phase_span(
+                obs,
+                |m| m.precoding_us,
+                "precoding",
+                || {
+                    beamform_with(&p.est[i][i], streams, pre_scratch, seq_pre);
+                },
+            );
+            let powers = phase_span(
+                obs,
+                |m| m.allocation_us,
+                "allocation",
+                || match strategy {
+                    Strategy::Csma => TxPowers::equal(streams, budget),
+                    Strategy::SeqMercury => self.alloc_streams(
+                        seq_pre,
+                        noise,
+                        budget,
+                        None,
+                        AllocatorKind::Mercury,
+                        eff,
+                    ),
+                    _ => self.alloc_streams(
+                        seq_pre,
+                        noise,
+                        budget,
+                        None,
+                        AllocatorKind::EquiSinr,
+                        eff,
+                    ),
+                },
+            );
             let own = TxSide {
                 channel: &topo.links[i][i],
                 precoding: seq_pre,
                 powers: &powers,
                 budget_mw: budget,
             };
-            mmse_sinr_grid_with(
-                &own,
-                None,
-                noise,
-                &self.params.impairments,
-                sinr_scratch,
-                grid,
+            phase_span(
+                obs,
+                |m| m.sinr_us,
+                "sinr",
+                || {
+                    mmse_sinr_grid_with(
+                        &own,
+                        None,
+                        noise,
+                        &self.params.impairments,
+                        sinr_scratch,
+                        grid,
+                    );
+                    active_cells_into(grid, &powers, cells);
+                },
             );
-            active_cells_into(grid, &powers, cells);
             // Half the medium time each.
             per_client[i] = 0.5 * self.goodput(cells, eff, mode);
         }
@@ -507,6 +565,7 @@ impl Engine {
         strategy: Strategy,
         mode: DecoderMode,
         ws: &mut EngineWorkspace,
+        obs: Option<&EngineObs<'_>>,
     ) -> Option<Outcome> {
         let nulling = matches!(
             strategy,
@@ -517,13 +576,13 @@ impl Engine {
             // Full-rank symmetric nulling (e.g. 4x2: two streams each while
             // nulling both victim antennas) when the degrees of freedom
             // allow it.
-            if let Some(out) = self.eval_concurrent_setup(p, strategy, mode, None, true, ws) {
+            if let Some(out) = self.eval_concurrent_setup(p, strategy, mode, None, true, ws, obs) {
                 return Some(out);
             }
             // Overconstrained (section 3.4): shut down a victim antenna.
             // DCF randomizes who leads, so average both role assignments.
-            let a = self.eval_concurrent_setup(p, strategy, mode, Some(0), false, ws);
-            let b = self.eval_concurrent_setup(p, strategy, mode, Some(1), false, ws);
+            let a = self.eval_concurrent_setup(p, strategy, mode, Some(0), false, ws, obs);
+            let b = self.eval_concurrent_setup(p, strategy, mode, Some(1), false, ws, obs);
             let sda = match (a, b) {
                 (Some(x), Some(y)) => Some(Outcome {
                     strategy,
@@ -540,7 +599,7 @@ impl Engine {
             }
             // COPA's engine also considers the symmetric reduced-rank
             // option (one nulled stream each) and keeps the better.
-            let reduced = self.eval_concurrent_setup(p, strategy, mode, None, false, ws);
+            let reduced = self.eval_concurrent_setup(p, strategy, mode, None, false, ws, obs);
             return match (sda, reduced) {
                 (Some(x), Some(y)) => Some(if x.aggregate_bps() >= y.aggregate_bps() {
                     x
@@ -550,12 +609,13 @@ impl Engine {
                 (x, y) => x.or(y),
             };
         }
-        self.eval_concurrent_setup(p, strategy, mode, None, false, ws)
+        self.eval_concurrent_setup(p, strategy, mode, None, false, ws, obs)
     }
 
     /// One concurrent configuration. `sda_leader = Some(l)` means AP `l`
     /// leads and the *other* AP's client shuts down its weaker antennas so
     /// that nulling becomes feasible (section 3.4).
+    #[allow(clippy::too_many_arguments)]
     fn eval_concurrent_setup(
         &self,
         p: &PreparedScenario,
@@ -564,6 +624,7 @@ impl Engine {
         sda_leader: Option<usize>,
         require_full_rank: bool,
         ws: &mut EngineWorkspace,
+        obs: Option<&EngineObs<'_>>,
     ) -> Option<Outcome> {
         let topo = &p.topology;
         let noise = topo.noise_per_subcarrier_mw();
@@ -608,23 +669,34 @@ impl Engine {
         } = ws;
 
         // Precoders: most streams each side can sustain.
-        for i in 0..2 {
-            let max_streams = est_own[i].rx().min(est_own[i].tx());
-            if nulling {
-                // Highest stream count that still permits nulling; with
-                // `require_full_rank`, only the full stream count will do.
-                let feasible = (1..=max_streams).rev().any(|k| {
-                    null_toward_with(est_own[i], est_cross[i], k, pre_scratch, &mut pres[i])
-                });
-                if !feasible {
-                    return None;
+        let feasible = phase_span(
+            obs,
+            |m| m.precoding_us,
+            "precoding",
+            || {
+                for i in 0..2 {
+                    let max_streams = est_own[i].rx().min(est_own[i].tx());
+                    if nulling {
+                        // Highest stream count that still permits nulling; with
+                        // `require_full_rank`, only the full stream count will do.
+                        let feasible = (1..=max_streams).rev().any(|k| {
+                            null_toward_with(est_own[i], est_cross[i], k, pre_scratch, &mut pres[i])
+                        });
+                        if !feasible {
+                            return false;
+                        }
+                        if require_full_rank && pres[i].streams() < max_streams {
+                            return false;
+                        }
+                    } else {
+                        beamform_with(est_own[i], max_streams, pre_scratch, &mut pres[i]);
+                    }
                 }
-                if require_full_rank && pres[i].streams() < max_streams {
-                    return None;
-                }
-            } else {
-                beamform_with(est_own[i], max_streams, pre_scratch, &mut pres[i]);
-            }
+                true
+            },
+        );
+        if !feasible {
+            return None;
         }
 
         // Cross-gain predictions for the allocator: residual leakage of each
@@ -637,31 +709,36 @@ impl Engine {
             self.params.coherence_us,
         );
 
-        let powers: [TxPowers; 2] = match strategy {
-            Strategy::VanillaNull => [
-                TxPowers::equal(pres[0].streams(), budget),
-                TxPowers::equal(pres[1].streams(), budget),
-            ],
-            _ => {
-                let kind = if strategy.is_mercury() {
-                    AllocatorKind::Mercury
-                } else {
-                    AllocatorKind::EquiSinr
-                };
-                let problem = ConcurrentProblem {
-                    own_gains: [pres[0].stream_gains.clone(), pres[1].stream_gains.clone()],
-                    cross_gains: [
-                        cross_gain_grid(est_cross[0], &pres[0], evm, cg_w, cg_hw),
-                        cross_gain_grid(est_cross[1], &pres[1], evm, cg_w, cg_hw),
-                    ],
-                    noise_mw: noise,
-                    budgets_mw: [budget, budget],
-                };
-                let sol =
-                    allocate_concurrent(&problem, kind, &self.curves, &self.params.model, eff);
-                sol.powers
-            }
-        };
+        let powers: [TxPowers; 2] = phase_span(
+            obs,
+            |m| m.allocation_us,
+            "allocation",
+            || match strategy {
+                Strategy::VanillaNull => [
+                    TxPowers::equal(pres[0].streams(), budget),
+                    TxPowers::equal(pres[1].streams(), budget),
+                ],
+                _ => {
+                    let kind = if strategy.is_mercury() {
+                        AllocatorKind::Mercury
+                    } else {
+                        AllocatorKind::EquiSinr
+                    };
+                    let problem = ConcurrentProblem {
+                        own_gains: [pres[0].stream_gains.clone(), pres[1].stream_gains.clone()],
+                        cross_gains: [
+                            cross_gain_grid(est_cross[0], &pres[0], evm, cg_w, cg_hw),
+                            cross_gain_grid(est_cross[1], &pres[1], evm, cg_w, cg_hw),
+                        ],
+                        noise_mw: noise,
+                        budgets_mw: [budget, budget],
+                    };
+                    let sol =
+                        allocate_concurrent(&problem, kind, &self.curves, &self.params.model, eff);
+                    sol.powers
+                }
+            },
+        );
 
         // Ground-truth evaluation at both clients.
         let mut per_client = [0.0; 2];
@@ -679,15 +756,22 @@ impl Engine {
                 powers: &powers[j],
                 budget_mw: budget,
             };
-            mmse_sinr_grid_with(
-                &own,
-                Some(&int),
-                noise,
-                &self.params.impairments,
-                sinr_scratch,
-                grid,
+            phase_span(
+                obs,
+                |m| m.sinr_us,
+                "sinr",
+                || {
+                    mmse_sinr_grid_with(
+                        &own,
+                        Some(&int),
+                        noise,
+                        &self.params.impairments,
+                        sinr_scratch,
+                        grid,
+                    );
+                    active_cells_into(grid, &powers[i], cells);
+                },
             );
-            active_cells_into(grid, &powers[i], cells);
             per_client[i] = self.goodput(cells, eff, mode);
         }
         Some(Outcome {

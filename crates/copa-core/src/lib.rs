@@ -14,6 +14,8 @@
 //! * [`cell`] -- cells with more than two APs: pairwise ITS coordination
 //!   with per-round leader rotation and best-follower selection (the
 //!   paper's future-work direction).
+//! * [`telemetry`] -- the engine/coordinator metric names and the
+//!   [`EngineObs`] observation context over `copa-obs` primitives.
 
 #![warn(missing_docs)]
 
@@ -23,6 +25,7 @@ pub mod engine;
 pub mod error;
 pub mod scenario;
 pub mod strategy;
+pub mod telemetry;
 
 pub use cell::{run_cell, CellOutcome, MultiApScenario};
 #[allow(deprecated)]
@@ -31,3 +34,4 @@ pub use engine::{DecoderMode, Engine, EngineWorkspace, EvalInput, EvalRequest, E
 pub use error::{CopaError, WireFault};
 pub use scenario::{prepare, PreparedScenario, ScenarioParams};
 pub use strategy::{Outcome, Strategy};
+pub use telemetry::{EngineMetrics, EngineObs, ExchangeMetrics, ExchangeObs};

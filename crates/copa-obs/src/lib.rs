@@ -1,0 +1,49 @@
+//! # copa-obs
+//!
+//! Zero-dependency observability for the COPA workspace: lock-free
+//! [`Counter`]s, fixed-bucket log-scale [`Histogram`]s, span timing
+//! against an injectable clock, a [`Telemetry`] registry that serializes
+//! through the in-repo [`json`] writer, and optional chrome-trace event
+//! export.
+//!
+//! Design rules, in the same discipline as `SuiteHealth` in `copa-sim`:
+//!
+//! * **Merge is commutative and associative.** Counters and histogram
+//!   buckets merge with saturating sums; histogram min/max take extremes.
+//!   Merged telemetry is invariant to how samples were sharded across
+//!   workers, so reports do not depend on thread count.
+//! * **Pay for what you use.** Recording sites talk to a `&dyn`
+//!   [`Sink`]; with the [`NoopSink`] every call is a no-op, sites skip
+//!   clock reads entirely ([`time_span`] checks [`Sink::enabled`]
+//!   first), and the hot path keeps its exact allocation count.
+//! * **No wall-clock reads on the hot path.** Span timing goes through
+//!   [`ObsClock`]; tests inject [`FrozenClock`] for bit-identical
+//!   telemetry at any thread count, production adapts its scheduler
+//!   clock.
+//!
+//! ```
+//! use copa_obs::{json::ToJson, Sink, Telemetry, TickClock, time_span};
+//!
+//! let mut tel = Telemetry::new().with_trace(64);
+//! let frames = tel.counter("frames_sent");
+//! let phase = tel.histogram("precoding_us");
+//! let clock = TickClock::new(7);
+//!
+//! tel.add(frames, 3);
+//! time_span(&tel, &clock, phase, "precoding", "engine", 0, || { /* work */ });
+//!
+//! let json = tel.to_json();
+//! assert!(json.contains("\"frames_sent\":3"));
+//! assert_eq!(tel.trace().map(|t| t.len()), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Counter, CounterId, Histogram, HistogramId, NoopSink, Sink, Telemetry, BUCKETS};
+pub use span::{time_span, FrozenClock, ObsClock, SpanTimer, TickClock, WallClock};
+pub use trace::{validate_chrome_trace, TraceBuffer, TraceEvent};

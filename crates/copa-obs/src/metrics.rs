@@ -1,0 +1,570 @@
+//! Lock-free counters, fixed-bucket log-scale histograms, and the
+//! [`Telemetry`] registry that owns them.
+//!
+//! The merge discipline mirrors `SuiteHealth` in `copa-sim`: every metric
+//! merges with saturating sums (plus min/max for histograms), so merged
+//! values are commutative, associative, and invariant to how samples were
+//! sharded across workers. A single registry can also be shared directly
+//! across threads -- all recording goes through relaxed atomics -- which
+//! gives the same totals as per-worker partials merged afterwards.
+
+use crate::json::{write_str, Obj, ToJson};
+use crate::trace::{TraceBuffer, TraceEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one zero bucket plus one per power of two.
+pub const BUCKETS: usize = 64;
+
+/// Handle to a registered [`Counter`]; returned by [`Telemetry::counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a registered [`Histogram`]; returned by
+/// [`Telemetry::histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+/// A saturating, lock-free event counter.
+///
+/// `add` saturates at `u64::MAX` instead of wrapping, so a merged total
+/// can never appear smaller than one of its parts.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+/// Saturating atomic add: CAS loop so concurrent adds near the ceiling
+/// clamp instead of wrapping.
+fn saturating_fetch_add(cell: &AtomicU64, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(delta);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `delta`, saturating at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        saturating_fetch_add(&self.value, delta);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other` into `self` (saturating sum). Commutative and
+    /// associative in the resulting value.
+    pub fn merge(&self, other: &Counter) {
+        self.add(other.get());
+    }
+}
+
+/// A fixed-bucket log2-scale histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `i` (1..=63) holds samples in
+/// `[2^(i-1), 2^i - 1]`, with the last bucket extending to `u64::MAX`.
+/// Alongside the buckets it tracks count, saturating sum, min, and max,
+/// all with relaxed atomics so recording is lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else if i >= BUCKETS - 1 {
+            (1u64 << (BUCKETS - 2), u64::MAX)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, value);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Occupancy of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or `None` when empty. Coarse by construction:
+    /// resolution is one power of two.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen = seen.saturating_add(self.bucket(i));
+            if seen >= rank {
+                return Some(
+                    Self::bucket_bounds(i)
+                        .1
+                        .min(self.max.load(Ordering::Relaxed)),
+                );
+            }
+        }
+        self.max()
+    }
+
+    /// Folds `other` into `self`: buckets/count/sum add (saturating),
+    /// min/max take the extremes. Commutative and associative in the
+    /// resulting state.
+    pub fn merge(&self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            saturating_fetch_add(&self.buckets[i], other.bucket(i));
+        }
+        saturating_fetch_add(&self.count, other.count());
+        saturating_fetch_add(&self.sum, other.sum());
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl ToJson for Histogram {
+    /// Emits count/sum/min/max plus the occupied buckets as
+    /// `[lo, hi, n]` triples (empty buckets are omitted).
+    fn write_json(&self, out: &mut String) {
+        let mut triples = String::new();
+        triples.push('[');
+        let mut any = false;
+        for i in 0..BUCKETS {
+            let n = self.bucket(i);
+            if n == 0 {
+                continue;
+            }
+            if any {
+                triples.push(',');
+            }
+            any = true;
+            let (lo, hi) = Self::bucket_bounds(i);
+            triples.push_str(&format!("[{lo},{hi},{n}]"));
+        }
+        triples.push(']');
+        Obj::new(out)
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("buckets", &RawJson(&triples))
+            .finish();
+    }
+}
+
+/// Pre-rendered JSON fragment, spliced verbatim.
+struct RawJson<'a>(&'a str);
+
+impl ToJson for RawJson<'_> {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(self.0);
+    }
+}
+
+struct Named<T> {
+    name: &'static str,
+    metric: T,
+}
+
+/// A registry of named counters and histograms, with an optional
+/// chrome-trace event buffer.
+///
+/// Registration (`counter` / `histogram`) requires `&mut self` and
+/// returns a stable handle; recording through the [`Sink`] impl is
+/// `&self` and lock-free, so one registry can be shared across worker
+/// threads. [`Telemetry::merge`] folds another registry in by metric
+/// name, matching the `SuiteHealth` discipline: merged JSON is invariant
+/// to worker count and merge order.
+#[derive(Default)]
+pub struct Telemetry {
+    counters: Vec<Named<Counter>>,
+    histograms: Vec<Named<Histogram>>,
+    trace: Option<TraceBuffer>,
+}
+
+impl Telemetry {
+    /// An empty registry with tracing disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables chrome-trace event capture, keeping at most `cap` events.
+    pub fn with_trace(mut self, cap: usize) -> Self {
+        self.trace = Some(TraceBuffer::new(cap));
+        self
+    }
+
+    /// Registers (or finds) the counter called `name`.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|c| c.name == name) {
+            return CounterId(i);
+        }
+        self.counters.push(Named {
+            name,
+            metric: Counter::new(),
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) the histogram called `name`.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push(Named {
+            name,
+            metric: Histogram::new(),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// A zeroed registry with the same metric names (and trace setting),
+    /// for per-worker partials that will be merged later.
+    pub fn clone_schema(&self) -> Telemetry {
+        let mut t = Telemetry::new();
+        for c in &self.counters {
+            t.counter(c.name);
+        }
+        for h in &self.histograms {
+            t.histogram(h.name);
+        }
+        if let Some(trace) = &self.trace {
+            t.trace = Some(TraceBuffer::new(trace.capacity()));
+        }
+        t
+    }
+
+    /// Current value of a registered counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].metric.get()
+    }
+
+    /// Read access to a registered histogram.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].metric
+    }
+
+    /// Looks a counter up by name (for readers that only have the JSON
+    /// schema, e.g. validation tools).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.metric.get())
+    }
+
+    /// The trace buffer, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Folds `other` into `self` by metric name; names missing from
+    /// `self` are registered on the fly. The merged values are
+    /// commutative and associative, and [`Telemetry::to_json`] sorts by
+    /// name, so merged JSON is invariant to merge order and sharding.
+    /// Trace events are *not* merged -- traces are per-run artifacts.
+    pub fn merge(&mut self, other: &Telemetry) {
+        for c in &other.counters {
+            let id = self.counter(c.name);
+            self.counters[id.0].metric.merge(&c.metric);
+        }
+        for h in &other.histograms {
+            let id = self.histogram(h.name);
+            self.histograms[id.0].metric.merge(&h.metric);
+        }
+    }
+}
+
+impl ToJson for Telemetry {
+    /// Canonical form: `{"counters":{...},"histograms":{...}}` with keys
+    /// sorted by name, so two registries with equal merged state emit
+    /// byte-identical JSON regardless of registration order.
+    fn write_json(&self, out: &mut String) {
+        let mut cs: Vec<&Named<Counter>> = self.counters.iter().collect();
+        cs.sort_by_key(|c| c.name);
+        let mut hs: Vec<&Named<Histogram>> = self.histograms.iter().collect();
+        hs.sort_by_key(|h| h.name);
+        out.push_str("{\"counters\":{");
+        for (i, c) in cs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, c.name);
+            out.push(':');
+            c.metric.get().write_json(out);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in hs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, h.name);
+            out.push(':');
+            h.metric.write_json(out);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Where recording sites send their events.
+///
+/// Instrumented code holds a `&dyn Sink` and never knows whether it is
+/// talking to a live [`Telemetry`] registry or the [`NoopSink`]. Sites
+/// that would pay for timestamping must check [`Sink::enabled`] first so
+/// the noop path performs no clock reads and no work at all.
+pub trait Sink: Sync {
+    /// Whether events are recorded at all. Sites gate clock reads and any
+    /// other preparatory work on this.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to a counter.
+    fn add(&self, id: CounterId, delta: u64);
+
+    /// Records one histogram sample.
+    fn record(&self, id: HistogramId, value: u64);
+
+    /// Records a completed span: duration into `hist`, and a chrome-trace
+    /// event (if tracing is on) named `name` in category `cat` on logical
+    /// track `tid`.
+    fn span(
+        &self,
+        hist: HistogramId,
+        name: &'static str,
+        cat: &'static str,
+        start_us: u64,
+        dur_us: u64,
+        tid: u32,
+    );
+}
+
+/// The pay-nothing sink: disabled, and every record call is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add(&self, _id: CounterId, _delta: u64) {}
+
+    fn record(&self, _id: HistogramId, _value: u64) {}
+
+    fn span(
+        &self,
+        _hist: HistogramId,
+        _name: &'static str,
+        _cat: &'static str,
+        _start_us: u64,
+        _dur_us: u64,
+        _tid: u32,
+    ) {
+    }
+}
+
+impl Sink for Telemetry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, id: CounterId, delta: u64) {
+        if let Some(c) = self.counters.get(id.0) {
+            c.metric.add(delta);
+        }
+    }
+
+    fn record(&self, id: HistogramId, value: u64) {
+        if let Some(h) = self.histograms.get(id.0) {
+            h.metric.record(value);
+        }
+    }
+
+    fn span(
+        &self,
+        hist: HistogramId,
+        name: &'static str,
+        cat: &'static str,
+        start_us: u64,
+        dur_us: u64,
+        tid: u32,
+    ) {
+        self.record(hist, dur_us);
+        if let Some(trace) = &self.trace {
+            trace.push(TraceEvent {
+                name,
+                cat,
+                ts_us: start_us,
+                dur_us,
+                tid,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lower bound");
+            assert!(hi >= lo);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.approx_quantile(0.5), None);
+        for v in [0, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1104);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!(h.approx_quantile(1.0) >= Some(1000));
+    }
+
+    #[test]
+    fn registry_roundtrip_and_merge() {
+        let mut a = Telemetry::new();
+        let ca = a.counter("frames");
+        let ha = a.histogram("lat_us");
+        a.add(ca, 2);
+        a.record(ha, 7);
+        let b = a.clone_schema();
+        b.add(CounterId(0), 3);
+        b.record(HistogramId(0), 9);
+        a.merge(&b);
+        assert_eq!(a.counter_value(ca), 5);
+        assert_eq!(a.histogram_ref(ha).count(), 2);
+        assert_eq!(a.counter_by_name("frames"), Some(5));
+        let json = a.to_json();
+        let doc = crate::json::parse(&json).expect("registry JSON parses");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("frames"))
+                .and_then(crate::json::Value::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.add(CounterId(0), 1);
+        s.record(HistogramId(0), 1);
+        s.span(HistogramId(0), "x", "y", 0, 0, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Span timing against an injectable clock.
+//!
+//! Instrumented code never reads the wall clock directly: it is handed a
+//! `&dyn ObsClock`, so tests and the determinism suite can substitute a
+//! deterministic clock and get bit-identical telemetry at any thread
+//! count. Production callers adapt their scheduler clock (`SuiteClock` in
+//! `copa-sim`) or use [`WallClock`].
+
+use crate::metrics::{HistogramId, Sink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Microsecond clock for span timing.
+pub trait ObsClock: Sync {
+    /// Current time in microseconds from an arbitrary origin.
+    fn now_us(&self) -> u64;
+}
+
+/// Real monotonic time ([`Instant`]-based).
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl ObsClock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A clock frozen at a fixed instant: every span measures zero.
+///
+/// This is the clock the determinism tests inject -- durations become a
+/// pure function of the program (all zero), so merged telemetry is
+/// byte-identical across thread counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FrozenClock(pub u64);
+
+impl ObsClock for FrozenClock {
+    fn now_us(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A clock that advances by a fixed step on every read.
+///
+/// Deterministic for single-threaded use (examples, unit tests); under
+/// concurrency the interleaving of reads is scheduler-dependent, so use
+/// [`FrozenClock`] when cross-thread determinism matters.
+#[derive(Debug)]
+pub struct TickClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl TickClock {
+    /// A clock starting at zero that advances `step_us` per read.
+    pub fn new(step_us: u64) -> Self {
+        Self {
+            now: AtomicU64::new(0),
+            step: step_us,
+        }
+    }
+}
+
+impl ObsClock for TickClock {
+    fn now_us(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+/// An in-flight span: captures a start timestamp, measures on `stop`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start_us: u64,
+}
+
+impl SpanTimer {
+    /// Starts a span now (one clock read).
+    pub fn start(clock: &dyn ObsClock) -> Self {
+        Self {
+            start_us: clock.now_us(),
+        }
+    }
+
+    /// Ends the span (second clock read); returns `(start_us, dur_us)`.
+    pub fn stop(self, clock: &dyn ObsClock) -> (u64, u64) {
+        let end = clock.now_us();
+        (self.start_us, end.saturating_sub(self.start_us))
+    }
+}
+
+/// Times `f` as a span when `sink` is enabled; otherwise calls `f` with
+/// zero overhead (no clock reads, no recording).
+#[inline]
+pub fn time_span<R>(
+    sink: &dyn Sink,
+    clock: &dyn ObsClock,
+    hist: HistogramId,
+    name: &'static str,
+    cat: &'static str,
+    tid: u32,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !sink.enabled() {
+        return f();
+    }
+    let timer = SpanTimer::start(clock);
+    let out = f();
+    let (start, dur) = timer.stop(clock);
+    sink.span(hist, name, cat, start, dur, tid);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{NoopSink, Telemetry};
+
+    #[test]
+    fn tick_clock_measures_steps() {
+        let clock = TickClock::new(10);
+        let t = SpanTimer::start(&clock);
+        let (start, dur) = t.stop(&clock);
+        assert_eq!(start, 0);
+        assert_eq!(dur, 10);
+    }
+
+    #[test]
+    fn frozen_clock_measures_zero() {
+        let clock = FrozenClock(42);
+        let t = SpanTimer::start(&clock);
+        assert_eq!(t.stop(&clock), (42, 0));
+    }
+
+    #[test]
+    fn time_span_records_into_histogram() {
+        let mut tel = Telemetry::new();
+        let h = tel.histogram("phase_us");
+        let clock = TickClock::new(3);
+        let out = time_span(&tel, &clock, h, "phase", "test", 0, || 7);
+        assert_eq!(out, 7);
+        assert_eq!(tel.histogram_ref(h).count(), 1);
+        assert_eq!(tel.histogram_ref(h).sum(), 3);
+    }
+
+    #[test]
+    fn noop_sink_skips_clock_reads() {
+        struct PanicClock;
+        impl ObsClock for PanicClock {
+            fn now_us(&self) -> u64 {
+                unreachable!("noop path must not read the clock")
+            }
+        }
+        let mut tel = Telemetry::new();
+        let h = tel.histogram("unused");
+        drop(tel);
+        let out = time_span(&NoopSink, &PanicClock, h, "x", "y", 0, || 1);
+        assert_eq!(out, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Chrome-trace-format export: per-topology / per-phase spans that open
+//! directly in `chrome://tracing` or Perfetto.
+//!
+//! Events are complete-duration (`"ph":"X"`) entries inside the standard
+//! `{"traceEvents":[...]}` envelope. The buffer is bounded: once `cap`
+//! events are stored, further pushes are counted as dropped rather than
+//! reallocating without limit, so tracing never changes the memory
+//! profile of a long suite run unboundedly.
+
+use crate::json::{parse, Obj, ToJson, Value};
+use std::sync::Mutex;
+
+/// One complete-duration trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"precoding"`).
+    pub name: &'static str,
+    /// Category (e.g. `"engine"`, `"supervisor"`).
+    pub cat: &'static str,
+    /// Start timestamp, microseconds.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Logical track (worker index or topology index).
+    pub tid: u32,
+}
+
+impl ToJson for TraceEvent {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("name", &self.name)
+            .field("cat", &self.cat)
+            .field("ph", &"X")
+            .field("ts", &self.ts_us)
+            .field("dur", &self.dur_us)
+            .field("pid", &0u64)
+            .field("tid", &self.tid)
+            .finish();
+    }
+}
+
+/// A bounded, thread-safe buffer of trace events.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Mutex<Vec<TraceEvent>>,
+    cap: usize,
+    dropped: Mutex<u64>,
+}
+
+impl TraceBuffer {
+    /// A buffer keeping at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            cap,
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends an event, or counts it as dropped when full. A poisoned
+    /// lock (a recording thread panicked) degrades to dropping the event.
+    pub fn push(&self, event: TraceEvent) {
+        let mut events = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if events.len() < self.cap {
+            events.push(event);
+        } else {
+            drop(events);
+            let mut d = match self.dropped.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *d = d.saturating_add(1);
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match self.events.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        match self.dropped.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Renders the chrome-trace JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        let events = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":");
+        events.as_slice().write_json(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Validates a chrome-trace document with the in-repo reader: parses it,
+/// checks the envelope and per-event required fields, and returns the
+/// event count.
+pub fn validate_chrome_trace(doc: &str) -> Result<usize, String> {
+    let v = parse(doc)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            if e.get(key).is_none() {
+                return Err(format!("event {i} missing \"{key}\""));
+            }
+        }
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            return Err(format!("event {i} is not a complete-duration event"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if e.get(key).and_then(Value::as_u64).is_none() {
+                return Err(format!("event {i} \"{key}\" is not a non-negative integer"));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: "phase",
+            cat: "engine",
+            ts_us: ts,
+            dur_us: 5,
+            tid: 1,
+        }
+    }
+
+    #[test]
+    fn export_validates() {
+        let buf = TraceBuffer::new(8);
+        buf.push(ev(0));
+        buf.push(ev(10));
+        let doc = buf.to_chrome_json();
+        assert_eq!(validate_chrome_trace(&doc), Ok(2));
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer() {
+        let buf = TraceBuffer::new(1);
+        buf.push(ev(0));
+        buf.push(ev(1));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 1);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_wrong_shapes() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"name":"x"}]}"#).is_err());
+        let bad_ph =
+            r#"{"traceEvents":[{"name":"x","cat":"c","ph":"B","ts":0,"dur":0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad_ph).is_err());
+    }
+}

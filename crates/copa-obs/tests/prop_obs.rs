@@ -1,0 +1,224 @@
+//! Property-based tests for the telemetry primitives, on the in-repo
+//! [`copa_num::prop`] harness: the merge discipline must be commutative,
+//! associative and sharding-invariant, counters must saturate rather than
+//! wrap, and bucket boundaries must survive the JSON writer exactly.
+
+use copa_num::prop::{check, Gen};
+use copa_num::{prop_assert, prop_assert_eq};
+use copa_obs::json::{parse, ToJson, Value};
+use copa_obs::{Counter, Histogram, Sink, Telemetry, BUCKETS};
+
+const CASES: usize = 64;
+
+/// A u64 sample with varied magnitude: raw entropy shifted right by a
+/// random amount, so small values, huge values, and zero all appear.
+fn sample(g: &mut Gen) -> u64 {
+    g.u64() >> g.usize_in(0, 64)
+}
+
+fn histogram_state(h: &Histogram) -> (u64, u64, Option<u64>, Option<u64>, Vec<u64>) {
+    (
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        (0..BUCKETS).map(|i| h.bucket(i)).collect(),
+    )
+}
+
+#[test]
+fn counter_merge_is_commutative_associative_and_saturating() {
+    check("counter merge", CASES, |g| {
+        // Deltas biased toward the ceiling so saturation actually fires.
+        let deltas: Vec<u64> = (0..g.usize_in(1, 12))
+            .map(|_| {
+                if g.bool() {
+                    u64::MAX - (g.u64() >> 32)
+                } else {
+                    sample(g)
+                }
+            })
+            .collect();
+        let exact: u128 = deltas.iter().map(|&d| u128::from(d)).sum();
+        let expect = u64::try_from(exact).unwrap_or(u64::MAX);
+
+        // One counter taking every delta...
+        let all = Counter::new();
+        for &d in &deltas {
+            all.add(d);
+        }
+        prop_assert_eq!(all.get(), expect, "single counter saturating sum");
+
+        // ...equals any sharding merged in any order.
+        let shards: Vec<Counter> = (0..3).map(|_| Counter::new()).collect();
+        for &d in &deltas {
+            shards[g.usize_in(0, 3)].add(d);
+        }
+        let left = Counter::new();
+        for c in &shards {
+            left.merge(c);
+        }
+        let right = Counter::new();
+        for c in shards.iter().rev() {
+            right.merge(c);
+        }
+        prop_assert_eq!(left.get(), expect, "merge order: forward");
+        prop_assert_eq!(right.get(), expect, "merge order: reverse");
+        // Saturation is a floor, never a wrap: the merged total can never
+        // be smaller than any single shard.
+        for c in &shards {
+            prop_assert!(left.get() >= c.get(), "merged total below a part");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn histogram_merge_is_sharding_invariant() {
+    check("histogram sharding", CASES, |g| {
+        let samples: Vec<u64> = (0..g.usize_in(1, 64)).map(|_| sample(g)).collect();
+
+        let reference = Histogram::new();
+        for &v in &samples {
+            reference.record(v);
+        }
+
+        // Shard the same samples across k workers, merge in two orders.
+        let k = g.usize_in(1, 5);
+        let shards: Vec<Histogram> = (0..k).map(|_| Histogram::new()).collect();
+        for &v in &samples {
+            shards[g.usize_in(0, k)].record(v);
+        }
+        let forward = Histogram::new();
+        for h in &shards {
+            forward.merge(h);
+        }
+        let reverse = Histogram::new();
+        for h in shards.iter().rev() {
+            reverse.merge(h);
+        }
+        prop_assert_eq!(
+            histogram_state(&forward),
+            histogram_state(&reference),
+            "sharded+merged must equal direct recording"
+        );
+        prop_assert_eq!(
+            histogram_state(&forward),
+            histogram_state(&reverse),
+            "merge must commute"
+        );
+
+        // Associativity: (a + b) + c == a + (b + c) for a 3-way split.
+        if k >= 3 {
+            let ab = Histogram::new();
+            ab.merge(&shards[0]);
+            ab.merge(&shards[1]);
+            let abc = Histogram::new();
+            abc.merge(&ab);
+            abc.merge(&shards[2]);
+            let bc = Histogram::new();
+            bc.merge(&shards[1]);
+            bc.merge(&shards[2]);
+            let abc2 = Histogram::new();
+            abc2.merge(&shards[0]);
+            abc2.merge(&bc);
+            let mut partial = histogram_state(&abc);
+            let partial2 = histogram_state(&abc2);
+            // Only the first three shards were folded in: compare those.
+            prop_assert_eq!(std::mem::take(&mut partial), partial2, "associativity");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn bucket_bounds_round_trip_through_json() {
+    check("bucket JSON round-trip", CASES, |g| {
+        let h = Histogram::new();
+        let n = g.usize_in(1, 48);
+        for _ in 0..n {
+            h.record(sample(g));
+        }
+        let doc = parse(&h.to_json()).map_err(|e| format!("histogram JSON must parse: {e}"))?;
+        prop_assert_eq!(
+            doc.get("count").and_then(Value::as_u64),
+            Some(h.count()),
+            "count field"
+        );
+        let buckets = doc
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or("buckets array missing")?;
+        let occupied = (0..BUCKETS).filter(|&i| h.bucket(i) > 0).count();
+        prop_assert_eq!(buckets.len(), occupied, "one triple per occupied bucket");
+        for triple in buckets {
+            let t = triple.as_arr().ok_or("bucket triple not an array")?;
+            prop_assert_eq!(t.len(), 3, "triple arity");
+            let lo = t[0].as_u64().ok_or("lo not u64")?;
+            let hi = t[1].as_u64().ok_or("hi not u64")?;
+            let count = t[2].as_u64().ok_or("count not u64")?;
+            // Lower bounds are powers of two (exact in f64 up to 2^63),
+            // so they must survive the writer/reader round trip exactly.
+            let idx = Histogram::bucket_index(lo);
+            let (want_lo, want_hi) = Histogram::bucket_bounds(idx);
+            prop_assert_eq!(lo, want_lo, "lower bound of bucket {}", idx);
+            // Upper bounds are `2^i - 1`: exact only within f64's 53-bit
+            // integer range; beyond it the reader sees the nearest f64.
+            if want_hi < (1u64 << 53) {
+                prop_assert_eq!(hi, want_hi, "upper bound of bucket {}", idx);
+            } else {
+                prop_assert!(
+                    t[1].as_f64() == Some(want_hi as f64),
+                    "upper bound of bucket {} beyond 2^53",
+                    idx
+                );
+            }
+            prop_assert_eq!(count, h.bucket(idx), "occupancy of bucket {}", idx);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn registry_json_is_invariant_to_registration_and_merge_order() {
+    check("registry canonical JSON", CASES, |g| {
+        let names: &[&'static str] = &["alpha.count", "beta.count", "gamma.lat_us"];
+        // Registry A registers in order, B in reverse; both take the same
+        // events, sharded differently via merge.
+        let mut a = Telemetry::new();
+        let ca: Vec<_> = names[..2].iter().map(|n| a.counter(n)).collect();
+        let ha = a.histogram(names[2]);
+        let mut b_shard = Telemetry::new();
+        let hb = b_shard.histogram(names[2]);
+        let cb: Vec<_> = names[..2]
+            .iter()
+            .rev()
+            .map(|n| b_shard.counter(n))
+            .collect();
+
+        for _ in 0..g.usize_in(1, 32) {
+            let v = sample(g);
+            let which = g.usize_in(0, 3);
+            // Mirror every event into both sides, A directly and B via its
+            // own handles (registered in a different order).
+            match which {
+                0 | 1 => {
+                    a.add(ca[which], v);
+                    b_shard.add(cb[1 - which], v);
+                }
+                _ => {
+                    a.record(ha, v);
+                    b_shard.record(hb, v);
+                }
+            }
+        }
+        let mut merged = Telemetry::new();
+        merged.merge(&b_shard);
+        prop_assert_eq!(
+            a.to_json(),
+            merged.to_json(),
+            "canonical JSON must not depend on registration or merge order"
+        );
+        Ok(())
+    });
+}

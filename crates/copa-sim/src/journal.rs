@@ -192,6 +192,20 @@ fn encode_header(segment: u32, suite_len: u32, seed: u64) -> Vec<u8> {
     w.into_vec()
 }
 
+/// Write-side accounting for one [`JournalWriter`] lifetime. Counts are
+/// order-independent (a resume that re-appends salvaged records counts
+/// them again, since they are physically rewritten), so totals are
+/// invariant to worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records physically appended (including carried salvage records).
+    pub records_appended: u64,
+    /// Segments sealed (fsync + rename), including the final partial one.
+    pub segments_sealed: u32,
+    /// Record frame bytes written (`len | crc | payload`), headers excluded.
+    pub bytes_written: u64,
+}
+
 /// Append-only writer over the journal at `prefix`.
 pub struct JournalWriter {
     prefix: PathBuf,
@@ -201,6 +215,7 @@ pub struct JournalWriter {
     segment: u32,
     in_segment: u32,
     part: File,
+    stats: JournalStats,
 }
 
 impl JournalWriter {
@@ -236,6 +251,7 @@ impl JournalWriter {
             segment,
             in_segment: 0,
             part,
+            stats: JournalStats::default(),
         };
         for rec in carried {
             w.append(rec)?;
@@ -287,6 +303,8 @@ impl JournalWriter {
         self.part
             .write_all(frame.as_slice())
             .map_err(|e| io_err("record append", &e))?;
+        self.stats.records_appended += 1;
+        self.stats.bytes_written += frame.as_slice().len() as u64;
         self.in_segment += 1;
         if self.in_segment >= self.records_per_segment {
             self.seal()?;
@@ -305,6 +323,7 @@ impl JournalWriter {
             segment_path(&self.prefix, self.segment),
         )
         .map_err(|e| io_err("segment rename", &e))?;
+        self.stats.segments_sealed += 1;
         self.segment += 1;
         self.in_segment = 0;
         self.part = File::create(part_path(&self.prefix)).map_err(|e| io_err("part create", &e))?;
@@ -314,13 +333,19 @@ impl JournalWriter {
         Ok(())
     }
 
-    /// Seals any partially-filled segment and removes the empty part file.
-    pub fn finish(mut self) -> Result<(), CopaError> {
+    /// Write-side accounting so far.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Seals any partially-filled segment and removes the empty part
+    /// file, returning the final write-side accounting.
+    pub fn finish(mut self) -> Result<JournalStats, CopaError> {
         if self.in_segment > 0 {
             self.seal()?;
         }
         let _ = fs::remove_file(part_path(&self.prefix));
-        Ok(())
+        Ok(self.stats)
     }
 }
 
@@ -337,6 +362,9 @@ pub struct JournalState {
     pub sealed_intact: bool,
     /// The records salvaged from the unsealed active part.
     pub part: Vec<TopologyRecord>,
+    /// Files (sealed segments or the part) that were torn or corrupt and
+    /// needed their valid prefix salvaged.
+    pub salvage_events: u32,
 }
 
 /// Parses one segment file body: header check, then records until the
@@ -418,6 +446,7 @@ pub fn load_journal(prefix: &Path, suite_len: u32, seed: u64) -> Result<JournalS
             // A torn *sealed* segment: keep the salvage, drop everything
             // after the corruption, and flag the journal for rebuild.
             state.sealed_intact = false;
+            state.salvage_events += 1;
             dedup_by_index(&mut state.records);
             return Ok(state);
         }
@@ -425,7 +454,10 @@ pub fn load_journal(prefix: &Path, suite_len: u32, seed: u64) -> Result<JournalS
     }
     match fs::read(part_path(prefix)) {
         Ok(bytes) => {
-            let (records, _clean) = parse_segment(&bytes, state.sealed_segments, suite_len, seed)?;
+            let (records, clean) = parse_segment(&bytes, state.sealed_segments, suite_len, seed)?;
+            if !clean {
+                state.salvage_events += 1;
+            }
             state.part = records.clone();
             state.records.extend(records);
         }
@@ -530,7 +562,10 @@ mod tests {
         for i in 0..7 {
             w.append(&rec(i, f64::from(i) + 0.5)).expect("append");
         }
-        w.finish().expect("finish");
+        let stats = w.finish().expect("finish");
+        assert_eq!(stats.records_appended, 7);
+        assert_eq!(stats.segments_sealed, 3, "2 full + 1 sealed by finish");
+        assert!(stats.bytes_written > 0);
         // 7 records at 3 per segment: 2 sealed + 1 sealed by finish.
         assert!(segment_path(&prefix, 0).exists());
         assert!(segment_path(&prefix, 2).exists());
@@ -538,6 +573,7 @@ mod tests {
         let state = load_journal(&prefix, 10, 0xC0FA).expect("load");
         assert!(state.sealed_intact);
         assert_eq!(state.sealed_segments, 3);
+        assert_eq!(state.salvage_events, 0);
         assert_eq!(state.records.len(), 7);
         for (i, r) in state.records.iter().enumerate() {
             assert_eq!(r.index, i as u32);
@@ -561,6 +597,7 @@ mod tests {
         assert!(state.sealed_intact, "a torn part is the expected crash");
         assert_eq!(state.records.len(), 3, "last record torn, rest salvaged");
         assert_eq!(state.part.len(), 3);
+        assert_eq!(state.salvage_events, 1);
         wipe_journal(&prefix).expect("cleanup");
     }
 

@@ -1,281 +1,8 @@
-//! Minimal hand-rolled JSON serialization for experiment reports.
+//! The dependency-free JSON writer all reports serialize through.
 //!
-//! The workspace is dependency-free, so instead of `serde` the report
-//! structs implement [`ToJson`] by hand. The surface is deliberately tiny:
-//! scalars, strings (with full escaping), sequences, options, and an
-//! [`Obj`] builder for struct-like output. Non-finite floats serialize as
-//! `null` (JSON has no NaN/Infinity), and finite floats use Rust's
-//! shortest round-trippable `Display` form.
-//!
-//! To serialize a new report struct, implement [`ToJson`] with the
-//! builder:
-//!
-//! ```
-//! use copa_sim::json::{Obj, ToJson};
-//!
-//! struct Point { x: f64, label: String }
-//!
-//! impl ToJson for Point {
-//!     fn write_json(&self, out: &mut String) {
-//!         Obj::new(out).field("x", &self.x).field("label", &self.label).finish();
-//!     }
-//! }
-//!
-//! assert_eq!(
-//!     (Point { x: 1.5, label: "a\"b".into() }).to_json(),
-//!     r#"{"x":1.5,"label":"a\"b"}"#
-//! );
-//! ```
+//! The implementation lives in [`copa_obs::json`] so lower layers (the
+//! telemetry registry, copa-core) can serialize without depending on the
+//! experiment harness; this module re-exports it under the historical
+//! `copa_sim::json` path used by every report struct, test, and example.
 
-/// Types that can write themselves as a JSON value.
-pub trait ToJson {
-    /// Appends this value's JSON representation to `out`.
-    fn write_json(&self, out: &mut String);
-
-    /// Convenience: this value as a standalone JSON string.
-    fn to_json(&self) -> String {
-        let mut s = String::new();
-        self.write_json(&mut s);
-        s
-    }
-}
-
-/// Escapes and appends `s` as a JSON string literal (with quotes).
-pub fn write_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl ToJson for f64 {
-    fn write_json(&self, out: &mut String) {
-        if self.is_finite() {
-            out.push_str(&self.to_string());
-        } else {
-            out.push_str("null");
-        }
-    }
-}
-
-impl ToJson for usize {
-    fn write_json(&self, out: &mut String) {
-        out.push_str(&self.to_string());
-    }
-}
-
-impl ToJson for u64 {
-    fn write_json(&self, out: &mut String) {
-        out.push_str(&self.to_string());
-    }
-}
-
-impl ToJson for u32 {
-    fn write_json(&self, out: &mut String) {
-        out.push_str(&self.to_string());
-    }
-}
-
-impl ToJson for u8 {
-    fn write_json(&self, out: &mut String) {
-        out.push_str(&self.to_string());
-    }
-}
-
-impl ToJson for bool {
-    fn write_json(&self, out: &mut String) {
-        out.push_str(if *self { "true" } else { "false" });
-    }
-}
-
-impl ToJson for str {
-    fn write_json(&self, out: &mut String) {
-        write_str(out, self);
-    }
-}
-
-impl ToJson for String {
-    fn write_json(&self, out: &mut String) {
-        write_str(out, self);
-    }
-}
-
-impl<T: ToJson + ?Sized> ToJson for &T {
-    fn write_json(&self, out: &mut String) {
-        (**self).write_json(out);
-    }
-}
-
-impl<T: ToJson> ToJson for Option<T> {
-    fn write_json(&self, out: &mut String) {
-        match self {
-            Some(v) => v.write_json(out),
-            None => out.push_str("null"),
-        }
-    }
-}
-
-impl<T: ToJson> ToJson for [T] {
-    fn write_json(&self, out: &mut String) {
-        out.push('[');
-        for (i, v) in self.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            v.write_json(out);
-        }
-        out.push(']');
-    }
-}
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn write_json(&self, out: &mut String) {
-        self.as_slice().write_json(out);
-    }
-}
-
-impl<T: ToJson, const N: usize> ToJson for [T; N] {
-    fn write_json(&self, out: &mut String) {
-        self.as_slice().write_json(out);
-    }
-}
-
-impl<A: ToJson, B: ToJson> ToJson for (A, B) {
-    fn write_json(&self, out: &mut String) {
-        out.push('[');
-        self.0.write_json(out);
-        out.push(',');
-        self.1.write_json(out);
-        out.push(']');
-    }
-}
-
-/// Builder for a JSON object; fields are emitted in call order.
-pub struct Obj<'a> {
-    out: &'a mut String,
-    any: bool,
-}
-
-impl<'a> Obj<'a> {
-    /// Starts an object (`{`) on `out`.
-    pub fn new(out: &'a mut String) -> Self {
-        out.push('{');
-        Self { out, any: false }
-    }
-
-    /// Appends one `"key":value` pair.
-    pub fn field(mut self, key: &str, value: &dyn ToJson) -> Self {
-        if self.any {
-            self.out.push(',');
-        }
-        self.any = true;
-        write_str(self.out, key);
-        self.out.push(':');
-        value.write_json(self.out);
-        self
-    }
-
-    /// Closes the object (`}`).
-    pub fn finish(self) {
-        self.out.push('}');
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars() {
-        assert_eq!(1.5f64.to_json(), "1.5");
-        assert_eq!((-0.25f64).to_json(), "-0.25");
-        assert_eq!(f64::NAN.to_json(), "null");
-        assert_eq!(f64::INFINITY.to_json(), "null");
-        assert_eq!(3usize.to_json(), "3");
-        assert_eq!(true.to_json(), "true");
-        assert_eq!(Option::<f64>::None.to_json(), "null");
-        assert_eq!(Some(2.0f64).to_json(), "2");
-    }
-
-    #[test]
-    fn string_escaping() {
-        assert_eq!("plain".to_json(), r#""plain""#);
-        assert_eq!("a\"b\\c".to_json(), r#""a\"b\\c""#);
-        assert_eq!("line\nbreak\ttab".to_json(), r#""line\nbreak\ttab""#);
-        assert_eq!("\u{01}".to_json(), "\"\\u0001\"");
-        assert_eq!("unicode: µ∆".to_json(), "\"unicode: µ∆\"");
-    }
-
-    #[test]
-    fn sequences_and_tuples() {
-        assert_eq!(vec![1.0f64, 2.5].to_json(), "[1,2.5]");
-        assert_eq!([1.0f64; 3].to_json(), "[1,1,1]");
-        assert_eq!((1.0f64, -2.0f64).to_json(), "[1,-2]");
-        assert_eq!(Vec::<f64>::new().to_json(), "[]");
-        assert_eq!(vec![Some(1.0f64), None].to_json(), "[1,null]");
-    }
-
-    #[test]
-    fn object_builder_golden() {
-        struct Nested {
-            v: Vec<f64>,
-        }
-        impl ToJson for Nested {
-            fn write_json(&self, out: &mut String) {
-                Obj::new(out).field("v", &self.v).finish();
-            }
-        }
-        struct Top {
-            name: String,
-            inner: Nested,
-            count: usize,
-        }
-        impl ToJson for Top {
-            fn write_json(&self, out: &mut String) {
-                Obj::new(out)
-                    .field("name", &self.name)
-                    .field("inner", &self.inner)
-                    .field("count", &self.count)
-                    .finish();
-            }
-        }
-        let t = Top {
-            name: "fig \"x\"".into(),
-            inner: Nested { v: vec![0.5, 1.0] },
-            count: 2,
-        };
-        assert_eq!(
-            t.to_json(),
-            r#"{"name":"fig \"x\"","inner":{"v":[0.5,1]},"count":2}"#
-        );
-    }
-
-    #[test]
-    fn empty_object() {
-        let mut s = String::new();
-        Obj::new(&mut s).finish();
-        assert_eq!(s, "{}");
-    }
-
-    #[test]
-    fn float_formatting_round_trips() {
-        for &x in &[0.1f64, 1e-12, 6.02e23, -0.0, 52.333333333333336] {
-            let s = x.to_json();
-            let back: f64 = s.parse().unwrap();
-            assert_eq!(back.to_bits(), x.to_bits(), "{s} should round-trip");
-        }
-    }
-}
+pub use copa_obs::json::*;

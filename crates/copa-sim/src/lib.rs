@@ -16,7 +16,9 @@
 //! * [`degradation`] -- suites under injected ITS faults: retries, CSMA
 //!   fallbacks and [`DegradationStats`] accounting.
 //! * [`json`] -- the dependency-free JSON writer all reports serialize
-//!   through.
+//!   through (re-exported from `copa-obs`, which adds a reader).
+//! * [`telemetry`] -- the [`SuiteTelemetry`] bundle: one shared registry
+//!   of engine/exchange/supervisor/journal metrics over `copa-obs`.
 //! * [`ablations`] -- design-choice sweeps (coherence time, impairments,
 //!   allocator comparison, CSI aging) beyond the paper's own figures.
 //! * [`validation`] -- Monte-Carlo validation of the analytic BER chain
@@ -38,6 +40,7 @@ pub mod report;
 pub mod reuse;
 pub mod runner;
 pub mod supervisor;
+pub mod telemetry;
 pub mod throughput;
 pub mod validation;
 
@@ -46,13 +49,14 @@ pub use ablations::{
 };
 pub use degradation::{run_degraded_suite, DegradationStats, DegradedSuiteResult};
 pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
-pub use journal::{load_journal, JournalState, JournalWriter};
+pub use journal::{load_journal, JournalState, JournalStats, JournalWriter};
 pub use report::{headline_stats, render_experiment, HeadlineStats};
 pub use runner::{evaluate_parallel, evaluate_serial, try_evaluate_parallel};
 pub use supervisor::{
     evaluate_guarded, run_suite, run_suite_journaled, run_suite_resumed, MonotonicClock,
     SuiteClock, SuiteConfig, SuiteHealth, SuiteReport, TopologyOutcome, TopologyRecord,
 };
+pub use telemetry::{JournalMetrics, SuiteObsClock, SuiteTelemetry, SupervisorMetrics};
 pub use throughput::{
     fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
 };

@@ -24,6 +24,7 @@
 use crate::journal::{load_journal, JournalWriter};
 use crate::json::{Obj, ToJson};
 use crate::runner::seed_for;
+use crate::telemetry::SuiteTelemetry;
 use copa_channel::Topology;
 use copa_core::{CopaError, Engine, EngineWorkspace, EvalRequest, ScenarioParams, Strategy};
 use std::any::Any;
@@ -106,6 +107,10 @@ pub struct SuiteConfig<'a> {
     pub stop_after: Option<usize>,
     /// Clock override for deterministic tests; `None` uses real time.
     pub clock: Option<&'a dyn SuiteClock>,
+    /// Telemetry bundle the run records into. `None` (the default) takes
+    /// the exact pre-telemetry path: no clock reads, no atomics, and
+    /// bit-identical results.
+    pub telemetry: Option<&'a SuiteTelemetry>,
 }
 
 impl Default for SuiteConfig<'_> {
@@ -119,6 +124,7 @@ impl Default for SuiteConfig<'_> {
             records_per_segment: 64,
             stop_after: None,
             clock: None,
+            telemetry: None,
         }
     }
 }
@@ -490,6 +496,7 @@ where
                         let attempt_result =
                             catch_unwind(AssertUnwindSafe(|| eval(idx, &suite[idx], &mut ws)));
                         let elapsed = clock.attempt_us(idx, a.attempt, start, clock.now_us());
+                        let panicked = attempt_result.is_err();
                         let record = match attempt_result {
                             Err(payload) => {
                                 // The unwound evaluation may have left the
@@ -506,16 +513,21 @@ where
                                     Some(TopologyOutcome::Abandoned)
                                 } else {
                                     let pause = backoff_us(cfg, a.attempt);
-                                    // invariant: no code path panics while holding this lock
-                                    retries
-                                        .lock()
-                                        .expect("retry queue lock")
-                                        .push_back(Attempt {
+                                    let depth = {
+                                        // invariant: no code path panics while holding this lock
+                                        let mut q = retries.lock().expect("retry queue lock");
+                                        q.push_back(Attempt {
                                             idx,
                                             attempt: a.attempt + 1,
                                             not_before_us: clock.now_us() + pause,
                                             backoff_us: a.backoff_us + pause,
                                         });
+                                        q.len() as u64
+                                    };
+                                    if let Some(t) = cfg.telemetry {
+                                        t.count(t.suite.requeues, 1);
+                                        t.sample(t.suite.queue_depth, depth);
+                                    }
                                     None
                                 }
                             }
@@ -535,6 +547,29 @@ where
                                 error: e.to_string(),
                             }),
                         };
+                        if let Some(t) = cfg.telemetry {
+                            t.sample(t.suite.attempt_us, elapsed);
+                            // Panics bypass the deadline check entirely.
+                            if !panicked && deadlines[idx] != u64::MAX {
+                                if elapsed > deadlines[idx] {
+                                    t.count(t.suite.deadline_misses, 1);
+                                } else {
+                                    t.sample(t.suite.deadline_margin_us, deadlines[idx] - elapsed);
+                                }
+                            }
+                            if let Some(outcome) = &record {
+                                t.count(
+                                    match outcome {
+                                        TopologyOutcome::Done { .. } => t.suite.completed,
+                                        TopologyOutcome::Panicked { .. } => t.suite.panicked,
+                                        TopologyOutcome::Quarantined { .. } => t.suite.quarantined,
+                                        TopologyOutcome::Abandoned => t.suite.abandoned,
+                                        TopologyOutcome::Failed { .. } => t.suite.failed,
+                                    },
+                                    1,
+                                );
+                            }
+                        }
                         if let Some(outcome) = record {
                             let rec = TopologyRecord {
                                 index: idx as u32,
@@ -604,16 +639,23 @@ fn build_report(
 }
 
 /// The production evaluation: per-index suite seeds (identical to
-/// [`crate::runner::evaluate_parallel`]) and the COPA-fair outcome.
-fn default_eval(
-    params: &ScenarioParams,
-) -> impl Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync + '_
+/// [`crate::runner::evaluate_parallel`]) and the COPA-fair outcome. When
+/// a telemetry bundle is supplied the engine's phase spans record into
+/// it, on trace track `idx`.
+fn default_eval<'p>(
+    params: &'p ScenarioParams,
+    tel: Option<&'p SuiteTelemetry>,
+) -> impl Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync + 'p
 {
     move |idx, topo, ws| {
         let mut p = *params;
         p.seed = seed_for(params, idx);
         let engine = Engine::new(p);
-        let ev = engine.run(&mut EvalRequest::topology(topo).workspace(ws))?;
+        let mut req = EvalRequest::topology(topo).workspace(ws);
+        if let Some(t) = tel {
+            req = req.observe(t.engine_obs(idx as u32));
+        }
+        let ev = engine.run(&mut req)?;
         Ok((ev.copa_fair.aggregate_mbps(), ev.copa_fair.strategy))
     }
 }
@@ -631,7 +673,7 @@ pub fn run_suite(
     suite: &[Topology],
     cfg: &SuiteConfig<'_>,
 ) -> SuiteReport {
-    run_suite_with(suite, cfg, &default_eval(params))
+    run_suite_with(suite, cfg, &default_eval(params, cfg.telemetry))
 }
 
 /// [`run_suite`] with a caller-supplied evaluation (the injection point
@@ -658,7 +700,13 @@ pub fn run_suite_journaled(
     cfg: &SuiteConfig<'_>,
     prefix: &Path,
 ) -> Result<SuiteReport, CopaError> {
-    run_suite_journaled_with(params.seed, suite, cfg, prefix, &default_eval(params))
+    run_suite_journaled_with(
+        params.seed,
+        suite,
+        cfg,
+        prefix,
+        &default_eval(params, cfg.telemetry),
+    )
 }
 
 /// [`run_suite_journaled`] with a caller-supplied evaluation. `seed` keys
@@ -687,7 +735,13 @@ pub fn run_suite_resumed(
     cfg: &SuiteConfig<'_>,
     prefix: &Path,
 ) -> Result<SuiteReport, CopaError> {
-    run_suite_resumed_with(params.seed, suite, cfg, prefix, &default_eval(params))
+    run_suite_resumed_with(
+        params.seed,
+        suite,
+        cfg,
+        prefix,
+        &default_eval(params, cfg.telemetry),
+    )
 }
 
 /// [`run_suite_resumed`] with a caller-supplied evaluation.
@@ -702,6 +756,10 @@ where
     F: Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync,
 {
     let state = load_journal(prefix, suite.len() as u32, seed)?;
+    if let Some(t) = cfg.telemetry {
+        t.count(t.journal.records_replayed, state.records.len() as u64);
+        t.count(t.journal.salvage_events, u64::from(state.salvage_events));
+    }
     let writer = JournalWriter::resume(
         prefix,
         suite.len() as u32,
@@ -737,7 +795,12 @@ where
     let (records, health) = supervise(suite, cfg, clock, &done, Some(&journal), eval)?;
     // invariant: supervise has joined every worker; the lock is free
     let writer = journal.into_inner().expect("journal lock");
-    writer.finish()?;
+    let stats = writer.finish()?;
+    if let Some(t) = cfg.telemetry {
+        t.count(t.journal.records_appended, stats.records_appended);
+        t.count(t.journal.segments_sealed, u64::from(stats.segments_sealed));
+        t.count(t.journal.bytes_written, stats.bytes_written);
+    }
     Ok(build_report(suite.len(), prior, records, health))
 }
 
@@ -816,7 +879,7 @@ mod tests {
     fn injected_panic_costs_exactly_one_topology() {
         let s = suite(10);
         let params = ScenarioParams::default();
-        let eval = default_eval(&params);
+        let eval = default_eval(&params, None);
         let poisoned = |idx: usize, t: &Topology, ws: &mut EngineWorkspace| {
             if idx == 4 {
                 panic!("poisoned topology {idx}");

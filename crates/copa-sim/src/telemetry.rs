@@ -1,0 +1,263 @@
+//! Suite-level telemetry: one shared registry bundling every layer's
+//! metrics (engine phases, ITS exchanges, supervisor scheduling, journal
+//! IO) plus the clock spans are timed against.
+//!
+//! A [`SuiteTelemetry`] is handed to the supervisor by reference via
+//! [`crate::supervisor::SuiteConfig::telemetry`]; recording is `&self`
+//! and lock-free, so one bundle is shared by every worker thread and the
+//! totals equal what per-worker partials merged afterwards would give
+//! (the `SuiteHealth` discipline). With `telemetry: None` the runner
+//! takes the exact pre-telemetry path: no clock reads, no atomics, no
+//! allocation, bit-identical results.
+//!
+//! Span durations are the only scheduling-sensitive samples; the
+//! determinism suite injects a [`copa_obs::FrozenClock`] via
+//! [`SuiteTelemetry::with_clock`] so they collapse to zero and merged
+//! JSON is byte-identical across thread counts.
+
+use crate::json::ToJson;
+use crate::supervisor::{MonotonicClock, SuiteClock};
+use copa_core::{EngineMetrics, EngineObs, ExchangeMetrics, ExchangeObs};
+use copa_obs::{CounterId, HistogramId, ObsClock, Sink, Telemetry, TraceBuffer};
+
+impl ObsClock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        SuiteClock::now_us(self)
+    }
+}
+
+/// Adapts a borrowed [`SuiteClock`] into an [`ObsClock`], so scripted
+/// supervisor clocks can also drive span timing in tests.
+pub struct SuiteObsClock<'a>(pub &'a dyn SuiteClock);
+
+impl ObsClock for SuiteObsClock<'_> {
+    fn now_us(&self) -> u64 {
+        self.0.now_us()
+    }
+}
+
+/// Handles to the supervisor's scheduling metrics on a shared registry.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorMetrics {
+    /// Topologies that evaluated successfully.
+    pub completed: CounterId,
+    /// Topologies lost to a worker panic.
+    pub panicked: CounterId,
+    /// Topologies rejected by the conditioning quarantine.
+    pub quarantined: CounterId,
+    /// Topologies that exhausted their deadline-retry budget.
+    pub abandoned: CounterId,
+    /// Topologies that failed with any other error.
+    pub failed: CounterId,
+    /// Attempts requeued after a deadline miss.
+    pub requeues: CounterId,
+    /// Attempts that exceeded their deadline.
+    pub deadline_misses: CounterId,
+    /// Retry-queue depth sampled at each requeue.
+    pub queue_depth: HistogramId,
+    /// Microseconds of headroom left when an attempt met its deadline.
+    pub deadline_margin_us: HistogramId,
+    /// Wall time charged to each attempt (per the suite clock).
+    pub attempt_us: HistogramId,
+}
+
+impl SupervisorMetrics {
+    /// Registers the supervisor metric names on `tel` (idempotent).
+    pub fn register(tel: &mut Telemetry) -> Self {
+        Self {
+            completed: tel.counter("suite.completed"),
+            panicked: tel.counter("suite.panicked"),
+            quarantined: tel.counter("suite.quarantined"),
+            abandoned: tel.counter("suite.abandoned"),
+            failed: tel.counter("suite.failed"),
+            requeues: tel.counter("suite.requeues"),
+            deadline_misses: tel.counter("suite.deadline_misses"),
+            queue_depth: tel.histogram("suite.queue_depth"),
+            deadline_margin_us: tel.histogram("suite.deadline_margin_us"),
+            attempt_us: tel.histogram("suite.attempt_us"),
+        }
+    }
+}
+
+/// Handles to the checkpoint journal's IO metrics on a shared registry.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalMetrics {
+    /// Records physically appended (including re-appended salvage).
+    pub records_appended: CounterId,
+    /// Segments sealed (fsync + atomic rename).
+    pub segments_sealed: CounterId,
+    /// Record frame bytes written (headers excluded).
+    pub bytes_written: CounterId,
+    /// Records replayed from disk by a resumed run.
+    pub records_replayed: CounterId,
+    /// Torn/corrupt files whose valid prefix had to be salvaged.
+    pub salvage_events: CounterId,
+}
+
+impl JournalMetrics {
+    /// Registers the journal metric names on `tel` (idempotent).
+    pub fn register(tel: &mut Telemetry) -> Self {
+        Self {
+            records_appended: tel.counter("journal.records_appended"),
+            segments_sealed: tel.counter("journal.segments_sealed"),
+            bytes_written: tel.counter("journal.bytes_written"),
+            records_replayed: tel.counter("journal.records_replayed"),
+            salvage_events: tel.counter("journal.salvage_events"),
+        }
+    }
+}
+
+/// One registry with every layer's metrics pre-registered, plus the span
+/// clock: the bundle a suite run records into.
+pub struct SuiteTelemetry {
+    registry: Telemetry,
+    clock: Box<dyn ObsClock + Send + Sync>,
+    /// Engine phase metrics (registered via `copa-core`).
+    pub engine: EngineMetrics,
+    /// ITS exchange metrics (registered via `copa-core`).
+    pub exchange: ExchangeMetrics,
+    /// Supervisor scheduling metrics.
+    pub suite: SupervisorMetrics,
+    /// Checkpoint journal IO metrics.
+    pub journal: JournalMetrics,
+}
+
+impl Default for SuiteTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuiteTelemetry {
+    /// A bundle with tracing disabled and wall-clock spans.
+    pub fn new() -> Self {
+        Self::from_registry(Telemetry::new())
+    }
+
+    /// A bundle that also captures up to `cap` chrome-trace events.
+    pub fn with_trace(cap: usize) -> Self {
+        Self::from_registry(Telemetry::new().with_trace(cap))
+    }
+
+    fn from_registry(mut registry: Telemetry) -> Self {
+        let engine = EngineMetrics::register(&mut registry);
+        let exchange = ExchangeMetrics::register(&mut registry);
+        let suite = SupervisorMetrics::register(&mut registry);
+        let journal = JournalMetrics::register(&mut registry);
+        Self {
+            registry,
+            clock: Box::new(MonotonicClock::new()),
+            engine,
+            exchange,
+            suite,
+            journal,
+        }
+    }
+
+    /// Replaces the span clock (e.g. [`copa_obs::FrozenClock`] so the
+    /// determinism suite gets thread-count-invariant telemetry).
+    pub fn with_clock(mut self, clock: Box<dyn ObsClock + Send + Sync>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The underlying registry (also the [`Sink`] recording goes to).
+    pub fn registry(&self) -> &Telemetry {
+        &self.registry
+    }
+
+    /// The clock spans are timed against.
+    pub fn clock(&self) -> &dyn ObsClock {
+        &*self.clock
+    }
+
+    /// The trace buffer, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.registry.trace()
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn count(&self, id: CounterId, delta: u64) {
+        self.registry.add(id, delta);
+    }
+
+    /// Records one histogram sample.
+    pub fn sample(&self, id: HistogramId, value: u64) {
+        self.registry.record(id, value);
+    }
+
+    /// An engine observation context on this bundle, trace track `tid`
+    /// (the supervisor uses the topology index).
+    pub fn engine_obs(&self, tid: u32) -> EngineObs<'_> {
+        EngineObs::new(&self.registry, &*self.clock, self.engine).tid(tid)
+    }
+
+    /// An ITS exchange observation context on this bundle.
+    pub fn exchange_obs(&self) -> ExchangeObs<'_> {
+        ExchangeObs::new(&self.registry, self.exchange)
+    }
+}
+
+impl ToJson for SuiteTelemetry {
+    /// Canonical registry JSON (metric names sorted; see
+    /// [`copa_obs::Telemetry`]).
+    fn write_json(&self, out: &mut String) {
+        self.registry.write_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_obs::FrozenClock;
+
+    #[test]
+    fn bundle_registers_every_layer() {
+        let tel = SuiteTelemetry::new();
+        for name in [
+            "engine.evaluations",
+            "its.frames_sent",
+            "suite.completed",
+            "journal.segments_sealed",
+        ] {
+            assert_eq!(tel.registry().counter_by_name(name), Some(0), "{name}");
+        }
+        assert!(tel.trace().is_none());
+        assert!(SuiteTelemetry::with_trace(8).trace().is_some());
+    }
+
+    #[test]
+    fn obs_contexts_record_into_the_shared_registry() {
+        let tel = SuiteTelemetry::new().with_clock(Box::new(FrozenClock(0)));
+        let obs = tel.engine_obs(3);
+        obs.sink.add(obs.metrics.evaluations, 2);
+        let xo = tel.exchange_obs();
+        xo.sink.add(xo.metrics.frames_sent, 5);
+        tel.count(tel.suite.requeues, 1);
+        tel.sample(tel.suite.queue_depth, 4);
+        assert_eq!(
+            tel.registry().counter_by_name("engine.evaluations"),
+            Some(2)
+        );
+        assert_eq!(tel.registry().counter_by_name("its.frames_sent"), Some(5));
+        assert_eq!(tel.registry().counter_by_name("suite.requeues"), Some(1));
+        assert_eq!(
+            tel.registry().histogram_ref(tel.suite.queue_depth).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn scripted_suite_clock_adapts_to_spans() {
+        struct Fixed;
+        impl SuiteClock for Fixed {
+            fn now_us(&self) -> u64 {
+                17
+            }
+            fn sleep_us(&self, _us: u64) {}
+        }
+        let fixed = Fixed;
+        let adapted = SuiteObsClock(&fixed);
+        assert_eq!(adapted.now_us(), 17);
+    }
+}

@@ -7,6 +7,7 @@
 # what CI (and the PR driver) runs; keep it green.
 #
 # Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
+#                         [--obs-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
 #                   and leave its JSON lines in BENCH_hotpath.json.
 #   --faults-smoke  additionally run one degraded-suite episode offline
@@ -16,22 +17,29 @@
 #                   it (examples/resumable_suite.rs), requiring the resumed
 #                   JSON to be byte-identical, then run the hotpath bench's
 #                   zero-allocation supervision guard.
+#   --obs-smoke     additionally run the observed standard suite
+#                   (examples/telemetry_suite.rs), requiring the merged
+#                   registry JSON and chrome-trace export to validate, then
+#                   run the hotpath bench's zero-allocation telemetry
+#                   guards.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 FAULTS_SMOKE=0
 RESUME_SMOKE=0
+OBS_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults-smoke) FAULTS_SMOKE=1 ;;
         --resume-smoke) RESUME_SMOKE=1 ;;
+        --obs-smoke) OBS_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
-echo "==> 1/6 hermeticity: no registry dependencies in any Cargo.toml"
+echo "==> 1/7 hermeticity: no registry dependencies in any Cargo.toml"
 bad=0
 while IFS= read -r toml; do
     # Reject dotted dependency tables ([dependencies.foo]) outright --
@@ -64,7 +72,7 @@ if [ "$bad" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are in-repo path deps"
 
-echo "==> 2/6 alloc-free kernel regions: no Vec::new / vec! reintroduced"
+echo "==> 2/7 alloc-free kernel regions: no Vec::new / vec! reintroduced"
 # Per-subcarrier kernels are bracketed by "alloc-free: begin <name>" /
 # "alloc-free: end <name>" markers. Inside those regions, constructs that
 # allocate per call are banned; scratch buffers must come from the caller.
@@ -85,7 +93,7 @@ if ! awk '
 fi
 echo "    ok: $(grep -rh 'alloc-free: begin' crates --include='*.rs' | wc -l | tr -d ' ') marked kernel regions are allocation-free"
 
-echo "==> 3/6 panic gate: no new unwrap()/panic! in library, example or test code"
+echo "==> 3/7 panic gate: no new unwrap()/panic! in library, example or test code"
 # Library (non-test) code must not panic on user-reachable paths: fallible
 # APIs return copa_core::CopaError, internal invariants use expect /
 # debug_assert! with an "// invariant:" comment. The few deliberate panic
@@ -118,14 +126,27 @@ if [ "$panic_bad" -ne 0 ]; then
 fi
 echo "    ok: library crates stay within the panic allowlist"
 
-echo "==> 4/6 cargo fmt --check"
+echo "==> 4/7 cargo fmt --check"
 cargo fmt --check
 
-echo "==> 5/6 cargo build --release --offline (workspace, benches included)"
+echo "==> 5/7 cargo build --release --offline (workspace, benches included)"
 cargo build --release --offline --workspace --benches
 
-echo "==> 6/6 cargo test -q --offline (workspace)"
+echo "==> 6/7 cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
+
+echo "==> 7/7 deprecation gate: no in-repo callers of deprecated APIs"
+# Deprecated shims (e.g. the pre-supervisor evaluate* entry points) exist
+# only for downstream compatibility; new in-repo code must use the
+# replacements. A separate target dir keeps -D deprecated from thrashing
+# the main build cache. #[allow(deprecated)] still works for the shims'
+# own unit tests.
+RUSTFLAGS="-D deprecated" CARGO_TARGET_DIR=target/deprecated \
+    cargo check -q --offline --workspace --all-targets || {
+    echo "deprecation gate FAILED: migrate off deprecated APIs (or #[allow(deprecated)] inside the shim's own tests)" >&2
+    exit 1
+}
+echo "    ok: no deprecated-API uses outside allowed shims"
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     echo "==> bench smoke: hotpath --quick (JSON -> BENCH_hotpath.json)"
@@ -149,6 +170,31 @@ if [ "$RESUME_SMOKE" -eq 1 ]; then
     printf '%s\n' "$guard" | grep '^alloc '
     printf '%s\n' "$guard" | grep -q '"name":"evaluate_4x2_guarded"' || {
         echo "resume smoke FAILED: guarded-evaluation alloc report missing" >&2
+        exit 1
+    }
+fi
+
+if [ "$OBS_SMOKE" -eq 1 ]; then
+    echo "==> obs smoke: observed standard suite, registry + trace validated"
+    out=$(cargo run --release --offline --example telemetry_suite)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: telemetry export validated' || {
+        echo "obs smoke FAILED: telemetry export did not validate" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '"suite.completed":30' || {
+        echo "obs smoke FAILED: supervisor counters missing from registry JSON" >&2
+        exit 1
+    }
+    echo "==> obs smoke: telemetry zero-allocation guards"
+    guard=$(cargo bench --offline -p copa-bench --bench hotpath -- --quick)
+    printf '%s\n' "$guard" | grep '^alloc '
+    printf '%s\n' "$guard" | grep -q '"name":"evaluate_4x2_noop_obs"' || {
+        echo "obs smoke FAILED: noop-sink alloc report missing" >&2
+        exit 1
+    }
+    printf '%s\n' "$guard" | grep -q '"name":"evaluate_4x2_live_obs"' || {
+        echo "obs smoke FAILED: live-sink alloc report missing" >&2
         exit 1
     }
 fi

@@ -5,6 +5,8 @@
 //! on a single package:
 //!
 //! * [`num`] -- complex numbers, matrices, SVD, FFT, statistics.
+//! * [`obs`] -- zero-allocation telemetry: counters, histograms, span
+//!   timing, JSON and chrome-trace export.
 //! * [`channel`] -- multipath MIMO channel simulator, topologies, impairments.
 //! * [`phy`] -- 802.11n OFDM PHY model: MCS table, BER/FER/throughput.
 //! * [`precoding`] -- SVD beamforming, nulling, MMSE receivers, SINR.
@@ -18,6 +20,7 @@ pub use copa_channel as channel;
 pub use copa_core as core;
 pub use copa_mac as mac;
 pub use copa_num as num;
+pub use copa_obs as obs;
 pub use copa_phy as phy;
 pub use copa_precoding as precoding;
 pub use copa_sim as sim;

@@ -255,6 +255,94 @@ fn supervised_health_is_thread_count_invariant() {
 }
 
 #[test]
+fn telemetry_enabled_suite_is_bit_transparent_and_thread_invariant() {
+    // Two contracts at once. (1) Pay-for-what-you-use: a journaled,
+    // supervised run with a live telemetry bundle produces a report
+    // byte-identical (as JSON) to the telemetry-disabled run. (2) The
+    // merged telemetry itself is thread-count invariant once every
+    // scheduling-sensitive sample is pinned: a FrozenClock zeroes span
+    // durations and a scripted SuiteClock makes attempt times a pure
+    // function of the suite index.
+    use copa::obs::FrozenClock;
+    use copa::sim::journal::wipe_journal;
+    use copa::sim::json::ToJson;
+    use copa::sim::{run_suite_journaled, SuiteClock, SuiteConfig, SuiteTelemetry};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct StepClock {
+        now: AtomicU64,
+    }
+    impl SuiteClock for StepClock {
+        fn now_us(&self) -> u64 {
+            self.now.load(Ordering::SeqCst)
+        }
+        fn sleep_us(&self, us: u64) {
+            self.now.fetch_add(us, Ordering::SeqCst);
+        }
+        fn attempt_us(&self, idx: usize, _attempt: u32, _start: u64, _end: u64) -> u64 {
+            1 + idx as u64
+        }
+    }
+
+    let mut suite = TopologySampler::default().suite(0xFC01, 6, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(TopologySampler::default().suite(0xFC02, 6, AntennaConfig::SINGLE));
+    let params = ScenarioParams::default();
+    let prefix = std::env::temp_dir().join(format!("copa-det-telemetry-{}", std::process::id()));
+
+    let baseline = {
+        let clock = StepClock {
+            now: AtomicU64::new(0),
+        };
+        let cfg = SuiteConfig {
+            threads: 1,
+            records_per_segment: 4,
+            clock: Some(&clock),
+            ..Default::default()
+        };
+        run_suite_journaled(&params, &suite, &cfg, &prefix)
+            .expect("telemetry-disabled run")
+            .to_json()
+    };
+
+    let mut first_telemetry: Option<String> = None;
+    for threads in [1, 2, 8] {
+        let tel = SuiteTelemetry::new().with_clock(Box::new(FrozenClock(0)));
+        let clock = StepClock {
+            now: AtomicU64::new(0),
+        };
+        let cfg = SuiteConfig {
+            threads,
+            records_per_segment: 4,
+            clock: Some(&clock),
+            telemetry: Some(&tel),
+            ..Default::default()
+        };
+        let report =
+            run_suite_journaled(&params, &suite, &cfg, &prefix).expect("telemetry-enabled run");
+        assert_eq!(
+            report.to_json(),
+            baseline,
+            "{threads} threads: a live telemetry bundle must not change the report bits"
+        );
+        let by_name = |n: &str| tel.registry().counter_by_name(n);
+        assert_eq!(by_name("suite.completed"), Some(12), "{threads} threads");
+        assert_eq!(by_name("engine.evaluations"), Some(12));
+        assert_eq!(by_name("suite.requeues"), Some(0), "no deadline pressure");
+        assert_eq!(by_name("journal.records_appended"), Some(12));
+        assert_eq!(by_name("journal.segments_sealed"), Some(3), "12 / 4");
+        let json = tel.to_json();
+        match &first_telemetry {
+            None => first_telemetry = Some(json),
+            Some(first) => assert_eq!(
+                &json, first,
+                "{threads} threads: merged telemetry JSON must be thread-count invariant"
+            ),
+        }
+    }
+    wipe_journal(&prefix).expect("cleanup");
+}
+
+#[test]
 fn zero_fault_plan_is_bit_transparent_over_the_plain_runner() {
     // A FaultPlan that cannot inject anything must leave the evaluation
     // pipeline untouched: same throughput bits as evaluate_parallel, no

@@ -1,0 +1,120 @@
+//! Golden-figure regressions over the standard 30-topology suites.
+//!
+//! These lock in the paper's *qualitative* claims -- scheme orderings and
+//! coarse population ratios -- on the canonical seeded suites, so a
+//! numerics change that silently flips a figure's story fails tier-1.
+//! Absolute Mbps are deliberately not asserted: they move with every
+//! legitimate PHY-model refinement; the orderings must not.
+
+use copa::channel::AntennaConfig;
+use copa::core::ScenarioParams;
+use copa::sim::{fig10, fig11, fig12, headline_stats, standard_suite};
+
+const THREADS: usize = 4;
+
+fn mean(exp: &copa::sim::ThroughputExperiment, name: &str) -> f64 {
+    let missing = format!("series {name} missing from {}", exp.label);
+    exp.series(name).expect(&missing).mean_mbps()
+}
+
+/// Figure 10 (1x1): the full scheme ladder. Cooperation beats contention
+/// (COPA-SEQ > CSMA), concurrency beats pure sequencing (COPA >
+/// COPA-SEQ), and the mercury menu never trails plain COPA.
+#[test]
+fn fig10_scheme_ordering_holds_on_standard_suite() {
+    let suite = standard_suite(AntennaConfig::SINGLE);
+    let params = ScenarioParams {
+        include_mercury: true,
+        ..Default::default()
+    };
+    let exp = fig10(&suite, &params, THREADS);
+    let csma = mean(&exp, "CSMA");
+    let seq = mean(&exp, "COPA-SEQ");
+    let copa = mean(&exp, "COPA");
+    let plus = mean(&exp, "COPA+");
+    assert!(
+        seq > csma,
+        "COPA-SEQ {seq:.1} must beat CSMA {csma:.1} on average"
+    );
+    assert!(
+        copa > seq,
+        "COPA {copa:.1} must beat COPA-SEQ {seq:.1} on average"
+    );
+    assert!(
+        plus >= copa,
+        "COPA+ {plus:.1} has a strict superset menu of COPA {copa:.1}"
+    );
+    // Coarse ratio: cooperation is worth tens of percent over CSMA here,
+    // not a rounding error and not a 10x miracle.
+    let gain = copa / csma;
+    assert!(
+        (1.05..3.0).contains(&gain),
+        "COPA/CSMA ratio {gain:.2} left the plausible band"
+    );
+}
+
+/// Figure 11 (4x2 constrained): the paper's central negative result --
+/// vanilla nulling *loses* to CSMA in most topologies -- and its positive
+/// one: COPA still wins a majority.
+#[test]
+fn fig11_nulling_loses_and_copa_wins_on_standard_suite() {
+    let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
+    let params = ScenarioParams::default();
+    let exp = fig11(&suite, &params, THREADS);
+    let csma = mean(&exp, "CSMA");
+    let null = mean(&exp, "Null");
+    assert!(
+        null < csma,
+        "vanilla nulling {null:.1} must underperform CSMA {csma:.1} on average"
+    );
+    let h = headline_stats(&exp).expect("fig11 has CSMA/Null/COPA series");
+    assert!(
+        h.null_worse_than_csma > 0.7,
+        "nulling should lose to CSMA in >70% of 4x2 topologies, got {:.0}%",
+        h.null_worse_than_csma * 100.0
+    );
+    assert!(
+        h.copa_beats_csma > 0.5,
+        "COPA should beat CSMA in a majority of topologies, got {:.0}%",
+        h.copa_beats_csma * 100.0
+    );
+    assert!(
+        h.copa_over_null_mean > 0.2,
+        "COPA should improve on nulling by tens of percent, got {:.0}%",
+        h.copa_over_null_mean * 100.0
+    );
+}
+
+/// Figure 12: force interference 10 dB down and vanilla nulling recovers
+/// -- the ordering flip that motivates power *allocation* over pure
+/// nulling.
+#[test]
+fn fig12_nulling_recovers_under_weak_interference() {
+    let suite = standard_suite(AntennaConfig::CONSTRAINED_4X2);
+    let params = ScenarioParams::default();
+    let strong = fig11(&suite, &params, THREADS);
+    let weak = fig12(&suite, &params, THREADS);
+    let null_strong = mean(&strong, "Null");
+    let null_weak = mean(&weak, "Null");
+    let csma_weak = mean(&weak, "CSMA");
+    assert!(
+        null_weak > null_strong,
+        "-10 dB interference must help nulling: {null_weak:.1} vs {null_strong:.1}"
+    );
+    assert!(
+        null_weak > csma_weak * 0.95,
+        "with weak interference nulling becomes competitive with CSMA: \
+         {null_weak:.1} vs {csma_weak:.1}"
+    );
+    // And COPA's lead over nulling narrows: the coordination gain comes
+    // precisely from handling strong cross-links.
+    let copa_strong = mean(&strong, "COPA");
+    let copa_weak = mean(&weak, "COPA");
+    let lead_strong = copa_strong / null_strong;
+    let lead_weak = copa_weak / null_weak;
+    assert!(
+        lead_weak < lead_strong,
+        "COPA's lead over nulling should narrow when interference weakens: \
+         {lead_weak:.2}x vs {lead_strong:.2}x"
+    );
+}
