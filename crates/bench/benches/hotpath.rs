@@ -25,7 +25,9 @@ use copa_num::{svd, CMat, SimRng};
 use copa_obs::{FrozenClock, NoopSink, Telemetry};
 use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
 use copa_sim::json::{Obj, ToJson};
-use copa_sim::{evaluate_guarded, evaluate_parallel};
+use copa_sim::{
+    evaluate_cluster, evaluate_guarded, evaluate_parallel, plan_campus, CampusParams, CampusScheme,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -225,6 +227,51 @@ fn main() {
     assert_eq!(
         allocs_live, allocs_warm,
         "a live-telemetry evaluation (tracing off) must stay allocation-free"
+    );
+
+    // Campus guard: a warmed pair-cluster evaluation must cost exactly as
+    // much as the bare warmed engine call -- the N-cell layer's per-unit
+    // work (seed derivation, scheme dispatch, outcome read) adds zero
+    // allocations over the pair engine it wraps.
+    let campus_cp = CampusParams::dense(8, 0xCA_BE, AntennaConfig::CONSTRAINED_4X2);
+    let plan = plan_campus(&campus_cp);
+    let pair_idx = plan
+        .units
+        .iter()
+        .position(|u| u.members.len() == 2)
+        .expect("a dense 8-cell campus forms at least one pair cluster");
+    let unit = &plan.units[pair_idx];
+    // The reference: the bare engine on the unit's own topology with the
+    // cluster layer's derived per-index seed (allocation counts are
+    // topology- and search-path-dependent, so the baseline must be the
+    // exact same evaluation, not the 4x2 canary above).
+    let mut pc = params;
+    pc.seed = params
+        .seed
+        .wrapping_add(pair_idx as u64)
+        .wrapping_mul(0x9E37_79B9);
+    let cluster_engine = Engine::new(pc);
+    let _ = cluster_engine.run(&mut EvalRequest::topology(&unit.topology).workspace(&mut ws));
+    let allocs_unit_bare = count_allocs(|| {
+        let _ = black_box(
+            cluster_engine.run(&mut EvalRequest::topology(&unit.topology).workspace(&mut ws)),
+        );
+    });
+    let allocs_cluster = count_allocs(|| {
+        let _ = black_box(evaluate_cluster(
+            &params,
+            CampusScheme::Copa,
+            pair_idx,
+            unit,
+            &plan.campus,
+            &mut ws,
+            None,
+        ));
+    });
+    report_allocs("evaluate_pair_cluster_warm", allocs_cluster);
+    assert_eq!(
+        allocs_cluster, allocs_unit_bare,
+        "a warmed pair-cluster evaluation must add zero allocations over the bare engine call"
     );
 
     // --- 3. suite throughput through the parallel runner ----------------

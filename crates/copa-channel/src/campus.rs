@@ -1,0 +1,367 @@
+//! N-cell campus topologies: many AP/client cells on a plane.
+//!
+//! The paper's evaluation stops at two interfering networks; the campus
+//! generator is the scale-out substrate behind `copa_sim::run_campus_suite`.
+//! It places `n` cells (one AP, one associated client each) uniformly on a
+//! square whose area grows linearly with `n` (constant deployment
+//! density), derives every pairwise average received power from the
+//! log-distance [`PathLossModel`] with lognormal shadowing, and exposes
+//!
+//! * the full `n x n` large-scale power matrix (`rx_dbm[ap][client]`),
+//!   from which pairwise INRs and an interference graph follow, and
+//! * deterministic *lazy* materialization of any two cells as a pair
+//!   [`Topology`] the existing engine evaluates unchanged.
+//!
+//! Small-scale fading is NOT drawn at campus-sampling time: each AP->client
+//! link's [`FreqChannel`] is generated on demand from a seed that depends
+//! only on `(campus seed, ap, client)`, so a 500-cell campus costs a
+//! position table and a power matrix, any pair can be materialized in any
+//! order on any thread with bit-identical results, and the same physical
+//! link reappears identically in every pair it participates in.
+//!
+//! Cross-cluster interference is modeled by *power scaling* (see
+//! [`Campus::external_noise_scale`]): scaling every channel into a client
+//! by `f = N / (N + R)` makes the engine's fixed noise floor `N` behave
+//! exactly like `N + R`, because `S f / (I f + N) = S / (I + N + R)` for
+//! every subcarrier SINR the allocator and decoder evaluate. `R = 0`
+//! yields `f = 1.0` and bit-identical channels, so a campus whose cluster
+//! covers every cell provably reduces to the plain pair engine.
+
+use crate::multipath::{FreqChannel, MultipathProfile};
+use crate::pathloss::{PathLossModel, Point};
+use crate::topology::{AntennaConfig, Topology};
+use copa_num::rng::SimRng;
+use copa_num::special::{db_to_lin, dbm_to_mw};
+use copa_phy::ofdm::{MAX_TX_POWER_DBM, NOISE_FLOOR_DBM};
+
+/// Generator parameters for a dense campus.
+#[derive(Clone, Copy, Debug)]
+pub struct CampusSampler {
+    /// Deployment density: square meters of floor per AP. The campus side
+    /// is `sqrt(n * density)`, so mean inter-AP spacing is constant as the
+    /// cell count grows.
+    pub density_m2_per_ap: f64,
+    /// Client distance from its own AP, drawn uniformly from this range
+    /// (meters) at a uniform angle.
+    pub client_range_m: (f64, f64),
+    /// Large-scale propagation model (path loss + shadowing).
+    pub pathloss: PathLossModel,
+    /// Small-scale fading profile for materialized links.
+    pub profile: MultipathProfile,
+    /// Own-signal clamp (dBm): keeps per-cell SNRs inside the paper's
+    /// Figure 9 envelope the MCS table was calibrated against.
+    pub signal_clip_dbm: (f64, f64),
+}
+
+impl Default for CampusSampler {
+    /// Dense-office defaults: one AP per 16 m x 16 m, clients 2-8 m from
+    /// their AP, indoor path loss, signals clipped to the pair sampler's
+    /// [-72, -36] dBm envelope.
+    fn default() -> Self {
+        Self {
+            density_m2_per_ap: 256.0,
+            client_range_m: (2.0, 8.0),
+            pathloss: PathLossModel::default(),
+            profile: MultipathProfile::default(),
+            signal_clip_dbm: (-72.0, -36.0),
+        }
+    }
+}
+
+impl CampusSampler {
+    /// Draws one campus of `cells` AP/client pairs. Everything downstream
+    /// (positions, powers, every lazily materialized channel) is a pure
+    /// function of `(self, seed, cells, config)`.
+    ///
+    /// # Panics
+    /// Requires `cells >= 2`: a campus is an *interfering* deployment.
+    pub fn sample(&self, seed: u64, cells: usize, config: AntennaConfig) -> Campus {
+        assert!(cells >= 2, "a campus needs at least two cells");
+        let mut rng = SimRng::seed_from(seed);
+        let side = (cells as f64 * self.density_m2_per_ap).sqrt();
+        let mut ap = Vec::with_capacity(cells);
+        let mut client = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            let p = Point {
+                x: rng.uniform_range(0.0, side),
+                y: rng.uniform_range(0.0, side),
+            };
+            let r = rng.uniform_range(self.client_range_m.0, self.client_range_m.1);
+            let theta = rng.uniform_range(0.0, std::f64::consts::TAU);
+            ap.push(p);
+            client.push(Point {
+                x: p.x + r * theta.cos(),
+                y: p.y + r * theta.sin(),
+            });
+        }
+        // Large-scale powers, row-major in (ap, client) order so the
+        // shadowing draw sequence is deterministic.
+        let mut rx_dbm = vec![vec![0.0f64; cells]; cells];
+        for (a, row) in rx_dbm.iter_mut().enumerate() {
+            for (c, rx) in row.iter_mut().enumerate() {
+                let d = ap[a].distance(&client[c]);
+                let mut p = self
+                    .pathloss
+                    .received_dbm(&mut rng, MAX_TX_POWER_DBM, d.max(0.1));
+                if a == c {
+                    p = p.clamp(self.signal_clip_dbm.0, self.signal_clip_dbm.1);
+                }
+                *rx = p;
+            }
+        }
+        Campus {
+            ap,
+            client,
+            rx_dbm,
+            config,
+            profile: self.profile,
+            channel_seed: seed ^ 0xCA_B005_EED,
+        }
+    }
+}
+
+/// One sampled campus: positions, the large-scale power matrix, and the
+/// seed from which any link's small-scale channel can be re-derived.
+#[derive(Clone, Debug)]
+pub struct Campus {
+    /// AP positions (meters).
+    pub ap: Vec<Point>,
+    /// Client positions (meters); `client[i]` is associated with `ap[i]`.
+    pub client: Vec<Point>,
+    /// `rx_dbm[a][c]`: average power received at client `c` from AP `a`
+    /// transmitting at full budget, in dBm. The diagonal is the
+    /// own-signal power, off-diagonals are interference.
+    pub rx_dbm: Vec<Vec<f64>>,
+    /// Antenna configuration every cell shares.
+    pub config: AntennaConfig,
+    profile: MultipathProfile,
+    channel_seed: u64,
+}
+
+impl Campus {
+    /// Number of cells (AP/client pairs).
+    pub fn cells(&self) -> usize {
+        self.ap.len()
+    }
+
+    /// Average own-signal power at cell `i`'s client, dBm.
+    pub fn signal_dbm(&self, i: usize) -> f64 {
+        self.rx_dbm[i][i]
+    }
+
+    /// Interference-to-noise ratio (dB) of AP `a`'s signal at cell `c`'s
+    /// client -- the interference-graph edge weight.
+    pub fn inr_db(&self, a: usize, c: usize) -> f64 {
+        self.rx_dbm[a][c] - NOISE_FLOOR_DBM
+    }
+
+    /// The per-link channel seed: a function of `(campus, ap, client)`
+    /// only, so the same physical link materializes identically in every
+    /// pair and on every thread.
+    fn link_seed(&self, a: usize, c: usize) -> u64 {
+        let key = (a * self.cells() + c) as u64 + 1;
+        self.channel_seed
+            .wrapping_add(key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Materializes the frequency-selective channel from AP `a` to client
+    /// `c` at the matrix's large-scale gain.
+    pub fn link_channel(&self, a: usize, c: usize) -> FreqChannel {
+        let mut rng = SimRng::seed_from(self.link_seed(a, c));
+        FreqChannel::random(
+            &mut rng,
+            self.config.client_antennas,
+            self.config.ap_antennas,
+            db_to_lin(self.rx_dbm[a][c] - MAX_TX_POWER_DBM),
+            &self.profile,
+        )
+    }
+
+    /// Materializes cells `i` and `j` as a two-network pair [`Topology`]
+    /// the existing engine evaluates unchanged: cell `i` is network 0,
+    /// cell `j` network 1, and all four channels come from the campus's
+    /// deterministic link seeds.
+    ///
+    /// # Panics
+    /// Requires `i != j` and both in range.
+    pub fn pair_topology(&self, i: usize, j: usize) -> Topology {
+        assert!(i != j, "a pair needs two distinct cells");
+        Topology {
+            links: [
+                [self.link_channel(i, i), self.link_channel(i, j)],
+                [self.link_channel(j, i), self.link_channel(j, j)],
+            ],
+            signal_dbm: [self.rx_dbm[i][i], self.rx_dbm[j][j]],
+            interference_dbm: [self.rx_dbm[j][i], self.rx_dbm[i][j]],
+            config: self.config,
+        }
+    }
+
+    /// [`Campus::pair_topology`] with out-of-cluster interference folded
+    /// in: every channel *into* client `i` is power-scaled by `f0`, every
+    /// channel into client `j` by `f1` (the factors from
+    /// [`Campus::external_noise_scale`]). With `f = 1.0` the channels are
+    /// bit-identical to the unscaled pair.
+    pub fn pair_topology_scaled(&self, i: usize, j: usize, f0: f64, f1: f64) -> Topology {
+        let t = self.pair_topology(i, j);
+        Topology {
+            links: [
+                [t.links[0][0].scale_power(f0), t.links[0][1].scale_power(f1)],
+                [t.links[1][0].scale_power(f0), t.links[1][1].scale_power(f1)],
+            ],
+            signal_dbm: t.signal_dbm,
+            interference_dbm: t.interference_dbm,
+            config: t.config,
+        }
+    }
+
+    /// The residual-noise scaling factor `f = N / (N + R)` for cell
+    /// `cell`'s client, where `R` sums the average received power of every
+    /// AP *not* in `members` (the cell's coordination cluster) and `N` is
+    /// the noise floor. Scaling all channels into the client by `f` makes
+    /// the engine's fixed noise floor act as `N + R` in every subcarrier
+    /// SINR -- the "CSMA across cluster boundaries as residual noise"
+    /// model. When nothing is external (`R = 0`) this is exactly `1.0`.
+    pub fn external_noise_scale(&self, cell: usize, members: &[usize]) -> f64 {
+        let noise_mw = dbm_to_mw(NOISE_FLOOR_DBM);
+        let mut residual_mw = 0.0;
+        for a in 0..self.cells() {
+            if !members.contains(&a) {
+                residual_mw += dbm_to_mw(self.rx_dbm[a][cell]);
+            }
+        }
+        noise_mw / (noise_mw + residual_mw)
+    }
+
+    /// Cell `cell`'s strongest external interferer (highest received
+    /// power at its client), ties broken toward the lowest index. Used to
+    /// pick the backing pair for singleton clusters.
+    pub fn strongest_interferer(&self, cell: usize) -> usize {
+        let mut best = usize::MAX;
+        let mut best_dbm = f64::NEG_INFINITY;
+        for a in 0..self.cells() {
+            if a != cell && self.rx_dbm[a][cell] > best_dbm {
+                best = a;
+                best_dbm = self.rx_dbm[a][cell];
+            }
+        }
+        // invariant: cells >= 2, so at least one candidate exists
+        debug_assert!(best != usize::MAX);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campus(cells: usize) -> Campus {
+        CampusSampler::default().sample(0xCA_11, cells, AntennaConfig::SINGLE)
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = campus(12);
+        let b = campus(12);
+        assert_eq!(a.ap, b.ap);
+        assert_eq!(a.rx_dbm, b.rx_dbm);
+    }
+
+    #[test]
+    fn link_channels_are_order_independent() {
+        let c = campus(8);
+        let t_ab = c.pair_topology(2, 5);
+        let t_ba = c.pair_topology(5, 2);
+        // The same physical link materializes identically regardless of
+        // which pair (or orientation) asks for it.
+        for s in 0..4 {
+            assert_eq!(
+                t_ab.links[0][0].at(s)[(0, 0)].re,
+                t_ba.links[1][1].at(s)[(0, 0)].re
+            );
+            assert_eq!(
+                t_ab.links[1][0].at(s)[(0, 0)].re,
+                t_ba.links[0][1].at(s)[(0, 0)].re
+            );
+        }
+    }
+
+    #[test]
+    fn pair_topology_wires_powers_correctly() {
+        let c = campus(6);
+        let t = c.pair_topology(1, 4);
+        assert_eq!(t.signal_dbm, [c.rx_dbm[1][1], c.rx_dbm[4][4]]);
+        assert_eq!(t.interference_dbm, [c.rx_dbm[4][1], c.rx_dbm[1][4]]);
+    }
+
+    #[test]
+    fn own_signal_is_clipped_to_envelope() {
+        let c = CampusSampler::default().sample(7, 40, AntennaConfig::SINGLE);
+        for i in 0..c.cells() {
+            let s = c.signal_dbm(i);
+            assert!((-72.0..=-36.0).contains(&s), "cell {i}: {s} dBm");
+        }
+    }
+
+    #[test]
+    fn full_cluster_noise_scale_is_exactly_one() {
+        let c = campus(5);
+        let all: Vec<usize> = (0..5).collect();
+        for i in 0..5 {
+            assert_eq!(c.external_noise_scale(i, &all), 1.0);
+        }
+    }
+
+    #[test]
+    fn external_noise_scale_shrinks_as_members_leave() {
+        let c = campus(5);
+        let f_all = c.external_noise_scale(0, &[0, 1, 2, 3, 4]);
+        let f_pair = c.external_noise_scale(0, &[0, 1]);
+        let f_solo = c.external_noise_scale(0, &[0]);
+        assert!(f_all >= f_pair && f_pair >= f_solo);
+        assert!(f_solo > 0.0 && f_solo < 1.0);
+    }
+
+    #[test]
+    fn scaled_pair_with_unit_factors_is_bit_identical() {
+        let c = campus(4);
+        let plain = c.pair_topology(0, 3);
+        let scaled = c.pair_topology_scaled(0, 3, 1.0, 1.0);
+        for a in 0..2 {
+            for cl in 0..2 {
+                for s in 0..4 {
+                    let x = plain.links[a][cl].at(s)[(0, 0)];
+                    let y = scaled.links[a][cl].at(s)[(0, 0)];
+                    assert_eq!(x.re.to_bits(), y.re.to_bits());
+                    assert_eq!(x.im.to_bits(), y.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strongest_interferer_matches_matrix() {
+        let c = campus(9);
+        for i in 0..9 {
+            let j = c.strongest_interferer(i);
+            assert_ne!(i, j);
+            for a in 0..9 {
+                if a != i {
+                    assert!(c.rx_dbm[a][i] <= c.rx_dbm[j][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn area_scales_with_cell_count() {
+        let small = campus(10);
+        let big = campus(160);
+        let extent = |c: &Campus| {
+            c.ap.iter()
+                .map(|p| p.x.max(p.y))
+                .fold(0.0f64, |m, v| m.max(v))
+        };
+        assert!(extent(&big) > 2.0 * extent(&small));
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`pathloss`] -- log-distance path loss with lognormal shadowing.
 //! * [`topology`] -- two-AP / two-client topology suites matching the
 //!   paper's Figure 9 signal/interference scatter.
+//! * [`campus`] -- N-cell campuses on a plane: pairwise INR matrices and
+//!   deterministic lazy pair materialization for city-scale suites.
 //! * [`impairments`] -- CSI estimation noise, transmit EVM and carrier
 //!   leakage: the reasons nulling leaves residual interference (section 2.2).
 //! * [`faults`] -- deterministic seeded fault injection (frame loss, wire
@@ -15,12 +17,14 @@
 
 #![warn(missing_docs)]
 
+pub mod campus;
 pub mod faults;
 pub mod impairments;
 pub mod multipath;
 pub mod pathloss;
 pub mod topology;
 
+pub use campus::{Campus, CampusSampler};
 pub use faults::{Delivery, FaultPlan};
 pub use impairments::Impairments;
 pub use multipath::{FreqChannel, MultipathProfile};

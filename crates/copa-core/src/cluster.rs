@@ -1,0 +1,408 @@
+//! Interference graphs and deterministic coordination clustering.
+//!
+//! The N-cell layer reduces a campus to units the pair engine can
+//! evaluate: build a graph whose vertices are cells and whose edges are
+//! pairwise interference above a configurable INR threshold, then
+//! partition it into small *coordination clusters* (COPA runs inside a
+//! cluster; everything across a cluster boundary is treated as residual
+//! noise). Both steps are deliberately greedy and fully deterministic --
+//! strongest-edge-first agglomeration with a size cap, and largest-degree-
+//! first graph coloring -- so a campus report is a pure function of
+//! `(seed, topology)` and byte-identical across thread counts.
+//!
+//! The companion [`ClusterStats`] accumulator is all-integer and merges
+//! commutatively/associatively, following the copa-obs histogram
+//! discipline: sharding a clustering across workers and merging partials
+//! in any order gives the same totals as a single sequential pass.
+
+use copa_channel::campus::Campus;
+use copa_obs::json::{Obj, ToJson};
+
+/// One undirected interference edge: cells `a < b` whose stronger
+/// directed INR is `inr_db`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Lower cell index.
+    pub a: usize,
+    /// Higher cell index.
+    pub b: usize,
+    /// `max(INR(a at b), INR(b at a))` in dB -- the edge weight.
+    pub inr_db: f64,
+}
+
+/// The thresholded interference graph over a campus's cells.
+///
+/// Edges are stored strongest-first (ties broken by `(a, b)`), which is
+/// the exact order greedy clustering consumes them in.
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    cells: usize,
+    threshold_db: f64,
+    edges: Vec<Edge>,
+}
+
+impl InterferenceGraph {
+    /// Builds the graph from a directed INR oracle: `inr(a, c)` is the
+    /// interference-to-noise ratio (dB) of AP `a`'s signal at cell `c`.
+    /// An undirected edge exists where either direction reaches
+    /// `threshold_db`.
+    pub fn from_inr(cells: usize, threshold_db: f64, inr: impl Fn(usize, usize) -> f64) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..cells {
+            for b in (a + 1)..cells {
+                let w = inr(a, b).max(inr(b, a));
+                if w >= threshold_db {
+                    edges.push(Edge { a, b, inr_db: w });
+                }
+            }
+        }
+        // Strongest interference first; index pairs break ties so the
+        // order (and everything downstream) is deterministic.
+        edges.sort_by(|x, y| {
+            y.inr_db
+                .total_cmp(&x.inr_db)
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
+        Self {
+            cells,
+            threshold_db,
+            edges,
+        }
+    }
+
+    /// Builds the graph straight from a sampled [`Campus`].
+    pub fn from_campus(campus: &Campus, threshold_db: f64) -> Self {
+        Self::from_inr(campus.cells(), threshold_db, |a, c| campus.inr_db(a, c))
+    }
+
+    /// Number of cells (vertices).
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The INR edge threshold this graph was built with, dB.
+    pub fn threshold_db(&self) -> f64 {
+        self.threshold_db
+    }
+
+    /// All above-threshold edges, strongest first.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Whether an above-threshold edge connects `a` and `b`.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let (a, b) = (a.min(b), a.max(b));
+        self.edges.iter().any(|e| e.a == a && e.b == b)
+    }
+
+    /// Number of above-threshold edges incident to `cell`.
+    pub fn degree(&self, cell: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.a == cell || e.b == cell)
+            .count()
+    }
+}
+
+/// A deterministic partition of cells into coordination clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    clusters: Vec<Vec<usize>>,
+    assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// The clusters, each sorted ascending, ordered by smallest member.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the clustering is empty (zero cells).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster index `cell` belongs to.
+    pub fn cluster_of(&self, cell: usize) -> usize {
+        self.assignment[cell]
+    }
+}
+
+/// Greedy strongest-edge-first clustering with a size cap.
+///
+/// Walk edges strongest first and union the two endpoints' clusters
+/// whenever the merged size stays within `max_cluster_size`. The result
+/// is *maximal*: after the pass, no above-threshold edge joins two
+/// clusters whose combined size would still fit (sizes only grow, so any
+/// such edge would have merged when visited). Cells with no qualifying
+/// edge stay singletons. `max_cluster_size <= 1` therefore yields all
+/// singletons; the paper's pair engine corresponds to a cap of 2.
+pub fn cluster_greedy(graph: &InterferenceGraph, max_cluster_size: usize) -> Clustering {
+    let n = graph.cells();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    for e in graph.edges() {
+        let ra = find(&mut parent, e.a);
+        let rb = find(&mut parent, e.b);
+        if ra != rb && size[ra] + size[rb] <= max_cluster_size {
+            // Union by attaching the higher root under the lower: keeps
+            // the representative stable and the walk deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+            size[lo] += size[hi];
+        }
+    }
+
+    // Canonical form: clusters in order of first member, members sorted.
+    let mut cluster_of_root = vec![usize::MAX; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![0usize; n];
+    for cell in 0..n {
+        let root = find(&mut parent, cell);
+        if cluster_of_root[root] == usize::MAX {
+            cluster_of_root[root] = clusters.len();
+            clusters.push(Vec::new());
+        }
+        let idx = cluster_of_root[root];
+        clusters[idx].push(cell);
+        assignment[cell] = idx;
+    }
+    Clustering {
+        clusters,
+        assignment,
+    }
+}
+
+/// Deterministic greedy (Welsh-Powell style) coloring of the
+/// interference graph: cells in descending-degree order (index breaks
+/// ties) each take the smallest color unused by their already-colored
+/// neighbors. Cells sharing a color have no above-threshold edge, so each
+/// color class is a set that could share the medium CSMA-free; the number
+/// of colors bounds the cross-cluster schedule length.
+pub fn greedy_coloring(graph: &InterferenceGraph) -> Vec<u32> {
+    let n = graph.cells();
+    let mut order: Vec<usize> = (0..n).collect();
+    let degree: Vec<usize> = (0..n).map(|c| graph.degree(c)).collect();
+    order.sort_by(|&x, &y| degree[y].cmp(&degree[x]).then(x.cmp(&y)));
+
+    let mut colors = vec![u32::MAX; n];
+    let mut used = vec![false; n.max(1)];
+    for &cell in &order {
+        for u in used.iter_mut() {
+            *u = false;
+        }
+        for e in graph.edges() {
+            let other = if e.a == cell {
+                e.b
+            } else if e.b == cell {
+                e.a
+            } else {
+                continue;
+            };
+            if colors[other] != u32::MAX {
+                used[colors[other] as usize] = true;
+            }
+        }
+        // invariant: at most n-1 neighbors, so a free color < n exists
+        let c = used.iter().position(|&u| !u).expect("free color");
+        colors[cell] = c as u32;
+    }
+    colors
+}
+
+/// All-integer cluster statistics with an exactly commutative and
+/// associative merge (the copa-obs histogram discipline): shard a
+/// clustering any way, absorb in any order, merge partials in any order
+/// -- the totals are identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Cells covered.
+    pub cells: u64,
+    /// Clusters absorbed.
+    pub clusters: u64,
+    /// Clusters of size 1 (solo cells, no coordination partner).
+    pub singletons: u64,
+    /// Clusters of size 2 (the pair engine's native unit).
+    pub pairs: u64,
+    /// Clusters of size 3 or more (leader-rotation scheduling).
+    pub multis: u64,
+    /// Largest cluster seen.
+    pub largest: u64,
+    /// Cluster-size histogram: bucket `i` counts size `i + 1`, the last
+    /// bucket absorbs everything at or beyond its size.
+    pub size_counts: [u64; 8],
+}
+
+impl ClusterStats {
+    /// Absorbs one cluster of `size` cells.
+    pub fn absorb(&mut self, size: usize) {
+        self.cells += size as u64;
+        self.clusters += 1;
+        match size {
+            0 | 1 => self.singletons += 1,
+            2 => self.pairs += 1,
+            _ => self.multis += 1,
+        }
+        self.largest = self.largest.max(size as u64);
+        let bucket = size.saturating_sub(1).min(self.size_counts.len() - 1);
+        self.size_counts[bucket] += 1;
+    }
+
+    /// Merges another accumulator into this one. Every field is a sum or
+    /// a max over `u64`, so the operation is exactly commutative and
+    /// associative -- no float-order sensitivity.
+    pub fn merge(&mut self, other: &ClusterStats) {
+        self.cells += other.cells;
+        self.clusters += other.clusters;
+        self.singletons += other.singletons;
+        self.pairs += other.pairs;
+        self.multis += other.multis;
+        self.largest = self.largest.max(other.largest);
+        for (mine, theirs) in self.size_counts.iter_mut().zip(&other.size_counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// The stats of a whole clustering in one sequential pass.
+    pub fn from_clustering(clustering: &Clustering) -> Self {
+        let mut s = Self::default();
+        for c in clustering.clusters() {
+            s.absorb(c.len());
+        }
+        s
+    }
+}
+
+impl ToJson for ClusterStats {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("cells", &self.cells)
+            .field("clusters", &self.clusters)
+            .field("singletons", &self.singletons)
+            .field("pairs", &self.pairs)
+            .field("multis", &self.multis)
+            .field("largest", &self.largest)
+            .field("size_counts", &self.size_counts)
+            .finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-cell line graph with descending edge strengths:
+    /// 0 -20- 1 -15- 2 -10- 3 -5- 4, cell 5 isolated.
+    fn line_graph() -> InterferenceGraph {
+        let w = |a: usize, b: usize| -> f64 {
+            match (a.min(b), a.max(b)) {
+                (0, 1) => 20.0,
+                (1, 2) => 15.0,
+                (2, 3) => 10.0,
+                (3, 4) => 5.0,
+                _ => -30.0,
+            }
+        };
+        InterferenceGraph::from_inr(6, 0.0, w)
+    }
+
+    #[test]
+    fn edges_are_sorted_strongest_first() {
+        let g = line_graph();
+        assert_eq!(g.edges().len(), 4);
+        let weights: Vec<f64> = g.edges().iter().map(|e| e.inr_db).collect();
+        assert_eq!(weights, vec![20.0, 15.0, 10.0, 5.0]);
+    }
+
+    #[test]
+    fn threshold_prunes_edges() {
+        let c = |a: usize, b: usize| if a + b == 1 { 10.0 } else { -10.0 };
+        let g = InterferenceGraph::from_inr(4, 3.0, c);
+        assert_eq!(g.edges().len(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn greedy_pairs_take_strongest_edges() {
+        let g = line_graph();
+        let c = cluster_greedy(&g, 2);
+        // 0-1 (strongest) pairs first, excluding 1-2; then 2-3; 4 and 5
+        // are left solo.
+        assert_eq!(
+            c.clusters(),
+            &[vec![0, 1], vec![2, 3], vec![4], vec![5]][..]
+        );
+        assert_eq!(c.cluster_of(3), 1);
+    }
+
+    #[test]
+    fn size_cap_one_means_all_singletons() {
+        let g = line_graph();
+        let c = cluster_greedy(&g, 1);
+        assert_eq!(c.len(), 6);
+        assert!(c.clusters().iter().all(|cl| cl.len() == 1));
+    }
+
+    #[test]
+    fn larger_cap_grows_clusters_greedily() {
+        let g = line_graph();
+        let c = cluster_greedy(&g, 3);
+        // 0-1 merge, then 1-2 joins (size 3), 2-3 is blocked (would make
+        // 4), 3-4 merges.
+        assert_eq!(c.clusters(), &[vec![0, 1, 2], vec![3, 4], vec![5]][..]);
+    }
+
+    #[test]
+    fn coloring_is_proper_and_compact() {
+        let g = line_graph();
+        let colors = greedy_coloring(&g);
+        for e in g.edges() {
+            assert_ne!(colors[e.a], colors[e.b], "edge {}-{}", e.a, e.b);
+        }
+        // A path is 2-colorable; greedy on a path needs at most 2.
+        assert!(colors.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn stats_merge_matches_sequential_absorb() {
+        let g = line_graph();
+        let clustering = cluster_greedy(&g, 2);
+        let whole = ClusterStats::from_clustering(&clustering);
+
+        let mut left = ClusterStats::default();
+        let mut right = ClusterStats::default();
+        for (i, c) in clustering.clusters().iter().enumerate() {
+            if i % 2 == 0 {
+                left.absorb(c.len());
+            } else {
+                right.absorb(c.len());
+            }
+        }
+        let mut lr = left;
+        lr.merge(&right);
+        let mut rl = right;
+        rl.merge(&left);
+        assert_eq!(lr, whole);
+        assert_eq!(rl, whole, "merge must be commutative");
+        assert_eq!(whole.pairs, 2);
+        assert_eq!(whole.singletons, 2);
+        assert_eq!(whole.cells, 6);
+    }
+}

@@ -14,12 +14,16 @@
 //! * [`cell`] -- cells with more than two APs: pairwise ITS coordination
 //!   with per-round leader rotation and best-follower selection (the
 //!   paper's future-work direction).
+//! * [`cluster`] -- interference graphs over N-cell campuses and the
+//!   deterministic greedy clustering/coloring that carves them into
+//!   pair-engine-sized coordination units.
 //! * [`telemetry`] -- the engine/coordinator metric names and the
 //!   [`EngineObs`] observation context over `copa-obs` primitives.
 
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod cluster;
 pub mod coordinator;
 pub mod engine;
 pub mod error;
@@ -28,6 +32,7 @@ pub mod strategy;
 pub mod telemetry;
 
 pub use cell::{run_cell, CellOutcome, MultiApScenario};
+pub use cluster::{cluster_greedy, greedy_coloring, ClusterStats, Clustering, InterferenceGraph};
 #[allow(deprecated)]
 pub use engine::evaluate_suite;
 pub use engine::{DecoderMode, Engine, EngineWorkspace, EvalInput, EvalRequest, Evaluation};

@@ -1,0 +1,194 @@
+//! Property-based tests for the N-cell clustering layer, on the in-repo
+//! [`copa_num::prop`] harness: the greedy partition's structural
+//! invariants (cover, cap, maximality, connectivity), determinism of
+//! clustering and coloring, proper coloring, and the exact
+//! shard-invariance of the [`ClusterStats`] merge.
+
+use copa_core::cluster::{cluster_greedy, greedy_coloring, ClusterStats, InterferenceGraph};
+use copa_num::prop::{check, Gen};
+use copa_num::{prop_assert, prop_assert_eq};
+
+const CASES: usize = 64;
+
+/// A random dense INR table and threshold: cells in [2, 32), directed
+/// INR uniform in [-10, 30) dB, threshold in [-5, 20) dB so graphs range
+/// from near-empty to near-complete across cases.
+fn random_graph(g: &mut Gen) -> InterferenceGraph {
+    let cells = g.usize_in(2, 32);
+    let inr: Vec<f64> = (0..cells * cells).map(|_| g.f64_in(-10.0, 30.0)).collect();
+    let threshold = g.f64_in(-5.0, 20.0);
+    InterferenceGraph::from_inr(cells, threshold, |a, c| inr[a * cells + c])
+}
+
+#[test]
+fn clustering_is_a_partition_within_the_size_cap() {
+    check("clustering_is_a_partition", CASES, |g| {
+        let graph = random_graph(g);
+        let cap = g.usize_in(1, 8);
+        let clustering = cluster_greedy(&graph, cap);
+
+        // Every cell appears exactly once, and the assignment agrees with
+        // the cluster lists.
+        let mut seen = vec![0usize; graph.cells()];
+        for (idx, cluster) in clustering.clusters().iter().enumerate() {
+            prop_assert!(!cluster.is_empty(), "no empty clusters");
+            prop_assert!(
+                cluster.len() <= cap.max(1),
+                "cluster of {} exceeds cap {cap}",
+                cluster.len()
+            );
+            for &cell in cluster {
+                seen[cell] += 1;
+                prop_assert_eq!(clustering.cluster_of(cell), idx);
+            }
+            // Canonical form: members ascending.
+            prop_assert!(cluster.windows(2).all(|w| w[0] < w[1]));
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "partition covers once");
+        Ok(())
+    });
+}
+
+#[test]
+fn clustering_is_maximal_and_clusters_are_connected() {
+    check("clustering_is_maximal_and_connected", CASES, |g| {
+        let graph = random_graph(g);
+        let cap = g.usize_in(2, 8);
+        let clustering = cluster_greedy(&graph, cap);
+        let sizes: Vec<usize> = clustering.clusters().iter().map(Vec::len).collect();
+
+        // Maximality: no above-threshold edge joins two clusters whose
+        // combined size would still fit the cap (greedy would have merged
+        // it when visited -- sizes only ever grow).
+        for e in graph.edges() {
+            let (ca, cb) = (clustering.cluster_of(e.a), clustering.cluster_of(e.b));
+            if ca != cb {
+                prop_assert!(
+                    sizes[ca] + sizes[cb] > cap,
+                    "edge {}-{} joins mergeable clusters of {} + {} <= {cap}",
+                    e.a,
+                    e.b,
+                    sizes[ca],
+                    sizes[cb]
+                );
+            }
+        }
+
+        // Connectivity: every multi-member cluster is spanned by
+        // above-threshold edges (union-find only merges along edges).
+        for cluster in clustering.clusters() {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let mut reached = vec![false; cluster.len()];
+            reached[0] = true;
+            let mut frontier = vec![cluster[0]];
+            while let Some(cell) = frontier.pop() {
+                for (slot, &other) in cluster.iter().enumerate() {
+                    if !reached[slot] && graph.has_edge(cell, other) {
+                        reached[slot] = true;
+                        frontier.push(other);
+                    }
+                }
+            }
+            prop_assert!(
+                reached.iter().all(|&r| r),
+                "cluster {cluster:?} is not edge-connected"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn clustering_and_coloring_are_deterministic() {
+    check("clustering_and_coloring_deterministic", CASES, |g| {
+        let cells = g.usize_in(2, 32);
+        let inr: Vec<f64> = (0..cells * cells).map(|_| g.f64_in(-10.0, 30.0)).collect();
+        let threshold = g.f64_in(-5.0, 20.0);
+        let cap = g.usize_in(1, 8);
+
+        let ga = InterferenceGraph::from_inr(cells, threshold, |a, c| inr[a * cells + c]);
+        let gb = InterferenceGraph::from_inr(cells, threshold, |a, c| inr[a * cells + c]);
+        prop_assert_eq!(ga.edges(), gb.edges(), "graph build is pure");
+        prop_assert_eq!(
+            cluster_greedy(&ga, cap),
+            cluster_greedy(&gb, cap),
+            "clustering is pure"
+        );
+        prop_assert_eq!(
+            greedy_coloring(&ga),
+            greedy_coloring(&gb),
+            "coloring is pure"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn coloring_is_proper_and_degree_bounded() {
+    check("coloring_is_proper_and_degree_bounded", CASES, |g| {
+        let graph = random_graph(g);
+        let colors = greedy_coloring(&graph);
+        prop_assert_eq!(colors.len(), graph.cells());
+
+        for e in graph.edges() {
+            prop_assert!(
+                colors[e.a] != colors[e.b],
+                "edge {}-{} shares color {}",
+                e.a,
+                e.b,
+                colors[e.a]
+            );
+        }
+        // Greedy never needs more than maxdeg + 1 colors, and each cell's
+        // own color is bounded by its own degree.
+        for (cell, &color) in colors.iter().enumerate() {
+            prop_assert!(
+                (color as usize) <= graph.degree(cell),
+                "cell {cell} took color {color} with degree {}",
+                graph.degree(cell)
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn cluster_stats_merge_is_shard_invariant() {
+    check("cluster_stats_merge_is_shard_invariant", CASES, |g| {
+        let graph = random_graph(g);
+        let cap = g.usize_in(1, 12);
+        let clustering = cluster_greedy(&graph, cap);
+        let whole = ClusterStats::from_clustering(&clustering);
+
+        // Shard the clusters across a random number of workers by a
+        // random assignment, absorb shard-locally, then merge the
+        // partials in a rotated (arbitrary) order: totals must be
+        // bit-identical to the sequential pass -- every field is a u64
+        // sum or max.
+        let shards = g.usize_in(1, 5);
+        let mut partials = vec![ClusterStats::default(); shards];
+        for cluster in clustering.clusters() {
+            partials[g.usize_in(0, shards)].absorb(cluster.len());
+        }
+        let start = g.usize_in(0, shards);
+        let mut merged = ClusterStats::default();
+        for k in 0..shards {
+            merged.merge(&partials[(start + k) % shards]);
+        }
+        prop_assert_eq!(merged, whole, "sharded merge drifted from sequential");
+
+        // Commutativity and associativity on the partials themselves.
+        if shards >= 2 {
+            let mut ab = partials[0];
+            ab.merge(&partials[1]);
+            let mut ba = partials[1];
+            ba.merge(&partials[0]);
+            prop_assert_eq!(ab, ba, "merge must commute");
+        }
+        prop_assert_eq!(merged.cells, graph.cells() as u64);
+        prop_assert_eq!(merged.clusters, clustering.clusters().len() as u64);
+        Ok(())
+    });
+}

@@ -1,0 +1,607 @@
+//! The N-cell campus suite: cluster scheduling over the supervised pool.
+//!
+//! `run_campus_suite` is the city-scale entry point the ROADMAP's
+//! millions-of-users story needs: sample an N-cell [`Campus`], build its
+//! thresholded [`InterferenceGraph`], carve it into coordination clusters
+//! with [`cluster_greedy`], and evaluate **one supervised work item per
+//! cluster** over the existing work-stealing pool -- panic isolation,
+//! deadlines, checkpoint/resume and telemetry all work unchanged because
+//! the cluster units *are* suite topologies.
+//!
+//! Cluster semantics:
+//!
+//! * **Pair cluster `{i, j}`** -- the native unit. The two cells run the
+//!   full COPA machinery on their materialized pair topology; every
+//!   out-of-cluster AP is folded into the noise floor by power scaling
+//!   (see [`Campus::external_noise_scale`]). The evaluation call is
+//!   *identical* to the plain suite runner's (same per-index seeds, same
+//!   request shape), so an N=2 campus whose single cluster covers both
+//!   cells reproduces `run_suite_journaled` byte for byte.
+//! * **Singleton `{i}`** -- no coordination partner. The cell is backed
+//!   by a pair topology with its strongest interferer, but only the
+//!   *sequential* outcomes are read: CSMA and COPA-SEQ never exercise the
+//!   cross-links, so client 0's half-airtime rate doubled is exactly the
+//!   solo full-airtime rate under the residual-noise floor.
+//! * **Multi cluster (3+)** -- leader-rotation pairwise scheduling in the
+//!   spirit of [`copa_core::cell::run_cell`]: every member leads one
+//!   round, picks the fair-aggregate-best follower (or transmits solo if
+//!   that wins), and rounds share airtime equally.
+//!
+//! The [`CampusScheme::AllCsma`] variant evaluates the *same* partition
+//! and units but reads the CSMA outcome everywhere -- the baseline the
+//! figure regression compares clustered COPA against.
+
+use crate::json::{Obj, ToJson};
+use crate::runner::seed_for;
+use crate::supervisor::{
+    run_suite_journaled_with, run_suite_resumed_with, run_suite_with, SuiteConfig, SuiteReport,
+    TopologyOutcome,
+};
+use crate::telemetry::SuiteTelemetry;
+use copa_channel::campus::{Campus, CampusSampler};
+use copa_channel::{AntennaConfig, Topology};
+use copa_core::cluster::{cluster_greedy, greedy_coloring, ClusterStats, InterferenceGraph};
+use copa_core::{
+    CopaError, Engine, EngineWorkspace, EvalRequest, Evaluation, ScenarioParams, Strategy,
+};
+use std::path::Path;
+
+/// Parameters of one campus scenario: how the plane is sampled and how
+/// the interference graph is carved into coordination clusters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampusParams {
+    /// Number of AP/client cells.
+    pub cells: usize,
+    /// Campus seed: positions, shadowing, and every link channel.
+    pub campus_seed: u64,
+    /// Plane/propagation generator.
+    pub sampler: CampusSampler,
+    /// Antenna configuration every cell shares.
+    pub config: AntennaConfig,
+    /// Interference-graph edge threshold, dB over the noise floor: pairs
+    /// whose stronger directed INR is below this never coordinate.
+    pub edge_threshold_db: f64,
+    /// Coordination cluster size cap; 2 is the paper's pair engine.
+    pub max_cluster_size: usize,
+}
+
+impl CampusParams {
+    /// The "dense campus" scenario family (50-500 APs at office density):
+    /// default sampler, 6 dB INR edges, pair-sized clusters.
+    pub fn dense(cells: usize, campus_seed: u64, config: AntennaConfig) -> Self {
+        Self {
+            cells,
+            campus_seed,
+            sampler: CampusSampler::default(),
+            config,
+            edge_threshold_db: 6.0,
+            max_cluster_size: 2,
+        }
+    }
+}
+
+/// Which outcome each cluster unit reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampusScheme {
+    /// Clustered COPA: the fair cooperative outcome inside clusters.
+    Copa,
+    /// Everyone contends: the CSMA outcome everywhere, same partition and
+    /// residual-noise model -- the baseline COPA's gain is measured over.
+    AllCsma,
+}
+
+impl CampusScheme {
+    fn label(&self) -> &'static str {
+        match self {
+            CampusScheme::Copa => "copa",
+            CampusScheme::AllCsma => "all-csma",
+        }
+    }
+}
+
+/// One supervised work item: a coordination cluster and the pair topology
+/// backing its evaluation.
+#[derive(Clone, Debug)]
+pub struct ClusterUnit {
+    /// Member cells, ascending.
+    pub members: Vec<usize>,
+    /// For singletons: the strongest external interferer backing the
+    /// degenerate pair topology. `None` for real clusters.
+    pub partner: Option<usize>,
+    /// Per-member residual-noise power scale `f = N / (N + R)`, aligned
+    /// with `members`. `1.0` means nothing is external.
+    pub noise_scale: Vec<f64>,
+    /// The materialized (and residual-scaled) pair topology the
+    /// supervisor hands to workers. For multi clusters this is the
+    /// representative first pair; the evaluator materializes the rest.
+    pub topology: Topology,
+}
+
+/// The deterministic pre-supervision plan: campus, graph, clustering, and
+/// one evaluable unit per cluster.
+pub struct CampusPlan {
+    /// The sampled campus.
+    pub campus: Campus,
+    /// The thresholded interference graph.
+    pub graph: InterferenceGraph,
+    /// Cluster partition (clusters ordered by smallest member).
+    pub clusters: Vec<Vec<usize>>,
+    /// Greedy coloring of the interference graph (schedule hint; the
+    /// number of distinct colors bounds the cross-cluster schedule).
+    pub colors: Vec<u32>,
+    /// Mergeable partition statistics.
+    pub stats: ClusterStats,
+    /// One unit per cluster, in cluster order.
+    pub units: Vec<ClusterUnit>,
+}
+
+impl CampusPlan {
+    /// The suite the supervisor runs: each unit's backing topology.
+    pub fn unit_topologies(&self) -> Vec<Topology> {
+        self.units.iter().map(|u| u.topology.clone()).collect()
+    }
+}
+
+/// Builds the full deterministic plan for `cp`: a pure function of the
+/// params, so journaled runs, resumed runs, and every thread count agree
+/// on what unit index `k` means.
+pub fn plan_campus(cp: &CampusParams) -> CampusPlan {
+    let campus = cp.sampler.sample(cp.campus_seed, cp.cells, cp.config);
+    let graph = InterferenceGraph::from_campus(&campus, cp.edge_threshold_db);
+    let clustering = cluster_greedy(&graph, cp.max_cluster_size);
+    let colors = greedy_coloring(&graph);
+    let stats = ClusterStats::from_clustering(&clustering);
+    let units = clustering
+        .clusters()
+        .iter()
+        .map(|members| build_unit(&campus, members))
+        .collect();
+    CampusPlan {
+        campus,
+        graph,
+        clusters: clustering.clusters().to_vec(),
+        colors,
+        stats,
+        units,
+    }
+}
+
+fn build_unit(campus: &Campus, members: &[usize]) -> ClusterUnit {
+    let noise_scale: Vec<f64> = members
+        .iter()
+        .map(|&m| campus.external_noise_scale(m, members))
+        .collect();
+    let (partner, topology) = match members {
+        [solo] => {
+            let p = campus.strongest_interferer(*solo);
+            // Only client 0's sequential outcomes are read, but the
+            // residual scaling still applies to its own link; the
+            // partner's side is left as materialized.
+            (
+                Some(p),
+                campus.pair_topology_scaled(*solo, p, noise_scale[0], 1.0),
+            )
+        }
+        [i, j, ..] => (
+            None,
+            campus.pair_topology_scaled(*i, *j, noise_scale[0], noise_scale[1]),
+        ),
+        [] => unreachable!("clusters are never empty"),
+    };
+    ClusterUnit {
+        members: members.to_vec(),
+        partner,
+        noise_scale,
+        topology,
+    }
+}
+
+/// Evaluates one cluster unit on a worker: the function the supervised
+/// pool runs per suite index, public so the hotpath bench can pin its
+/// allocation count against the bare engine path.
+///
+/// For pair clusters this is call-for-call identical to the plain suite
+/// runner's evaluation (same per-index seed derivation, same request
+/// shape, same observation wiring) -- the degenerate-case byte-identity
+/// guarantee lives here.
+pub fn evaluate_cluster(
+    params: &ScenarioParams,
+    scheme: CampusScheme,
+    idx: usize,
+    unit: &ClusterUnit,
+    campus: &Campus,
+    ws: &mut EngineWorkspace,
+    tel: Option<&SuiteTelemetry>,
+) -> Result<(f64, Strategy), CopaError> {
+    let mut p = *params;
+    p.seed = seed_for(params, idx);
+    let engine = Engine::new(p);
+    let run_one = |topo: &Topology, ws: &mut EngineWorkspace| -> Result<Evaluation, CopaError> {
+        let mut req = EvalRequest::topology(topo).workspace(ws);
+        if let Some(t) = tel {
+            req = req.observe(t.engine_obs(idx as u32));
+        }
+        engine.run(&mut req)
+    };
+
+    match unit.members.len() {
+        1 => {
+            // Sequential strategies never touch the cross-links, so the
+            // backing pair's client-0 half-airtime rate doubled is the
+            // cell's solo rate under the residual-noise floor.
+            let ev = run_one(&unit.topology, ws)?;
+            let out = match scheme {
+                CampusScheme::Copa => &ev.copa_seq,
+                CampusScheme::AllCsma => &ev.csma,
+            };
+            Ok((2.0 * out.per_client_bps[0] / 1e6, out.strategy))
+        }
+        2 => {
+            let ev = run_one(&unit.topology, ws)?;
+            match scheme {
+                CampusScheme::Copa => Ok((ev.copa_fair.aggregate_mbps(), ev.copa_fair.strategy)),
+                CampusScheme::AllCsma => Ok((ev.csma.aggregate_mbps(), ev.csma.strategy)),
+            }
+        }
+        k => {
+            // Leader rotation over k members: materialize every member
+            // pair (residual excludes the whole cluster -- intra-cluster
+            // peers defer while a pair transmits), then let each leader
+            // pick its best fair partner or go solo.
+            let members = &unit.members;
+            let mut evals: Vec<Option<Evaluation>> = Vec::new();
+            evals.resize_with(k * k, || None);
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let t = campus.pair_topology_scaled(
+                        members[a],
+                        members[b],
+                        unit.noise_scale[a],
+                        unit.noise_scale[b],
+                    );
+                    evals[a * k + b] = Some(run_one(&t, ws)?);
+                }
+            }
+            let pair_ev = |a: usize, b: usize| -> &Evaluation {
+                let (lo, hi) = (a.min(b), a.max(b));
+                // invariant: filled for every lo < hi above
+                evals[lo * k + hi].as_ref().expect("pair evaluated")
+            };
+            // Solo rate of member position `m` (full airtime, residual
+            // noise): doubled sequential half-airtime rate, read from the
+            // pair with its lowest-indexed peer.
+            let solo = |m: usize, scheme: CampusScheme| -> f64 {
+                let peer = if m == 0 { 1 } else { 0 };
+                let ev = pair_ev(m, peer);
+                let pos = usize::from(m > peer);
+                let out = match scheme {
+                    CampusScheme::Copa => &ev.copa_seq,
+                    CampusScheme::AllCsma => &ev.csma,
+                };
+                2.0 * out.per_client_bps[pos]
+            };
+            match scheme {
+                CampusScheme::AllCsma => {
+                    // Everyone contends: k-way airtime split of solo rates.
+                    let total: f64 = (0..k).map(|m| solo(m, scheme)).sum();
+                    Ok((total / k as f64 / 1e6, Strategy::Csma))
+                }
+                CampusScheme::Copa => {
+                    // One round per leader; rounds share airtime equally.
+                    let mut credit_bps = 0.0;
+                    let mut first_choice: Option<Strategy> = None;
+                    for leader in 0..k {
+                        let mut best_bps = solo(leader, scheme);
+                        let mut best_strategy = Strategy::CopaSeq;
+                        for follower in 0..k {
+                            if follower == leader {
+                                continue;
+                            }
+                            let ev = pair_ev(leader, follower);
+                            let agg = ev.copa_fair.aggregate_bps();
+                            if agg > best_bps {
+                                best_bps = agg;
+                                best_strategy = ev.copa_fair.strategy;
+                            }
+                        }
+                        credit_bps += best_bps;
+                        first_choice.get_or_insert(best_strategy);
+                    }
+                    let strategy = first_choice.unwrap_or(Strategy::CopaSeq);
+                    Ok((credit_bps / k as f64 / 1e6, strategy))
+                }
+            }
+        }
+    }
+}
+
+fn campus_eval<'p>(
+    plan: &'p CampusPlan,
+    params: &'p ScenarioParams,
+    scheme: CampusScheme,
+    tel: Option<&'p SuiteTelemetry>,
+) -> impl Fn(usize, &Topology, &mut EngineWorkspace) -> Result<(f64, Strategy), CopaError> + Sync + 'p
+{
+    move |idx, _topo, ws| {
+        evaluate_cluster(params, scheme, idx, &plan.units[idx], &plan.campus, ws, tel)
+    }
+}
+
+/// Records the plan-level campus metrics once, before supervision, so the
+/// registry is thread-count invariant by construction.
+fn record_plan_telemetry(plan: &CampusPlan, tel: &SuiteTelemetry) {
+    let c = &tel.campus;
+    tel.count(c.cells, plan.campus.cells() as u64);
+    tel.count(c.graph_edges, plan.graph.edges().len() as u64);
+    tel.count(c.clusters, plan.stats.clusters);
+    tel.count(c.singletons, plan.stats.singletons);
+    tel.count(c.pairs, plan.stats.pairs);
+    tel.count(c.multis, plan.stats.multis);
+    for cluster in &plan.clusters {
+        tel.sample(c.cluster_size, cluster.len() as u64);
+    }
+    for unit in &plan.units {
+        for f in &unit.noise_scale {
+            // Residual interference over noise, dB, clamped at 0: the
+            // histogram shows how hot cluster boundaries run.
+            let r_over_n = (1.0 - f) / f.max(f64::MIN_POSITIVE);
+            let db = 10.0 * (r_over_n.max(1e-12)).log10();
+            tel.sample(c.residual_inr_db, db.max(0.0) as u64);
+        }
+    }
+}
+
+/// The campus report: the partition, its stats, the supervised suite
+/// report (one record per cluster), and the headline mean per-cell rate.
+pub struct CampusReport {
+    /// Number of cells.
+    pub cells: usize,
+    /// Which outcome the units reported.
+    pub scheme: CampusScheme,
+    /// Interference-graph edge threshold, dB.
+    pub edge_threshold_db: f64,
+    /// Above-threshold edges in the graph.
+    pub graph_edges: usize,
+    /// The cluster partition.
+    pub clusters: Vec<Vec<usize>>,
+    /// Greedy coloring of the interference graph (one color per cell).
+    pub colors: Vec<u32>,
+    /// Mergeable partition statistics.
+    pub stats: ClusterStats,
+    /// Sum of completed cluster rates divided by the cell count: the
+    /// figure-regression headline.
+    pub mean_per_cell_mbps: f64,
+    /// The supervised per-cluster suite report.
+    pub suite: SuiteReport,
+}
+
+impl ToJson for CampusReport {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("cells", &self.cells)
+            .field("scheme", &self.scheme.label())
+            .field("edge_threshold_db", &self.edge_threshold_db)
+            .field("graph_edges", &self.graph_edges)
+            .field("clusters", &self.clusters)
+            .field("colors", &self.colors)
+            .field("stats", &self.stats)
+            .field("mean_per_cell_mbps", &self.mean_per_cell_mbps)
+            .field("suite", &self.suite)
+            .finish();
+    }
+}
+
+fn finish_report(
+    cp: &CampusParams,
+    scheme: CampusScheme,
+    plan: CampusPlan,
+    suite: SuiteReport,
+) -> CampusReport {
+    let done_mbps: f64 = suite
+        .records
+        .iter()
+        .map(|r| match r.outcome {
+            TopologyOutcome::Done { mbps, .. } => mbps,
+            _ => 0.0,
+        })
+        .sum();
+    CampusReport {
+        cells: cp.cells,
+        scheme,
+        edge_threshold_db: cp.edge_threshold_db,
+        graph_edges: plan.graph.edges().len(),
+        clusters: plan.clusters,
+        colors: plan.colors,
+        stats: plan.stats,
+        mean_per_cell_mbps: done_mbps / cp.cells as f64,
+        suite,
+    }
+}
+
+/// Runs the campus under supervision without checkpointing.
+pub fn run_campus_suite(
+    cp: &CampusParams,
+    params: &ScenarioParams,
+    scheme: CampusScheme,
+    cfg: &SuiteConfig<'_>,
+) -> CampusReport {
+    let plan = plan_campus(cp);
+    if let Some(t) = cfg.telemetry {
+        record_plan_telemetry(&plan, t);
+    }
+    let suite = plan.unit_topologies();
+    let report = run_suite_with(
+        &suite,
+        cfg,
+        &campus_eval(&plan, params, scheme, cfg.telemetry),
+    );
+    finish_report(cp, scheme, plan, report)
+}
+
+/// Runs the campus under supervision, checkpointing every cluster record
+/// to the journal at `prefix` (any previous journal there is wiped
+/// first). The journal is keyed by `params.seed`, exactly like the pair
+/// suite's [`crate::supervisor::run_suite_journaled`].
+pub fn run_campus_suite_journaled(
+    cp: &CampusParams,
+    params: &ScenarioParams,
+    scheme: CampusScheme,
+    cfg: &SuiteConfig<'_>,
+    prefix: &Path,
+) -> Result<CampusReport, CopaError> {
+    let plan = plan_campus(cp);
+    if let Some(t) = cfg.telemetry {
+        record_plan_telemetry(&plan, t);
+    }
+    let suite = plan.unit_topologies();
+    let report = run_suite_journaled_with(
+        params.seed,
+        &suite,
+        cfg,
+        prefix,
+        &campus_eval(&plan, params, scheme, cfg.telemetry),
+    )?;
+    Ok(finish_report(cp, scheme, plan, report))
+}
+
+/// Resumes an interrupted journaled campus run from `prefix`: replayed
+/// cluster records are skipped, the remainder supervised, and the
+/// combined report is byte-identical (as JSON) to the uninterrupted run.
+pub fn run_campus_suite_resumed(
+    cp: &CampusParams,
+    params: &ScenarioParams,
+    scheme: CampusScheme,
+    cfg: &SuiteConfig<'_>,
+    prefix: &Path,
+) -> Result<CampusReport, CopaError> {
+    let plan = plan_campus(cp);
+    if let Some(t) = cfg.telemetry {
+        record_plan_telemetry(&plan, t);
+    }
+    let suite = plan.unit_topologies();
+    let report = run_suite_resumed_with(
+        params.seed,
+        &suite,
+        cfg,
+        prefix,
+        &campus_eval(&plan, params, scheme, cfg.telemetry),
+    )?;
+    Ok(finish_report(cp, scheme, plan, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampusParams {
+        CampusParams::dense(8, 0xCA_01, AntennaConfig::SINGLE)
+    }
+
+    #[test]
+    fn plan_is_a_partition_with_one_unit_per_cluster() {
+        let plan = plan_campus(&tiny());
+        assert_eq!(plan.units.len(), plan.clusters.len());
+        let mut seen = vec![false; 8];
+        for c in &plan.clusters {
+            for &m in c {
+                assert!(!seen[m], "cell {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(plan.stats.cells, 8);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = plan_campus(&tiny());
+        let b = plan_campus(&tiny());
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.colors, b.colors);
+        for (x, y) in a.units.iter().zip(&b.units) {
+            assert_eq!(x.members, y.members);
+            for (f, g) in x.noise_scale.iter().zip(&y.noise_scale) {
+                assert_eq!(f.to_bits(), g.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn campus_suite_completes_and_reports() {
+        let cp = tiny();
+        let params = ScenarioParams::default();
+        let cfg = SuiteConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let report = run_campus_suite(&cp, &params, CampusScheme::Copa, &cfg);
+        assert_eq!(
+            report.suite.health.completed as usize,
+            report.clusters.len()
+        );
+        assert_eq!(report.suite.health.panicked, 0);
+        assert!(report.mean_per_cell_mbps > 0.0);
+        let json = report.to_json();
+        let doc = copa_obs::json::parse(&json).expect("report JSON re-parses");
+        assert_eq!(doc.get("cells").and_then(|v| v.as_u64()), Some(8), "{json}");
+        assert_eq!(doc.get("scheme").and_then(|v| v.as_str()), Some("copa"));
+    }
+
+    #[test]
+    fn all_csma_baseline_uses_csma_everywhere() {
+        let cp = tiny();
+        let params = ScenarioParams::default();
+        let cfg = SuiteConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let report = run_campus_suite(&cp, &params, CampusScheme::AllCsma, &cfg);
+        for r in &report.suite.records {
+            match &r.outcome {
+                TopologyOutcome::Done { strategy, .. } => {
+                    assert_eq!(*strategy, Strategy::Csma, "cluster {}", r.index)
+                }
+                other => panic!("cluster {} did not complete: {other:?}", r.index),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cluster_path_is_deterministic_and_positive() {
+        let cp = CampusParams {
+            max_cluster_size: 4,
+            ..CampusParams::dense(10, 0xCA_02, AntennaConfig::SINGLE)
+        };
+        let plan = plan_campus(&cp);
+        let params = ScenarioParams::default();
+        let idx = plan
+            .units
+            .iter()
+            .position(|u| u.members.len() >= 3)
+            .expect("dense 10-cell campus forms a 3+ cluster at cap 4");
+        let mut ws = EngineWorkspace::new();
+        let a = evaluate_cluster(
+            &params,
+            CampusScheme::Copa,
+            idx,
+            &plan.units[idx],
+            &plan.campus,
+            &mut ws,
+            None,
+        )
+        .expect("multi cluster evaluates");
+        let b = evaluate_cluster(
+            &params,
+            CampusScheme::Copa,
+            idx,
+            &plan.units[idx],
+            &plan.campus,
+            &mut ws,
+            None,
+        )
+        .expect("multi cluster evaluates");
+        assert!(a.0 > 0.0);
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -27,10 +27,14 @@
 //!   a CSI refresh policy, closing the staleness/overhead loop.
 //! * [`reuse`] -- subcarrier reuse analysis: how much of a concurrent
 //!   solution is OFDMA-style partitioning vs true spatial sharing (4.2).
+//! * [`campus`] -- the N-cell layer: interference-graph clustering of a
+//!   dense campus and per-cluster COPA over the supervised pool
+//!   ([`run_campus_suite`]).
 
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod campus;
 pub mod degradation;
 pub mod episode;
 pub mod figures;
@@ -47,6 +51,10 @@ pub mod validation;
 pub use ablations::{
     allocator_comparison, coherence_sweep, correlation_sweep, csi_aging_sweep, impairment_sweep,
 };
+pub use campus::{
+    evaluate_cluster, plan_campus, run_campus_suite, run_campus_suite_journaled,
+    run_campus_suite_resumed, CampusParams, CampusPlan, CampusReport, CampusScheme, ClusterUnit,
+};
 pub use degradation::{run_degraded_suite, DegradationStats, DegradedSuiteResult};
 pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
 pub use journal::{load_journal, JournalState, JournalStats, JournalWriter};
@@ -56,7 +64,9 @@ pub use supervisor::{
     evaluate_guarded, run_suite, run_suite_journaled, run_suite_resumed, MonotonicClock,
     SuiteClock, SuiteConfig, SuiteHealth, SuiteReport, TopologyOutcome, TopologyRecord,
 };
-pub use telemetry::{JournalMetrics, SuiteObsClock, SuiteTelemetry, SupervisorMetrics};
+pub use telemetry::{
+    CampusMetrics, JournalMetrics, SuiteObsClock, SuiteTelemetry, SupervisorMetrics,
+};
 pub use throughput::{
     fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
 };

@@ -107,6 +107,46 @@ impl JournalMetrics {
     }
 }
 
+/// Handles to the campus layer's partition metrics on a shared registry.
+/// Recorded once per run, before supervision starts, so the registry
+/// stays thread-count invariant by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct CampusMetrics {
+    /// Cells in the campus.
+    pub cells: CounterId,
+    /// Above-threshold interference-graph edges.
+    pub graph_edges: CounterId,
+    /// Coordination clusters formed.
+    pub clusters: CounterId,
+    /// Clusters of size 1 (solo cells).
+    pub singletons: CounterId,
+    /// Clusters of size 2 (pair-engine units).
+    pub pairs: CounterId,
+    /// Clusters of size 3+ (leader rotation).
+    pub multis: CounterId,
+    /// Cluster sizes.
+    pub cluster_size: HistogramId,
+    /// Per-cell residual (out-of-cluster) interference over noise, dB,
+    /// clamped at 0.
+    pub residual_inr_db: HistogramId,
+}
+
+impl CampusMetrics {
+    /// Registers the campus metric names on `tel` (idempotent).
+    pub fn register(tel: &mut Telemetry) -> Self {
+        Self {
+            cells: tel.counter("campus.cells"),
+            graph_edges: tel.counter("campus.graph_edges"),
+            clusters: tel.counter("campus.clusters"),
+            singletons: tel.counter("campus.singletons"),
+            pairs: tel.counter("campus.pairs"),
+            multis: tel.counter("campus.multis"),
+            cluster_size: tel.histogram("campus.cluster_size"),
+            residual_inr_db: tel.histogram("campus.residual_inr_db"),
+        }
+    }
+}
+
 /// One registry with every layer's metrics pre-registered, plus the span
 /// clock: the bundle a suite run records into.
 pub struct SuiteTelemetry {
@@ -120,6 +160,8 @@ pub struct SuiteTelemetry {
     pub suite: SupervisorMetrics,
     /// Checkpoint journal IO metrics.
     pub journal: JournalMetrics,
+    /// Campus partition metrics (N-cell layer).
+    pub campus: CampusMetrics,
 }
 
 impl Default for SuiteTelemetry {
@@ -144,6 +186,7 @@ impl SuiteTelemetry {
         let exchange = ExchangeMetrics::register(&mut registry);
         let suite = SupervisorMetrics::register(&mut registry);
         let journal = JournalMetrics::register(&mut registry);
+        let campus = CampusMetrics::register(&mut registry);
         Self {
             registry,
             clock: Box::new(MonotonicClock::new()),
@@ -151,6 +194,7 @@ impl SuiteTelemetry {
             exchange,
             suite,
             journal,
+            campus,
         }
     }
 

@@ -1,0 +1,134 @@
+//! Dense-campus smoke + city-scale acceptance run.
+//!
+//! ```sh
+//! cargo run --release --example dense_campus
+//! ```
+//!
+//! Two stages, both on the "dense campus" scenario family (office-density
+//! AP placement, 6 dB INR edges, pair-sized coordination clusters):
+//!
+//! 1. **50-AP smoke.** Clustered COPA with telemetry on: the partition
+//!    must be non-trivial (more than one cluster), every cluster must
+//!    complete with zero panics, and the merged registry JSON must
+//!    re-parse with the in-repo reader and carry the `campus.*` counters.
+//!    The report JSON is printed as a single line so
+//!    `scripts/check.sh --campus-smoke` can capture it.
+//! 2. **500-AP acceptance.** The ROADMAP's city-scale bar: a journaled,
+//!    telemetry-on 500-cell campus evaluated to completion under the
+//!    supervisor at 1, 2 and 8 threads, with all three reports
+//!    byte-identical as JSON.
+
+use copa::channel::AntennaConfig;
+use copa::core::ScenarioParams;
+use copa::obs::json::{parse, Value};
+use copa::sim::journal::wipe_journal;
+use copa::sim::json::ToJson;
+use copa::sim::{
+    run_campus_suite, run_campus_suite_journaled, CampusParams, CampusScheme, SuiteConfig,
+    SuiteTelemetry,
+};
+
+/// Reads `name` out of the parsed registry JSON, with a pointed message
+/// when the metric is missing -- validating the export is the point.
+fn counter(doc: &Value, name: &str) -> u64 {
+    let missing = format!("counter {name} missing from registry JSON");
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .expect(&missing)
+}
+
+fn main() {
+    let params = ScenarioParams::default();
+
+    // --- 1. 50-AP smoke: clustered COPA, telemetry on -------------------
+    let cp = CampusParams::dense(50, 0xCA_0050, AntennaConfig::SINGLE);
+    let tel = SuiteTelemetry::new();
+    let cfg = SuiteConfig {
+        threads: 4,
+        telemetry: Some(&tel),
+        ..Default::default()
+    };
+    let report = run_campus_suite(&cp, &params, CampusScheme::Copa, &cfg);
+    assert!(
+        report.stats.clusters > 1,
+        "a dense 50-AP campus must carve into more than one cluster"
+    );
+    assert_eq!(
+        report.suite.health.completed,
+        report.clusters.len() as u64,
+        "every cluster must complete"
+    );
+    assert_eq!(report.suite.health.panicked, 0, "zero panics");
+    assert!(report.mean_per_cell_mbps > 0.0, "traffic must flow");
+
+    let registry = tel.to_json();
+    let doc = parse(&registry).expect("registry JSON must re-parse");
+    assert_eq!(counter(&doc, "campus.cells"), 50, "campus layer");
+    assert_eq!(
+        counter(&doc, "campus.clusters"),
+        report.stats.clusters,
+        "partition stats must round-trip through telemetry"
+    );
+    assert_eq!(
+        counter(&doc, "suite.completed"),
+        report.clusters.len() as u64,
+        "supervisor layer"
+    );
+    let report_json = report.to_json();
+    parse(&report_json).expect("campus report JSON must re-parse");
+    println!(
+        "50-AP smoke: {} clusters ({} pairs, {} singletons, {} multis), \
+         {} graph edges, {:.1} Mbps mean per cell",
+        report.stats.clusters,
+        report.stats.pairs,
+        report.stats.singletons,
+        report.stats.multis,
+        report.graph_edges,
+        report.mean_per_cell_mbps
+    );
+    println!("{registry}");
+    println!("{report_json}");
+    println!("ok: dense campus smoke validated end to end");
+
+    // --- 2. 500-AP acceptance: journaled, byte-identical across threads --
+    let cp = CampusParams::dense(500, 0xCA_0500, AntennaConfig::SINGLE);
+    let tmp = std::env::temp_dir();
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let tel = SuiteTelemetry::new();
+        let cfg = SuiteConfig {
+            threads,
+            telemetry: Some(&tel),
+            ..Default::default()
+        };
+        let prefix = tmp.join(format!(
+            "copa-dense-campus-{}-t{threads}",
+            std::process::id()
+        ));
+        let report = run_campus_suite_journaled(&cp, &params, CampusScheme::Copa, &cfg, &prefix)
+            .expect("journaled 500-AP campus run");
+        wipe_journal(&prefix).expect("journal cleanup");
+        assert_eq!(
+            report.suite.health.completed,
+            report.clusters.len() as u64,
+            "500-AP campus must complete at {threads} threads"
+        );
+        assert_eq!(report.suite.health.panicked, 0);
+        let json = report.to_json();
+        match &reference {
+            None => {
+                println!(
+                    "500-AP acceptance: {} clusters, {:.1} Mbps mean per cell",
+                    report.stats.clusters, report.mean_per_cell_mbps
+                );
+                reference = Some(json);
+            }
+            Some(want) => assert_eq!(
+                &json, want,
+                "500-AP campus report must be byte-identical at {threads} threads"
+            ),
+        }
+    }
+    println!("ok: 500-AP campus byte-identical across 1/2/8 threads");
+}

@@ -7,7 +7,7 @@
 # what CI (and the PR driver) runs; keep it green.
 #
 # Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
-#                         [--obs-smoke]
+#                         [--obs-smoke] [--campus-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
 #                   and leave its JSON lines in BENCH_hotpath.json.
 #   --faults-smoke  additionally run one degraded-suite episode offline
@@ -22,6 +22,11 @@
 #                   registry JSON and chrome-trace export to validate, then
 #                   run the hotpath bench's zero-allocation telemetry
 #                   guards.
+#   --campus-smoke  additionally run the dense-campus suite
+#                   (examples/dense_campus.rs): a 50-AP clustered run with
+#                   telemetry validated and a journaled 500-AP campus
+#                   byte-identical across 1/2/8 threads, then run the
+#                   hotpath bench's pair-cluster zero-allocation guard.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,12 +34,14 @@ BENCH_SMOKE=0
 FAULTS_SMOKE=0
 RESUME_SMOKE=0
 OBS_SMOKE=0
+CAMPUS_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults-smoke) FAULTS_SMOKE=1 ;;
         --resume-smoke) RESUME_SMOKE=1 ;;
         --obs-smoke) OBS_SMOKE=1 ;;
+        --campus-smoke) CAMPUS_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -195,6 +202,27 @@ if [ "$OBS_SMOKE" -eq 1 ]; then
     }
     printf '%s\n' "$guard" | grep -q '"name":"evaluate_4x2_live_obs"' || {
         echo "obs smoke FAILED: live-sink alloc report missing" >&2
+        exit 1
+    }
+fi
+
+if [ "$CAMPUS_SMOKE" -eq 1 ]; then
+    echo "==> campus smoke: 50-AP clustered suite + journaled 500-AP thread invariance"
+    out=$(cargo run --release --offline --example dense_campus)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: dense campus smoke validated' || {
+        echo "campus smoke FAILED: 50-AP clustered run did not validate" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: 500-AP campus byte-identical' || {
+        echo "campus smoke FAILED: 500-AP report diverged across thread counts" >&2
+        exit 1
+    }
+    echo "==> campus smoke: pair-cluster zero-allocation guard"
+    guard=$(cargo bench --offline -p copa-bench --bench hotpath -- --quick)
+    printf '%s\n' "$guard" | grep '^alloc '
+    printf '%s\n' "$guard" | grep -q '"name":"evaluate_pair_cluster_warm"' || {
+        echo "campus smoke FAILED: pair-cluster alloc report missing" >&2
         exit 1
     }
 fi

@@ -1,0 +1,115 @@
+//! N-cell campus layer regressions: the degenerate-case contract (an
+//! N=2 campus with one cluster IS the paper's pair engine, byte for
+//! byte) plus the singleton solo-rate semantics -- the two reductions
+//! that prove the city-scale layer does not perturb the reproduction.
+
+use copa::channel::AntennaConfig;
+use copa::core::{Engine, EvalRequest, ScenarioParams};
+use copa::sim::journal::wipe_journal;
+use copa::sim::json::ToJson;
+use copa::sim::{
+    plan_campus, run_campus_suite_journaled, run_suite_journaled, CampusParams, CampusScheme,
+    SuiteConfig,
+};
+
+/// A 2-cell campus dense enough that the two cells always interfere
+/// above the clustering threshold (one pair cluster, nothing external).
+fn two_cell_params(config: AntennaConfig) -> CampusParams {
+    let mut cp = CampusParams::dense(2, 0xCA_DE6E, config);
+    // Shrink the floor so the pair is guaranteed above the INR threshold
+    // regardless of the placement draw.
+    cp.sampler.density_m2_per_ap = 64.0;
+    cp
+}
+
+#[test]
+fn n2_campus_report_is_byte_identical_to_pair_engine_journaled_run() {
+    let cp = two_cell_params(AntennaConfig::CONSTRAINED_4X2);
+    let params = ScenarioParams::default();
+
+    // The plan must degenerate to exactly one pair cluster covering both
+    // cells, with no residual interference left outside it.
+    let plan = plan_campus(&cp);
+    assert_eq!(plan.clusters, vec![vec![0, 1]], "one cluster of two");
+    let unit = &plan.units[0];
+    assert_eq!(unit.noise_scale.len(), 2);
+    for f in &unit.noise_scale {
+        assert_eq!(f.to_bits(), 1.0f64.to_bits(), "no external interference");
+    }
+
+    // Reference: the existing pair-engine journaled path over the same
+    // materialized topology.
+    let tmp = std::env::temp_dir();
+    let ref_prefix = tmp.join(format!("copa-campus-ref-{}", std::process::id()));
+    let campus_prefix = tmp.join(format!("copa-campus-n2-{}", std::process::id()));
+    let cfg = SuiteConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let reference = run_suite_journaled(
+        &params,
+        &[plan.campus.pair_topology(0, 1)],
+        &cfg,
+        &ref_prefix,
+    )
+    .expect("reference pair run");
+
+    let campus = run_campus_suite_journaled(&cp, &params, CampusScheme::Copa, &cfg, &campus_prefix)
+        .expect("campus run");
+
+    assert_eq!(
+        campus.suite.to_json(),
+        reference.to_json(),
+        "the N-cell layer must reproduce the pair engine byte for byte"
+    );
+    wipe_journal(&ref_prefix).expect("cleanup");
+    wipe_journal(&campus_prefix).expect("cleanup");
+}
+
+#[test]
+fn singleton_cluster_rate_is_the_doubled_sequential_half_rate() {
+    // Raise the edge threshold so high that no pair can coordinate: both
+    // cells become singletons whose rate must equal the solo full-airtime
+    // rate -- twice the sequential half-airtime rate of the backing pair
+    // topology (cross-links are never exercised sequentially).
+    let mut cp = two_cell_params(AntennaConfig::SINGLE);
+    cp.edge_threshold_db = 500.0;
+    let params = ScenarioParams::default();
+    let plan = plan_campus(&cp);
+    assert_eq!(plan.clusters, vec![vec![0], vec![1]], "no coordination");
+    assert_eq!(plan.stats.singletons, 2);
+
+    let cfg = SuiteConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let report = copa::sim::run_campus_suite(&cp, &params, CampusScheme::Copa, &cfg);
+    assert_eq!(report.suite.health.completed, 2);
+
+    for (idx, unit) in plan.units.iter().enumerate() {
+        // Reproduce the worker's evaluation by hand on the unit topology.
+        let mut p = params;
+        p.seed = params
+            .seed
+            .wrapping_add(idx as u64)
+            .wrapping_mul(0x9E37_79B9);
+        let ev = Engine::new(p)
+            .run(&mut EvalRequest::topology(&unit.topology))
+            .expect("singleton backing pair evaluates");
+        let want = 2.0 * ev.copa_seq.per_client_bps[0] / 1e6;
+        let got = match &report.suite.records[idx].outcome {
+            copa::sim::TopologyOutcome::Done { mbps, .. } => Some(*mbps),
+            _ => None,
+        };
+        let missing = format!("cluster {idx} did not complete");
+        let got = got.expect(&missing);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "cluster {idx}: solo rate must be the doubled sequential half rate"
+        );
+        // And the residual scaling is real: with the partner outside the
+        // cluster, the solo cell's noise scale must be strictly below 1.
+        assert!(unit.noise_scale[0] < 1.0, "residual interference applied");
+    }
+}

@@ -343,6 +343,102 @@ fn telemetry_enabled_suite_is_bit_transparent_and_thread_invariant() {
 }
 
 #[test]
+fn campus_suite_is_byte_identical_across_1_2_8_threads() {
+    // The N-cell layer inherits the determinism contract wholesale: a
+    // 64-AP campus -- graph build, clustering, residual scaling, and
+    // every per-cluster evaluation -- is a pure function of the params,
+    // no matter how workers race for cluster units.
+    use copa::sim::json::ToJson;
+    use copa::sim::{run_campus_suite, CampusParams, CampusScheme, SuiteConfig};
+    let cp = CampusParams::dense(64, 0xCA_3D05, AntennaConfig::SINGLE);
+    let params = ScenarioParams::default();
+    let one = run_campus_suite(
+        &cp,
+        &params,
+        CampusScheme::Copa,
+        &SuiteConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        one.suite.health.completed,
+        one.clusters.len() as u64,
+        "every cluster unit must complete"
+    );
+    assert!(one.stats.pairs > 0, "a dense campus must form pairs");
+    let baseline = one.to_json();
+    for threads in [2, 8] {
+        let many = run_campus_suite(
+            &cp,
+            &params,
+            CampusScheme::Copa,
+            &SuiteConfig {
+                threads,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            many.to_json(),
+            baseline,
+            "{threads}-thread campus report must be byte-identical to 1-thread"
+        );
+    }
+}
+
+#[test]
+fn killed_and_resumed_campus_run_matches_uninterrupted_json() {
+    // Checkpoint/resume carries over to the campus layer unchanged: kill
+    // a journaled campus run mid-partition, resume it, and the combined
+    // report is byte-identical to the uninterrupted run.
+    use copa::sim::journal::wipe_journal;
+    use copa::sim::json::ToJson;
+    use copa::sim::{
+        run_campus_suite_journaled, run_campus_suite_resumed, CampusParams, CampusScheme,
+        SuiteConfig,
+    };
+    let cp = CampusParams::dense(64, 0xCA_3D06, AntennaConfig::SINGLE);
+    let params = ScenarioParams::default();
+    let prefix = std::env::temp_dir().join(format!("copa-det-campus-{}", std::process::id()));
+
+    let baseline = {
+        let cfg = SuiteConfig {
+            threads: 1,
+            records_per_segment: 4,
+            ..Default::default()
+        };
+        run_campus_suite_journaled(&cp, &params, CampusScheme::Copa, &cfg, &prefix)
+            .expect("baseline campus run")
+            .to_json()
+    };
+
+    for threads in [2, 8] {
+        let cfg = SuiteConfig {
+            threads,
+            records_per_segment: 4,
+            stop_after: Some(7),
+            ..Default::default()
+        };
+        let partial = run_campus_suite_journaled(&cp, &params, CampusScheme::Copa, &cfg, &prefix)
+            .expect("interrupted campus run");
+        assert_eq!(partial.suite.records.len(), 7, "{threads} threads");
+        let cfg = SuiteConfig {
+            threads,
+            records_per_segment: 4,
+            ..Default::default()
+        };
+        let resumed = run_campus_suite_resumed(&cp, &params, CampusScheme::Copa, &cfg, &prefix)
+            .expect("resumed campus run");
+        assert_eq!(
+            resumed.to_json(),
+            baseline,
+            "{threads} threads: resumed campus JSON must match the uninterrupted run"
+        );
+    }
+    wipe_journal(&prefix).expect("cleanup");
+}
+
+#[test]
 fn zero_fault_plan_is_bit_transparent_over_the_plain_runner() {
     // A FaultPlan that cannot inject anything must leave the evaluation
     // pipeline untouched: same throughput bits as evaluate_parallel, no

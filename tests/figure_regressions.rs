@@ -8,7 +8,10 @@
 
 use copa::channel::AntennaConfig;
 use copa::core::ScenarioParams;
-use copa::sim::{fig10, fig11, fig12, headline_stats, standard_suite};
+use copa::sim::{
+    fig10, fig11, fig12, headline_stats, run_campus_suite, standard_suite, CampusParams,
+    CampusScheme, SuiteConfig,
+};
 
 const THREADS: usize = 4;
 
@@ -82,6 +85,47 @@ fn fig11_nulling_loses_and_copa_wins_on_standard_suite() {
         h.copa_over_null_mean > 0.2,
         "COPA should improve on nulling by tens of percent, got {:.0}%",
         h.copa_over_null_mean * 100.0
+    );
+}
+
+/// Campus-scale sanity band: the headline gain must survive densification.
+/// On seeded 50-AP campuses, mean per-cell rate under clustered COPA
+/// (pairwise coordination inside clusters, residual noise across
+/// boundaries) must meet or beat the all-CSMA baseline -- same partition,
+/// same residual-noise model, contention outcomes everywhere -- on at
+/// least 70% of campuses. Absolute rates are deliberately not asserted.
+#[test]
+fn campus_clustered_copa_beats_all_csma_on_most_seeds() {
+    let params = ScenarioParams::default();
+    let cfg = SuiteConfig {
+        threads: THREADS,
+        ..Default::default()
+    };
+    let seeds: Vec<u64> = (0..8).map(|s| 0xCA_F160 + s).collect();
+    let mut wins = 0usize;
+    for &seed in &seeds {
+        let cp = CampusParams::dense(50, seed, AntennaConfig::SINGLE);
+        let copa = run_campus_suite(&cp, &params, CampusScheme::Copa, &cfg);
+        let csma = run_campus_suite(&cp, &params, CampusScheme::AllCsma, &cfg);
+        assert_eq!(
+            copa.suite.health.completed,
+            copa.clusters.len() as u64,
+            "seed {seed:#x}: every cluster must complete"
+        );
+        assert!(copa.stats.clusters > 1, "seed {seed:#x}: dense campus");
+        assert!(
+            copa.mean_per_cell_mbps > 0.0 && csma.mean_per_cell_mbps > 0.0,
+            "seed {seed:#x}: rates must be positive"
+        );
+        if copa.mean_per_cell_mbps >= csma.mean_per_cell_mbps {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 10 >= seeds.len() * 7,
+        "clustered COPA must beat all-CSMA on >=70% of 50-AP campuses, \
+         got {wins}/{}",
+        seeds.len()
     );
 }
 
