@@ -20,9 +20,11 @@
 
 use copa_bench::harness::{black_box, Criterion};
 use copa_channel::{AntennaConfig, MultipathProfile, TopologySampler};
-use copa_core::{Engine, EngineMetrics, EngineObs, EngineWorkspace, EvalRequest, ScenarioParams};
+use copa_core::{
+    Engine, EngineMetrics, EngineObs, EngineWorkspace, EvalRequest, KernelMode, ScenarioParams,
+};
 use copa_num::{svd, CMat, SimRng};
-use copa_obs::{FrozenClock, NoopSink, Telemetry};
+use copa_obs::{FrozenClock, NoopSink, Telemetry, WallClock};
 use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
 use copa_sim::json::{Obj, ToJson};
 use copa_sim::{
@@ -274,24 +276,115 @@ fn main() {
         "a warmed pair-cluster evaluation must add zero allocations over the bare engine call"
     );
 
-    // --- 3. suite throughput through the parallel runner ----------------
+    // Hard gate: the warmed steady state is *zero* allocations, not merely
+    // "stable". Every guard above pinned its variant to `allocs_warm`; this
+    // pins `allocs_warm` itself (and the campus baseline) to 0, which is
+    // what `scripts/check.sh --bench-smoke` greps out of BENCH_hotpath.json.
+    assert_eq!(
+        allocs_warm, 0,
+        "warmed-workspace evaluation must be allocation-free (got {allocs_warm})"
+    );
+    assert_eq!(
+        allocs_unit_bare, 0,
+        "warmed cluster-unit evaluation must be allocation-free (got {allocs_unit_bare})"
+    );
+
+    // --- 3. per-phase medians (copa-obs spans over a live registry) ------
+    // Re-run the warmed 4x2 evaluation under live telemetry with a real
+    // clock and report the median per-phase span, so BENCH_hotpath.json
+    // records *where* the evaluation budget goes, not just its total.
+    let mut phase_registry = Telemetry::new();
+    let phase_metrics = EngineMetrics::register(&mut phase_registry);
+    let wall = WallClock::default();
+    let phase_obs = EngineObs::new(&phase_registry, &wall, phase_metrics);
+    for _ in 0..32 {
+        let _ = engine.run(
+            &mut EvalRequest::topology(&t4x2)
+                .workspace(&mut ws)
+                .observe(phase_obs),
+        );
+    }
+    for (phase, id) in [
+        ("csi_prep", phase_metrics.csi_prep_us),
+        ("precoding", phase_metrics.precoding_us),
+        ("allocation", phase_metrics.allocation_us),
+        ("sinr", phase_metrics.sinr_us),
+    ] {
+        let h = phase_registry.histogram_ref(id);
+        let median_us = h.approx_quantile(0.5).unwrap_or(0);
+        let mut out = String::new();
+        Obj::new(&mut out)
+            .field("type", &"phase")
+            .field("name", &phase)
+            .field("median_us", &median_us)
+            .field("total_us", &h.sum())
+            .field("spans", &h.count())
+            .finish();
+        println!(
+            "phase {phase:<32} median {median_us:>6} us over {} spans",
+            h.count()
+        );
+        println!("{out}");
+    }
+
+    // --- 4. suite throughput through the parallel runner -----------------
+    // Batched (default) vs scalar reference kernels on the same mixed
+    // suite: the headline number and the speedup the SoA refactor buys.
     let suite = mixed_suite(4);
+    let mut scalar_params = params;
+    scalar_params.kernel_mode = KernelMode::Scalar;
     c.bench_function("suite_mixed_12", |b| {
         b.iter(|| evaluate_parallel(black_box(&params), &suite, threads))
     });
+    c.bench_function("suite_mixed_12_scalar", |b| {
+        b.iter(|| evaluate_parallel(black_box(&scalar_params), &suite, threads))
+    });
     let n = suite.len() as f64;
-    if let Some(r) = c.reports().iter().find(|r| r.name == "suite_mixed_12") {
-        let topos_per_sec = n / (r.median_ns / 1e9);
+    let mut batched_tps = 0.0;
+    let mut scalar_tps = 0.0;
+    for (bench, slot) in [
+        ("suite_mixed_12", &mut batched_tps),
+        ("suite_mixed_12_scalar", &mut scalar_tps),
+    ] {
+        if let Some(r) = c.reports().iter().find(|r| r.name == bench) {
+            let topos_per_sec = n / (r.median_ns / 1e9);
+            *slot = topos_per_sec;
+            let mut out = String::new();
+            Obj::new(&mut out)
+                .field("type", &"throughput")
+                .field("name", &bench)
+                .field("topologies_per_sec", &topos_per_sec)
+                .field("threads", &threads)
+                .finish();
+            println!("thrpt {bench:<32} {topos_per_sec:.2} topologies/s");
+            println!("{out}");
+        }
+    }
+    if scalar_tps > 0.0 {
         let mut out = String::new();
         Obj::new(&mut out)
-            .field("type", &"throughput")
-            .field("name", &"suite_mixed_12")
-            .field("topologies_per_sec", &topos_per_sec)
-            .field("threads", &threads)
+            .field("type", &"speedup")
+            .field("name", &"batched_vs_scalar")
+            .field("batched_topos_per_sec", &batched_tps)
+            .field("scalar_topos_per_sec", &scalar_tps)
+            .field("ratio", &(batched_tps / scalar_tps))
             .finish();
-        println!("thrpt suite_mixed_12                 {topos_per_sec:.2} topologies/s");
+        println!(
+            "speedup batched vs scalar            {:.2}x",
+            batched_tps / scalar_tps
+        );
         println!("{out}");
     }
+
+    // Hard gate: >= 5x the pre-SoA 108 topologies/s baseline. Absolute so a
+    // regression anywhere in the chain (kernels, allocator, runner) fails
+    // the bench rather than silently eroding the figure-suite turnaround.
+    const MIN_TOPOS_PER_SEC: f64 = 540.0;
+    assert!(
+        batched_tps >= MIN_TOPOS_PER_SEC,
+        "suite throughput gate: {batched_tps:.2} topologies/s < {MIN_TOPOS_PER_SEC} \
+         (5x the 108/s scalar-AoS baseline)"
+    );
 
     c.final_summary();
 }

@@ -10,7 +10,9 @@
 //! regress from the best solution, in which case we choose the best solution
 //! previously found").
 
-use crate::stream::{equi_sinr, mercury_best, StreamAllocation, StreamProblem};
+use crate::stream::{
+    equi_sinr_into, mercury_best, AllocScratch, StreamAllocation, StreamProblem, StreamProblemRef,
+};
 use copa_phy::link::ThroughputModel;
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
@@ -45,7 +47,7 @@ pub struct ConcurrentProblem {
 }
 
 /// The outcome of the concurrent iteration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ConcurrentSolution {
     /// Final power allocations for both APs.
     pub powers: [TxPowers; 2],
@@ -71,48 +73,122 @@ impl ConcurrentProblem {
 
     /// Interference at AP `i`'s client on each subcarrier, given the peer's
     /// current powers.
+    #[cfg(test)]
     fn interference_at(&self, ap: usize, peer_powers: &TxPowers) -> Vec<f64> {
-        let peer = 1 - ap;
-        let mut inter = vec![0.0; DATA_SUBCARRIERS];
-        for (k, row) in peer_powers.powers.iter().enumerate() {
-            for (s, &q) in row.iter().enumerate() {
-                inter[s] += q * self.cross_gains[peer][k][s];
-            }
-        }
+        let r = ConcurrentProblemRef::from_problem(self);
+        let mut inter = Vec::new();
+        r.interference_into(ap, peer_powers, &mut inter);
         inter
     }
+}
 
-    /// Allocates all streams of AP `ap` given the peer's powers.
-    fn allocate_ap(
-        &self,
-        ap: usize,
-        peer_powers: &TxPowers,
-        kind: AllocatorKind,
-        curves: &[MmseCurve],
-        model: &ThroughputModel,
-        airtime: f64,
-    ) -> (TxPowers, f64) {
-        let streams = self.streams(ap);
-        let interference = self.interference_at(ap, peer_powers);
-        let per_stream_budget = self.budgets_mw[ap] / streams as f64;
-        let mut powers = Vec::with_capacity(streams);
-        let mut predicted = 0.0;
-        for k in 0..streams {
-            let problem = StreamProblem {
-                gains: self.own_gains[ap][k].clone(),
-                noise_mw: self.noise_mw,
-                interference_mw: interference.clone(),
-                budget_mw: per_stream_budget,
-            };
-            let alloc: StreamAllocation = match kind {
-                AllocatorKind::EquiSinr => equi_sinr(&problem, model, airtime),
-                AllocatorKind::Mercury => mercury_best(&problem, curves, model, airtime),
-            };
-            predicted += alloc.throughput_bps;
-            powers.push(alloc.powers);
+/// Borrowed view of a [`ConcurrentProblem`]: the zero-allocation entry point
+/// ([`allocate_concurrent_into`]) takes this so the engine can point straight
+/// at the precoders' `stream_gains` buffers instead of cloning them.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrentProblemRef<'a> {
+    /// Own-link effective gains, `[ap][stream][subcarrier]`.
+    pub own_gains: [&'a [Vec<f64>]; 2],
+    /// Cross-link leakage gains, `[ap][stream][subcarrier]`.
+    pub cross_gains: [&'a [Vec<f64>]; 2],
+    /// Per-subcarrier noise, mW.
+    pub noise_mw: f64,
+    /// Per-AP total power budgets, mW.
+    pub budgets_mw: [f64; 2],
+}
+
+impl<'a> ConcurrentProblemRef<'a> {
+    /// Borrows an owned problem.
+    pub fn from_problem(p: &'a ConcurrentProblem) -> Self {
+        Self {
+            own_gains: [&p.own_gains[0], &p.own_gains[1]],
+            cross_gains: [&p.cross_gains[0], &p.cross_gains[1]],
+            noise_mw: p.noise_mw,
+            budgets_mw: p.budgets_mw,
         }
-        (TxPowers { powers }, predicted)
     }
+
+    /// Streams of AP `i`.
+    pub fn streams(&self, ap: usize) -> usize {
+        self.own_gains[ap].len()
+    }
+
+    /// Interference at AP `i`'s client on each subcarrier, given the peer's
+    /// current powers (pooled: `out` is cleared and refilled).
+    fn interference_into(&self, ap: usize, peer_powers: &TxPowers, out: &mut Vec<f64>) {
+        let peer = 1 - ap;
+        out.clear();
+        out.resize(DATA_SUBCARRIERS, 0.0);
+        for (k, row) in peer_powers.powers.iter().enumerate() {
+            for (s, &q) in row.iter().enumerate() {
+                out[s] += q * self.cross_gains[peer][k][s];
+            }
+        }
+    }
+}
+
+/// Reusable scratch for [`allocate_concurrent_into`]: grows to the largest
+/// problem shape once, then steady-state allocation-free (on the Equi-SINR
+/// path; mercury/waterfilling still allocates internally).
+#[derive(Clone, Debug, Default)]
+pub struct ConcurrentScratch {
+    interference: Vec<f64>,
+    alloc: AllocScratch,
+    stream_out: StreamAllocation,
+    current: [TxPowers; 2],
+    next: [TxPowers; 2],
+}
+
+/// Allocates all streams of AP `ap` given the peer's powers; returns the
+/// predicted aggregate goodput. Pooled counterpart of the old
+/// `ConcurrentProblem::allocate_ap`, same op sequence.
+#[allow(clippy::too_many_arguments)]
+fn allocate_ap_into(
+    problem: &ConcurrentProblemRef<'_>,
+    ap: usize,
+    peer_powers: &TxPowers,
+    kind: AllocatorKind,
+    curves: &[MmseCurve],
+    model: &ThroughputModel,
+    airtime: f64,
+    interference: &mut Vec<f64>,
+    alloc: &mut AllocScratch,
+    stream_out: &mut StreamAllocation,
+    out_powers: &mut TxPowers,
+) -> f64 {
+    let streams = problem.streams(ap);
+    problem.interference_into(ap, peer_powers, interference);
+    let per_stream_budget = problem.budgets_mw[ap] / streams as f64;
+    out_powers.powers.truncate(streams);
+    out_powers.powers.resize_with(streams, Vec::new);
+    let mut predicted = 0.0;
+    for k in 0..streams {
+        match kind {
+            AllocatorKind::EquiSinr => {
+                let stream_problem = StreamProblemRef {
+                    gains: &problem.own_gains[ap][k],
+                    noise_mw: problem.noise_mw,
+                    interference_mw: Some(interference),
+                    budget_mw: per_stream_budget,
+                };
+                equi_sinr_into(&stream_problem, model, airtime, alloc, stream_out);
+            }
+            AllocatorKind::Mercury => {
+                let stream_problem = StreamProblem {
+                    gains: problem.own_gains[ap][k].clone(),
+                    noise_mw: problem.noise_mw,
+                    interference_mw: interference.clone(),
+                    budget_mw: per_stream_budget,
+                };
+                *stream_out = mercury_best(&stream_problem, curves, model, airtime);
+            }
+        }
+        predicted += stream_out.throughput_bps;
+        let row = &mut out_powers.powers[k];
+        row.clear();
+        row.extend_from_slice(&stream_out.powers);
+    }
+    predicted
 }
 
 /// Runs the Figure 6 iteration and returns the best solution found.
@@ -123,46 +199,98 @@ pub fn allocate_concurrent(
     model: &ThroughputModel,
     airtime: f64,
 ) -> ConcurrentSolution {
+    let mut scratch = ConcurrentScratch::default();
+    let mut out = ConcurrentSolution::default();
+    allocate_concurrent_into(
+        &ConcurrentProblemRef::from_problem(problem),
+        kind,
+        curves,
+        model,
+        airtime,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Zero-allocation Figure 6 iteration (see [`allocate_concurrent`]): writes
+/// the best solution found into `out`, reusing `scratch` and `out` buffers.
+/// Identical op sequence to the owned entry point, so results are
+/// bit-identical.
+pub fn allocate_concurrent_into(
+    problem: &ConcurrentProblemRef<'_>,
+    kind: AllocatorKind,
+    curves: &[MmseCurve],
+    model: &ThroughputModel,
+    airtime: f64,
+    scratch: &mut ConcurrentScratch,
+    out: &mut ConcurrentSolution,
+) {
+    let ConcurrentScratch {
+        interference,
+        alloc,
+        stream_out,
+        current,
+        next,
+    } = scratch;
     // Round 0 baseline: the peer splits power equally (the paper's stated
     // initialization).
-    let mut current = [
-        TxPowers::equal(problem.streams(0), problem.budgets_mw[0]),
-        TxPowers::equal(problem.streams(1), problem.budgets_mw[1]),
-    ];
-    let mut best: Option<([TxPowers; 2], [f64; 2])> = None;
+    current[0].set_equal(problem.streams(0), problem.budgets_mw[0]);
+    current[1].set_equal(problem.streams(1), problem.budgets_mw[1]);
+    let mut best: Option<[f64; 2]> = None;
     let mut converged = false;
     let mut iterations = 0;
 
     for _ in 0..MAX_ITERATIONS {
         iterations += 1;
-        let (p0, t0) = problem.allocate_ap(0, &current[1], kind, curves, model, airtime);
-        let (p1, t1) = problem.allocate_ap(1, &current[0], kind, curves, model, airtime);
-        let next = [p0, p1];
+        let t0 = allocate_ap_into(
+            problem,
+            0,
+            &current[1],
+            kind,
+            curves,
+            model,
+            airtime,
+            interference,
+            alloc,
+            stream_out,
+            &mut next[0],
+        );
+        let t1 = allocate_ap_into(
+            problem,
+            1,
+            &current[0],
+            kind,
+            curves,
+            model,
+            airtime,
+            interference,
+            alloc,
+            stream_out,
+            &mut next[1],
+        );
 
         // Track the best aggregate prediction (iteration can regress).
         let total = t0 + t1;
-        if best
-            .as_ref()
-            .map(|(_, t)| total > t[0] + t[1])
-            .unwrap_or(true)
-        {
-            best = Some((next.clone(), [t0, t1]));
+        if best.as_ref().map(|t| total > t[0] + t[1]).unwrap_or(true) {
+            out.powers[0].copy_from(&next[0]);
+            out.powers[1].copy_from(&next[1]);
+            best = Some([t0, t1]);
         }
 
-        if powers_close(&current, &next) {
+        if powers_close(current, next) {
             converged = true;
             break;
         }
-        current = next;
+        // `current = next`; the stale buffers left in `next` are fully
+        // overwritten by the next round's `allocate_ap_into`.
+        core::mem::swap(&mut current[0], &mut next[0]);
+        core::mem::swap(&mut current[1], &mut next[1]);
     }
 
-    let (powers, predicted_bps) = best.expect("at least one iteration ran");
-    ConcurrentSolution {
-        powers,
-        predicted_bps,
-        iterations,
-        converged,
-    }
+    out.predicted_bps = best.expect("at least one iteration ran");
+    out.iterations = iterations;
+    out.converged = converged;
 }
 
 fn powers_close(a: &[TxPowers; 2], b: &[TxPowers; 2]) -> bool {
@@ -319,6 +447,41 @@ mod tests {
         );
         assert_eq!(sol.powers[0].streams(), 2);
         assert_eq!(sol.powers[1].streams(), 1);
+    }
+
+    #[test]
+    fn pooled_reuse_is_bit_identical() {
+        // One warm scratch reused across very different problems must give
+        // exactly the fresh-scratch (owned entry point) answer.
+        let model = ThroughputModel::default();
+        let cs = curves();
+        let mut scratch = ConcurrentScratch::default();
+        let mut out = ConcurrentSolution::default();
+        for seed in [1u64, 6, 9] {
+            for &db in &[20.0, 45.0] {
+                let p = symmetric_problem(seed, db);
+                let fresh = allocate_concurrent(&p, AllocatorKind::EquiSinr, &cs, &model, 1.0);
+                allocate_concurrent_into(
+                    &ConcurrentProblemRef::from_problem(&p),
+                    AllocatorKind::EquiSinr,
+                    &cs,
+                    &model,
+                    1.0,
+                    &mut scratch,
+                    &mut out,
+                );
+                assert_eq!(out.iterations, fresh.iterations);
+                assert_eq!(out.converged, fresh.converged);
+                for i in 0..2 {
+                    assert_eq!(
+                        out.predicted_bps[i].to_bits(),
+                        fresh.predicted_bps[i].to_bits(),
+                        "seed {seed} db {db} ap {i}"
+                    );
+                    assert_eq!(out.powers[i], fresh.powers[i], "seed {seed} db {db} ap {i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -92,6 +92,73 @@ impl StreamAllocation {
     }
 }
 
+impl Default for StreamAllocation {
+    /// An empty allocation, used as a reusable output slot for
+    /// [`equi_sinr_into`] (buffers grow on first use, then are reused).
+    fn default() -> Self {
+        Self {
+            powers: Vec::new(),
+            sinrs: Vec::new(),
+            throughput_bps: 0.0,
+            mcs: Mcs::TABLE[0],
+            dropped: 0,
+        }
+    }
+}
+
+/// Borrowed view of a [`StreamProblem`]: the zero-allocation entry point
+/// ([`equi_sinr_into`]) takes this so the engine can point straight into its
+/// pooled gain/interference buffers. `interference_mw: None` is bit-identical
+/// to an all-zeros interference vector (`floor` computes `noise + 0.0` either
+/// way).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamProblemRef<'a> {
+    /// Effective channel gain of this stream on each subcarrier.
+    pub gains: &'a [f64],
+    /// Per-subcarrier noise power, mW.
+    pub noise_mw: f64,
+    /// Per-subcarrier exogenous interference power, mW (`None` = all zero).
+    pub interference_mw: Option<&'a [f64]>,
+    /// Power budget for this stream, mW.
+    pub budget_mw: f64,
+}
+
+impl<'a> StreamProblemRef<'a> {
+    /// Borrows an owned problem.
+    pub fn from_problem(p: &'a StreamProblem) -> Self {
+        Self {
+            gains: &p.gains,
+            noise_mw: p.noise_mw,
+            interference_mw: Some(&p.interference_mw),
+            budget_mw: p.budget_mw,
+        }
+    }
+
+    /// Number of subcarriers.
+    pub fn len(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// `true` when there are no subcarriers.
+    pub fn is_empty(&self) -> bool {
+        self.gains.is_empty()
+    }
+
+    #[inline]
+    fn floor(&self, s: usize) -> f64 {
+        self.noise_mw + self.interference_mw.map_or(0.0, |v| v[s])
+    }
+}
+
+/// Reusable scratch for [`equi_sinr_into`]: grows to the subcarrier count
+/// once, then steady-state allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct AllocScratch {
+    order: Vec<usize>,
+    quality: Vec<f64>,
+    ratio: Vec<f64>,
+}
+
 /// Algorithm 1 / Equi-SINR: sort subcarriers by SINR-per-unit-power, try
 /// every drop count, equalize SINR on the survivors, keep the
 /// throughput-maximizing choice.
@@ -103,26 +170,75 @@ pub fn equi_sinr(
     model: &ThroughputModel,
     airtime: f64,
 ) -> StreamAllocation {
+    let mut scratch = AllocScratch::default();
+    let mut out = StreamAllocation::default();
+    equi_sinr_into(
+        &StreamProblemRef::from_problem(problem),
+        model,
+        airtime,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Zero-allocation Equi-SINR (see [`equi_sinr`]) with two pruning steps that
+/// are provably bit-identical to the exhaustive search:
+///
+/// * **Drop-loop bound**: the goodput of any drop count is capped by
+///   `top_mcs_phy_rate(n - drop) * airtime` (since `0 <= 1 - FER <= 1`), and
+///   that cap is decreasing in `drop`, so once it falls to the running best
+///   the loop stops. Replacement uses strict `>`, so a capped candidate could
+///   never have replaced the best anyway.
+/// * **MCS-walk bound**: rate selection uses
+///   [`ThroughputModel::best_flat_above`] with the running best as floor,
+///   which walks the MCS table top-down and stops early on the same kind of
+///   cap; a `None` result means "does not strictly beat the floor", which is
+///   exactly the no-replacement case.
+// alloc-free: begin equi_sinr_into
+pub fn equi_sinr_into(
+    problem: &StreamProblemRef<'_>,
+    model: &ThroughputModel,
+    airtime: f64,
+    scratch: &mut AllocScratch,
+    out: &mut StreamAllocation,
+) {
     let n = problem.len();
     assert!(n > 0, "allocation needs at least one subcarrier");
 
-    // Quality metric: achievable SINR per unit power.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        let qa = problem.gains[a] / problem.floor(a);
-        let qb = problem.gains[b] / problem.floor(b);
-        qa.total_cmp(&qb)
-    });
+    // Quality metric: achievable SINR per unit power. Precomputed so the
+    // sort comparator is two loads instead of two divisions (same values as
+    // computing inside the comparator, so the same permutation).
+    let AllocScratch {
+        order,
+        quality,
+        ratio,
+    } = scratch;
+    quality.clear();
+    quality.extend((0..n).map(|s| problem.gains[s] / problem.floor(s)));
+    // The equalization denominator's per-subcarrier term, hoisted out of the
+    // drop loop: each element is the exact expression the loop used to
+    // recompute (`floor / gain`, same division, same operands), so the
+    // left-to-right survivor sums below are bit-identical while the O(n^2)
+    // drop sweep does adds instead of divisions.
+    ratio.clear();
+    ratio.extend((0..n).map(|s| problem.floor(s) / problem.gains[s].max(1e-300)));
+    order.clear();
+    order.extend(0..n);
+    order.sort_by(|&a, &b| quality[a].total_cmp(&quality[b]));
 
+    let top_mcs = Mcs::TABLE[Mcs::TABLE.len() - 1];
     let mut best: Option<(usize, f64, RateChoice)> = None;
     // Drop the `i` worst subcarriers; equalize SINR on the rest:
     //   p_j = S * floor_j / g_j,   S = P / sum(floor_j / g_j).
     for drop in 0..n {
+        if let Some((_, _, b)) = &best {
+            if top_mcs.phy_rate_bps_with(n - drop) * airtime <= b.goodput_bps {
+                break;
+            }
+        }
         let survivors = &order[drop..];
-        let denom: f64 = survivors
-            .iter()
-            .map(|&s| problem.floor(s) / problem.gains[s].max(1e-300))
-            .sum();
+        let denom: f64 = survivors.iter().map(|&s| ratio[s]).sum();
         if !denom.is_finite() || denom <= 0.0 {
             continue;
         }
@@ -130,31 +246,30 @@ pub fn equi_sinr(
         // Every survivor sits at the same target SINR, so rate selection
         // takes the flat fast path: one BER evaluation per MCS instead of
         // one per subcarrier (bit-identical to `best(&[target; len])`).
-        let choice = model.best_flat(target_sinr, survivors.len(), airtime);
-        if best
+        let floor_bps = best
             .as_ref()
-            .map(|(_, _, b)| choice.goodput_bps > b.goodput_bps)
-            .unwrap_or(true)
+            .map_or(f64::NEG_INFINITY, |(_, _, b)| b.goodput_bps);
+        if let Some(choice) =
+            model.best_flat_above(target_sinr, survivors.len(), airtime, floor_bps)
         {
             best = Some((drop, target_sinr, choice));
         }
     }
     // Materialize only the winning drop count's power vector.
     let (drop, target_sinr, choice) = best.expect("at least one drop count must evaluate");
-    let mut powers = vec![0.0; n];
-    let mut sinrs = vec![0.0; n];
+    out.powers.clear();
+    out.powers.resize(n, 0.0);
+    out.sinrs.clear();
+    out.sinrs.resize(n, 0.0);
     for &s in &order[drop..] {
-        powers[s] = target_sinr * problem.floor(s) / problem.gains[s].max(1e-300);
-        sinrs[s] = target_sinr;
+        out.powers[s] = target_sinr * problem.floor(s) / problem.gains[s].max(1e-300);
+        out.sinrs[s] = target_sinr;
     }
-    StreamAllocation {
-        powers,
-        sinrs,
-        throughput_bps: choice.goodput_bps,
-        mcs: choice.mcs,
-        dropped: drop,
-    }
+    out.throughput_bps = choice.goodput_bps;
+    out.mcs = choice.mcs;
+    out.dropped = drop;
 }
+// alloc-free: end equi_sinr_into
 
 /// Subcarrier *selection only*: drop the worst `i` subcarriers but split
 /// power equally among the survivors (no equalization). One of the two
@@ -681,6 +796,126 @@ mod tests {
         let first = active[0];
         assert!(active.iter().all(|&x| (x - first).abs() < 1e-12));
         assert!((a.total_power_mw() - p.budget_mw).abs() < 1e-9 * p.budget_mw);
+    }
+
+    /// The original exhaustive Equi-SINR search (no drop-loop bound, full
+    /// MCS scan per drop count), kept verbatim as the bit-identity oracle
+    /// for the pruned production path.
+    fn exhaustive_reference(
+        problem: &StreamProblem,
+        model: &ThroughputModel,
+        airtime: f64,
+    ) -> StreamAllocation {
+        let n = problem.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let qa = problem.gains[a] / problem.floor(a);
+            let qb = problem.gains[b] / problem.floor(b);
+            qa.total_cmp(&qb)
+        });
+        let mut best: Option<(usize, f64, RateChoice)> = None;
+        for drop in 0..n {
+            let survivors = &order[drop..];
+            let denom: f64 = survivors
+                .iter()
+                .map(|&s| problem.floor(s) / problem.gains[s].max(1e-300))
+                .sum();
+            if !denom.is_finite() || denom <= 0.0 {
+                continue;
+            }
+            let target_sinr = problem.budget_mw / denom;
+            let choice = model.best_flat(target_sinr, survivors.len(), airtime);
+            if best
+                .as_ref()
+                .map(|(_, _, b)| choice.goodput_bps > b.goodput_bps)
+                .unwrap_or(true)
+            {
+                best = Some((drop, target_sinr, choice));
+            }
+        }
+        let (drop, target_sinr, choice) = best.expect("at least one drop count must evaluate");
+        let mut powers = vec![0.0; n];
+        let mut sinrs = vec![0.0; n];
+        for &s in &order[drop..] {
+            powers[s] = target_sinr * problem.floor(s) / problem.gains[s].max(1e-300);
+            sinrs[s] = target_sinr;
+        }
+        StreamAllocation {
+            powers,
+            sinrs,
+            throughput_bps: choice.goodput_bps,
+            mcs: choice.mcs,
+            dropped: drop,
+        }
+    }
+
+    fn assert_allocs_bit_identical(a: &StreamAllocation, b: &StreamAllocation, ctx: &str) {
+        assert_eq!(a.dropped, b.dropped, "{ctx}: dropped");
+        assert_eq!(a.mcs.index, b.mcs.index, "{ctx}: mcs");
+        assert_eq!(
+            a.throughput_bps.to_bits(),
+            b.throughput_bps.to_bits(),
+            "{ctx}: throughput"
+        );
+        for s in 0..a.powers.len() {
+            assert_eq!(
+                a.powers[s].to_bits(),
+                b.powers[s].to_bits(),
+                "{ctx}: p[{s}]"
+            );
+            assert_eq!(
+                a.sinrs[s].to_bits(),
+                b.sinrs[s].to_bits(),
+                "{ctx}: sinr[{s}]"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_equi_sinr_is_bit_identical_to_exhaustive() {
+        let model = ThroughputModel::default();
+        for seed in 0..40 {
+            // Mix of clean, interfered, and power-starved problems so the
+            // pruning is exercised across very different drop counts.
+            let mut p = if seed % 3 == 0 {
+                let mut rng = SimRng::seed_from(seed + 7000);
+                problem_from_fn(
+                    |_| -rng.clone().uniform().ln() * 3e-8,
+                    |s| if s % 4 == 0 { 2e-8 } else { 0.0 },
+                    NOISE,
+                    BUDGET,
+                )
+            } else {
+                fading_problem(seed + 7000)
+            };
+            if seed % 5 == 0 {
+                p.budget_mw *= db_to_lin(-25.0);
+            }
+            for &airtime in &[1.0, 0.88] {
+                let fast = equi_sinr(&p, &model, airtime);
+                let slow = exhaustive_reference(&p, &model, airtime);
+                assert_allocs_bit_identical(&fast, &slow, &format!("seed {seed} at {airtime}"));
+            }
+        }
+    }
+
+    #[test]
+    fn equi_sinr_into_with_none_interference_matches_zero_vector() {
+        let model = ThroughputModel::default();
+        let mut scratch = AllocScratch::default();
+        for seed in 0..10 {
+            let p = fading_problem(seed + 5500);
+            let via_problem = equi_sinr(&p, &model, 0.88);
+            let mut out = StreamAllocation::default();
+            let r = StreamProblemRef {
+                gains: &p.gains,
+                noise_mw: p.noise_mw,
+                interference_mw: None,
+                budget_mw: p.budget_mw,
+            };
+            equi_sinr_into(&r, &model, 0.88, &mut scratch, &mut out);
+            assert_allocs_bit_identical(&out, &via_problem, &format!("seed {seed}"));
+        }
     }
 
     #[test]

@@ -203,16 +203,15 @@ impl Campus {
     /// [`Campus::external_noise_scale`]). With `f = 1.0` the channels are
     /// bit-identical to the unscaled pair.
     pub fn pair_topology_scaled(&self, i: usize, j: usize, f0: f64, f1: f64) -> Topology {
-        let t = self.pair_topology(i, j);
-        Topology {
-            links: [
-                [t.links[0][0].scale_power(f0), t.links[0][1].scale_power(f1)],
-                [t.links[1][0].scale_power(f0), t.links[1][1].scale_power(f1)],
-            ],
-            signal_dbm: t.signal_dbm,
-            interference_dbm: t.interference_dbm,
-            config: t.config,
+        // Scale in place rather than via the allocating `scale_power`, which
+        // would clone all 52 per-subcarrier matrices of each of the four
+        // links just to multiply them by a constant.
+        let mut t = self.pair_topology(i, j);
+        for a in 0..2 {
+            t.links[a][0].scale_power_in_place(f0);
+            t.links[a][1].scale_power_in_place(f1);
         }
+        t
     }
 
     /// The residual-noise scaling factor `f = N / (N + R)` for cell

@@ -73,14 +73,37 @@ impl Impairments {
     /// the true channel plus white estimation noise whose per-entry power is
     /// `csi_error_db` relative to the link's mean gain.
     pub fn estimate_channel(&self, rng: &mut SimRng, truth: &FreqChannel) -> FreqChannel {
+        let mut out = FreqChannel::empty();
+        self.estimate_channel_into(rng, truth, &mut out);
+        out
+    }
+
+    /// Pooled [`Impairments::estimate_channel`]: writes the estimate into
+    /// `out`'s reused buffers. Draws the same RNG sequence in the same order
+    /// (per subcarrier, entries row-major), so results are bit-identical to
+    /// the owned entry point.
+    // alloc-free: begin estimate_channel_into
+    pub fn estimate_channel_into(
+        &self,
+        rng: &mut SimRng,
+        truth: &FreqChannel,
+        out: &mut FreqChannel,
+    ) {
         let err_power = truth.mean_gain() * db_to_lin(self.csi_error_db);
         let sigma = err_power.sqrt();
-        truth.map(|_, h| {
-            copa_num::matrix::CMat::from_fn(h.rows(), h.cols(), |r, t| {
-                h[(r, t)] + rng.randc().scale(sigma)
-            })
-        })
+        truth.map_into(
+            |_, h, dst| {
+                dst.reset(h.rows(), h.cols());
+                for r in 0..h.rows() {
+                    for t in 0..h.cols() {
+                        dst[(r, t)] = h[(r, t)] + rng.randc().scale(sigma);
+                    }
+                }
+            },
+            out,
+        );
     }
+    // alloc-free: end estimate_channel_into
 }
 
 #[cfg(test)]
@@ -114,6 +137,40 @@ mod tests {
             (avg_err / target - 1.0).abs() < 0.1,
             "error power {avg_err:e} vs target {target:e}"
         );
+    }
+
+    #[test]
+    fn pooled_estimate_preserves_rng_draw_order() {
+        // The pooled path must consume the RNG exactly like the historical
+        // `map` + `CMat::from_fn` formulation (per subcarrier, entries
+        // row-major) -- the engine's determinism guarantees hang off this.
+        let mut rng = SimRng::seed_from(33);
+        let ch = FreqChannel::random(&mut rng, 2, 4, 1e-6, &MultipathProfile::default());
+        let imp = Impairments::default();
+        let oracle = {
+            let mut r = rng.clone();
+            let sigma = (ch.mean_gain() * db_to_lin(imp.csi_error_db)).sqrt();
+            ch.map(|_, h| {
+                copa_num::matrix::CMat::from_fn(h.rows(), h.cols(), |i, j| {
+                    h[(i, j)] + r.randc().scale(sigma)
+                })
+            })
+        };
+        let mut pooled = FreqChannel::empty();
+        let mut r2 = rng.clone();
+        // Reuse the pool twice to prove statelessness.
+        imp.estimate_channel_into(&mut rng.clone(), &ch, &mut pooled);
+        imp.estimate_channel_into(&mut r2, &ch, &mut pooled);
+        for s in 0..DATA_SUBCARRIERS {
+            for i in 0..2 {
+                for j in 0..4 {
+                    let a = oracle.at(s)[(i, j)];
+                    let b = pooled.at(s)[(i, j)];
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "({s},{i},{j})");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "({s},{i},{j})");
+                }
+            }
+        }
     }
 
     #[test]

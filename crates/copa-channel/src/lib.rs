@@ -27,5 +27,5 @@ pub mod topology;
 pub use campus::{Campus, CampusSampler};
 pub use faults::{Delivery, FaultPlan};
 pub use impairments::Impairments;
-pub use multipath::{FreqChannel, MultipathProfile};
+pub use multipath::{FreqChannel, FreqChannelSoa, MultipathProfile};
 pub use topology::{AntennaConfig, Topology, TopologySampler};

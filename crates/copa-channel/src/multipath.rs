@@ -8,6 +8,7 @@
 //! Gaussian taps with an exponential power-delay profile, and the 64-point
 //! FFT of that impulse response yields the per-subcarrier channel gains.
 
+use copa_num::batch::CBatch;
 use copa_num::complex::C64;
 use copa_num::fft::fft;
 use copa_num::matrix::CMat;
@@ -56,7 +57,7 @@ impl MultipathProfile {
 
 /// A frequency-domain MIMO channel: one `rx x tx` complex matrix per data
 /// subcarrier, scaled so `E|H_ij|^2` equals the link's average path gain.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct FreqChannel {
     rx: usize,
     tx: usize,
@@ -169,6 +170,66 @@ impl FreqChannel {
             / cells
     }
 
+    /// An empty channel (0 antennas, no subcarriers), used as a reusable
+    /// output slot for the `_into` methods: buffers grow on first use, then
+    /// are reused without touching the allocator.
+    pub fn empty() -> Self {
+        Self {
+            rx: 0,
+            tx: 0,
+            subcarriers: Vec::new(),
+        }
+    }
+
+    /// Pooled [`FreqChannel::map`]: applies `f(s, src, dst)` to every
+    /// subcarrier matrix, writing into `out`'s reused buffers. `f` must set
+    /// `dst` to an `rx x tx` matrix (checked).
+    // alloc-free: begin freq_channel_into
+    pub fn map_into(&self, mut f: impl FnMut(usize, &CMat, &mut CMat), out: &mut FreqChannel) {
+        out.rx = self.rx;
+        out.tx = self.tx;
+        out.subcarriers.truncate(self.subcarriers.len());
+        out.subcarriers
+            .resize_with(self.subcarriers.len(), CMat::default);
+        for (s, (src, dst)) in self
+            .subcarriers
+            .iter()
+            .zip(&mut out.subcarriers)
+            .enumerate()
+        {
+            f(s, src, dst);
+            assert_eq!((dst.rows(), dst.cols()), (self.rx, self.tx));
+        }
+    }
+
+    /// Pooled [`FreqChannel::scale_power`]: writes the scaled channel into
+    /// `out`'s reused buffers. Bit-identical to `scale_power` (same per-entry
+    /// `z.scale(sqrt(factor))`).
+    pub fn scale_power_into(&self, factor: f64, out: &mut FreqChannel) {
+        let amp = factor.sqrt();
+        self.map_into(
+            |_, src, dst| {
+                dst.copy_from(src);
+                for z in dst.as_mut_slice() {
+                    *z = z.scale(amp);
+                }
+            },
+            out,
+        );
+    }
+
+    /// In-place [`FreqChannel::scale_power`], for channels the caller already
+    /// owns (no clone of the 52 matrices). Bit-identical to `scale_power`.
+    pub fn scale_power_in_place(&mut self, factor: f64) {
+        let amp = factor.sqrt();
+        for m in &mut self.subcarriers {
+            for z in m.as_mut_slice() {
+                *z = z.scale(amp);
+            }
+        }
+    }
+    // alloc-free: end freq_channel_into
+
     /// Applies `f` to every subcarrier matrix, producing a new channel.
     pub fn map(&self, mut f: impl FnMut(usize, &CMat) -> CMat) -> FreqChannel {
         let subcarriers: Vec<CMat> = self
@@ -260,6 +321,83 @@ impl FreqChannel {
                 .map(|m| m.select_rows(rows))
                 .collect(),
         }
+    }
+}
+
+/// Structure-of-arrays view of a [`FreqChannel`]: contiguous split re/im
+/// planes laid out `[row][col][subcarrier]` with the subcarrier index
+/// fastest-moving (one [`CBatch`] with `lanes == DATA_SUBCARRIERS`), so the
+/// batched kernels in `copa-num` sweep all 52 subcarriers of an antenna-pair
+/// entry with unit-stride `f64` loops.
+///
+/// Conversion is lossless both ways: `load_from` / `store_to` move the exact
+/// f64 bit patterns between the per-subcarrier `CMat`s and the planes.
+#[derive(Clone, Debug, Default)]
+pub struct FreqChannelSoa {
+    planes: CBatch,
+}
+
+impl FreqChannelSoa {
+    /// An empty SoA channel, used as a reusable pooled slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the SoA layout from an AoS channel.
+    pub fn from_channel(ch: &FreqChannel) -> Self {
+        let mut soa = Self::new();
+        soa.load_from(ch);
+        soa
+    }
+
+    /// Pooled conversion from an AoS channel (reuses the plane buffers).
+    pub fn load_from(&mut self, ch: &FreqChannel) {
+        self.planes.reset(ch.rx, ch.tx, ch.subcarriers.len());
+        for (s, m) in ch.subcarriers.iter().enumerate() {
+            self.planes.load_lane(s, m);
+        }
+    }
+
+    /// Pooled conversion back to an AoS channel (reuses `out`'s buffers).
+    pub fn store_to(&self, out: &mut FreqChannel) {
+        out.rx = self.planes.rows();
+        out.tx = self.planes.cols();
+        out.subcarriers.truncate(self.planes.lanes());
+        out.subcarriers
+            .resize_with(self.planes.lanes(), CMat::default);
+        for (s, m) in out.subcarriers.iter_mut().enumerate() {
+            self.planes.store_lane(s, m);
+        }
+    }
+
+    /// Number of receive antennas.
+    pub fn rx(&self) -> usize {
+        self.planes.rows()
+    }
+
+    /// Number of transmit antennas.
+    pub fn tx(&self) -> usize {
+        self.planes.cols()
+    }
+
+    /// Number of subcarriers (batch lanes).
+    pub fn subcarriers(&self) -> usize {
+        self.planes.lanes()
+    }
+
+    /// The underlying batch planes (for handing to the batched kernels).
+    pub fn planes(&self) -> &CBatch {
+        &self.planes
+    }
+
+    /// Mutable access to the underlying batch planes.
+    pub fn planes_mut(&mut self) -> &mut CBatch {
+        &mut self.planes
+    }
+
+    /// Entry `(r, t)` on subcarrier `s` (convenience accessor).
+    pub fn at(&self, s: usize, r: usize, t: usize) -> C64 {
+        self.planes.get(r, t, s)
     }
 }
 
@@ -440,6 +578,108 @@ mod tests {
         let same = ch.with_antenna_correlation(0.0, 0.0);
         for s in [0usize, 25, 51] {
             assert!(same.at(s).approx_eq(ch.at(s), 1e-15));
+        }
+    }
+
+    #[test]
+    fn scale_power_variants_are_bit_identical() {
+        let mut rng = SimRng::seed_from(21);
+        let ch = FreqChannel::random(&mut rng, 2, 4, 1e-6, &MultipathProfile::default());
+        let owned = ch.scale_power(0.316);
+        let mut pooled = FreqChannel::empty();
+        ch.scale_power_into(0.316, &mut pooled);
+        let mut in_place = ch.clone();
+        in_place.scale_power_in_place(0.316);
+        for s in 0..DATA_SUBCARRIERS {
+            for r in 0..2 {
+                for t in 0..4 {
+                    let want = owned.at(s)[(r, t)];
+                    for got in [pooled.at(s)[(r, t)], in_place.at(s)[(r, t)]] {
+                        assert_eq!(want.re.to_bits(), got.re.to_bits());
+                        assert_eq!(want.im.to_bits(), got.im.to_bits());
+                    }
+                }
+            }
+        }
+        assert_eq!(pooled.rx(), 2);
+        assert_eq!(pooled.tx(), 4);
+    }
+
+    #[test]
+    fn map_into_matches_map() {
+        let mut rng = SimRng::seed_from(22);
+        let ch = FreqChannel::random(&mut rng, 3, 2, 1.0, &MultipathProfile::default());
+        let owned = ch.map(|s, m| m.scale(1.0 + s as f64 * 0.01));
+        let mut pooled = FreqChannel::empty();
+        // Reuse across two calls to prove statelessness of the pool.
+        ch.map_into(|_, src, dst| dst.copy_from(src), &mut pooled);
+        ch.map_into(
+            |s, src, dst| {
+                dst.copy_from(src);
+                let f = 1.0 + s as f64 * 0.01;
+                for z in dst.as_mut_slice() {
+                    *z = z.scale(f);
+                }
+            },
+            &mut pooled,
+        );
+        for s in 0..DATA_SUBCARRIERS {
+            for r in 0..3 {
+                for t in 0..2 {
+                    let a = owned.at(s)[(r, t)];
+                    let b = pooled.at(s)[(r, t)];
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "({s},{r},{t})");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "({s},{r},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_round_trip_is_lossless() {
+        let mut rng = SimRng::seed_from(23);
+        for (rx, tx) in [(1usize, 1usize), (2, 4), (4, 2), (3, 3)] {
+            let ch = FreqChannel::random(&mut rng, rx, tx, 1e-6, &MultipathProfile::default());
+            let soa = FreqChannelSoa::from_channel(&ch);
+            assert_eq!(soa.rx(), rx);
+            assert_eq!(soa.tx(), tx);
+            assert_eq!(soa.subcarriers(), DATA_SUBCARRIERS);
+            let mut back = FreqChannel::empty();
+            soa.store_to(&mut back);
+            for s in 0..DATA_SUBCARRIERS {
+                for r in 0..rx {
+                    for t in 0..tx {
+                        let a = ch.at(s)[(r, t)];
+                        let b = back.at(s)[(r, t)];
+                        assert_eq!(a.re.to_bits(), b.re.to_bits(), "({s},{r},{t})");
+                        assert_eq!(a.im.to_bits(), b.im.to_bits(), "({s},{r},{t})");
+                        let c = soa.at(s, r, t);
+                        assert_eq!(a.re.to_bits(), c.re.to_bits());
+                        assert_eq!(a.im.to_bits(), c.im.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_pooled_reload_across_shapes() {
+        let mut rng = SimRng::seed_from(24);
+        let big = FreqChannel::random(&mut rng, 4, 4, 1.0, &MultipathProfile::default());
+        let small = FreqChannel::random(&mut rng, 1, 2, 1.0, &MultipathProfile::default());
+        let mut soa = FreqChannelSoa::new();
+        soa.load_from(&big);
+        soa.load_from(&small);
+        assert_eq!((soa.rx(), soa.tx()), (1, 2));
+        let mut back = FreqChannel::empty();
+        soa.store_to(&mut back);
+        for s in 0..DATA_SUBCARRIERS {
+            for t in 0..2 {
+                let a = small.at(s)[(0, t)];
+                let b = back.at(s)[(0, t)];
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "({s},{t})");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "({s},{t})");
+            }
         }
     }
 

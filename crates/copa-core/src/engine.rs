@@ -9,11 +9,16 @@
 //! the sequential fallback ("COPA fair", section 3.5).
 
 use crate::error::CopaError;
-use crate::scenario::{prepare, PreparedScenario, ScenarioParams};
-use crate::strategy::{Outcome, Strategy};
+use crate::scenario::{prepare_into, KernelMode, PreparedScenario, ScenarioParams, ScenarioView};
+use crate::strategy::{Outcome, OutcomeVec, Strategy};
 use crate::telemetry::{phase_span, EngineObs};
-use copa_alloc::concurrent::{allocate_concurrent, AllocatorKind, ConcurrentProblem};
-use copa_alloc::stream::{equi_sinr, mercury_best, StreamProblem};
+use copa_alloc::concurrent::{
+    allocate_concurrent_into, AllocatorKind, ConcurrentProblemRef, ConcurrentScratch,
+    ConcurrentSolution,
+};
+use copa_alloc::stream::{
+    equi_sinr_into, mercury_best, AllocScratch, StreamAllocation, StreamProblem, StreamProblemRef,
+};
 use copa_channel::{FreqChannel, Topology};
 use copa_mac::overhead::{airtime_efficiency, OverheadConfig, Scheme};
 use copa_num::matrix::CMat;
@@ -21,10 +26,12 @@ use copa_num::svd::{cond_into, Svd, SvdScratch};
 use copa_phy::mmse_curves::MmseCurve;
 use copa_phy::modulation::Modulation;
 use copa_phy::ofdm::DATA_SUBCARRIERS;
-use copa_precoding::beamforming::beamform_with;
-use copa_precoding::nulling::null_toward_with;
+use copa_precoding::beamforming::{beamform_scalar_with, beamform_with};
+use copa_precoding::nulling::{null_toward_scalar_with, null_toward_with};
 use copa_precoding::sda::antenna_to_keep;
-use copa_precoding::sinr::{active_cells_into, mmse_sinr_grid_with, SinrScratch, TxSide};
+use copa_precoding::sinr::{
+    active_cells_into, mmse_sinr_grid_scalar_with, mmse_sinr_grid_with, SinrScratch, TxSide,
+};
 use copa_precoding::{LinkPrecoding, PrecodeScratch, TxPowers};
 
 /// How the receiver decodes (section 4.6): one decoder for the whole frame
@@ -42,7 +49,7 @@ pub enum DecoderMode {
 #[derive(Clone, Debug)]
 pub struct Evaluation {
     /// Every strategy evaluated, in menu order.
-    pub outcomes: Vec<Outcome>,
+    pub outcomes: OutcomeVec,
     /// Stock CSMA baseline.
     pub csma: Outcome,
     /// COPA-SEQ (also the fairness reference).
@@ -76,6 +83,18 @@ impl Evaluation {
 /// the allocator in its per-subcarrier kernels.
 #[derive(Default)]
 pub struct EngineWorkspace {
+    /// CSI-estimate slots for raw-topology requests ([`prepare_into`] fills
+    /// them in place; prepared requests borrow the caller's scenario).
+    est: [[FreqChannel; 2]; 2],
+    /// All the scratch/output buffers. Split from `est` so the evaluation
+    /// can borrow the estimates immutably (through a [`ScenarioView`])
+    /// while mutating these.
+    buf: WorkBuffers,
+}
+
+/// The mutable half of [`EngineWorkspace`].
+#[derive(Default)]
+struct WorkBuffers {
     /// Beamforming / nulling scratch.
     pre: PrecodeScratch,
     /// MMSE SINR scratch.
@@ -84,10 +103,6 @@ pub struct EngineWorkspace {
     grid: Vec<Vec<f64>>,
     /// Active-cell SINR list output slot.
     cells: Vec<f64>,
-    /// Precoder slot for the sequential path (one link at a time).
-    seq_pre: LinkPrecoding,
-    /// Precoder slots for the concurrent path (both APs at once).
-    pres: [LinkPrecoding; 2],
     /// Cross-gain scratch: one precoder column.
     cg_w: CMat,
     /// Cross-gain scratch: channel times column.
@@ -96,6 +111,25 @@ pub struct EngineWorkspace {
     cond_svd: SvdScratch,
     /// SVD output slot for the conditioning quarantine check.
     cond_out: Svd,
+    /// Own-link beamformers, memoized per evaluation: CSMA, COPA-SEQ and
+    /// concurrent-BF all beamform the same `est[i][i]` at the same stream
+    /// count, so the SVDs run once per AP per topology.
+    bf_valid: [bool; 2],
+    bf_pre: [LinkPrecoding; 2],
+    /// Nulling precoders, memoized per evaluation and keyed by the SDA
+    /// role assignment (`None`, leader 0, leader 1): vanilla nulling and
+    /// COPA's concurrent nulling share identical precoding work.
+    /// `None` = not yet computed; `Some(feasible)` afterwards.
+    null_state: [Option<bool>; 3],
+    null_pre: [[LinkPrecoding; 2]; 3],
+    /// Pooled power-allocation buffers.
+    seq_powers: TxPowers,
+    alloc: AllocScratch,
+    stream_out: StreamAllocation,
+    eq_powers: [TxPowers; 2],
+    cross_gains: [Vec<Vec<f64>>; 2],
+    conc_scratch: ConcurrentScratch,
+    conc_sol: ConcurrentSolution,
 }
 
 impl EngineWorkspace {
@@ -211,24 +245,6 @@ impl Engine {
     pub fn run(&self, req: &mut EvalRequest<'_>) -> Result<Evaluation, CopaError> {
         let obs = req.obs;
         let obs = obs.as_ref();
-        let owned;
-        let p: &PreparedScenario = match req.input {
-            EvalInput::Topology(t) => {
-                owned = phase_span(
-                    obs,
-                    |m| m.csi_prep_us,
-                    "csi_prep",
-                    || prepare(t, &self.params),
-                );
-                &owned
-            }
-            EvalInput::Prepared(p) => {
-                // Caller-supplied CSI (e.g. decompressed from an ITS frame)
-                // is the one place degenerate channels can enter the engine.
-                validate_prepared(p)?;
-                p
-            }
-        };
         let mut fresh;
         let ws: &mut EngineWorkspace = match req.workspace.as_deref_mut() {
             Some(ws) => ws,
@@ -237,12 +253,94 @@ impl Engine {
                 &mut fresh
             }
         };
-        self.quarantine_ill_conditioned(p, ws)?;
-        let ev = self.eval_all(p, req.mode, ws, obs);
+        // Split the workspace: the view borrows the CSI slots immutably
+        // while the evaluation mutates everything else.
+        let EngineWorkspace { est, buf } = ws;
+        let view: ScenarioView<'_> = match req.input {
+            EvalInput::Topology(t) => {
+                phase_span(
+                    obs,
+                    |m| m.csi_prep_us,
+                    "csi_prep",
+                    || prepare_into(t, &self.params, est),
+                );
+                ScenarioView {
+                    topology: t,
+                    est: [[&est[0][0], &est[0][1]], [&est[1][0], &est[1][1]]],
+                }
+            }
+            EvalInput::Prepared(p) => {
+                // Caller-supplied CSI (e.g. decompressed from an ITS frame)
+                // is the one place degenerate channels can enter the engine.
+                validate_prepared(p)?;
+                ScenarioView::from_prepared(p)
+            }
+        };
+        self.quarantine_ill_conditioned(&view, buf)?;
+        let ev = self.eval_all(&view, req.mode, buf, obs);
         if let Some(o) = obs {
             o.sink.add(o.metrics.evaluations, 1);
         }
         Ok(ev)
+    }
+
+    /// Dispatches beamforming to the batched or scalar kernel per
+    /// `params.kernel_mode` (bit-identical either way).
+    fn beamform_dispatch(
+        &self,
+        est: &FreqChannel,
+        streams: usize,
+        ws: &mut PrecodeScratch,
+        out: &mut LinkPrecoding,
+    ) {
+        match self.params.kernel_mode {
+            KernelMode::Batched => beamform_with(est, streams, ws, out),
+            KernelMode::Scalar => beamform_scalar_with(est, streams, ws, out),
+        }
+    }
+
+    /// Dispatches nulling to the batched or scalar kernel.
+    fn null_dispatch(
+        &self,
+        est_own: &FreqChannel,
+        est_victim: &FreqChannel,
+        streams: usize,
+        ws: &mut PrecodeScratch,
+        out: &mut LinkPrecoding,
+    ) -> bool {
+        match self.params.kernel_mode {
+            KernelMode::Batched => null_toward_with(est_own, est_victim, streams, ws, out),
+            KernelMode::Scalar => null_toward_scalar_with(est_own, est_victim, streams, ws, out),
+        }
+    }
+
+    /// Dispatches the MMSE SINR grid to the batched or scalar kernel.
+    fn sinr_dispatch(
+        &self,
+        own: &TxSide<'_>,
+        interferer: Option<&TxSide<'_>>,
+        noise_mw: f64,
+        ws: &mut SinrScratch,
+        grid: &mut Vec<Vec<f64>>,
+    ) {
+        match self.params.kernel_mode {
+            KernelMode::Batched => mmse_sinr_grid_with(
+                own,
+                interferer,
+                noise_mw,
+                &self.params.impairments,
+                ws,
+                grid,
+            ),
+            KernelMode::Scalar => mmse_sinr_grid_scalar_with(
+                own,
+                interferer,
+                noise_mw,
+                &self.params.impairments,
+                ws,
+                grid,
+            ),
+        }
     }
 
     /// The numerical-conditioning quarantine: when `params.cond_limit` is
@@ -256,8 +354,8 @@ impl Engine {
     /// infinite limit this is a single branch -- results stay bit-identical.
     fn quarantine_ill_conditioned(
         &self,
-        p: &PreparedScenario,
-        ws: &mut EngineWorkspace,
+        v: &ScenarioView<'_>,
+        ws: &mut WorkBuffers,
     ) -> Result<(), CopaError> {
         let limit = self.params.cond_limit;
         if !limit.is_finite() {
@@ -265,7 +363,7 @@ impl Engine {
         }
         for i in 0..2 {
             // alloc-free: begin cond quarantine sweep (scratch reused per subcarrier)
-            for (s, m) in p.est[i][i].iter().enumerate() {
+            for (s, m) in v.est[i][i].iter().enumerate() {
                 let cond = cond_into(m, &mut ws.cond_svd, &mut ws.cond_out);
                 if !(cond <= limit) {
                     return Err(CopaError::SingularChannel {
@@ -342,16 +440,22 @@ impl Engine {
     /// Evaluates every strategy for one validated, prepared scenario.
     fn eval_all(
         &self,
-        p: &PreparedScenario,
+        p: &ScenarioView<'_>,
         mode: DecoderMode,
-        ws: &mut EngineWorkspace,
+        ws: &mut WorkBuffers,
         obs: Option<&EngineObs<'_>>,
     ) -> Evaluation {
+        // New topology: every memoized precoder is stale.
+        ws.bf_valid = [false; 2];
+        ws.null_state = [None; 3];
+
         let csma = self.eval_sequential(p, Strategy::Csma, mode, ws, obs);
         let copa_seq = self.eval_sequential(p, Strategy::CopaSeq, mode, ws, obs);
         let vanilla_null = self.eval_concurrent(p, Strategy::VanillaNull, mode, ws, obs);
 
-        let mut outcomes = vec![csma, copa_seq];
+        let mut outcomes = OutcomeVec::new();
+        outcomes.push(csma);
+        outcomes.push(copa_seq);
         if let Some(v) = vanilla_null {
             outcomes.push(v);
         }
@@ -431,13 +535,13 @@ impl Engine {
     /// Sequential strategies: each AP transmits alone half the time.
     fn eval_sequential(
         &self,
-        p: &PreparedScenario,
+        p: &ScenarioView<'_>,
         strategy: Strategy,
         mode: DecoderMode,
-        ws: &mut EngineWorkspace,
+        ws: &mut WorkBuffers,
         obs: Option<&EngineObs<'_>>,
     ) -> Outcome {
-        let topo = &p.topology;
+        let topo = p.topology;
         let streams = topo.config.max_streams();
         let scheme = match strategy {
             Strategy::Csma => Scheme::CsmaCtsSelf,
@@ -451,52 +555,68 @@ impl Engine {
         let noise = topo.noise_per_subcarrier_mw();
         let budget = topo.tx_budget_mw();
 
-        let EngineWorkspace {
+        let WorkBuffers {
             pre: pre_scratch,
             sinr: sinr_scratch,
             grid,
             cells,
-            seq_pre,
+            bf_valid,
+            bf_pre,
+            seq_powers,
+            alloc,
+            stream_out,
             ..
         } = ws;
         let mut per_client = [0.0; 2];
         for i in 0..2 {
+            // CSMA, COPA-SEQ and concurrent-BF all use this same precoder;
+            // the SVDs run once per AP per topology.
+            if !bf_valid[i] {
+                phase_span(
+                    obs,
+                    |m| m.precoding_us,
+                    "precoding",
+                    || {
+                        self.beamform_dispatch(p.est[i][i], streams, pre_scratch, &mut bf_pre[i]);
+                    },
+                );
+                bf_valid[i] = true;
+            }
+            let seq_pre = &bf_pre[i];
             phase_span(
-                obs,
-                |m| m.precoding_us,
-                "precoding",
-                || {
-                    beamform_with(&p.est[i][i], streams, pre_scratch, seq_pre);
-                },
-            );
-            let powers = phase_span(
                 obs,
                 |m| m.allocation_us,
                 "allocation",
                 || match strategy {
-                    Strategy::Csma => TxPowers::equal(streams, budget),
-                    Strategy::SeqMercury => self.alloc_streams(
+                    Strategy::Csma => seq_powers.set_equal(streams, budget),
+                    Strategy::SeqMercury => self.alloc_streams_into(
                         seq_pre,
                         noise,
                         budget,
                         None,
                         AllocatorKind::Mercury,
                         eff,
+                        alloc,
+                        stream_out,
+                        seq_powers,
                     ),
-                    _ => self.alloc_streams(
+                    _ => self.alloc_streams_into(
                         seq_pre,
                         noise,
                         budget,
                         None,
                         AllocatorKind::EquiSinr,
                         eff,
+                        alloc,
+                        stream_out,
+                        seq_powers,
                     ),
                 },
             );
             let own = TxSide {
                 channel: &topo.links[i][i],
                 precoding: seq_pre,
-                powers: &powers,
+                powers: seq_powers,
                 budget_mw: budget,
             };
             phase_span(
@@ -504,15 +624,8 @@ impl Engine {
                 |m| m.sinr_us,
                 "sinr",
                 || {
-                    mmse_sinr_grid_with(
-                        &own,
-                        None,
-                        noise,
-                        &self.params.impairments,
-                        sinr_scratch,
-                        grid,
-                    );
-                    active_cells_into(grid, &powers, cells);
+                    self.sinr_dispatch(&own, None, noise, sinr_scratch, grid);
+                    active_cells_into(grid, seq_powers, cells);
                 },
             );
             // Half the medium time each.
@@ -525,8 +638,11 @@ impl Engine {
     }
 
     /// Allocates every stream of one AP independently (used by sequential
-    /// strategies; `interference` per subcarrier if any).
-    fn alloc_streams(
+    /// strategies; `interference` per subcarrier if any), writing into the
+    /// pooled `out`. The equi-SINR path is allocation-free after warm-up;
+    /// mercury (off by default) still builds owned problems.
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_streams_into(
         &self,
         pre: &LinkPrecoding,
         noise: f64,
@@ -534,37 +650,50 @@ impl Engine {
         interference: Option<&[f64]>,
         kind: AllocatorKind,
         eff: f64,
-    ) -> TxPowers {
+        alloc: &mut AllocScratch,
+        stream_out: &mut StreamAllocation,
+        out: &mut TxPowers,
+    ) {
         let streams = pre.streams();
-        let mut rows = Vec::with_capacity(streams);
+        out.powers.truncate(streams);
+        out.powers.resize_with(streams, Vec::new);
         for k in 0..streams {
-            let problem = StreamProblem {
-                gains: pre.stream_gains[k].clone(),
-                noise_mw: noise,
-                interference_mw: interference
-                    .map(|v| v.to_vec())
-                    .unwrap_or_else(|| vec![0.0; DATA_SUBCARRIERS]),
-                budget_mw: budget / streams as f64,
-            };
-            let alloc = match kind {
-                AllocatorKind::EquiSinr => equi_sinr(&problem, &self.params.model, eff),
-                AllocatorKind::Mercury => {
-                    mercury_best(&problem, &self.curves, &self.params.model, eff)
+            match kind {
+                AllocatorKind::EquiSinr => {
+                    let problem = StreamProblemRef {
+                        gains: &pre.stream_gains[k],
+                        noise_mw: noise,
+                        interference_mw: interference,
+                        budget_mw: budget / streams as f64,
+                    };
+                    equi_sinr_into(&problem, &self.params.model, eff, alloc, stream_out);
+                    out.powers[k].clear();
+                    out.powers[k].extend_from_slice(&stream_out.powers);
                 }
-            };
-            rows.push(alloc.powers);
+                AllocatorKind::Mercury => {
+                    let problem = StreamProblem {
+                        gains: pre.stream_gains[k].clone(),
+                        noise_mw: noise,
+                        interference_mw: interference
+                            .map(|v| v.to_vec())
+                            .unwrap_or_else(|| vec![0.0; DATA_SUBCARRIERS]),
+                        budget_mw: budget / streams as f64,
+                    };
+                    let a = mercury_best(&problem, &self.curves, &self.params.model, eff);
+                    out.powers[k] = a.powers;
+                }
+            }
         }
-        TxPowers { powers: rows }
     }
 
     /// Concurrent strategies. Returns `None` when the precoders are
     /// infeasible (e.g. nulling with single-antenna APs).
     fn eval_concurrent(
         &self,
-        p: &PreparedScenario,
+        p: &ScenarioView<'_>,
         strategy: Strategy,
         mode: DecoderMode,
-        ws: &mut EngineWorkspace,
+        ws: &mut WorkBuffers,
         obs: Option<&EngineObs<'_>>,
     ) -> Option<Outcome> {
         let nulling = matches!(
@@ -618,15 +747,15 @@ impl Engine {
     #[allow(clippy::too_many_arguments)]
     fn eval_concurrent_setup(
         &self,
-        p: &PreparedScenario,
+        p: &ScenarioView<'_>,
         strategy: Strategy,
         mode: DecoderMode,
         sda_leader: Option<usize>,
         require_full_rank: bool,
-        ws: &mut EngineWorkspace,
+        ws: &mut WorkBuffers,
         obs: Option<&EngineObs<'_>>,
     ) -> Option<Outcome> {
-        let topo = &p.topology;
+        let topo = p.topology;
         let noise = topo.noise_per_subcarrier_mw();
         let budget = topo.tx_budget_mw();
         let nulling = matches!(
@@ -637,14 +766,14 @@ impl Engine {
         // Estimated channels, with the SDA row reduction applied to every
         // channel *into* the reduced client. Borrowed in place -- only the
         // SDA path materializes (four reduced) channels.
-        let mut est_own: [&FreqChannel; 2] = [&p.est[0][0], &p.est[1][1]];
-        let mut est_cross: [&FreqChannel; 2] = [&p.est[0][1], &p.est[1][0]]; // [i] = AP i -> other client
+        let mut est_own: [&FreqChannel; 2] = [p.est[0][0], p.est[1][1]];
+        let mut est_cross: [&FreqChannel; 2] = [p.est[0][1], p.est[1][0]]; // [i] = AP i -> other client
         let mut true_own: [&FreqChannel; 2] = [&topo.links[0][0], &topo.links[1][1]];
         let mut true_cross: [&FreqChannel; 2] = [&topo.links[0][1], &topo.links[1][0]];
         let reduced: [FreqChannel; 4];
         if let Some(leader) = sda_leader {
             let follower = 1 - leader;
-            let keep = antenna_to_keep(&p.est[follower][follower]);
+            let keep = antenna_to_keep(p.est[follower][follower]);
             reduced = [
                 est_own[follower].select_rx(&[keep]),
                 est_cross[leader].select_rx(&[keep]),
@@ -657,47 +786,96 @@ impl Engine {
             true_cross[leader] = &reduced[3];
         }
 
-        let EngineWorkspace {
+        let WorkBuffers {
             pre: pre_scratch,
             sinr: sinr_scratch,
             grid,
             cells,
-            pres,
+            bf_valid,
+            bf_pre,
+            null_state,
+            null_pre,
+            eq_powers,
+            cross_gains,
+            conc_scratch,
+            conc_sol,
             cg_w,
             cg_hw,
             ..
         } = ws;
 
-        // Precoders: most streams each side can sustain.
-        let feasible = phase_span(
-            obs,
-            |m| m.precoding_us,
-            "precoding",
-            || {
+        // Precoders: most streams each side can sustain. Both the nulling
+        // precoders (shared by vanilla nulling and COPA's concurrent
+        // nulling, keyed by the SDA role assignment) and the beamformers
+        // (shared with the sequential strategies) are memoized per topology.
+        let pres: &[LinkPrecoding; 2] = if nulling {
+            let key = match sda_leader {
+                None => 0,
+                Some(l) => 1 + l,
+            };
+            if null_state[key].is_none() {
+                let slot = &mut null_pre[key];
+                let ok = phase_span(
+                    obs,
+                    |m| m.precoding_us,
+                    "precoding",
+                    || {
+                        for i in 0..2 {
+                            let max_streams = est_own[i].rx().min(est_own[i].tx());
+                            // Highest stream count that still permits nulling.
+                            let feasible = (1..=max_streams).rev().any(|k| {
+                                self.null_dispatch(
+                                    est_own[i],
+                                    est_cross[i],
+                                    k,
+                                    pre_scratch,
+                                    &mut slot[i],
+                                )
+                            });
+                            if !feasible {
+                                return false;
+                            }
+                        }
+                        true
+                    },
+                );
+                null_state[key] = Some(ok);
+            }
+            if null_state[key] != Some(true) {
+                return None;
+            }
+            // With `require_full_rank`, only the full stream count will do.
+            if require_full_rank {
                 for i in 0..2 {
                     let max_streams = est_own[i].rx().min(est_own[i].tx());
-                    if nulling {
-                        // Highest stream count that still permits nulling; with
-                        // `require_full_rank`, only the full stream count will do.
-                        let feasible = (1..=max_streams).rev().any(|k| {
-                            null_toward_with(est_own[i], est_cross[i], k, pre_scratch, &mut pres[i])
-                        });
-                        if !feasible {
-                            return false;
-                        }
-                        if require_full_rank && pres[i].streams() < max_streams {
-                            return false;
-                        }
-                    } else {
-                        beamform_with(est_own[i], max_streams, pre_scratch, &mut pres[i]);
+                    if null_pre[key][i].streams() < max_streams {
+                        return None;
                     }
                 }
-                true
-            },
-        );
-        if !feasible {
-            return None;
-        }
+            }
+            &null_pre[key]
+        } else {
+            for i in 0..2 {
+                if !bf_valid[i] {
+                    phase_span(
+                        obs,
+                        |m| m.precoding_us,
+                        "precoding",
+                        || {
+                            let max_streams = est_own[i].rx().min(est_own[i].tx());
+                            self.beamform_dispatch(
+                                est_own[i],
+                                max_streams,
+                                pre_scratch,
+                                &mut bf_pre[i],
+                            );
+                        },
+                    );
+                    bf_valid[i] = true;
+                }
+            }
+            &*bf_pre
+        };
 
         // Cross-gain predictions for the allocator: residual leakage of each
         // stream at the victim, plus the EVM floor the radio specs promise.
@@ -709,36 +887,60 @@ impl Engine {
             self.params.coherence_us,
         );
 
-        let powers: [TxPowers; 2] = phase_span(
+        phase_span(
             obs,
             |m| m.allocation_us,
             "allocation",
             || match strategy {
-                Strategy::VanillaNull => [
-                    TxPowers::equal(pres[0].streams(), budget),
-                    TxPowers::equal(pres[1].streams(), budget),
-                ],
+                Strategy::VanillaNull => {
+                    for i in 0..2 {
+                        eq_powers[i].set_equal(pres[i].streams(), budget);
+                    }
+                }
                 _ => {
                     let kind = if strategy.is_mercury() {
                         AllocatorKind::Mercury
                     } else {
                         AllocatorKind::EquiSinr
                     };
-                    let problem = ConcurrentProblem {
-                        own_gains: [pres[0].stream_gains.clone(), pres[1].stream_gains.clone()],
-                        cross_gains: [
-                            cross_gain_grid(est_cross[0], &pres[0], evm, cg_w, cg_hw),
-                            cross_gain_grid(est_cross[1], &pres[1], evm, cg_w, cg_hw),
-                        ],
+                    cross_gain_grid_into(
+                        est_cross[0],
+                        &pres[0],
+                        evm,
+                        cg_w,
+                        cg_hw,
+                        &mut cross_gains[0],
+                    );
+                    cross_gain_grid_into(
+                        est_cross[1],
+                        &pres[1],
+                        evm,
+                        cg_w,
+                        cg_hw,
+                        &mut cross_gains[1],
+                    );
+                    let problem = ConcurrentProblemRef {
+                        own_gains: [&pres[0].stream_gains, &pres[1].stream_gains],
+                        cross_gains: [&cross_gains[0], &cross_gains[1]],
                         noise_mw: noise,
                         budgets_mw: [budget, budget],
                     };
-                    let sol =
-                        allocate_concurrent(&problem, kind, &self.curves, &self.params.model, eff);
-                    sol.powers
+                    allocate_concurrent_into(
+                        &problem,
+                        kind,
+                        &self.curves,
+                        &self.params.model,
+                        eff,
+                        conc_scratch,
+                        conc_sol,
+                    );
                 }
             },
         );
+        let powers: &[TxPowers; 2] = match strategy {
+            Strategy::VanillaNull => eq_powers,
+            _ => &conc_sol.powers,
+        };
 
         // Ground-truth evaluation at both clients.
         let mut per_client = [0.0; 2];
@@ -761,14 +963,7 @@ impl Engine {
                 |m| m.sinr_us,
                 "sinr",
                 || {
-                    mmse_sinr_grid_with(
-                        &own,
-                        Some(&int),
-                        noise,
-                        &self.params.impairments,
-                        sinr_scratch,
-                        grid,
-                    );
+                    self.sinr_dispatch(&own, Some(&int), noise, sinr_scratch, grid);
                     active_cells_into(grid, &powers[i], cells);
                 },
             );
@@ -781,32 +976,33 @@ impl Engine {
     }
 }
 
-// alloc-free: begin cross_gain_grid (per-subcarrier kernel -- no Vec::new / vec!)
+// alloc-free: begin cross_gain_grid (per-subcarrier kernel -- no vec! / .to_vec / with_capacity)
 /// Predicted gain of each of `pre`'s streams at the victim behind the cross
 /// channel `hx`: residual nulling leakage plus the EVM floor the radio specs
-/// promise. The outer `streams x DATA_SUBCARRIERS` grid is the return value
-/// (it is moved into the allocator problem); the per-subcarrier matrix
-/// products go through caller-owned scratch.
-fn cross_gain_grid(
+/// promise. The outer `streams x DATA_SUBCARRIERS` grid lands in the pooled
+/// `out` (rows cleared and refilled, capacity retained across topologies);
+/// the per-subcarrier matrix products go through caller-owned scratch.
+fn cross_gain_grid_into(
     hx: &FreqChannel,
     pre: &LinkPrecoding,
     evm: f64,
     w: &mut CMat,
     hw: &mut CMat,
-) -> Vec<Vec<f64>> {
-    (0..pre.streams())
-        .map(|k| {
-            (0..DATA_SUBCARRIERS)
-                .map(|s| {
-                    pre.precoder[s].column_into(k, w);
-                    hx.at(s).mul_into(w, hw);
-                    let leak = hw.frobenius_norm_sqr();
-                    let evm_floor = evm * hx.at(s).frobenius_norm_sqr() / hx.tx() as f64;
-                    leak + evm_floor
-                })
-                .collect()
-        })
-        .collect()
+    out: &mut Vec<Vec<f64>>,
+) {
+    let streams = pre.streams();
+    out.truncate(streams);
+    out.resize_with(streams, Default::default);
+    for (k, row) in out.iter_mut().enumerate() {
+        row.clear();
+        for s in 0..DATA_SUBCARRIERS {
+            pre.precoder[s].column_into(k, w);
+            hx.at(s).mul_into(w, hw);
+            let leak = hw.frobenius_norm_sqr();
+            let evm_floor = evm * hx.at(s).frobenius_norm_sqr() / hx.tx() as f64;
+            row.push(leak + evm_floor);
+        }
+    }
 }
 // alloc-free: end cross_gain_grid
 
@@ -865,6 +1061,7 @@ pub fn evaluate_suite(engine: &Engine, suite: &[Topology]) -> Vec<Evaluation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::prepare;
     use copa_channel::{AntennaConfig, TopologySampler};
 
     fn engine() -> Engine {

@@ -37,6 +37,8 @@ pub use cluster::{cluster_greedy, greedy_coloring, ClusterStats, Clustering, Int
 pub use engine::evaluate_suite;
 pub use engine::{DecoderMode, Engine, EngineWorkspace, EvalInput, EvalRequest, Evaluation};
 pub use error::{CopaError, WireFault};
-pub use scenario::{prepare, PreparedScenario, ScenarioParams};
-pub use strategy::{Outcome, Strategy};
+pub use scenario::{
+    prepare, prepare_into, KernelMode, PreparedScenario, ScenarioParams, ScenarioView,
+};
+pub use strategy::{Outcome, OutcomeVec, Strategy};
 pub use telemetry::{EngineMetrics, EngineObs, ExchangeMetrics, ExchangeObs};

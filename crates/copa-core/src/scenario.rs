@@ -9,6 +9,22 @@ use copa_channel::{FreqChannel, Impairments, Topology};
 use copa_num::rng::SimRng;
 use copa_phy::link::ThroughputModel;
 
+/// Which subcarrier kernel implementation the engine dispatches to.
+///
+/// Both paths are bit-identical by construction (the batched kernels replay
+/// the scalar op sequence per lane; see `copa_num::batch`), so this knob
+/// exists for verification -- the determinism suite and `--simd-smoke` run
+/// both and compare bytes -- not for tuning results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Batched SoA kernels: one SVD / solve / MMSE sweep across all 52 data
+    /// subcarrier lanes at once (the fast default).
+    #[default]
+    Batched,
+    /// The original per-subcarrier scalar kernels (reference path).
+    Scalar,
+}
+
 /// Tunable parameters shared by every evaluation.
 #[derive(Clone, Copy, Debug)]
 pub struct ScenarioParams {
@@ -30,6 +46,9 @@ pub struct ScenarioParams {
     /// before precoding runs. `f64::INFINITY` (the default) disables the
     /// check, keeping results bit-identical to earlier releases.
     pub cond_limit: f64,
+    /// Which kernel implementation (batched SoA vs scalar) the engine
+    /// dispatches to. Bit-identical either way; see [`KernelMode`].
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for ScenarioParams {
@@ -41,6 +60,7 @@ impl Default for ScenarioParams {
             seed: 0xC0FA,
             include_mercury: false,
             cond_limit: f64::INFINITY,
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -56,25 +76,58 @@ pub struct PreparedScenario {
     pub params: ScenarioParams,
 }
 
+/// A borrowed view of a prepared scenario: exactly what the evaluation hot
+/// path reads. [`crate::engine::Engine::run`] builds one either by borrowing
+/// a caller-owned [`PreparedScenario`] or by estimating CSI into
+/// workspace-owned slots ([`prepare_into`]), so raw-topology evaluation
+/// never clones the topology or allocates fresh channel buffers.
+pub struct ScenarioView<'a> {
+    /// Ground-truth channels.
+    pub topology: &'a Topology,
+    /// `est[a][c]`: the estimated channel from AP `a` to client `c`.
+    pub est: [[&'a FreqChannel; 2]; 2],
+}
+
+impl<'a> ScenarioView<'a> {
+    /// Borrows an owned prepared scenario.
+    pub fn from_prepared(p: &'a PreparedScenario) -> Self {
+        Self {
+            topology: &p.topology,
+            est: [[&p.est[0][0], &p.est[0][1]], [&p.est[1][0], &p.est[1][1]]],
+        }
+    }
+}
+
 /// Runs CSI estimation on every link of a topology.
 pub fn prepare(topology: &Topology, params: &ScenarioParams) -> PreparedScenario {
-    let mut rng = SimRng::seed_from(params.seed ^ 0x5EED_CAFE);
-    let mut est_link = |a: usize, c: usize| {
-        let mut child = rng.fork((a * 2 + c) as u64 + 1);
-        params
-            .impairments
-            .estimate_channel(&mut child, &topology.links[a][c])
-    };
-    let est = [
-        [est_link(0, 0), est_link(0, 1)],
-        [est_link(1, 0), est_link(1, 1)],
-    ];
+    let mut est: [[FreqChannel; 2]; 2] = Default::default();
+    prepare_into(topology, params, &mut est);
     PreparedScenario {
         topology: topology.clone(),
         est,
         params: *params,
     }
 }
+
+/// [`prepare`] writing the estimates into caller-owned channel slots: no
+/// topology clone and, after warm-up, no allocation. Uses the same RNG fork
+/// structure and per-link draw order as [`prepare`], so the estimates are
+/// bit-identical to the owned entry point.
+// alloc-free: begin prepare_into
+pub fn prepare_into(topology: &Topology, params: &ScenarioParams, est: &mut [[FreqChannel; 2]; 2]) {
+    let mut rng = SimRng::seed_from(params.seed ^ 0x5EED_CAFE);
+    for a in 0..2 {
+        for c in 0..2 {
+            let mut child = rng.fork((a * 2 + c) as u64 + 1);
+            params.impairments.estimate_channel_into(
+                &mut child,
+                &topology.links[a][c],
+                &mut est[a][c],
+            );
+        }
+    }
+}
+// alloc-free: end prepare_into
 
 #[cfg(test)]
 mod tests {

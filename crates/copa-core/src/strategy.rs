@@ -146,6 +146,64 @@ impl Outcome {
     }
 }
 
+/// The largest possible strategy menu: CSMA, COPA-SEQ, vanilla nulling, the
+/// two concurrent COPA strategies and the three mercury variants.
+const MAX_OUTCOMES: usize = 8;
+
+/// An inline, fixed-capacity list of [`Outcome`]s -- the engine's per-
+/// evaluation result set, stored without heap allocation so a warmed-up
+/// evaluation never touches the allocator. Dereferences to `&[Outcome]`, so
+/// all slice iteration and indexing works as it did when this was a `Vec`.
+#[derive(Clone, Copy, Debug)]
+pub struct OutcomeVec {
+    items: [Outcome; MAX_OUTCOMES],
+    len: usize,
+}
+
+impl Default for OutcomeVec {
+    fn default() -> Self {
+        Self {
+            items: [Outcome {
+                strategy: Strategy::Csma,
+                per_client_bps: [0.0; 2],
+            }; MAX_OUTCOMES],
+            len: 0,
+        }
+    }
+}
+
+impl OutcomeVec {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an outcome.
+    ///
+    /// # Panics
+    /// Panics if the list is full (more strategies than any menu defines).
+    pub fn push(&mut self, o: Outcome) {
+        assert!(self.len < MAX_OUTCOMES, "outcome list overflow");
+        self.items[self.len] = o;
+        self.len += 1;
+    }
+}
+
+impl core::ops::Deref for OutcomeVec {
+    type Target = [Outcome];
+    fn deref(&self) -> &[Outcome] {
+        &self.items[..self.len]
+    }
+}
+
+impl<'a> IntoIterator for &'a OutcomeVec {
+    type Item = &'a Outcome;
+    type IntoIter = core::slice::Iter<'a, Outcome>;
+    fn into_iter(self) -> Self::IntoIter {
+        self[..].iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

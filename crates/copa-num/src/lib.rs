@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complex;
 pub mod fft;
 pub mod matrix;
@@ -22,9 +23,15 @@ pub mod solve;
 pub mod special;
 pub mod stats;
 pub mod svd;
+pub mod tables;
 
+pub use batch::{
+    inverse_loaded_batch_into, solve_batch_into, svd_batch_into, CBatch, LuBatchScratch, SvdBatch,
+    SvdBatchScratch,
+};
 pub use complex::C64;
 pub use matrix::CMat;
 pub use rng::SimRng;
 pub use solve::{inverse_loaded_into, LuScratch};
 pub use svd::{cond, cond_into, nullspace, svd, svd_into, Svd, SvdScratch};
+pub use tables::{gauss_hermite_cached, ErfcTable};

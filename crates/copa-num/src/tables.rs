@@ -1,0 +1,178 @@
+//! Precomputed lookup tables for the rate-lookup tail.
+//!
+//! Two costs dominate the allocator's rate selection once the linear
+//! algebra is batched: `erfc` evaluations inside the per-MCS BER formulas,
+//! and (for COPA+) rebuilding Gauss–Hermite rules. This module precomputes
+//! both:
+//!
+//! * [`ErfcTable`] tabulates [`crate::special::erfc`] on a uniform grid and
+//!   interpolates linearly. Table nodes store the *exact* `special::erfc`
+//!   output (0 ulp of error at the nodes by construction), and because
+//!   `erfc` is monotone decreasing and linear interpolation of monotone
+//!   node values is monotone, the table is monotone between nodes too —
+//!   both properties are locked down in `tests/prop_batch.rs`.
+//! * [`gauss_hermite_cached`] memoizes [`crate::quadrature::GaussHermite`]
+//!   rules per order in a process-wide cache, constructed by the *same*
+//!   Newton iteration code, so cached nodes/weights are bit-identical to a
+//!   fresh `GaussHermite::new(n)`.
+//!
+//! The engine's golden-figure path keeps calling exact `special::erfc`;
+//! the table is the opt-in fast variant for throughput-oriented callers
+//! (benchmarks, sweeps) that can tolerate interpolation error between
+//! nodes.
+
+use crate::quadrature::GaussHermite;
+use crate::special::erfc;
+use std::sync::{Mutex, OnceLock};
+
+/// Uniform-grid lookup table for `erfc` with linear interpolation.
+#[derive(Clone, Debug)]
+pub struct ErfcTable {
+    x0: f64,
+    x1: f64,
+    inv_step: f64,
+    values: Vec<f64>,
+}
+
+impl ErfcTable {
+    /// Default range: `erfc` is within one f64 ulp of 2.0 below -6 and
+    /// within one ulp of 0 (for BER purposes) above 6.
+    pub const DEFAULT_RANGE: (f64, f64) = (-6.0, 6.0);
+    /// Default node count (16385 nodes over 12 units keeps the linear
+    /// interpolation error of this smooth function below ~7e-8 absolute,
+    /// comparable to the rational approximation's own 1.2e-7 error).
+    pub const DEFAULT_NODES: usize = 16385;
+
+    /// Builds a table with `nodes` uniformly spaced nodes on `[x0, x1]`.
+    ///
+    /// # Panics
+    /// Requires `nodes >= 2` and `x0 < x1`.
+    pub fn new(x0: f64, x1: f64, nodes: usize) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        assert!(x0 < x1, "range must be non-empty");
+        let step = (x1 - x0) / (nodes - 1) as f64;
+        let values = (0..nodes).map(|i| erfc(x0 + i as f64 * step)).collect();
+        Self {
+            x0,
+            x1,
+            inv_step: 1.0 / step,
+            values,
+        }
+    }
+
+    /// The default table (see [`Self::DEFAULT_RANGE`]).
+    pub fn default_table() -> Self {
+        Self::new(
+            Self::DEFAULT_RANGE.0,
+            Self::DEFAULT_RANGE.1,
+            Self::DEFAULT_NODES,
+        )
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `i`-th node abscissa.
+    pub fn node_x(&self, i: usize) -> f64 {
+        self.x0 + i as f64 / self.inv_step
+    }
+
+    /// The stored value at node `i` (exactly `special::erfc(node_x(i))`).
+    pub fn node_value(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Interpolated `erfc(x)`. Outside the tabulated range the exact
+    /// function is used (the tails are flat to near machine precision, but
+    /// falling back keeps the approximation honest everywhere).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        if !(self.x0..=self.x1).contains(&x) {
+            return erfc(x);
+        }
+        let t = (x - self.x0) * self.inv_step;
+        let i = (t as usize).min(self.values.len() - 2);
+        let frac = t - i as f64;
+        let a = self.values[i];
+        let b = self.values[i + 1];
+        a + (b - a) * frac
+    }
+}
+
+/// Process-wide cache of Gauss–Hermite rules keyed by order.
+///
+/// The rules are built by [`GaussHermite::new`] itself, so a cached rule is
+/// bit-identical to a freshly constructed one; the cache only saves the
+/// Newton iterations (~10 µs per order) on repeated lookups, e.g. when the
+/// mercury/waterfilling allocator builds MMSE curves per worker thread.
+pub fn gauss_hermite_cached(n: usize) -> GaussHermite {
+    static CACHE: OnceLock<Mutex<Vec<(usize, GaussHermite)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut guard = cache.lock().expect("gauss-hermite cache lock poisoned");
+    if let Some((_, gh)) = guard.iter().find(|(k, _)| *k == n) {
+        return gh.clone();
+    }
+    let gh = GaussHermite::new(n);
+    guard.push((n, gh.clone()));
+    gh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_exact() {
+        let t = ErfcTable::new(-4.0, 4.0, 257);
+        for i in 0..t.nodes() {
+            let x = t.node_x(i);
+            assert_eq!(t.eval(x).to_bits(), erfc(x).to_bits(), "node {i} (x={x})");
+        }
+    }
+
+    #[test]
+    fn interpolation_error_is_small() {
+        let t = ErfcTable::default_table();
+        for k in 0..4000 {
+            let x = -6.0 + 12.0 * (k as f64 + 0.31) / 4000.0;
+            let err = (t.eval(x) - erfc(x)).abs();
+            assert!(err < 1e-7, "x={x}: err={err:e}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_falls_back_to_exact() {
+        let t = ErfcTable::default_table();
+        for &x in &[-9.0, 7.5, 100.0, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(t.eval(x).to_bits(), erfc(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_everywhere() {
+        let t = ErfcTable::new(-5.0, 5.0, 101);
+        let mut prev = t.eval(-5.0);
+        for k in 1..=5000 {
+            let x = -5.0 + 10.0 * k as f64 / 5000.0;
+            let v = t.eval(x);
+            assert!(v <= prev, "x={x}: {v} > {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gauss_hermite_cache_is_bit_identical_to_fresh() {
+        for &n in &[8usize, 16, 40] {
+            let cached = gauss_hermite_cached(n);
+            let again = gauss_hermite_cached(n);
+            let fresh = GaussHermite::new(n);
+            for i in 0..n {
+                assert_eq!(cached.nodes[i].to_bits(), fresh.nodes[i].to_bits());
+                assert_eq!(cached.weights[i].to_bits(), fresh.weights[i].to_bits());
+                assert_eq!(again.nodes[i].to_bits(), fresh.nodes[i].to_bits());
+            }
+        }
+    }
+}

@@ -246,31 +246,73 @@ pub fn viterbi_decode(coded: &[u8], info_len: usize, rate: CodeRate) -> Vec<u8> 
     decoded
 }
 
-/// Pairwise error probability of a weight-`d` error event on a binary
-/// symmetric channel with crossover probability `p` (hard-decision Viterbi).
-fn pairwise_error(d: u32, p: f64) -> f64 {
-    if p <= 0.0 {
-        return 0.0;
+/// `p^k` / `q^k` for every exponent the union bound touches, each entry the
+/// exact `powi` the direct expression evaluated (`p^k` needs `k <= d`,
+/// `q^(d-k)` only `d - k <= d/2`). One `coded_ber` call shares a single
+/// crossover probability across all weights, so hoisting the tables
+/// replaces ~80 `powi` evaluations with 29 without changing a bit.
+fn power_tables(p: f64, q: f64) -> ([f64; MAX_WEIGHT + 1], [f64; MAX_WEIGHT / 2 + 1]) {
+    let mut pk = [0.0f64; MAX_WEIGHT + 1];
+    let mut qk = [0.0f64; MAX_WEIGHT / 2 + 1];
+    for (k, cell) in pk.iter_mut().enumerate() {
+        *cell = p.powi(k as i32);
     }
-    let p = p.min(0.5);
-    let q = 1.0 - p;
+    for (k, cell) in qk.iter_mut().enumerate() {
+        *cell = q.powi(k as i32);
+    }
+    (pk, qk)
+}
+
+/// Pairwise error probability of a weight-`d` error event on a binary
+/// symmetric channel (hard-decision Viterbi), reading the hoisted power
+/// tables (same op sequence as the direct per-term expression).
+fn pairwise_error_tab(d: u32, pk: &[f64], qk: &[f64]) -> f64 {
     let d = d as i64;
     let mut sum = 0.0;
     if d % 2 == 0 {
         let k = d / 2;
-        sum += 0.5 * binom(d, k) * p.powi(k as i32) * q.powi((d - k) as i32);
+        sum += 0.5 * binom(d, k) * pk[k as usize] * qk[(d - k) as usize];
         for k in (d / 2 + 1)..=d {
-            sum += binom(d, k) * p.powi(k as i32) * q.powi((d - k) as i32);
+            sum += binom(d, k) * pk[k as usize] * qk[(d - k) as usize];
         }
     } else {
         for k in ((d + 1) / 2)..=d {
-            sum += binom(d, k) * p.powi(k as i32) * q.powi((d - k) as i32);
+            sum += binom(d, k) * pk[k as usize] * qk[(d - k) as usize];
         }
     }
     sum.min(1.0)
 }
 
+/// Largest error-event weight in any [`CodeRate::weight_spectrum`], bounding
+/// the binomial table below.
+const MAX_WEIGHT: usize = 18;
+
+/// `C(n, k)` for the small arguments the union bound needs, from a table
+/// computed once by [`binom_compute`] -- the rate predictor evaluates
+/// `pairwise_error` inside the equi-SINR drop loop, so these coefficients
+/// are read millions of times per suite. Values are the exact f64s the
+/// direct computation produces (same op sequence at fill time), so tabling
+/// them is bit-identical.
 fn binom(n: i64, k: i64) -> f64 {
+    static TABLE: std::sync::OnceLock<[[f64; MAX_WEIGHT + 1]; MAX_WEIGHT + 1]> =
+        std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [[0.0; MAX_WEIGHT + 1]; MAX_WEIGHT + 1];
+        for (n, row) in t.iter_mut().enumerate() {
+            for (k, cell) in row.iter_mut().enumerate().take(n + 1) {
+                *cell = binom_compute(n as i64, k as i64);
+            }
+        }
+        t
+    });
+    debug_assert!((0..=n).contains(&k));
+    match table.get(n as usize).and_then(|row| row.get(k as usize)) {
+        Some(&v) => v,
+        None => binom_compute(n, k),
+    }
+}
+
+fn binom_compute(n: i64, k: i64) -> f64 {
     let k = k.min(n - k);
     let mut r = 1.0f64;
     for i in 0..k {
@@ -286,10 +328,14 @@ pub fn coded_ber(p: f64, rate: CodeRate) -> f64 {
         return 0.0;
     }
     let (k_num, _) = rate.ratio();
+    // Same clamp `pairwise_error` applies per term, hoisted with the power
+    // tables (every term sees the same crossover probability).
+    let pc = p.min(0.5);
+    let (pk, qk) = power_tables(pc, 1.0 - pc);
     let sum: f64 = rate
         .weight_spectrum()
         .iter()
-        .map(|&(d, c)| c * pairwise_error(d, p))
+        .map(|&(d, c)| c * pairwise_error_tab(d, &pk, &qk))
         .sum();
     (sum / k_num as f64).clamp(0.0, 0.5)
 }

@@ -161,6 +161,46 @@ impl ThroughputModel {
             .expect("MCS table is non-empty")
     }
 
+    /// Pruned [`ThroughputModel::best_flat`]: returns the goodput-max
+    /// choice only when its goodput *strictly* exceeds `floor_bps`, and
+    /// `None` otherwise.
+    ///
+    /// Walks the MCS table from the top. `phy_rate * airtime` caps any
+    /// MCS's goodput (since `0 <= 1 - FER <= 1`), and bits-per-subcarrier
+    /// is strictly decreasing down the table, so the walk stops at the
+    /// first MCS whose cap cannot strictly beat the running best — usually
+    /// after one or two BER evaluations instead of eight.
+    ///
+    /// Selection is bit-identical to `best_flat`: `max_by(total_cmp)` over
+    /// the ascending table keeps the *last* of equal maxima, i.e. the
+    /// highest-index maximal MCS, which is exactly what a descending walk
+    /// keeping the *first* strict maximum returns; and any MCS skipped via
+    /// its cap could never strictly exceed `floor_bps`, so a `None` here
+    /// means `best_flat(..).goodput_bps <= floor_bps` exactly. Both facts
+    /// are locked down by unit tests below.
+    pub fn best_flat_above(
+        &self,
+        g: f64,
+        n: usize,
+        airtime_efficiency: f64,
+        floor_bps: f64,
+    ) -> Option<RateChoice> {
+        let mut best: Option<RateChoice> = None;
+        let mut best_val = floor_bps;
+        for &m in Mcs::TABLE.iter().rev() {
+            let cap = m.phy_rate_bps_with(n) * airtime_efficiency;
+            if cap <= best_val {
+                break;
+            }
+            let c = self.evaluate_flat(m, g, n, airtime_efficiency);
+            if c.goodput_bps > best_val {
+                best_val = c.goodput_bps;
+                best = Some(c);
+            }
+        }
+        best
+    }
+
     /// Section 4.6 "multiple decoders": an independent MCS per subcarrier
     /// (one decoder per coding rate). Upper-bounds per-subcarrier rate
     /// adaptation by treating each subcarrier's coded stream independently.
@@ -325,6 +365,44 @@ mod tests {
                     flat_choice.coded_ber.to_bits()
                 );
                 assert_eq!(vec_choice.fer.to_bits(), flat_choice.fer.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn best_flat_above_is_bit_identical_to_best_flat() {
+        // The pruned walk must reproduce `best_flat`'s winner exactly
+        // (including the descending-first-max == ascending-last-max tie
+        // rule) whenever the winner strictly beats the floor, and return
+        // `None` exactly when it does not.
+        let model = ThroughputModel::default();
+        for n in [0usize, 1, 2, 13, DATA_SUBCARRIERS] {
+            for db in [-10.0, -3.0, 0.0, 4.7, 11.2, 19.9, 27.3, 38.0, 60.0] {
+                let g = db_to_lin(db);
+                for airtime in [1.0, 0.88] {
+                    let full = model.best_flat(g, n, airtime);
+                    // Floors spanning "always wins" to "never wins", plus
+                    // the exact winner value (strictness boundary).
+                    for floor in [
+                        f64::NEG_INFINITY,
+                        0.0,
+                        full.goodput_bps * 0.5,
+                        full.goodput_bps,
+                        full.goodput_bps * 2.0 + 1.0,
+                    ] {
+                        let pruned = model.best_flat_above(g, n, airtime, floor);
+                        if full.goodput_bps > floor {
+                            let p = pruned.expect("winner beats floor");
+                            assert_eq!(p.mcs.index, full.mcs.index, "n={n} db={db}");
+                            assert_eq!(p.goodput_bps.to_bits(), full.goodput_bps.to_bits());
+                            assert_eq!(p.uncoded_ber.to_bits(), full.uncoded_ber.to_bits());
+                            assert_eq!(p.coded_ber.to_bits(), full.coded_ber.to_bits());
+                            assert_eq!(p.fer.to_bits(), full.fer.to_bits());
+                        } else {
+                            assert!(pruned.is_none(), "n={n} db={db} floor={floor}");
+                        }
+                    }
+                }
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Precoding data model shared by beamforming, nulling and the allocators.
 
+use copa_num::batch::{CBatch, SvdBatch, SvdBatchScratch};
 use copa_num::matrix::CMat;
 use copa_num::svd::{Svd, SvdScratch};
 use copa_phy::ofdm::DATA_SUBCARRIERS;
@@ -27,6 +28,24 @@ pub struct PrecodeScratch {
     pub(crate) v1: CMat,
     /// Selected column indices `0..streams`.
     pub(crate) cols: Vec<usize>,
+    /// SoA gather of the own channel (one lane per subcarrier).
+    pub(crate) h_b: CBatch,
+    /// SoA gather of the victim channel (nulling only).
+    pub(crate) vic_b: CBatch,
+    /// Batched Jacobi SVD working storage.
+    pub(crate) svd_b: SvdBatchScratch,
+    /// Output slot for the batched own-channel SVD.
+    pub(crate) dec_b: SvdBatch,
+    /// Output slot for the batched victim-channel SVD (nulling only).
+    pub(crate) vic_dec_b: SvdBatch,
+    /// Batched nullspace basis of the victim channel (`tx x dof` per lane).
+    pub(crate) v0_b: CBatch,
+    /// Batched projected channel `H_own * V0`.
+    pub(crate) h_eff_b: CBatch,
+    /// Batched beamformer within the nullspace.
+    pub(crate) v1_b: CBatch,
+    /// Batched composite precoder `V0 * V1`.
+    pub(crate) pre_b: CBatch,
 }
 
 impl PrecodeScratch {
@@ -97,7 +116,7 @@ impl LinkPrecoding {
 }
 
 /// Per-stream, per-subcarrier transmit powers in mW.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TxPowers {
     /// `powers[k][s]`: power of stream `k` on subcarrier `s`, mW.
     pub powers: Vec<Vec<f64>>,
@@ -107,10 +126,30 @@ impl TxPowers {
     /// Equal split of `budget_mw` across `streams x DATA_SUBCARRIERS` cells
     /// -- what stock 802.11 does.
     pub fn equal(streams: usize, budget_mw: f64) -> Self {
+        let mut p = Self::default();
+        p.set_equal(streams, budget_mw);
+        p
+    }
+
+    /// Pooled [`TxPowers::equal`]: reshapes in place, reusing row buffers.
+    pub fn set_equal(&mut self, streams: usize, budget_mw: f64) {
         assert!(streams > 0);
         let per = budget_mw / (streams * DATA_SUBCARRIERS) as f64;
-        Self {
-            powers: vec![vec![per; DATA_SUBCARRIERS]; streams],
+        self.powers.truncate(streams);
+        self.powers.resize_with(streams, Vec::new);
+        for row in &mut self.powers {
+            row.clear();
+            row.resize(DATA_SUBCARRIERS, per);
+        }
+    }
+
+    /// Pooled deep copy (reuses this value's row buffers).
+    pub fn copy_from(&mut self, other: &TxPowers) {
+        self.powers.truncate(other.powers.len());
+        self.powers.resize_with(other.powers.len(), Vec::new);
+        for (dst, src) in self.powers.iter_mut().zip(&other.powers) {
+            dst.clear();
+            dst.extend_from_slice(src);
         }
     }
 

@@ -9,6 +9,7 @@
 
 use crate::precoder::{LinkPrecoding, TxPowers};
 use copa_channel::{FreqChannel, Impairments};
+use copa_num::batch::{inverse_loaded_batch_into, CBatch, LuBatchScratch};
 use copa_num::complex::ONE;
 use copa_num::matrix::CMat;
 use copa_num::solve::{inverse_loaded_into, LuScratch};
@@ -40,6 +41,27 @@ struct CovScratch {
     hhh: CMat,
 }
 
+/// Batched (one lane per subcarrier) counterpart of [`CovScratch`].
+#[derive(Clone, Debug, Default)]
+struct CovBatchScratch {
+    /// Effective transmitted matrices `P diag(sqrt(p))`, all lanes.
+    txm: CBatch,
+    /// `H * txm` per lane.
+    b: CBatch,
+    bh: CBatch,
+    bbh: CBatch,
+    /// Lanes whose EVM term is non-zero (any antenna transmitting).
+    evm_mask: Vec<bool>,
+    /// EVM noise diagonals per lane.
+    diag: CBatch,
+    hd: CBatch,
+    hh: CBatch,
+    hdh: CBatch,
+    hhh: CBatch,
+    /// Lanes that are dropped subcarriers (leakage applies).
+    drop_mask: Vec<bool>,
+}
+
 /// Reusable working storage for [`mmse_sinr_grid_with`]: every temporary of
 /// the per-subcarrier MMSE chain, owned once per worker and reused across
 /// subcarriers, strategies and topologies.
@@ -68,6 +90,24 @@ pub struct SinrScratch {
     /// LU working storage and the inverse.
     lu: LuScratch,
     rinv: CMat,
+    /// Batched-path temporaries (SoA, one lane per subcarrier).
+    cov_batch: CovBatchScratch,
+    cov_b: CBatch,
+    base_b: CBatch,
+    txm_b: CBatch,
+    h_own_b: CBatch,
+    h_int_b: CBatch,
+    a_b: CBatch,
+    rk_b: CBatch,
+    aj_b: CBatch,
+    ajh_b: CBatch,
+    ajajh_b: CBatch,
+    ak_b: CBatch,
+    akh_b: CBatch,
+    t1_b: CBatch,
+    t2_b: CBatch,
+    lu_b: LuBatchScratch,
+    rinv_b: CBatch,
 }
 
 impl SinrScratch {
@@ -176,6 +216,95 @@ impl<'a> TxSide<'a> {
         }
     }
     // alloc-free: end covariance_into
+
+    // alloc-free: begin covariance_batch (batched subcarrier kernels -- no Vec::new / vec!)
+    /// Batched [`TxSide::tx_matrix_into`]: one lane per subcarrier, each
+    /// entry computed with the exact scalar op (`p * sqrt(power)`).
+    fn tx_matrix_batch_into(&self, out: &mut CBatch) {
+        let n_sub = self.precoding.precoder.len();
+        let p0 = &self.precoding.precoder[0];
+        out.reset(p0.rows(), p0.cols(), n_sub);
+        for (l, p) in self.precoding.precoder.iter().enumerate() {
+            for i in 0..p.rows() {
+                for k in 0..p.cols() {
+                    out.set(i, k, l, p[(i, k)].scale(self.powers.powers[k][l].sqrt()));
+                }
+            }
+        }
+    }
+
+    /// Batched [`TxSide::covariance_into`] over all subcarrier lanes of the
+    /// pre-gathered channel `h_b`. Per-subcarrier branches of the scalar
+    /// path (EVM active, dropped-subcarrier leakage) become per-lane masks
+    /// on the adds, so every lane accumulates exactly the scalar terms in
+    /// the scalar order.
+    fn covariance_batch_into(
+        &self,
+        imp: &Impairments,
+        include_signal: bool,
+        h_b: &CBatch,
+        ws: &mut CovBatchScratch,
+        r: &mut CBatch,
+    ) {
+        let rx = h_b.rows();
+        let lanes = h_b.lanes();
+        r.reset(rx, rx, lanes);
+        self.tx_matrix_batch_into(&mut ws.txm);
+
+        if include_signal {
+            h_b.mul_into(&ws.txm, &mut ws.b);
+            ws.b.hermitian_into(&mut ws.bh);
+            ws.b.mul_into(&ws.bh, &mut ws.bbh);
+            r.add_in_place(&ws.bbh);
+        }
+
+        // Transmit EVM: unprecoded noise radiated per antenna.
+        let evm = imp.evm_factor();
+        if evm > 0.0 {
+            let nt = ws.txm.rows();
+            ws.diag.reset(nt, nt, lanes);
+            ws.evm_mask.clear();
+            ws.evm_mask.resize(lanes, false);
+            for l in 0..lanes {
+                let mut any = false;
+                for i in 0..nt {
+                    let p: f64 = (0..ws.txm.cols())
+                        .map(|k| ws.txm.get(i, k, l).norm_sqr())
+                        .sum();
+                    if p > 0.0 {
+                        any = true;
+                    }
+                    ws.diag.set(i, i, l, C64::real(p * evm));
+                }
+                ws.evm_mask[l] = any;
+            }
+            if ws.evm_mask.iter().any(|&m| m) {
+                h_b.mul_into(&ws.diag, &mut ws.hd);
+                h_b.hermitian_into(&mut ws.hh);
+                ws.hd.mul_into(&ws.hh, &mut ws.hdh);
+                r.add_in_place_masked(&ws.hdh, &ws.evm_mask);
+            }
+        }
+
+        // Carrier leakage on dropped subcarriers, per-lane masked.
+        let leak_mw = imp.leakage_factor() * self.budget_mw / DATA_SUBCARRIERS as f64;
+        if leak_mw > 0.0 {
+            ws.drop_mask.clear();
+            ws.drop_mask.resize(lanes, false);
+            let mut any = false;
+            for (l, m) in ws.drop_mask.iter_mut().enumerate() {
+                *m = self.powers.is_dropped(l);
+                any |= *m;
+            }
+            if any {
+                let per_ant = leak_mw / h_b.cols() as f64;
+                h_b.hermitian_into(&mut ws.hh);
+                h_b.mul_into(&ws.hh, &mut ws.hhh);
+                r.add_scaled_in_place_masked(&ws.hhh, per_ant, &ws.drop_mask);
+            }
+        }
+    }
+    // alloc-free: end covariance_batch
 }
 
 /// Per-stream post-MMSE SINR grid (`[stream][subcarrier]`, linear) at the
@@ -200,9 +329,95 @@ pub fn mmse_sinr_grid(
 // alloc-free: begin mmse_sinr_grid_with (per-subcarrier kernel -- no Vec::new / vec!)
 /// [`mmse_sinr_grid`] writing into caller-owned buffers: `ws` holds every
 /// matrix temporary and `grid` is reshaped in place. After warm-up the whole
-/// per-subcarrier MMSE chain runs without heap allocation, and results are
-/// bit-identical to the allocating version (same kernels, same order).
+/// MMSE chain runs without heap allocation.
+///
+/// Batched implementation: channels are gathered once into SoA lanes and
+/// every step of the scalar chain (covariances, stream signatures, `R_k`
+/// assembly, loaded inversion, quadratic form) runs across all 52 lanes at
+/// once. Per lane the op sequence is exactly the scalar one, so the grid is
+/// bit-identical to [`mmse_sinr_grid_scalar_with`]. Lanes whose stream power
+/// is zero are computed but not written back, matching the scalar skip.
 pub fn mmse_sinr_grid_with(
+    own: &TxSide,
+    interferer: Option<&TxSide>,
+    noise_mw: f64,
+    imp: &Impairments,
+    ws: &mut SinrScratch,
+    grid: &mut Vec<Vec<f64>>,
+) {
+    let streams = own.precoding.streams();
+    let rx = own.channel.rx();
+    grid.truncate(streams);
+    grid.resize_with(streams, Vec::new);
+    for row in grid.iter_mut() {
+        row.clear();
+        row.resize(DATA_SUBCARRIERS, 0.0);
+    }
+
+    let lanes = DATA_SUBCARRIERS;
+    ws.h_own_b.reset(rx, own.channel.tx(), lanes);
+    for (s, h) in own.channel.iter().enumerate() {
+        ws.h_own_b.load_lane(s, h);
+    }
+
+    // Base covariance: thermal noise + own EVM + interferer everything.
+    ws.base_b.reset(rx, rx, lanes);
+    for i in 0..rx {
+        for l in 0..lanes {
+            ws.base_b.set(i, i, l, ONE.scale(noise_mw));
+        }
+    }
+    own.covariance_batch_into(imp, false, &ws.h_own_b, &mut ws.cov_batch, &mut ws.cov_b);
+    ws.base_b.add_in_place(&ws.cov_b);
+    if let Some(int) = interferer {
+        ws.h_int_b.reset(int.channel.rx(), int.channel.tx(), lanes);
+        for (s, h) in int.channel.iter().enumerate() {
+            ws.h_int_b.load_lane(s, h);
+        }
+        int.covariance_batch_into(imp, true, &ws.h_int_b, &mut ws.cov_batch, &mut ws.cov_b);
+        ws.base_b.add_in_place(&ws.cov_b);
+    }
+
+    own.tx_matrix_batch_into(&mut ws.txm_b);
+    ws.h_own_b.mul_into(&ws.txm_b, &mut ws.a_b); // rx x streams per lane
+    for k in 0..streams {
+        if own.powers.powers[k].iter().all(|&p| p <= 0.0) {
+            continue;
+        }
+        // R_k = base + sum_{j != k} a_j a_j^H, all lanes at once.
+        ws.rk_b.copy_from(&ws.base_b);
+        for j in 0..streams {
+            if j == k {
+                continue;
+            }
+            ws.a_b.column_into(j, &mut ws.aj_b);
+            ws.aj_b.hermitian_into(&mut ws.ajh_b);
+            ws.aj_b.mul_into(&ws.ajh_b, &mut ws.ajajh_b);
+            ws.rk_b.add_in_place(&ws.ajajh_b);
+        }
+        ws.a_b.column_into(k, &mut ws.ak_b);
+        inverse_loaded_batch_into(
+            &ws.rk_b,
+            noise_mw.max(1e-18) * 1e-9,
+            &mut ws.lu_b,
+            &mut ws.rinv_b,
+        );
+        ws.ak_b.hermitian_into(&mut ws.akh_b);
+        ws.akh_b.mul_into(&ws.rinv_b, &mut ws.t1_b);
+        ws.t1_b.mul_into(&ws.ak_b, &mut ws.t2_b);
+        for s in 0..lanes {
+            if own.powers.powers[k][s] <= 0.0 {
+                continue;
+            }
+            grid[k][s] = ws.t2_b.get(0, 0, s).re.max(0.0);
+        }
+    }
+}
+
+/// The original per-subcarrier scalar path, kept callable for the
+/// batched-vs-scalar bit-identity gates (`--simd-smoke`, determinism
+/// suite). Semantics and output are identical to [`mmse_sinr_grid_with`].
+pub fn mmse_sinr_grid_scalar_with(
     own: &TxSide,
     interferer: Option<&TxSide>,
     noise_mw: f64,
@@ -485,6 +700,59 @@ mod tests {
         assert!(ideal[5] < with_leak[5] * 1e-20);
         // Leakage is far below an active subcarrier.
         assert!(with_leak[5] < with_leak[6] * 0.1);
+    }
+
+    #[test]
+    fn batched_grid_is_bit_identical_to_scalar() {
+        // Exercise every scalar branch: interferer on/off, real impairments
+        // (EVM + leakage) vs ideal, dropped subcarriers, zero-power streams.
+        let mut rng = SimRng::seed_from(80);
+        let truth = ch(&mut rng, 2, 4, 1e-6);
+        let cross = ch(&mut rng, 2, 4, 1e-7);
+        let int_own = ch(&mut rng, 2, 4, 1e-6);
+        let pre = beamform(&truth, 2);
+        let int_pre = beamform(&int_own, 2);
+        let mut powers = TxPowers::equal(2, 31.6);
+        powers.powers[0][5] = 0.0;
+        powers.powers[1][5] = 0.0; // dropped subcarrier
+        powers.powers[1][17] = 0.0; // zero-power cell, stream still active
+        let mut int_powers = TxPowers::equal(2, 31.6);
+        int_powers.powers[0][30] = 0.0;
+        int_powers.powers[1][30] = 0.0;
+        let own = TxSide {
+            channel: &truth,
+            precoding: &pre,
+            powers: &powers,
+            budget_mw: 31.6,
+        };
+        let int = TxSide {
+            channel: &cross,
+            precoding: &int_pre,
+            powers: &int_powers,
+            budget_mw: 31.6,
+        };
+        let mut ws = SinrScratch::new();
+        for imp in [Impairments::default(), Impairments::ideal()] {
+            for with_int in [false, true] {
+                let interferer = with_int.then_some(&int);
+                let mut batched = Vec::new();
+                mmse_sinr_grid_with(&own, interferer, NOISE, &imp, &mut ws, &mut batched);
+                let mut scalar = Vec::new();
+                mmse_sinr_grid_scalar_with(&own, interferer, NOISE, &imp, &mut ws, &mut scalar);
+                assert_eq!(batched.len(), scalar.len());
+                for k in 0..batched.len() {
+                    for s in 0..DATA_SUBCARRIERS {
+                        assert_eq!(
+                            batched[k][s].to_bits(),
+                            scalar[k][s].to_bits(),
+                            "with_int={with_int} k={k} s={s}: {} vs {}",
+                            batched[k][s],
+                            scalar[k][s]
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Batched-vs-scalar kernel smoke: the SoA refactor must not move a bit.
+//!
+//! ```sh
+//! cargo run --release --example simd_smoke
+//! ```
+//!
+//! Evaluates a mixed 24-topology suite (4x2 constrained, 1x1 single,
+//! 3x2 overconstrained) twice through the parallel runner: once with the
+//! batched structure-of-arrays kernels (the default) and once with the
+//! scalar per-subcarrier reference path. Every outcome of every strategy
+//! must agree to the last mantissa bit -- the batched kernels replay the
+//! scalar complex op sequence per subcarrier lane, so this is an equality
+//! check, not a tolerance check. `scripts/check.sh --simd-smoke` asserts
+//! on the final ok line.
+
+use copa::channel::{AntennaConfig, TopologySampler};
+use copa::core::{Evaluation, KernelMode, ScenarioParams};
+use copa::sim::evaluate_parallel;
+
+/// Bit-exact fingerprint: strategy tags plus the raw bits of every
+/// per-client throughput (floats compared via `to_bits`, the strictest
+/// possible comparison).
+fn fingerprint(e: &Evaluation) -> String {
+    let mut s = String::new();
+    for o in &e.outcomes {
+        s.push_str(&format!(
+            "{:?}:{:016x}:{:016x};",
+            o.strategy,
+            o.per_client_bps[0].to_bits(),
+            o.per_client_bps[1].to_bits()
+        ));
+    }
+    s
+}
+
+fn main() {
+    let sampler = TopologySampler::default();
+    let mut suite = sampler.suite(0x51D0, 8, AntennaConfig::CONSTRAINED_4X2);
+    suite.extend(sampler.suite(0x51D1, 8, AntennaConfig::SINGLE));
+    suite.extend(sampler.suite(0x51D2, 8, AntennaConfig::OVERCONSTRAINED_3X2));
+
+    let batched_params = ScenarioParams {
+        kernel_mode: KernelMode::Batched,
+        ..Default::default()
+    };
+    let scalar_params = ScenarioParams {
+        kernel_mode: KernelMode::Scalar,
+        ..Default::default()
+    };
+
+    let batched = evaluate_parallel(&batched_params, &suite, 4);
+    let scalar = evaluate_parallel(&scalar_params, &suite, 4);
+    assert_eq!(batched.len(), scalar.len());
+
+    let mut outcomes = 0usize;
+    for (i, (b, s)) in batched.iter().zip(&scalar).enumerate() {
+        let (fb, fs) = (fingerprint(b), fingerprint(s));
+        assert_eq!(
+            fb, fs,
+            "topology {i}: batched and scalar kernels disagree\n batched: {fb}\n scalar:  {fs}"
+        );
+        outcomes += b.outcomes.len();
+    }
+    println!(
+        "{} topologies, {} strategy outcomes compared bit-for-bit",
+        suite.len(),
+        outcomes
+    );
+    println!("ok: batched SoA kernels are bit-identical to the scalar reference");
+}

@@ -7,9 +7,16 @@
 # what CI (and the PR driver) runs; keep it green.
 #
 # Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
-#                         [--obs-smoke] [--campus-smoke]
+#                         [--obs-smoke] [--campus-smoke] [--simd-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
-#                   and leave its JSON lines in BENCH_hotpath.json.
+#                   and leave its JSON lines in BENCH_hotpath.json; every
+#                   warmed-path alloc report must read exactly 0 (the bench
+#                   itself also hard-asserts this and the >= 540 topo/s
+#                   throughput floor).
+#   --simd-smoke    additionally run the batched-vs-scalar bit-identity
+#                   example (examples/simd_smoke.rs): a mixed 24-topology
+#                   suite evaluated with both kernel modes must agree to
+#                   the last mantissa bit.
 #   --faults-smoke  additionally run one degraded-suite episode offline
 #                   (240 topologies, 20% ITS frame loss) and require CSMA
 #                   fallbacks to be reported without any panic.
@@ -35,6 +42,7 @@ FAULTS_SMOKE=0
 RESUME_SMOKE=0
 OBS_SMOKE=0
 CAMPUS_SMOKE=0
+SIMD_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
@@ -42,6 +50,7 @@ for arg in "$@"; do
         --resume-smoke) RESUME_SMOKE=1 ;;
         --obs-smoke) OBS_SMOKE=1 ;;
         --campus-smoke) CAMPUS_SMOKE=1 ;;
+        --simd-smoke) SIMD_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -160,6 +169,30 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench --offline -p copa-bench --bench hotpath -- --quick | tee BENCH_hotpath.json
     grep -q '"name"' BENCH_hotpath.json || {
         echo "bench smoke FAILED: no JSON lines in BENCH_hotpath.json" >&2
+        exit 1
+    }
+    # Hard alloc gate: every warmed-path alloc report must read exactly 0.
+    # (The bench asserts this too; re-checking the emitted JSON keeps the
+    # gate honest even if the bench's own asserts are ever refactored.)
+    for guard in evaluate_4x2_warm_ws evaluate_4x2_guarded evaluate_4x2_noop_obs \
+                 evaluate_4x2_live_obs evaluate_pair_cluster_warm; do
+        grep -q "\"name\":\"$guard\",\"allocs\":0}" BENCH_hotpath.json || {
+            echo "bench smoke FAILED: warmed path '$guard' is not allocation-free" >&2
+            exit 1
+        }
+    done
+    grep -q '"type":"throughput","name":"suite_mixed_12"' BENCH_hotpath.json || {
+        echo "bench smoke FAILED: suite throughput line missing" >&2
+        exit 1
+    }
+fi
+
+if [ "$SIMD_SMOKE" -eq 1 ]; then
+    echo "==> simd smoke: batched vs scalar kernels, bit-for-bit"
+    out=$(cargo run --release --offline --example simd_smoke)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: batched SoA kernels are bit-identical' || {
+        echo "simd smoke FAILED: batched kernels diverged from the scalar reference" >&2
         exit 1
     }
 fi
