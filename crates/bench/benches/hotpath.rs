@@ -28,7 +28,8 @@ use copa_obs::{FrozenClock, NoopSink, Telemetry, WallClock};
 use copa_precoding::{beamform, mmse_sinr_grid, TxPowers, TxSide};
 use copa_sim::json::{Obj, ToJson};
 use copa_sim::{
-    evaluate_cluster, evaluate_guarded, evaluate_parallel, plan_campus, CampusParams, CampusScheme,
+    evaluate_cluster, evaluate_guarded, evaluate_parallel, plan_campus, run_daemon, CampusParams,
+    CampusScheme, DaemonConfig,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -385,6 +386,71 @@ fn main() {
         "suite throughput gate: {batched_tps:.2} topologies/s < {MIN_TOPOS_PER_SEC} \
          (5x the 108/s scalar-AoS baseline)"
     );
+
+    // --- 5. daemon: warmed-epoch allocations + epoch throughput ----------
+    // Two full single-threaded daemon runs that differ only in length: the
+    // first covers every one-time allocation (session warmup, evolution
+    // scratch, workspace growth, re-exchanges, block crossings), so the
+    // second run's extra epochs are all steady-state. Their difference is
+    // the allocations charged to warmed epochs, and the gate is zero.
+    let daemon_suite = TopologySampler::default().suite(0xDAE_0, 4, AntennaConfig::CONSTRAINED_4X2);
+    let warm_cfg = DaemonConfig {
+        epochs: 300,
+        force_active: true,
+        checkpoint_every: 100_000,
+        ..DaemonConfig::default()
+    };
+    let long_cfg = DaemonConfig {
+        epochs: 600,
+        ..warm_cfg
+    };
+    // Throwaway run first so process-global lazy init is paid before the
+    // baseline is measured (otherwise the baseline over-counts).
+    let _ = run_daemon(&params, &daemon_suite, &warm_cfg);
+    let allocs_daemon_base = count_allocs(|| {
+        let _ = black_box(run_daemon(&params, &daemon_suite, &warm_cfg));
+    });
+    let allocs_daemon_long = count_allocs(|| {
+        let _ = black_box(run_daemon(&params, &daemon_suite, &long_cfg));
+    });
+    assert!(
+        allocs_daemon_long >= allocs_daemon_base,
+        "a longer daemon run cannot allocate less than its own prefix \
+         ({allocs_daemon_long} < {allocs_daemon_base})"
+    );
+    let allocs_daemon_warm = allocs_daemon_long - allocs_daemon_base;
+    report_allocs("daemon_warm_epochs", allocs_daemon_warm);
+    assert_eq!(
+        allocs_daemon_warm, 0,
+        "warmed daemon epochs must be allocation-free (300 extra epochs \
+         cost {allocs_daemon_warm} allocations)"
+    );
+
+    // Epoch throughput: a trace-driven (not force-active) run, so the
+    // number reflects the amortized steady state the daemon is for --
+    // cached allocations reused, the engine re-run only on staleness,
+    // churn or coherence-block advance.
+    let thr_cfg = DaemonConfig {
+        epochs: 1_000,
+        checkpoint_every: 100_000,
+        ..DaemonConfig::default()
+    };
+    c.bench_function("daemon_1k_epochs", |b| {
+        b.iter(|| run_daemon(black_box(&params), &daemon_suite, &thr_cfg))
+    });
+    if let Some(r) = c.reports().iter().find(|r| r.name == "daemon_1k_epochs") {
+        let epochs_per_sec = thr_cfg.epochs as f64 / (r.median_ns / 1e9);
+        let mut out = String::new();
+        Obj::new(&mut out)
+            .field("type", &"throughput")
+            .field("name", &"daemon_epochs")
+            .field("epochs_per_sec", &epochs_per_sec)
+            .field("cells", &daemon_suite.len())
+            .field("epoch_us", &thr_cfg.epoch_us)
+            .finish();
+        println!("thrpt daemon_epochs                   {epochs_per_sec:.0} epochs/s");
+        println!("{out}");
+    }
 
     c.final_summary();
 }

@@ -106,6 +106,35 @@ impl FaultPlan {
         )
     }
 
+    /// Binds this plan to one exchange: the single home of the
+    /// `(seed, exchange_id)` RNG composition that call sites used to
+    /// re-derive ad hoc. The batch runners pass their flat topology index;
+    /// the daemon uses [`FaultPlan::for_epoch`].
+    pub fn for_exchange(&self, exchange_id: u64) -> ExchangeFaults {
+        ExchangeFaults {
+            plan: *self,
+            rng: self.rng_for(exchange_id),
+        }
+    }
+
+    /// [`FaultPlan::for_exchange`] keyed by the daemon's `(cell, epoch)`
+    /// pairs, so every re-exchange a long-lived run schedules gets its own
+    /// replayable fault stream.
+    pub fn for_epoch(&self, cell: u64, epoch: u64) -> ExchangeFaults {
+        self.for_exchange(Self::epoch_exchange_id(cell, epoch))
+    }
+
+    /// The composite exchange id of `(cell, epoch)`: a full-avalanche mix
+    /// (same splitmix constants as [`FaultPlan::rng_for`]) xored into its
+    /// own id space so daemon exchanges never alias the batch runners' flat
+    /// indices.
+    pub fn epoch_exchange_id(cell: u64, epoch: u64) -> u64 {
+        epoch
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(cell.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            ^ 0xDAE0_DAE0_DAE0_DAE0
+    }
+
     /// Passes one encoded frame through the faulty medium. Draw order is
     /// fixed (loss, then corruption, then truncation), so a given RNG state
     /// always maps to the same outcome.
@@ -155,6 +184,35 @@ impl FaultPlan {
 impl Default for FaultPlan {
     fn default() -> Self {
         Self::none(0)
+    }
+}
+
+/// A [`FaultPlan`] bound to one exchange's fault stream: the plan plus the
+/// `(seed, exchange_id)`-derived RNG, so the medium simulation cannot mix
+/// up which stream it is drawing from. Built by [`FaultPlan::for_exchange`]
+/// / [`FaultPlan::for_epoch`].
+#[derive(Clone, Debug)]
+pub struct ExchangeFaults {
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+impl ExchangeFaults {
+    /// The plan this exchange runs under.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Passes one encoded frame through this exchange's faulty medium.
+    pub fn deliver(&mut self, wire: &[u8]) -> Delivery {
+        let plan = self.plan;
+        plan.deliver(&mut self.rng, wire)
+    }
+
+    /// Draws whether the CSI for the current attempt is stale.
+    pub fn csi_is_stale(&mut self) -> bool {
+        let plan = self.plan;
+        plan.csi_is_stale(&mut self.rng)
     }
 }
 
@@ -240,6 +298,38 @@ mod tests {
                 assert_eq!(plan.deliver(&mut a, &wire), plan.deliver(&mut b, &wire));
                 assert_eq!(plan.csi_is_stale(&mut a), plan.csi_is_stale(&mut b));
             }
+        }
+    }
+
+    #[test]
+    fn bound_exchange_matches_ad_hoc_derivation() {
+        let plan = FaultPlan {
+            frame_loss: 0.3,
+            corruption: 0.2,
+            stale_csi: 0.15,
+            ..FaultPlan::none(0xFEED)
+        };
+        let wire: Vec<u8> = (0..24).collect();
+        let mut bound = plan.for_exchange(5);
+        let mut rng = plan.rng_for(5);
+        for _ in 0..16 {
+            assert_eq!(bound.deliver(&wire), plan.deliver(&mut rng, &wire));
+            assert_eq!(bound.csi_is_stale(), plan.csi_is_stale(&mut rng));
+        }
+    }
+
+    #[test]
+    fn epoch_exchange_ids_never_collide_or_alias_flat_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for cell in 0..64u64 {
+            for epoch in 0..256u64 {
+                assert!(seen.insert(FaultPlan::epoch_exchange_id(cell, epoch)));
+            }
+        }
+        // The daemon's id space stays clear of the batch runners' flat
+        // topology indices.
+        for flat in 0..4096u64 {
+            assert!(!seen.contains(&flat));
         }
     }
 

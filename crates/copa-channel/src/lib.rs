@@ -14,10 +14,14 @@
 //!   leakage: the reasons nulling leaves residual interference (section 2.2).
 //! * [`faults`] -- deterministic seeded fault injection (frame loss, wire
 //!   corruption/truncation, CSI staleness) for degradation experiments.
+//! * [`evolution`] -- coherence-block Gauss-Markov drift of topology
+//!   channels, seeded from `(seed, link, block)` so the daemon's ground
+//!   truth replays identically after a crash.
 
 #![warn(missing_docs)]
 
 pub mod campus;
+pub mod evolution;
 pub mod faults;
 pub mod impairments;
 pub mod multipath;
@@ -25,7 +29,8 @@ pub mod pathloss;
 pub mod topology;
 
 pub use campus::{Campus, CampusSampler};
-pub use faults::{Delivery, FaultPlan};
+pub use evolution::{block_of, ChannelDrift};
+pub use faults::{Delivery, ExchangeFaults, FaultPlan};
 pub use impairments::Impairments;
-pub use multipath::{FreqChannel, FreqChannelSoa, MultipathProfile};
+pub use multipath::{ChannelScratch, FreqChannel, FreqChannelSoa, MultipathProfile};
 pub use topology::{AntennaConfig, Topology, TopologySampler};

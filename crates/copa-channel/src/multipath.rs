@@ -10,7 +10,7 @@
 
 use copa_num::batch::CBatch;
 use copa_num::complex::C64;
-use copa_num::fft::fft;
+use copa_num::fft::{fft, fft_in_place};
 use copa_num::matrix::CMat;
 use copa_num::rng::SimRng;
 use copa_phy::ofdm::{data_subcarrier_bins, DATA_SUBCARRIERS, FFT_SIZE};
@@ -45,13 +45,53 @@ impl Default for MultipathProfile {
 impl MultipathProfile {
     /// Normalized per-tap powers (exponential profile, summing to 1).
     pub fn tap_powers(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.tap_powers_into(&mut out);
+        out
+    }
+
+    /// [`MultipathProfile::tap_powers`] writing into a reused buffer
+    /// (bit-identical: same per-tap `p / sum`).
+    pub fn tap_powers_into(&self, out: &mut Vec<f64>) {
         assert!(self.taps >= 1);
         let decay = SAMPLE_PERIOD_S / self.rms_delay_spread_s.max(1e-12);
-        let raw: Vec<f64> = (0..self.taps)
-            .map(|l| (-(l as f64) * decay).exp())
-            .collect();
-        let sum: f64 = raw.iter().sum();
-        raw.into_iter().map(|p| p / sum).collect()
+        out.clear();
+        out.extend((0..self.taps).map(|l| (-(l as f64) * decay).exp()));
+        let sum: f64 = out.iter().sum();
+        for p in out.iter_mut() {
+            *p /= sum;
+        }
+    }
+}
+
+/// Reusable scratch for the pooled channel-synthesis entry points
+/// ([`FreqChannel::random_into`], [`FreqChannel::evolve_in_place`]): the tap
+/// powers, FFT impulse buffer, data-bin map and innovation channel all live
+/// here, so steady-state synthesis (the daemon's per-coherence-block truth
+/// updates) never touches the allocator after warm-up.
+#[derive(Clone, Debug)]
+pub struct ChannelScratch {
+    tap_powers: Vec<f64>,
+    impulse: Vec<C64>,
+    bins: Vec<usize>,
+    innovation: FreqChannel,
+}
+
+impl Default for ChannelScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChannelScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            tap_powers: Vec::new(),
+            impulse: Vec::new(),
+            bins: data_subcarrier_bins(),
+            innovation: FreqChannel::empty(),
+        }
     }
 }
 
@@ -120,6 +160,85 @@ impl FreqChannel {
             subcarriers,
         }
     }
+
+    /// Pooled [`FreqChannel::random`]: draws the same channel (same RNG
+    /// consumption, bit-identical entries) into `out`'s reused buffers, with
+    /// every intermediate living in `scratch`.
+    // alloc-free: begin channel_synthesis_into
+    pub fn random_into(
+        rng: &mut SimRng,
+        rx: usize,
+        tx: usize,
+        path_gain: f64,
+        profile: &MultipathProfile,
+        scratch: &mut ChannelScratch,
+        out: &mut FreqChannel,
+    ) {
+        assert!(rx >= 1 && tx >= 1);
+        assert!(path_gain >= 0.0);
+        profile.tap_powers_into(&mut scratch.tap_powers);
+        let amp = path_gain.sqrt();
+        let k = profile.rician_k;
+        let los_frac = k / (k + 1.0);
+
+        out.rx = rx;
+        out.tx = tx;
+        out.subcarriers.truncate(DATA_SUBCARRIERS);
+        out.subcarriers.resize_with(DATA_SUBCARRIERS, CMat::default);
+        for m in &mut out.subcarriers {
+            m.reset(rx, tx);
+        }
+
+        let los_phase = rng.uniform_range(0.0, std::f64::consts::TAU);
+        for r in 0..rx {
+            for t in 0..tx {
+                scratch.impulse.clear();
+                scratch.impulse.resize(FFT_SIZE, copa_num::complex::ZERO);
+                for (l, &p) in scratch.tap_powers.iter().enumerate() {
+                    let scatter = rng
+                        .randc()
+                        .scale((p * if l == 0 { 1.0 - los_frac } else { 1.0 }).sqrt());
+                    let mut tap = scatter;
+                    if l == 0 && los_frac > 0.0 {
+                        let pair_phase =
+                            los_phase + std::f64::consts::PI * (r as f64 * 0.73 + t as f64 * 1.31);
+                        tap += C64::cis(pair_phase).scale((p * los_frac).sqrt());
+                    }
+                    scratch.impulse[l] = tap.scale(amp);
+                }
+                fft_in_place(&mut scratch.impulse);
+                for (s, &b) in scratch.bins.iter().enumerate() {
+                    out.subcarriers[s][(r, t)] = scratch.impulse[b];
+                }
+            }
+        }
+    }
+
+    /// Pooled [`FreqChannel::evolve`] mutating `self` in place: same
+    /// innovation draw and per-entry arithmetic, so the evolved channel is
+    /// bit-identical to the owned version while the innovation lives in
+    /// `scratch`.
+    pub fn evolve_in_place(
+        &mut self,
+        rng: &mut SimRng,
+        rho: f64,
+        profile: &MultipathProfile,
+        scratch: &mut ChannelScratch,
+    ) {
+        assert!((0.0..=1.0).contains(&rho));
+        let gain = self.mean_gain();
+        let mut w = std::mem::take(&mut scratch.innovation);
+        Self::random_into(rng, self.rx, self.tx, gain, profile, scratch, &mut w);
+        let a = rho;
+        let b = (1.0 - rho * rho).sqrt();
+        for (h, inno) in self.subcarriers.iter_mut().zip(w.subcarriers.iter()) {
+            for (z, wz) in h.as_mut_slice().iter_mut().zip(inno.as_slice()) {
+                *z = z.scale(a) + wz.scale(b);
+            }
+        }
+        scratch.innovation = w;
+    }
+    // alloc-free: end channel_synthesis_into
 
     /// Builds a channel directly from per-subcarrier matrices (testing and
     /// trace-driven emulation).
@@ -630,6 +749,58 @@ mod tests {
                     let b = pooled.at(s)[(r, t)];
                     assert_eq!(a.re.to_bits(), b.re.to_bits(), "({s},{r},{t})");
                     assert_eq!(a.im.to_bits(), b.im.to_bits(), "({s},{r},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_into_matches_random_bitwise() {
+        let profile = MultipathProfile::default();
+        let mut scratch = ChannelScratch::new();
+        let mut pooled = FreqChannel::empty();
+        for (rx, tx, gain) in [(1usize, 1usize, 1.0), (2, 4, 1e-6), (3, 2, 2.5e-7)] {
+            let owned = FreqChannel::random(&mut SimRng::seed_from(77), rx, tx, gain, &profile);
+            FreqChannel::random_into(
+                &mut SimRng::seed_from(77),
+                rx,
+                tx,
+                gain,
+                &profile,
+                &mut scratch,
+                &mut pooled,
+            );
+            assert_eq!((pooled.rx(), pooled.tx()), (rx, tx));
+            for s in 0..DATA_SUBCARRIERS {
+                for r in 0..rx {
+                    for t in 0..tx {
+                        let a = owned.at(s)[(r, t)];
+                        let b = pooled.at(s)[(r, t)];
+                        assert_eq!(a.re.to_bits(), b.re.to_bits(), "({s},{r},{t})");
+                        assert_eq!(a.im.to_bits(), b.im.to_bits(), "({s},{r},{t})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_in_place_matches_evolve_bitwise() {
+        let profile = MultipathProfile::default();
+        let base = FreqChannel::random(&mut SimRng::seed_from(78), 2, 4, 1e-6, &profile);
+        let mut scratch = ChannelScratch::new();
+        for rho in [0.0, 0.5, 0.97] {
+            let owned = base.evolve(&mut SimRng::seed_from(79), rho, &profile);
+            let mut pooled = base.clone();
+            pooled.evolve_in_place(&mut SimRng::seed_from(79), rho, &profile, &mut scratch);
+            for s in 0..DATA_SUBCARRIERS {
+                for r in 0..2 {
+                    for t in 0..4 {
+                        let a = owned.at(s)[(r, t)];
+                        let b = pooled.at(s)[(r, t)];
+                        assert_eq!(a.re.to_bits(), b.re.to_bits(), "rho={rho} ({s},{r},{t})");
+                        assert_eq!(a.im.to_bits(), b.im.to_bits(), "rho={rho} ({s},{r},{t})");
+                    }
                 }
             }
         }

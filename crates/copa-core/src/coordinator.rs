@@ -14,14 +14,13 @@ use crate::error::{CopaError, WireFault};
 use crate::scenario::{prepare, PreparedScenario};
 use crate::strategy::{Outcome, Strategy};
 use crate::telemetry::ExchangeObs;
-use copa_channel::faults::{Delivery, FaultPlan};
+use copa_channel::faults::{Delivery, ExchangeFaults, FaultPlan};
 use copa_channel::{FreqChannel, Topology};
 use copa_mac::csi_codec::{compress_csi, decompress_csi};
 use copa_mac::frames::{Addr, Decision, ItsFrame};
 use copa_mac::timing::{
     bulk_frame_us, control_frame_us, CW_MAX, CW_MIN, DIFS_US, SIFS_US, SLOT_US,
 };
-use copa_num::rng::SimRng;
 use std::collections::HashMap;
 use std::sync::{PoisonError, RwLock};
 
@@ -206,9 +205,8 @@ impl ExchangeOutcome {
 /// The lossy medium one exchange runs over: applies the fault plan to every
 /// transmitted frame, accounts airtime (including retransmissions and
 /// DCF-style backoff), and enforces the shared retry budget.
-struct Airwave<'a> {
-    plan: &'a FaultPlan,
-    rng: SimRng,
+struct Airwave {
+    faults: ExchangeFaults,
     attempts: u32,
     retries_used: u32,
     backoff_stage: u32,
@@ -216,11 +214,10 @@ struct Airwave<'a> {
     frames: Vec<FrameRecord>,
 }
 
-impl<'a> Airwave<'a> {
-    fn new(plan: &'a FaultPlan, rng: SimRng) -> Self {
+impl Airwave {
+    fn new(faults: ExchangeFaults) -> Self {
         Self {
-            plan,
-            rng,
+            faults,
             attempts: 0,
             retries_used: 0,
             backoff_stage: 0,
@@ -233,7 +230,7 @@ impl<'a> Airwave<'a> {
     /// doubling contention window; fails with `cause` once the budget is
     /// spent.
     fn retry(&mut self, cause: CopaError) -> Result<(), CopaError> {
-        if self.retries_used >= self.plan.max_retries {
+        if self.retries_used >= self.faults.plan().max_retries {
             return Err(cause);
         }
         self.retries_used += 1;
@@ -257,7 +254,7 @@ impl<'a> Airwave<'a> {
         loop {
             self.attempts += 1;
             self.airtime_us += air_us + SIFS_US;
-            let fault = match self.plan.deliver(&mut self.rng, wire) {
+            let fault = match self.faults.deliver(wire) {
                 Delivery::Lost => CopaError::CodecError {
                     stage: name,
                     kind: WireFault::Lost { frame: name },
@@ -350,7 +347,7 @@ impl Coordinator {
     ) -> Result<ExchangeOutcome, CopaError> {
         assert!(leader < 2); // allowlisted: caller-side API contract
         let p = prepare(topology, self.engine.params());
-        let mut air = Airwave::new(plan, plan.rng_for(exchange_id));
+        let mut air = Airwave::new(plan.for_exchange(exchange_id));
         let outcome = match self.attempt_exchange(&p, topology, leader, &mut air) {
             Ok(trace) => Ok(ExchangeOutcome::Coordinated(trace)),
             Err(last) => {
@@ -415,7 +412,7 @@ impl Coordinator {
         p: &PreparedScenario,
         topology: &Topology,
         leader: usize,
-        air: &mut Airwave<'_>,
+        air: &mut Airwave,
     ) -> Result<ExchangeTrace, CopaError> {
         let follower = 1 - leader;
         let params = self.engine.params();
@@ -440,7 +437,7 @@ impl Coordinator {
         // re-measurement before sending; a REQ whose CSI payload fails to
         // decompress is retransmitted like any other garbled frame.
         let (csi1, csi2) = loop {
-            if air.plan.csi_is_stale(&mut air.rng) {
+            if air.faults.csi_is_stale() {
                 air.retry(CopaError::StaleCsi {
                     age_us: 2.0 * params.coherence_us,
                     coherence_us: params.coherence_us,

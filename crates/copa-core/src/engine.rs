@@ -148,6 +148,16 @@ pub enum EvalInput<'a> {
     Topology(&'a Topology),
     /// Use the caller's prepared scenario as-is (validated before use).
     Prepared(&'a PreparedScenario),
+    /// Evaluate `topology` (current ground truth) under caller-owned CSI
+    /// estimate slots (validated before use). This is the daemon's aged-CSI
+    /// shape: truth keeps evolving while the estimates stay pinned to the
+    /// last exchange, without cloning either into a [`PreparedScenario`].
+    Estimates {
+        /// Ground-truth channels to evaluate against.
+        topology: &'a Topology,
+        /// `est[a][c]`: the (possibly stale) estimated channels.
+        est: &'a [[FreqChannel; 2]; 2],
+    },
 }
 
 /// One evaluation request: input + decoder mode + optional caller-owned
@@ -184,6 +194,17 @@ impl<'a> EvalRequest<'a> {
     pub fn prepared(prepared: &'a PreparedScenario) -> Self {
         Self {
             input: EvalInput::Prepared(prepared),
+            mode: DecoderMode::Single,
+            workspace: None,
+            obs: None,
+        }
+    }
+
+    /// A request evaluating ground truth `topology` under caller-owned
+    /// (possibly aged) CSI estimates, with the stock single decoder.
+    pub fn estimates(topology: &'a Topology, est: &'a [[FreqChannel; 2]; 2]) -> Self {
+        Self {
+            input: EvalInput::Estimates { topology, est },
             mode: DecoderMode::Single,
             workspace: None,
             obs: None,
@@ -238,10 +259,9 @@ impl Engine {
     }
 
     /// Runs one [`EvalRequest`]: resolves the input (preparing CSI for raw
-    /// topologies, validating caller-prepared scenarios), borrows the
-    /// request's workspace or allocates a fresh one, and evaluates every
-    /// strategy. This is the single fallible entry point the six legacy
-    /// `evaluate*` wrappers forward to.
+    /// topologies, validating caller-supplied scenarios or estimate slots),
+    /// borrows the request's workspace or allocates a fresh one, and
+    /// evaluates every strategy. This is the engine's single entry point.
     pub fn run(&self, req: &mut EvalRequest<'_>) -> Result<Evaluation, CopaError> {
         let obs = req.obs;
         let obs = obs.as_ref();
@@ -274,6 +294,13 @@ impl Engine {
                 // is the one place degenerate channels can enter the engine.
                 validate_prepared(p)?;
                 ScenarioView::from_prepared(p)
+            }
+            EvalInput::Estimates { topology, est: e } => {
+                validate_estimates(topology, e)?;
+                ScenarioView {
+                    topology,
+                    est: [[&e[0][0], &e[0][1]], [&e[1][0], &e[1][1]]],
+                }
             }
         };
         self.quarantine_ill_conditioned(&view, buf)?;
@@ -376,65 +403,6 @@ impl Engine {
             // alloc-free: end cond quarantine sweep
         }
         Ok(())
-    }
-
-    /// Evaluates a topology with the stock single decoder.
-    #[deprecated(note = "use `Engine::run` with `EvalRequest::topology`")]
-    pub fn evaluate(&self, topology: &Topology) -> Evaluation {
-        self.run(&mut EvalRequest::topology(topology))
-            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
-    }
-
-    /// [`Self::evaluate`] reusing a caller-owned workspace (the hot-path
-    /// entry point for suite runners: one workspace per worker thread).
-    #[deprecated(note = "use `Engine::run` with `EvalRequest::topology(..).workspace(..)`")]
-    pub fn evaluate_with(&self, topology: &Topology, ws: &mut EngineWorkspace) -> Evaluation {
-        self.run(&mut EvalRequest::topology(topology).workspace(ws))
-            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
-    }
-
-    /// Evaluates a topology under the given decoder mode.
-    #[deprecated(note = "use `Engine::run` with `EvalRequest::topology(..).mode(..)`")]
-    pub fn evaluate_mode(&self, topology: &Topology, mode: DecoderMode) -> Evaluation {
-        self.run(&mut EvalRequest::topology(topology).mode(mode))
-            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
-    }
-
-    /// [`Self::evaluate_mode`] reusing a caller-owned workspace.
-    #[deprecated(
-        note = "use `Engine::run` with `EvalRequest::topology(..).mode(..).workspace(..)`"
-    )]
-    pub fn evaluate_mode_with(
-        &self,
-        topology: &Topology,
-        mode: DecoderMode,
-        ws: &mut EngineWorkspace,
-    ) -> Evaluation {
-        self.run(&mut EvalRequest::topology(topology).mode(mode).workspace(ws))
-            .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
-    }
-
-    /// Evaluates an already-prepared scenario (lets callers substitute their
-    /// own CSI estimates, e.g. CSI that round-tripped through the ITS
-    /// compression pipeline).
-    #[deprecated(note = "use `Engine::run` with `EvalRequest::prepared(..).mode(..)`")]
-    pub fn evaluate_prepared(&self, p: &PreparedScenario, mode: DecoderMode) -> Evaluation {
-        self.run(&mut EvalRequest::prepared(p).mode(mode))
-            .expect("prepared scenario must be valid") // allowlisted legacy wrapper
-    }
-
-    /// [`Self::evaluate_prepared`] reusing a caller-owned workspace.
-    #[deprecated(
-        note = "use `Engine::run` with `EvalRequest::prepared(..).mode(..).workspace(..)`"
-    )]
-    pub fn evaluate_prepared_with(
-        &self,
-        p: &PreparedScenario,
-        mode: DecoderMode,
-        ws: &mut EngineWorkspace,
-    ) -> Evaluation {
-        self.run(&mut EvalRequest::prepared(p).mode(mode).workspace(ws))
-            .expect("prepared scenario must be valid") // allowlisted legacy wrapper
     }
 
     /// Evaluates every strategy for one validated, prepared scenario.
@@ -1014,10 +982,16 @@ const EST_NAMES: [[&str; 2]; 2] = [["est[0][0]", "est[0][1]"], ["est[1][0]", "es
 /// with non-finite entries or an all-zero own link (rank zero -- beamforming
 /// would divide by a zero norm).
 fn validate_prepared(p: &PreparedScenario) -> Result<(), CopaError> {
+    validate_estimates(&p.topology, &p.est)
+}
+
+/// [`validate_prepared`] over borrowed truth and estimate slots: the check
+/// behind the [`EvalInput::Estimates`] aged-CSI input.
+fn validate_estimates(topology: &Topology, est: &[[FreqChannel; 2]; 2]) -> Result<(), CopaError> {
     for i in 0..2 {
         for j in 0..2 {
-            let est = &p.est[i][j];
-            let truth = &p.topology.links[i][j];
+            let est = &est[i][j];
+            let truth = &topology.links[i][j];
             if est.rx() != truth.rx() || est.tx() != truth.tx() {
                 return Err(CopaError::DimensionMismatch {
                     context: "estimated CSI vs true link",
@@ -1038,24 +1012,6 @@ fn validate_prepared(p: &PreparedScenario) -> Result<(), CopaError> {
         }
     }
     Ok(())
-}
-
-/// Convenience: evaluate a whole topology suite, returning one Evaluation
-/// per topology. Reuses a single [`EngineWorkspace`] across the suite, but
-/// runs serially on one thread.
-#[deprecated(
-    note = "use `copa_sim::runner::evaluate_parallel` (work-stealing, per-worker workspaces, per-topology seeds)"
-)]
-pub fn evaluate_suite(engine: &Engine, suite: &[Topology]) -> Vec<Evaluation> {
-    let mut ws = EngineWorkspace::new();
-    suite
-        .iter()
-        .map(|t| {
-            engine
-                .run(&mut EvalRequest::topology(t).workspace(&mut ws))
-                .expect("infallible: engine-prepared CSI") // allowlisted legacy wrapper
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -1158,26 +1114,39 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_run() {
+    fn estimates_input_matches_topology_input_bitwise() {
+        // The daemon's aged-CSI path: evaluating a topology with estimates
+        // produced by `prepare_into` under the same seed must be
+        // bit-identical to the engine-prepared raw-topology path.
         let e = engine();
         let t = topo(50, AntennaConfig::CONSTRAINED_4X2);
-        let via_run = eval(&e, &t);
+        let via_topology = eval(&e, &t);
+        let mut est: [[FreqChannel; 2]; 2] = Default::default();
+        prepare_into(&t, e.params(), &mut est);
         let mut ws = EngineWorkspace::new();
-        let p = prepare(&t, e.params());
-        for wrapper in [
-            e.evaluate(&t),
-            e.evaluate_with(&t, &mut ws),
-            e.evaluate_mode(&t, DecoderMode::Single),
-            e.evaluate_mode_with(&t, DecoderMode::Single, &mut ws),
-            e.evaluate_prepared(&p, DecoderMode::Single),
-            e.evaluate_prepared_with(&p, DecoderMode::Single, &mut ws),
-        ] {
-            assert_eq!(
-                via_run.copa_fair.aggregate_bps().to_bits(),
-                wrapper.copa_fair.aggregate_bps().to_bits(),
-                "legacy wrappers must be bit-identical to Engine::run"
-            );
+        let via_estimates = e
+            .run(&mut EvalRequest::estimates(&t, &est).workspace(&mut ws))
+            .expect("valid estimates");
+        assert_eq!(
+            via_topology.copa_fair.aggregate_bps().to_bits(),
+            via_estimates.copa_fair.aggregate_bps().to_bits()
+        );
+        assert_eq!(
+            via_topology.csma.aggregate_bps().to_bits(),
+            via_estimates.csma.aggregate_bps().to_bits()
+        );
+    }
+
+    #[test]
+    fn estimates_input_rejects_degenerate_csi() {
+        let e = engine();
+        let t = topo(51, AntennaConfig::CONSTRAINED_4X2);
+        let mut est: [[FreqChannel; 2]; 2] = Default::default();
+        prepare_into(&t, e.params(), &mut est);
+        est[0][0] = est[0][0].scale_power(0.0);
+        match e.run(&mut EvalRequest::estimates(&t, &est)) {
+            Err(CopaError::SingularChannel { context, .. }) => assert_eq!(context, "est[0][0]"),
+            other => panic!("expected SingularChannel, got {other:?}"),
         }
     }
 

@@ -9,6 +9,8 @@
 //! * [`engine`] -- evaluate all strategies on a topology, pick the best
 //!   (aggregate-max or incentive-compatible "fair"), including the
 //!   overconstrained shut-down-antenna path and COPA+ mercury variants.
+//! * [`session`] -- long-lived per-cell coordination state: CSI aging and
+//!   the persistent engine session the event-driven daemon drives.
 //! * [`coordinator`] -- the ITS protocol driven end-to-end: two AP objects
 //!   exchanging real encoded frames with compressed CSI.
 //! * [`cell`] -- cells with more than two APs: pairwise ITS coordination
@@ -28,17 +30,17 @@ pub mod coordinator;
 pub mod engine;
 pub mod error;
 pub mod scenario;
+pub mod session;
 pub mod strategy;
 pub mod telemetry;
 
 pub use cell::{run_cell, CellOutcome, MultiApScenario};
 pub use cluster::{cluster_greedy, greedy_coloring, ClusterStats, Clustering, InterferenceGraph};
-#[allow(deprecated)]
-pub use engine::evaluate_suite;
 pub use engine::{DecoderMode, Engine, EngineWorkspace, EvalInput, EvalRequest, Evaluation};
 pub use error::{CopaError, WireFault};
 pub use scenario::{
     prepare, prepare_into, KernelMode, PreparedScenario, ScenarioParams, ScenarioView,
 };
+pub use session::{CellSession, CsiAgeState};
 pub use strategy::{Outcome, OutcomeVec, Strategy};
 pub use telemetry::{EngineMetrics, EngineObs, ExchangeMetrics, ExchangeObs};

@@ -1,0 +1,243 @@
+//! Long-lived per-cell coordination state: CSI age tracking and the
+//! persistent engine session the event-driven daemon drives.
+//!
+//! The batch runners treat every topology as a cold start: estimate CSI,
+//! evaluate, discard. A deployment does the opposite — precoder and
+//! allocator state persists across TXOPs, and the expensive work (an ITS
+//! CSI exchange followed by a full strategy evaluation) re-runs only when
+//! the cached CSI has aged past the staleness threshold or the traffic mix
+//! churned. [`CsiAgeState`] is the trigger logic; [`CellSession`] owns the
+//! estimate slots, engine workspace and cached decision that persist
+//! between triggers.
+
+use crate::engine::{Engine, EngineWorkspace, EvalRequest, Evaluation};
+use crate::error::CopaError;
+use crate::scenario::{prepare_into, ScenarioParams};
+use crate::telemetry::EngineObs;
+use copa_channel::{FreqChannel, Topology};
+
+/// When the CSI backing a cell's decision was last refreshed, and whether
+/// it is due for another exchange.
+///
+/// Age semantics are deliberately strict: CSI that is *exactly* as old as
+/// the staleness threshold is already stale (the decision it backs was made
+/// a full threshold ago), and a cell that has never exchanged is always
+/// due. A clock that never advances therefore schedules exactly one
+/// exchange — the cold-start one — and then stays quiet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CsiAgeState {
+    learned_at_us: Option<u64>,
+}
+
+impl CsiAgeState {
+    /// A cold-start state: no CSI has ever been exchanged.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Age of the current CSI at `now_us`, or `None` before the first
+    /// exchange. Saturates at zero if the caller's clock runs backwards.
+    pub fn age_us(&self, now_us: u64) -> Option<u64> {
+        self.learned_at_us
+            .map(|learned| now_us.saturating_sub(learned))
+    }
+
+    /// `true` when an exchange must be scheduled: cold start, topology /
+    /// traffic churn, or age at-or-beyond the staleness threshold.
+    pub fn needs_exchange(&self, now_us: u64, staleness_us: u64, churned: bool) -> bool {
+        match self.age_us(now_us) {
+            None => true,
+            Some(_) if churned => true,
+            Some(age) => age >= staleness_us,
+        }
+    }
+
+    /// Records a completed exchange at `now_us`.
+    pub fn mark_exchanged(&mut self, now_us: u64) {
+        self.learned_at_us = Some(now_us);
+    }
+
+    /// When the current CSI was learned (`None` before the first exchange).
+    pub fn learned_at_us(&self) -> Option<u64> {
+        self.learned_at_us
+    }
+}
+
+/// A persistent per-cell engine session: the daemon-side half of the old
+/// engine/coordinator split.
+///
+/// Owns what survives between TXOPs — the CSI estimate slots written by the
+/// last exchange, the warmed [`EngineWorkspace`], the [`CsiAgeState`] and
+/// the exchange ordinal — so a long-lived run touches the allocator only
+/// while buffers grow toward their steady-state shapes.
+pub struct CellSession {
+    engine: Engine,
+    ws: EngineWorkspace,
+    est: [[FreqChannel; 2]; 2],
+    age: CsiAgeState,
+    exchanges: u64,
+}
+
+impl CellSession {
+    /// A cold session: no CSI, unwarmed workspace, exchange ordinal 0.
+    pub fn new(params: ScenarioParams) -> Self {
+        Self {
+            engine: Engine::new(params),
+            ws: EngineWorkspace::new(),
+            est: Default::default(),
+            age: CsiAgeState::new(),
+            exchanges: 0,
+        }
+    }
+
+    /// The session's engine parameters.
+    pub fn params(&self) -> &ScenarioParams {
+        self.engine.params()
+    }
+
+    /// The CSI age trigger state.
+    pub fn age(&self) -> &CsiAgeState {
+        &self.age
+    }
+
+    /// Completed exchanges (the next exchange's ordinal).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// The estimation seed of exchange `ordinal` under base seed `seed`.
+    /// Ordinal 0 is exactly the base seed, so a session's first exchange
+    /// reproduces the batch path's `prepare_into` bit for bit; later
+    /// ordinals draw fresh, well-separated estimation noise.
+    pub fn exchange_seed(seed: u64, ordinal: u64) -> u64 {
+        if ordinal == 0 {
+            seed
+        } else {
+            seed.wrapping_add(ordinal.wrapping_mul(0xA24B_AED4_963E_E407)) ^ 0xC51A_6EDC_51A6_ED0C
+        }
+    }
+
+    /// Restores the session to "exchange `ordinal` (0-based) happened at
+    /// `now_us` against `topology`" without replaying earlier exchanges:
+    /// the daemon's journal-resume path. Earlier exchanges fully overwrite
+    /// each other's estimate slots, so re-running only the last one
+    /// reproduces the live session bit for bit. Afterwards
+    /// [`CellSession::exchanges`] reads `ordinal + 1`.
+    pub fn restore(&mut self, topology: &Topology, ordinal: u64, now_us: u64) {
+        self.exchanges = ordinal;
+        self.exchange(topology, now_us);
+    }
+
+    /// Runs one CSI exchange against the current ground truth at `now_us`:
+    /// re-estimates every link into the session's slots and advances the
+    /// exchange ordinal. Alloc-free once the slots are warm.
+    pub fn exchange(&mut self, topology: &Topology, now_us: u64) {
+        let mut params = *self.engine.params();
+        params.seed = Self::exchange_seed(params.seed, self.exchanges);
+        prepare_into(topology, &params, &mut self.est);
+        self.exchanges += 1;
+        self.age.mark_exchanged(now_us);
+    }
+
+    /// Whether the session must exchange before its next evaluation.
+    pub fn needs_exchange(&self, now_us: u64, staleness_us: u64, churned: bool) -> bool {
+        self.age.needs_exchange(now_us, staleness_us, churned)
+    }
+
+    /// Evaluates the current ground truth under the session's (possibly
+    /// aged) CSI, reusing the persistent workspace.
+    ///
+    /// # Panics
+    /// Panics if called before the first [`CellSession::exchange`] — the
+    /// estimate slots would be empty.
+    pub fn evaluate(
+        &mut self,
+        topology: &Topology,
+        obs: Option<EngineObs<'_>>,
+    ) -> Result<Evaluation, CopaError> {
+        assert!(
+            self.exchanges > 0,
+            "evaluate before first exchange" // allowlisted: API contract
+        );
+        let mut req = EvalRequest::estimates(topology, &self.est).workspace(&mut self.ws);
+        if let Some(o) = obs {
+            req = req.observe(o);
+        }
+        self.engine.run(&mut req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_channel::{AntennaConfig, TopologySampler};
+
+    fn topo(seed: u64) -> Topology {
+        TopologySampler::default()
+            .suite(seed, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0)
+    }
+
+    #[test]
+    fn cold_start_then_fresh_then_stale() {
+        let mut age = CsiAgeState::new();
+        assert!(age.needs_exchange(0, 1_000, false), "cold start is due");
+        age.mark_exchanged(0);
+        assert!(!age.needs_exchange(999, 1_000, false));
+        assert!(age.needs_exchange(1_000, 1_000, false), "age == threshold");
+        assert!(age.needs_exchange(500, 1_000, true), "churn forces it");
+        assert_eq!(age.age_us(700), Some(700));
+    }
+
+    #[test]
+    fn first_exchange_matches_batch_prepare_bitwise() {
+        let t = topo(31);
+        let params = ScenarioParams::default();
+        let mut session = CellSession::new(params);
+        session.exchange(&t, 0);
+        let mut est: [[FreqChannel; 2]; 2] = Default::default();
+        prepare_into(&t, &params, &mut est);
+        for a in 0..2 {
+            for c in 0..2 {
+                for s in [0usize, 25, 51] {
+                    assert!(session.est[a][c].at(s).approx_eq(est[a][c].at(s), 1e-300));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_evaluation_matches_engine_run() {
+        let t = topo(32);
+        let params = ScenarioParams::default();
+        let mut session = CellSession::new(params);
+        session.exchange(&t, 0);
+        let ev = session.evaluate(&t, None).expect("valid");
+        let reference = Engine::new(params)
+            .run(&mut EvalRequest::topology(&t))
+            .expect("valid");
+        assert_eq!(
+            ev.copa_fair.aggregate_bps().to_bits(),
+            reference.copa_fair.aggregate_bps().to_bits()
+        );
+    }
+
+    #[test]
+    fn later_exchanges_redraw_estimation_noise() {
+        let t = topo(33);
+        let mut session = CellSession::new(ScenarioParams::default());
+        session.exchange(&t, 0);
+        let first = session.est[0][0].clone();
+        session.exchange(&t, 1_000);
+        assert_eq!(session.exchanges(), 2);
+        assert!(
+            !session.est[0][0].at(7).approx_eq(first.at(7), 1e-15),
+            "second exchange must draw fresh estimation noise"
+        );
+        assert_ne!(
+            CellSession::exchange_seed(5, 1),
+            CellSession::exchange_seed(5, 2)
+        );
+        assert_eq!(CellSession::exchange_seed(5, 0), 5);
+    }
+}

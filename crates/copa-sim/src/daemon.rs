@@ -1,0 +1,815 @@
+//! The event-driven coordination daemon: a long-lived, trace-driven
+//! service over the batch engine.
+//!
+//! Where [`crate::supervisor`] evaluates a suite of frozen snapshots once
+//! each, the daemon runs a discrete-event epoch loop over *live* cells:
+//!
+//! * ground-truth channels evolve per coherence block through
+//!   [`copa_channel::evolution::ChannelDrift`] (deterministic
+//!   `(seed, link, epoch)`-derived innovations, replay-invariant);
+//! * a deterministic bursty traffic trace ([`crate::traffic`]) decides
+//!   which cells have backlog — and therefore coordinate — each epoch;
+//! * per-cell [`CellSession`]s persist precoder/allocator state across
+//!   TXOPs: the engine re-runs only when the truth entered a new
+//!   coherence block or a CSI re-exchange fired (cold start, staleness
+//!   at-or-past [`DaemonConfig::staleness_us`], or churn — waking from an
+//!   idle span that crossed a coherence boundary), so evaluations scale
+//!   with coherence blocks, not epochs;
+//! * every round the daemon checkpoints its epoch state through the
+//!   CRC-32 journal ([`crate::journal`], raw-payload lane) and streams
+//!   [`crate::telemetry::DaemonMetrics`] deltas, so a killed daemon
+//!   resumes from the last checkpoint and replays to a byte-identical
+//!   report.
+//!
+//! The loop allocates only while per-cell buffers (engine workspace, CSI
+//! estimate slots, evolution scratch) grow to their steady-state shapes;
+//! warmed epochs are allocation-free on the single-threaded path, which
+//! the hotpath bench and the soak example both assert.
+//!
+//! A single-epoch, force-active daemon run is bit-identical to the batch
+//! supervisor's evaluation of the same suite — the snapshot runners are
+//! the degenerate case of this epoch machinery.
+
+use crate::journal::{load_journal_raw, JournalWriter};
+use crate::json::{Obj, ToJson};
+use crate::runner::seed_for;
+use crate::supervisor::{MonotonicClock, SuiteClock};
+use crate::telemetry::SuiteTelemetry;
+use crate::traffic::{TrafficConfig, TrafficState};
+use copa_channel::evolution::{block_of, ChannelDrift};
+use copa_channel::{ChannelScratch, MultipathProfile, Topology};
+use copa_core::{CellSession, CopaError, ScenarioParams, Strategy};
+use copa_mac::wire::{ByteReader, ByteWriter};
+use std::path::Path;
+
+/// Policy for one daemon run.
+#[derive(Clone, Copy)]
+pub struct DaemonConfig<'a> {
+    /// Epoch (TXOP scheduling quantum) length, microseconds of simulated
+    /// time.
+    pub epoch_us: u64,
+    /// Total epochs to run (simulated duration = `epochs * epoch_us`).
+    pub epochs: u64,
+    /// CSI age at-or-beyond which a re-exchange is scheduled.
+    pub staleness_us: u64,
+    /// Channel coherence-block length: truth takes one Gauss-Markov step
+    /// per block boundary.
+    pub coherence_us: u64,
+    /// Block-to-block channel correlation (see
+    /// [`ChannelDrift::RHO_HALF_LIFE`]).
+    pub rho: f64,
+    /// Worker threads; cells are partitioned into contiguous chunks.
+    /// `1` runs inline (the allocation-free soak/bench path).
+    pub threads: usize,
+    /// Epochs per round: the checkpoint/telemetry cadence.
+    pub checkpoint_every: u64,
+    /// Journal segment rotation threshold, in checkpoints.
+    pub checkpoints_per_segment: u32,
+    /// The per-cell arrival/service process.
+    pub traffic: TrafficConfig,
+    /// Treat every cell as active every epoch, ignoring the traffic
+    /// trace. This is the batch-parity mode: one forced epoch reproduces
+    /// the snapshot suite evaluation bit for bit.
+    pub force_active: bool,
+    /// Stop after this many epochs even if `epochs` is larger: a
+    /// deterministic stand-in for "the daemon was killed" in resume
+    /// tests. `None` runs to `epochs`.
+    pub stop_after: Option<u64>,
+    /// Clock for wall-time telemetry samples; `None` uses real time.
+    /// Simulated time never reads it.
+    pub clock: Option<&'a dyn SuiteClock>,
+    /// Telemetry bundle the daemon streams into after every round.
+    pub telemetry: Option<&'a SuiteTelemetry>,
+}
+
+impl Default for DaemonConfig<'_> {
+    fn default() -> Self {
+        Self {
+            epoch_us: 10_000,
+            epochs: 6_000,
+            staleness_us: 1_000_000,
+            coherence_us: 1_000_000,
+            rho: ChannelDrift::RHO_HALF_LIFE,
+            threads: 1,
+            checkpoint_every: 500,
+            checkpoints_per_segment: 8,
+            traffic: TrafficConfig::default(),
+            force_active: false,
+            stop_after: None,
+            clock: None,
+            telemetry: None,
+        }
+    }
+}
+
+/// Sentinel for "this cell has never exchanged".
+const NO_EXCHANGE: u64 = u64::MAX;
+
+/// One cell's complete daemon-side state: evolving ground truth, the
+/// persistent engine session, the traffic trace, and accumulators.
+struct CellState {
+    truth: Topology,
+    session: CellSession,
+    traffic: TrafficState,
+    scratch: ChannelScratch,
+    /// Coherence block the truth is currently evolved to.
+    block: u64,
+    was_active: bool,
+    /// Whether `last_mbps`/`last_strategy` reflect the current truth+CSI.
+    cache_valid: bool,
+    last_mbps: f64,
+    last_strategy: Option<Strategy>,
+    last_exchange_epoch: u64,
+    evals: u64,
+    active_epochs: u64,
+    flows_arrived: u64,
+    flows_completed: u64,
+    /// Bits drained by the traffic model's nominal service rate.
+    traffic_bits: f64,
+    /// Bits deliverable at the evaluated COPA rate over active time.
+    phy_bits: f64,
+}
+
+impl CellState {
+    fn new(
+        idx: usize,
+        params: &ScenarioParams,
+        suite: &[Topology],
+        cfg: &DaemonConfig<'_>,
+    ) -> Self {
+        let mut session_params = *params;
+        session_params.seed = seed_for(params, idx);
+        Self {
+            truth: suite[idx].clone(),
+            session: CellSession::new(session_params),
+            traffic: TrafficState::new(params.seed, idx as u64, cfg.traffic),
+            scratch: ChannelScratch::new(),
+            block: 0,
+            was_active: false,
+            cache_valid: false,
+            last_mbps: 0.0,
+            last_strategy: None,
+            last_exchange_epoch: NO_EXCHANGE,
+            evals: 0,
+            active_epochs: 0,
+            flows_arrived: 0,
+            flows_completed: 0,
+            traffic_bits: 0.0,
+            phy_bits: 0.0,
+        }
+    }
+
+    /// One epoch of the event loop for this cell. Allocation-free once
+    /// every buffer is warm.
+    fn step(
+        &mut self,
+        idx: usize,
+        epoch: u64,
+        drift: &ChannelDrift,
+        cfg: &DaemonConfig<'_>,
+    ) -> Result<(), CopaError> {
+        let t_us = epoch * cfg.epoch_us;
+        let te = self.traffic.step(cfg.epoch_us);
+        self.flows_arrived += u64::from(te.arrivals);
+        self.flows_completed += u64::from(te.completions);
+        self.traffic_bits += te.bits_served;
+        let active = te.active || cfg.force_active;
+        if active {
+            self.active_epochs += 1;
+            let block = block_of(t_us, cfg.coherence_us);
+            // Waking across a coherence boundary is churn: the CSI learned
+            // before the idle span describes a channel that decorrelated
+            // while the cell slept. Waking within the same block is not --
+            // staleness alone decides whether the estimates are reusable.
+            let churned = !self.was_active && !cfg.force_active && block != self.block;
+            let mut dirty = !self.cache_valid;
+            if block != self.block {
+                drift.advance_topology(
+                    idx as u64,
+                    self.block,
+                    block,
+                    &mut self.truth,
+                    &mut self.scratch,
+                );
+                self.block = block;
+                dirty = true;
+            }
+            if self.session.needs_exchange(t_us, cfg.staleness_us, churned) {
+                self.session.exchange(&self.truth, t_us);
+                self.last_exchange_epoch = epoch;
+                dirty = true;
+            }
+            if dirty {
+                let ev = match cfg.telemetry {
+                    Some(t) => self
+                        .session
+                        .evaluate(&self.truth, Some(t.engine_obs(idx as u32)))?,
+                    None => self.session.evaluate(&self.truth, None)?,
+                };
+                self.last_mbps = ev.copa_fair.aggregate_mbps();
+                self.last_strategy = Some(ev.copa_fair.strategy);
+                self.evals += 1;
+                self.cache_valid = true;
+            }
+            // Mbps x microseconds = bits.
+            self.phy_bits += self.last_mbps * cfg.epoch_us as f64;
+        }
+        self.was_active = active;
+        Ok(())
+    }
+
+    fn summary(&self, idx: usize) -> CellSummary {
+        CellSummary {
+            cell: idx as u32,
+            exchanges: self.session.exchanges(),
+            evals: self.evals,
+            active_epochs: self.active_epochs,
+            flows_arrived: self.flows_arrived,
+            flows_completed: self.flows_completed,
+            traffic_bits: self.traffic_bits,
+            phy_bits: self.phy_bits,
+            backlog_bits: self.traffic.backlog_bits(),
+            last_mbps: self.last_mbps,
+            last_strategy: self.last_strategy,
+        }
+    }
+}
+
+/// One cell's line in the [`DaemonReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSummary {
+    /// Cell index in the suite.
+    pub cell: u32,
+    /// CSI exchanges scheduled (cold start, staleness or churn).
+    pub exchanges: u64,
+    /// Full engine evaluations run.
+    pub evals: u64,
+    /// Epochs with backlog to serve.
+    pub active_epochs: u64,
+    /// Traffic flows that arrived.
+    pub flows_arrived: u64,
+    /// Traffic flows drained to completion.
+    pub flows_completed: u64,
+    /// Bits drained at the traffic model's nominal rate.
+    pub traffic_bits: f64,
+    /// Bits deliverable at the evaluated COPA rate over active time.
+    pub phy_bits: f64,
+    /// Backlog outstanding when the run ended, bits.
+    pub backlog_bits: f64,
+    /// The most recent evaluation's COPA-fair aggregate, Mbps.
+    pub last_mbps: f64,
+    /// The most recent evaluation's strategy choice (`None` before the
+    /// first evaluation).
+    pub last_strategy: Option<Strategy>,
+}
+
+impl ToJson for CellSummary {
+    fn write_json(&self, out: &mut String) {
+        let strategy = match self.last_strategy {
+            Some(s) => s.to_string(),
+            None => "none".to_string(),
+        };
+        Obj::new(out)
+            .field("cell", &self.cell)
+            .field("exchanges", &self.exchanges)
+            .field("evals", &self.evals)
+            .field("active_epochs", &self.active_epochs)
+            .field("flows_arrived", &self.flows_arrived)
+            .field("flows_completed", &self.flows_completed)
+            .field("traffic_bits", &self.traffic_bits)
+            .field("phy_bits", &self.phy_bits)
+            .field("backlog_bits", &self.backlog_bits)
+            .field("last_mbps", &self.last_mbps)
+            .field("strategy", &strategy)
+            .finish();
+    }
+}
+
+/// What an entire daemon run did: per-cell lines plus totals. Two runs
+/// are compared by their canonical JSON bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonReport {
+    /// Number of cells the daemon coordinated.
+    pub cells: usize,
+    /// Epochs completed (equals the config's target unless stopped).
+    pub epochs: u64,
+    /// Epoch length, microseconds.
+    pub epoch_us: u64,
+    /// Simulated time covered, microseconds.
+    pub sim_time_us: u64,
+    /// CSI exchanges across all cells.
+    pub exchanges: u64,
+    /// Engine evaluations across all cells.
+    pub evals: u64,
+    /// Active cell-epochs across all cells.
+    pub active_cell_epochs: u64,
+    /// One line per cell, in suite order.
+    pub per_cell: Vec<CellSummary>,
+}
+
+impl ToJson for DaemonReport {
+    fn write_json(&self, out: &mut String) {
+        Obj::new(out)
+            .field("cells", &self.cells)
+            .field("epochs", &self.epochs)
+            .field("epoch_us", &self.epoch_us)
+            .field("sim_time_us", &self.sim_time_us)
+            .field("exchanges", &self.exchanges)
+            .field("evals", &self.evals)
+            .field("active_cell_epochs", &self.active_cell_epochs)
+            .field("per_cell", &self.per_cell)
+            .finish();
+    }
+}
+
+/// Daemon checkpoint codec version (its own lane; the journal's record
+/// status tags are untouched).
+const CKPT_MAGIC: u8 = 0xD0;
+const CKPT_VERSION: u8 = 1;
+
+/// The engine-side facts a checkpoint must carry per cell. Everything
+/// traffic-side is a pure function of the seed and is replayed from epoch
+/// zero on resume instead of being serialized.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct CellCheckpoint {
+    exchanges: u64,
+    last_exchange_epoch: u64,
+    block: u64,
+    evals: u64,
+    phy_bits: f64,
+    last_mbps: f64,
+    /// `Strategy::wire_tag`, or `0xFF` before the first evaluation.
+    strategy_tag: u8,
+}
+
+const NO_STRATEGY: u8 = 0xFF;
+
+fn encode_checkpoint(epoch: u64, cells: &[CellState]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(16 + cells.len() * 50);
+    w.put_u8(CKPT_MAGIC);
+    w.put_u8(CKPT_VERSION);
+    w.put_u64(epoch);
+    w.put_u32(cells.len() as u32);
+    for c in cells {
+        w.put_u64(c.session.exchanges());
+        w.put_u64(c.last_exchange_epoch);
+        w.put_u64(c.block);
+        w.put_u64(c.evals);
+        w.put_u64(c.phy_bits.to_bits());
+        w.put_u64(c.last_mbps.to_bits());
+        w.put_u8(match c.last_strategy {
+            Some(s) => s.wire_tag(),
+            None => NO_STRATEGY,
+        });
+    }
+    w.into_vec()
+}
+
+fn decode_checkpoint(payload: &[u8], n_cells: usize) -> Option<(u64, Vec<CellCheckpoint>)> {
+    let mut r = ByteReader::new(payload);
+    if r.get_u8().ok()? != CKPT_MAGIC || r.get_u8().ok()? != CKPT_VERSION {
+        return None;
+    }
+    let epoch = r.get_u64().ok()?;
+    let n = r.get_u32().ok()? as usize;
+    if n != n_cells {
+        return None;
+    }
+    let mut cells = Vec::with_capacity(n);
+    for _ in 0..n {
+        cells.push(CellCheckpoint {
+            exchanges: r.get_u64().ok()?,
+            last_exchange_epoch: r.get_u64().ok()?,
+            block: r.get_u64().ok()?,
+            evals: r.get_u64().ok()?,
+            phy_bits: f64::from_bits(r.get_u64().ok()?),
+            last_mbps: f64::from_bits(r.get_u64().ok()?),
+            strategy_tag: r.get_u8().ok()?,
+        });
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some((epoch, cells))
+}
+
+/// Running totals already flushed to telemetry, so each round streams
+/// only its delta and counters stay monotone while the daemon runs.
+#[derive(Default, Clone, Copy)]
+struct Flushed {
+    epochs: u64,
+    active: u64,
+    exchanges: u64,
+    evals: u64,
+    flows_completed: u64,
+}
+
+fn flush_telemetry(
+    tel: &SuiteTelemetry,
+    cells: &[CellState],
+    epochs_done: u64,
+    flushed: &mut Flushed,
+    round_us: u64,
+) {
+    let mut active = 0;
+    let mut exchanges = 0;
+    let mut evals = 0;
+    let mut flows = 0;
+    for c in cells {
+        active += c.active_epochs;
+        exchanges += c.session.exchanges();
+        evals += c.evals;
+        flows += c.flows_completed;
+    }
+    let epochs = epochs_done * cells.len() as u64;
+    tel.count(tel.daemon.epochs, epochs - flushed.epochs);
+    tel.count(tel.daemon.active_cell_epochs, active - flushed.active);
+    tel.count(tel.daemon.exchanges, exchanges - flushed.exchanges);
+    tel.count(tel.daemon.evals, evals - flushed.evals);
+    tel.count(tel.daemon.flows_completed, flows - flushed.flows_completed);
+    tel.sample(tel.daemon.round_us, round_us);
+    *flushed = Flushed {
+        epochs,
+        active,
+        exchanges,
+        evals,
+        flows_completed: flows,
+    };
+}
+
+/// Advances every cell from `from_epoch` to `to_epoch`, partitioning the
+/// cells across `cfg.threads` contiguous chunks. Cells are independent,
+/// so the result is invariant to the thread count; errors resolve to the
+/// lowest-indexed failing cell for the same reason.
+fn run_round(
+    cells: &mut [CellState],
+    from_epoch: u64,
+    to_epoch: u64,
+    drift: &ChannelDrift,
+    cfg: &DaemonConfig<'_>,
+) -> Result<(), CopaError> {
+    let threads = cfg.threads.max(1).min(cells.len().max(1));
+    if threads <= 1 {
+        for (idx, cell) in cells.iter_mut().enumerate() {
+            for epoch in from_epoch..to_epoch {
+                cell.step(idx, epoch, drift, cfg)?;
+            }
+        }
+        return Ok(());
+    }
+    let chunk_len = cells.len().div_ceil(threads);
+    let mut first_err: Option<(usize, CopaError)> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                scope.spawn(move || -> Result<(), (usize, CopaError)> {
+                    let base = chunk_idx * chunk_len;
+                    for (offset, cell) in chunk.iter_mut().enumerate() {
+                        let idx = base + offset;
+                        for epoch in from_epoch..to_epoch {
+                            cell.step(idx, epoch, drift, cfg).map_err(|e| (idx, e))?;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            // invariant: cell steps never panic past the engine's guards
+            if let Err((idx, e)) = h.join().expect("daemon worker") {
+                match &first_err {
+                    Some((seen, _)) if *seen <= idx => {}
+                    _ => first_err = Some((idx, e)),
+                }
+            }
+        }
+    });
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn build_report(cells: &[CellState], epochs: u64, cfg: &DaemonConfig<'_>) -> DaemonReport {
+    let per_cell: Vec<CellSummary> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| c.summary(i))
+        .collect();
+    DaemonReport {
+        cells: cells.len(),
+        epochs,
+        epoch_us: cfg.epoch_us,
+        sim_time_us: epochs * cfg.epoch_us,
+        exchanges: per_cell.iter().map(|c| c.exchanges).sum(),
+        evals: per_cell.iter().map(|c| c.evals).sum(),
+        active_cell_epochs: per_cell.iter().map(|c| c.active_epochs).sum(),
+        per_cell,
+    }
+}
+
+/// The shared epoch loop behind every entry point: round-based stepping
+/// from `start_epoch` with optional checkpointing.
+fn drive(
+    params: &ScenarioParams,
+    cells: &mut [CellState],
+    cfg: &DaemonConfig<'_>,
+    start_epoch: u64,
+    mut journal: Option<&mut JournalWriter>,
+) -> Result<u64, CopaError> {
+    let drift = ChannelDrift::new(params.seed, cfg.rho, MultipathProfile::default());
+    let fallback = MonotonicClock::new();
+    let clock: &dyn SuiteClock = match cfg.clock {
+        Some(c) => c,
+        None => &fallback,
+    };
+    let end = cfg.stop_after.map_or(cfg.epochs, |s| s.min(cfg.epochs));
+    let round = cfg.checkpoint_every.max(1);
+    let mut flushed = Flushed::default();
+    let mut epoch = start_epoch;
+    while epoch < end {
+        let upto = (epoch + round).min(end);
+        let round_start = clock.now_us();
+        run_round(cells, epoch, upto, &drift, cfg)?;
+        epoch = upto;
+        if let Some(w) = journal.as_deref_mut() {
+            w.append_payload(&encode_checkpoint(epoch, cells))?;
+            if let Some(t) = cfg.telemetry {
+                t.count(t.daemon.checkpoints, 1);
+            }
+        }
+        if let Some(t) = cfg.telemetry {
+            let round_us = clock.now_us().saturating_sub(round_start);
+            flush_telemetry(t, cells, epoch, &mut flushed, round_us);
+        }
+    }
+    Ok(epoch)
+}
+
+fn fresh_cells(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &DaemonConfig<'_>,
+) -> Vec<CellState> {
+    (0..suite.len())
+        .map(|i| CellState::new(i, params, suite, cfg))
+        .collect()
+}
+
+/// Runs the daemon without checkpointing: the soak/bench path, and the
+/// baseline for resume byte-identity comparisons.
+pub fn run_daemon(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &DaemonConfig<'_>,
+) -> Result<DaemonReport, CopaError> {
+    let mut cells = fresh_cells(params, suite, cfg);
+    let epochs = drive(params, &mut cells, cfg, 0, None)?;
+    Ok(build_report(&cells, epochs, cfg))
+}
+
+/// Runs the daemon, appending an epoch checkpoint to the journal at
+/// `prefix` every round (any previous journal there is wiped first).
+pub fn run_daemon_journaled(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &DaemonConfig<'_>,
+    prefix: &Path,
+) -> Result<DaemonReport, CopaError> {
+    let mut writer = JournalWriter::create(
+        prefix,
+        suite.len() as u32,
+        params.seed,
+        cfg.checkpoints_per_segment,
+    )?;
+    let mut cells = fresh_cells(params, suite, cfg);
+    let epochs = drive(params, &mut cells, cfg, 0, Some(&mut writer))?;
+    let stats = writer.finish()?;
+    if let Some(t) = cfg.telemetry {
+        t.count(t.journal.records_appended, stats.records_appended);
+        t.count(t.journal.segments_sealed, u64::from(stats.segments_sealed));
+        t.count(t.journal.bytes_written, stats.bytes_written);
+    }
+    Ok(build_report(&cells, epochs, cfg))
+}
+
+/// Resumes a killed daemon from the journal at `prefix`: restores the
+/// last valid checkpoint, replays the deterministic parts (traffic trace,
+/// channel blocks, last CSI exchange) without touching the engine, and
+/// continues to `cfg.epochs`. The final report is byte-identical to the
+/// uninterrupted run's.
+pub fn run_daemon_resumed(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &DaemonConfig<'_>,
+    prefix: &Path,
+) -> Result<DaemonReport, CopaError> {
+    let state = load_journal_raw(prefix, suite.len() as u32, params.seed)?;
+    let checkpoint = state
+        .payloads
+        .iter()
+        .rev()
+        .find_map(|p| decode_checkpoint(p, suite.len()));
+    if let Some(t) = cfg.telemetry {
+        t.count(t.journal.records_replayed, state.payloads.len() as u64);
+        t.count(t.journal.salvage_events, u64::from(state.salvage_events));
+    }
+    let mut writer = JournalWriter::resume_raw(
+        prefix,
+        suite.len() as u32,
+        params.seed,
+        cfg.checkpoints_per_segment,
+        &state,
+    )?;
+    let mut cells = fresh_cells(params, suite, cfg);
+    let start_epoch = match checkpoint {
+        Some((epoch, saved)) => {
+            restore_cells(&mut cells, &saved, epoch, params, cfg);
+            epoch
+        }
+        None => 0,
+    };
+    let epochs = drive(params, &mut cells, cfg, start_epoch, Some(&mut writer))?;
+    let stats = writer.finish()?;
+    if let Some(t) = cfg.telemetry {
+        t.count(t.journal.records_appended, stats.records_appended);
+        t.count(t.journal.segments_sealed, u64::from(stats.segments_sealed));
+        t.count(t.journal.bytes_written, stats.bytes_written);
+    }
+    Ok(build_report(&cells, epochs, cfg))
+}
+
+/// Rebuilds live cell state from a checkpoint taken after `epoch` epochs:
+/// traffic replays from zero (pure trace), truth replays its coherence
+/// blocks (stepwise evolution equals one-shot), and only the *last* CSI
+/// exchange re-runs, against the truth of its block — earlier exchanges
+/// were fully overwritten. The cached evaluation is restored from the
+/// stored bits; no engine run happens here.
+fn restore_cells(
+    cells: &mut [CellState],
+    saved: &[CellCheckpoint],
+    epoch: u64,
+    params: &ScenarioParams,
+    cfg: &DaemonConfig<'_>,
+) {
+    let drift = ChannelDrift::new(params.seed, cfg.rho, MultipathProfile::default());
+    for (idx, (cell, ck)) in cells.iter_mut().zip(saved).enumerate() {
+        // Traffic: replay the pure trace to recover state + accumulators.
+        for _ in 0..epoch {
+            let te = cell.traffic.step(cfg.epoch_us);
+            cell.flows_arrived += u64::from(te.arrivals);
+            cell.flows_completed += u64::from(te.completions);
+            cell.traffic_bits += te.bits_served;
+            cell.was_active = te.active || cfg.force_active;
+            if cell.was_active {
+                cell.active_epochs += 1;
+            }
+        }
+        // Truth + CSI: replay blocks, re-run only the final exchange.
+        if ck.exchanges > 0 {
+            let t_x = ck.last_exchange_epoch * cfg.epoch_us;
+            let block_x = block_of(t_x, cfg.coherence_us);
+            drift.advance_topology(idx as u64, 0, block_x, &mut cell.truth, &mut cell.scratch);
+            cell.session.restore(&cell.truth, ck.exchanges - 1, t_x);
+            drift.advance_topology(
+                idx as u64,
+                block_x,
+                ck.block,
+                &mut cell.truth,
+                &mut cell.scratch,
+            );
+        }
+        cell.block = ck.block;
+        cell.last_exchange_epoch = ck.last_exchange_epoch;
+        cell.evals = ck.evals;
+        cell.phy_bits = ck.phy_bits;
+        cell.last_mbps = ck.last_mbps;
+        cell.last_strategy = if ck.strategy_tag == NO_STRATEGY {
+            None
+        } else {
+            Strategy::from_wire_tag(ck.strategy_tag)
+        };
+        cell.cache_valid = ck.evals > 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copa_channel::{AntennaConfig, TopologySampler};
+
+    fn small_suite(n: usize) -> Vec<Topology> {
+        TopologySampler::default().suite(0xDAE0, n, AntennaConfig::CONSTRAINED_4X2)
+    }
+
+    fn quick_cfg() -> DaemonConfig<'static> {
+        DaemonConfig {
+            epoch_us: 10_000,
+            epochs: 2_000, // 20 s simulated
+            staleness_us: 1_000_000,
+            coherence_us: 1_000_000,
+            checkpoint_every: 250,
+            ..DaemonConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(2);
+        let cfg = quick_cfg();
+        let cells = fresh_cells(&params, &suite, &cfg);
+        let payload = encode_checkpoint(17, &cells);
+        let (epoch, saved) = decode_checkpoint(&payload, 2).expect("round trip");
+        assert_eq!(epoch, 17);
+        assert_eq!(saved.len(), 2);
+        assert_eq!(saved[0].exchanges, 0);
+        assert_eq!(saved[0].strategy_tag, NO_STRATEGY);
+        assert!(decode_checkpoint(&payload, 3).is_none(), "cell count check");
+        assert!(decode_checkpoint(&payload[..10], 2).is_none(), "short");
+    }
+
+    #[test]
+    fn amortization_keeps_evals_far_below_epochs() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(2);
+        let cfg = quick_cfg();
+        let report = run_daemon(&params, &suite, &cfg).expect("run");
+        assert_eq!(report.epochs, 2_000);
+        assert!(report.evals > 0, "some cell must have coordinated");
+        let epochs_total = report.epochs * suite.len() as u64;
+        assert!(
+            report.evals * 10 < epochs_total,
+            "evals ({}) must be far below cell-epochs ({epochs_total})",
+            report.evals
+        );
+        assert!(report.exchanges <= report.evals);
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(4);
+        let base = quick_cfg();
+        let one = run_daemon(&params, &suite, &base).expect("1 thread");
+        for threads in [2, 8] {
+            let cfg = DaemonConfig { threads, ..base };
+            let multi = run_daemon(&params, &suite, &cfg).expect("n threads");
+            assert_eq!(one.to_json(), multi.to_json(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(2);
+        let cfg = quick_cfg();
+        let prefix =
+            std::env::temp_dir().join(format!("copa-daemon-resume-{}", std::process::id()));
+        let full = run_daemon_journaled(&params, &suite, &cfg, &prefix).expect("full");
+        // Kill mid-run (at a non-checkpoint-aligned epoch) and resume.
+        let killed = DaemonConfig {
+            stop_after: Some(1_100),
+            ..cfg
+        };
+        let partial = run_daemon_journaled(&params, &suite, &killed, &prefix).expect("killed");
+        assert_eq!(partial.epochs, 1_100);
+        let resumed = run_daemon_resumed(&params, &suite, &cfg, &prefix).expect("resume");
+        assert_eq!(full.to_json(), resumed.to_json());
+        crate::journal::wipe_journal(&prefix).expect("cleanup");
+    }
+
+    #[test]
+    fn journaled_matches_plain_run() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(2);
+        let cfg = quick_cfg();
+        let prefix =
+            std::env::temp_dir().join(format!("copa-daemon-journal-{}", std::process::id()));
+        let plain = run_daemon(&params, &suite, &cfg).expect("plain");
+        let journaled = run_daemon_journaled(&params, &suite, &cfg, &prefix).expect("journaled");
+        assert_eq!(plain.to_json(), journaled.to_json());
+        crate::journal::wipe_journal(&prefix).expect("cleanup");
+    }
+
+    #[test]
+    fn force_active_single_epoch_evaluates_every_cell_once() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(3);
+        let cfg = DaemonConfig {
+            epochs: 1,
+            force_active: true,
+            ..quick_cfg()
+        };
+        let report = run_daemon(&params, &suite, &cfg).expect("run");
+        assert_eq!(report.evals, 3);
+        assert_eq!(report.exchanges, 3);
+        for c in &report.per_cell {
+            assert_eq!(c.evals, 1);
+            assert!(c.last_mbps > 0.0);
+            assert!(c.last_strategy.is_some());
+        }
+    }
+}

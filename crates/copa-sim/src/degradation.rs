@@ -14,14 +14,13 @@
 
 use crate::json::{Obj, ToJson};
 use crate::runner::seed_for;
-use copa_channel::faults::{Delivery, FaultPlan};
+use copa_channel::faults::{Delivery, ExchangeFaults, FaultPlan};
 use copa_channel::Topology;
 use copa_core::{
     prepare, CopaError, Engine, EngineWorkspace, EvalRequest, ScenarioParams, Strategy,
 };
 use copa_mac::csi_codec::{compress_csi, decompress_csi};
 use copa_mac::frames::{Addr, Decision, ItsFrame};
-use copa_num::rng::SimRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-suite accounting of how coordination degraded under faults.
@@ -97,23 +96,23 @@ struct ExchangeCost {
 /// forces a re-measurement, garbled or lost frames are retransmitted, and
 /// CSI payloads that fail to decompress count like garbled frames.
 fn simulate_exchange(
-    plan: &FaultPlan,
-    rng: &mut SimRng,
+    faults: &mut ExchangeFaults,
     init_wire: &[u8],
     req_wire: &[u8],
     ack_wire: &[u8],
 ) -> ExchangeCost {
+    let max_retries = faults.plan().max_retries;
     let mut retries = 0u32;
-    let mut deliver = |rng: &mut SimRng, wire: &[u8], is_req: bool| -> bool {
+    let mut deliver = |faults: &mut ExchangeFaults, wire: &[u8], is_req: bool| -> bool {
         loop {
-            if is_req && plan.csi_is_stale(rng) {
-                if retries >= plan.max_retries {
+            if is_req && faults.csi_is_stale() {
+                if retries >= max_retries {
                     return false;
                 }
                 retries += 1;
                 continue;
             }
-            let decodable = match plan.deliver(rng, wire) {
+            let decodable = match faults.deliver(wire) {
                 Delivery::Lost => false,
                 Delivery::Intact(bytes)
                 | Delivery::Corrupted(bytes)
@@ -133,15 +132,15 @@ fn simulate_exchange(
             if decodable {
                 return true;
             }
-            if retries >= plan.max_retries {
+            if retries >= max_retries {
                 return false;
             }
             retries += 1;
         }
     };
-    let coordinated = deliver(rng, init_wire, false)
-        && deliver(rng, req_wire, true)
-        && deliver(rng, ack_wire, false);
+    let coordinated = deliver(faults, init_wire, false)
+        && deliver(faults, req_wire, true)
+        && deliver(faults, ack_wire, false);
     ExchangeCost {
         retries,
         coordinated,
@@ -278,8 +277,8 @@ fn evaluate_one(
     }
     .encode();
 
-    let mut rng = plan.rng_for(idx as u64);
-    let cost = simulate_exchange(plan, &mut rng, &init_wire, &req_wire, &ack_wire);
+    let mut faults = plan.for_exchange(idx as u64);
+    let cost = simulate_exchange(&mut faults, &init_wire, &req_wire, &ack_wire);
     let (mbps, chosen) = if cost.coordinated {
         (
             evaluation.copa_fair.aggregate_mbps(),

@@ -292,14 +292,46 @@ impl JournalWriter {
         }
     }
 
+    /// Continues a raw-payload journal described by a loaded
+    /// [`RawJournalState`], mirroring [`JournalWriter::resume`]: intact
+    /// sealed segments keep their files and only the torn part is
+    /// rewritten; a corrupt sealed segment rebuilds the whole journal from
+    /// the salvaged payloads.
+    pub fn resume_raw(
+        prefix: &Path,
+        suite_len: u32,
+        seed: u64,
+        records_per_segment: u32,
+        state: &RawJournalState,
+    ) -> Result<Self, CopaError> {
+        let (segment, carried) = if state.sealed_intact {
+            (state.sealed_segments, &state.part)
+        } else {
+            wipe_journal(prefix)?;
+            (0, &state.payloads)
+        };
+        let mut w = Self::open_at(prefix, suite_len, seed, records_per_segment, segment, &[])?;
+        for payload in carried {
+            w.append_payload(payload)?;
+        }
+        Ok(w)
+    }
+
     /// Appends one record (`len | crc | payload` framing) and seals the
     /// segment when it reaches `records_per_segment`.
     pub fn append(&mut self, rec: &TopologyRecord) -> Result<(), CopaError> {
-        let payload = encode_record(rec);
+        self.append_payload(&encode_record(rec))
+    }
+
+    /// Appends one raw payload with the same `len | crc | payload` framing
+    /// the record path uses. This is the byte-level door other checkpoint
+    /// codecs (the daemon's epoch checkpoints) write through without the
+    /// journal having to know their record shape.
+    pub fn append_payload(&mut self, payload: &[u8]) -> Result<(), CopaError> {
         let mut frame = ByteWriter::with_capacity(payload.len() + 8);
         frame.put_u32(payload.len() as u32);
-        frame.put_u32(crc32(&payload));
-        frame.put_slice(&payload);
+        frame.put_u32(crc32(payload));
+        frame.put_slice(payload);
         self.part
             .write_all(frame.as_slice())
             .map_err(|e| io_err("record append", &e))?;
@@ -367,17 +399,18 @@ pub struct JournalState {
     pub salvage_events: u32,
 }
 
-/// Parses one segment file body: header check, then records until the
-/// first torn/corrupt one. Returns the valid records and whether the file
-/// was clean to its last byte. Header corruption salvages nothing; a
-/// CRC-valid header that disagrees on `segment`/`suite_len`/`seed` is a
-/// hard error (this journal belongs to a different run).
-fn parse_segment(
+/// Parses one segment file body down to its CRC-valid raw payloads:
+/// header check, then frames until the first torn/corrupt one. Returns
+/// the payloads and whether the file was clean to its last byte. Header
+/// corruption salvages nothing; a CRC-valid header that disagrees on
+/// `segment`/`suite_len`/`seed` is a hard error (this journal belongs to
+/// a different run).
+fn parse_segment_frames(
     bytes: &[u8],
     segment: u32,
     suite_len: u32,
     seed: u64,
-) -> Result<(Vec<TopologyRecord>, bool), CopaError> {
+) -> Result<(Vec<Vec<u8>>, bool), CopaError> {
     if bytes.len() < HEADER_LEN
         || bytes[..4] != MAGIC
         || crc32(&bytes[..HEADER_LEN - 4]).to_be_bytes() != bytes[HEADER_LEN - 4..HEADER_LEN]
@@ -402,11 +435,11 @@ fn parse_segment(
             ),
         });
     }
-    let mut records = Vec::new();
+    let mut payloads = Vec::new();
     let mut r = ByteReader::new(&bytes[HEADER_LEN..]);
     loop {
         if r.is_empty() {
-            return Ok((records, true));
+            return Ok((payloads, true));
         }
         let frame = (|| {
             let len = r.get_u32().ok()? as usize;
@@ -415,13 +448,33 @@ fn parse_segment(
             if crc32(payload) != crc {
                 return None;
             }
-            decode_record(payload)
+            Some(payload.to_vec())
         })();
         match frame {
+            Some(p) => payloads.push(p),
+            None => return Ok((payloads, false)),
+        }
+    }
+}
+
+/// [`parse_segment_frames`] plus record decoding: a CRC-valid frame whose
+/// payload fails [`decode_record`] counts as corruption and truncates the
+/// salvage there.
+fn parse_segment(
+    bytes: &[u8],
+    segment: u32,
+    suite_len: u32,
+    seed: u64,
+) -> Result<(Vec<TopologyRecord>, bool), CopaError> {
+    let (payloads, clean) = parse_segment_frames(bytes, segment, suite_len, seed)?;
+    let mut records = Vec::with_capacity(payloads.len());
+    for p in &payloads {
+        match decode_record(p) {
             Some(rec) => records.push(rec),
             None => return Ok((records, false)),
         }
     }
+    Ok((records, clean))
 }
 
 /// Replays the journal at `prefix`, verifying every checksum, salvaging
@@ -465,6 +518,70 @@ pub fn load_journal(prefix: &Path, suite_len: u32, seed: u64) -> Result<JournalS
         Err(e) => return Err(io_err("part read", &e)),
     }
     dedup_by_index(&mut state.records);
+    Ok(state)
+}
+
+/// What [`load_journal_raw`] salvaged from disk: the CRC-valid payloads
+/// in append order, undecoded. Checkpoint codecs layered over the journal
+/// (the daemon's) interpret and deduplicate these themselves.
+#[derive(Clone, Debug, Default)]
+pub struct RawJournalState {
+    /// Every CRC-valid payload in append order (sealed segments then part).
+    pub payloads: Vec<Vec<u8>>,
+    /// Number of fully-valid sealed segments.
+    pub sealed_segments: u32,
+    /// `false` when a *sealed* segment was corrupt (the journal must be
+    /// rebuilt); a torn active part alone keeps this `true`.
+    pub sealed_intact: bool,
+    /// The payloads salvaged from the unsealed active part.
+    pub part: Vec<Vec<u8>>,
+    /// Files (sealed segments or the part) that were torn or corrupt and
+    /// needed their valid prefix salvaged.
+    pub salvage_events: u32,
+}
+
+/// Raw-payload twin of [`load_journal`]: verifies every checksum and
+/// salvages the longest valid prefix, but leaves payload interpretation
+/// to the caller. Missing files yield an empty state.
+pub fn load_journal_raw(
+    prefix: &Path,
+    suite_len: u32,
+    seed: u64,
+) -> Result<RawJournalState, CopaError> {
+    let mut state = RawJournalState {
+        sealed_intact: true,
+        ..Default::default()
+    };
+    loop {
+        let path = segment_path(prefix, state.sealed_segments);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+            Err(e) => return Err(io_err("segment read", &e)),
+        };
+        let (payloads, clean) =
+            parse_segment_frames(&bytes, state.sealed_segments, suite_len, seed)?;
+        state.payloads.extend(payloads);
+        if !clean {
+            state.sealed_intact = false;
+            state.salvage_events += 1;
+            return Ok(state);
+        }
+        state.sealed_segments += 1;
+    }
+    match fs::read(part_path(prefix)) {
+        Ok(bytes) => {
+            let (payloads, clean) =
+                parse_segment_frames(&bytes, state.sealed_segments, suite_len, seed)?;
+            if !clean {
+                state.salvage_events += 1;
+            }
+            state.part = payloads.clone();
+            state.payloads.extend(payloads);
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(io_err("part read", &e)),
+    }
     Ok(state)
 }
 
@@ -614,6 +731,29 @@ mod tests {
             }
             other => panic!("expected JournalError, got {other:?}"),
         }
+        wipe_journal(&prefix).expect("cleanup");
+    }
+
+    #[test]
+    fn raw_payload_journal_round_trips_and_resumes() {
+        let prefix = temp_prefix("raw");
+        let mut w = JournalWriter::create(&prefix, 4, 9, 2).expect("create");
+        for i in 0..5u8 {
+            w.append_payload(&[i, i + 1, i + 2]).expect("append");
+        }
+        drop(w); // simulated crash: the active part was never sealed
+        let state = load_journal_raw(&prefix, 4, 9).expect("load");
+        assert!(state.sealed_intact);
+        assert_eq!(state.sealed_segments, 2);
+        assert_eq!(state.payloads.len(), 5);
+        assert_eq!(state.part.len(), 1);
+        assert_eq!(state.payloads[4], vec![4, 5, 6]);
+        let mut w = JournalWriter::resume_raw(&prefix, 4, 9, 2, &state).expect("resume");
+        w.append_payload(&[9]).expect("append");
+        w.finish().expect("finish");
+        let state = load_journal_raw(&prefix, 4, 9).expect("reload");
+        assert_eq!(state.payloads.len(), 6);
+        assert_eq!(state.payloads[5], vec![9]);
         wipe_journal(&prefix).expect("cleanup");
     }
 

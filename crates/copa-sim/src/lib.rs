@@ -30,11 +30,17 @@
 //! * [`campus`] -- the N-cell layer: interference-graph clustering of a
 //!   dense campus and per-cluster COPA over the supervised pool
 //!   ([`run_campus_suite`]).
+//! * [`traffic`] -- deterministic bursty arrivals with heavy-tailed flow
+//!   sizes: the trace that decides which cells are active per epoch.
+//! * [`daemon`] -- the event-driven coordination daemon: a long-lived
+//!   epoch loop with channel evolution, CSI aging, amortized evaluation
+//!   and journaled kill-and-resume replay.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod campus;
+pub mod daemon;
 pub mod degradation;
 pub mod episode;
 pub mod figures;
@@ -46,6 +52,7 @@ pub mod runner;
 pub mod supervisor;
 pub mod telemetry;
 pub mod throughput;
+pub mod traffic;
 pub mod validation;
 
 pub use ablations::{
@@ -55,9 +62,14 @@ pub use campus::{
     evaluate_cluster, plan_campus, run_campus_suite, run_campus_suite_journaled,
     run_campus_suite_resumed, CampusParams, CampusPlan, CampusReport, CampusScheme, ClusterUnit,
 };
+pub use daemon::{
+    run_daemon, run_daemon_journaled, run_daemon_resumed, CellSummary, DaemonConfig, DaemonReport,
+};
 pub use degradation::{run_degraded_suite, DegradationStats, DegradedSuiteResult};
 pub use figures::{fig2, fig3, fig4, fig7, fig9, standard_suite};
-pub use journal::{load_journal, JournalState, JournalStats, JournalWriter};
+pub use journal::{
+    load_journal, load_journal_raw, JournalState, JournalStats, JournalWriter, RawJournalState,
+};
 pub use report::{headline_stats, render_experiment, HeadlineStats};
 pub use runner::{evaluate_parallel, evaluate_serial, try_evaluate_parallel};
 pub use supervisor::{
@@ -65,8 +77,10 @@ pub use supervisor::{
     SuiteClock, SuiteConfig, SuiteHealth, SuiteReport, TopologyOutcome, TopologyRecord,
 };
 pub use telemetry::{
-    CampusMetrics, JournalMetrics, SuiteObsClock, SuiteTelemetry, SupervisorMetrics,
+    exported_counter, CampusMetrics, DaemonMetrics, JournalMetrics, SuiteObsClock, SuiteTelemetry,
+    SupervisorMetrics,
 };
 pub use throughput::{
     fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
 };
+pub use traffic::{TrafficConfig, TrafficEpoch, TrafficState};

@@ -18,7 +18,20 @@
 use crate::json::ToJson;
 use crate::supervisor::{MonotonicClock, SuiteClock};
 use copa_core::{EngineMetrics, EngineObs, ExchangeMetrics, ExchangeObs};
+use copa_obs::json::Value;
 use copa_obs::{CounterId, HistogramId, ObsClock, Sink, Telemetry, TraceBuffer};
+
+/// Reads counter `name` out of a parsed registry JSON export, panicking
+/// with a useful message when the metric is missing. The smoke examples
+/// share this so "every wired layer shows up in the export" is asserted
+/// the same way everywhere.
+pub fn exported_counter(doc: &Value, name: &str) -> u64 {
+    let missing = format!("counter {name} missing from registry JSON");
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .expect(&missing)
+}
 
 impl ObsClock for MonotonicClock {
     fn now_us(&self) -> u64 {
@@ -147,6 +160,42 @@ impl CampusMetrics {
     }
 }
 
+/// Handles to the event-driven daemon's epoch-loop metrics on a shared
+/// registry. Counters accumulate across rounds, so a streaming consumer
+/// sees them grow monotonically while the daemon runs.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonMetrics {
+    /// Epochs completed (per cell-epoch the loop ticked).
+    pub epochs: CounterId,
+    /// Cell-epochs that had backlog to serve.
+    pub active_cell_epochs: CounterId,
+    /// CSI exchanges scheduled (cold start, staleness or churn).
+    pub exchanges: CounterId,
+    /// Full engine evaluations run (new coherence block or fresh CSI).
+    pub evals: CounterId,
+    /// Epoch checkpoints appended to the journal.
+    pub checkpoints: CounterId,
+    /// Traffic flows drained to completion.
+    pub flows_completed: CounterId,
+    /// Wall time per daemon round (per the suite clock).
+    pub round_us: HistogramId,
+}
+
+impl DaemonMetrics {
+    /// Registers the daemon metric names on `tel` (idempotent).
+    pub fn register(tel: &mut Telemetry) -> Self {
+        Self {
+            epochs: tel.counter("daemon.epochs"),
+            active_cell_epochs: tel.counter("daemon.active_cell_epochs"),
+            exchanges: tel.counter("daemon.exchanges"),
+            evals: tel.counter("daemon.evals"),
+            checkpoints: tel.counter("daemon.checkpoints"),
+            flows_completed: tel.counter("daemon.flows_completed"),
+            round_us: tel.histogram("daemon.round_us"),
+        }
+    }
+}
+
 /// One registry with every layer's metrics pre-registered, plus the span
 /// clock: the bundle a suite run records into.
 pub struct SuiteTelemetry {
@@ -162,6 +211,8 @@ pub struct SuiteTelemetry {
     pub journal: JournalMetrics,
     /// Campus partition metrics (N-cell layer).
     pub campus: CampusMetrics,
+    /// Event-driven daemon epoch-loop metrics.
+    pub daemon: DaemonMetrics,
 }
 
 impl Default for SuiteTelemetry {
@@ -187,6 +238,7 @@ impl SuiteTelemetry {
         let suite = SupervisorMetrics::register(&mut registry);
         let journal = JournalMetrics::register(&mut registry);
         let campus = CampusMetrics::register(&mut registry);
+        let daemon = DaemonMetrics::register(&mut registry);
         Self {
             registry,
             clock: Box::new(MonotonicClock::new()),
@@ -195,6 +247,7 @@ impl SuiteTelemetry {
             suite,
             journal,
             campus,
+            daemon,
         }
     }
 

@@ -20,23 +20,13 @@
 
 use copa::channel::AntennaConfig;
 use copa::core::ScenarioParams;
-use copa::obs::json::{parse, Value};
+use copa::obs::json::parse;
 use copa::sim::journal::wipe_journal;
 use copa::sim::json::ToJson;
 use copa::sim::{
-    run_campus_suite, run_campus_suite_journaled, CampusParams, CampusScheme, SuiteConfig,
-    SuiteTelemetry,
+    exported_counter as counter, run_campus_suite, run_campus_suite_journaled, CampusParams,
+    CampusScheme, SuiteConfig, SuiteTelemetry,
 };
-
-/// Reads `name` out of the parsed registry JSON, with a pointed message
-/// when the metric is missing -- validating the export is the point.
-fn counter(doc: &Value, name: &str) -> u64 {
-    let missing = format!("counter {name} missing from registry JSON");
-    doc.get("counters")
-        .and_then(|c| c.get(name))
-        .and_then(Value::as_u64)
-        .expect(&missing)
-}
 
 fn main() {
     let params = ScenarioParams::default();

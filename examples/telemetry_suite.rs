@@ -21,18 +21,9 @@ use copa::core::{Engine, ScenarioParams};
 use copa::obs::json::{parse, Value};
 use copa::obs::validate_chrome_trace;
 use copa::sim::json::ToJson;
-use copa::sim::{run_suite, standard_suite, SuiteConfig, SuiteTelemetry};
-
-/// Reads `name`'s value out of the parsed registry JSON, panicking with a
-/// useful message when the metric is missing -- the smoke test's whole
-/// point is that every wired layer shows up in the export.
-fn counter(doc: &Value, name: &str) -> u64 {
-    let missing = format!("counter {name} missing from registry JSON");
-    doc.get("counters")
-        .and_then(|c| c.get(name))
-        .and_then(Value::as_u64)
-        .expect(&missing)
-}
+use copa::sim::{
+    exported_counter as counter, run_suite, standard_suite, SuiteConfig, SuiteTelemetry,
+};
 
 fn main() {
     let params = ScenarioParams::default();

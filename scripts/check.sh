@@ -8,6 +8,7 @@
 #
 # Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
 #                         [--obs-smoke] [--campus-smoke] [--simd-smoke]
+#                         [--daemon-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
 #                   and leave its JSON lines in BENCH_hotpath.json; every
 #                   warmed-path alloc report must read exactly 0 (the bench
@@ -34,6 +35,11 @@
 #                   telemetry validated and a journaled 500-AP campus
 #                   byte-identical across 1/2/8 threads, then run the
 #                   hotpath bench's pair-cluster zero-allocation guard.
+#   --daemon-smoke  additionally run the daemon soak
+#                   (examples/daemon_soak.rs): ten simulated minutes of
+#                   the event-driven coordination loop with bounded
+#                   journal growth, byte-identical kill-and-resume, and
+#                   zero heap allocations across warmed epochs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +49,7 @@ RESUME_SMOKE=0
 OBS_SMOKE=0
 CAMPUS_SMOKE=0
 SIMD_SMOKE=0
+DAEMON_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
@@ -51,6 +58,7 @@ for arg in "$@"; do
         --obs-smoke) OBS_SMOKE=1 ;;
         --campus-smoke) CAMPUS_SMOKE=1 ;;
         --simd-smoke) SIMD_SMOKE=1 ;;
+        --daemon-smoke) DAEMON_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -175,7 +183,7 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     # (The bench asserts this too; re-checking the emitted JSON keeps the
     # gate honest even if the bench's own asserts are ever refactored.)
     for guard in evaluate_4x2_warm_ws evaluate_4x2_guarded evaluate_4x2_noop_obs \
-                 evaluate_4x2_live_obs evaluate_pair_cluster_warm; do
+                 evaluate_4x2_live_obs evaluate_pair_cluster_warm daemon_warm_epochs; do
         grep -q "\"name\":\"$guard\",\"allocs\":0}" BENCH_hotpath.json || {
             echo "bench smoke FAILED: warmed path '$guard' is not allocation-free" >&2
             exit 1
@@ -183,6 +191,10 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     done
     grep -q '"type":"throughput","name":"suite_mixed_12"' BENCH_hotpath.json || {
         echo "bench smoke FAILED: suite throughput line missing" >&2
+        exit 1
+    }
+    grep -q '"type":"throughput","name":"daemon_epochs"' BENCH_hotpath.json || {
+        echo "bench smoke FAILED: daemon epoch-throughput line missing" >&2
         exit 1
     }
 fi
@@ -256,6 +268,28 @@ if [ "$CAMPUS_SMOKE" -eq 1 ]; then
     printf '%s\n' "$guard" | grep '^alloc '
     printf '%s\n' "$guard" | grep -q '"name":"evaluate_pair_cluster_warm"' || {
         echo "campus smoke FAILED: pair-cluster alloc report missing" >&2
+        exit 1
+    }
+fi
+
+if [ "$DAEMON_SMOKE" -eq 1 ]; then
+    echo "==> daemon smoke: ten simulated minutes of the coordination daemon"
+    out=$(cargo run --release --offline --example daemon_soak)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: daemon soak journal growth bounded' || {
+        echo "daemon smoke FAILED: journal grew past its per-checkpoint budget" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: daemon kill-and-resume byte-identical' || {
+        echo "daemon smoke FAILED: resumed daemon diverged from the reference" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: warmed daemon epochs allocation-free' || {
+        echo "daemon smoke FAILED: warmed epochs allocated" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: daemon soak validated end to end' || {
+        echo "daemon smoke FAILED: soak did not validate" >&2
         exit 1
     }
 fi

@@ -1,0 +1,128 @@
+//! Acceptance tests for the event-driven coordination daemon: hour-long
+//! simulated runs must be byte-identical across thread counts and across
+//! kill-and-resume, evaluations must amortize far below epochs, and a
+//! single forced epoch must reproduce the batch supervisor bit for bit.
+
+use copa::channel::{AntennaConfig, Topology, TopologySampler};
+use copa::core::ScenarioParams;
+use copa::sim::json::ToJson;
+use copa::sim::{
+    run_daemon, run_daemon_journaled, run_daemon_resumed, run_suite_journaled, DaemonConfig,
+    SuiteConfig, TopologyOutcome,
+};
+
+fn suite(n: usize) -> Vec<Topology> {
+    TopologySampler::default().suite(0x0DAE, n, AntennaConfig::CONSTRAINED_4X2)
+}
+
+/// One hour of simulated time in coarse 100 ms epochs: long enough that
+/// channels decorrelate many times over and traffic cycles through many
+/// busy periods, coarse enough to stay test-sized.
+fn hour_cfg() -> DaemonConfig<'static> {
+    DaemonConfig {
+        epoch_us: 100_000,
+        epochs: 36_000,
+        staleness_us: 30_000_000,
+        coherence_us: 60_000_000,
+        checkpoint_every: 4_000,
+        ..DaemonConfig::default()
+    }
+}
+
+#[test]
+fn hour_long_run_is_byte_identical_across_threads_and_resume() {
+    let params = ScenarioParams::default();
+    let cells = suite(2);
+    let cfg = hour_cfg();
+    let prefix = std::env::temp_dir().join(format!("copa-daemon-hour-{}", std::process::id()));
+
+    let reference = run_daemon_journaled(&params, &cells, &cfg, &prefix).expect("full run");
+    let want = reference.to_json();
+    assert_eq!(reference.sim_time_us, 3_600_000_000, "one hour simulated");
+
+    // Re-exchange amortization: the whole point of the daemon. Exchanges
+    // fire on staleness/churn only, so they sit far below cell-epochs.
+    let cell_epochs = reference.epochs * cells.len() as u64;
+    assert!(reference.exchanges > 10, "an hour must re-exchange");
+    assert!(
+        reference.exchanges * 50 < cell_epochs,
+        "exchanges ({}) must be far below cell-epochs ({cell_epochs})",
+        reference.exchanges
+    );
+    assert!(
+        reference.evals * 10 < cell_epochs,
+        "evals ({}) must amortize far below cell-epochs ({cell_epochs})",
+        reference.evals
+    );
+
+    // Thread invariance: contiguous cell partitions, merged in order.
+    for threads in [2usize, 8] {
+        let cfg_t = DaemonConfig { threads, ..cfg };
+        let got = run_daemon(&params, &cells, &cfg_t).expect("threaded run");
+        assert_eq!(got.to_json(), want, "threads={threads}");
+    }
+
+    // Kill at an epoch that is not a checkpoint multiple, then resume:
+    // the journal's last checkpoint plus deterministic replay must land
+    // on the same bytes.
+    let killed = DaemonConfig {
+        stop_after: Some(17_500),
+        ..cfg
+    };
+    let partial = run_daemon_journaled(&params, &cells, &killed, &prefix).expect("killed run");
+    assert_eq!(partial.epochs, 17_500);
+    let resumed = run_daemon_resumed(&params, &cells, &cfg, &prefix).expect("resumed run");
+    assert_eq!(resumed.to_json(), want, "kill-and-resume replay");
+
+    copa::sim::journal::wipe_journal(&prefix).expect("cleanup");
+}
+
+#[test]
+fn single_epoch_daemon_matches_batch_supervisor_bitwise() {
+    let params = ScenarioParams::default();
+    let cells = suite(6);
+    let prefix = std::env::temp_dir().join(format!("copa-daemon-parity-{}", std::process::id()));
+
+    // The batch path: one supervised, journaled pass over the suite.
+    let batch = run_suite_journaled(
+        &params,
+        &cells,
+        &SuiteConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        &prefix,
+    )
+    .expect("batch suite");
+    copa::sim::journal::wipe_journal(&prefix).expect("cleanup");
+
+    // The daemon path: one forced-active epoch over the same suite.
+    let cfg = DaemonConfig {
+        epochs: 1,
+        force_active: true,
+        ..DaemonConfig::default()
+    };
+    let daemon = run_daemon(&params, &cells, &cfg).expect("single-epoch daemon");
+
+    assert_eq!(batch.records.len(), cells.len());
+    assert_eq!(daemon.per_cell.len(), cells.len());
+    for (rec, cell) in batch.records.iter().zip(&daemon.per_cell) {
+        let (mbps, strategy) = match &rec.outcome {
+            TopologyOutcome::Done { mbps, strategy } => Some((*mbps, *strategy)),
+            _ => None,
+        }
+        .expect("every batch suite record must be Done");
+        assert_eq!(
+            cell.last_mbps.to_bits(),
+            mbps.to_bits(),
+            "cell {} throughput must match the batch path bitwise",
+            cell.cell
+        );
+        assert_eq!(
+            cell.last_strategy,
+            Some(strategy),
+            "cell {} strategy must match the batch path",
+            cell.cell
+        );
+    }
+}
