@@ -109,7 +109,9 @@ impl FaultPlan {
     /// Binds this plan to one exchange: the single home of the
     /// `(seed, exchange_id)` RNG composition that call sites used to
     /// re-derive ad hoc. The batch runners pass their flat topology index;
-    /// the daemon uses [`FaultPlan::for_epoch`].
+    /// the daemon (when `DaemonConfig::faults` is set) binds each
+    /// scheduled exchange through [`FaultPlan::for_epoch`] and hands the
+    /// stream to its coordinator's `run_exchange_faulted`.
     pub fn for_exchange(&self, exchange_id: u64) -> ExchangeFaults {
         ExchangeFaults {
             plan: *self,

@@ -345,9 +345,25 @@ impl Coordinator {
         exchange_id: u64,
         obs: Option<&ExchangeObs<'_>>,
     ) -> Result<ExchangeOutcome, CopaError> {
+        self.run_exchange_faulted(topology, leader, plan.for_exchange(exchange_id), obs)
+    }
+
+    /// Runs one ITS exchange over a pre-bound fault stream. This is the
+    /// daemon's entry point: it binds the stream itself via
+    /// [`FaultPlan::for_epoch`] so every re-exchange a long-lived run
+    /// schedules replays bit-identically from its `(cell, epoch)` key,
+    /// while the batch paths bind flat exchange ids through
+    /// [`Self::run_exchange_with_faults`]. Identical semantics otherwise.
+    pub fn run_exchange_faulted(
+        &self,
+        topology: &Topology,
+        leader: usize,
+        faults: ExchangeFaults,
+        obs: Option<&ExchangeObs<'_>>,
+    ) -> Result<ExchangeOutcome, CopaError> {
         assert!(leader < 2); // allowlisted: caller-side API contract
         let p = prepare(topology, self.engine.params());
-        let mut air = Airwave::new(plan.for_exchange(exchange_id));
+        let mut air = Airwave::new(faults);
         let outcome = match self.attempt_exchange(&p, topology, leader, &mut air) {
             Ok(trace) => Ok(ExchangeOutcome::Coordinated(trace)),
             Err(last) => {
@@ -742,6 +758,38 @@ mod tests {
             total_retries += outcome.retries();
         }
         assert!(total_retries > 0, "50% corruption must cost retries");
+    }
+
+    #[test]
+    fn prebound_stream_matches_flat_id_derivation() {
+        let topo = TopologySampler::default()
+            .suite(57, 1, AntennaConfig::CONSTRAINED_4X2)
+            .remove(0);
+        let coord = Coordinator::new(Engine::new(ScenarioParams::default()));
+        let plan = FaultPlan {
+            frame_loss: 0.35,
+            corruption: 0.15,
+            ..FaultPlan::none(0xBEEF)
+        };
+        for (cell, epoch) in [(0u64, 0u64), (1, 9), (3, 1_000)] {
+            let via_epoch = coord
+                .run_exchange_faulted(&topo, 0, plan.for_epoch(cell, epoch), None)
+                .unwrap();
+            let via_flat = coord
+                .run_exchange_with_faults(
+                    &topo,
+                    0,
+                    &plan,
+                    FaultPlan::epoch_exchange_id(cell, epoch),
+                )
+                .unwrap();
+            assert_eq!(via_epoch.is_degraded(), via_flat.is_degraded());
+            assert_eq!(via_epoch.retries(), via_flat.retries());
+            assert_eq!(
+                via_epoch.chosen().aggregate_bps().to_bits(),
+                via_flat.chosen().aggregate_bps().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use error::{CopaError, WireFault};
 pub use scenario::{
     prepare, prepare_into, KernelMode, PreparedScenario, ScenarioParams, ScenarioView,
 };
-pub use session::{CellSession, CsiAgeState};
+pub use session::{CellSession, CsiAgeState, SessionState};
 pub use strategy::{Outcome, OutcomeVec, Strategy};
 pub use telemetry::{EngineMetrics, EngineObs, ExchangeMetrics, ExchangeObs};

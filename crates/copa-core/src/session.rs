@@ -63,19 +63,58 @@ impl CsiAgeState {
     }
 }
 
+/// The lifecycle state of a [`CellSession`], as the daemon's scheduler
+/// sees it at a given instant.
+///
+/// ```text
+///            exchange ok                staleness / churn
+///   (cold) ─────────────▶ Fresh ─────────────────────────▶ Stale
+///                           ▲                                │
+///                exchange ok│          exchange fails        │
+///                           │      (retry budget exhausted)  ▼
+///                           └──────────────────────────── Degraded
+///                                                     ▲      │
+///                                  recovery exchange  │      │ backoff
+///                                  fails again        └──────┘ doubles
+/// ```
+///
+/// `Degraded` pins the cell to stock CSMA: no engine evaluations run and
+/// no exchange fires until the backoff deadline `until_us` passes, when
+/// the next recovery exchange is due. Every further failure doubles the
+/// backoff (capped); any successful exchange returns the session to
+/// `Fresh`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// CSI younger than the staleness threshold backs the cached decision.
+    Fresh,
+    /// Cold start, or CSI at-or-past the staleness threshold: the next
+    /// active epoch schedules an exchange.
+    Stale,
+    /// Coordination failed; the cell runs stock CSMA until the backoff
+    /// deadline, then attempts a recovery exchange.
+    Degraded {
+        /// Simulated time before which no recovery exchange fires.
+        until_us: u64,
+        /// Failed exchanges in the current degradation bout.
+        attempts: u32,
+    },
+}
+
 /// A persistent per-cell engine session: the daemon-side half of the old
 /// engine/coordinator split.
 ///
 /// Owns what survives between TXOPs — the CSI estimate slots written by the
-/// last exchange, the warmed [`EngineWorkspace`], the [`CsiAgeState`] and
-/// the exchange ordinal — so a long-lived run touches the allocator only
-/// while buffers grow toward their steady-state shapes.
+/// last exchange, the warmed [`EngineWorkspace`], the [`CsiAgeState`], the
+/// exchange ordinal and the degradation bout — so a long-lived run touches
+/// the allocator only while buffers grow toward their steady-state shapes.
 pub struct CellSession {
     engine: Engine,
     ws: EngineWorkspace,
     est: [[FreqChannel; 2]; 2],
     age: CsiAgeState,
     exchanges: u64,
+    /// `(until_us, attempts)` of the active degradation bout, if any.
+    degraded: Option<(u64, u32)>,
 }
 
 impl CellSession {
@@ -87,6 +126,7 @@ impl CellSession {
             est: Default::default(),
             age: CsiAgeState::new(),
             exchanges: 0,
+            degraded: None,
         }
     }
 
@@ -103,6 +143,61 @@ impl CellSession {
     /// Completed exchanges (the next exchange's ordinal).
     pub fn exchanges(&self) -> u64 {
         self.exchanges
+    }
+
+    /// The lifecycle state at `now_us` under `staleness_us`. Degradation
+    /// dominates: a degraded session reads `Degraded` even when its CSI
+    /// would also count as stale.
+    pub fn state(&self, now_us: u64, staleness_us: u64) -> SessionState {
+        if let Some((until_us, attempts)) = self.degraded {
+            return SessionState::Degraded { until_us, attempts };
+        }
+        if self.age.needs_exchange(now_us, staleness_us, false) {
+            SessionState::Stale
+        } else {
+            SessionState::Fresh
+        }
+    }
+
+    /// The active degradation bout (`(until_us, attempts)`), if any.
+    pub fn degraded(&self) -> Option<(u64, u32)> {
+        self.degraded
+    }
+
+    /// Records a failed exchange at `now_us`: enters (or extends) the
+    /// degradation bout with capped exponential backoff. Attempt `n`
+    /// (1-based) schedules the next recovery at
+    /// `now_us + backoff_base_us << min(n - 1, backoff_cap)`. Returns the
+    /// attempt count of the bout so far.
+    pub fn mark_degraded(&mut self, now_us: u64, backoff_base_us: u64, backoff_cap: u32) -> u32 {
+        let attempts = self.degraded.map_or(0, |(_, n)| n) + 1;
+        let shift = (attempts - 1).min(backoff_cap).min(63);
+        let until_us = now_us.saturating_add(backoff_base_us.saturating_mul(1u64 << shift));
+        self.degraded = Some((until_us, attempts));
+        attempts
+    }
+
+    /// Reinstates a degradation bout verbatim: the journal-resume path.
+    pub fn restore_degraded(&mut self, until_us: u64, attempts: u32) {
+        self.degraded = Some((until_us, attempts));
+    }
+
+    /// Forgets everything the session learned — CSI estimates, age,
+    /// exchange ordinal, degradation bout — returning it to the cold state
+    /// a brand-new session starts in. The daemon calls this when a cell
+    /// departs so nothing leaks into a later rejoin, which cold-starts
+    /// through the normal exchange path.
+    pub fn teardown(&mut self) {
+        self.est = Default::default();
+        self.age = CsiAgeState::new();
+        self.exchanges = 0;
+        self.degraded = None;
+    }
+
+    /// `true` when the session holds no learned state at all (as after
+    /// [`CellSession::teardown`] or before the first exchange).
+    pub fn is_cold(&self) -> bool {
+        self.exchanges == 0 && self.age.learned_at_us().is_none() && self.degraded.is_none()
     }
 
     /// The estimation seed of exchange `ordinal` under base seed `seed`.
@@ -122,7 +217,10 @@ impl CellSession {
     /// the daemon's journal-resume path. Earlier exchanges fully overwrite
     /// each other's estimate slots, so re-running only the last one
     /// reproduces the live session bit for bit. Afterwards
-    /// [`CellSession::exchanges`] reads `ordinal + 1`.
+    /// [`CellSession::exchanges`] reads `ordinal + 1`. Clears any
+    /// degradation bout (exchanges do); a resume that checkpointed
+    /// mid-degradation reinstates it afterwards via
+    /// [`CellSession::restore_degraded`].
     pub fn restore(&mut self, topology: &Topology, ordinal: u64, now_us: u64) {
         self.exchanges = ordinal;
         self.exchange(topology, now_us);
@@ -130,18 +228,27 @@ impl CellSession {
 
     /// Runs one CSI exchange against the current ground truth at `now_us`:
     /// re-estimates every link into the session's slots and advances the
-    /// exchange ordinal. Alloc-free once the slots are warm.
+    /// exchange ordinal. A successful exchange always ends any degradation
+    /// bout. Alloc-free once the slots are warm.
     pub fn exchange(&mut self, topology: &Topology, now_us: u64) {
         let mut params = *self.engine.params();
         params.seed = Self::exchange_seed(params.seed, self.exchanges);
         prepare_into(topology, &params, &mut self.est);
         self.exchanges += 1;
         self.age.mark_exchanged(now_us);
+        self.degraded = None;
     }
 
     /// Whether the session must exchange before its next evaluation.
+    /// While degraded, only the backoff deadline matters: the recovery
+    /// exchange fires at-or-after `until_us` and neither staleness nor
+    /// churn can pull it earlier (the whole point of backing off a lossy
+    /// medium).
     pub fn needs_exchange(&self, now_us: u64, staleness_us: u64, churned: bool) -> bool {
-        self.age.needs_exchange(now_us, staleness_us, churned)
+        match self.degraded {
+            Some((until_us, _)) => now_us >= until_us,
+            None => self.age.needs_exchange(now_us, staleness_us, churned),
+        }
     }
 
     /// Evaluates the current ground truth under the session's (possibly
@@ -220,6 +327,68 @@ mod tests {
             ev.copa_fair.aggregate_bps().to_bits(),
             reference.copa_fair.aggregate_bps().to_bits()
         );
+    }
+
+    #[test]
+    fn degradation_backs_off_exponentially_and_recovers_on_exchange() {
+        let t = topo(34);
+        let mut s = CellSession::new(ScenarioParams::default());
+        s.exchange(&t, 0);
+        assert_eq!(s.state(100, 1_000), SessionState::Fresh);
+        assert_eq!(s.state(1_000, 1_000), SessionState::Stale);
+        // First failure: backoff = base; due exactly at the deadline.
+        assert_eq!(s.mark_degraded(1_000, 100, 3), 1);
+        assert_eq!(
+            s.state(1_000, 1_000),
+            SessionState::Degraded {
+                until_us: 1_100,
+                attempts: 1
+            }
+        );
+        assert!(
+            !s.needs_exchange(1_099, 1_000, true),
+            "churn cannot rush it"
+        );
+        assert!(s.needs_exchange(1_100, 1_000, false), "due at the deadline");
+        // Repeated failures double the backoff until the cap.
+        assert_eq!(s.mark_degraded(2_000, 100, 3), 2);
+        assert_eq!(s.degraded(), Some((2_200, 2)));
+        s.mark_degraded(3_000, 100, 3);
+        s.mark_degraded(4_000, 100, 3);
+        assert_eq!(s.degraded(), Some((4_800, 4)), "shift 3");
+        s.mark_degraded(5_000, 100, 3);
+        assert_eq!(s.degraded(), Some((5_800, 5)), "capped at shift 3");
+        // A successful exchange ends the bout.
+        s.exchange(&t, 6_000);
+        assert_eq!(s.degraded(), None);
+        assert_eq!(s.state(6_000, 1_000), SessionState::Fresh);
+    }
+
+    #[test]
+    fn teardown_returns_the_session_to_cold() {
+        let t = topo(35);
+        let mut s = CellSession::new(ScenarioParams::default());
+        assert!(s.is_cold());
+        s.exchange(&t, 0);
+        s.mark_degraded(10, 100, 3);
+        assert!(!s.is_cold());
+        s.teardown();
+        assert!(s.is_cold());
+        assert_eq!(s.exchanges(), 0);
+        assert_eq!(s.degraded(), None);
+        assert_eq!(s.state(0, 1_000), SessionState::Stale, "cold start is due");
+        assert!(s.needs_exchange(0, 1_000, false));
+        // Rejoining cold-starts through the normal path: the first exchange
+        // after teardown is ordinal 0 again, bit-identical to a new session.
+        s.restore_degraded(50, 2);
+        assert_eq!(s.degraded(), Some((50, 2)));
+        s.teardown();
+        s.exchange(&t, 100);
+        let mut fresh = CellSession::new(ScenarioParams::default());
+        fresh.exchange(&t, 100);
+        for sc in [0usize, 25, 51] {
+            assert!(s.est[0][1].at(sc).approx_eq(fresh.est[0][1].at(sc), 1e-300));
+        }
     }
 
     #[test]

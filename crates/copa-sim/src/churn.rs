@@ -1,0 +1,370 @@
+//! Seeded arrival/departure churn for the daemon's cell population.
+//!
+//! A deployment's cell set is not static: APs power up, move, and drop
+//! off the air. This module turns that into a deterministic membership
+//! process the daemon replays exactly: a [`ChurnSchedule`] is a pure
+//! function of `(seed, cell count, horizon)`, so live runs, resumed runs
+//! and every thread count walk the identical event list.
+//!
+//! Two daemon-side consequences of an event:
+//!
+//! * **Own cell**: a `Leave` tears the session down ([`teardown`] — no
+//!   CSI, ordinal or degradation bout leaks into a later rejoin); a
+//!   `Join` cold-starts through the normal exchange path (a cold session
+//!   is always due).
+//! * **Everyone else**: the ambient interference landscape changed, so
+//!   live cells re-fold the residual noise of the surviving population
+//!   into their channels (the campus-layer folding discipline:
+//!   out-of-cluster power becomes noise-floor scaling) and see a genuine
+//!   `churned` trigger on their session's next active epoch.
+//!
+//! The fold is always recomputed *from the pristine truth* — never
+//! compounded onto an already-folded channel — so an incremental
+//! maintenance of the folded view is bit-identical to folding from
+//! scratch at any mask, which `prop_churn.rs` asserts.
+//!
+//! [`teardown`]: copa_core::CellSession::teardown
+
+use copa_channel::Topology;
+use copa_num::special::dbm_to_mw;
+use copa_num::SimRng;
+use copa_phy::ofdm::NOISE_FLOOR_DBM;
+
+/// What one membership event does to its cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The cell comes on the air (cold-starts a session).
+    Join,
+    /// The cell drops off the air (its session is torn down).
+    Leave,
+}
+
+/// One membership event: `cell` joins or leaves at the start of `epoch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Epoch the event takes effect at (applied before the epoch runs).
+    pub epoch: u64,
+    /// Cell index in the suite.
+    pub cell: u32,
+    /// Join or leave.
+    pub kind: ChurnKind,
+}
+
+/// Parameters of the seeded arrival/departure process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean gap between consecutive membership events, in epochs (events
+    /// draw uniformly from `[1, 2 * mean_gap_epochs]`).
+    pub mean_gap_epochs: u64,
+    /// Probability an event is an arrival when both kinds are possible.
+    pub arrival_bias: f64,
+    /// Live-cell floor departures never cross.
+    pub min_live: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            mean_gap_epochs: 2_000,
+            arrival_bias: 0.5,
+            min_live: 1,
+        }
+    }
+}
+
+/// Where a daemon run's membership events come from.
+#[derive(Clone, Copy, Debug)]
+pub enum ChurnSource<'a> {
+    /// Generate a seeded process over the run's horizon.
+    Process(ChurnConfig),
+    /// Replay a caller-supplied script (tests, and alloc-measurement runs
+    /// that must not grow the schedule with the horizon).
+    Scripted(&'a [ChurnEvent]),
+}
+
+/// The resolved, validated event list one daemon run walks.
+///
+/// Events are sorted by epoch and consistent as a process: every `Leave`
+/// targets a live cell, every `Join` a departed one (starting from
+/// everyone live). Both the generator and the scripted constructor
+/// enforce this, so per-cell cursors can apply events blindly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+    n_cells: usize,
+}
+
+impl ChurnSchedule {
+    /// Resolves a [`ChurnSource`] against a run's seed, cell count and
+    /// epoch horizon. The horizon is the *configured* run length, never a
+    /// `stop_after` kill point, so a killed-and-resumed run walks the
+    /// same schedule as the uninterrupted one.
+    pub fn from_source(
+        source: ChurnSource<'_>,
+        seed: u64,
+        n_cells: usize,
+        horizon_epochs: u64,
+    ) -> Self {
+        match source {
+            ChurnSource::Process(cfg) => Self::generate(seed, n_cells, horizon_epochs, cfg),
+            ChurnSource::Scripted(events) => Self::scripted(events, n_cells),
+        }
+    }
+
+    /// Generates the seeded process: a pure function of the arguments.
+    /// Shortening the horizon yields a strict prefix of the longer
+    /// schedule (the property suite relies on this).
+    pub fn generate(seed: u64, n_cells: usize, horizon_epochs: u64, cfg: ChurnConfig) -> Self {
+        let mut rng = SimRng::seed_from(seed ^ 0xC4A2_17E5_C4A2_17E5);
+        let mut live = vec![true; n_cells];
+        let mut n_live = n_cells;
+        let mut events = Vec::new();
+        let mean = cfg.mean_gap_epochs.max(1);
+        let mut epoch = 0u64;
+        loop {
+            epoch += 1 + rng.below(2 * mean);
+            if epoch >= horizon_epochs {
+                break;
+            }
+            let can_leave = n_live > cfg.min_live;
+            let can_join = n_live < n_cells;
+            let kind = match (can_join, can_leave) {
+                (false, false) => continue,
+                (true, false) => ChurnKind::Join,
+                (false, true) => ChurnKind::Leave,
+                (true, true) => {
+                    if rng.uniform() < cfg.arrival_bias {
+                        ChurnKind::Join
+                    } else {
+                        ChurnKind::Leave
+                    }
+                }
+            };
+            let want_live = kind == ChurnKind::Leave;
+            let candidates = live.iter().filter(|&&l| l == want_live).count() as u64;
+            let pick = rng.below(candidates);
+            // invariant: `candidates` counted matching cells, so the
+            // pick-th match exists
+            let cell = live
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == want_live)
+                .nth(pick as usize)
+                .map(|(i, _)| i)
+                .expect("candidate exists");
+            live[cell] = kind == ChurnKind::Join;
+            n_live = if kind == ChurnKind::Join {
+                n_live + 1
+            } else {
+                n_live - 1
+            };
+            events.push(ChurnEvent {
+                epoch,
+                cell: cell as u32,
+                kind,
+            });
+        }
+        Self { events, n_cells }
+    }
+
+    /// Wraps a caller-supplied script, checking the same invariants the
+    /// generator guarantees.
+    pub fn scripted(events: &[ChurnEvent], n_cells: usize) -> Self {
+        let mut live = vec![true; n_cells];
+        let mut prev = 0u64;
+        for ev in events {
+            // allowlisted: caller-side API contract (scripted schedules)
+            assert!(ev.epoch >= prev, "script must be sorted by epoch");
+            // allowlisted: caller-side API contract (scripted schedules)
+            assert!((ev.cell as usize) < n_cells, "cell out of range");
+            let c = ev.cell as usize;
+            match ev.kind {
+                ChurnKind::Leave => {
+                    // allowlisted: caller-side API contract (script)
+                    assert!(live[c], "leave of a departed cell");
+                    live[c] = false;
+                }
+                ChurnKind::Join => {
+                    // allowlisted: caller-side API contract (script)
+                    assert!(!live[c], "join of a live cell");
+                    live[c] = true;
+                }
+            }
+            prev = ev.epoch;
+        }
+        Self {
+            events: events.to_vec(),
+            n_cells,
+        }
+    }
+
+    /// The event list, sorted by epoch.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of cells the schedule governs.
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Fills `mask` with each cell's liveness *after* every event at
+    /// `epoch` or earlier has applied — exactly the state a cell stepping
+    /// epoch `epoch` sees.
+    pub fn mask_at(&self, epoch: u64, mask: &mut [bool]) {
+        mask.fill(true);
+        for ev in &self.events {
+            if ev.epoch > epoch {
+                break;
+            }
+            mask[ev.cell as usize] = ev.kind == ChurnKind::Join;
+        }
+    }
+}
+
+/// Deterministic ambient received power at `to`'s clients from cell
+/// `from`'s AP, in mW: the daemon-scale analogue of the campus layer's
+/// `rx_dbm` cross-power matrix, drawn once per `(seed, from, to)` pair a
+/// few dB under the noise floor so each live neighbor folds in as a
+/// modest noise-floor bump.
+pub fn ambient_mw(seed: u64, from: usize, to: usize) -> f64 {
+    let mut rng = SimRng::seed_from(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((from as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add((to as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ 0xC4A2_17E5_0000_0001,
+    );
+    let dbm = NOISE_FLOOR_DBM - 12.0 + 9.0 * rng.uniform();
+    dbm_to_mw(dbm)
+}
+
+/// The residual-noise fold factor for `cell` under liveness `mask`:
+/// `N / (N + sum of ambient power from every other live cell)`, the exact
+/// campus-layer discipline (`Campus::external_noise_scale`) applied to
+/// the daemon's population. Always computed from scratch in ascending
+/// cell order, so every caller — live stepping, journal resume, property
+/// tests — sums in the identical order and gets identical bits.
+pub fn noise_scale(seed: u64, cell: usize, mask: &[bool]) -> f64 {
+    let noise_mw = dbm_to_mw(NOISE_FLOOR_DBM);
+    let mut residual_mw = 0.0;
+    for (from, &live) in mask.iter().enumerate() {
+        if from != cell && live {
+            residual_mw += ambient_mw(seed, from, cell);
+        }
+    }
+    noise_mw / (noise_mw + residual_mw)
+}
+
+/// Scales every link of `truth` by power factor `f` into `out`,
+/// preserving the large-scale metadata: the folded view a live cell
+/// coordinates and evaluates over. Always sources from the pristine
+/// truth (never from a previous fold), so repeated refolds cannot
+/// compound; alloc-free once `out`'s buffers are warm.
+// alloc-free: begin fold_topology
+pub fn fold_topology(truth: &Topology, f: f64, out: &mut Topology) {
+    out.signal_dbm = truth.signal_dbm;
+    out.interference_dbm = truth.interference_dbm;
+    out.config = truth.config;
+    for a in 0..2 {
+        for c in 0..2 {
+            truth.links[a][c].scale_power_into(f, &mut out.links[a][c]);
+        }
+    }
+}
+// alloc-free: end fold_topology
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_is_deterministic_and_prefix_stable() {
+        let cfg = ChurnConfig {
+            mean_gap_epochs: 50,
+            ..ChurnConfig::default()
+        };
+        let a = ChurnSchedule::generate(7, 6, 4_000, cfg);
+        let b = ChurnSchedule::generate(7, 6, 4_000, cfg);
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty(), "mean gap 50 over 4000 epochs");
+        let short = ChurnSchedule::generate(7, 6, 1_000, cfg);
+        let cut: Vec<_> = a
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| e.epoch < 1_000)
+            .collect();
+        assert_eq!(short.events(), &cut[..], "shorter horizon is a prefix");
+    }
+
+    #[test]
+    fn process_respects_min_live_and_alternation() {
+        let cfg = ChurnConfig {
+            mean_gap_epochs: 20,
+            arrival_bias: 0.3,
+            min_live: 2,
+        };
+        let sched = ChurnSchedule::generate(3, 4, 10_000, cfg);
+        let mut live = vec![true; 4];
+        for ev in sched.events() {
+            let c = ev.cell as usize;
+            match ev.kind {
+                ChurnKind::Leave => {
+                    assert!(live[c], "only live cells leave");
+                    live[c] = false;
+                }
+                ChurnKind::Join => {
+                    assert!(!live[c], "only departed cells join");
+                    live[c] = true;
+                }
+            }
+            assert!(
+                live.iter().filter(|&&l| l).count() >= 2,
+                "min_live holds after every event"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_at_tracks_event_application() {
+        let events = [
+            ChurnEvent {
+                epoch: 10,
+                cell: 1,
+                kind: ChurnKind::Leave,
+            },
+            ChurnEvent {
+                epoch: 30,
+                cell: 1,
+                kind: ChurnKind::Join,
+            },
+            ChurnEvent {
+                epoch: 30,
+                cell: 2,
+                kind: ChurnKind::Leave,
+            },
+        ];
+        let sched = ChurnSchedule::scripted(&events, 3);
+        let mut mask = [false; 3];
+        sched.mask_at(9, &mut mask);
+        assert_eq!(mask, [true, true, true]);
+        sched.mask_at(10, &mut mask);
+        assert_eq!(mask, [true, false, true]);
+        sched.mask_at(30, &mut mask);
+        assert_eq!(mask, [true, true, false]);
+    }
+
+    #[test]
+    fn noise_scale_shrinks_with_population_and_is_exact() {
+        let all = [true, true, true, true];
+        let few = [true, false, false, true];
+        let f_all = noise_scale(11, 0, &all);
+        let f_few = noise_scale(11, 0, &few);
+        assert!(f_all < f_few, "fewer live neighbors, less residual");
+        assert!(f_few < 1.0 && f_all > 0.0);
+        let alone = [true, false, false, false];
+        assert_eq!(noise_scale(11, 0, &alone), 1.0, "no neighbors, no fold");
+        // Pure function: same mask, same bits.
+        assert_eq!(f_all.to_bits(), noise_scale(11, 0, &all).to_bits());
+    }
+}

@@ -13,13 +13,27 @@
 //!   TXOPs: the engine re-runs only when the truth entered a new
 //!   coherence block or a CSI re-exchange fired (cold start, staleness
 //!   at-or-past [`DaemonConfig::staleness_us`], or churn — waking from an
-//!   idle span that crossed a coherence boundary), so evaluations scale
-//!   with coherence blocks, not epochs;
+//!   idle span that crossed a coherence boundary, or a live membership
+//!   change), so evaluations scale with coherence blocks, not epochs;
+//! * with [`DaemonConfig::faults`] set, every scheduled exchange runs the
+//!   *real* ITS wire protocol through
+//!   [`Coordinator::run_exchange_faulted`] under the
+//!   [`FaultPlan::for_epoch`] stream keyed by `(cell, epoch)`: retries
+//!   charge DCF backoff airtime against the simulated clock (a lossy
+//!   exchange that spills past its epoch delays the next evaluation), and
+//!   a budget-exhausted exchange pins the session to CSMA
+//!   ([`copa_core::SessionState::Degraded`]) until capped exponential
+//!   backoff lets a recovery exchange fire;
+//! * with [`DaemonConfig::churn`] set, a seeded membership process
+//!   ([`crate::churn`]) joins and leaves cells mid-run: departures tear
+//!   the session down and survivors re-fold the remaining population's
+//!   ambient power into their noise floor, arrivals cold-start through
+//!   the normal exchange path;
 //! * every round the daemon checkpoints its epoch state through the
 //!   CRC-32 journal ([`crate::journal`], raw-payload lane) and streams
-//!   [`crate::telemetry::DaemonMetrics`] deltas, so a killed daemon
-//!   resumes from the last checkpoint and replays to a byte-identical
-//!   report.
+//!   [`crate::telemetry::DaemonMetrics`] deltas, so a killed daemon —
+//!   even one killed mid-degradation — resumes from the last checkpoint
+//!   and replays to a byte-identical report.
 //!
 //! The loop allocates only while per-cell buffers (engine workspace, CSI
 //! estimate slots, evolution scratch) grow to their steady-state shapes;
@@ -30,6 +44,7 @@
 //! supervisor's evaluation of the same suite — the snapshot runners are
 //! the degenerate case of this epoch machinery.
 
+use crate::churn::{self, ChurnKind, ChurnSchedule, ChurnSource};
 use crate::journal::{load_journal_raw, JournalWriter};
 use crate::json::{Obj, ToJson};
 use crate::runner::seed_for;
@@ -37,8 +52,10 @@ use crate::supervisor::{MonotonicClock, SuiteClock};
 use crate::telemetry::SuiteTelemetry;
 use crate::traffic::{TrafficConfig, TrafficState};
 use copa_channel::evolution::{block_of, ChannelDrift};
+use copa_channel::faults::FaultPlan;
 use copa_channel::{ChannelScratch, MultipathProfile, Topology};
-use copa_core::{CellSession, CopaError, ScenarioParams, Strategy};
+use copa_core::coordinator::{Coordinator, ExchangeOutcome};
+use copa_core::{CellSession, CopaError, Engine, ScenarioParams, Strategy};
 use copa_mac::wire::{ByteReader, ByteWriter};
 use std::path::Path;
 
@@ -80,6 +97,19 @@ pub struct DaemonConfig<'a> {
     pub clock: Option<&'a dyn SuiteClock>,
     /// Telemetry bundle the daemon streams into after every round.
     pub telemetry: Option<&'a SuiteTelemetry>,
+    /// Fault plan the ITS wire exchanges run under. `None` is the oracle
+    /// path: CSI redraws happen instantly and nothing can fail.
+    /// `Some(FaultPlan::none(..))` routes every exchange through the real
+    /// wire protocol but stays bit-transparent: reports and journals are
+    /// byte-identical to the `None` path.
+    pub faults: Option<FaultPlan>,
+    /// Membership churn source. `None` keeps the population static.
+    pub churn: Option<ChurnSource<'a>>,
+    /// Base backoff after a failed (degraded) exchange, microseconds of
+    /// simulated time; doubles per consecutive failure.
+    pub recovery_backoff_us: u64,
+    /// Cap on the backoff doubling exponent.
+    pub recovery_backoff_cap: u32,
 }
 
 impl Default for DaemonConfig<'_> {
@@ -98,20 +128,47 @@ impl Default for DaemonConfig<'_> {
             stop_after: None,
             clock: None,
             telemetry: None,
+            faults: None,
+            churn: None,
+            recovery_backoff_us: 100_000,
+            recovery_backoff_cap: 6,
         }
+    }
+}
+
+impl DaemonConfig<'_> {
+    /// `true` when this run can actually inject faults or churn — the
+    /// configurations whose checkpoints need the extended (v2) codec.
+    fn needs_robustness_state(&self) -> bool {
+        self.faults.map_or(false, |p| !p.is_zero()) || self.churn.is_some()
     }
 }
 
 /// Sentinel for "this cell has never exchanged".
 const NO_EXCHANGE: u64 = u64::MAX;
 
+/// Per-round context shared read-only by every worker: the channel
+/// evolution process and the resolved membership schedule.
+struct EpochCtx<'a> {
+    drift: &'a ChannelDrift,
+    churn: Option<&'a ChurnSchedule>,
+}
+
 /// One cell's complete daemon-side state: evolving ground truth, the
 /// persistent engine session, the traffic trace, and accumulators.
 struct CellState {
     truth: Topology,
+    /// The residual-noise-folded view of `truth` a live cell coordinates
+    /// and evaluates over when churn is on; refolded from the pristine
+    /// truth whenever the block or the population changes.
+    folded: Topology,
     session: CellSession,
+    /// The ITS wire-protocol driver, present when `cfg.faults` is set.
+    coordinator: Option<Coordinator>,
     traffic: TrafficState,
     scratch: ChannelScratch,
+    /// Base seed the run's churn process draws its ambient powers from.
+    base_seed: u64,
     /// Coherence block the truth is currently evolved to.
     block: u64,
     was_active: bool,
@@ -120,6 +177,10 @@ struct CellState {
     last_mbps: f64,
     last_strategy: Option<Strategy>,
     last_exchange_epoch: u64,
+    /// Exchanges across every session incarnation this run (a teardown
+    /// resets the session's own ordinal but never this): the monotone
+    /// count the telemetry deltas flush from.
+    exchanges_total: u64,
     evals: u64,
     active_epochs: u64,
     flows_arrived: u64,
@@ -128,6 +189,32 @@ struct CellState {
     traffic_bits: f64,
     /// Bits deliverable at the evaluated COPA rate over active time.
     phy_bits: f64,
+    /// Whether this cell is on the air (always `true` without churn).
+    live: bool,
+    /// A live membership change happened since the last exchange fired.
+    pending_churn: bool,
+    /// This cell's cursor into the shared churn schedule.
+    churn_idx: usize,
+    /// This cell's view of every cell's liveness (empty without churn).
+    live_mask: Vec<bool>,
+    /// Residual-noise fold factor of the current population (1 = no fold).
+    ambient_scale: f64,
+    /// `folded` no longer matches `truth` x `ambient_scale`.
+    fold_dirty: bool,
+    /// Simulated instant the last retried exchange's airtime drains at;
+    /// evaluations wait for it when it spills past the epoch.
+    eval_ready_us: u64,
+    /// Epoch the current degradation bout started at (`NO_EXCHANGE` when
+    /// not degraded).
+    degraded_since_epoch: u64,
+    /// Active epochs served pinned to CSMA while degraded.
+    degraded_epochs: u64,
+    /// Recovery exchanges attempted while degraded (success or not).
+    recovery_attempts: u64,
+    /// Degradation bouts ended by a successful exchange.
+    recoveries: u64,
+    joins: u64,
+    leaves: u64,
 }
 
 impl CellState {
@@ -139,41 +226,223 @@ impl CellState {
     ) -> Self {
         let mut session_params = *params;
         session_params.seed = seed_for(params, idx);
+        let live_mask = match cfg.churn {
+            Some(_) => vec![true; suite.len()],
+            None => Vec::new(),
+        };
+        let ambient_scale = match cfg.churn {
+            Some(_) => churn::noise_scale(params.seed, idx, &live_mask),
+            None => 1.0,
+        };
         Self {
             truth: suite[idx].clone(),
+            folded: suite[idx].clone(),
             session: CellSession::new(session_params),
+            coordinator: cfg
+                .faults
+                .map(|_| Coordinator::new(Engine::new(session_params))),
             traffic: TrafficState::new(params.seed, idx as u64, cfg.traffic),
             scratch: ChannelScratch::new(),
+            base_seed: params.seed,
             block: 0,
             was_active: false,
             cache_valid: false,
             last_mbps: 0.0,
             last_strategy: None,
             last_exchange_epoch: NO_EXCHANGE,
+            exchanges_total: 0,
             evals: 0,
             active_epochs: 0,
             flows_arrived: 0,
             flows_completed: 0,
             traffic_bits: 0.0,
             phy_bits: 0.0,
+            live: true,
+            pending_churn: false,
+            churn_idx: 0,
+            live_mask,
+            ambient_scale,
+            fold_dirty: cfg.churn.is_some(),
+            eval_ready_us: 0,
+            degraded_since_epoch: NO_EXCHANGE,
+            degraded_epochs: 0,
+            recovery_attempts: 0,
+            recoveries: 0,
+            joins: 0,
+            leaves: 0,
+        }
+    }
+
+    /// Applies every membership event scheduled at-or-before `epoch`:
+    /// own leave tears the session down, own join brings the cell back
+    /// cold, and any event around a live cell marks genuine churn and
+    /// re-folds the survivors' ambient power. Mirrored verbatim by the
+    /// resume replay, so cursors and fold factors restore bit-identically.
+    fn apply_churn(&mut self, idx: usize, epoch: u64, sched: &ChurnSchedule) {
+        let events = sched.events();
+        while self.churn_idx < events.len() && events[self.churn_idx].epoch <= epoch {
+            let ev = events[self.churn_idx];
+            self.churn_idx += 1;
+            let c = ev.cell as usize;
+            self.live_mask[c] = ev.kind == ChurnKind::Join;
+            if c == idx {
+                match ev.kind {
+                    ChurnKind::Join => {
+                        self.live = true;
+                        self.joins += 1;
+                        // Cold-start: the torn-down session is always due,
+                        // so the normal exchange path fires on the first
+                        // active epoch. Nothing special to schedule here.
+                        self.pending_churn = false;
+                    }
+                    ChurnKind::Leave => {
+                        self.live = false;
+                        self.leaves += 1;
+                        self.session.teardown();
+                        self.cache_valid = false;
+                        self.last_mbps = 0.0;
+                        self.last_strategy = None;
+                        self.last_exchange_epoch = NO_EXCHANGE;
+                        self.eval_ready_us = 0;
+                        self.degraded_since_epoch = NO_EXCHANGE;
+                        self.pending_churn = false;
+                    }
+                }
+            } else if self.live {
+                // The interference landscape changed around a live cell:
+                // its session sees a real `churned` trigger next epoch.
+                self.pending_churn = true;
+            }
+            // From-scratch refold (fixed summation order), never
+            // incremental: resume replay and property tests reproduce
+            // the exact bits.
+            self.ambient_scale = churn::noise_scale(self.base_seed, idx, &self.live_mask);
+            self.fold_dirty = true;
+        }
+    }
+
+    /// Re-derives `folded` from the pristine truth at the current fold
+    /// factor. Alloc-free once the folded buffers are warm.
+    fn refold(&mut self) {
+        churn::fold_topology(&self.truth, self.ambient_scale, &mut self.folded);
+        self.fold_dirty = false;
+    }
+
+    /// Runs one scheduled CSI exchange at `t_us` of epoch `epoch`. With a
+    /// fault plan this is the real ITS wire protocol under the
+    /// `(cell, epoch)` fault stream; without one it is the oracle redraw.
+    /// Returns whether the cached decision must be re-evaluated.
+    fn run_exchange(
+        &mut self,
+        idx: usize,
+        epoch: u64,
+        t_us: u64,
+        use_folded: bool,
+        cfg: &DaemonConfig<'_>,
+    ) -> Result<bool, CopaError> {
+        let was_degraded = self.session.degraded().is_some();
+        if was_degraded {
+            self.recovery_attempts += 1;
+        }
+        let (Some(plan), Some(coord)) = (cfg.faults.as_ref(), self.coordinator.as_ref()) else {
+            // Oracle path: the exchange is instantaneous and infallible.
+            let view = if use_folded {
+                &self.folded
+            } else {
+                &self.truth
+            };
+            self.session.exchange(view, t_us);
+            self.exchanges_total += 1;
+            self.pending_churn = false;
+            self.last_exchange_epoch = epoch;
+            return Ok(true);
+        };
+        let faults = plan.for_epoch(idx as u64, epoch);
+        let view = if use_folded {
+            &self.folded
+        } else {
+            &self.truth
+        };
+        let obs = cfg.telemetry.map(|t| t.exchange_obs());
+        match coord.run_exchange_faulted(view, 0, faults, obs.as_ref())? {
+            ExchangeOutcome::Coordinated(trace) => {
+                // The wire exchange delivered: refresh the session's CSI
+                // at this instant (the Leader's wire-side evaluation only
+                // shaped the ACK payload; the session evaluates its own
+                // estimates exactly like the oracle path, which keeps the
+                // zero plan bit-transparent).
+                self.session.exchange(view, t_us);
+                self.exchanges_total += 1;
+                self.pending_churn = false;
+                self.last_exchange_epoch = epoch;
+                if was_degraded {
+                    self.recoveries += 1;
+                    if let Some(t) = cfg.telemetry {
+                        t.sample(
+                            t.daemon.recovery_epochs,
+                            epoch.saturating_sub(self.degraded_since_epoch),
+                        );
+                    }
+                    self.degraded_since_epoch = NO_EXCHANGE;
+                }
+                // Retried frames burned real airtime on the shared medium:
+                // if the exchange spilled past this epoch, the follow-up
+                // evaluation waits until the control traffic drains. A
+                // clean exchange (retries = 0, sub-millisecond) never
+                // defers, keeping the zero plan bit-transparent.
+                let done_us = t_us + trace.control_airtime_us.max(0.0).ceil() as u64;
+                if trace.retries > 0 && done_us > t_us + cfg.epoch_us {
+                    self.eval_ready_us = done_us;
+                }
+                Ok(true)
+            }
+            ExchangeOutcome::Degraded {
+                evaluation,
+                control_airtime_us,
+                ..
+            } => {
+                // Retry budget exhausted: pin to stock CSMA and back off.
+                // The failed exchange's airtime pushes the backoff start,
+                // so a lossy epoch visibly delays recovery.
+                if !was_degraded {
+                    self.degraded_since_epoch = epoch;
+                }
+                let done_us = t_us + control_airtime_us.max(0.0).ceil() as u64;
+                self.session.mark_degraded(
+                    done_us,
+                    cfg.recovery_backoff_us,
+                    cfg.recovery_backoff_cap,
+                );
+                self.last_mbps = evaluation.csma.aggregate_mbps();
+                self.last_strategy = Some(Strategy::Csma);
+                self.evals += 1;
+                self.cache_valid = true;
+                Ok(false)
+            }
         }
     }
 
     /// One epoch of the event loop for this cell. Allocation-free once
-    /// every buffer is warm.
+    /// every buffer is warm (exchange epochs under a fault plan are the
+    /// exception: the wire protocol encodes real frames).
     fn step(
         &mut self,
         idx: usize,
         epoch: u64,
-        drift: &ChannelDrift,
+        ctx: &EpochCtx<'_>,
         cfg: &DaemonConfig<'_>,
     ) -> Result<(), CopaError> {
         let t_us = epoch * cfg.epoch_us;
+        if let Some(sched) = ctx.churn {
+            self.apply_churn(idx, epoch, sched);
+        }
+        // Traffic flows whether or not the AP is on the air: the trace is
+        // the demand process, not the service.
         let te = self.traffic.step(cfg.epoch_us);
         self.flows_arrived += u64::from(te.arrivals);
         self.flows_completed += u64::from(te.completions);
         self.traffic_bits += te.bits_served;
-        let active = te.active || cfg.force_active;
+        let active = (te.active || cfg.force_active) && self.live;
         if active {
             self.active_epochs += 1;
             let block = block_of(t_us, cfg.coherence_us);
@@ -181,10 +450,12 @@ impl CellState {
             // before the idle span describes a channel that decorrelated
             // while the cell slept. Waking within the same block is not --
             // staleness alone decides whether the estimates are reusable.
-            let churned = !self.was_active && !cfg.force_active && block != self.block;
+            // A live membership change is churn outright.
+            let churned = (!self.was_active && !cfg.force_active && block != self.block)
+                || self.pending_churn;
             let mut dirty = !self.cache_valid;
             if block != self.block {
-                drift.advance_topology(
+                ctx.drift.advance_topology(
                     idx as u64,
                     self.block,
                     block,
@@ -192,24 +463,45 @@ impl CellState {
                     &mut self.scratch,
                 );
                 self.block = block;
+                self.fold_dirty = true;
                 dirty = true;
+            }
+            let use_folded = ctx.churn.is_some();
+            if use_folded && self.fold_dirty {
+                self.refold();
             }
             if self.session.needs_exchange(t_us, cfg.staleness_us, churned) {
-                self.session.exchange(&self.truth, t_us);
-                self.last_exchange_epoch = epoch;
-                dirty = true;
+                dirty |= self.run_exchange(idx, epoch, t_us, use_folded, cfg)?;
             }
-            if dirty {
-                let ev = match cfg.telemetry {
-                    Some(t) => self
-                        .session
-                        .evaluate(&self.truth, Some(t.engine_obs(idx as u32)))?,
-                    None => self.session.evaluate(&self.truth, None)?,
-                };
-                self.last_mbps = ev.copa_fair.aggregate_mbps();
-                self.last_strategy = Some(ev.copa_fair.strategy);
-                self.evals += 1;
-                self.cache_valid = true;
+            if self.session.degraded().is_some() {
+                // Pinned to CSMA: the decision is frozen until recovery
+                // (which re-exchanges and re-evaluates), so block drift
+                // does not re-run the engine here.
+                self.degraded_epochs += 1;
+            } else if dirty {
+                if t_us >= self.eval_ready_us {
+                    let view = if use_folded {
+                        &self.folded
+                    } else {
+                        &self.truth
+                    };
+                    let ev = match cfg.telemetry {
+                        Some(t) => self
+                            .session
+                            .evaluate(view, Some(t.engine_obs(idx as u32)))?,
+                        None => self.session.evaluate(view, None)?,
+                    };
+                    self.last_mbps = ev.copa_fair.aggregate_mbps();
+                    self.last_strategy = Some(ev.copa_fair.strategy);
+                    self.evals += 1;
+                    self.cache_valid = true;
+                } else {
+                    // The exchange's control traffic is still draining:
+                    // keep serving the previous decision and leave the
+                    // cache invalid so the evaluation fires once the
+                    // airtime clears.
+                    self.cache_valid = false;
+                }
             }
             // Mbps x microseconds = bits.
             self.phy_bits += self.last_mbps * cfg.epoch_us as f64;
@@ -231,6 +523,13 @@ impl CellState {
             backlog_bits: self.traffic.backlog_bits(),
             last_mbps: self.last_mbps,
             last_strategy: self.last_strategy,
+            degraded_epochs: self.degraded_epochs,
+            recovery_attempts: self.recovery_attempts,
+            recoveries: self.recoveries,
+            joins: self.joins,
+            leaves: self.leaves,
+            live: self.live,
+            degraded: self.session.degraded().is_some(),
         }
     }
 }
@@ -261,6 +560,20 @@ pub struct CellSummary {
     /// The most recent evaluation's strategy choice (`None` before the
     /// first evaluation).
     pub last_strategy: Option<Strategy>,
+    /// Active epochs served pinned to CSMA while degraded.
+    pub degraded_epochs: u64,
+    /// Recovery exchanges attempted while degraded.
+    pub recovery_attempts: u64,
+    /// Degradation bouts ended by a successful exchange.
+    pub recoveries: u64,
+    /// Membership arrivals this cell saw.
+    pub joins: u64,
+    /// Membership departures this cell saw.
+    pub leaves: u64,
+    /// Whether the cell was on the air when the run ended.
+    pub live: bool,
+    /// Whether the cell was degraded when the run ended.
+    pub degraded: bool,
 }
 
 impl ToJson for CellSummary {
@@ -281,6 +594,13 @@ impl ToJson for CellSummary {
             .field("backlog_bits", &self.backlog_bits)
             .field("last_mbps", &self.last_mbps)
             .field("strategy", &strategy)
+            .field("degraded_epochs", &self.degraded_epochs)
+            .field("recovery_attempts", &self.recovery_attempts)
+            .field("recoveries", &self.recoveries)
+            .field("joins", &self.joins)
+            .field("leaves", &self.leaves)
+            .field("live", &self.live)
+            .field("degraded", &self.degraded)
             .finish();
     }
 }
@@ -303,6 +623,14 @@ pub struct DaemonReport {
     pub evals: u64,
     /// Active cell-epochs across all cells.
     pub active_cell_epochs: u64,
+    /// CSMA-pinned (degraded) cell-epochs across all cells.
+    pub degraded_cell_epochs: u64,
+    /// Degradation bouts recovered across all cells.
+    pub recoveries: u64,
+    /// Membership events (joins + leaves) across all cells.
+    pub churn_events: u64,
+    /// Cells on the air when the run ended.
+    pub live_cells: u64,
     /// One line per cell, in suite order.
     pub per_cell: Vec<CellSummary>,
 }
@@ -317,19 +645,37 @@ impl ToJson for DaemonReport {
             .field("exchanges", &self.exchanges)
             .field("evals", &self.evals)
             .field("active_cell_epochs", &self.active_cell_epochs)
+            .field("degraded_cell_epochs", &self.degraded_cell_epochs)
+            .field("recoveries", &self.recoveries)
+            .field("churn_events", &self.churn_events)
+            .field("live_cells", &self.live_cells)
             .field("per_cell", &self.per_cell)
             .finish();
     }
 }
 
 /// Daemon checkpoint codec version (its own lane; the journal's record
-/// status tags are untouched).
+/// status tags are untouched). Version 1 is the original engine-state
+/// codec; version 2 appends the robustness state (degradation bout,
+/// airtime deferral, churn flags) and is written only by configurations
+/// that can produce it ([`DaemonConfig::needs_robustness_state`]) — the
+/// version is a function of the *config*, never of the run's state, so a
+/// zero-fault run's journal stays byte-identical to the fault-unaware
+/// daemon's.
 const CKPT_MAGIC: u8 = 0xD0;
-const CKPT_VERSION: u8 = 1;
+const CKPT_V1: u8 = 1;
+const CKPT_V2: u8 = 2;
+
+/// Flag bits of the v2 per-cell robustness byte.
+const CK_LIVE: u8 = 1 << 0;
+const CK_PENDING_CHURN: u8 = 1 << 1;
+const CK_CACHE_VALID: u8 = 1 << 2;
+const CK_DEGRADED: u8 = 1 << 3;
 
 /// The engine-side facts a checkpoint must carry per cell. Everything
 /// traffic-side is a pure function of the seed and is replayed from epoch
-/// zero on resume instead of being serialized.
+/// zero on resume instead of being serialized; the fault streams need no
+/// state at all ([`FaultPlan::for_epoch`] re-derives them per exchange).
 #[derive(Clone, Copy, Debug, PartialEq)]
 struct CellCheckpoint {
     exchanges: u64,
@@ -340,14 +686,24 @@ struct CellCheckpoint {
     last_mbps: f64,
     /// `Strategy::wire_tag`, or `0xFF` before the first evaluation.
     strategy_tag: u8,
+    /// v2 flag byte (`CK_*` bits); v1 checkpoints synthesize it.
+    flags: u8,
+    degraded_until_us: u64,
+    degraded_attempts: u32,
+    degraded_since_epoch: u64,
+    degraded_epochs: u64,
+    recovery_attempts: u64,
+    recoveries: u64,
+    eval_ready_us: u64,
 }
 
 const NO_STRATEGY: u8 = 0xFF;
 
-fn encode_checkpoint(epoch: u64, cells: &[CellState]) -> Vec<u8> {
-    let mut w = ByteWriter::with_capacity(16 + cells.len() * 50);
+fn encode_checkpoint(epoch: u64, cells: &[CellState], cfg: &DaemonConfig<'_>) -> Vec<u8> {
+    let v2 = cfg.needs_robustness_state();
+    let mut w = ByteWriter::with_capacity(16 + cells.len() * if v2 { 100 } else { 50 });
     w.put_u8(CKPT_MAGIC);
-    w.put_u8(CKPT_VERSION);
+    w.put_u8(if v2 { CKPT_V2 } else { CKPT_V1 });
     w.put_u64(epoch);
     w.put_u32(cells.len() as u32);
     for c in cells {
@@ -361,13 +717,34 @@ fn encode_checkpoint(epoch: u64, cells: &[CellState]) -> Vec<u8> {
             Some(s) => s.wire_tag(),
             None => NO_STRATEGY,
         });
+        if v2 {
+            let degraded = c.session.degraded();
+            let mut flags = 0u8;
+            flags |= if c.live { CK_LIVE } else { 0 };
+            flags |= if c.pending_churn { CK_PENDING_CHURN } else { 0 };
+            flags |= if c.cache_valid { CK_CACHE_VALID } else { 0 };
+            flags |= if degraded.is_some() { CK_DEGRADED } else { 0 };
+            let (until_us, attempts) = degraded.unwrap_or((0, 0));
+            w.put_u8(flags);
+            w.put_u64(until_us);
+            w.put_u32(attempts);
+            w.put_u64(c.degraded_since_epoch);
+            w.put_u64(c.degraded_epochs);
+            w.put_u64(c.recovery_attempts);
+            w.put_u64(c.recoveries);
+            w.put_u64(c.eval_ready_us);
+        }
     }
     w.into_vec()
 }
 
 fn decode_checkpoint(payload: &[u8], n_cells: usize) -> Option<(u64, Vec<CellCheckpoint>)> {
     let mut r = ByteReader::new(payload);
-    if r.get_u8().ok()? != CKPT_MAGIC || r.get_u8().ok()? != CKPT_VERSION {
+    if r.get_u8().ok()? != CKPT_MAGIC {
+        return None;
+    }
+    let version = r.get_u8().ok()?;
+    if version != CKPT_V1 && version != CKPT_V2 {
         return None;
     }
     let epoch = r.get_u64().ok()?;
@@ -377,7 +754,7 @@ fn decode_checkpoint(payload: &[u8], n_cells: usize) -> Option<(u64, Vec<CellChe
     }
     let mut cells = Vec::with_capacity(n);
     for _ in 0..n {
-        cells.push(CellCheckpoint {
+        let mut ck = CellCheckpoint {
             exchanges: r.get_u64().ok()?,
             last_exchange_epoch: r.get_u64().ok()?,
             block: r.get_u64().ok()?,
@@ -385,7 +762,32 @@ fn decode_checkpoint(payload: &[u8], n_cells: usize) -> Option<(u64, Vec<CellChe
             phy_bits: f64::from_bits(r.get_u64().ok()?),
             last_mbps: f64::from_bits(r.get_u64().ok()?),
             strategy_tag: r.get_u8().ok()?,
-        });
+            flags: CK_LIVE,
+            degraded_until_us: 0,
+            degraded_attempts: 0,
+            degraded_since_epoch: NO_EXCHANGE,
+            degraded_epochs: 0,
+            recovery_attempts: 0,
+            recoveries: 0,
+            eval_ready_us: 0,
+        };
+        if version == CKPT_V2 {
+            ck.flags = r.get_u8().ok()?;
+            ck.degraded_until_us = r.get_u64().ok()?;
+            ck.degraded_attempts = r.get_u32().ok()?;
+            ck.degraded_since_epoch = r.get_u64().ok()?;
+            ck.degraded_epochs = r.get_u64().ok()?;
+            ck.recovery_attempts = r.get_u64().ok()?;
+            ck.recoveries = r.get_u64().ok()?;
+            ck.eval_ready_us = r.get_u64().ok()?;
+        } else {
+            // v1 never deferred or degraded: the cache is valid exactly
+            // when an evaluation happened.
+            if ck.evals > 0 {
+                ck.flags |= CK_CACHE_VALID;
+            }
+        }
+        cells.push(ck);
     }
     if !r.is_empty() {
         return None;
@@ -402,6 +804,9 @@ struct Flushed {
     exchanges: u64,
     evals: u64,
     flows_completed: u64,
+    degraded_epochs: u64,
+    recovery_attempts: u64,
+    churn_events: u64,
 }
 
 fn flush_telemetry(
@@ -415,11 +820,17 @@ fn flush_telemetry(
     let mut exchanges = 0;
     let mut evals = 0;
     let mut flows = 0;
+    let mut degraded = 0;
+    let mut recovery_attempts = 0;
+    let mut churn_events = 0;
     for c in cells {
         active += c.active_epochs;
-        exchanges += c.session.exchanges();
+        exchanges += c.exchanges_total;
         evals += c.evals;
         flows += c.flows_completed;
+        degraded += c.degraded_epochs;
+        recovery_attempts += c.recovery_attempts;
+        churn_events += c.joins + c.leaves;
     }
     let epochs = epochs_done * cells.len() as u64;
     tel.count(tel.daemon.epochs, epochs - flushed.epochs);
@@ -427,6 +838,15 @@ fn flush_telemetry(
     tel.count(tel.daemon.exchanges, exchanges - flushed.exchanges);
     tel.count(tel.daemon.evals, evals - flushed.evals);
     tel.count(tel.daemon.flows_completed, flows - flushed.flows_completed);
+    tel.count(
+        tel.daemon.degraded_epochs,
+        degraded - flushed.degraded_epochs,
+    );
+    tel.count(
+        tel.daemon.recovery_attempts,
+        recovery_attempts - flushed.recovery_attempts,
+    );
+    tel.count(tel.daemon.churn_events, churn_events - flushed.churn_events);
     tel.sample(tel.daemon.round_us, round_us);
     *flushed = Flushed {
         epochs,
@@ -434,6 +854,9 @@ fn flush_telemetry(
         exchanges,
         evals,
         flows_completed: flows,
+        degraded_epochs: degraded,
+        recovery_attempts,
+        churn_events,
     };
 }
 
@@ -445,14 +868,14 @@ fn run_round(
     cells: &mut [CellState],
     from_epoch: u64,
     to_epoch: u64,
-    drift: &ChannelDrift,
+    ctx: &EpochCtx<'_>,
     cfg: &DaemonConfig<'_>,
 ) -> Result<(), CopaError> {
     let threads = cfg.threads.max(1).min(cells.len().max(1));
     if threads <= 1 {
         for (idx, cell) in cells.iter_mut().enumerate() {
             for epoch in from_epoch..to_epoch {
-                cell.step(idx, epoch, drift, cfg)?;
+                cell.step(idx, epoch, ctx, cfg)?;
             }
         }
         return Ok(());
@@ -469,7 +892,7 @@ fn run_round(
                     for (offset, cell) in chunk.iter_mut().enumerate() {
                         let idx = base + offset;
                         for epoch in from_epoch..to_epoch {
-                            cell.step(idx, epoch, drift, cfg).map_err(|e| (idx, e))?;
+                            cell.step(idx, epoch, ctx, cfg).map_err(|e| (idx, e))?;
                         }
                     }
                     Ok(())
@@ -506,6 +929,10 @@ fn build_report(cells: &[CellState], epochs: u64, cfg: &DaemonConfig<'_>) -> Dae
         exchanges: per_cell.iter().map(|c| c.exchanges).sum(),
         evals: per_cell.iter().map(|c| c.evals).sum(),
         active_cell_epochs: per_cell.iter().map(|c| c.active_epochs).sum(),
+        degraded_cell_epochs: per_cell.iter().map(|c| c.degraded_epochs).sum(),
+        recoveries: per_cell.iter().map(|c| c.recoveries).sum(),
+        churn_events: per_cell.iter().map(|c| c.joins + c.leaves).sum(),
+        live_cells: per_cell.iter().filter(|c| c.live).count() as u64,
         per_cell,
     }
 }
@@ -516,10 +943,15 @@ fn drive(
     params: &ScenarioParams,
     cells: &mut [CellState],
     cfg: &DaemonConfig<'_>,
+    churn: Option<&ChurnSchedule>,
     start_epoch: u64,
     mut journal: Option<&mut JournalWriter>,
 ) -> Result<u64, CopaError> {
     let drift = ChannelDrift::new(params.seed, cfg.rho, MultipathProfile::default());
+    let ctx = EpochCtx {
+        drift: &drift,
+        churn,
+    };
     let fallback = MonotonicClock::new();
     let clock: &dyn SuiteClock = match cfg.clock {
         Some(c) => c,
@@ -532,10 +964,10 @@ fn drive(
     while epoch < end {
         let upto = (epoch + round).min(end);
         let round_start = clock.now_us();
-        run_round(cells, epoch, upto, &drift, cfg)?;
+        run_round(cells, epoch, upto, &ctx, cfg)?;
         epoch = upto;
         if let Some(w) = journal.as_deref_mut() {
-            w.append_payload(&encode_checkpoint(epoch, cells))?;
+            w.append_payload(&encode_checkpoint(epoch, cells, cfg))?;
             if let Some(t) = cfg.telemetry {
                 t.count(t.daemon.checkpoints, 1);
             }
@@ -558,6 +990,18 @@ fn fresh_cells(
         .collect()
 }
 
+/// Resolves the run's membership schedule once, up front: generated over
+/// the *full* horizon (`cfg.epochs`, never `stop_after`) so a killed run
+/// and its resume agree on every future event.
+fn resolve_churn(
+    params: &ScenarioParams,
+    suite: &[Topology],
+    cfg: &DaemonConfig<'_>,
+) -> Option<ChurnSchedule> {
+    cfg.churn
+        .map(|src| ChurnSchedule::from_source(src, params.seed, suite.len(), cfg.epochs))
+}
+
 /// Runs the daemon without checkpointing: the soak/bench path, and the
 /// baseline for resume byte-identity comparisons.
 pub fn run_daemon(
@@ -565,8 +1009,9 @@ pub fn run_daemon(
     suite: &[Topology],
     cfg: &DaemonConfig<'_>,
 ) -> Result<DaemonReport, CopaError> {
+    let sched = resolve_churn(params, suite, cfg);
     let mut cells = fresh_cells(params, suite, cfg);
-    let epochs = drive(params, &mut cells, cfg, 0, None)?;
+    let epochs = drive(params, &mut cells, cfg, sched.as_ref(), 0, None)?;
     Ok(build_report(&cells, epochs, cfg))
 }
 
@@ -584,8 +1029,16 @@ pub fn run_daemon_journaled(
         params.seed,
         cfg.checkpoints_per_segment,
     )?;
+    let sched = resolve_churn(params, suite, cfg);
     let mut cells = fresh_cells(params, suite, cfg);
-    let epochs = drive(params, &mut cells, cfg, 0, Some(&mut writer))?;
+    let epochs = drive(
+        params,
+        &mut cells,
+        cfg,
+        sched.as_ref(),
+        0,
+        Some(&mut writer),
+    )?;
     let stats = writer.finish()?;
     if let Some(t) = cfg.telemetry {
         t.count(t.journal.records_appended, stats.records_appended);
@@ -623,15 +1076,23 @@ pub fn run_daemon_resumed(
         cfg.checkpoints_per_segment,
         &state,
     )?;
+    let sched = resolve_churn(params, suite, cfg);
     let mut cells = fresh_cells(params, suite, cfg);
     let start_epoch = match checkpoint {
         Some((epoch, saved)) => {
-            restore_cells(&mut cells, &saved, epoch, params, cfg);
+            restore_cells(&mut cells, &saved, epoch, params, sched.as_ref(), cfg);
             epoch
         }
         None => 0,
     };
-    let epochs = drive(params, &mut cells, cfg, start_epoch, Some(&mut writer))?;
+    let epochs = drive(
+        params,
+        &mut cells,
+        cfg,
+        sched.as_ref(),
+        start_epoch,
+        Some(&mut writer),
+    )?;
     let stats = writer.finish()?;
     if let Some(t) = cfg.telemetry {
         t.count(t.journal.records_appended, stats.records_appended);
@@ -642,37 +1103,61 @@ pub fn run_daemon_resumed(
 }
 
 /// Rebuilds live cell state from a checkpoint taken after `epoch` epochs:
-/// traffic replays from zero (pure trace), truth replays its coherence
-/// blocks (stepwise evolution equals one-shot), and only the *last* CSI
-/// exchange re-runs, against the truth of its block — earlier exchanges
-/// were fully overwritten. The cached evaluation is restored from the
-/// stored bits; no engine run happens here.
+/// traffic and membership replay from zero (pure traces), truth replays
+/// its coherence blocks (stepwise evolution equals one-shot), and only
+/// the *last* CSI exchange re-runs, against the noise-folded view of its
+/// block — earlier exchanges were fully overwritten. The cached
+/// evaluation, deferral deadline and degradation bout (backoff deadline +
+/// attempt count) are restored from the stored bits; no engine run and no
+/// fault stream happens here, so a daemon killed mid-degradation resumes
+/// with the exact backoff schedule the uninterrupted run follows.
 fn restore_cells(
     cells: &mut [CellState],
     saved: &[CellCheckpoint],
     epoch: u64,
     params: &ScenarioParams,
+    churn: Option<&ChurnSchedule>,
     cfg: &DaemonConfig<'_>,
 ) {
     let drift = ChannelDrift::new(params.seed, cfg.rho, MultipathProfile::default());
     for (idx, (cell, ck)) in cells.iter_mut().zip(saved).enumerate() {
-        // Traffic: replay the pure trace to recover state + accumulators.
-        for _ in 0..epoch {
+        // Traffic + membership: replay the pure traces to recover state,
+        // accumulators and the churn cursor. `apply_churn` here mirrors
+        // the live loop verbatim (same from-scratch fold factors, same
+        // join/leave counts); the session it tears down is still cold and
+        // is restored below.
+        for e in 0..epoch {
+            if let Some(sched) = churn {
+                cell.apply_churn(idx, e, sched);
+            }
             let te = cell.traffic.step(cfg.epoch_us);
             cell.flows_arrived += u64::from(te.arrivals);
             cell.flows_completed += u64::from(te.completions);
             cell.traffic_bits += te.bits_served;
-            cell.was_active = te.active || cfg.force_active;
-            if cell.was_active {
+            let active = (te.active || cfg.force_active) && cell.live;
+            cell.was_active = active;
+            if active {
                 cell.active_epochs += 1;
             }
         }
-        // Truth + CSI: replay blocks, re-run only the final exchange.
+        // Truth + CSI: replay blocks, re-run only the final exchange —
+        // against the folded view of the population at its epoch, exactly
+        // as the live loop saw it.
         if ck.exchanges > 0 {
             let t_x = ck.last_exchange_epoch * cfg.epoch_us;
             let block_x = block_of(t_x, cfg.coherence_us);
             drift.advance_topology(idx as u64, 0, block_x, &mut cell.truth, &mut cell.scratch);
-            cell.session.restore(&cell.truth, ck.exchanges - 1, t_x);
+            let view = match churn {
+                Some(sched) => {
+                    let mut mask = vec![true; cell.live_mask.len()];
+                    sched.mask_at(ck.last_exchange_epoch, &mut mask);
+                    let f = churn::noise_scale(cell.base_seed, idx, &mask);
+                    churn::fold_topology(&cell.truth, f, &mut cell.folded);
+                    &cell.folded
+                }
+                None => &cell.truth,
+            };
+            cell.session.restore(view, ck.exchanges - 1, t_x);
             drift.advance_topology(
                 idx as u64,
                 block_x,
@@ -680,9 +1165,23 @@ fn restore_cells(
                 &mut cell.truth,
                 &mut cell.scratch,
             );
+        } else {
+            // No exchange survived the checkpoint (e.g. every attempt
+            // degraded), but the truth still drifted while active.
+            drift.advance_topology(idx as u64, 0, ck.block, &mut cell.truth, &mut cell.scratch);
+        }
+        if ck.flags & CK_DEGRADED != 0 {
+            // After `restore` (a successful exchange clears the bout):
+            // reinstate the pinned state and its backoff schedule.
+            cell.session
+                .restore_degraded(ck.degraded_until_us, ck.degraded_attempts);
         }
         cell.block = ck.block;
         cell.last_exchange_epoch = ck.last_exchange_epoch;
+        // Lifetime exchange count is telemetry-only (it is not in the
+        // checkpoint): restart it at the restored incarnation's count so
+        // the resumed process's deltas stay monotone.
+        cell.exchanges_total = ck.exchanges;
         cell.evals = ck.evals;
         cell.phy_bits = ck.phy_bits;
         cell.last_mbps = ck.last_mbps;
@@ -691,7 +1190,14 @@ fn restore_cells(
         } else {
             Strategy::from_wire_tag(ck.strategy_tag)
         };
-        cell.cache_valid = ck.evals > 0;
+        cell.cache_valid = ck.flags & CK_CACHE_VALID != 0;
+        cell.pending_churn = ck.flags & CK_PENDING_CHURN != 0;
+        cell.eval_ready_us = ck.eval_ready_us;
+        cell.degraded_since_epoch = ck.degraded_since_epoch;
+        cell.degraded_epochs = ck.degraded_epochs;
+        cell.recovery_attempts = ck.recovery_attempts;
+        cell.recoveries = ck.recoveries;
+        cell.fold_dirty = churn.is_some();
     }
 }
 
@@ -721,14 +1227,44 @@ mod tests {
         let suite = small_suite(2);
         let cfg = quick_cfg();
         let cells = fresh_cells(&params, &suite, &cfg);
-        let payload = encode_checkpoint(17, &cells);
+        let payload = encode_checkpoint(17, &cells, &cfg);
+        assert_eq!(payload[1], CKPT_V1, "quiet configs write v1");
         let (epoch, saved) = decode_checkpoint(&payload, 2).expect("round trip");
         assert_eq!(epoch, 17);
         assert_eq!(saved.len(), 2);
         assert_eq!(saved[0].exchanges, 0);
         assert_eq!(saved[0].strategy_tag, NO_STRATEGY);
+        assert_eq!(saved[0].flags, CK_LIVE, "v1 synthesizes live, no cache");
         assert!(decode_checkpoint(&payload, 3).is_none(), "cell count check");
         assert!(decode_checkpoint(&payload[..10], 2).is_none(), "short");
+    }
+
+    #[test]
+    fn checkpoint_codec_v2_round_trips_robustness_state() {
+        let params = ScenarioParams::default();
+        let suite = small_suite(2);
+        let cfg = DaemonConfig {
+            faults: Some(FaultPlan::lossy(9, 0.3)),
+            ..quick_cfg()
+        };
+        let mut cells = fresh_cells(&params, &suite, &cfg);
+        cells[1].session.mark_degraded(5_000, 100, 3);
+        cells[1].degraded_since_epoch = 12;
+        cells[1].degraded_epochs = 4;
+        cells[1].recovery_attempts = 2;
+        cells[1].eval_ready_us = 77_000;
+        cells[1].pending_churn = true;
+        let payload = encode_checkpoint(17, &cells, &cfg);
+        assert_eq!(payload[1], CKPT_V2, "faulted configs write v2");
+        let (_, saved) = decode_checkpoint(&payload, 2).expect("round trip");
+        assert_eq!(saved[1].flags, CK_LIVE | CK_PENDING_CHURN | CK_DEGRADED);
+        assert_eq!(saved[1].degraded_until_us, 5_100);
+        assert_eq!(saved[1].degraded_attempts, 1);
+        assert_eq!(saved[1].degraded_since_epoch, 12);
+        assert_eq!(saved[1].degraded_epochs, 4);
+        assert_eq!(saved[1].recovery_attempts, 2);
+        assert_eq!(saved[1].eval_ready_us, 77_000);
+        assert_eq!(saved[0].flags, CK_LIVE, "untouched cell stays clean");
     }
 
     #[test]

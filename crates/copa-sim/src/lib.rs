@@ -32,14 +32,18 @@
 //!   ([`run_campus_suite`]).
 //! * [`traffic`] -- deterministic bursty arrivals with heavy-tailed flow
 //!   sizes: the trace that decides which cells are active per epoch.
+//! * [`churn`] -- the seeded arrival/departure process: membership events
+//!   that tear down / cold-start sessions and re-fold residual noise.
 //! * [`daemon`] -- the event-driven coordination daemon: a long-lived
-//!   epoch loop with channel evolution, CSI aging, amortized evaluation
-//!   and journaled kill-and-resume replay.
+//!   epoch loop with channel evolution, CSI aging, fault-injected ITS
+//!   exchanges with degraded-session recovery, cell churn, amortized
+//!   evaluation and journaled kill-and-resume replay.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod campus;
+pub mod churn;
 pub mod daemon;
 pub mod degradation;
 pub mod episode;

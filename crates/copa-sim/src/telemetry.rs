@@ -177,8 +177,16 @@ pub struct DaemonMetrics {
     pub checkpoints: CounterId,
     /// Traffic flows drained to completion.
     pub flows_completed: CounterId,
+    /// Cell-epochs served pinned to CSMA while degraded.
+    pub degraded_epochs: CounterId,
+    /// Recovery exchanges attempted while degraded (success or not).
+    pub recovery_attempts: CounterId,
+    /// Membership events (joins + leaves) applied to their own cell.
+    pub churn_events: CounterId,
     /// Wall time per daemon round (per the suite clock).
     pub round_us: HistogramId,
+    /// Degradation bout length at recovery, in epochs (log2 buckets).
+    pub recovery_epochs: HistogramId,
 }
 
 impl DaemonMetrics {
@@ -191,7 +199,11 @@ impl DaemonMetrics {
             evals: tel.counter("daemon.evals"),
             checkpoints: tel.counter("daemon.checkpoints"),
             flows_completed: tel.counter("daemon.flows_completed"),
+            degraded_epochs: tel.counter("daemon.degraded_epochs"),
+            recovery_attempts: tel.counter("daemon.recovery_attempts"),
+            churn_events: tel.counter("daemon.churn_events"),
             round_us: tel.histogram("daemon.round_us"),
+            recovery_epochs: tel.histogram("daemon.recovery_epochs"),
         }
     }
 }

@@ -1,0 +1,250 @@
+//! Property-based tests for the daemon's membership churn layer, on the
+//! in-repo [`copa_num::prop`] harness: the seeded arrival/departure
+//! process is deterministic and prefix-stable, a departed cell's session
+//! never leaks work past its teardown, a rejoin cold-starts through
+//! exactly one exchange, and the residual-noise fold maintained
+//! incrementally is bit-identical to folding from scratch at any mask.
+
+use copa_channel::{AntennaConfig, TopologySampler};
+use copa_core::ScenarioParams;
+use copa_num::prop::check;
+use copa_num::{prop_assert, prop_assert_eq};
+use copa_sim::churn::{
+    fold_topology, noise_scale, ChurnConfig, ChurnEvent, ChurnKind, ChurnSchedule, ChurnSource,
+};
+use copa_sim::{run_daemon, DaemonConfig};
+
+const CASES: usize = 24;
+
+/// The seeded process is a pure function of `(seed, cells, horizon)`, and
+/// shortening the horizon yields a strict prefix — the invariant that
+/// lets a killed run and its resume agree on every future event.
+#[test]
+fn prop_process_is_deterministic_and_prefix_stable() {
+    check("churn process determinism", CASES, |g| {
+        let seed = g.u64();
+        let n_cells = g.usize_in(2, 9);
+        let horizon = g.usize_in(100, 20_000) as u64;
+        let cfg = ChurnConfig {
+            mean_gap_epochs: g.usize_in(10, 2_000) as u64,
+            arrival_bias: g.f64_in(0.1, 0.9),
+            min_live: g.usize_in(1, n_cells),
+        };
+        let a = ChurnSchedule::generate(seed, n_cells, horizon, cfg);
+        let b = ChurnSchedule::generate(seed, n_cells, horizon, cfg);
+        prop_assert_eq!(&a, &b, "same inputs, same schedule");
+        let cut = g.usize_in(1, horizon as usize) as u64;
+        let short = ChurnSchedule::generate(seed, n_cells, cut, cfg);
+        let prefix: Vec<ChurnEvent> = a
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| e.epoch < cut)
+            .collect();
+        prop_assert_eq!(
+            short.events(),
+            &prefix[..],
+            "shorter horizon is a strict prefix"
+        );
+        // The process respects its own consistency contract: `scripted`
+        // re-validates sortedness, range and join/leave alternation.
+        let revalidated = ChurnSchedule::scripted(a.events(), n_cells);
+        prop_assert_eq!(&a, &revalidated, "generated schedules pass validation");
+        Ok(())
+    });
+}
+
+fn quick_daemon_cfg() -> DaemonConfig<'static> {
+    DaemonConfig {
+        epoch_us: 10_000,
+        epochs: 600,
+        staleness_us: 500_000,
+        coherence_us: 1_000_000,
+        checkpoint_every: 100,
+        ..DaemonConfig::default()
+    }
+}
+
+/// After a departure with no rejoin, the cell stops accruing work: the
+/// torn-down session ends cold (exchange ordinal back at zero, so a
+/// later rejoin replays a fresh session bit for bit), and evaluations and
+/// active epochs freeze at the counts a run truncated at the departure
+/// epoch reports.
+#[test]
+fn prop_departed_session_leaks_no_work() {
+    let suite = TopologySampler::default().suite(0xC4A2, 3, AntennaConfig::CONSTRAINED_4X2);
+    check("no session leak after departure", CASES, |g| {
+        let params = ScenarioParams {
+            seed: g.u64(),
+            ..ScenarioParams::default()
+        };
+        let gone = g.usize_in(0, 3) as u32;
+        let leave_at = g.usize_in(50, 400) as u64;
+        let script = [ChurnEvent {
+            epoch: leave_at,
+            cell: gone,
+            kind: ChurnKind::Leave,
+        }];
+        let cfg = DaemonConfig {
+            churn: Some(ChurnSource::Scripted(&script)),
+            ..quick_daemon_cfg()
+        };
+        let full = run_daemon(&params, &suite, &cfg).expect("full run");
+        let truncated_cfg = DaemonConfig {
+            stop_after: Some(leave_at),
+            ..cfg
+        };
+        let truncated = run_daemon(&params, &suite, &truncated_cfg).expect("truncated run");
+        let f = &full.per_cell[gone as usize];
+        let t = &truncated.per_cell[gone as usize];
+        prop_assert!(!f.live, "the cell stays off the air");
+        prop_assert_eq!(f.exchanges, 0, "teardown leaves the session cold");
+        prop_assert_eq!(f.evals, t.evals, "no evaluation after teardown");
+        prop_assert_eq!(f.active_epochs, t.active_epochs, "no active epoch");
+        prop_assert_eq!(f.last_mbps.to_bits(), 0f64.to_bits(), "no stale rate");
+        prop_assert!(f.last_strategy.is_none(), "no stale strategy");
+        Ok(())
+    });
+}
+
+/// A leave-then-rejoin under forced activity and effectively infinite
+/// staleness: the rejoined cell's fresh session incarnation cold-starts
+/// through exactly one exchange (teardown reset its ordinal, so the
+/// rejoin exchange replays a brand-new session), while every survivor
+/// re-exchanges on each membership change it sees.
+#[test]
+fn prop_rejoin_cold_starts_exactly_one_exchange() {
+    let suite = TopologySampler::default().suite(0xC4A3, 3, AntennaConfig::CONSTRAINED_4X2);
+    check("cold start after rejoin", CASES, |g| {
+        let params = ScenarioParams {
+            seed: g.u64(),
+            ..ScenarioParams::default()
+        };
+        let cell = g.usize_in(0, 3) as u32;
+        let leave_at = g.usize_in(40, 200) as u64;
+        let join_at = leave_at + g.usize_in(40, 200) as u64;
+        let script = [
+            ChurnEvent {
+                epoch: leave_at,
+                cell,
+                kind: ChurnKind::Leave,
+            },
+            ChurnEvent {
+                epoch: join_at,
+                cell,
+                kind: ChurnKind::Join,
+            },
+        ];
+        let cfg = DaemonConfig {
+            // Staleness and coherence far past the horizon: only cold
+            // starts and churn triggers can schedule an exchange.
+            staleness_us: u64::MAX / 2,
+            coherence_us: u64::MAX / 2,
+            force_active: true,
+            churn: Some(ChurnSource::Scripted(&script)),
+            ..quick_daemon_cfg()
+        };
+        let report = run_daemon(&params, &suite, &cfg).expect("run");
+        for c in &report.per_cell {
+            if c.cell == cell {
+                prop_assert_eq!(
+                    c.exchanges,
+                    1,
+                    "rejoined incarnation: exactly the one cold start at rejoin"
+                );
+                prop_assert_eq!(c.joins, 1, "one arrival");
+                prop_assert_eq!(c.leaves, 1, "one departure");
+                prop_assert!(c.live, "back on the air at the end");
+            } else {
+                prop_assert_eq!(
+                    c.exchanges,
+                    3,
+                    "survivor: cold start + churn trigger per membership event"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The residual-noise fold is maintenance-order independent: walking a
+/// random event sequence with an incrementally updated mask produces the
+/// same factor bits as `mask_at` from scratch, and refolding the pristine
+/// truth at any factor never compounds — two folds at `f` equal one.
+#[test]
+fn prop_refold_matches_from_scratch() {
+    let suite = TopologySampler::default().suite(0xC4A4, 1, AntennaConfig::CONSTRAINED_4X2);
+    let truth = &suite[0];
+    check("incremental fold == from-scratch fold", CASES, |g| {
+        let seed = g.u64();
+        let n_cells = g.usize_in(2, 7);
+        let cell = g.usize_in(0, n_cells);
+        // Random but consistent event sequence over the population.
+        let mut live = vec![true; n_cells];
+        let mut events = Vec::new();
+        let mut epoch = 0u64;
+        for _ in 0..g.usize_in(1, 13) {
+            epoch += g.usize_in(1, 50) as u64;
+            let c = g.usize_in(0, n_cells);
+            events.push(ChurnEvent {
+                epoch,
+                cell: c as u32,
+                kind: if live[c] {
+                    ChurnKind::Leave
+                } else {
+                    ChurnKind::Join
+                },
+            });
+            live[c] = !live[c];
+        }
+        let sched = ChurnSchedule::scripted(&events, n_cells);
+        let mut incremental = vec![true; n_cells];
+        let mut scratch_mask = vec![true; n_cells];
+        let mut once = truth.clone();
+        let mut twice = truth.clone();
+        for ev in sched.events() {
+            incremental[ev.cell as usize] = ev.kind == ChurnKind::Join;
+            let f_inc = noise_scale(seed, cell, &incremental);
+            sched.mask_at(ev.epoch, &mut scratch_mask);
+            let f_scratch = noise_scale(seed, cell, &scratch_mask);
+            prop_assert_eq!(
+                f_inc.to_bits(),
+                f_scratch.to_bits(),
+                "fold factor is a pure function of the mask"
+            );
+            fold_topology(truth, f_inc, &mut once);
+            // Refold at the same factor into a buffer that already holds
+            // a previous fold: sourcing from the pristine truth means no
+            // compounding.
+            fold_topology(truth, f_inc, &mut twice);
+            fold_topology(truth, f_inc, &mut twice);
+            for a in 0..2 {
+                for c in 0..2 {
+                    for (s, (ma, mb)) in once.links[a][c]
+                        .iter()
+                        .zip(twice.links[a][c].iter())
+                        .enumerate()
+                    {
+                        for r in 0..ma.rows() {
+                            for col in 0..ma.cols() {
+                                let va = ma[(r, col)];
+                                let vb = mb[(r, col)];
+                                prop_assert_eq!(
+                                    va.re.to_bits(),
+                                    vb.re.to_bits(),
+                                    "subcarrier {s} re"
+                                );
+                                prop_assert_eq!(
+                                    va.im.to_bits(),
+                                    vb.im.to_bits(),
+                                    "subcarrier {s} im"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}

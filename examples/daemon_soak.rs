@@ -2,10 +2,11 @@
 //! coordination loop, end to end.
 //!
 //! ```sh
-//! cargo run --release --example daemon_soak
+//! cargo run --release --example daemon_soak            # quiet campus
+//! cargo run --release --example daemon_soak -- --chaos # lossy + churning
 //! ```
 //!
-//! Four properties of the long-lived service are exercised and asserted,
+//! The default mode exercises four properties of the long-lived service,
 //! each behind its own `ok:` line so `scripts/check.sh --daemon-smoke`
 //! can grep them individually:
 //!
@@ -21,13 +22,22 @@
 //!    length pin the steady-state epoch loop to exactly zero heap
 //!    allocations, measured by a counting global allocator.
 //!
+//! `--chaos` re-runs the same ten minutes on a hostile campus — every ITS
+//! exchange through the real wire protocol at 20% frame loss, plus a
+//! seeded membership process joining and leaving cells — and asserts the
+//! failure model end to end (`scripts/check.sh --chaos-smoke`): sessions
+//! degrade to CSMA and all of them recover, churn tears down and
+//! cold-starts sessions, a kill-and-resume replays byte-identically, and
+//! warmed epochs between exchanges still allocate nothing.
+//!
 //! The merged telemetry registry and the final report are printed as
 //! single JSON lines for the smoke harness (and the EXPERIMENTS.md
 //! walkthrough) to capture.
 
-use copa::channel::{AntennaConfig, TopologySampler};
+use copa::channel::{AntennaConfig, FaultPlan, TopologySampler};
 use copa::core::ScenarioParams;
 use copa::obs::json::parse;
+use copa::sim::churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnSource};
 use copa::sim::journal::wipe_journal;
 use copa::sim::json::ToJson;
 use copa::sim::{
@@ -94,7 +104,178 @@ fn journal_disk_bytes(prefix: &std::path::Path) -> (u64, u64) {
     (bytes, files)
 }
 
+/// The `--chaos` soak: the same ten simulated minutes with real faulted
+/// ITS exchanges (20% frame loss) and a seeded membership process.
+fn chaos_soak() {
+    let params = ScenarioParams::default();
+    let suite = TopologySampler::default().suite(0x50_A4, 6, AntennaConfig::CONSTRAINED_4X2);
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+
+    let cfg = DaemonConfig {
+        epoch_us: 10_000,
+        epochs: 60_000,
+        staleness_us: 1_000_000,
+        coherence_us: 1_000_000,
+        checkpoint_every: 1_000,
+        faults: Some(FaultPlan::lossy(params.seed, 0.2)),
+        churn: Some(ChurnSource::Process(ChurnConfig {
+            mean_gap_epochs: 4_000,
+            ..ChurnConfig::default()
+        })),
+        ..DaemonConfig::default()
+    };
+
+    // --- 1. the hostile reference run: journaled, telemetry on -----------
+    let tel = SuiteTelemetry::new();
+    let obs_cfg = DaemonConfig {
+        telemetry: Some(&tel),
+        ..cfg
+    };
+    let prefix = tmp.join(format!("copa-daemon-chaos-{pid}"));
+    let report = run_daemon_journaled(&params, &suite, &obs_cfg, &prefix).expect("chaos run");
+    wipe_journal(&prefix).expect("journal cleanup");
+    let want = report.to_json();
+    assert_eq!(report.sim_time_us, 600_000_000, "ten simulated minutes");
+
+    // Degradation and recovery actually happened, and nothing stays
+    // pinned: every bout that started also ended in a re-exchange.
+    assert!(
+        report.degraded_cell_epochs > 0,
+        "20% frame loss over {} exchanges must degrade some",
+        report.exchanges
+    );
+    assert!(report.recoveries > 0, "degraded sessions must recover");
+    let still_degraded = report.per_cell.iter().filter(|c| c.degraded).count();
+    assert_eq!(still_degraded, 0, "all sessions eventually recover");
+    let registry = tel.to_json();
+    let doc = parse(&registry).expect("registry JSON must re-parse");
+    assert_eq!(
+        counter(&doc, "daemon.degraded_epochs"),
+        report.degraded_cell_epochs,
+        "delta-flushed degradation counter matches the report"
+    );
+    assert_eq!(
+        counter(&doc, "daemon.recovery_attempts"),
+        report.per_cell.iter().map(|c| c.recovery_attempts).sum(),
+        "delta-flushed recovery counter matches the report"
+    );
+    println!(
+        "chaos: {} exchanges, {} degraded cell-epochs, {} recoveries across {} attempts",
+        report.exchanges,
+        report.degraded_cell_epochs,
+        report.recoveries,
+        report
+            .per_cell
+            .iter()
+            .map(|c| c.recovery_attempts)
+            .sum::<u64>(),
+    );
+    println!("{registry}");
+    println!("{want}");
+    println!("ok: chaos degradations observed and recovered");
+
+    // --- 2. membership churn exercised ------------------------------------
+    assert!(report.churn_events > 0, "the membership process must fire");
+    assert_eq!(
+        counter(&doc, "daemon.churn_events"),
+        report.churn_events,
+        "delta-flushed churn counter matches the report"
+    );
+    assert!(
+        report.live_cells >= 1 && report.live_cells <= suite.len() as u64,
+        "population stays within [min_live, cells]"
+    );
+    println!(
+        "churn: {} events, {} of {} cells live at the end",
+        report.churn_events,
+        report.live_cells,
+        suite.len()
+    );
+    println!("ok: chaos churn events exercised");
+
+    // --- 3. kill-and-resume under fire ------------------------------------
+    let prefix_kr = tmp.join(format!("copa-daemon-chaos-kr-{pid}"));
+    let killed_cfg = DaemonConfig {
+        stop_after: Some(41_750),
+        ..cfg
+    };
+    let killed =
+        run_daemon_journaled(&params, &suite, &killed_cfg, &prefix_kr).expect("killed run");
+    assert_eq!(killed.epochs, 41_750, "killed mid-round");
+    assert!(
+        killed.degraded_cell_epochs > 0,
+        "the kill lands after degradations have happened"
+    );
+    let resumed = run_daemon_resumed(&params, &suite, &cfg, &prefix_kr).expect("resumed run");
+    wipe_journal(&prefix_kr).expect("journal cleanup");
+    assert_eq!(
+        resumed.to_json(),
+        want,
+        "a resumed chaos daemon must replay to the uninterrupted report"
+    );
+    println!("ok: chaos kill-and-resume byte-identical");
+
+    // --- 4. zero warmed-epoch allocations under a fault plan --------------
+    // Same warm-vs-long methodology as the quiet soak, with the chaos
+    // machinery live: a scripted membership script and every exchange
+    // through the faulted wire protocol. Staleness past the horizon and
+    // churn scripted inside the warm window pin every exchange (the one
+    // allocating epoch kind) into the prefix both runs share, so the
+    // 2000 extra epochs — engine re-evaluations, noise refolds, block
+    // drift and all — must allocate nothing.
+    let script = [
+        ChurnEvent {
+            epoch: 300,
+            cell: 2,
+            kind: ChurnKind::Leave,
+        },
+        ChurnEvent {
+            epoch: 700,
+            cell: 2,
+            kind: ChurnKind::Join,
+        },
+    ];
+    let warm_cfg = DaemonConfig {
+        epochs: 2_000,
+        staleness_us: u64::MAX / 2,
+        force_active: true,
+        checkpoint_every: 100_000,
+        faults: Some(FaultPlan::lossy(params.seed, 0.2)),
+        churn: Some(ChurnSource::Scripted(&script)),
+        ..DaemonConfig::default()
+    };
+    let long_cfg = DaemonConfig {
+        epochs: 4_000,
+        ..warm_cfg
+    };
+    let _ = run_daemon(&params, &suite, &warm_cfg); // pay process-global lazy init
+    let base = count_allocs(|| {
+        let _ = run_daemon(&params, &suite, &warm_cfg);
+    });
+    let long = count_allocs(|| {
+        let _ = run_daemon(&params, &suite, &long_cfg);
+    });
+    assert!(
+        long >= base,
+        "a longer run cannot allocate less than its own prefix ({long} < {base})"
+    );
+    let warmed = long - base;
+    assert_eq!(
+        warmed, 0,
+        "2000 extra warmed chaos epochs must allocate nothing (got {warmed})"
+    );
+    println!("allocs: {warmed} across 2000 warmed chaos epochs ({base} during warmup)");
+    println!("ok: warmed chaos epochs allocation-free");
+
+    println!("ok: daemon chaos soak validated end to end");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--chaos") {
+        chaos_soak();
+        return;
+    }
     let params = ScenarioParams::default();
     let suite = TopologySampler::default().suite(0x50_A4, 6, AntennaConfig::CONSTRAINED_4X2);
     let tmp = std::env::temp_dir();

@@ -8,7 +8,7 @@
 #
 # Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
 #                         [--obs-smoke] [--campus-smoke] [--simd-smoke]
-#                         [--daemon-smoke]
+#                         [--daemon-smoke] [--chaos-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
 #                   and leave its JSON lines in BENCH_hotpath.json; every
 #                   warmed-path alloc report must read exactly 0 (the bench
@@ -40,6 +40,13 @@
 #                   the event-driven coordination loop with bounded
 #                   journal growth, byte-identical kill-and-resume, and
 #                   zero heap allocations across warmed epochs.
+#   --chaos-smoke   additionally run the chaos soak
+#                   (examples/daemon_soak.rs --chaos): the same ten
+#                   simulated minutes at 20% ITS frame loss with a seeded
+#                   membership process — sessions degrade to CSMA and all
+#                   recover, churn tears down / cold-starts sessions,
+#                   kill-and-resume stays byte-identical, and warmed
+#                   epochs between exchanges still allocate nothing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +57,7 @@ OBS_SMOKE=0
 CAMPUS_SMOKE=0
 SIMD_SMOKE=0
 DAEMON_SMOKE=0
+CHAOS_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
@@ -59,6 +67,7 @@ for arg in "$@"; do
         --campus-smoke) CAMPUS_SMOKE=1 ;;
         --simd-smoke) SIMD_SMOKE=1 ;;
         --daemon-smoke) DAEMON_SMOKE=1 ;;
+        --chaos-smoke) CHAOS_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -290,6 +299,32 @@ if [ "$DAEMON_SMOKE" -eq 1 ]; then
     }
     printf '%s\n' "$out" | grep -q '^ok: daemon soak validated end to end' || {
         echo "daemon smoke FAILED: soak did not validate" >&2
+        exit 1
+    }
+fi
+
+if [ "$CHAOS_SMOKE" -eq 1 ]; then
+    echo "==> chaos smoke: ten lossy, churning minutes of the coordination daemon"
+    out=$(cargo run --release --offline --example daemon_soak -- --chaos)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: chaos degradations observed and recovered' || {
+        echo "chaos smoke FAILED: no degradation/recovery cycle observed" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: chaos churn events exercised' || {
+        echo "chaos smoke FAILED: the membership process did not fire" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: chaos kill-and-resume byte-identical' || {
+        echo "chaos smoke FAILED: resumed chaos daemon diverged from the reference" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: warmed chaos epochs allocation-free' || {
+        echo "chaos smoke FAILED: warmed chaos epochs allocated" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: daemon chaos soak validated end to end' || {
+        echo "chaos smoke FAILED: chaos soak did not validate" >&2
         exit 1
     }
 fi
