@@ -5,6 +5,9 @@
 //!
 //! * [`multipath`] -- tapped-delay-line frequency-selective MIMO channels
 //!   (the narrow-band fading of the paper's Figure 2).
+//! * [`timedomain`] -- the same tapped-delay channels applied by linear
+//!   convolution to the actual sample stream (waveform validation), drawn
+//!   bit-identically to their frequency responses.
 //! * [`pathloss`] -- log-distance path loss with lognormal shadowing.
 //! * [`topology`] -- two-AP / two-client topology suites matching the
 //!   paper's Figure 9 signal/interference scatter.
@@ -26,6 +29,7 @@ pub mod faults;
 pub mod impairments;
 pub mod multipath;
 pub mod pathloss;
+pub mod timedomain;
 pub mod topology;
 
 pub use campus::{Campus, CampusSampler};
@@ -33,4 +37,5 @@ pub use evolution::{block_of, ChannelDrift};
 pub use faults::{Delivery, ExchangeFaults, FaultPlan};
 pub use impairments::Impairments;
 pub use multipath::{ChannelScratch, FreqChannel, FreqChannelSoa, MultipathProfile};
+pub use timedomain::TimeChannel;
 pub use topology::{AntennaConfig, Topology, TopologySampler};

@@ -64,6 +64,37 @@ impl MultipathProfile {
     }
 }
 
+/// Draws the tapped-delay impulse response of one antenna pair, preserving
+/// the exact RNG consumption and floating-point op order shared by
+/// [`FreqChannel::random`], [`FreqChannel::random_into`], and the
+/// time-domain channel -- every consumer realizes bit-identical taps from
+/// the same RNG state.
+pub(crate) fn draw_pair_taps(
+    rng: &mut SimRng,
+    tap_powers: &[f64],
+    amp: f64,
+    los_frac: f64,
+    los_phase: f64,
+    r: usize,
+    t: usize,
+    mut sink: impl FnMut(usize, C64),
+) {
+    for (l, &p) in tap_powers.iter().enumerate() {
+        let scatter = rng
+            .randc()
+            .scale((p * if l == 0 { 1.0 - los_frac } else { 1.0 }).sqrt());
+        let mut tap = scatter;
+        if l == 0 && los_frac > 0.0 {
+            // Deterministic LoS component with antenna-dependent phase
+            // (half-wavelength spacing approximated by a random but fixed
+            // per-pair offset).
+            let pair_phase = los_phase + std::f64::consts::PI * (r as f64 * 0.73 + t as f64 * 1.31);
+            tap += C64::cis(pair_phase).scale((p * los_frac).sqrt());
+        }
+        sink(l, tap.scale(amp));
+    }
+}
+
 /// Reusable scratch for the pooled channel-synthesis entry points
 /// ([`FreqChannel::random_into`], [`FreqChannel::evolve_in_place`]): the tap
 /// powers, FFT impulse buffer, data-bin map and innovation channel all live
@@ -71,9 +102,9 @@ impl MultipathProfile {
 /// updates) never touches the allocator after warm-up.
 #[derive(Clone, Debug)]
 pub struct ChannelScratch {
-    tap_powers: Vec<f64>,
-    impulse: Vec<C64>,
-    bins: Vec<usize>,
+    pub(crate) tap_powers: Vec<f64>,
+    pub(crate) impulse: Vec<C64>,
+    pub(crate) bins: Vec<usize>,
     innovation: FreqChannel,
 }
 
@@ -99,9 +130,9 @@ impl ChannelScratch {
 /// subcarrier, scaled so `E|H_ij|^2` equals the link's average path gain.
 #[derive(Clone, Debug, Default)]
 pub struct FreqChannel {
-    rx: usize,
-    tx: usize,
-    subcarriers: Vec<CMat>,
+    pub(crate) rx: usize,
+    pub(crate) tx: usize,
+    pub(crate) subcarriers: Vec<CMat>,
 }
 
 impl FreqChannel {
@@ -131,21 +162,18 @@ impl FreqChannel {
         for r in 0..rx {
             for t in 0..tx {
                 let mut impulse = vec![copa_num::complex::ZERO; FFT_SIZE];
-                for (l, &p) in tap_powers.iter().enumerate() {
-                    let scatter = rng
-                        .randc()
-                        .scale((p * if l == 0 { 1.0 - los_frac } else { 1.0 }).sqrt());
-                    let mut tap = scatter;
-                    if l == 0 && los_frac > 0.0 {
-                        // Deterministic LoS component with antenna-dependent
-                        // phase (half-wavelength spacing approximated by a
-                        // random but fixed per-pair offset).
-                        let pair_phase =
-                            los_phase + std::f64::consts::PI * (r as f64 * 0.73 + t as f64 * 1.31);
-                        tap += C64::cis(pair_phase).scale((p * los_frac).sqrt());
-                    }
-                    impulse[l] = tap.scale(amp);
-                }
+                draw_pair_taps(
+                    rng,
+                    &tap_powers,
+                    amp,
+                    los_frac,
+                    los_phase,
+                    r,
+                    t,
+                    |l, tap| {
+                        impulse[l] = tap;
+                    },
+                );
                 let freq = fft(&impulse);
                 per_pair.push(bins.iter().map(|&b| freq[b]).collect());
             }
@@ -190,25 +218,22 @@ impl FreqChannel {
         }
 
         let los_phase = rng.uniform_range(0.0, std::f64::consts::TAU);
+        let ChannelScratch {
+            tap_powers,
+            impulse,
+            bins,
+            ..
+        } = scratch;
         for r in 0..rx {
             for t in 0..tx {
-                scratch.impulse.clear();
-                scratch.impulse.resize(FFT_SIZE, copa_num::complex::ZERO);
-                for (l, &p) in scratch.tap_powers.iter().enumerate() {
-                    let scatter = rng
-                        .randc()
-                        .scale((p * if l == 0 { 1.0 - los_frac } else { 1.0 }).sqrt());
-                    let mut tap = scatter;
-                    if l == 0 && los_frac > 0.0 {
-                        let pair_phase =
-                            los_phase + std::f64::consts::PI * (r as f64 * 0.73 + t as f64 * 1.31);
-                        tap += C64::cis(pair_phase).scale((p * los_frac).sqrt());
-                    }
-                    scratch.impulse[l] = tap.scale(amp);
-                }
-                fft_in_place(&mut scratch.impulse);
-                for (s, &b) in scratch.bins.iter().enumerate() {
-                    out.subcarriers[s][(r, t)] = scratch.impulse[b];
+                impulse.clear();
+                impulse.resize(FFT_SIZE, copa_num::complex::ZERO);
+                draw_pair_taps(rng, tap_powers, amp, los_frac, los_phase, r, t, |l, tap| {
+                    impulse[l] = tap;
+                });
+                fft_in_place(impulse);
+                for (s, &b) in bins.iter().enumerate() {
+                    out.subcarriers[s][(r, t)] = impulse[b];
                 }
             }
         }

@@ -42,6 +42,24 @@ pub fn ifft(x: &[C64]) -> Vec<C64> {
     y
 }
 
+// alloc-free: begin fft_into (kernel -- caller-owned output buffer)
+/// [`fft`] writing into a caller-owned buffer (cleared and refilled; no
+/// allocation once `out` has grown to the input length). Bit-identical to
+/// the owned version (same copy, same in-place transform).
+pub fn fft_into(x: &[C64], out: &mut Vec<C64>) {
+    out.clear();
+    out.extend_from_slice(x);
+    fft_in_place(out);
+}
+
+/// [`ifft`] writing into a caller-owned buffer (see [`fft_into`]).
+pub fn ifft_into(x: &[C64], out: &mut Vec<C64>) {
+    out.clear();
+    out.extend_from_slice(x);
+    ifft_in_place(out);
+}
+// alloc-free: end fft_into
+
 /// Frequency response of a sparse tapped delay line on an `n`-point grid:
 /// `H[k] = sum_t g_t e^{-2 pi i k d_t / n}` for taps `(delay d_t, gain g_t)`.
 ///
@@ -192,5 +210,26 @@ mod tests {
     fn non_power_of_two_panics() {
         let mut x = vec![ZERO; 12];
         fft_in_place(&mut x);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reusable() {
+        let mut rng = SimRng::seed_from(9);
+        let mut fwd = Vec::new();
+        let mut inv = Vec::new();
+        // Reuse the buffers across lengths to prove statelessness.
+        for &n in &[64usize, 16, 128] {
+            let x: Vec<C64> = (0..n).map(|_| rng.randc()).collect();
+            fft_into(&x, &mut fwd);
+            ifft_into(&x, &mut inv);
+            let owned_f = fft(&x);
+            let owned_i = ifft(&x);
+            for i in 0..n {
+                assert_eq!(owned_f[i].re.to_bits(), fwd[i].re.to_bits());
+                assert_eq!(owned_f[i].im.to_bits(), fwd[i].im.to_bits());
+                assert_eq!(owned_i[i].re.to_bits(), inv[i].re.to_bits());
+                assert_eq!(owned_i[i].im.to_bits(), inv[i].im.to_bits());
+            }
+        }
     }
 }

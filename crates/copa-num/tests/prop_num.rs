@@ -114,12 +114,20 @@ fn inverse_round_trips() {
 
 #[test]
 fn fft_round_trip() {
+    // Random power-of-two lengths, 1e-12 relative round-trip bound: the
+    // waveform path stacks an IFFT and an FFT per OFDM symbol, so the
+    // transform pair must be far below any physical impairment floor.
     check("fft_round_trip", CASES, |g| {
-        let x: Vec<C64> = (0..64).map(|_| complex(g)).collect();
+        let n = 1usize << g.usize_in(0, 9);
+        let x: Vec<C64> = (0..n).map(|_| complex(g)).collect();
         let y = ifft(&fft(&x));
         let scale = x.iter().map(|z| z.abs()).fold(1.0, f64::max);
         for (a, b) in x.iter().zip(&y) {
-            prop_assert!((*a - *b).abs() < 1e-9 * scale);
+            prop_assert!(
+                (*a - *b).abs() <= 1e-12 * scale * n as f64,
+                "n={n}: round-trip error {:e}",
+                (*a - *b).abs() / scale
+            );
         }
         Ok(())
     });
@@ -127,12 +135,18 @@ fn fft_round_trip() {
 
 #[test]
 fn fft_parseval() {
+    // Energy conservation at random power-of-two lengths (1e-12 relative):
+    // `sum |x|^2 == sum |X|^2 / n`.
     check("fft_parseval", CASES, |g| {
-        let x: Vec<C64> = (0..32).map(|_| complex(g)).collect();
+        let n = 1usize << g.usize_in(0, 9);
+        let x: Vec<C64> = (0..n).map(|_| complex(g)).collect();
         let y = fft(&x);
         let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
-        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
-        prop_assert!((ex - ey).abs() < 1e-8 * (1.0 + ex));
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!(
+            (ex - ey).abs() <= 1e-12 * n as f64 * (1.0 + ex),
+            "n={n}: energy {ex:e} vs {ey:e}"
+        );
         Ok(())
     });
 }

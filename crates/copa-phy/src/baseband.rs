@@ -10,7 +10,10 @@
 //! channel it is equivalent to per-subcarrier complex multiplication, which
 //! is what the link simulations use.
 
-use crate::coding::{encode, viterbi_decode, CONSTRAINT_LENGTH};
+use crate::coding::{
+    coded_len, encode, encode_append, viterbi_decode, viterbi_decode_into, ViterbiScratch,
+    CONSTRAINT_LENGTH,
+};
 use crate::interleaver::Interleaver;
 use crate::mapper::Mapper;
 use crate::mcs::Mcs;
@@ -30,6 +33,63 @@ pub struct TxFrame {
     pub symbols: Vec<Vec<C64>>,
     /// Number of payload bits carried (before padding).
     pub payload_bits: usize,
+}
+
+/// A frame of per-subcarrier symbols in one flat buffer
+/// (`data[t * DATA_SUBCARRIERS + s]`), reusable across frames without
+/// reallocation -- the waveform Monte-Carlo path uses this instead of the
+/// nested [`TxFrame`] layout.
+#[derive(Clone, Debug, Default)]
+pub struct FlatSymbols {
+    data: Vec<C64>,
+    n_symbols: usize,
+    payload_bits: usize,
+}
+
+impl FlatSymbols {
+    /// An empty buffer; grows on first use and is then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of OFDM symbols held.
+    pub fn n_symbols(&self) -> usize {
+        self.n_symbols
+    }
+
+    /// Payload bits carried (before padding).
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// The 52 data-subcarrier symbols of OFDM symbol `t`.
+    pub fn symbol(&self, t: usize) -> &[C64] {
+        &self.data[t * DATA_SUBCARRIERS..(t + 1) * DATA_SUBCARRIERS]
+    }
+
+    /// All symbols, flat.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+}
+
+/// Reusable working buffers for [`Chain::transmit_into`] /
+/// [`Chain::receive_into`]: one scratch serves any MCS, growing to the
+/// largest frame seen and allocation-free thereafter.
+#[derive(Clone, Debug, Default)]
+pub struct ChainScratch {
+    bits: Vec<u8>,
+    coded: Vec<u8>,
+    inter: Vec<u8>,
+    hard: Vec<u8>,
+    viterbi: ViterbiScratch,
+}
+
+impl ChainScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The 802.11 transmit/receive bit pipeline for one MCS.
@@ -96,6 +156,74 @@ impl Chain {
         Scrambler::new(self.scrambler_seed).process(&mut bits);
         bits
     }
+
+    // alloc-free: begin chain_into (kernel -- caller-owned scratch)
+    /// [`transmit`] writing into caller-owned buffers: bit-identical symbols
+    /// (same scramble/encode/pad/interleave/map sequence), no allocation
+    /// once the scratch has grown to the frame size.
+    ///
+    /// [`transmit`]: Chain::transmit
+    pub fn transmit_into(&self, payload: &[u8], scratch: &mut ChainScratch, out: &mut FlatSymbols) {
+        scratch.bits.clear();
+        scratch.bits.extend_from_slice(payload);
+        Scrambler::new(self.scrambler_seed).process(&mut scratch.bits);
+        scratch.coded.clear();
+        encode_append(&scratch.bits, self.mcs.rate, &mut scratch.coded);
+        let block = self.interleaver.block_len();
+        let pad = (block - scratch.coded.len() % block) % block;
+        let padded = scratch.coded.len() + pad;
+        scratch.coded.resize(padded, 0);
+        out.data.clear();
+        out.n_symbols = padded / block;
+        out.payload_bits = payload.len();
+        let bps = self.mapper.bits_per_symbol();
+        for chunk_start in (0..padded).step_by(block) {
+            self.interleaver.interleave_into(
+                &scratch.coded[chunk_start..chunk_start + block],
+                &mut scratch.inter,
+            );
+            for group in scratch.inter.chunks(bps) {
+                out.data.push(self.mapper.map_symbol(group));
+            }
+        }
+    }
+
+    /// [`receive`] from a flat (post-equalization) symbol buffer into
+    /// caller-owned scratch: bit-identical decisions, no allocation once
+    /// warmed. `symbols.len()` must be a multiple of 52.
+    ///
+    /// [`receive`]: Chain::receive
+    pub fn receive_into(
+        &self,
+        symbols: &[C64],
+        payload_bits: usize,
+        scratch: &mut ChainScratch,
+        out: &mut Vec<u8>,
+    ) {
+        assert_eq!(symbols.len() % DATA_SUBCARRIERS, 0, "need whole symbols");
+        scratch.coded.clear();
+        for sym in symbols.chunks(DATA_SUBCARRIERS) {
+            scratch.hard.clear();
+            for &y in sym {
+                self.mapper.demap_symbol(y, &mut scratch.hard);
+            }
+            self.interleaver
+                .deinterleave_into(&scratch.hard, &mut scratch.inter);
+            scratch.coded.extend_from_slice(&scratch.inter);
+        }
+        scratch
+            .coded
+            .truncate(coded_len(payload_bits, self.mcs.rate));
+        viterbi_decode_into(
+            &scratch.coded,
+            payload_bits,
+            self.mcs.rate,
+            &mut scratch.viterbi,
+            out,
+        );
+        Scrambler::new(self.scrambler_seed).process(out);
+    }
+    // alloc-free: end chain_into
 
     /// Payload bits that fit in `n_symbols` OFDM symbols (ignoring tail
     /// rounding; useful for sizing test frames).
@@ -327,6 +455,47 @@ mod tests {
                 (*r - expect).abs() < 1e-9,
                 "subcarrier at bin {bin}: {r:?} vs {expect:?}"
             );
+        }
+    }
+
+    #[test]
+    fn pooled_chain_is_bit_identical_and_reusable() {
+        // One scratch reused across every MCS: the pooled transmit/receive
+        // must reproduce the owned paths bit for bit, including through
+        // noise-corrupted symbols.
+        let mut rng = SimRng::seed_from(9);
+        let mut scratch = ChainScratch::new();
+        let mut flat = FlatSymbols::new();
+        let mut decoded_pooled = Vec::new();
+        for mcs in Mcs::TABLE {
+            let chain = Chain::new(mcs);
+            let payload = random_bits(&mut rng, chain.payload_capacity(5));
+            let frame = chain.transmit(&payload);
+            chain.transmit_into(&payload, &mut scratch, &mut flat);
+            assert_eq!(flat.n_symbols(), frame.symbols.len(), "{mcs}");
+            assert_eq!(flat.payload_bits(), payload.len());
+            for (t, sym) in frame.symbols.iter().enumerate() {
+                for (a, b) in sym.iter().zip(flat.symbol(t)) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "{mcs}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "{mcs}");
+                }
+            }
+            // Corrupt the symbols and compare the decoded bits.
+            let sigma = 0.15;
+            let noisy: Vec<Vec<C64>> = frame
+                .symbols
+                .iter()
+                .map(|sym| sym.iter().map(|&x| x + rng.randc().scale(sigma)).collect())
+                .collect();
+            let noisy_flat: Vec<C64> = noisy.iter().flatten().copied().collect();
+            let owned = chain.receive(&noisy, payload.len());
+            chain.receive_into(
+                &noisy_flat,
+                payload.len(),
+                &mut scratch,
+                &mut decoded_pooled,
+            );
+            assert_eq!(owned, decoded_pooled, "{mcs}");
         }
     }
 

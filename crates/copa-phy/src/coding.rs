@@ -132,9 +132,31 @@ const STATES: usize = 1 << (CONSTRAINT_LENGTH - 1); // 64
 /// `ceil((bits.len() + 6) * 2 * kept / (2 * pattern_len))` give or take the
 /// cycle phase.
 pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    encode_append(bits, rate, &mut out);
+    out
+}
+
+/// Number of coded (on-air) bits [`encode`] produces for `info_len`
+/// information bits at `rate`: walks the puncture pattern arithmetically,
+/// so the receiver can size/truncate buffers without a throwaway encode.
+pub fn coded_len(info_len: usize, rate: CodeRate) -> usize {
+    let pattern = rate.puncture_pattern();
+    let per_cycle: usize = pattern.iter().map(|&(a, b)| a as usize + b as usize).sum();
+    let steps = info_len + CONSTRAINT_LENGTH - 1;
+    let mut n = (steps / pattern.len()) * per_cycle;
+    for &(a, b) in &pattern[..steps % pattern.len()] {
+        n += a as usize + b as usize;
+    }
+    n
+}
+
+// alloc-free: begin encode_append (kernel -- caller-owned output buffer)
+/// [`encode`] appending to a caller-owned buffer (bit-identical output;
+/// no allocation once `out` has capacity).
+pub fn encode_append(bits: &[u8], rate: CodeRate, out: &mut Vec<u8>) {
     let pattern = rate.puncture_pattern();
     let mut state: u32 = 0;
-    let mut out = Vec::with_capacity(bits.len() * 2);
     for (i, &bit) in bits
         .iter()
         .chain(std::iter::repeat(&0u8).take(CONSTRAINT_LENGTH - 1))
@@ -153,8 +175,8 @@ pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
         }
         state = reg & ((1 << (CONSTRAINT_LENGTH - 1)) - 1);
     }
-    out
 }
+// alloc-free: end encode_append
 
 /// Hard-decision Viterbi decoder matching [`encode`] (same rate, same
 /// termination). Returns the decoded information bits (tail removed).
@@ -163,28 +185,70 @@ pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
 /// Panics if `coded` is shorter than the encoder would have produced for
 /// `info_len` bits.
 pub fn viterbi_decode(coded: &[u8], info_len: usize, rate: CodeRate) -> Vec<u8> {
+    let mut scratch = ViterbiScratch::new();
+    let mut out = Vec::with_capacity(info_len);
+    viterbi_decode_into(coded, info_len, rate, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable state for [`viterbi_decode_into`]: path metrics and the full
+/// predecessor matrix. Buffers grow to the longest frame decoded, then the
+/// warmed Monte-Carlo loop never touches the allocator.
+#[derive(Clone, Debug, Default)]
+pub struct ViterbiScratch {
+    metric: Vec<u32>,
+    next: Vec<u32>,
+    /// Flat `total_steps x STATES` predecessor matrix.
+    pred: Vec<u8>,
+}
+
+impl ViterbiScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// alloc-free: begin viterbi_decode_into (kernel -- caller-owned scratch)
+/// [`viterbi_decode`] writing into a caller-owned buffer with all working
+/// state in `scratch`. Bit-identical to the owned version (same metrics,
+/// same tie-breaking, same traceback).
+///
+/// # Panics
+/// Panics if `coded` is shorter than the encoder would have produced for
+/// `info_len` bits.
+pub fn viterbi_decode_into(
+    coded: &[u8],
+    info_len: usize,
+    rate: CodeRate,
+    scratch: &mut ViterbiScratch,
+    out: &mut Vec<u8>,
+) {
     let pattern = rate.puncture_pattern();
     let total_steps = info_len + CONSTRAINT_LENGTH - 1;
 
-    // Reconstruct which coded positions exist after puncturing; erased
-    // positions contribute no metric.
-    #[derive(Clone, Copy)]
-    struct Step {
-        a: Option<u8>,
-        b: Option<u8>,
-    }
-    let mut steps = Vec::with_capacity(total_steps);
+    const INF: u32 = u32::MAX / 2;
+    scratch.metric.clear();
+    scratch.metric.resize(STATES, INF);
+    scratch.metric[0] = 0;
+    scratch.next.clear();
+    scratch.next.resize(STATES, INF);
+    scratch.pred.clear();
+    scratch.pred.resize(total_steps * STATES, 0);
+
+    // Walk the puncture pattern to find which coded positions exist;
+    // erased positions contribute no metric.
     let mut idx = 0usize;
     for i in 0..total_steps {
         let (keep_a, keep_b) = pattern[i % pattern.len()];
-        let a = if keep_a {
+        let ra = if keep_a {
             let v = coded.get(idx).copied();
             idx += 1;
             v
         } else {
             None
         };
-        let b = if keep_b {
+        let rb = if keep_b {
             let v = coded.get(idx).copied();
             idx += 1;
             v
@@ -192,22 +256,16 @@ pub fn viterbi_decode(coded: &[u8], info_len: usize, rate: CodeRate) -> Vec<u8> 
             None
         };
         assert!(
-            (!keep_a || a.is_some()) && (!keep_b || b.is_some()),
+            (!keep_a || ra.is_some()) && (!keep_b || rb.is_some()),
             "coded sequence too short"
         );
-        steps.push(Step { a, b });
-    }
 
-    const INF: u32 = u32::MAX / 2;
-    let mut metric = vec![INF; STATES];
-    metric[0] = 0;
-    let mut pred: Vec<Vec<u8>> = Vec::with_capacity(total_steps);
-
-    for step in &steps {
-        let mut next = vec![INF; STATES];
-        let mut choice = vec![0u8; STATES];
+        let choice = &mut scratch.pred[i * STATES..(i + 1) * STATES];
+        for v in scratch.next.iter_mut() {
+            *v = INF;
+        }
         for s in 0..STATES {
-            if metric[s] == INF {
+            if scratch.metric[s] == INF {
                 continue;
             }
             for bit in 0..2u32 {
@@ -215,36 +273,36 @@ pub fn viterbi_decode(coded: &[u8], info_len: usize, rate: CodeRate) -> Vec<u8> 
                 let a = ((reg & G0).count_ones() & 1) as u8;
                 let b = ((reg & G1).count_ones() & 1) as u8;
                 let ns = (reg & (STATES as u32 - 1)) as usize;
-                let mut m = metric[s];
-                if let Some(ra) = step.a {
+                let mut m = scratch.metric[s];
+                if let Some(ra) = ra {
                     m += (ra != a) as u32;
                 }
-                if let Some(rb) = step.b {
+                if let Some(rb) = rb {
                     m += (rb != b) as u32;
                 }
-                if m < next[ns] {
-                    next[ns] = m;
+                if m < scratch.next[ns] {
+                    scratch.next[ns] = m;
                     // Predecessor state fits in u8 for K=7 (64 states).
                     choice[ns] = s as u8;
                 }
             }
         }
-        pred.push(choice);
-        metric = next;
+        std::mem::swap(&mut scratch.metric, &mut scratch.next);
     }
 
     // Terminated trellis: trace back from state 0.
     let mut state = 0usize;
-    let mut decoded = vec![0u8; total_steps];
+    out.clear();
+    out.resize(total_steps, 0);
     for i in (0..total_steps).rev() {
-        let prev = pred[i][state] as usize;
+        let prev = scratch.pred[i * STATES + state] as usize;
         // state = ((prev << 1) | bit) & mask, so the input bit is state's LSB.
-        decoded[i] = (state & 1) as u8;
+        out[i] = (state & 1) as u8;
         state = prev;
     }
-    decoded.truncate(info_len);
-    decoded
+    out.truncate(info_len);
 }
+// alloc-free: end viterbi_decode_into
 
 /// `p^k` / `q^k` for every exponent the union bound touches, each entry the
 /// exact `powi` the direct expression evaluated (`p^k` needs `k <= d`,
@@ -343,7 +401,14 @@ pub fn coded_ber(p: f64, rate: CodeRate) -> f64 {
 /// Frame error rate of an `len_bytes`-byte MPDU at coded BER `pb`:
 /// `1 - (1 - pb)^(8 * len_bytes)`.
 pub fn frame_error_rate(pb: f64, len_bytes: usize) -> f64 {
-    let bits = (len_bytes * 8) as f64;
+    frame_error_rate_bits(pb, len_bytes * 8)
+}
+
+/// [`frame_error_rate`] for a payload measured in bits rather than whole
+/// bytes (the waveform validator's frames are sized by OFDM symbol count,
+/// so their payloads are not byte multiples).
+pub fn frame_error_rate_bits(pb: f64, len_bits: usize) -> f64 {
+    let bits = len_bits as f64;
     if pb <= 0.0 {
         return 0.0;
     }
@@ -492,6 +557,53 @@ mod tests {
         assert!(f1 < f2 && f2 < 1.0);
         // ~ bits * pb for tiny pb.
         assert!((f1 / (12000.0 * 1e-6) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn coded_len_matches_encode() {
+        for rate in CodeRate::ALL {
+            for info in [1usize, 7, 60, 100, 731] {
+                assert_eq!(
+                    coded_len(info, rate),
+                    encode(&vec![0u8; info], rate).len(),
+                    "rate {rate}, {info} info bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_viterbi_is_bit_identical_and_reusable() {
+        let mut rng = SimRng::seed_from(17);
+        let mut scratch = ViterbiScratch::new();
+        let mut out = Vec::new();
+        // Reuse scratch across rates and frame lengths, with injected errors.
+        for rate in CodeRate::ALL {
+            for info in [40usize, 173] {
+                let bits: Vec<u8> = (0..info).map(|_| (rng.next_u64() & 1) as u8).collect();
+                let mut coded = encode(&bits, rate);
+                for b in coded.iter_mut() {
+                    if rng.uniform() < 0.02 {
+                        *b ^= 1;
+                    }
+                }
+                let owned = viterbi_decode(&coded, info, rate);
+                viterbi_decode_into(&coded, info, rate, &mut scratch, &mut out);
+                assert_eq!(owned, out, "rate {rate}, {info} info bits");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_error_rate_bits_consistent_with_bytes() {
+        for pb in [1e-7, 1e-4, 0.02] {
+            assert_eq!(
+                frame_error_rate(pb, 1500),
+                frame_error_rate_bits(pb, 1500 * 8)
+            );
+        }
+        assert_eq!(frame_error_rate_bits(0.0, 999), 0.0);
+        assert_eq!(frame_error_rate_bits(1.0, 999), 1.0);
     }
 
     #[test]

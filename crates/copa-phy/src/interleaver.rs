@@ -88,6 +88,33 @@ impl Interleaver {
         }
         out
     }
+
+    // alloc-free: begin interleave_into (kernel -- caller-owned buffers)
+    /// [`interleave`] writing into a caller-owned buffer (bit-identical; no
+    /// allocation once `out` has grown to the block length).
+    ///
+    /// [`interleave`]: Interleaver::interleave
+    pub fn interleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        assert_eq!(bits.len(), self.n_cbps, "block size mismatch");
+        out.clear();
+        out.resize(self.n_cbps, 0);
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.forward[k]] = b;
+        }
+    }
+
+    /// [`deinterleave`] writing into a caller-owned buffer (bit-identical).
+    ///
+    /// [`deinterleave`]: Interleaver::deinterleave
+    pub fn deinterleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        assert_eq!(bits.len(), self.n_cbps, "block size mismatch");
+        out.clear();
+        out.resize(self.n_cbps, 0);
+        for (j, &b) in bits.iter().enumerate() {
+            out[self.inverse[j]] = b;
+        }
+    }
+    // alloc-free: end interleave_into
 }
 
 #[cfg(test)]

@@ -21,6 +21,9 @@
 //! * [`mimo_chain`] -- the multi-stream (spatial multiplexing) variant with
 //!   802.11n stream parsing and zero-forcing separation.
 //! * [`papr`] -- peak-to-average power ratio measurements (section 4.1).
+//! * [`waveform`] -- the time-domain sample stream: IFFT/CP framing,
+//!   preamble sync, CFO/SFO impairments; validates what the analytic chain
+//!   assumes away.
 
 #![warn(missing_docs)]
 
@@ -37,6 +40,7 @@ pub mod ofdm;
 pub mod papr;
 pub mod scrambler;
 pub mod soft;
+pub mod waveform;
 
 pub use coding::CodeRate;
 pub use link::{RateChoice, ThroughputModel};

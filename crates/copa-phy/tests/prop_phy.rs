@@ -1,12 +1,19 @@
 //! Property-based tests for the PHY models, on the in-repo
 //! [`copa_num::prop`] harness.
 
+use copa_num::complex::{C64, ZERO};
 use copa_num::prop::{check, Gen};
 use copa_num::{prop_assert, prop_assert_eq};
+use copa_phy::baseband::CP_SAMPLES;
 use copa_phy::coding::{coded_ber, encode, frame_error_rate, viterbi_decode, CodeRate};
 use copa_phy::link::ThroughputModel;
 use copa_phy::mcs::Mcs;
 use copa_phy::modulation::Modulation;
+use copa_phy::ofdm::{DATA_SUBCARRIERS, FFT_SIZE};
+use copa_phy::waveform::{
+    apply_cfo, max_cfo_hz, modulate_frame_into, synchronize, Preamble, WaveformScratch,
+    PREAMBLE_SAMPLES, SYMBOL_SAMPLES,
+};
 
 const CASES: usize = 48;
 
@@ -143,6 +150,81 @@ fn multi_decoder_at_least_single() {
         prop_assert!(multi >= single * 0.98, "multi {multi} < single {single}");
         Ok(())
     });
+}
+
+fn random_symbols(g: &mut Gen, n_symbols: usize) -> Vec<C64> {
+    (0..n_symbols * DATA_SUBCARRIERS)
+        .map(|_| C64::new(g.f64_in(-1.0, 1.0), g.f64_in(-1.0, 1.0)))
+        .collect()
+}
+
+#[test]
+fn cp_add_then_strip_is_the_identity() {
+    // Modulating prepends a copy of each symbol's tail; the demodulation
+    // window strips it. The CP must be an exact (bitwise) copy, and the
+    // FFT of the stripped window must return the loaded subcarriers to
+    // round-trip precision.
+    check("cp_add_then_strip_is_the_identity", CASES, |g| {
+        let p = Preamble::standard();
+        let n_sym = g.usize_in(1, 6);
+        let symbols = random_symbols(g, n_sym);
+        let mut scratch = WaveformScratch::new();
+        let mut frame = Vec::new();
+        modulate_frame_into(&p, &symbols, &mut scratch, &mut frame);
+        prop_assert_eq!(frame.len(), PREAMBLE_SAMPLES + n_sym * SYMBOL_SAMPLES);
+        for t in 0..n_sym {
+            let sym = &frame[PREAMBLE_SAMPLES + t * SYMBOL_SAMPLES..][..SYMBOL_SAMPLES];
+            // CP == tail, bit for bit.
+            for i in 0..CP_SAMPLES {
+                prop_assert_eq!(sym[i].re.to_bits(), sym[FFT_SIZE + i].re.to_bits());
+                prop_assert_eq!(sym[i].im.to_bits(), sym[FFT_SIZE + i].im.to_bits());
+            }
+            // Stripping the CP and demodulating recovers the symbols.
+            let back = copa_phy::baseband::ofdm_demodulate(sym);
+            for (a, b) in symbols[t * DATA_SUBCARRIERS..(t + 1) * DATA_SUBCARRIERS]
+                .iter()
+                .zip(&back)
+            {
+                prop_assert!((*a - *b).abs() <= 1e-12, "{a:?} vs {b:?}");
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn sync_recovers_timing_offset_exactly_at_zero_noise() {
+    check(
+        "sync_recovers_timing_offset_exactly_at_zero_noise",
+        CASES,
+        |g| {
+            let p = Preamble::standard();
+            let search = 48;
+            let offset = g.usize_in(0, search);
+            let n_sym = g.usize_in(1, 4);
+            let symbols = random_symbols(g, n_sym);
+            let mut scratch = WaveformScratch::new();
+            let mut frame = Vec::new();
+            modulate_frame_into(&p, &symbols, &mut scratch, &mut frame);
+            let mut rx = vec![ZERO; offset];
+            rx.extend_from_slice(&frame);
+            rx.extend(std::iter::repeat_n(ZERO, search + SYMBOL_SAMPLES));
+            // A CFO well inside the estimator's unambiguous range must not
+            // break exact timing recovery.
+            let cfo = g.f64_in(-0.6, 0.6) * max_cfo_hz();
+            apply_cfo(&mut rx, cfo);
+            let mut corrected = Vec::new();
+            let res = synchronize(&rx, &p, search, true, &mut corrected);
+            prop_assert_eq!(res.start, offset, "cfo {cfo:.0} Hz");
+            prop_assert!(
+                (res.cfo_hz - cfo).abs() < 1e-3 * max_cfo_hz().max(1.0),
+                "cfo {cfo} estimated {0}",
+                res.cfo_hz
+            );
+            prop_assert!(res.metric > 0.999);
+            Ok(())
+        },
+    );
 }
 
 #[test]

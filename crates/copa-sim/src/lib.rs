@@ -88,3 +88,7 @@ pub use throughput::{
     fig10, fig11, fig12, fig13, fig14_scenario, SchemeSeries, ThroughputExperiment,
 };
 pub use traffic::{TrafficConfig, TrafficEpoch, TrafficState};
+pub use validation::{
+    run_waveform_grid, validator_setup, ValidatorSetup, WaveformGridConfig, WaveformPoint,
+    WaveformSim,
+};

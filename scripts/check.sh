@@ -8,7 +8,7 @@
 #
 # Usage: scripts/check.sh [--bench-smoke] [--faults-smoke] [--resume-smoke]
 #                         [--obs-smoke] [--campus-smoke] [--simd-smoke]
-#                         [--daemon-smoke] [--chaos-smoke]
+#                         [--daemon-smoke] [--chaos-smoke] [--waveform-smoke]
 #   --bench-smoke   additionally run the hotpath benchmark in --quick mode
 #                   and leave its JSON lines in BENCH_hotpath.json; every
 #                   warmed-path alloc report must read exactly 0 (the bench
@@ -47,6 +47,12 @@
 #                   recover, churn tears down / cold-starts sessions,
 #                   kill-and-resume stays byte-identical, and warmed
 #                   epochs between exchanges still allocate nothing.
+#   --waveform-smoke additionally run the waveform validation example
+#                   (examples/waveform_validation.rs): the Monte-Carlo
+#                   IFFT/CP/sync/Viterbi grid re-parsed from its JSON,
+#                   byte-identical across thread counts, measured FER
+#                   within the stated band of the analytic union bound,
+#                   and zero allocations across warmed frames.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +64,7 @@ CAMPUS_SMOKE=0
 SIMD_SMOKE=0
 DAEMON_SMOKE=0
 CHAOS_SMOKE=0
+WAVEFORM_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
@@ -68,6 +75,7 @@ for arg in "$@"; do
         --simd-smoke) SIMD_SMOKE=1 ;;
         --daemon-smoke) DAEMON_SMOKE=1 ;;
         --chaos-smoke) CHAOS_SMOKE=1 ;;
+        --waveform-smoke) WAVEFORM_SMOKE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -325,6 +333,32 @@ if [ "$CHAOS_SMOKE" -eq 1 ]; then
     }
     printf '%s\n' "$out" | grep -q '^ok: daemon chaos soak validated end to end' || {
         echo "chaos smoke FAILED: chaos soak did not validate" >&2
+        exit 1
+    }
+fi
+
+if [ "$WAVEFORM_SMOKE" -eq 1 ]; then
+    echo "==> waveform smoke: Monte-Carlo waveform FER vs the analytic model"
+    out=$(cargo run --release --offline --example waveform_validation)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q '^ok: waveform grid JSON re-parses' || {
+        echo "waveform smoke FAILED: grid JSON did not re-parse" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: waveform grid byte-identical across thread counts' || {
+        echo "waveform smoke FAILED: grid diverged across thread counts" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: waveform FER tracks the analytic union bound' || {
+        echo "waveform smoke FAILED: measured FER left the analytic band" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: warmed waveform frames allocation-free' || {
+        echo "waveform smoke FAILED: warmed frames allocated" >&2
+        exit 1
+    }
+    printf '%s\n' "$out" | grep -q '^ok: waveform validation smoke passed' || {
+        echo "waveform smoke FAILED: smoke did not validate" >&2
         exit 1
     }
 fi

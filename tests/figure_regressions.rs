@@ -162,3 +162,114 @@ fn fig12_nulling_recovers_under_weak_interference() {
          {lead_weak:.2}x vs {lead_strong:.2}x"
     );
 }
+
+/// Waveform-vs-analytic golden band: on the seeded per-MCS SNR grid the
+/// bit-true waveform FER (IFFT/CP, tapped-delay convolution, sync,
+/// equalization, Viterbi) must sit within a fixed band of the analytic
+/// union-bound FER computed from the *same* channel realizations -- at
+/// most 0.25 apart in absolute FER, and within [0.3x, 1.7x] wherever the
+/// analytic prediction is non-negligible. The union bound overestimates
+/// by design (it is an upper bound), so the band is asymmetric around 1.
+/// FER must also fall with SNR within each MCS.
+#[test]
+fn waveform_fer_tracks_analytic_union_bound_per_mcs() {
+    use copa::sim::{run_waveform_grid, WaveformGridConfig};
+    for (m, lo, hi) in [(0usize, 4.0, 8.0), (3, 12.0, 16.0), (7, 24.0, 28.0)] {
+        let cfg = WaveformGridConfig {
+            mcs_indices: vec![m],
+            snr_db: vec![lo, hi],
+            frames: 80,
+            symbols_per_frame: 4,
+            ..Default::default()
+        };
+        let grid = run_waveform_grid(&cfg, THREADS);
+        for p in &grid {
+            assert!(
+                (p.measured_fer - p.analytic_fer).abs() <= 0.25,
+                "MCS{m} @ {} dB: measured FER {:.3} strayed more than 0.25 \
+                 from analytic {:.3}",
+                p.snr_db,
+                p.measured_fer,
+                p.analytic_fer
+            );
+            if p.analytic_fer > 0.05 {
+                let ratio = p.measured_fer / p.analytic_fer;
+                assert!(
+                    (0.3..=1.7).contains(&ratio),
+                    "MCS{m} @ {} dB: measured/analytic ratio {ratio:.2} left \
+                     the [0.3, 1.7] band ({:.3} vs {:.3})",
+                    p.snr_db,
+                    p.measured_fer,
+                    p.analytic_fer
+                );
+            }
+        }
+        assert!(
+            grid[1].measured_fer < grid[0].measured_fer,
+            "MCS{m}: FER must fall with SNR ({:.3} @ {lo} dB vs {:.3} @ {hi} dB)",
+            grid[0].measured_fer,
+            grid[1].measured_fer
+        );
+    }
+}
+
+/// Waveform impairment monotonicity: with the receiver's CFO correction
+/// off, growing carrier offset strictly degrades FER until frames are
+/// unrecoverable; growing residual timing error (the FFT window sliding
+/// past the cyclic prefix into inter-symbol interference) does the same.
+#[test]
+fn waveform_fer_degrades_monotonically_with_impairments() {
+    use copa::phy::waveform::WaveformImpairments;
+    use copa::sim::{run_waveform_grid, WaveformGridConfig};
+
+    let point = |imp: WaveformImpairments| {
+        let cfg = WaveformGridConfig {
+            mcs_indices: vec![1],
+            snr_db: vec![10.0],
+            frames: 60,
+            symbols_per_frame: 4,
+            impairments: imp,
+            ..Default::default()
+        };
+        run_waveform_grid(&cfg, 2)[0].measured_fer
+    };
+
+    let cfo_fers: Vec<f64> = [0.0, 4_000.0, 12_000.0]
+        .iter()
+        .map(|&cfo| {
+            let mut imp = WaveformImpairments::clean();
+            imp.correct_cfo = false;
+            imp.cfo_hz = cfo;
+            point(imp)
+        })
+        .collect();
+    for w in cfo_fers.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "FER must not improve as uncorrected CFO grows: {cfo_fers:?}"
+        );
+    }
+    assert!(
+        cfo_fers[2] > cfo_fers[0] + 0.2,
+        "12 kHz of uncorrected CFO must clearly degrade FER: {cfo_fers:?}"
+    );
+
+    let timing_fers: Vec<f64> = [0, 2, 4, 8]
+        .iter()
+        .map(|&rt| {
+            let mut imp = WaveformImpairments::clean();
+            imp.residual_timing = rt;
+            point(imp)
+        })
+        .collect();
+    for w in timing_fers.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "FER must not improve as residual timing grows: {timing_fers:?}"
+        );
+    }
+    assert!(
+        timing_fers[3] > timing_fers[0] + 0.2,
+        "8 samples of late timing must clearly degrade FER: {timing_fers:?}"
+    );
+}
